@@ -1,0 +1,89 @@
+//! Design-choice ablation D3: naive vs semi-naive fixpoint iteration on the
+//! recursive Q10 closure and on a pure chain transitive closure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::suite::{self, Dataset};
+use gql_wglog::eval::{run_with, FixpointMode};
+use gql_wglog::instance::{Instance, Object};
+use gql_wglog::rule::{Program, RuleBuilder};
+
+fn closure_program() -> Program {
+    let base = RuleBuilder::new()
+        .query_node("a", "doc")
+        .query_node("b", "doc")
+        .query_edge("a", "link", "b")
+        .unwrap()
+        .construct_edge("a", "reach", "b")
+        .unwrap()
+        .build()
+        .unwrap();
+    let step = RuleBuilder::new()
+        .query_node("a", "doc")
+        .query_node("b", "doc")
+        .query_node("c", "doc")
+        .query_edge("a", "reach", "b")
+        .unwrap()
+        .query_edge("b", "link", "c")
+        .unwrap()
+        .construct_edge("a", "reach", "c")
+        .unwrap()
+        .build()
+        .unwrap();
+    Program {
+        rules: vec![base, step],
+        goal: None,
+    }
+}
+
+fn chain(n: usize) -> Instance {
+    let mut db = Instance::new();
+    let nodes: Vec<_> = (0..n).map(|_| db.add_object(Object::new("doc"))).collect();
+    for w in nodes.windows(2) {
+        db.add_edge(w[0], "link", w[1]);
+    }
+    db
+}
+
+fn bench_chain_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d3_chain_closure");
+    group.sample_size(10);
+    let program = closure_program();
+    for n in [16usize, 32, 64] {
+        let db = chain(n);
+        for (label, mode) in [
+            ("naive", FixpointMode::Naive),
+            ("seminaive", FixpointMode::SemiNaive),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &db, |b, db| {
+                b.iter(|| run_with(&program, db, mode).expect("closure runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_q10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q10_recursion");
+    group.sample_size(10);
+    let q10 = suite::queries()
+        .into_iter()
+        .find(|q| q.id == "Q10")
+        .expect("Q10");
+    let program = q10.wglog_program().expect("Q10 in WG-Log");
+    for scale in [50usize, 150] {
+        let doc = Dataset::CityGuide.build(scale);
+        let db = Instance::from_document(&doc);
+        for (label, mode) in [
+            ("naive", FixpointMode::Naive),
+            ("seminaive", FixpointMode::SemiNaive),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, scale), &db, |b, db| {
+                b.iter(|| run_with(&program, db, mode).expect("Q10 runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_closure, bench_q10);
+criterion_main!(benches);

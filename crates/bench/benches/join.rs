@@ -1,0 +1,55 @@
+//! Experiment F5/Q6: value-join evaluation — the crossover between
+//! pattern-based (factor the join once) and navigational (re-navigate per
+//! candidate) styles, plus the algebra plan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::suite::Dataset;
+use gql_core::{algebra, translate};
+
+fn q6_xmlgl() -> gql_xmlgl::ast::Program {
+    gql_xmlgl::dsl::parse(
+        r#"rule { extract {
+                    product as $p { vendor { text as $v1 } }
+                    vendor as $w { country { text = "holland" }
+                                   name { text as $v2 } }
+                    join $v1 == $v2 }
+                  construct { answer { all $p } } }"#,
+    )
+    .expect("Q6 parses")
+}
+
+const Q6_XPATH: &str = "//product[vendor = //vendors/vendor[country='holland']/name]";
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q6_value_join");
+    group.sample_size(10);
+    let program = q6_xmlgl();
+    let plan = translate::extract_to_plan(&program.rules[0]).expect("Q6 plans");
+    let optimized = algebra::optimize(&plan);
+    let xpath = gql_xpath::parse(Q6_XPATH).expect("Q6 xpath parses");
+
+    for scale in [100usize, 400, 1000] {
+        let doc = Dataset::Greengrocer.build(scale);
+        group.bench_with_input(BenchmarkId::new("xmlgl_engine", scale), &doc, |b, doc| {
+            b.iter(|| gql_xmlgl::run(&program, doc).expect("Q6 runs"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("algebra_hashjoin", scale),
+            &doc,
+            |b, doc| b.iter(|| algebra::execute(&optimized, doc).expect("plan runs")),
+        );
+        // XPath re-navigates the vendors per product: the quadratic side of
+        // the crossover. Keep the largest size bounded.
+        if scale <= 400 {
+            group.bench_with_input(
+                BenchmarkId::new("xpath_navigational", scale),
+                &doc,
+                |b, doc| b.iter(|| gql_xpath::evaluate(doc, &xpath).expect("xpath runs")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Experiment T4 / design-choice D4: layout cost and the barycenter vs
+//! median crossing-reduction heuristics, on the suite diagrams and on
+//! synthetic layered tangles where crossings actually occur.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::suite;
+use gql_layout::{layout, Diagram, EdgeSpec, LayoutOptions, NodeSpec, OrderingHeuristic, Shape};
+
+/// A layered "tangle": k layers of w nodes, each node wired to 2 pseudo-
+/// random nodes of the next layer — dense enough to make the ordering
+/// heuristics work.
+fn tangle(layers: usize, width: usize) -> Diagram {
+    let mut d = Diagram::new();
+    let mut rows = Vec::new();
+    for l in 0..layers {
+        let row: Vec<_> = (0..width)
+            .map(|i| d.add_node(NodeSpec::new(format!("n{l}_{i}"), Shape::Box)))
+            .collect();
+        rows.push(row);
+    }
+    // Deterministic pseudo-random wiring (no RNG: multiplicative hashing).
+    for l in 0..layers - 1 {
+        for (i, &from) in rows[l].iter().enumerate() {
+            let a = (i * 7 + l * 13 + 3) % width;
+            let b = (i * 11 + l * 5 + 1) % width;
+            d.add_edge(from, rows[l + 1][a], EdgeSpec::plain());
+            if b != a {
+                d.add_edge(from, rows[l + 1][b], EdgeSpec::plain());
+            }
+        }
+    }
+    d
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_ordering_heuristics");
+    group.sample_size(20);
+    for (layers, width) in [(4usize, 8usize), (6, 16)] {
+        let d = tangle(layers, width);
+        for (label, ordering) in [
+            ("none", OrderingHeuristic::None),
+            ("barycenter", OrderingHeuristic::Barycenter),
+            ("median", OrderingHeuristic::Median),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{layers}x{width}")),
+                &d,
+                |b, d| {
+                    b.iter(|| {
+                        layout(
+                            d,
+                            &LayoutOptions {
+                                ordering,
+                                ..Default::default()
+                            },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_suite_diagrams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t4_suite_diagrams");
+    group.sample_size(30);
+    for (id, _, d) in suite::figures() {
+        group.bench_with_input(BenchmarkId::new("layout_and_svg", id), &d, |b, d| {
+            b.iter(|| {
+                let l = layout(d, &LayoutOptions::default());
+                gql_layout::render::to_svg(d, &l)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_suite_diagrams);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment T5 / design-choice D2: optimized (hash join, pushed filters)
+//! vs deoptimized (nested loops, hoisted filters) algebra plans, including
+//! a low-selectivity self-join where pushdown pays most.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::suite::Dataset;
+use gql_core::{algebra, translate};
+use gql_xmlgl::ast::CmpOp;
+use gql_xmlgl::builder::{RuleBuilder, C, Q};
+
+fn bench_q6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_q6_join_plans");
+    group.sample_size(10);
+    let program = gql_xmlgl::dsl::parse(
+        r#"rule { extract {
+                    product as $p { vendor { text as $v1 } }
+                    vendor as $w { country { text = "holland" }
+                                   name { text as $v2 } }
+                    join $v1 == $v2 }
+                  construct { answer { all $p } } }"#,
+    )
+    .expect("Q6 parses");
+    let plan = translate::extract_to_plan(&program.rules[0]).expect("Q6 plans");
+    let fast = algebra::optimize(&plan);
+    let slow = algebra::deoptimize(&plan);
+    for scale in [200usize, 800] {
+        let doc = Dataset::Greengrocer.build(scale);
+        group.bench_with_input(BenchmarkId::new("optimized", scale), &doc, |b, doc| {
+            b.iter(|| algebra::execute(&fast, doc).expect("plan runs"))
+        });
+        group.bench_with_input(BenchmarkId::new("deoptimized", scale), &doc, |b, doc| {
+            b.iter(|| algebra::execute(&slow, doc).expect("plan runs"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_selective_self_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_selective_self_join");
+    group.sample_size(10);
+    // Books sharing a price with a cheap (< 20) book: a self-join where the
+    // pushed filter shrinks one side dramatically.
+    let rule = RuleBuilder::new()
+        .extract(
+            Q::elem("book")
+                .var("b1")
+                .child(Q::elem("price").child(Q::text().var("p1"))),
+        )
+        .extract(
+            Q::elem("book")
+                .var("b2")
+                .child(Q::elem("price").child(Q::text().var("p2").pred(CmpOp::Lt, "20"))),
+        )
+        .join("p1", "p2")
+        .construct(C::elem("answer").child(C::all("b1")))
+        .build()
+        .unwrap();
+    let plan = translate::extract_to_plan(&rule).expect("self-join plans");
+    let fast = algebra::optimize(&plan);
+    let slow = algebra::deoptimize(&plan);
+    for scale in [200usize, 800] {
+        let doc = Dataset::Bibliography.build(scale);
+        // Correctness guard once per size.
+        assert_eq!(
+            algebra::execute(&fast, &doc).expect("runs").len(),
+            algebra::execute(&slow, &doc).expect("runs").len()
+        );
+        group.bench_with_input(BenchmarkId::new("optimized", scale), &doc, |b, doc| {
+            b.iter(|| algebra::execute(&fast, doc).expect("plan runs"))
+        });
+        group.bench_with_input(BenchmarkId::new("deoptimized", scale), &doc, |b, doc| {
+            b.iter(|| algebra::execute(&slow, doc).expect("plan runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_q6, bench_selective_self_join);
+criterion_main!(benches);

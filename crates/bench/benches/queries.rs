@@ -1,0 +1,71 @@
+//! Experiments F1/F2/F4 + Q2: the worked-figure queries under each engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::suite::Dataset;
+use gql_core::{Engine, QueryKind};
+
+fn bench_figure_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_queries");
+    group.sample_size(20);
+
+    // F1 — WG-Log: restaurants offering menus.
+    let doc = Dataset::CityGuide.build(300);
+    let f1 = gql_wglog::dsl::parse(
+        "rule { query { $r: restaurant  $m: menu  $r -menu-> $m }
+                construct { $l: rest-list  $l -member-> $r } } goal rest-list",
+    )
+    .expect("F1 parses");
+    let db = gql_wglog::instance::Instance::from_document(&doc);
+    group.bench_function("F1_wglog_cityguide300", |b| {
+        b.iter(|| gql_wglog::eval::run(&f1, &db).expect("F1 runs"))
+    });
+
+    // F2 — XML-GL: recent books.
+    let bib = Dataset::Bibliography.build(300);
+    let f2 = gql_xmlgl::dsl::parse(
+        r#"rule { extract { book as $b { @year as $y >= "2000" } }
+                  construct { result { all $b } } }"#,
+    )
+    .expect("F2 parses");
+    group.bench_function("F2_xmlgl_bibliography300", |b| {
+        b.iter(|| gql_xmlgl::run(&f2, &bib).expect("F2 runs"))
+    });
+
+    // F4 — XML-GL projection query.
+    let f4 = gql_xmlgl::dsl::parse(
+        r#"rule { extract { person as $p { firstname { text as $f }
+                                           lastname { text as $l } fulladdr } }
+                  construct { result { entry { first { copy $f } last { copy $l } } } } }"#,
+    )
+    .expect("F4 parses");
+    group.bench_function("F4_xmlgl_bibliography300", |b| {
+        b.iter(|| gql_xmlgl::run(&f4, &bib).expect("F4 runs"))
+    });
+    group.finish();
+}
+
+fn bench_q2_three_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q2_three_engines");
+    group.sample_size(20);
+    let q = gql_bench::suite::queries()
+        .into_iter()
+        .find(|q| q.id == "Q2")
+        .expect("Q2");
+    let doc = q.dataset.build(500);
+    let mut engine = Engine::new();
+    engine.preload(&doc);
+    for (label, query) in q.engine_queries() {
+        group.bench_with_input(BenchmarkId::new("engine", label), &query, |b, query| {
+            b.iter(|| engine.run(query, &doc).expect("Q2 runs"))
+        });
+    }
+    // Also the raw load cost WG-Log pays in a one-shot setting.
+    group.bench_function("wglog_instance_load", |b| {
+        b.iter(|| gql_wglog::instance::Instance::from_document(&doc))
+    });
+    let _ = QueryKind::XPath(String::new());
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure_queries, bench_q2_three_engines);
+criterion_main!(benches);

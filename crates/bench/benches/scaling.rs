@@ -1,0 +1,83 @@
+//! Experiment T3: engine scaling with document size on selection,
+//! conjunctive and negation query classes. Also exercises the arena-store
+//! design choice (D1): document build + scan cost at each scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gql_bench::suite;
+use gql_core::Engine;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_scaling");
+    group.sample_size(10);
+    for id in ["Q1", "Q3", "Q5"] {
+        let q = suite::queries()
+            .into_iter()
+            .find(|q| q.id == id)
+            .expect("suite query");
+        for scale in [100usize, 400, 1600] {
+            let doc = q.dataset.build(scale);
+            let mut engine = Engine::new();
+            engine.preload(&doc);
+            group.throughput(Throughput::Elements(doc.live_node_count() as u64));
+            for (label, query) in q.engine_queries() {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{id}_{label}"), scale),
+                    &query,
+                    |b, query| b.iter(|| engine.run(query, &doc).expect("query runs")),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d1_arena_substrate");
+    group.sample_size(10);
+    for scale in [400usize, 1600] {
+        let doc = suite::Dataset::CityGuide.build(scale);
+        let xml = doc.to_xml_string();
+        group.bench_with_input(BenchmarkId::new("parse", scale), &xml, |b, xml| {
+            b.iter(|| gql_ssdm::Document::parse_str(xml).expect("parses"))
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", scale), &doc, |b, doc| {
+            b.iter(|| doc.descendants(doc.root()).count())
+        });
+        group.bench_with_input(BenchmarkId::new("serialize", scale), &doc, |b, doc| {
+            b.iter(|| doc.to_xml_string())
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t6_streaming_vs_dom");
+    group.sample_size(10);
+    let path = "/cityguide/restaurant/menu/price";
+    for scale in [400usize, 1600] {
+        let doc = suite::Dataset::CityGuide.build(scale);
+        let xml = doc.to_xml_string();
+        let compiled = gql_ssdm::stream::StreamPath::parse(path).expect("parses");
+        group.bench_with_input(BenchmarkId::new("stream", scale), &xml, |b, xml| {
+            b.iter(|| compiled.run(xml).expect("runs"))
+        });
+        let expr = gql_xpath::parse(path).expect("parses");
+        group.bench_with_input(
+            BenchmarkId::new("dom_parse_and_eval", scale),
+            &xml,
+            |b, xml| {
+                b.iter(|| {
+                    let d = gql_ssdm::Document::parse_str(xml).expect("parses");
+                    gql_xpath::evaluate(&d, &expr).expect("runs")
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dom_eval_only", scale), &doc, |b, doc| {
+            b.iter(|| gql_xpath::evaluate(doc, &expr).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_substrate, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # gql-bench — the experiment harness
+//!
+//! Everything needed to regenerate the paper's tables and figures (and the
+//! declared quantitative extensions) lives here:
+//!
+//! * [`suite`] — the canonical query suite Q1–Q10 and the figure queries
+//!   F1–F5, each expressed in every formalism that can express it;
+//! * [`tables`] — a plain-text table renderer for the harness output;
+//! * the `harness` binary (`cargo run -p gql-bench --bin harness -- all`)
+//!   prints tables T1–T5 and writes figures F1–F5 as SVG;
+//! * the Criterion benches (`cargo bench`) measure the same workloads with
+//!   statistical rigour.
+
+pub mod suite;
+pub mod tables;

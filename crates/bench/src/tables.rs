@@ -1,0 +1,128 @@
+//! Plain-text table rendering for the harness output.
+
+/// A simple left-padded text table with a header row.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"─".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a `Duration` compactly (µs below 2ms, ms below 2s, else s).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 2_000 {
+        format!("{us}µs")
+    } else if us < 2_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Median wall-clock over `n` runs of `f`.
+pub fn median_time<F: FnMut()>(n: usize, mut f: F) -> std::time::Duration {
+    let mut samples: Vec<std::time::Duration> = (0..n.max(1))
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["query", "engine", "time"]);
+        t.row(vec!["Q1".into(), "XML-GL".into(), "1.2ms".into()]);
+        t.row(vec!["Q10-long".into(), "WG".into(), "3s".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("query"));
+        assert!(lines[1].starts_with('─'));
+        // Columns align: "engine" column starts at the same offset.
+        let off0 = lines[0].find("engine").unwrap();
+        let off2 = lines[2].find("XML-GL").unwrap();
+        assert_eq!(off0, off2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(900)), "900µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00s");
+    }
+
+    #[test]
+    fn median_is_stable() {
+        let d = median_time(5, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0); // smoke: no panic
+        let _ = d;
+    }
+}

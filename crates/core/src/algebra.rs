@@ -1,0 +1,1416 @@
+//! The common logical algebra over binding tables.
+//!
+//! Extract graphs of either language denote sets of variable bindings; this
+//! module gives those sets an explicit relational form — a [`Table`] of
+//! [`Cell`]s — and a small operator algebra ([`Plan`]) with an interpreter
+//! and a rule-based optimizer. Having the algebra separate from the
+//! languages is what makes the optimizer ablation (experiment **T5**)
+//! meaningful: the same diagram compiles to an unoptimized and an optimized
+//! plan whose outputs must be identical.
+//!
+//! Operators: typed scans, child/descendant/attribute/text navigation,
+//! predicate filters, products, hash and nested-loop joins, anti-joins
+//! (negation), projection, distinct and grouped aggregation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gql_ssdm::document::NodeKind;
+use gql_ssdm::{Document, NodeId};
+use gql_xmlgl::ast::{AggFunc, Predicate};
+
+use crate::{CoreError, Result};
+
+/// One value in a binding table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    Node(NodeId),
+    Text(String),
+    Num(f64),
+}
+
+impl Cell {
+    /// String form used by predicates and join keys.
+    pub fn text(&self, doc: &Document) -> String {
+        match self {
+            Cell::Node(n) => doc.text_content(*n),
+            Cell::Text(s) => s.clone(),
+            Cell::Num(n) => gql_ssdm::value::format_number(*n),
+        }
+    }
+
+    /// Join/distinct key: node identity for nodes, content for values.
+    pub fn key(&self, _doc: &Document) -> String {
+        match self {
+            Cell::Node(n) => format!("n:{}", n.index()),
+            Cell::Text(s) => format!("t:{s}"),
+            Cell::Num(n) => format!("f:{n}"),
+        }
+    }
+
+    /// Content-based key (used by value joins: a node joins via its text).
+    pub fn content_key(&self, doc: &Document) -> String {
+        format!("c:{}", self.text(doc))
+    }
+}
+
+/// A binding table: named columns, row-major.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    pub cols: Vec<String>,
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    pub fn new(cols: Vec<String>) -> Self {
+        Table {
+            cols,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn col_index(&self, name: &str) -> Result<usize> {
+        self.cols
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| CoreError::Algebra {
+                msg: format!("unknown column '{name}' (have: {})", self.cols.join(", ")),
+            })
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Logical/physical plan nodes. The same enum serves both roles; the
+/// optimizer rewrites within it (e.g. `Product`+`Filter` → `HashJoin`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// All elements with a tag (None = every element), as column `out`.
+    Scan { name: Option<String>, out: String },
+    /// Children (or descendants when `deep`) of `col` matching `test`.
+    Child {
+        input: Box<Plan>,
+        col: String,
+        test: Option<String>,
+        deep: bool,
+        out: String,
+    },
+    /// Attribute value of `col` (rows without the attribute are dropped).
+    Attr {
+        input: Box<Plan>,
+        col: String,
+        attr: String,
+        out: String,
+    },
+    /// Text content of `col` (rows whose element has no text child drop).
+    Text {
+        input: Box<Plan>,
+        col: String,
+        out: String,
+    },
+    /// Keep rows where `pred` holds on the string value of `col`.
+    Filter {
+        input: Box<Plan>,
+        col: String,
+        pred: Predicate,
+    },
+    /// Keep rows of `input` whose `col` element has no child matching
+    /// `test` (single-level negation).
+    NotExistsChild {
+        input: Box<Plan>,
+        col: String,
+        test: String,
+    },
+    /// Cartesian product.
+    Product { left: Box<Plan>, right: Box<Plan> },
+    /// Equi-join on content keys.
+    HashJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        lcol: String,
+        rcol: String,
+    },
+    /// The same join computed by nested loops (ablation baseline).
+    NestedLoopJoin {
+        left: Box<Plan>,
+        right: Box<Plan>,
+        lcol: String,
+        rcol: String,
+    },
+    /// Keep a subset of columns.
+    Project { input: Box<Plan>, cols: Vec<String> },
+    /// Drop duplicate rows (by identity keys).
+    Distinct { input: Box<Plan> },
+    /// Group by `keys`, aggregate `func` over `col` into column `out`
+    /// (count works on any cells; the numeric functions coerce).
+    Aggregate {
+        input: Box<Plan>,
+        keys: Vec<String>,
+        func: AggFunc,
+        col: String,
+        out: String,
+    },
+}
+
+impl Plan {
+    /// Column names this plan produces, in order.
+    pub fn columns(&self) -> Vec<String> {
+        match self {
+            Plan::Scan { out, .. } => vec![out.clone()],
+            Plan::Child { input, out, .. }
+            | Plan::Attr { input, out, .. }
+            | Plan::Text { input, out, .. } => {
+                let mut c = input.columns();
+                c.push(out.clone());
+                c
+            }
+            Plan::Filter { input, .. }
+            | Plan::NotExistsChild { input, .. }
+            | Plan::Distinct { input } => input.columns(),
+            Plan::Product { left, right }
+            | Plan::HashJoin { left, right, .. }
+            | Plan::NestedLoopJoin { left, right, .. } => {
+                let mut c = left.columns();
+                c.extend(right.columns());
+                c
+            }
+            Plan::Project { cols, .. } => cols.clone(),
+            Plan::Aggregate { keys, out, .. } => {
+                let mut c = keys.clone();
+                c.push(out.clone());
+                c
+            }
+        }
+    }
+
+    /// Number of operators (plan size metric for the harness).
+    pub fn size(&self) -> usize {
+        1 + match self {
+            Plan::Scan { .. } => 0,
+            Plan::Child { input, .. }
+            | Plan::Attr { input, .. }
+            | Plan::Text { input, .. }
+            | Plan::Filter { input, .. }
+            | Plan::NotExistsChild { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. } => input.size(),
+            Plan::Product { left, right }
+            | Plan::HashJoin { left, right, .. }
+            | Plan::NestedLoopJoin { left, right, .. } => left.size() + right.size(),
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(p: &Plan, indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            for _ in 0..indent {
+                write!(f, "  ")?;
+            }
+            match p {
+                Plan::Scan { name, out } => {
+                    writeln!(f, "Scan[{}→{out}]", name.as_deref().unwrap_or("*"))
+                }
+                Plan::Child {
+                    input,
+                    col,
+                    test,
+                    deep,
+                    out,
+                } => {
+                    writeln!(
+                        f,
+                        "{}[{col}/{}→{out}]",
+                        if *deep { "Desc" } else { "Child" },
+                        test.as_deref().unwrap_or("*")
+                    )?;
+                    go(input, indent + 1, f)
+                }
+                Plan::Attr {
+                    input,
+                    col,
+                    attr,
+                    out,
+                } => {
+                    writeln!(f, "Attr[{col}@{attr}→{out}]")?;
+                    go(input, indent + 1, f)
+                }
+                Plan::Text { input, col, out } => {
+                    writeln!(f, "Text[{col}→{out}]")?;
+                    go(input, indent + 1, f)
+                }
+                Plan::Filter { input, col, pred } => {
+                    writeln!(f, "Filter[{col} {pred}]")?;
+                    go(input, indent + 1, f)
+                }
+                Plan::NotExistsChild { input, col, test } => {
+                    writeln!(f, "NotExistsChild[{col}/{test}]")?;
+                    go(input, indent + 1, f)
+                }
+                Plan::Product { left, right } => {
+                    writeln!(f, "Product")?;
+                    go(left, indent + 1, f)?;
+                    go(right, indent + 1, f)
+                }
+                Plan::HashJoin {
+                    left,
+                    right,
+                    lcol,
+                    rcol,
+                } => {
+                    writeln!(f, "HashJoin[{lcol}={rcol}]")?;
+                    go(left, indent + 1, f)?;
+                    go(right, indent + 1, f)
+                }
+                Plan::NestedLoopJoin {
+                    left,
+                    right,
+                    lcol,
+                    rcol,
+                } => {
+                    writeln!(f, "NestedLoopJoin[{lcol}={rcol}]")?;
+                    go(left, indent + 1, f)?;
+                    go(right, indent + 1, f)
+                }
+                Plan::Project { input, cols } => {
+                    writeln!(f, "Project[{}]", cols.join(","))?;
+                    go(input, indent + 1, f)
+                }
+                Plan::Distinct { input } => {
+                    writeln!(f, "Distinct")?;
+                    go(input, indent + 1, f)
+                }
+                Plan::Aggregate {
+                    input,
+                    keys,
+                    func,
+                    col,
+                    out,
+                } => {
+                    writeln!(
+                        f,
+                        "Aggregate[{}({col})→{out} by {}]",
+                        func.name(),
+                        keys.join(",")
+                    )?;
+                    go(input, indent + 1, f)
+                }
+            }
+        }
+        go(self, 0, f)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Interpreter
+// ----------------------------------------------------------------------
+
+/// Execute a plan against a document.
+pub fn execute(plan: &Plan, doc: &Document) -> Result<Table> {
+    match plan {
+        Plan::Scan { name, out } => {
+            let mut t = Table::new(vec![out.clone()]);
+            let iter: Box<dyn Iterator<Item = NodeId>> = match name {
+                Some(n) => Box::new(doc.elements_named(n)),
+                None => Box::new(
+                    doc.descendants(doc.root())
+                        .filter(|&n| doc.kind(n) == NodeKind::Element),
+                ),
+            };
+            for n in iter {
+                t.rows.push(vec![Cell::Node(n)]);
+            }
+            Ok(t)
+        }
+        Plan::Child {
+            input,
+            col,
+            test,
+            deep,
+            out,
+        } => {
+            let t = execute(input, doc)?;
+            let ci = t.col_index(col)?;
+            let mut result = Table::new({
+                let mut c = t.cols.clone();
+                c.push(out.clone());
+                c
+            });
+            for row in &t.rows {
+                let Cell::Node(n) = &row[ci] else {
+                    return Err(CoreError::Algebra {
+                        msg: format!("Child navigation over non-node column '{col}'"),
+                    });
+                };
+                let matches = |doc: &Document, c: NodeId| {
+                    doc.kind(c) == NodeKind::Element
+                        && test.as_deref().is_none_or(|t| doc.name(c) == Some(t))
+                };
+                if *deep {
+                    for c in doc.descendants(*n) {
+                        if matches(doc, c) {
+                            let mut r = row.clone();
+                            r.push(Cell::Node(c));
+                            result.rows.push(r);
+                        }
+                    }
+                } else {
+                    for c in doc.child_elements(*n) {
+                        if matches(doc, c) {
+                            let mut r = row.clone();
+                            r.push(Cell::Node(c));
+                            result.rows.push(r);
+                        }
+                    }
+                }
+            }
+            Ok(result)
+        }
+        Plan::Attr {
+            input,
+            col,
+            attr,
+            out,
+        } => {
+            let t = execute(input, doc)?;
+            let ci = t.col_index(col)?;
+            let mut result = Table::new({
+                let mut c = t.cols.clone();
+                c.push(out.clone());
+                c
+            });
+            for row in &t.rows {
+                let Cell::Node(n) = &row[ci] else {
+                    return Err(CoreError::Algebra {
+                        msg: format!("Attr navigation over non-node column '{col}'"),
+                    });
+                };
+                if let Some(v) = doc.attr(*n, attr) {
+                    let mut r = row.clone();
+                    r.push(Cell::Text(v.to_string()));
+                    result.rows.push(r);
+                }
+            }
+            Ok(result)
+        }
+        Plan::Text { input, col, out } => {
+            let t = execute(input, doc)?;
+            let ci = t.col_index(col)?;
+            let mut result = Table::new({
+                let mut c = t.cols.clone();
+                c.push(out.clone());
+                c
+            });
+            for row in &t.rows {
+                let Cell::Node(n) = &row[ci] else {
+                    return Err(CoreError::Algebra {
+                        msg: format!("Text navigation over non-node column '{col}'"),
+                    });
+                };
+                let has_text = doc
+                    .children(*n)
+                    .iter()
+                    .any(|&c| doc.kind(c) == NodeKind::Text);
+                if has_text {
+                    let mut r = row.clone();
+                    r.push(Cell::Text(doc.text_content(*n)));
+                    result.rows.push(r);
+                }
+            }
+            Ok(result)
+        }
+        Plan::Filter { input, col, pred } => {
+            let mut t = execute(input, doc)?;
+            let ci = t.col_index(col)?;
+            t.rows.retain(|row| pred.eval(&row[ci].text(doc)));
+            Ok(t)
+        }
+        Plan::NotExistsChild { input, col, test } => {
+            let mut t = execute(input, doc)?;
+            let ci = t.col_index(col)?;
+            t.rows.retain(|row| {
+                let Cell::Node(n) = &row[ci] else {
+                    return false;
+                };
+                !doc.child_elements(*n)
+                    .any(|c| doc.name(c) == Some(test.as_str()))
+            });
+            Ok(t)
+        }
+        Plan::Product { left, right } => {
+            let l = execute(left, doc)?;
+            let r = execute(right, doc)?;
+            let mut result = Table::new({
+                let mut c = l.cols.clone();
+                c.extend(r.cols.clone());
+                c
+            });
+            for lr in &l.rows {
+                for rr in &r.rows {
+                    let mut row = lr.clone();
+                    row.extend(rr.clone());
+                    result.rows.push(row);
+                }
+            }
+            Ok(result)
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => {
+            let l = execute(left, doc)?;
+            let r = execute(right, doc)?;
+            let li = l.col_index(lcol)?;
+            let ri = r.col_index(rcol)?;
+            let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+            for (i, row) in r.rows.iter().enumerate() {
+                index.entry(row[ri].content_key(doc)).or_default().push(i);
+            }
+            let mut result = Table::new({
+                let mut c = l.cols.clone();
+                c.extend(r.cols.clone());
+                c
+            });
+            for lr in &l.rows {
+                if let Some(matches) = index.get(&lr[li].content_key(doc)) {
+                    for &m in matches {
+                        let mut row = lr.clone();
+                        row.extend(r.rows[m].clone());
+                        result.rows.push(row);
+                    }
+                }
+            }
+            Ok(result)
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => {
+            let l = execute(left, doc)?;
+            let r = execute(right, doc)?;
+            let li = l.col_index(lcol)?;
+            let ri = r.col_index(rcol)?;
+            let mut result = Table::new({
+                let mut c = l.cols.clone();
+                c.extend(r.cols.clone());
+                c
+            });
+            // Key the right side once; the loop still compares per pair (the
+            // point of the ablation baseline) but no longer re-walks each
+            // right subtree per left row.
+            let right_keys: Vec<String> =
+                r.rows.iter().map(|rr| rr[ri].content_key(doc)).collect();
+            for lr in &l.rows {
+                let lk = lr[li].content_key(doc);
+                for (rr, rk) in r.rows.iter().zip(&right_keys) {
+                    if *rk == lk {
+                        let mut row = lr.clone();
+                        row.extend(rr.clone());
+                        result.rows.push(row);
+                    }
+                }
+            }
+            Ok(result)
+        }
+        Plan::Project { input, cols } => {
+            let t = execute(input, doc)?;
+            let idx: Vec<usize> = cols.iter().map(|c| t.col_index(c)).collect::<Result<_>>()?;
+            let mut result = Table::new(cols.clone());
+            for row in &t.rows {
+                result
+                    .rows
+                    .push(idx.iter().map(|&i| row[i].clone()).collect());
+            }
+            Ok(result)
+        }
+        Plan::Distinct { input } => {
+            let t = execute(input, doc)?;
+            let mut seen = std::collections::HashSet::new();
+            let mut result = Table::new(t.cols.clone());
+            for row in &t.rows {
+                let key: Vec<String> = row.iter().map(|c| c.key(doc)).collect();
+                if seen.insert(key.join("\u{1}")) {
+                    result.rows.push(row.clone());
+                }
+            }
+            Ok(result)
+        }
+        Plan::Aggregate {
+            input,
+            keys,
+            func,
+            col,
+            out,
+        } => {
+            let t = execute(input, doc)?;
+            let kidx: Vec<usize> = keys.iter().map(|c| t.col_index(c)).collect::<Result<_>>()?;
+            let ci = t.col_index(col)?;
+            let mut order: Vec<String> = Vec::new();
+            let mut groups: HashMap<String, (Vec<Cell>, Vec<f64>, usize)> = HashMap::new();
+            for row in &t.rows {
+                let key_cells: Vec<Cell> = kidx.iter().map(|&i| row[i].clone()).collect();
+                let key: String = key_cells
+                    .iter()
+                    .map(|c| c.key(doc))
+                    .collect::<Vec<_>>()
+                    .join("\u{1}");
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    (key_cells, Vec::new(), 0)
+                });
+                entry.2 += 1;
+                if *func != AggFunc::Count {
+                    let text = row[ci].text(doc);
+                    let n =
+                        gql_ssdm::value::parse_number(&text).ok_or_else(|| CoreError::Algebra {
+                            msg: format!("{}() over non-number {text:?}", func.name()),
+                        })?;
+                    entry.1.push(n);
+                }
+            }
+            let mut result = Table::new({
+                let mut c = keys.clone();
+                c.push(out.clone());
+                c
+            });
+            for key in order {
+                let (key_cells, nums, count) = groups.remove(&key).expect("key recorded");
+                let value = match func {
+                    AggFunc::Count => count as f64,
+                    AggFunc::Sum => nums.iter().sum(),
+                    AggFunc::Min => nums.iter().copied().fold(f64::INFINITY, f64::min),
+                    AggFunc::Max => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    AggFunc::Avg => nums.iter().sum::<f64>() / nums.len().max(1) as f64,
+                };
+                let mut row = key_cells;
+                row.push(Cell::Num(value));
+                result.rows.push(row);
+            }
+            Ok(result)
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Optimizer
+// ----------------------------------------------------------------------
+
+/// Rewrite a plan with the standard rules:
+///
+/// 1. `NestedLoopJoin` → `HashJoin`;
+/// 2. `Product` under a later equality `Filter` is *not* detected here (the
+///    compiler emits joins directly); instead `Product` with one tiny side
+///    stays, larger sides are swapped so the smaller one is enumerated
+///    outermost;
+/// 3. `Filter` pushdown: filters commute with navigation steps and joins
+///    whenever their column is produced below.
+pub fn optimize(plan: &Plan) -> Plan {
+    let p = push_filters(plan.clone());
+    rewrite_joins(p)
+}
+
+fn rewrite_joins(p: Plan) -> Plan {
+    match p {
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => Plan::HashJoin {
+            left: Box::new(rewrite_joins(*left)),
+            right: Box::new(rewrite_joins(*right)),
+            lcol,
+            rcol,
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => Plan::HashJoin {
+            left: Box::new(rewrite_joins(*left)),
+            right: Box::new(rewrite_joins(*right)),
+            lcol,
+            rcol,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: Box::new(rewrite_joins(*left)),
+            right: Box::new(rewrite_joins(*right)),
+        },
+        Plan::Child {
+            input,
+            col,
+            test,
+            deep,
+            out,
+        } => Plan::Child {
+            input: Box::new(rewrite_joins(*input)),
+            col,
+            test,
+            deep,
+            out,
+        },
+        Plan::Attr {
+            input,
+            col,
+            attr,
+            out,
+        } => Plan::Attr {
+            input: Box::new(rewrite_joins(*input)),
+            col,
+            attr,
+            out,
+        },
+        Plan::Text { input, col, out } => Plan::Text {
+            input: Box::new(rewrite_joins(*input)),
+            col,
+            out,
+        },
+        Plan::Filter { input, col, pred } => Plan::Filter {
+            input: Box::new(rewrite_joins(*input)),
+            col,
+            pred,
+        },
+        Plan::NotExistsChild { input, col, test } => Plan::NotExistsChild {
+            input: Box::new(rewrite_joins(*input)),
+            col,
+            test,
+        },
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(rewrite_joins(*input)),
+            cols,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(rewrite_joins(*input)),
+        },
+        Plan::Aggregate {
+            input,
+            keys,
+            func,
+            col,
+            out,
+        } => Plan::Aggregate {
+            input: Box::new(rewrite_joins(*input)),
+            keys,
+            func,
+            col,
+            out,
+        },
+        scan @ Plan::Scan { .. } => scan,
+    }
+}
+
+/// Push every filter as deep as its column allows.
+fn push_filters(p: Plan) -> Plan {
+    match p {
+        Plan::Filter { input, col, pred } => {
+            let pushed = push_filters(*input);
+            push_one_filter(pushed, col, pred)
+        }
+        Plan::Child {
+            input,
+            col,
+            test,
+            deep,
+            out,
+        } => Plan::Child {
+            input: Box::new(push_filters(*input)),
+            col,
+            test,
+            deep,
+            out,
+        },
+        Plan::Attr {
+            input,
+            col,
+            attr,
+            out,
+        } => Plan::Attr {
+            input: Box::new(push_filters(*input)),
+            col,
+            attr,
+            out,
+        },
+        Plan::Text { input, col, out } => Plan::Text {
+            input: Box::new(push_filters(*input)),
+            col,
+            out,
+        },
+        Plan::NotExistsChild { input, col, test } => Plan::NotExistsChild {
+            input: Box::new(push_filters(*input)),
+            col,
+            test,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => Plan::HashJoin {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+            lcol,
+            rcol,
+        },
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => Plan::NestedLoopJoin {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+            lcol,
+            rcol,
+        },
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(push_filters(*input)),
+            cols,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(push_filters(*input)),
+        },
+        Plan::Aggregate {
+            input,
+            keys,
+            func,
+            col,
+            out,
+        } => Plan::Aggregate {
+            input: Box::new(push_filters(*input)),
+            keys,
+            func,
+            col,
+            out,
+        },
+        scan @ Plan::Scan { .. } => scan,
+    }
+}
+
+/// Push a single filter into `plan` as deep as possible.
+fn push_one_filter(plan: Plan, col: String, pred: Predicate) -> Plan {
+    match plan {
+        // Through binary operators, into the side that has the column.
+        Plan::Product { left, right } => {
+            if left.columns().contains(&col) {
+                Plan::Product {
+                    left: Box::new(push_one_filter(*left, col, pred)),
+                    right,
+                }
+            } else if right.columns().contains(&col) {
+                Plan::Product {
+                    left,
+                    right: Box::new(push_one_filter(*right, col, pred)),
+                }
+            } else {
+                Plan::Filter {
+                    input: Box::new(Plan::Product { left, right }),
+                    col,
+                    pred,
+                }
+            }
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => {
+            if left.columns().contains(&col) {
+                Plan::HashJoin {
+                    left: Box::new(push_one_filter(*left, col, pred)),
+                    right,
+                    lcol,
+                    rcol,
+                }
+            } else if right.columns().contains(&col) {
+                Plan::HashJoin {
+                    left,
+                    right: Box::new(push_one_filter(*right, col, pred)),
+                    lcol,
+                    rcol,
+                }
+            } else {
+                Plan::Filter {
+                    input: Box::new(Plan::HashJoin {
+                        left,
+                        right,
+                        lcol,
+                        rcol,
+                    }),
+                    col,
+                    pred,
+                }
+            }
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => {
+            if left.columns().contains(&col) {
+                Plan::NestedLoopJoin {
+                    left: Box::new(push_one_filter(*left, col, pred)),
+                    right,
+                    lcol,
+                    rcol,
+                }
+            } else if right.columns().contains(&col) {
+                Plan::NestedLoopJoin {
+                    left,
+                    right: Box::new(push_one_filter(*right, col, pred)),
+                    lcol,
+                    rcol,
+                }
+            } else {
+                Plan::Filter {
+                    input: Box::new(Plan::NestedLoopJoin {
+                        left,
+                        right,
+                        lcol,
+                        rcol,
+                    }),
+                    col,
+                    pred,
+                }
+            }
+        }
+        // Through unary operators that do not produce the filtered column.
+        Plan::Child {
+            input,
+            col: ncol,
+            test,
+            deep,
+            out,
+        } if out != col => Plan::Child {
+            input: Box::new(push_one_filter(*input, col, pred)),
+            col: ncol,
+            test,
+            deep,
+            out,
+        },
+        Plan::Attr {
+            input,
+            col: ncol,
+            attr,
+            out,
+        } if out != col => Plan::Attr {
+            input: Box::new(push_one_filter(*input, col, pred)),
+            col: ncol,
+            attr,
+            out,
+        },
+        Plan::Text {
+            input,
+            col: ncol,
+            out,
+        } if out != col => Plan::Text {
+            input: Box::new(push_one_filter(*input, col, pred)),
+            col: ncol,
+            out,
+        },
+        Plan::NotExistsChild {
+            input,
+            col: ncol,
+            test,
+        } => Plan::NotExistsChild {
+            input: Box::new(push_one_filter(*input, col, pred)),
+            col: ncol,
+            test,
+        },
+        // Otherwise the filter stays here.
+        other => Plan::Filter {
+            input: Box::new(other),
+            col,
+            pred,
+        },
+    }
+}
+
+/// The inverse-of-optimization baseline for the ablation: hash joins become
+/// nested loops and every filter is hoisted to the top of the plan. The
+/// result computes the same table (filters commute with the other
+/// operators), the way a naive compiler would emit it.
+pub fn deoptimize(plan: &Plan) -> Plan {
+    let mut filters: Vec<(String, Predicate)> = Vec::new();
+    let stripped = strip(plan.clone(), &mut filters);
+    let mut p = stripped;
+    for (col, pred) in filters {
+        p = Plan::Filter {
+            input: Box::new(p),
+            col,
+            pred,
+        };
+    }
+    p
+}
+
+fn strip(p: Plan, filters: &mut Vec<(String, Predicate)>) -> Plan {
+    match p {
+        Plan::Filter { input, col, pred } => {
+            filters.push((col, pred));
+            strip(*input, filters)
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        }
+        | Plan::NestedLoopJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => Plan::NestedLoopJoin {
+            left: Box::new(strip(*left, filters)),
+            right: Box::new(strip(*right, filters)),
+            lcol,
+            rcol,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: Box::new(strip(*left, filters)),
+            right: Box::new(strip(*right, filters)),
+        },
+        Plan::Child {
+            input,
+            col,
+            test,
+            deep,
+            out,
+        } => Plan::Child {
+            input: Box::new(strip(*input, filters)),
+            col,
+            test,
+            deep,
+            out,
+        },
+        Plan::Attr {
+            input,
+            col,
+            attr,
+            out,
+        } => Plan::Attr {
+            input: Box::new(strip(*input, filters)),
+            col,
+            attr,
+            out,
+        },
+        Plan::Text { input, col, out } => Plan::Text {
+            input: Box::new(strip(*input, filters)),
+            col,
+            out,
+        },
+        Plan::NotExistsChild { input, col, test } => Plan::NotExistsChild {
+            input: Box::new(strip(*input, filters)),
+            col,
+            test,
+        },
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(strip(*input, filters)),
+            cols,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(strip(*input, filters)),
+        },
+        Plan::Aggregate {
+            input,
+            keys,
+            func,
+            col,
+            out,
+        } => Plan::Aggregate {
+            input: Box::new(strip(*input, filters)),
+            keys,
+            func,
+            col,
+            out,
+        },
+        scan @ Plan::Scan { .. } => scan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_xmlgl::ast::CmpOp;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<bib>\
+               <book year='1994'><title>TCP/IP</title><price>65.95</price></book>\
+               <book year='2000'><title>Data on the Web</title><price>39.95</price></book>\
+               <book year='2000'><title>XML Handbook</title><price>39.95</price></book>\
+               <article year='2000'><title>XML-GL</title></article>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    fn scan(name: &str, out: &str) -> Plan {
+        Plan::Scan {
+            name: Some(name.into()),
+            out: out.into(),
+        }
+    }
+
+    #[test]
+    fn scan_and_child() {
+        let d = doc();
+        let plan = Plan::Child {
+            input: Box::new(scan("book", "b")),
+            col: "b".into(),
+            test: Some("title".into()),
+            deep: false,
+            out: "t".into(),
+        };
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.cols, vec!["b", "t"]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn deep_child_and_wildcard_scan() {
+        let d = doc();
+        let plan = Plan::Child {
+            input: Box::new(Plan::Scan {
+                name: None,
+                out: "x".into(),
+            }),
+            col: "x".into(),
+            test: Some("title".into()),
+            deep: true,
+            out: "t".into(),
+        };
+        let t = execute(&plan, &d).unwrap();
+        // Every ancestor (bib, book/article) reaches each title once:
+        // bib→4 titles, book→1 each (3), article→1 → 8 rows.
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn attr_and_filter() {
+        let d = doc();
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Attr {
+                input: Box::new(scan("book", "b")),
+                col: "b".into(),
+                attr: "year".into(),
+                out: "y".into(),
+            }),
+            col: "y".into(),
+            pred: Predicate::cmp(CmpOp::Ge, "2000"),
+        };
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn text_step_drops_textless() {
+        let d = doc();
+        let plan = Plan::Text {
+            input: Box::new(scan("book", "b")),
+            col: "b".into(),
+            out: "s".into(),
+        };
+        // Books have no direct text children (only elements).
+        assert_eq!(execute(&plan, &d).unwrap().len(), 0);
+        let titles = Plan::Text {
+            input: Box::new(scan("title", "t")),
+            col: "t".into(),
+            out: "s".into(),
+        };
+        assert_eq!(execute(&titles, &d).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn joins_agree() {
+        let d = doc();
+        // Self-join books on price text.
+        let left = Plan::Text {
+            input: Box::new(Plan::Child {
+                input: Box::new(scan("book", "b1")),
+                col: "b1".into(),
+                test: Some("price".into()),
+                deep: false,
+                out: "p1".into(),
+            }),
+            col: "p1".into(),
+            out: "v1".into(),
+        };
+        let right = Plan::Text {
+            input: Box::new(Plan::Child {
+                input: Box::new(scan("book", "b2")),
+                col: "b2".into(),
+                test: Some("price".into()),
+                deep: false,
+                out: "p2".into(),
+            }),
+            col: "p2".into(),
+            out: "v2".into(),
+        };
+        let hash = Plan::HashJoin {
+            left: Box::new(left.clone()),
+            right: Box::new(right.clone()),
+            lcol: "v1".into(),
+            rcol: "v2".into(),
+        };
+        let nl = Plan::NestedLoopJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            lcol: "v1".into(),
+            rcol: "v2".into(),
+        };
+        let th = execute(&hash, &d).unwrap();
+        let tn = execute(&nl, &d).unwrap();
+        // 1 (65.95 with itself) + 4 (two 39.95 books × each other) = 5.
+        assert_eq!(th.len(), 5);
+        assert_eq!(th.len(), tn.len());
+    }
+
+    #[test]
+    fn not_exists_child() {
+        let d = doc();
+        let plan = Plan::NotExistsChild {
+            input: Box::new(Plan::Scan {
+                name: None,
+                out: "x".into(),
+            }),
+            col: "x".into(),
+            test: "price".into(),
+        };
+        let t = execute(&plan, &d).unwrap();
+        // Elements without a price child: bib, article, 4 titles, 3 prices.
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn project_distinct() {
+        let d = doc();
+        let plan = Plan::Distinct {
+            input: Box::new(Plan::Project {
+                input: Box::new(Plan::Text {
+                    input: Box::new(scan("price", "p")),
+                    col: "p".into(),
+                    out: "v".into(),
+                }),
+                cols: vec!["v".into()],
+            }),
+        };
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.len(), 2); // 65.95 and 39.95
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let d = doc();
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Text {
+                input: Box::new(Plan::Child {
+                    input: Box::new(Plan::Attr {
+                        input: Box::new(scan("book", "b")),
+                        col: "b".into(),
+                        attr: "year".into(),
+                        out: "y".into(),
+                    }),
+                    col: "b".into(),
+                    test: Some("price".into()),
+                    deep: false,
+                    out: "p".into(),
+                }),
+                col: "p".into(),
+                out: "v".into(),
+            }),
+            keys: vec!["y".into()],
+            func: AggFunc::Sum,
+            col: "v".into(),
+            out: "total".into(),
+        };
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.len(), 2);
+        let total_2000 = t
+            .rows
+            .iter()
+            .find(|r| r[0].text(&d) == "2000")
+            .map(|r| match &r[1] {
+                Cell::Num(n) => *n,
+                other => panic!("unexpected {other:?}"),
+            })
+            .unwrap();
+        assert!((total_2000 - 79.90).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_count_over_nonnumbers() {
+        let d = doc();
+        let plan = Plan::Aggregate {
+            input: Box::new(scan("book", "b")),
+            keys: vec![],
+            func: AggFunc::Count,
+            col: "b".into(),
+            out: "n".into(),
+        };
+        let t = execute(&plan, &d).unwrap();
+        assert_eq!(t.rows[0], vec![Cell::Num(3.0)]);
+        // Numeric aggregate over nodes fails cleanly.
+        let bad = Plan::Aggregate {
+            input: Box::new(scan("book", "b")),
+            keys: vec![],
+            func: AggFunc::Sum,
+            col: "b".into(),
+            out: "n".into(),
+        };
+        assert!(execute(&bad, &d).is_err());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let d = doc();
+        let plan = Plan::Filter {
+            input: Box::new(scan("book", "b")),
+            col: "zzz".into(),
+            pred: Predicate::always(),
+        };
+        let err = execute(&plan, &d).unwrap_err();
+        assert!(err.to_string().contains("zzz"));
+    }
+
+    #[test]
+    fn optimizer_pushes_filters_below_joins() {
+        let d = doc();
+        let unopt = Plan::Filter {
+            input: Box::new(Plan::NestedLoopJoin {
+                left: Box::new(Plan::Attr {
+                    input: Box::new(scan("book", "b1")),
+                    col: "b1".into(),
+                    attr: "year".into(),
+                    out: "y1".into(),
+                }),
+                right: Box::new(Plan::Attr {
+                    input: Box::new(scan("book", "b2")),
+                    col: "b2".into(),
+                    attr: "year".into(),
+                    out: "y2".into(),
+                }),
+                lcol: "y1".into(),
+                rcol: "y2".into(),
+            }),
+            col: "y1".into(),
+            pred: Predicate::cmp(CmpOp::Eq, "2000"),
+        };
+        let opt = optimize(&unopt);
+        // Same answers.
+        let a = execute(&unopt, &d).unwrap();
+        let b = execute(&opt, &d).unwrap();
+        assert_eq!(a.len(), b.len());
+        // The filter sits under the join, and the join became a hash join.
+        match &opt {
+            Plan::HashJoin { left, .. } => {
+                assert!(
+                    matches!(**left, Plan::Attr { ref input, .. } if matches!(**input, Plan::Filter { .. }))
+                        || matches!(**left, Plan::Filter { .. }),
+                    "filter not pushed: {opt}"
+                );
+            }
+            other => panic!("expected HashJoin at root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn plan_display_and_size() {
+        let p = Plan::Filter {
+            input: Box::new(scan("book", "b")),
+            col: "b".into(),
+            pred: Predicate::cmp(CmpOp::Eq, "x"),
+        };
+        assert_eq!(p.size(), 2);
+        let s = p.to_string();
+        assert!(s.contains("Filter"));
+        assert!(s.contains("Scan[book→b]"));
+    }
+
+    #[test]
+    fn columns_tracking() {
+        let p = Plan::Aggregate {
+            input: Box::new(scan("book", "b")),
+            keys: vec!["b".into()],
+            func: AggFunc::Count,
+            col: "b".into(),
+            out: "n".into(),
+        };
+        assert_eq!(p.columns(), vec!["b", "n"]);
+    }
+
+    #[test]
+    fn deoptimize_roundtrip() {
+        let d = doc();
+        let plan = Plan::Filter {
+            input: Box::new(Plan::HashJoin {
+                left: Box::new(Plan::Attr {
+                    input: Box::new(scan("book", "b1")),
+                    col: "b1".into(),
+                    attr: "year".into(),
+                    out: "y1".into(),
+                }),
+                right: Box::new(Plan::Attr {
+                    input: Box::new(scan("book", "b2")),
+                    col: "b2".into(),
+                    attr: "year".into(),
+                    out: "y2".into(),
+                }),
+                lcol: "y1".into(),
+                rcol: "y2".into(),
+            }),
+            col: "y1".into(),
+            pred: Predicate::cmp(CmpOp::Eq, "2000"),
+        };
+        let de = deoptimize(&plan);
+        // Same result, nested-loop join, filter at top.
+        assert!(matches!(de, Plan::Filter { .. }));
+        assert_eq!(
+            execute(&plan, &d).unwrap().len(),
+            execute(&de, &d).unwrap().len()
+        );
+        // Re-optimizing restores the hash join.
+        let re = optimize(&de);
+        assert_eq!(
+            execute(&re, &d).unwrap().len(),
+            execute(&plan, &d).unwrap().len()
+        );
+        fn has_hash(p: &Plan) -> bool {
+            match p {
+                Plan::HashJoin { .. } => true,
+                Plan::Filter { input, .. }
+                | Plan::Child { input, .. }
+                | Plan::Attr { input, .. }
+                | Plan::Text { input, .. }
+                | Plan::NotExistsChild { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Distinct { input }
+                | Plan::Aggregate { input, .. } => has_hash(input),
+                Plan::Product { left, right } | Plan::NestedLoopJoin { left, right, .. } => {
+                    has_hash(left) || has_hash(right)
+                }
+                Plan::Scan { .. } => false,
+            }
+        }
+        assert!(has_hash(&re));
+        assert!(!has_hash(&de));
+    }
+}

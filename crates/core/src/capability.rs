@@ -1,0 +1,429 @@
+//! Capability analysis: which language supports which feature.
+//!
+//! Experiment **T1** of the reproduction is the paper's comparison matrix
+//! between WG-Log and XML-GL (we add the XPath baseline as a third column).
+//! Rather than hard-coding the matrix, [`LanguageProfile`] states each
+//! language's supported features next to the code that implements them, and
+//! [`features_of_xmlgl`] / [`features_of_wglog`] analyse *concrete* queries
+//! — so experiment **T2** (which of Q1–Q10 each language expresses) is
+//! computed, not asserted.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use gql_wglog::rule as wg;
+use gql_xmlgl::ast as xg;
+
+/// The feature axes of the comparison matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Feature {
+    /// Selection by element tag / object type.
+    Selection,
+    /// Predicates on values (text, attributes).
+    ValuePredicates,
+    /// Conjunctive multi-branch patterns.
+    Conjunction,
+    /// Disjunction inside predicates.
+    Disjunction,
+    /// Negation ("has no such part").
+    Negation,
+    /// Equality joins on values.
+    ValueJoin,
+    /// Arbitrary-depth matching.
+    DeepMatching,
+    /// Aggregation (count/sum/min/max/avg).
+    Aggregation,
+    /// Restructuring / grouping of results.
+    Restructuring,
+    /// Recursion (fixpoint).
+    Recursion,
+    /// Regular path expressions over edges.
+    RegularPaths,
+    /// Document-order-sensitive matching.
+    OrderedMatching,
+    /// Wildcards over names/types.
+    Wildcards,
+    /// Requires a schema to operate.
+    SchemaRequired,
+    /// Can exploit a schema when present.
+    SchemaAware,
+    /// Update operations (insert/delete/set-attribute on the source).
+    Updates,
+    /// Evaluable over an event stream in constant memory (navigational core).
+    Streaming,
+}
+
+impl Feature {
+    pub const ALL: [Feature; 17] = [
+        Feature::Selection,
+        Feature::ValuePredicates,
+        Feature::Conjunction,
+        Feature::Disjunction,
+        Feature::Negation,
+        Feature::ValueJoin,
+        Feature::DeepMatching,
+        Feature::Aggregation,
+        Feature::Restructuring,
+        Feature::Recursion,
+        Feature::RegularPaths,
+        Feature::OrderedMatching,
+        Feature::Wildcards,
+        Feature::SchemaRequired,
+        Feature::SchemaAware,
+        Feature::Updates,
+        Feature::Streaming,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Feature::Selection => "selection",
+            Feature::ValuePredicates => "value predicates",
+            Feature::Conjunction => "conjunction",
+            Feature::Disjunction => "disjunction",
+            Feature::Negation => "negation",
+            Feature::ValueJoin => "value join",
+            Feature::DeepMatching => "deep matching",
+            Feature::Aggregation => "aggregation",
+            Feature::Restructuring => "restructuring",
+            Feature::Recursion => "recursion",
+            Feature::RegularPaths => "regular paths",
+            Feature::OrderedMatching => "ordered matching",
+            Feature::Wildcards => "wildcards",
+            Feature::SchemaRequired => "schema required",
+            Feature::SchemaAware => "schema aware",
+            Feature::Updates => "updates",
+            Feature::Streaming => "streaming",
+        }
+    }
+}
+
+impl fmt::Display for Feature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A language column of the matrix.
+#[derive(Debug, Clone)]
+pub struct LanguageProfile {
+    pub name: &'static str,
+    pub supported: BTreeSet<Feature>,
+}
+
+impl LanguageProfile {
+    pub fn supports(&self, f: Feature) -> bool {
+        self.supported.contains(&f)
+    }
+
+    /// XML-GL as implemented by `gql-xmlgl`.
+    pub fn xmlgl() -> Self {
+        use Feature::*;
+        LanguageProfile {
+            name: "XML-GL",
+            supported: [
+                Selection,
+                ValuePredicates,
+                Conjunction,
+                Disjunction,
+                Negation,
+                ValueJoin,
+                DeepMatching,
+                Aggregation,
+                Restructuring,
+                OrderedMatching,
+                Wildcards,
+                SchemaAware, // XML-GL can *express* schemas (F3)…
+                // …but never requires one: no SchemaRequired.
+                Updates, // the update extension (gql_xmlgl::update)
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// WG-Log as implemented by `gql-wglog`.
+    pub fn wglog() -> Self {
+        use Feature::*;
+        LanguageProfile {
+            name: "WG-Log",
+            supported: [
+                Selection,
+                ValuePredicates,
+                Conjunction,
+                Negation,
+                Recursion,
+                RegularPaths,
+                Wildcards,
+                Restructuring, // object invention + member edges
+                SchemaRequired,
+                SchemaAware,
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// The XPath 1.0 subset baseline.
+    pub fn xpath() -> Self {
+        use Feature::*;
+        LanguageProfile {
+            name: "XPath",
+            supported: [
+                Selection,
+                ValuePredicates,
+                Conjunction,
+                Disjunction,
+                Negation, // not() in predicates
+                DeepMatching,
+                Aggregation, // count()/sum() as expression results
+                OrderedMatching,
+                Wildcards,
+                Streaming, // the navigational core runs over event streams
+                           // (gql_ssdm::stream::StreamPath)
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// All three columns in presentation order.
+    pub fn all() -> Vec<LanguageProfile> {
+        vec![Self::wglog(), Self::xmlgl(), Self::xpath()]
+    }
+}
+
+/// Features a concrete XML-GL rule uses.
+pub fn features_of_xmlgl(rule: &xg::Rule) -> BTreeSet<Feature> {
+    use Feature::*;
+    let mut out = BTreeSet::new();
+    out.insert(Selection);
+    let g = &rule.extract;
+    if g.roots.len() > 1 || g.nodes.len() > g.roots.len() {
+        out.insert(Conjunction);
+    }
+    if !g.joins.is_empty() {
+        out.insert(ValueJoin);
+    }
+    for (i, n) in g.nodes.iter().enumerate() {
+        if !n.predicate.is_trivial() {
+            out.insert(ValuePredicates);
+            if n.predicate.clauses.iter().any(|c| c.len() > 1) {
+                out.insert(Disjunction);
+            }
+        }
+        if matches!(n.kind, xg::QNodeKind::Element(xg::NameTest::Wildcard)) {
+            out.insert(Wildcards);
+        }
+        if g.ordered[i] {
+            out.insert(OrderedMatching);
+        }
+        for e in &n.children {
+            if e.deep {
+                out.insert(DeepMatching);
+            }
+            if e.negated {
+                out.insert(Negation);
+            }
+        }
+    }
+    for n in &rule.construct.nodes {
+        match &n.kind {
+            xg::CNodeKind::Aggregate { .. } => {
+                out.insert(Aggregation);
+            }
+            xg::CNodeKind::GroupBy { .. } => {
+                out.insert(Restructuring);
+            }
+            xg::CNodeKind::All { .. } | xg::CNodeKind::Copy { .. } => {
+                out.insert(Restructuring);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Features a concrete WG-Log program uses.
+pub fn features_of_wglog(program: &wg::Program) -> BTreeSet<Feature> {
+    use Feature::*;
+    let mut out = BTreeSet::new();
+    out.insert(Selection);
+    // Recursion: some rule observes what some rule (possibly itself,
+    // possibly another) derives — detected via stratification structure.
+    let strata = gql_wglog::eval::stratify(program);
+    if let Ok(strata) = &strata {
+        if strata.iter().any(|s| s.len() > 1) {
+            out.insert(Recursion);
+        }
+    }
+    for rule in &program.rules {
+        let qcount = rule.query_nodes().count();
+        if qcount > 1 {
+            out.insert(Conjunction);
+        }
+        for id in rule.ids() {
+            let n = rule.node(id);
+            if !n.constraints.is_empty() {
+                out.insert(ValuePredicates);
+            }
+            if n.test == wg::TypeTest::Any {
+                out.insert(Wildcards);
+            }
+        }
+        // Self-recursion within one rule.
+        let produced: Vec<&str> = rule
+            .edges
+            .iter()
+            .filter(|e| e.color == wg::Color::Construct)
+            .filter_map(|e| match &e.label {
+                wg::LabelTest::Label(l) => Some(l.as_str()),
+                _ => None,
+            })
+            .collect();
+        for e in &rule.edges {
+            match e.color {
+                wg::Color::Query => {
+                    if e.negated {
+                        out.insert(Negation);
+                    }
+                    match &e.label {
+                        wg::LabelTest::Regex(_) => {
+                            out.insert(RegularPaths);
+                        }
+                        wg::LabelTest::Any => {
+                            out.insert(Wildcards);
+                        }
+                        wg::LabelTest::Label(l) => {
+                            if produced.contains(&l.as_str()) {
+                                out.insert(Recursion);
+                            }
+                        }
+                    }
+                }
+                wg::Color::Construct => {}
+            }
+        }
+        if rule.construct_nodes().next().is_some() {
+            out.insert(Restructuring);
+        }
+    }
+    out
+}
+
+/// Can a language (by profile) express a query that uses `features`?
+pub fn expressible(profile: &LanguageProfile, features: &BTreeSet<Feature>) -> bool {
+    features.iter().all(|f| {
+        profile.supports(*f) || *f == Feature::SchemaAware || *f == Feature::SchemaRequired
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_wglog::rule::RuleBuilder as WgBuilder;
+    use gql_xmlgl::ast::{AggFunc, CmpOp};
+    use gql_xmlgl::builder::{RuleBuilder, C, Q};
+
+    #[test]
+    fn profiles_reflect_the_papers_headline_differences() {
+        let xmlgl = LanguageProfile::xmlgl();
+        let wglog = LanguageProfile::wglog();
+        // The two headline asymmetries of the comparison:
+        assert!(xmlgl.supports(Feature::ValueJoin) && !wglog.supports(Feature::ValueJoin));
+        assert!(wglog.supports(Feature::Recursion) && !xmlgl.supports(Feature::Recursion));
+        // Schema stance.
+        assert!(wglog.supports(Feature::SchemaRequired));
+        assert!(!xmlgl.supports(Feature::SchemaRequired));
+        assert!(xmlgl.supports(Feature::SchemaAware));
+        // Aggregation.
+        assert!(xmlgl.supports(Feature::Aggregation) && !wglog.supports(Feature::Aggregation));
+    }
+
+    #[test]
+    fn xmlgl_feature_analysis() {
+        let rule = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .var("b")
+                    .child(
+                        Q::attr("year")
+                            .pred(CmpOp::Ge, "1999")
+                            .or_pred(CmpOp::Eq, "1990"),
+                    )
+                    .deep_child(Q::elem("last").var("l"))
+                    .without(Q::elem("errata")),
+            )
+            .construct(C::elem("out").child(C::agg(AggFunc::Count, "b")))
+            .build()
+            .unwrap();
+        let f = features_of_xmlgl(&rule);
+        for expected in [
+            Feature::Selection,
+            Feature::ValuePredicates,
+            Feature::Disjunction,
+            Feature::DeepMatching,
+            Feature::Negation,
+            Feature::Conjunction,
+            Feature::Aggregation,
+        ] {
+            assert!(f.contains(&expected), "missing {expected}");
+        }
+        assert!(!f.contains(&Feature::Recursion));
+        assert!(!f.contains(&Feature::ValueJoin));
+    }
+
+    #[test]
+    fn wglog_feature_analysis_detects_recursion() {
+        let base = WgBuilder::new()
+            .query_node("a", "doc")
+            .query_node("b", "doc")
+            .query_edge("a", "link", "b")
+            .unwrap()
+            .construct_edge("a", "reach", "b")
+            .unwrap()
+            .build()
+            .unwrap();
+        let step = WgBuilder::new()
+            .query_node("a", "doc")
+            .query_node("b", "doc")
+            .query_node("c", "doc")
+            .query_edge("a", "reach", "b")
+            .unwrap()
+            .query_edge("b", "link", "c")
+            .unwrap()
+            .construct_edge("a", "reach", "c")
+            .unwrap()
+            .build()
+            .unwrap();
+        let p = wg::Program {
+            rules: vec![base, step],
+            goal: None,
+        };
+        let f = features_of_wglog(&p);
+        assert!(f.contains(&Feature::Recursion));
+        assert!(f.contains(&Feature::Conjunction));
+    }
+
+    #[test]
+    fn expressibility_checks() {
+        let xmlgl = LanguageProfile::xmlgl();
+        let wglog = LanguageProfile::wglog();
+        let mut recursive = BTreeSet::new();
+        recursive.insert(Feature::Selection);
+        recursive.insert(Feature::Recursion);
+        assert!(!expressible(&xmlgl, &recursive));
+        assert!(expressible(&wglog, &recursive));
+        let mut joiny = BTreeSet::new();
+        joiny.insert(Feature::Selection);
+        joiny.insert(Feature::ValueJoin);
+        assert!(expressible(&xmlgl, &joiny));
+        assert!(!expressible(&wglog, &joiny));
+    }
+
+    #[test]
+    fn all_features_named_distinctly() {
+        let names: std::collections::HashSet<&str> =
+            Feature::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), Feature::ALL.len());
+    }
+}

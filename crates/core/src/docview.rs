@@ -1,0 +1,138 @@
+//! The document metaphor: rendering documents as nested boxes.
+//!
+//! Several systems the survey chapter covers (Xing's form metaphor, VXT's
+//! visual treemaps) draw *data* the same way XML-GL draws *queries* —
+//! nested labelled boxes. This module converts a [`Document`] subtree into
+//! the layout crate's containment tree, following Xing's conventions:
+//!
+//! * elements become boxes labelled with their tag;
+//! * an element whose content is a single text node collapses to one line,
+//!   `tag: text`;
+//! * attributes render as `@name: value` lines;
+//! * comments and processing instructions are omitted (presentation view).
+
+use gql_layout::containment::{nested, BoxLayout, BoxNode, BoxOptions};
+use gql_ssdm::document::NodeKind;
+use gql_ssdm::{Document, NodeId};
+
+/// Convert a subtree to a containment tree (see module docs).
+pub fn document_boxes(doc: &Document, node: NodeId) -> BoxNode {
+    build(doc, node, 0)
+}
+
+/// Depth guard keeps degenerate documents renderable.
+const MAX_DEPTH: usize = 64;
+
+fn build(doc: &Document, node: NodeId, depth: usize) -> BoxNode {
+    let tag = doc.name(node).unwrap_or("?");
+    if depth >= MAX_DEPTH {
+        return BoxNode::leaf(format!("{tag}: …"));
+    }
+    let element_children: Vec<NodeId> = doc
+        .children(node)
+        .iter()
+        .copied()
+        .filter(|&c| doc.kind(c) == NodeKind::Element)
+        .collect();
+    let text = doc
+        .children(node)
+        .iter()
+        .filter(|&&c| doc.kind(c) == NodeKind::Text)
+        .map(|&c| doc.text(c).unwrap_or(""))
+        .collect::<String>();
+    let attrs: Vec<BoxNode> = doc
+        .attrs(node)
+        .map(|(k, v)| BoxNode::leaf(format!("@{k}: {v}")))
+        .collect();
+
+    // Xing collapse: text-only element without attributes → one line.
+    if element_children.is_empty() && attrs.is_empty() {
+        let t = text.trim();
+        return if t.is_empty() {
+            BoxNode::leaf(tag.to_string())
+        } else {
+            BoxNode::leaf(format!("{tag}: {t}"))
+        };
+    }
+
+    let mut children = attrs;
+    if !text.trim().is_empty() {
+        children.push(BoxNode::leaf(format!("\"{}\"", text.trim())));
+    }
+    for c in element_children {
+        children.push(build(doc, c, depth + 1));
+    }
+    BoxNode::with_children(tag.to_string(), children)
+}
+
+/// One-call convenience: subtree → laid-out nested boxes.
+pub fn document_box_layout(doc: &Document, node: NodeId) -> BoxLayout {
+    nested(&document_boxes(doc, node), &BoxOptions::default())
+}
+
+/// One-call convenience: subtree → document-metaphor SVG.
+pub fn document_to_svg(doc: &Document, node: NodeId) -> String {
+    gql_layout::render::boxes_to_svg(&document_box_layout(doc, node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<product kind='vegetable'>\
+               <name>cabbage</name>\
+               <price><unit>piece</unit><value>0.59</value></price>\
+             </product>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn collapses_text_only_elements() {
+        let d = doc();
+        let tree = document_boxes(&d, d.root_element().unwrap());
+        assert_eq!(tree.label, "product");
+        let labels: Vec<&str> = tree.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["@kind: vegetable", "name: cabbage", "price"]);
+        let price = &tree.children[2];
+        assert_eq!(price.children.len(), 2);
+        assert_eq!(price.children[0].label, "unit: piece");
+    }
+
+    #[test]
+    fn mixed_content_keeps_text_line() {
+        let d = Document::parse_str("<p>hello <b>world</b></p>").unwrap();
+        let tree = document_boxes(&d, d.root_element().unwrap());
+        let labels: Vec<&str> = tree.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["\"hello\"", "b: world"]);
+    }
+
+    #[test]
+    fn renders_to_svg() {
+        let d = doc();
+        let svg = document_to_svg(&d, d.root_element().unwrap());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("name: cabbage"));
+        assert!(svg.contains("@kind: vegetable"));
+    }
+
+    #[test]
+    fn deep_documents_are_guarded() {
+        let d = gql_ssdm::generator::deep_chain(200, 1);
+        let tree = document_boxes(&d, d.root_element().unwrap());
+        // Bounded by the guard, no stack/size explosion.
+        assert!(tree.depth() <= MAX_DEPTH + 1);
+        let svg = document_to_svg(&d, d.root_element().unwrap());
+        assert!(svg.contains("…"));
+    }
+
+    #[test]
+    fn empty_element() {
+        let d = Document::parse_str("<empty/>").unwrap();
+        let tree = document_boxes(&d, d.root_element().unwrap());
+        assert_eq!(tree.label, "empty");
+        assert!(tree.children.is_empty());
+    }
+}

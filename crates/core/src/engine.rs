@@ -1,0 +1,242 @@
+//! One entry point over the three engines.
+//!
+//! The benchmark harness compares equivalent queries written in XML-GL,
+//! WG-Log and XPath against the same document. [`Engine`] normalises the
+//! three run paths — including WG-Log's document→instance load, which is
+//! counted separately so the comparison can show it both ways (amortised
+//! loads for a resident database, full loads for one-shot queries).
+
+use std::time::{Duration, Instant};
+
+use gql_ssdm::Document;
+use gql_wglog::instance::Instance;
+
+use crate::{CoreError, Result};
+
+/// A query in any of the three formalisms.
+#[derive(Debug, Clone)]
+pub enum QueryKind {
+    XmlGl(gql_xmlgl::ast::Program),
+    WgLog(gql_wglog::rule::Program),
+    XPath(String),
+}
+
+/// Result of one engine run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The result document produced by the engine.
+    pub output: Document,
+    /// A size proxy comparable across engines: result elements for XML-GL /
+    /// XPath, goal objects for WG-Log.
+    pub result_count: usize,
+    /// Pure evaluation time.
+    pub eval_time: Duration,
+    /// Time spent preparing the data representation (WG-Log's instance
+    /// load; zero for the tree-native engines).
+    pub load_time: Duration,
+}
+
+/// The unified runner.
+#[derive(Debug, Default)]
+pub struct Engine {
+    /// A pre-loaded WG-Log instance, reused across runs when set.
+    resident_instance: Option<Instance>,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-load a WG-Log instance so subsequent WG-Log runs skip the load
+    /// phase (the "resident database" configuration).
+    pub fn preload(&mut self, doc: &Document) {
+        self.resident_instance = Some(Instance::from_document(doc));
+    }
+
+    /// Run a query against a document.
+    pub fn run(&self, query: &QueryKind, doc: &Document) -> Result<RunOutcome> {
+        match query {
+            QueryKind::XmlGl(program) => {
+                let start = Instant::now();
+                let output = gql_xmlgl::eval::run(program, doc)
+                    .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                let eval_time = start.elapsed();
+                let result_count = output.children(output.root()).len();
+                Ok(RunOutcome {
+                    output,
+                    result_count,
+                    eval_time,
+                    load_time: Duration::ZERO,
+                })
+            }
+            QueryKind::WgLog(program) => {
+                // Borrow the resident instance; only cold runs pay a load.
+                #[allow(unused_assignments)]
+                // `None` placeholder keeps the borrow alive past the match
+                let mut loaded = None;
+                let (instance, load_time): (&Instance, Duration) = match &self.resident_instance {
+                    Some(db) => (db, Duration::ZERO),
+                    None => {
+                        let start = Instant::now();
+                        loaded = Some(Instance::from_document(doc));
+                        (loaded.as_ref().expect("just loaded"), start.elapsed())
+                    }
+                };
+                let start = Instant::now();
+                let result = gql_wglog::eval::run(program, instance)
+                    .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                let eval_time = start.elapsed();
+                let goal = program.goal.clone().unwrap_or_else(|| "answer".to_string());
+                let goal_objects = result.objects_of_type(&goal);
+                let output = result.to_document("answer", &goal, 2);
+                Ok(RunOutcome {
+                    output,
+                    result_count: goal_objects.len(),
+                    eval_time,
+                    load_time,
+                })
+            }
+            QueryKind::XPath(expr) => {
+                let parsed =
+                    gql_xpath::parse(expr).map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                let start = Instant::now();
+                let value = gql_xpath::evaluate(doc, &parsed)
+                    .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                let eval_time = start.elapsed();
+                let mut output = Document::new();
+                let root = output.add_element(output.root(), "answer");
+                let count;
+                match value {
+                    gql_xpath::XValue::Nodes(items) => {
+                        let nodes: Vec<_> = items
+                            .into_iter()
+                            .filter_map(gql_xpath::Item::as_node)
+                            .collect();
+                        count = nodes.len();
+                        for n in nodes {
+                            let copied = output.import_subtree(doc, n);
+                            output
+                                .append_child(root, copied)
+                                .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                        }
+                    }
+                    // Scalar results (count(), sum(), booleans) become the
+                    // answer's text, and count 1 result value.
+                    other => {
+                        count = 1;
+                        output.add_text(root, &other.string(doc));
+                    }
+                }
+                Ok(RunOutcome {
+                    output,
+                    result_count: count,
+                    eval_time,
+                    load_time: Duration::ZERO,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_xmlgl::builder::{RuleBuilder, C, Q};
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<guide>\
+               <restaurant><name>A</name><menu><price>20</price></menu></restaurant>\
+               <restaurant><name>B</name></restaurant>\
+               <restaurant><name>C</name><menu><price>40</price></menu></restaurant>\
+             </guide>",
+        )
+        .unwrap()
+    }
+
+    /// The "restaurants offering menus" query in all three formalisms.
+    fn equivalent_queries() -> Vec<QueryKind> {
+        let xmlgl = RuleBuilder::new()
+            .extract(
+                Q::elem("restaurant")
+                    .var("r")
+                    .child(Q::elem("menu").var("m")),
+            )
+            .construct(C::elem("answer").child(C::all("r")))
+            .build_program()
+            .unwrap();
+        let wglog = gql_wglog::dsl::parse(
+            "rule { query { $r: restaurant  $m: menu  $r -menu-> $m } \
+                    construct { $l: rest-list  $l -member-> $r } } goal rest-list",
+        )
+        .unwrap();
+        vec![
+            QueryKind::XmlGl(xmlgl),
+            QueryKind::WgLog(wglog),
+            QueryKind::XPath("//restaurant[menu]".to_string()),
+        ]
+    }
+
+    #[test]
+    fn all_engines_agree_on_the_selection() {
+        let d = doc();
+        let engine = Engine::new();
+        let expected = [1usize, 1, 2]; // XML-GL: 1 answer element; WG-Log: 1 list; XPath: 2 hits
+        for (q, expect) in equivalent_queries().iter().zip(expected) {
+            let outcome = engine.run(q, &d).unwrap();
+            assert_eq!(outcome.result_count, expect, "{q:?}");
+        }
+        // The actual selected restaurants: extract from the outputs.
+        let outcome = engine.run(&equivalent_queries()[0], &d).unwrap();
+        let root = outcome.output.root_element().unwrap();
+        assert_eq!(outcome.output.child_elements(root).count(), 2);
+    }
+
+    #[test]
+    fn resident_instance_skips_load() {
+        let d = doc();
+        let mut engine = Engine::new();
+        let q = equivalent_queries().remove(1);
+        let cold = engine.run(&q, &d).unwrap();
+        assert!(cold.load_time > Duration::ZERO);
+        engine.preload(&d);
+        let warm = engine.run(&q, &d).unwrap();
+        assert_eq!(warm.load_time, Duration::ZERO);
+        assert_eq!(warm.result_count, cold.result_count);
+    }
+
+    #[test]
+    fn xpath_result_document() {
+        let d = doc();
+        let engine = Engine::new();
+        let outcome = engine
+            .run(&QueryKind::XPath("//menu/price".to_string()), &d)
+            .unwrap();
+        assert_eq!(outcome.result_count, 2);
+        let xml = outcome.output.to_xml_string();
+        assert!(xml.contains("<price>20</price>"));
+        assert!(xml.contains("<price>40</price>"));
+    }
+
+    #[test]
+    fn scalar_xpath_results_are_answerable() {
+        let d = doc();
+        let engine = Engine::new();
+        let outcome = engine
+            .run(&QueryKind::XPath("count(//menu)".to_string()), &d)
+            .unwrap();
+        assert_eq!(outcome.result_count, 1);
+        assert_eq!(outcome.output.to_xml_string(), "<answer>2</answer>");
+    }
+
+    #[test]
+    fn engine_errors_are_reported() {
+        let d = doc();
+        let engine = Engine::new();
+        let err = engine
+            .run(&QueryKind::XPath("///".to_string()), &d)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Engine { .. }));
+    }
+}

@@ -1,0 +1,63 @@
+//! # gql-core — the unified graphical-query layer
+//!
+//! The paper's contribution is not one language but the *comparison*: two
+//! graphical styles for querying semi-structured information — XML-GL
+//! (schema-optional, two-graph rules) and WG-Log (schema-aware, one
+//! coloured graph, fixpoint semantics) — measured against each other and
+//! against the navigational mainstream. This crate is that comparison made
+//! executable:
+//!
+//! * [`algebra`] — a common logical algebra over binding tables that
+//!   XML-GL extract graphs compile to, with an interpreter and a rule-based
+//!   optimizer (predicate pushdown, hash-join selection, scan typing) —
+//!   the ablation subject of experiment **T5**;
+//! * [`translate`] — compilers between the formalisms: XML-GL → algebra,
+//!   XML-GL → WG-Log and WG-Log → XML-GL (partial by design: the failures
+//!   are the expressiveness gaps of experiment **T2**);
+//! * [`capability`] — feature analysis of concrete queries and the static
+//!   language-capability matrix of experiment **T1**;
+//! * [`engine`] — one entry point that runs a query written in any of the
+//!   three formalisms (XML-GL, WG-Log, XPath) against a document and
+//!   returns a result document, with wall-clock instrumentation for the
+//!   benchmark harness;
+//! * [`stats`] — per-tag document statistics and the cardinality-aware
+//!   join-ordering rule on top of the optimizer;
+//! * [`docview`] — the Xing/VXT document metaphor: documents rendered as
+//!   nested labelled boxes.
+
+pub mod algebra;
+pub mod capability;
+pub mod docview;
+pub mod engine;
+pub mod stats;
+pub mod translate;
+
+pub use capability::{Feature, LanguageProfile};
+pub use engine::{Engine, QueryKind};
+
+/// Errors of the unified layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A query uses a feature its target formalism cannot express.
+    Untranslatable { feature: String, detail: String },
+    /// Algebra compilation or execution failure.
+    Algebra { msg: String },
+    /// An underlying engine failed.
+    Engine { msg: String },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Untranslatable { feature, detail } => {
+                write!(f, "untranslatable ({feature}): {detail}")
+            }
+            CoreError::Algebra { msg } => write!(f, "algebra error: {msg}"),
+            CoreError::Engine { msg } => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+pub type Result<T> = std::result::Result<T, CoreError>;

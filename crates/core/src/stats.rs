@@ -1,0 +1,308 @@
+//! Document statistics and the cardinality-based join ordering rule.
+//!
+//! The optimizer's pushdown rules are statistics-free; join *ordering* is
+//! not: building the hash table on the smaller input is only knowable from
+//! data. [`DocStats`] collects per-tag element counts in one pass, and
+//! [`optimize_with_stats`] extends [`crate::algebra::optimize`] with a
+//! swap rule — the estimated-smaller join side becomes the build (right)
+//! side. This is the second half of the T5 ablation.
+
+use std::collections::HashMap;
+
+use gql_ssdm::document::NodeKind;
+use gql_ssdm::Document;
+
+use crate::algebra::{optimize, Plan};
+
+/// Per-tag element counts plus document totals.
+#[derive(Debug, Clone, Default)]
+pub struct DocStats {
+    by_tag: HashMap<String, usize>,
+    elements: usize,
+}
+
+impl DocStats {
+    /// One-pass collection.
+    pub fn collect(doc: &Document) -> DocStats {
+        let mut s = DocStats::default();
+        for n in doc.descendants(doc.root()) {
+            if doc.kind(n) == NodeKind::Element {
+                s.elements += 1;
+                if let Some(tag) = doc.name(n) {
+                    *s.by_tag.entry(tag.to_string()).or_default() += 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Number of elements with a tag.
+    pub fn count(&self, tag: &str) -> usize {
+        self.by_tag.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Total element count.
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// Rough output-cardinality estimate of a plan. Scans are exact;
+    /// navigation multiplies by an average fanout estimate; filters apply a
+    /// default selectivity; joins take the product over a distinct-values
+    /// guess. Only the *relative* order of estimates matters here.
+    pub fn estimate(&self, plan: &Plan) -> f64 {
+        match plan {
+            Plan::Scan { name, .. } => match name {
+                Some(n) => self.count(n) as f64,
+                None => self.elements as f64,
+            },
+            Plan::Child {
+                input, test, deep, ..
+            } => {
+                let base = self.estimate(input);
+                match test {
+                    // Upper-bound the step by the population of the target
+                    // tag; deep steps reach all of them, child steps an
+                    // assumed half.
+                    Some(t) => {
+                        let target = self.count(t) as f64;
+                        if *deep {
+                            base.min(target).max(1.0) * (target / base.max(1.0)).max(1.0)
+                        } else {
+                            (base * (target / self.elements.max(1) as f64).max(0.01))
+                                .max(target.min(base))
+                        }
+                    }
+                    None => base * 3.0,
+                }
+            }
+            Plan::Attr { input, .. } => self.estimate(input) * 0.8,
+            Plan::Text { input, .. } => self.estimate(input) * 0.8,
+            Plan::Filter { input, .. } => self.estimate(input) * 0.25,
+            Plan::NotExistsChild { input, .. } => self.estimate(input) * 0.5,
+            Plan::Product { left, right } => self.estimate(left) * self.estimate(right),
+            Plan::HashJoin { left, right, .. } | Plan::NestedLoopJoin { left, right, .. } => {
+                let (l, r) = (self.estimate(left), self.estimate(right));
+                // Equi-join estimate: product over the larger distinct side.
+                l * r / l.max(r).max(1.0)
+            }
+            Plan::Project { input, .. } => self.estimate(input),
+            Plan::Distinct { input } => self.estimate(input) * 0.9,
+            Plan::Aggregate { input, keys, .. } => {
+                if keys.is_empty() {
+                    1.0
+                } else {
+                    (self.estimate(input) * 0.2).max(1.0)
+                }
+            }
+        }
+    }
+}
+
+/// [`optimize`] plus cardinality-aware join-side swapping: the estimated
+/// smaller input becomes the hash build side (our executor builds the hash
+/// table on the right).
+pub fn optimize_with_stats(plan: &Plan, stats: &DocStats) -> Plan {
+    let p = optimize(plan);
+    swap_joins(p, stats)
+}
+
+fn swap_joins(p: Plan, stats: &DocStats) -> Plan {
+    match p {
+        Plan::HashJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => {
+            let left = Box::new(swap_joins(*left, stats));
+            let right = Box::new(swap_joins(*right, stats));
+            if stats.estimate(&left) < stats.estimate(&right) {
+                // Smaller side to the right (build side).
+                Plan::HashJoin {
+                    left: right,
+                    right: left,
+                    lcol: rcol,
+                    rcol: lcol,
+                }
+            } else {
+                Plan::HashJoin {
+                    left,
+                    right,
+                    lcol,
+                    rcol,
+                }
+            }
+        }
+        Plan::NestedLoopJoin {
+            left,
+            right,
+            lcol,
+            rcol,
+        } => Plan::NestedLoopJoin {
+            left: Box::new(swap_joins(*left, stats)),
+            right: Box::new(swap_joins(*right, stats)),
+            lcol,
+            rcol,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: Box::new(swap_joins(*left, stats)),
+            right: Box::new(swap_joins(*right, stats)),
+        },
+        Plan::Child {
+            input,
+            col,
+            test,
+            deep,
+            out,
+        } => Plan::Child {
+            input: Box::new(swap_joins(*input, stats)),
+            col,
+            test,
+            deep,
+            out,
+        },
+        Plan::Attr {
+            input,
+            col,
+            attr,
+            out,
+        } => Plan::Attr {
+            input: Box::new(swap_joins(*input, stats)),
+            col,
+            attr,
+            out,
+        },
+        Plan::Text { input, col, out } => Plan::Text {
+            input: Box::new(swap_joins(*input, stats)),
+            col,
+            out,
+        },
+        Plan::Filter { input, col, pred } => Plan::Filter {
+            input: Box::new(swap_joins(*input, stats)),
+            col,
+            pred,
+        },
+        Plan::NotExistsChild { input, col, test } => Plan::NotExistsChild {
+            input: Box::new(swap_joins(*input, stats)),
+            col,
+            test,
+        },
+        Plan::Project { input, cols } => Plan::Project {
+            input: Box::new(swap_joins(*input, stats)),
+            cols,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(swap_joins(*input, stats)),
+        },
+        Plan::Aggregate {
+            input,
+            keys,
+            func,
+            col,
+            out,
+        } => Plan::Aggregate {
+            input: Box::new(swap_joins(*input, stats)),
+            keys,
+            func,
+            col,
+            out,
+        },
+        scan @ Plan::Scan { .. } => scan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::execute;
+    use crate::translate::extract_to_plan;
+    use gql_ssdm::generator::{greengrocer, GrocerConfig};
+    use gql_xmlgl::builder::{RuleBuilder, C, Q};
+
+    fn doc() -> Document {
+        greengrocer(GrocerConfig {
+            products: 50,
+            vendors: 5,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn stats_count_tags() {
+        let d = doc();
+        let s = DocStats::collect(&d);
+        assert_eq!(s.count("product"), 50);
+        assert_eq!(s.count("vendor"), 55); // 50 product/vendor + 5 vendors/vendor
+        assert_eq!(s.count("nonexistent"), 0);
+        assert!(s.elements() > 150);
+    }
+
+    #[test]
+    fn scan_estimates_are_exact() {
+        let d = doc();
+        let s = DocStats::collect(&d);
+        let scan = Plan::Scan {
+            name: Some("product".into()),
+            out: "p".into(),
+        };
+        assert_eq!(s.estimate(&scan), 50.0);
+        let table = execute(&scan, &d).unwrap();
+        assert_eq!(table.len(), 50);
+    }
+
+    #[test]
+    fn join_swap_puts_smaller_side_right_and_keeps_answers() {
+        let d = doc();
+        let s = DocStats::collect(&d);
+        // Big side: products; small side: the vendors section (5).
+        let rule = RuleBuilder::new()
+            .extract(
+                Q::elem("product")
+                    .var("p")
+                    .child(Q::elem("vendor").child(Q::text().var("v1"))),
+            )
+            .extract(
+                Q::elem("vendors").child(
+                    Q::elem("vendor")
+                        .var("w")
+                        .child(Q::elem("name").child(Q::text().var("v2"))),
+                ),
+            )
+            .join("v1", "v2")
+            .construct(C::elem("out"))
+            .build()
+            .unwrap();
+        let plan = extract_to_plan(&rule).unwrap();
+        let tuned = optimize_with_stats(&plan, &s);
+        let baseline = execute(&plan, &d).unwrap().len();
+        assert_eq!(execute(&tuned, &d).unwrap().len(), baseline);
+        // The right (build) side of the tuned join is estimated smaller.
+        if let Plan::HashJoin { left, right, .. } = &tuned {
+            assert!(s.estimate(right) <= s.estimate(left), "{tuned}");
+        } else {
+            panic!("expected a join at the root: {tuned}");
+        }
+    }
+
+    #[test]
+    fn estimates_are_finite_and_positive_for_all_ops() {
+        let d = doc();
+        let s = DocStats::collect(&d);
+        let rule = RuleBuilder::new()
+            .extract(
+                Q::elem("product")
+                    .var("p")
+                    .child(
+                        Q::elem("type").child(Q::text().pred(gql_xmlgl::ast::CmpOp::Eq, "fruit")),
+                    )
+                    .without(Q::elem("discontinued")),
+            )
+            .construct(C::elem("out"))
+            .build()
+            .unwrap();
+        let plan = extract_to_plan(&rule).unwrap();
+        let e = s.estimate(&plan);
+        assert!(e.is_finite() && e >= 0.0);
+    }
+}

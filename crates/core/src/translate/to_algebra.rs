@@ -1,0 +1,427 @@
+//! Compilation of XML-GL extract graphs to algebra plans.
+//!
+//! The compiler covers the conjunctive core of XML-GL: element boxes with
+//! name tests and predicates, attribute and text circles, asterisk (deep)
+//! edges, simple negation (a crossed edge to a bare named box), multiple
+//! roots and cross-root joins. Outside the fragment — ordered matching,
+//! deep text/attribute edges, negation over a structured subtree, more than
+//! one join between the same pair of pattern trees — it reports the feature
+//! it cannot express.
+//!
+//! The plan computes the rule's *bindings* (one column per query node); the
+//! construct side stays with the XML-GL engine, which is exactly the
+//! separation the optimizer ablation (T5) needs: same bindings, different
+//! physical plans.
+
+use gql_xmlgl::ast::{ExtractGraph, NameTest, QNodeId, QNodeKind, Rule};
+
+use crate::algebra::Plan;
+use crate::{CoreError, Result};
+
+fn unsupported(feature: &str, detail: impl Into<String>) -> CoreError {
+    CoreError::Untranslatable {
+        feature: feature.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Column name of a query node: its variable, or a positional fallback.
+/// The fallback is `#q<n>` — `#` cannot appear in DSL variable names, and
+/// builder-supplied collisions are suffixed away.
+pub fn column_name(g: &ExtractGraph, id: QNodeId) -> String {
+    match &g.node(id).var {
+        Some(v) => v.clone(),
+        None => {
+            let mut name = format!("#q{}", id.0);
+            while g.by_var(&name).is_some() {
+                name.push('_');
+            }
+            name
+        }
+    }
+}
+
+/// Compile a rule's extract side into a plan producing one row per binding.
+pub fn extract_to_plan(rule: &Rule) -> Result<Plan> {
+    let g = &rule.extract;
+    if g.roots.is_empty() {
+        return Err(unsupported("empty-extract", "extract graph has no root"));
+    }
+    let mut combined: Option<Plan> = None;
+    let mut combined_cols: Vec<QNodeId> = Vec::new();
+    for (ri, &root) in g.roots.iter().enumerate() {
+        let mut tree_cols = Vec::new();
+        let tree = compile_tree(g, root, &mut tree_cols)?;
+        combined = Some(match combined {
+            None => tree,
+            Some(prev) => {
+                // Cross joins between the already-combined prefix and this
+                // tree.
+                let cross: Vec<(QNodeId, QNodeId)> = g
+                    .joins
+                    .iter()
+                    .filter_map(|&(a, b)| {
+                        let a_prev = combined_cols.contains(&a);
+                        let b_prev = combined_cols.contains(&b);
+                        let a_here = tree_cols.contains(&a);
+                        let b_here = tree_cols.contains(&b);
+                        if a_prev && b_here {
+                            Some((a, b))
+                        } else if b_prev && a_here {
+                            Some((b, a))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                match cross.len() {
+                    0 => Plan::Product {
+                        left: Box::new(prev),
+                        right: Box::new(tree),
+                    },
+                    1 => Plan::HashJoin {
+                        left: Box::new(prev),
+                        right: Box::new(tree),
+                        lcol: column_name(g, cross[0].0),
+                        rcol: column_name(g, cross[0].1),
+                    },
+                    n => {
+                        return Err(unsupported(
+                            "multi-join",
+                            format!("{n} join edges between pattern tree {ri} and earlier trees"),
+                        ))
+                    }
+                }
+            }
+        });
+        combined_cols.extend(tree_cols);
+    }
+    // Joins entirely inside one tree are not representable (the algebra has
+    // no column-equality filter on purpose — the diagram idiom is the
+    // cross-tree shared node).
+    for &(a, b) in &g.joins {
+        let cross_tree = {
+            let tree_of = |q: QNodeId| {
+                g.roots
+                    .iter()
+                    .position(|&r| subtree_contains(g, r, q))
+                    .unwrap_or(usize::MAX)
+            };
+            tree_of(a) != tree_of(b)
+        };
+        if !cross_tree {
+            return Err(unsupported(
+                "intra-tree-join",
+                "join edge within one pattern tree",
+            ));
+        }
+    }
+    Ok(combined.expect("at least one root"))
+}
+
+fn subtree_contains(g: &ExtractGraph, root: QNodeId, target: QNodeId) -> bool {
+    let mut stack = vec![root];
+    while let Some(q) = stack.pop() {
+        if q == target {
+            return true;
+        }
+        stack.extend(g.node(q).children.iter().map(|e| e.target));
+    }
+    false
+}
+
+/// Compile one pattern tree rooted at `root`.
+fn compile_tree(g: &ExtractGraph, root: QNodeId, cols: &mut Vec<QNodeId>) -> Result<Plan> {
+    let node = g.node(root);
+    let QNodeKind::Element(test) = &node.kind else {
+        return Err(unsupported(
+            "non-element-root",
+            "pattern roots must be element boxes",
+        ));
+    };
+    let out = column_name(g, root);
+    let mut plan = Plan::Scan {
+        name: match test {
+            NameTest::Name(n) => Some(n.clone()),
+            NameTest::Wildcard => None,
+        },
+        out: out.clone(),
+    };
+    cols.push(root);
+    if !node.predicate.is_trivial() {
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            col: out,
+            pred: node.predicate.clone(),
+        };
+    }
+    compile_children(g, root, plan, cols)
+}
+
+fn compile_children(
+    g: &ExtractGraph,
+    parent: QNodeId,
+    mut plan: Plan,
+    cols: &mut Vec<QNodeId>,
+) -> Result<Plan> {
+    let pnode = g.node(parent);
+    if g.ordered[parent.index()] {
+        return Err(unsupported(
+            "ordered-matching",
+            "algebra has no sibling-order operator",
+        ));
+    }
+    let pcol = column_name(g, parent);
+    for edge in &pnode.children {
+        let child = g.node(edge.target);
+        if edge.negated {
+            match &child.kind {
+                QNodeKind::Element(NameTest::Name(n))
+                    if child.children.is_empty() && child.predicate.is_trivial() =>
+                {
+                    plan = Plan::NotExistsChild {
+                        input: Box::new(plan),
+                        col: pcol.clone(),
+                        test: n.clone(),
+                    };
+                    continue;
+                }
+                _ => {
+                    return Err(unsupported(
+                        "complex-negation",
+                        "only a crossed edge to a bare named box is planable",
+                    ))
+                }
+            }
+        }
+        let ccol = column_name(g, edge.target);
+        match &child.kind {
+            QNodeKind::Attribute(name) => {
+                if edge.deep {
+                    return Err(unsupported(
+                        "deep-attribute",
+                        "asterisk edge to an attribute",
+                    ));
+                }
+                plan = Plan::Attr {
+                    input: Box::new(plan),
+                    col: pcol.clone(),
+                    attr: name.clone(),
+                    out: ccol.clone(),
+                };
+                cols.push(edge.target);
+                if !child.predicate.is_trivial() {
+                    plan = Plan::Filter {
+                        input: Box::new(plan),
+                        col: ccol,
+                        pred: child.predicate.clone(),
+                    };
+                }
+            }
+            QNodeKind::Text => {
+                if edge.deep {
+                    return Err(unsupported("deep-text", "asterisk edge to a text circle"));
+                }
+                plan = Plan::Text {
+                    input: Box::new(plan),
+                    col: pcol.clone(),
+                    out: ccol.clone(),
+                };
+                cols.push(edge.target);
+                if !child.predicate.is_trivial() {
+                    plan = Plan::Filter {
+                        input: Box::new(plan),
+                        col: ccol,
+                        pred: child.predicate.clone(),
+                    };
+                }
+            }
+            QNodeKind::Element(test) => {
+                plan = Plan::Child {
+                    input: Box::new(plan),
+                    col: pcol.clone(),
+                    test: match test {
+                        NameTest::Name(n) => Some(n.clone()),
+                        NameTest::Wildcard => None,
+                    },
+                    deep: edge.deep,
+                    out: ccol.clone(),
+                };
+                cols.push(edge.target);
+                if !child.predicate.is_trivial() {
+                    plan = Plan::Filter {
+                        input: Box::new(plan),
+                        col: ccol,
+                        pred: child.predicate.clone(),
+                    };
+                }
+                plan = compile_children(g, edge.target, plan, cols)?;
+            }
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{execute, optimize};
+    use gql_ssdm::Document;
+    use gql_xmlgl::ast::CmpOp;
+    use gql_xmlgl::builder::{RuleBuilder, C, Q};
+    use gql_xmlgl::eval::match_rule;
+
+    fn doc() -> Document {
+        gql_ssdm::generator::greengrocer(gql_ssdm::generator::GrocerConfig {
+            products: 30,
+            vendors: 4,
+            seed: 5,
+        })
+    }
+
+    fn rule(builder: RuleBuilder) -> gql_xmlgl::ast::Rule {
+        builder.construct(C::elem("out")).build().unwrap()
+    }
+
+    /// The central coherence property: the plan's row count equals the
+    /// XML-GL engine's embedding count, optimized or not.
+    fn assert_agrees(r: &gql_xmlgl::ast::Rule, d: &Document) {
+        let embeddings = match_rule(r, d).len();
+        let plan = extract_to_plan(r).unwrap();
+        let rows = execute(&plan, d).unwrap().len();
+        assert_eq!(rows, embeddings, "plan disagrees with engine:\n{plan}");
+        let opt = optimize(&plan);
+        let rows_opt = execute(&opt, d).unwrap().len();
+        assert_eq!(rows_opt, embeddings, "optimized plan disagrees:\n{opt}");
+    }
+
+    #[test]
+    fn selection_queries_agree() {
+        let d = doc();
+        assert_agrees(
+            &rule(RuleBuilder::new().extract(Q::elem("product").var("p"))),
+            &d,
+        );
+        assert_agrees(
+            &rule(
+                RuleBuilder::new().extract(
+                    Q::elem("product")
+                        .var("p")
+                        .child(Q::elem("type").child(Q::text().var("t").pred(CmpOp::Eq, "fruit"))),
+                ),
+            ),
+            &d,
+        );
+    }
+
+    #[test]
+    fn deep_and_wildcard_agree() {
+        let d = doc();
+        assert_agrees(
+            &rule(
+                RuleBuilder::new()
+                    .extract(Q::elem("greengrocer").deep_child(Q::elem("name").var("n"))),
+            ),
+            &d,
+        );
+        assert_agrees(&rule(RuleBuilder::new().extract(Q::any().var("x"))), &d);
+    }
+
+    #[test]
+    fn join_query_agrees() {
+        let d = doc();
+        let r = RuleBuilder::new()
+            .extract(
+                Q::elem("product")
+                    .var("p")
+                    .child(Q::elem("vendor").child(Q::text().var("v1"))),
+            )
+            .extract(
+                Q::elem("vendor")
+                    .var("w")
+                    .child(Q::elem("name").child(Q::text().var("v2"))),
+            )
+            .join("v1", "v2")
+            .construct(C::elem("out"))
+            .build()
+            .unwrap();
+        assert_agrees(&r, &d);
+        // Shape check: the join compiles to a HashJoin.
+        let plan = extract_to_plan(&r).unwrap();
+        assert!(matches!(plan, Plan::HashJoin { .. }), "{plan}");
+    }
+
+    #[test]
+    fn product_without_join_agrees() {
+        let d = Document::parse_str("<r><a/><a/><b/><b/><b/></r>").unwrap();
+        let r = RuleBuilder::new()
+            .extract(Q::elem("a").var("x"))
+            .extract(Q::elem("b").var("y"))
+            .construct(C::elem("out"))
+            .build()
+            .unwrap();
+        assert_agrees(&r, &d);
+    }
+
+    #[test]
+    fn simple_negation_agrees() {
+        let d = Document::parse_str("<g><p><v/></p><p/><p><v/><w/></p></g>").unwrap();
+        let r = RuleBuilder::new()
+            .extract(Q::elem("p").var("p").without(Q::elem("v")))
+            .construct(C::elem("out"))
+            .build()
+            .unwrap();
+        assert_agrees(&r, &d);
+    }
+
+    #[test]
+    fn unsupported_features_are_named() {
+        let ordered = rule(
+            RuleBuilder::new().extract(
+                Q::elem("r")
+                    .ordered()
+                    .child(Q::elem("a"))
+                    .child(Q::elem("b")),
+            ),
+        );
+        match extract_to_plan(&ordered) {
+            Err(CoreError::Untranslatable { feature, .. }) => {
+                assert_eq!(feature, "ordered-matching")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let deep_attr =
+            rule(RuleBuilder::new().extract(Q::elem("r").deep_child(Q::attr("id").var("i"))));
+        match extract_to_plan(&deep_attr) {
+            Err(CoreError::Untranslatable { feature, .. }) => assert_eq!(feature, "deep-attribute"),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let complex_neg = rule(
+            RuleBuilder::new().extract(Q::elem("r").without(Q::elem("a").child(Q::elem("b")))),
+        );
+        match extract_to_plan(&complex_neg) {
+            Err(CoreError::Untranslatable { feature, .. }) => {
+                assert_eq!(feature, "complex-negation")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn columns_use_variable_names() {
+        let r = rule(RuleBuilder::new().extract(Q::elem("product").var("p").child(Q::attr("id"))));
+        let plan = extract_to_plan(&r).unwrap();
+        let cols = plan.columns();
+        assert!(cols.contains(&"p".to_string()));
+        assert!(cols.iter().any(|c| c.starts_with("#q"))); // unnamed attr node
+
+        // The fallback dodges user variables named like it.
+        let clash =
+            rule(RuleBuilder::new().extract(Q::elem("product").var("#q1").child(Q::attr("id"))));
+        let cols = extract_to_plan(&clash).unwrap().columns();
+        let unique: std::collections::HashSet<&String> = cols.iter().collect();
+        assert_eq!(unique.len(), cols.len(), "{cols:?}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Nested-box (containment) layout.
+//!
+//! Several of the surveyed visual systems draw hierarchy as *spatial
+//! inclusion* rather than edges (VXT's treemap view, Xing's document
+//! metaphor, VIPR's nested rings). XML-GL schemas occasionally do too. This
+//! module lays out a tree of labelled boxes so that children nest inside
+//! their parent, horizontally per level, and returns one rectangle per node.
+
+use crate::geom::Rect;
+
+/// A node of the containment tree.
+#[derive(Debug, Clone)]
+pub struct BoxNode {
+    pub label: String,
+    pub children: Vec<BoxNode>,
+}
+
+impl BoxNode {
+    pub fn leaf(label: impl Into<String>) -> Self {
+        BoxNode {
+            label: label.into(),
+            children: Vec::new(),
+        }
+    }
+
+    pub fn with_children(label: impl Into<String>, children: Vec<BoxNode>) -> Self {
+        BoxNode {
+            label: label.into(),
+            children,
+        }
+    }
+
+    /// Total number of nodes in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(BoxNode::size).sum::<usize>()
+    }
+
+    /// Depth of the subtree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(BoxNode::depth).max().unwrap_or(0)
+    }
+}
+
+/// Layout parameters for nested boxes.
+#[derive(Debug, Clone, Copy)]
+pub struct BoxOptions {
+    /// Inner padding between a box border and its children.
+    pub padding: f64,
+    /// Gap between adjacent children.
+    pub gap: f64,
+    /// Vertical space reserved for the box's own label.
+    pub label_height: f64,
+    /// Minimum leaf box width per label character.
+    pub char_width: f64,
+}
+
+impl Default for BoxOptions {
+    fn default() -> Self {
+        BoxOptions {
+            padding: 8.0,
+            gap: 8.0,
+            label_height: 18.0,
+            char_width: 8.0,
+        }
+    }
+}
+
+/// Result: rectangles in pre-order (parent before children), paired with
+/// their node labels and nesting depth.
+#[derive(Debug, Clone)]
+pub struct BoxLayout {
+    pub rects: Vec<(Rect, String, usize)>,
+    pub bounds: Rect,
+}
+
+/// Compute the nested layout. Children are placed left-to-right inside
+/// their parent, below the parent's label strip.
+pub fn nested(root: &BoxNode, opts: &BoxOptions) -> BoxLayout {
+    let mut rects = Vec::with_capacity(root.size());
+    let bounds = place(root, 0.0, 0.0, 0, opts, &mut rects);
+    BoxLayout { rects, bounds }
+}
+
+/// Place a subtree with its top-left corner at (x, y); returns its rect.
+fn place(
+    node: &BoxNode,
+    x: f64,
+    y: f64,
+    depth: usize,
+    opts: &BoxOptions,
+    out: &mut Vec<(Rect, String, usize)>,
+) -> Rect {
+    let label_w = node.label.chars().count() as f64 * opts.char_width + 2.0 * opts.padding;
+    // Reserve our slot; fill in the final rect after children are placed.
+    let slot = out.len();
+    out.push((Rect::default(), node.label.clone(), depth));
+    let mut child_x = x + opts.padding;
+    let child_y = y + opts.label_height;
+    let mut max_child_bottom = child_y;
+    for child in &node.children {
+        let r = place(child, child_x, child_y, depth + 1, opts, out);
+        child_x = r.right() + opts.gap;
+        max_child_bottom = max_child_bottom.max(r.bottom());
+    }
+    let content_w = if node.children.is_empty() {
+        0.0
+    } else {
+        (child_x - opts.gap) - x + opts.padding
+    };
+    let w = label_w.max(content_w);
+    let h = if node.children.is_empty() {
+        opts.label_height + opts.padding
+    } else {
+        (max_child_bottom - y) + opts.padding
+    };
+    let rect = Rect::new(x, y, w, h);
+    out[slot].0 = rect;
+    rect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BoxNode {
+        BoxNode::with_children(
+            "product",
+            vec![
+                BoxNode::leaf("name"),
+                BoxNode::with_children(
+                    "price",
+                    vec![BoxNode::leaf("unit"), BoxNode::leaf("value")],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn children_nest_inside_parent() {
+        let l = nested(&sample(), &BoxOptions::default());
+        assert_eq!(l.rects.len(), 5);
+        let parent = l.rects[0].0;
+        for (r, _, depth) in &l.rects[1..] {
+            if *depth == 1 {
+                assert!(
+                    parent.x <= r.x && parent.right() >= r.right(),
+                    "{r:?} in {parent:?}"
+                );
+                assert!(parent.y <= r.y && parent.bottom() >= r.bottom());
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_do_not_overlap() {
+        let l = nested(&sample(), &BoxOptions::default());
+        let name = l.rects.iter().find(|(_, s, _)| s == "name").unwrap().0;
+        let price = l.rects.iter().find(|(_, s, _)| s == "price").unwrap().0;
+        assert!(!name.intersects(&price));
+        assert!(name.right() <= price.x);
+    }
+
+    #[test]
+    fn depths_are_recorded_preorder() {
+        let l = nested(&sample(), &BoxOptions::default());
+        let labels: Vec<(&str, usize)> = l.rects.iter().map(|(_, s, d)| (s.as_str(), *d)).collect();
+        assert_eq!(
+            labels,
+            vec![
+                ("product", 0),
+                ("name", 1),
+                ("price", 1),
+                ("unit", 2),
+                ("value", 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn leaf_layout() {
+        let l = nested(&BoxNode::leaf("x"), &BoxOptions::default());
+        assert_eq!(l.rects.len(), 1);
+        assert!(l.bounds.w > 0.0 && l.bounds.h > 0.0);
+    }
+
+    #[test]
+    fn wide_labels_widen_boxes() {
+        let narrow = nested(&BoxNode::leaf("a"), &BoxOptions::default()).bounds.w;
+        let wide = nested(&BoxNode::leaf("a-very-long-label"), &BoxOptions::default())
+            .bounds
+            .w;
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn size_and_depth_helpers() {
+        let t = sample();
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.depth(), 3);
+    }
+}

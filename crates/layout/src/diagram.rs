@@ -1,0 +1,163 @@
+//! The renderer-facing diagram model.
+//!
+//! Language crates translate their query ASTs into a [`Diagram`]: a
+//! [`gql_vgraph::Graph`] whose node payloads say *what to draw* (shape,
+//! label) and whose edge payloads say *how to draw the connection* (style,
+//! label). The shapes cover the visual vocabulary of both languages as the
+//! paper draws them:
+//!
+//! | Shape | XML-GL / WG-Log meaning |
+//! |---|---|
+//! | `Box` | element / entity node |
+//! | `RoundedBox` | WG-Log complex object |
+//! | `Circle` | text-content node (hollow circle) |
+//! | `Dot` | attribute (filled circle) |
+//! | `Triangle` | aggregation ("collect all matched") |
+//! | `Diamond` | condition / operator node |
+
+use gql_vgraph::Graph;
+
+/// Node shapes of the visual vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shape {
+    Box,
+    RoundedBox,
+    Circle,
+    Dot,
+    Triangle,
+    Diamond,
+}
+
+/// How an edge is stroked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeStyle {
+    /// Thin solid — XML-GL containment / WG-Log query part.
+    Solid,
+    /// Thick solid — WG-Log construction part.
+    Thick,
+    /// Dashed — GraphLog regular path expressions / optional structure.
+    Dashed,
+    /// Dotted — binding edges between the query and construction sides.
+    Dotted,
+}
+
+/// What to draw for a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    pub label: String,
+    pub shape: Shape,
+    /// Extra annotation drawn under the label (e.g. a predicate).
+    pub sublabel: Option<String>,
+}
+
+impl NodeSpec {
+    pub fn new(label: impl Into<String>, shape: Shape) -> Self {
+        NodeSpec {
+            label: label.into(),
+            shape,
+            sublabel: None,
+        }
+    }
+
+    pub fn with_sublabel(mut self, sub: impl Into<String>) -> Self {
+        self.sublabel = Some(sub.into());
+        self
+    }
+
+    /// Preferred box size in diagram units, derived from the label length —
+    /// the layout engine spaces nodes by these sizes.
+    pub fn size(&self) -> (f64, f64) {
+        let label_len = self
+            .label
+            .chars()
+            .count()
+            .max(self.sublabel.as_ref().map_or(0, |s| s.chars().count()));
+        let w = (label_len as f64 * 8.0 + 16.0).max(30.0);
+        let h = if self.sublabel.is_some() { 40.0 } else { 26.0 };
+        match self.shape {
+            Shape::Dot => (10.0, 10.0),
+            Shape::Circle => (w.max(30.0), 30.0),
+            Shape::Triangle | Shape::Diamond => (w.max(36.0), 32.0),
+            _ => (w, h),
+        }
+    }
+}
+
+/// What to draw for an edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSpec {
+    pub label: Option<String>,
+    pub style: EdgeStyle,
+    /// Draw an arrow head at the target end.
+    pub arrow: bool,
+}
+
+impl EdgeSpec {
+    pub fn plain() -> Self {
+        EdgeSpec {
+            label: None,
+            style: EdgeStyle::Solid,
+            arrow: true,
+        }
+    }
+
+    pub fn styled(style: EdgeStyle) -> Self {
+        EdgeSpec {
+            label: None,
+            style,
+            arrow: true,
+        }
+    }
+
+    pub fn labelled(label: impl Into<String>, style: EdgeStyle) -> Self {
+        EdgeSpec {
+            label: Some(label.into()),
+            style,
+            arrow: true,
+        }
+    }
+
+    pub fn undirected(mut self) -> Self {
+        self.arrow = false;
+        self
+    }
+}
+
+/// A complete diagram: graph + drawing specifications.
+pub type Diagram = Graph<NodeSpec, EdgeSpec>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_size_grows_with_label() {
+        let small = NodeSpec::new("a", Shape::Box).size();
+        let big = NodeSpec::new("a-very-long-element-name", Shape::Box).size();
+        assert!(big.0 > small.0);
+        assert_eq!(small.1, 26.0);
+    }
+
+    #[test]
+    fn sublabel_makes_taller() {
+        let plain = NodeSpec::new("price", Shape::Box);
+        let with = plain.clone().with_sublabel("> 20");
+        assert!(with.size().1 > plain.size().1);
+    }
+
+    #[test]
+    fn dot_is_fixed_size() {
+        assert_eq!(
+            NodeSpec::new("whatever-long", Shape::Dot).size(),
+            (10.0, 10.0)
+        );
+    }
+
+    #[test]
+    fn edge_constructors() {
+        let e = EdgeSpec::labelled("offers", EdgeStyle::Thick);
+        assert_eq!(e.label.as_deref(), Some("offers"));
+        assert!(e.arrow);
+        assert!(!EdgeSpec::plain().undirected().arrow);
+    }
+}

@@ -1,0 +1,146 @@
+//! Plane geometry primitives for layout and rendering.
+
+/// A point in diagram coordinates (x grows right, y grows down).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle given by its top-left corner and size.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    pub x: f64,
+    pub y: f64,
+    pub w: f64,
+    pub h: f64,
+}
+
+impl Rect {
+    pub const fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    pub fn bottom(&self) -> f64 {
+        self.y + self.h
+    }
+
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x && p.x <= self.right() && p.y >= self.y && p.y <= self.bottom()
+    }
+
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.bottom()
+            && other.y < self.bottom()
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        let r = self.right().max(other.right());
+        let b = self.bottom().max(other.bottom());
+        Rect::new(x, y, r - x, b - y)
+    }
+
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Grow on all sides by `margin`.
+    pub fn inflate(&self, margin: f64) -> Rect {
+        Rect::new(
+            self.x - margin,
+            self.y - margin,
+            self.w + 2.0 * margin,
+            self.h + 2.0 * margin,
+        )
+    }
+}
+
+/// Whether segments `a1–a2` and `b1–b2` properly cross (shared endpoints do
+/// not count — diagram edges meeting at a node are not a crossing).
+pub fn segments_cross(a1: Point, a2: Point, b1: Point, b2: Point) -> bool {
+    const EPS: f64 = 1e-9;
+    let close = |p: Point, q: Point| (p.x - q.x).abs() < EPS && (p.y - q.y).abs() < EPS;
+    if close(a1, b1) || close(a1, b2) || close(a2, b1) || close(a2, b2) {
+        return false;
+    }
+    let d = |p: Point, q: Point, r: Point| (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x);
+    let d1 = d(b1, b2, a1);
+    let d2 = d(b1, b2, a2);
+    let d3 = d(a1, a2, b1);
+    let d4 = d(a1, a2, b2);
+    (d1 * d2 < -EPS) && (d3 * d4 < -EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_basics() {
+        let r = Rect::new(1.0, 2.0, 4.0, 6.0);
+        assert_eq!(r.center(), Point::new(3.0, 5.0));
+        assert_eq!(r.right(), 5.0);
+        assert_eq!(r.bottom(), 8.0);
+        assert_eq!(r.area(), 24.0);
+        assert!(r.contains(Point::new(3.0, 5.0)));
+        assert!(!r.contains(Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(1.0, 1.0, 2.0, 2.0);
+        let c = Rect::new(5.0, 5.0, 1.0, 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let u = a.union(&c);
+        assert_eq!(u, Rect::new(0.0, 0.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn inflate() {
+        let r = Rect::new(2.0, 2.0, 2.0, 2.0).inflate(1.0);
+        assert_eq!(r, Rect::new(1.0, 1.0, 4.0, 4.0));
+    }
+
+    #[test]
+    fn crossing_detection() {
+        let p = Point::new;
+        // X-shaped crossing.
+        assert!(segments_cross(p(0., 0.), p(2., 2.), p(0., 2.), p(2., 0.)));
+        // Parallel.
+        assert!(!segments_cross(p(0., 0.), p(2., 0.), p(0., 1.), p(2., 1.)));
+        // Shared endpoint — not a crossing.
+        assert!(!segments_cross(p(0., 0.), p(2., 2.), p(0., 0.), p(2., 0.)));
+        // T-touch (endpoint on segment interior) — not a proper crossing.
+        assert!(!segments_cross(p(0., 0.), p(2., 0.), p(1., 0.), p(1., 2.)));
+    }
+
+    #[test]
+    fn distance() {
+        assert_eq!(Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)), 5.0);
+    }
+}

@@ -1,0 +1,555 @@
+//! Sugiyama-style layered layout.
+//!
+//! Pipeline: (1) break cycles by reversing back edges found on a DFS;
+//! (2) assign layers by longest path; (3) replace layer-spanning edges by
+//! chains of virtual nodes; (4) reduce crossings by iterated barycenter or
+//! median sweeps (experiment **T4** ablates the two); (5) assign x
+//! coordinates by neighbour averaging with collision resolution.
+//!
+//! The output maps every original node to a [`Rect`] and every original
+//! edge to a polyline routed through its virtual nodes.
+
+use gql_vgraph::{Graph, NodeIx};
+
+use crate::diagram::{Diagram, NodeSpec};
+use crate::geom::{Point, Rect};
+
+/// Crossing-reduction heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingHeuristic {
+    /// Average of neighbour positions.
+    Barycenter,
+    /// Median of neighbour positions.
+    Median,
+    /// No reordering — the naive baseline layout of experiment T4.
+    None,
+}
+
+/// Layout parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutOptions {
+    pub ordering: OrderingHeuristic,
+    /// Number of down/up sweep pairs.
+    pub sweeps: usize,
+    /// Vertical distance between layer baselines.
+    pub layer_gap: f64,
+    /// Horizontal gap between node boxes in a layer.
+    pub node_gap: f64,
+}
+
+impl Default for LayoutOptions {
+    fn default() -> Self {
+        LayoutOptions {
+            ordering: OrderingHeuristic::Barycenter,
+            sweeps: 4,
+            layer_gap: 70.0,
+            node_gap: 24.0,
+        }
+    }
+}
+
+/// Routed edge: a polyline from source to target border-to-border.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgePath {
+    pub points: Vec<Point>,
+}
+
+/// The computed layout.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Rectangle per original node (indexed by `NodeIx::index()`).
+    pub nodes: Vec<Rect>,
+    /// Polyline per original edge (indexed by `EdgeIx::index()`).
+    pub edges: Vec<EdgePath>,
+    /// Bounding box of the whole drawing.
+    pub bounds: Rect,
+    /// Layer of each original node.
+    pub layers: Vec<usize>,
+}
+
+/// Internal node: original or virtual (edge bend point).
+#[derive(Clone, Copy, PartialEq)]
+enum INode {
+    Real(NodeIx),
+    Virtual,
+}
+
+/// Compute a layered layout for a diagram.
+#[allow(clippy::needless_range_loop)] // split borrows of `order[l]` vs `pos` need indexing
+pub fn layout(diagram: &Diagram, opts: &LayoutOptions) -> Layout {
+    let n = diagram.node_count();
+    if n == 0 {
+        return Layout {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            bounds: Rect::default(),
+            layers: Vec::new(),
+        };
+    }
+
+    // 1. Cycle breaking: DFS, mark back edges as reversed.
+    let reversed = find_back_edges(diagram);
+
+    // 2. Layering (longest path over the acyclic orientation).
+    let layers = assign_layers(diagram, &reversed);
+    let max_layer = layers.iter().copied().max().unwrap_or(0);
+
+    // 3. Build the proper layered graph with virtual nodes.
+    // inodes: per internal node its kind and layer.
+    let mut inodes: Vec<(INode, usize)> = diagram
+        .node_indices()
+        .map(|ix| (INode::Real(ix), layers[ix.index()]))
+        .collect();
+    // segments between internal nodes (directed downwards).
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    // For each original edge, the chain of internal node indices from source
+    // to target (inclusive).
+    let mut edge_chains: Vec<Vec<usize>> = Vec::with_capacity(diagram.edge_count());
+    for e in diagram.edge_indices() {
+        let (s, t) = diagram.endpoints(e);
+        let (mut a, mut b) = (s.index(), t.index());
+        if reversed[e.index()] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let (la, lb) = (inodes[a].1, inodes[b].1);
+        let mut chain = vec![a];
+        if lb > la + 1 {
+            let mut prev = a;
+            for l in la + 1..lb {
+                let v = inodes.len();
+                inodes.push((INode::Virtual, l));
+                segments.push((prev, v));
+                chain.push(v);
+                prev = v;
+            }
+            segments.push((prev, b));
+        } else {
+            segments.push((a, b));
+        }
+        chain.push(b);
+        if reversed[e.index()] {
+            chain.reverse();
+        }
+        edge_chains.push(chain);
+    }
+
+    // Per-layer node lists with stable initial order (insertion order).
+    let mut order: Vec<Vec<usize>> = vec![Vec::new(); max_layer + 1];
+    for (i, &(_, l)) in inodes.iter().enumerate() {
+        order[l].push(i);
+    }
+
+    // Adjacency over internal nodes (down = successors in lower layers).
+    let mut down: Vec<Vec<usize>> = vec![Vec::new(); inodes.len()];
+    let mut up: Vec<Vec<usize>> = vec![Vec::new(); inodes.len()];
+    for &(a, b) in &segments {
+        down[a].push(b);
+        up[b].push(a);
+    }
+
+    // 4. Crossing reduction sweeps.
+    if opts.ordering != OrderingHeuristic::None {
+        let mut pos = positions_of(&order, inodes.len());
+        for _ in 0..opts.sweeps {
+            // Downward sweep: order layer l by neighbours in layer l-1.
+            for l in 1..=max_layer {
+                reorder_layer(&mut order[l], &up, &pos, opts.ordering);
+                refresh_positions(&order[l], &mut pos);
+            }
+            // Upward sweep.
+            for l in (0..max_layer).rev() {
+                reorder_layer(&mut order[l], &down, &pos, opts.ordering);
+                refresh_positions(&order[l], &mut pos);
+            }
+        }
+    }
+
+    // 5. Coordinate assignment.
+    let sizes: Vec<(f64, f64)> = inodes
+        .iter()
+        .map(|&(kind, _)| match kind {
+            INode::Real(ix) => node_size(diagram.node(ix)),
+            INode::Virtual => (1.0, 1.0),
+        })
+        .collect();
+
+    let mut x = vec![0.0f64; inodes.len()];
+    // Initial left-to-right packing per layer.
+    for row in &order {
+        let mut cursor = 0.0;
+        for &i in row {
+            x[i] = cursor + sizes[i].0 / 2.0;
+            cursor += sizes[i].0 + opts.node_gap;
+        }
+    }
+    // Relaxation: pull towards the mean of neighbours, then restore minimum
+    // separation preserving order.
+    for _ in 0..8 {
+        for row in &order {
+            for &i in row {
+                let mut acc = 0.0;
+                let mut cnt = 0usize;
+                for &m in up[i].iter().chain(down[i].iter()) {
+                    acc += x[m];
+                    cnt += 1;
+                }
+                if cnt > 0 {
+                    x[i] = (x[i] + acc / cnt as f64) / 2.0;
+                }
+            }
+            resolve_overlaps(row, &mut x, &sizes, opts.node_gap);
+        }
+    }
+
+    // Shift to non-negative coordinates.
+    let min_x = inodes
+        .iter()
+        .enumerate()
+        .map(|(i, _)| x[i] - sizes[i].0 / 2.0)
+        .fold(f64::INFINITY, f64::min);
+    let shift = if min_x.is_finite() {
+        -min_x + 10.0
+    } else {
+        10.0
+    };
+
+    let layer_y = |l: usize| 10.0 + l as f64 * opts.layer_gap;
+    let mut node_rects = vec![Rect::default(); n];
+    let mut ipoints = vec![Point::default(); inodes.len()];
+    for (i, &(kind, l)) in inodes.iter().enumerate() {
+        let cx = x[i] + shift;
+        let (w, h) = sizes[i];
+        let cy = layer_y(l) + h / 2.0;
+        ipoints[i] = Point::new(cx, cy);
+        if let INode::Real(ix) = kind {
+            node_rects[ix.index()] = Rect::new(cx - w / 2.0, layer_y(l), w, h);
+        }
+    }
+
+    let edges: Vec<EdgePath> = edge_chains
+        .iter()
+        .map(|chain| EdgePath {
+            points: chain.iter().map(|&i| ipoints[i]).collect(),
+        })
+        .collect();
+
+    let mut bounds = node_rects.first().copied().unwrap_or_default();
+    for r in &node_rects {
+        bounds = bounds.union(r);
+    }
+    for e in &edges {
+        for p in &e.points {
+            bounds = bounds.union(&Rect::new(p.x, p.y, 0.0, 0.0));
+        }
+    }
+    bounds = bounds.inflate(10.0);
+
+    Layout {
+        nodes: node_rects,
+        edges,
+        bounds,
+        layers,
+    }
+}
+
+fn node_size(spec: &NodeSpec) -> (f64, f64) {
+    spec.size()
+}
+
+fn positions_of(order: &[Vec<usize>], n: usize) -> Vec<usize> {
+    let mut pos = vec![0usize; n];
+    for row in order {
+        for (p, &i) in row.iter().enumerate() {
+            pos[i] = p;
+        }
+    }
+    pos
+}
+
+fn refresh_positions(row: &[usize], pos: &mut [usize]) {
+    for (p, &i) in row.iter().enumerate() {
+        pos[i] = p;
+    }
+}
+
+fn reorder_layer(
+    row: &mut [usize],
+    neighbours: &[Vec<usize>],
+    pos: &[usize],
+    heuristic: OrderingHeuristic,
+) {
+    let mut keyed: Vec<(f64, usize, usize)> = row
+        .iter()
+        .map(|&i| {
+            let ns = &neighbours[i];
+            let key = if ns.is_empty() {
+                pos[i] as f64 // keep isolated nodes where they are
+            } else {
+                match heuristic {
+                    OrderingHeuristic::Barycenter => {
+                        ns.iter().map(|&m| pos[m] as f64).sum::<f64>() / ns.len() as f64
+                    }
+                    OrderingHeuristic::Median => {
+                        let mut ps: Vec<usize> = ns.iter().map(|&m| pos[m]).collect();
+                        ps.sort_unstable();
+                        ps[ps.len() / 2] as f64
+                    }
+                    OrderingHeuristic::None => pos[i] as f64,
+                }
+            };
+            (key, pos[i], i)
+        })
+        .collect();
+    keyed.sort_by(|a, b| a.partial_cmp(b).expect("finite keys"));
+    for (slot, (_, _, i)) in keyed.into_iter().enumerate() {
+        row[slot] = i;
+    }
+}
+
+/// Push overlapping nodes apart left-to-right, preserving order.
+fn resolve_overlaps(row: &[usize], x: &mut [f64], sizes: &[(f64, f64)], gap: f64) {
+    for w in 1..row.len() {
+        let (prev, cur) = (row[w - 1], row[w]);
+        let min_x = x[prev] + sizes[prev].0 / 2.0 + gap + sizes[cur].0 / 2.0;
+        if x[cur] < min_x {
+            x[cur] = min_x;
+        }
+    }
+}
+
+/// DFS-based back-edge detection; returns per-edge "treat as reversed".
+fn find_back_edges<N, E>(g: &Graph<N, E>) -> Vec<bool> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; g.node_count()];
+    let mut reversed = vec![false; g.edge_count()];
+    for root in g.node_indices() {
+        if color[root.index()] != Color::White {
+            continue;
+        }
+        // Iterative DFS keeping an edge iterator index per frame.
+        let mut stack: Vec<(NodeIx, usize)> = vec![(root, 0)];
+        color[root.index()] = Color::Grey;
+        while let Some(frame) = stack.len().checked_sub(1) {
+            let (v, ei) = stack[frame];
+            let out: Vec<gql_vgraph::EdgeIx> = g.out_edges(v).collect();
+            if ei < out.len() {
+                let e = out[ei];
+                stack[frame].1 += 1;
+                let w = g.target(e);
+                match color[w.index()] {
+                    Color::White => {
+                        color[w.index()] = Color::Grey;
+                        stack.push((w, 0));
+                    }
+                    Color::Grey => reversed[e.index()] = true, // back edge
+                    Color::Black => {}
+                }
+            } else {
+                color[v.index()] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    reversed
+}
+
+/// Longest-path layering over the acyclic orientation.
+fn assign_layers<N, E>(g: &Graph<N, E>, reversed: &[bool]) -> Vec<usize> {
+    // Build oriented adjacency.
+    let n = g.node_count();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for e in g.edge_indices() {
+        let (s, t) = g.endpoints(e);
+        let (a, b) = if reversed[e.index()] {
+            (t.index(), s.index())
+        } else {
+            (s.index(), t.index())
+        };
+        if a == b {
+            continue; // self-loops do not affect layering
+        }
+        adj[a].push(b);
+        indeg[b] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut layer = vec![0usize; n];
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for &w in &adj[v] {
+            layer[w] = layer[w].max(layer[v] + 1);
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    layer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::{EdgeSpec, NodeSpec, Shape};
+    use crate::metrics;
+
+    fn spec(l: &str) -> NodeSpec {
+        NodeSpec::new(l, Shape::Box)
+    }
+
+    #[test]
+    fn chain_layout_is_vertical() {
+        let mut d = Diagram::new();
+        let a = d.add_node(spec("a"));
+        let b = d.add_node(spec("b"));
+        let c = d.add_node(spec("c"));
+        d.add_edge(a, b, EdgeSpec::plain());
+        d.add_edge(b, c, EdgeSpec::plain());
+        let l = layout(&d, &LayoutOptions::default());
+        assert_eq!(l.layers, vec![0, 1, 2]);
+        assert!(l.nodes[0].y < l.nodes[1].y && l.nodes[1].y < l.nodes[2].y);
+        assert_eq!(l.edges.len(), 2);
+    }
+
+    #[test]
+    fn siblings_do_not_overlap() {
+        let mut d = Diagram::new();
+        let root = d.add_node(spec("root"));
+        let kids: Vec<_> = (0..6)
+            .map(|i| d.add_node(spec(&format!("child-{i}"))))
+            .collect();
+        for &k in &kids {
+            d.add_edge(root, k, EdgeSpec::plain());
+        }
+        let l = layout(&d, &LayoutOptions::default());
+        for i in 0..kids.len() {
+            for j in i + 1..kids.len() {
+                let (a, b) = (l.nodes[kids[i].index()], l.nodes[kids[j].index()]);
+                assert!(!a.intersects(&b), "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_edges_get_bend_points() {
+        let mut d = Diagram::new();
+        let a = d.add_node(spec("a"));
+        let b = d.add_node(spec("b"));
+        let c = d.add_node(spec("c"));
+        d.add_edge(a, b, EdgeSpec::plain());
+        d.add_edge(b, c, EdgeSpec::plain());
+        let e_long = d.add_edge(a, c, EdgeSpec::plain()); // spans 2 layers
+        let l = layout(&d, &LayoutOptions::default());
+        assert_eq!(l.edges[e_long.index()].points.len(), 3);
+    }
+
+    #[test]
+    fn cycles_are_handled() {
+        let mut d = Diagram::new();
+        let a = d.add_node(spec("a"));
+        let b = d.add_node(spec("b"));
+        d.add_edge(a, b, EdgeSpec::plain());
+        d.add_edge(b, a, EdgeSpec::plain());
+        let l = layout(&d, &LayoutOptions::default());
+        assert_eq!(l.nodes.len(), 2);
+        assert_ne!(l.layers[0], l.layers[1]);
+    }
+
+    #[test]
+    fn self_loop_does_not_panic() {
+        let mut d = Diagram::new();
+        let a = d.add_node(spec("a"));
+        d.add_edge(a, a, EdgeSpec::plain());
+        let l = layout(&d, &LayoutOptions::default());
+        assert_eq!(l.nodes.len(), 1);
+    }
+
+    #[test]
+    fn empty_diagram() {
+        let d = Diagram::new();
+        let l = layout(&d, &LayoutOptions::default());
+        assert!(l.nodes.is_empty());
+        assert!(l.edges.is_empty());
+    }
+
+    #[test]
+    fn barycenter_reduces_crossings_on_bipartite_tangle() {
+        // K-shaped tangle: upper u0..u3 connect to lower in reversed order;
+        // the identity order has C(4,2)=6 crossings, optimum is 0 after
+        // flipping one side.
+        let mut d = Diagram::new();
+        let src = d.add_node(spec("s"));
+        let uppers: Vec<_> = (0..4).map(|i| d.add_node(spec(&format!("u{i}")))).collect();
+        let lowers: Vec<_> = (0..4).map(|i| d.add_node(spec(&format!("l{i}")))).collect();
+        for &u in &uppers {
+            d.add_edge(src, u, EdgeSpec::plain());
+        }
+        for (i, &u) in uppers.iter().enumerate() {
+            d.add_edge(u, lowers[3 - i], EdgeSpec::plain());
+        }
+        let naive = layout(
+            &d,
+            &LayoutOptions {
+                ordering: OrderingHeuristic::None,
+                ..Default::default()
+            },
+        );
+        let tuned = layout(&d, &LayoutOptions::default());
+        let c_naive = metrics::crossings(&naive);
+        let c_tuned = metrics::crossings(&tuned);
+        assert!(c_tuned <= c_naive, "tuned {c_tuned} vs naive {c_naive}");
+        assert_eq!(c_tuned, 0);
+    }
+
+    #[test]
+    fn median_heuristic_also_works() {
+        let mut d = Diagram::new();
+        let a = d.add_node(spec("a"));
+        let kids: Vec<_> = (0..5).map(|i| d.add_node(spec(&format!("k{i}")))).collect();
+        for &k in &kids {
+            d.add_edge(a, k, EdgeSpec::plain());
+        }
+        let l = layout(
+            &d,
+            &LayoutOptions {
+                ordering: OrderingHeuristic::Median,
+                ..Default::default()
+            },
+        );
+        assert_eq!(metrics::crossings(&l), 0);
+    }
+
+    #[test]
+    fn bounds_cover_everything() {
+        let mut d = Diagram::new();
+        let a = d.add_node(spec("alpha"));
+        let b = d.add_node(spec("beta"));
+        d.add_edge(a, b, EdgeSpec::plain());
+        let l = layout(&d, &LayoutOptions::default());
+        for r in &l.nodes {
+            assert!(l.bounds.x <= r.x && l.bounds.right() >= r.right());
+            assert!(l.bounds.y <= r.y && l.bounds.bottom() >= r.bottom());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut d = Diagram::new();
+        let nodes: Vec<_> = (0..10)
+            .map(|i| d.add_node(spec(&format!("n{i}"))))
+            .collect();
+        for i in 0..9 {
+            d.add_edge(nodes[i % 3], nodes[i + 1], EdgeSpec::plain());
+        }
+        let l1 = layout(&d, &LayoutOptions::default());
+        let l2 = layout(&d, &LayoutOptions::default());
+        assert_eq!(l1.nodes, l2.nodes);
+    }
+}

@@ -1,0 +1,28 @@
+//! # gql-layout — diagram layout and rendering
+//!
+//! The paper's languages are *visual*: a query is a picture. Because the
+//! reproduction substitutes an interactive editor with a programmatic
+//! diagram model (see DESIGN.md), this crate supplies the part of the GUI
+//! that carries semantics for a reader: automatic layout of diagram graphs
+//! and deterministic rendering to SVG and ASCII.
+//!
+//! * [`diagram`] — the renderer-facing model: shaped, labelled nodes
+//!   ([`NodeSpec`]) and styled edges ([`EdgeSpec`]) on a [`gql_vgraph::Graph`];
+//! * [`layered`] — a Sugiyama-style pipeline (cycle breaking, longest-path
+//!   layering, barycenter/median crossing reduction, coordinate assignment);
+//! * [`containment`] — nested-box layout for tree-shaped diagrams (the
+//!   visual-treemap style of VXT / Xing document metaphors);
+//! * [`metrics`] — readability measures (edge crossings, total edge length,
+//!   area) used by experiment **T4**;
+//! * [`render`] — SVG and ASCII back-ends.
+
+pub mod containment;
+pub mod diagram;
+pub mod geom;
+pub mod layered;
+pub mod metrics;
+pub mod render;
+
+pub use diagram::{Diagram, EdgeSpec, EdgeStyle, NodeSpec, Shape};
+pub use geom::{Point, Rect};
+pub use layered::{layout, Layout, LayoutOptions, OrderingHeuristic};

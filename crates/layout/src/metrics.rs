@@ -1,0 +1,120 @@
+//! Diagram readability metrics (experiment **T4**).
+//!
+//! The classic aesthetic criteria for graph drawings: edge crossings, total
+//! edge length, drawing area and aspect ratio. The harness reports these for
+//! the Q1–Q10 diagrams under tuned and naive layouts.
+
+use crate::geom::segments_cross;
+use crate::layered::Layout;
+
+/// Number of proper pairwise crossings between edge segments.
+pub fn crossings(layout: &Layout) -> usize {
+    let mut segs = Vec::new();
+    for (ei, e) in layout.edges.iter().enumerate() {
+        for w in e.points.windows(2) {
+            segs.push((ei, w[0], w[1]));
+        }
+    }
+    let mut count = 0;
+    for i in 0..segs.len() {
+        for j in i + 1..segs.len() {
+            // Segments of the same edge never count (they share bends).
+            if segs[i].0 == segs[j].0 {
+                continue;
+            }
+            if segments_cross(segs[i].1, segs[i].2, segs[j].1, segs[j].2) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Sum of polyline lengths over all edges.
+pub fn total_edge_length(layout: &Layout) -> f64 {
+    layout
+        .edges
+        .iter()
+        .map(|e| {
+            e.points
+                .windows(2)
+                .map(|w| w[0].distance(w[1]))
+                .sum::<f64>()
+        })
+        .sum()
+}
+
+/// Area of the drawing's bounding box.
+pub fn area(layout: &Layout) -> f64 {
+    layout.bounds.area()
+}
+
+/// Width / height ratio of the drawing (0 for empty drawings).
+pub fn aspect_ratio(layout: &Layout) -> f64 {
+    if layout.bounds.h == 0.0 {
+        0.0
+    } else {
+        layout.bounds.w / layout.bounds.h
+    }
+}
+
+/// Bundle of all metrics, convenient for tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Readability {
+    pub crossings: usize,
+    pub total_edge_length: f64,
+    pub area: f64,
+    pub aspect_ratio: f64,
+}
+
+/// Compute every metric at once.
+pub fn readability(layout: &Layout) -> Readability {
+    Readability {
+        crossings: crossings(layout),
+        total_edge_length: total_edge_length(layout),
+        area: area(layout),
+        aspect_ratio: aspect_ratio(layout),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::{Diagram, EdgeSpec, NodeSpec, Shape};
+    use crate::layered::{layout, LayoutOptions};
+
+    #[test]
+    fn straight_chain_has_no_crossings() {
+        let mut d = Diagram::new();
+        let a = d.add_node(NodeSpec::new("a", Shape::Box));
+        let b = d.add_node(NodeSpec::new("b", Shape::Box));
+        d.add_edge(a, b, EdgeSpec::plain());
+        let l = layout(&d, &LayoutOptions::default());
+        let m = readability(&l);
+        assert_eq!(m.crossings, 0);
+        assert!(m.total_edge_length > 0.0);
+        assert!(m.area > 0.0);
+        assert!(m.aspect_ratio > 0.0);
+    }
+
+    #[test]
+    fn edge_length_is_at_least_layer_gap_distance() {
+        let mut d = Diagram::new();
+        let a = d.add_node(NodeSpec::new("a", Shape::Box));
+        let b = d.add_node(NodeSpec::new("b", Shape::Box));
+        d.add_edge(a, b, EdgeSpec::plain());
+        let opts = LayoutOptions::default();
+        let l = layout(&d, &opts);
+        // Centre-to-centre distance spans one layer gap.
+        assert!(total_edge_length(&l) >= opts.layer_gap - 30.0);
+    }
+
+    #[test]
+    fn empty_layout_metrics() {
+        let d = Diagram::new();
+        let l = layout(&d, &LayoutOptions::default());
+        assert_eq!(crossings(&l), 0);
+        assert_eq!(total_edge_length(&l), 0.0);
+        assert_eq!(aspect_ratio(&l), 0.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Rendering back-ends: SVG (for figures) and ASCII (for terminals/tests).
+
+pub mod ascii;
+pub mod boxes;
+pub mod svg;
+
+pub use ascii::to_ascii;
+pub use boxes::boxes_to_svg;
+pub use svg::to_svg;
+
+/// Escape text for SVG/XML content and attribute positions.
+pub(crate) fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}

@@ -1,0 +1,171 @@
+//! ASCII renderer — coarse terminal view of a laid-out diagram.
+//!
+//! Used by the examples and the harness to show query diagrams without an
+//! image viewer: nodes become bracketed labels on a character grid, edges
+//! become `|`, `-`, `\`, `/` runs drawn with Bresenham stepping.
+
+use crate::diagram::{Diagram, Shape};
+use crate::layered::Layout;
+
+const SCALE_X: f64 = 0.14;
+const SCALE_Y: f64 = 0.09;
+
+/// Render a laid-out diagram to a multi-line ASCII string.
+pub fn to_ascii(diagram: &Diagram, layout: &Layout) -> String {
+    if diagram.node_count() == 0 {
+        return String::new();
+    }
+    let b = layout.bounds;
+    let width = ((b.w * SCALE_X).ceil() as usize + 2).max(4);
+    let height = ((b.h * SCALE_Y).ceil() as usize + 1).max(2);
+    let mut grid = vec![vec![' '; width]; height];
+
+    let to_cell = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x - b.x) * SCALE_X) as usize;
+        let cy = ((y - b.y) * SCALE_Y) as usize;
+        (cx.min(width - 1), cy.min(height - 1))
+    };
+
+    // Edges first so nodes overwrite them.
+    for e in diagram.edge_indices() {
+        let path = &layout.edges[e.index()];
+        for w in path.points.windows(2) {
+            let (x0, y0) = to_cell(w[0].x, w[0].y);
+            let (x1, y1) = to_cell(w[1].x, w[1].y);
+            draw_line(&mut grid, x0 as i64, y0 as i64, x1 as i64, y1 as i64);
+        }
+    }
+
+    // Nodes as "[label]"-style markers centred on their rectangle.
+    for ix in diagram.node_indices() {
+        let spec = diagram.node(ix);
+        let r = layout.nodes[ix.index()];
+        let c = r.center();
+        let (cx, cy) = to_cell(c.x, c.y);
+        let (open, close) = match spec.shape {
+            Shape::Box | Shape::RoundedBox => ('[', ']'),
+            Shape::Circle => ('(', ')'),
+            Shape::Dot => ('*', '*'),
+            Shape::Triangle => ('^', '^'),
+            Shape::Diamond => ('<', '>'),
+        };
+        let text: String = format!("{open}{}{close}", spec.label);
+        let start = cx.saturating_sub(text.chars().count() / 2);
+        for (i, ch) in text.chars().enumerate() {
+            if start + i < width {
+                grid[cy][start + i] = ch;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    // Drop trailing blank lines.
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    out
+}
+
+fn draw_line(grid: &mut [Vec<char>], x0: i64, y0: i64, x1: i64, y1: i64) {
+    let dx = (x1 - x0).abs();
+    let dy = (y1 - y0).abs();
+    let glyph = if dy == 0 {
+        '-'
+    } else if dx == 0 {
+        '|'
+    } else if (x1 > x0) == (y1 > y0) {
+        '\\'
+    } else {
+        '/'
+    };
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let (mut x, mut y) = (x0, y0);
+    let mut err = dx - dy;
+    loop {
+        if y >= 0 && (y as usize) < grid.len() && x >= 0 && (x as usize) < grid[0].len() {
+            let cell = &mut grid[y as usize][x as usize];
+            if *cell == ' ' {
+                *cell = glyph;
+            }
+        }
+        if x == x1 && y == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 > -dy {
+            err -= dy;
+            x += sx;
+        }
+        if e2 < dx {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagram::{EdgeSpec, NodeSpec};
+    use crate::layered::{layout, LayoutOptions};
+
+    #[test]
+    fn renders_labels_and_connectors() {
+        let mut d = Diagram::new();
+        let a = d.add_node(NodeSpec::new("bib", Shape::Box));
+        let b = d.add_node(NodeSpec::new("book", Shape::Box));
+        d.add_edge(a, b, EdgeSpec::plain());
+        let l = layout(&d, &LayoutOptions::default());
+        let text = to_ascii(&d, &l);
+        assert!(text.contains("[bib]"), "{text}");
+        assert!(text.contains("[book]"), "{text}");
+        assert!(
+            text.contains('|') || text.contains('\\') || text.contains('/'),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn shape_brackets() {
+        let mut d = Diagram::new();
+        d.add_node(NodeSpec::new("t", Shape::Circle));
+        d.add_node(NodeSpec::new("agg", Shape::Triangle));
+        d.add_node(NodeSpec::new("c", Shape::Diamond));
+        let l = layout(&d, &LayoutOptions::default());
+        let text = to_ascii(&d, &l);
+        assert!(text.contains("(t)"));
+        assert!(text.contains("^agg^"));
+        assert!(text.contains("<c>"));
+    }
+
+    #[test]
+    fn empty_diagram_renders_empty() {
+        let d = Diagram::new();
+        let l = layout(&d, &LayoutOptions::default());
+        assert_eq!(to_ascii(&d, &l), "");
+    }
+
+    #[test]
+    fn no_panics_on_dense_graph() {
+        let mut d = Diagram::new();
+        let nodes: Vec<_> = (0..12)
+            .map(|i| d.add_node(NodeSpec::new(format!("n{i}"), Shape::Box)))
+            .collect();
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                if (i + j) % 3 == 0 {
+                    d.add_edge(nodes[i], nodes[j], EdgeSpec::plain());
+                }
+            }
+        }
+        let l = layout(&d, &LayoutOptions::default());
+        let text = to_ascii(&d, &l);
+        assert!(!text.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! SVG rendering for nested-box (containment) layouts — the document
+//! metaphor view used by the Xing and VXT systems the survey covers.
+
+use std::fmt::Write as _;
+
+use crate::containment::BoxLayout;
+
+/// Render a nested-box layout to an SVG document string. Deeper boxes get
+/// progressively lighter fills so nesting reads at a glance.
+pub fn boxes_to_svg(layout: &BoxLayout) -> String {
+    let b = layout.bounds.inflate(6.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         viewBox=\"{:.1} {:.1} {:.1} {:.1}\" font-family=\"sans-serif\" font-size=\"11\">",
+        b.w, b.h, b.x, b.y, b.w, b.h
+    );
+    for (rect, label, depth) in &layout.rects {
+        let shade = 244u8.saturating_sub((*depth as u8).saturating_mul(6));
+        let _ = writeln!(
+            out,
+            "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" rx=\"4\" \
+             fill=\"rgb({shade},{shade},{shade})\" stroke=\"black\" stroke-width=\"0.8\"/>",
+            rect.x, rect.y, rect.w, rect.h
+        );
+        let _ = writeln!(
+            out,
+            "  <text x=\"{:.1}\" y=\"{:.1}\" font-weight=\"bold\">{}</text>",
+            rect.x + 4.0,
+            rect.y + 13.0,
+            super::esc(label)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::{nested, BoxNode, BoxOptions};
+
+    fn sample() -> BoxLayout {
+        let tree = BoxNode::with_children(
+            "product",
+            vec![
+                BoxNode::leaf("name: cabbage"),
+                BoxNode::with_children(
+                    "price",
+                    vec![BoxNode::leaf("unit: piece"), BoxNode::leaf("value: 0.59")],
+                ),
+            ],
+        );
+        nested(&tree, &BoxOptions::default())
+    }
+
+    #[test]
+    fn renders_every_box_and_label() {
+        let svg = boxes_to_svg(&sample());
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains("name: cabbage"));
+        assert!(svg.contains("value: 0.59"));
+    }
+
+    #[test]
+    fn deeper_boxes_are_lighter() {
+        let svg = boxes_to_svg(&sample());
+        // depth 0 fill appears before depth 2 fill; the shades differ.
+        assert!(svg.contains("rgb(244,244,244)"));
+        assert!(svg.contains("rgb(232,232,232)"));
+    }
+
+    #[test]
+    fn escapes_labels() {
+        let layout = nested(&BoxNode::leaf("a < b & c"), &BoxOptions::default());
+        let svg = boxes_to_svg(&layout);
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b"));
+    }
+}

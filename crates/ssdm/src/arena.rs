@@ -1,0 +1,153 @@
+//! Arena primitives: compact node ids and a string interner for names.
+//!
+//! The document store keeps every node in a flat `Vec`, addressed by
+//! [`NodeId`] (a `u32` newtype). Element and attribute names are interned
+//! into [`Symbol`]s so that name comparison during pattern matching is an
+//! integer comparison instead of a string comparison — the single hottest
+//! operation in all three query engines.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node inside a [`crate::Document`] arena.
+///
+/// Ids are only meaningful together with the document that created them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena slot this id refers to.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an id from a raw index. Callers are responsible for the index
+    /// being valid for the document it is used with.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize);
+        NodeId(i as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Interned name (element tag or attribute name).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// Append-only string interner. Strings are never freed; lookups are O(1)
+/// hash probes and resolution is an index into a `Vec`.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `s`, returning its symbol; repeated calls with equal strings
+    /// return equal symbols.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(self.strings.len() as u32);
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Look a string up without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("book");
+        let b = i.intern("book");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("book");
+        let b = i.intern("author");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "book");
+        assert_eq!(i.resolve(b), "author");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("title").is_none());
+        let s = i.intern("title");
+        assert_eq!(i.get("title"), Some(s));
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let mut i = Interner::new();
+        let e = i.intern("");
+        assert_eq!(i.resolve(e), "");
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+    }
+}

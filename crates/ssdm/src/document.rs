@@ -1,0 +1,804 @@
+//! The arena-based document store.
+//!
+//! A [`Document`] owns every node of one semi-structured document in a flat
+//! arena, addressed by [`NodeId`]. The tree shape is stored as parent links
+//! plus ordered child vectors; names are interned [`Symbol`]s. A synthetic
+//! *document node* (kind [`NodeKind::Document`]) is always present as the
+//! arena root so that parsing and construction never special-case the top
+//! level.
+//!
+//! Document order (pre-order position, the order XPath and XML-GL ordered
+//! matching are defined over) is computed lazily and cached; any structural
+//! mutation invalidates the cache.
+
+use std::cell::RefCell;
+use std::cmp::Ordering;
+
+use crate::arena::{Interner, NodeId, Symbol};
+use crate::error::{Error, Result};
+
+/// Classification of nodes stored in a [`Document`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// The synthetic arena root; exactly one per document.
+    Document,
+    /// An element with a tag name, attributes and ordered children.
+    Element,
+    /// A text node; leaf.
+    Text,
+    /// A comment; leaf. Preserved by the parser so serialisation round-trips.
+    Comment,
+    /// A processing instruction with target (stored as the node name) and data.
+    Pi,
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    kind: NodeKind,
+    /// Element tag name or PI target.
+    name: Option<Symbol>,
+    /// Text / comment content or PI data.
+    text: Option<Box<str>>,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Attribute name/value pairs in the order they were set.
+    attrs: Vec<(Symbol, Box<str>)>,
+}
+
+impl NodeData {
+    fn leaf(kind: NodeKind, name: Option<Symbol>, text: Option<Box<str>>) -> Self {
+        NodeData {
+            kind,
+            name,
+            text,
+            parent: None,
+            children: Vec::new(),
+            attrs: Vec::new(),
+        }
+    }
+}
+
+/// An in-memory semi-structured document.
+///
+/// All navigation accessors take `&self`; all structural mutation takes
+/// `&mut self`. Node ids stay valid for the lifetime of the document —
+/// detached nodes are kept in the arena (there is no garbage collection;
+/// documents are built once and queried many times, matching the workload of
+/// the paper's engines).
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<NodeData>,
+    interner: Interner,
+    root: NodeId,
+    /// Lazily computed pre-order positions, invalidated on mutation.
+    order: RefCell<Option<Vec<u32>>>,
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Document {
+    /// Create an empty document containing only the synthetic document node.
+    pub fn new() -> Self {
+        let mut doc = Document {
+            nodes: Vec::new(),
+            interner: Interner::new(),
+            root: NodeId(0),
+            order: RefCell::new(None),
+        };
+        doc.nodes
+            .push(NodeData::leaf(NodeKind::Document, None, None));
+        doc
+    }
+
+    /// Parse an XML string into a fresh document. See [`crate::xml`] for the
+    /// supported subset.
+    pub fn parse_str(input: &str) -> Result<Self> {
+        crate::xml::parse(input)
+    }
+
+    /// Serialize the document back to XML (compact form).
+    pub fn to_xml_string(&self) -> String {
+        crate::xml::write(self, false)
+    }
+
+    /// Serialize the document to indented XML.
+    pub fn to_xml_pretty(&self) -> String {
+        crate::xml::write(self, true)
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, data: NodeData) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(data);
+        self.invalidate_order();
+        id
+    }
+
+    /// Create a detached element node.
+    pub fn create_element(&mut self, name: &str) -> NodeId {
+        let sym = self.interner.intern(name);
+        self.push(NodeData::leaf(NodeKind::Element, Some(sym), None))
+    }
+
+    /// Create a detached text node.
+    pub fn create_text(&mut self, text: &str) -> NodeId {
+        self.push(NodeData::leaf(NodeKind::Text, None, Some(text.into())))
+    }
+
+    /// Create a detached comment node.
+    pub fn create_comment(&mut self, text: &str) -> NodeId {
+        self.push(NodeData::leaf(NodeKind::Comment, None, Some(text.into())))
+    }
+
+    /// Create a detached processing-instruction node.
+    pub fn create_pi(&mut self, target: &str, data: &str) -> NodeId {
+        let sym = self.interner.intern(target);
+        self.push(NodeData::leaf(NodeKind::Pi, Some(sym), Some(data.into())))
+    }
+
+    /// Append a detached node as the last child of `parent`.
+    ///
+    /// Fails if `child` already has a parent (detach it first), if `parent`
+    /// is a leaf kind, or if the edge would create a cycle.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
+        self.check(parent)?;
+        self.check(child)?;
+        if child == self.root {
+            return Err(Error::structure("the document node cannot be a child"));
+        }
+        match self.nodes[parent.index()].kind {
+            NodeKind::Document | NodeKind::Element => {}
+            k => {
+                return Err(Error::structure(format!(
+                    "{k:?} nodes cannot have children"
+                )))
+            }
+        }
+        if self.nodes[child.index()].parent.is_some() {
+            return Err(Error::structure(format!("{child} already has a parent")));
+        }
+        // Cycle check: parent must not be inside child's subtree.
+        let mut cur = Some(parent);
+        while let Some(n) = cur {
+            if n == child {
+                return Err(Error::structure("append would create a cycle"));
+            }
+            cur = self.nodes[n.index()].parent;
+        }
+        self.nodes[child.index()].parent = Some(parent);
+        self.nodes[parent.index()].children.push(child);
+        self.invalidate_order();
+        Ok(())
+    }
+
+    /// Detach `node` from its parent (no-op if already detached). The node
+    /// and its subtree remain usable and can be re-appended elsewhere.
+    pub fn detach(&mut self, node: NodeId) -> Result<()> {
+        self.check(node)?;
+        if node == self.root {
+            return Err(Error::structure("cannot detach the document node"));
+        }
+        if let Some(p) = self.nodes[node.index()].parent.take() {
+            let siblings = &mut self.nodes[p.index()].children;
+            if let Some(pos) = siblings.iter().position(|&c| c == node) {
+                siblings.remove(pos);
+            }
+            self.invalidate_order();
+        }
+        Ok(())
+    }
+
+    /// Set (or replace) an attribute on an element.
+    pub fn set_attr(&mut self, node: NodeId, name: &str, value: &str) -> Result<()> {
+        self.check(node)?;
+        if self.nodes[node.index()].kind != NodeKind::Element {
+            return Err(Error::structure("attributes are only valid on elements"));
+        }
+        let sym = self.interner.intern(name);
+        let attrs = &mut self.nodes[node.index()].attrs;
+        if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == sym) {
+            slot.1 = value.into();
+        } else {
+            attrs.push((sym, value.into()));
+        }
+        Ok(())
+    }
+
+    /// Remove an attribute; returns whether it was present.
+    pub fn remove_attr(&mut self, node: NodeId, name: &str) -> Result<bool> {
+        self.check(node)?;
+        let Some(sym) = self.interner.get(name) else {
+            return Ok(false);
+        };
+        let attrs = &mut self.nodes[node.index()].attrs;
+        let before = attrs.len();
+        attrs.retain(|(n, _)| *n != sym);
+        Ok(attrs.len() != before)
+    }
+
+    /// Convenience: create an element, append it under `parent`, return it.
+    pub fn add_element(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let el = self.create_element(name);
+        self.append_child(parent, el)
+            .expect("fresh element is appendable");
+        el
+    }
+
+    /// Convenience: create a text node under `parent`.
+    pub fn add_text(&mut self, parent: NodeId, text: &str) -> NodeId {
+        let t = self.create_text(text);
+        self.append_child(parent, t)
+            .expect("fresh text node is appendable");
+        t
+    }
+
+    /// Convenience: element with a single text child — the dominant shape in
+    /// semi-structured datasets (`<name>DeRuiter</name>`).
+    pub fn add_text_element(&mut self, parent: NodeId, name: &str, text: &str) -> NodeId {
+        let el = self.add_element(parent, name);
+        self.add_text(el, text);
+        el
+    }
+
+    /// Deep-copy the subtree rooted at `node` from `src` into `self`,
+    /// returning the new (detached) root. Used by construction engines when
+    /// materialising query results.
+    pub fn import_subtree(&mut self, src: &Document, node: NodeId) -> NodeId {
+        let data = &src.nodes[node.index()];
+        let new = match data.kind {
+            NodeKind::Document => {
+                // A whole document has no tag of its own: graft its children
+                // under a fresh `document` element so the import is always a
+                // single well-formed subtree.
+                self.create_element("document")
+            }
+            NodeKind::Element => {
+                let name = src.interner.resolve(data.name.expect("elements are named"));
+                let el = self.create_element(name);
+                for (n, v) in &data.attrs {
+                    let name = src.interner.resolve(*n);
+                    self.set_attr(el, name, v).expect("element accepts attrs");
+                }
+                el
+            }
+            NodeKind::Text => self.create_text(data.text.as_deref().unwrap_or("")),
+            NodeKind::Comment => self.create_comment(data.text.as_deref().unwrap_or("")),
+            NodeKind::Pi => {
+                let target = src.interner.resolve(data.name.expect("PIs are named"));
+                self.create_pi(target, data.text.as_deref().unwrap_or(""))
+            }
+        };
+        if matches!(data.kind, NodeKind::Element | NodeKind::Document) {
+            for &c in &data.children {
+                let imported = self.import_subtree(src, c);
+                self.append_child(new, imported)
+                    .expect("imported child is fresh");
+            }
+        }
+        new
+    }
+
+    // ------------------------------------------------------------------
+    // Navigation
+    // ------------------------------------------------------------------
+
+    fn check(&self, node: NodeId) -> Result<()> {
+        if node.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(Error::invalid_node(format!("{node} out of range")))
+        }
+    }
+
+    /// The synthetic document node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The first element child of the document node, if any.
+    pub fn root_element(&self) -> Option<NodeId> {
+        self.child_elements(self.root).next()
+    }
+
+    /// Kind of a node.
+    #[inline]
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.nodes[node.index()].kind
+    }
+
+    /// Tag name (elements) or target (PIs).
+    pub fn name(&self, node: NodeId) -> Option<&str> {
+        self.nodes[node.index()]
+            .name
+            .map(|s| self.interner.resolve(s))
+    }
+
+    /// Interned tag name; faster to compare than strings.
+    #[inline]
+    pub fn name_sym(&self, node: NodeId) -> Option<Symbol> {
+        self.nodes[node.index()].name
+    }
+
+    /// Text content of a text/comment/PI node (not recursive).
+    pub fn text(&self, node: NodeId) -> Option<&str> {
+        self.nodes[node.index()].text.as_deref()
+    }
+
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// Ordered children (all kinds).
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// Ordered element children.
+    pub fn child_elements(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(node)
+            .iter()
+            .copied()
+            .filter(|&c| self.kind(c) == NodeKind::Element)
+    }
+
+    /// Element children with a given tag name.
+    pub fn child_elements_named<'a>(
+        &'a self,
+        node: NodeId,
+        name: &str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        let sym = self.interner.get(name);
+        self.child_elements(node)
+            .filter(move |&c| sym.is_some() && self.name_sym(c) == sym)
+    }
+
+    /// Attributes of an element in set order.
+    pub fn attrs(&self, node: NodeId) -> impl Iterator<Item = (&str, &str)> + '_ {
+        self.nodes[node.index()]
+            .attrs
+            .iter()
+            .map(move |(n, v)| (self.interner.resolve(*n), v.as_ref()))
+    }
+
+    /// Value of one attribute.
+    pub fn attr(&self, node: NodeId, name: &str) -> Option<&str> {
+        let sym = self.interner.get(name)?;
+        self.nodes[node.index()]
+            .attrs
+            .iter()
+            .find(|(n, _)| *n == sym)
+            .map(|(_, v)| v.as_ref())
+    }
+
+    /// Number of attributes on a node.
+    pub fn attr_count(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].attrs.len()
+    }
+
+    /// Pre-order iterator over the subtree rooted at `node`, including
+    /// `node` itself.
+    pub fn descendants_or_self(&self, node: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: vec![node],
+        }
+    }
+
+    /// Pre-order iterator over proper descendants of `node`.
+    pub fn descendants(&self, node: NodeId) -> Descendants<'_> {
+        let mut stack: Vec<NodeId> = self.children(node).to_vec();
+        stack.reverse();
+        Descendants { doc: self, stack }
+    }
+
+    /// All elements in the document with the given tag, in document order.
+    pub fn elements_named<'a>(&'a self, name: &str) -> impl Iterator<Item = NodeId> + 'a {
+        let sym = self.interner.get(name);
+        self.descendants(self.root).filter(move |&n| {
+            self.kind(n) == NodeKind::Element && sym.is_some() && self.name_sym(n) == sym
+        })
+    }
+
+    /// Concatenated text of all descendant text nodes — XPath's `string()`.
+    pub fn text_content(&self, node: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(node, &mut out);
+        out
+    }
+
+    fn collect_text(&self, node: NodeId, out: &mut String) {
+        match self.kind(node) {
+            NodeKind::Text => out.push_str(self.text(node).unwrap_or("")),
+            NodeKind::Comment | NodeKind::Pi => {}
+            NodeKind::Element | NodeKind::Document => {
+                for &c in self.children(node) {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Total number of arena slots (includes detached nodes and the document
+    /// node). Useful as a size metric for benches.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from the document node.
+    pub fn live_node_count(&self) -> usize {
+        self.descendants_or_self(self.root).count()
+    }
+
+    /// Depth of a node (document node has depth 0).
+    pub fn depth(&self, node: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = self.parent(node);
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.parent(p);
+        }
+        d
+    }
+
+    /// Zero-based position among same-parent siblings; 0 for detached nodes.
+    pub fn sibling_index(&self, node: NodeId) -> usize {
+        match self.parent(node) {
+            Some(p) => self
+                .children(p)
+                .iter()
+                .position(|&c| c == node)
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// The following sibling, if any.
+    pub fn next_sibling(&self, node: NodeId) -> Option<NodeId> {
+        let p = self.parent(node)?;
+        let siblings = self.children(p);
+        let i = siblings.iter().position(|&c| c == node)?;
+        siblings.get(i + 1).copied()
+    }
+
+    /// The preceding sibling, if any.
+    pub fn prev_sibling(&self, node: NodeId) -> Option<NodeId> {
+        let p = self.parent(node)?;
+        let siblings = self.children(p);
+        let i = siblings.iter().position(|&c| c == node)?;
+        i.checked_sub(1).map(|j| siblings[j])
+    }
+
+    /// Whether `anc` is `node` or one of its ancestors.
+    pub fn is_ancestor_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        let mut cur = Some(node);
+        while let Some(n) = cur {
+            if n == anc {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Document order
+    // ------------------------------------------------------------------
+
+    fn invalidate_order(&mut self) {
+        *self.order.get_mut() = None;
+    }
+
+    fn ensure_order(&self) {
+        let mut cache = self.order.borrow_mut();
+        if cache.is_some() {
+            return;
+        }
+        let mut order = vec![u32::MAX; self.nodes.len()];
+        let mut counter = 0u32;
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            order[n.index()] = counter;
+            counter += 1;
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        *cache = Some(order);
+    }
+
+    /// Pre-order position of a node; detached nodes sort after all attached
+    /// ones (position `u32::MAX`).
+    pub fn order_key(&self, node: NodeId) -> u32 {
+        self.ensure_order();
+        self.order.borrow().as_ref().expect("order cache filled")[node.index()]
+    }
+
+    /// Compare two nodes by document order.
+    pub fn doc_order_cmp(&self, a: NodeId, b: NodeId) -> Ordering {
+        self.order_key(a).cmp(&self.order_key(b))
+    }
+
+    /// Sort a node list into document order and drop duplicates — the
+    /// normalisation every engine applies to result node-sets.
+    pub fn sort_dedup_doc_order(&self, nodes: &mut Vec<NodeId>) {
+        self.ensure_order();
+        let order = self.order.borrow();
+        let order = order.as_ref().expect("order cache filled");
+        // Detached nodes all share the sentinel key; tie-break on the id so
+        // equal nodes become adjacent and dedup removes them.
+        nodes.sort_by_key(|n| (order[n.index()], n.index()));
+        nodes.dedup();
+    }
+
+    // ------------------------------------------------------------------
+    // Interner access
+    // ------------------------------------------------------------------
+
+    /// Intern a name in this document's symbol table.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Look up a name without interning.
+    pub fn lookup_sym(&self, s: &str) -> Option<Symbol> {
+        self.interner.get(s)
+    }
+
+    /// Resolve a symbol to its string.
+    pub fn resolve_sym(&self, sym: Symbol) -> &str {
+        self.interner.resolve(sym)
+    }
+}
+
+/// Pre-order traversal iterator returned by [`Document::descendants`].
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.stack.pop()?;
+        let children = self.doc.children(n);
+        self.stack.extend(children.iter().rev().copied());
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId, NodeId) {
+        let mut d = Document::new();
+        let root = d.add_element(d.root(), "bib");
+        let book = d.add_element(root, "book");
+        d.set_attr(book, "isbn", "42").unwrap();
+        let title = d.add_text_element(book, "title", "Data on the Web");
+        (d, root, book, title)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (d, root, book, title) = sample();
+        assert_eq!(d.root_element(), Some(root));
+        assert_eq!(d.name(root), Some("bib"));
+        assert_eq!(d.parent(book), Some(root));
+        assert_eq!(d.children(root), &[book]);
+        assert_eq!(d.attr(book, "isbn"), Some("42"));
+        assert_eq!(d.attr(book, "missing"), None);
+        assert_eq!(d.text_content(title), "Data on the Web");
+        assert_eq!(d.depth(title), 3);
+    }
+
+    #[test]
+    fn text_content_concatenates_across_children() {
+        let mut d = Document::new();
+        let r = d.add_element(d.root(), "p");
+        d.add_text(r, "Hello, ");
+        let b = d.add_element(r, "b");
+        d.add_text(b, "world");
+        d.add_text(r, "!");
+        assert_eq!(d.text_content(r), "Hello, world!");
+    }
+
+    #[test]
+    fn comments_and_pis_are_excluded_from_text_content() {
+        let mut d = Document::new();
+        let r = d.add_element(d.root(), "p");
+        d.add_text(r, "a");
+        let c = d.create_comment("nope");
+        d.append_child(r, c).unwrap();
+        let pi = d.create_pi("t", "nope");
+        d.append_child(r, pi).unwrap();
+        d.add_text(r, "b");
+        assert_eq!(d.text_content(r), "ab");
+    }
+
+    #[test]
+    fn append_rejects_cycle() {
+        let (mut d, root, book, _) = sample();
+        d.detach(root).unwrap();
+        let err = d.append_child(book, root).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn append_rejects_double_parenting() {
+        let (mut d, _root, book, _) = sample();
+        let other = d.create_element("other");
+        d.append_child(other, book).unwrap_err();
+    }
+
+    #[test]
+    fn append_rejects_children_on_leaves() {
+        let mut d = Document::new();
+        let t = d.create_text("x");
+        let e = d.create_element("e");
+        assert!(d.append_child(t, e).is_err());
+    }
+
+    #[test]
+    fn detach_and_reattach() {
+        let (mut d, root, book, _) = sample();
+        d.detach(book).unwrap();
+        assert_eq!(d.children(root), &[] as &[NodeId]);
+        assert_eq!(d.parent(book), None);
+        let other = d.add_element(root, "other");
+        d.append_child(other, book).unwrap();
+        assert_eq!(d.parent(book), Some(other));
+    }
+
+    #[test]
+    fn detach_document_node_fails() {
+        let mut d = Document::new();
+        assert!(d.detach(d.root()).is_err());
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let (mut d, _, book, _) = sample();
+        d.set_attr(book, "isbn", "43").unwrap();
+        assert_eq!(d.attr(book, "isbn"), Some("43"));
+        assert_eq!(d.attr_count(book), 1);
+    }
+
+    #[test]
+    fn remove_attr() {
+        let (mut d, _, book, _) = sample();
+        assert!(d.remove_attr(book, "isbn").unwrap());
+        assert!(!d.remove_attr(book, "isbn").unwrap());
+        assert_eq!(d.attr(book, "isbn"), None);
+    }
+
+    #[test]
+    fn attrs_on_text_rejected() {
+        let mut d = Document::new();
+        let t = d.create_text("x");
+        assert!(d.set_attr(t, "a", "b").is_err());
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (d, root, book, title) = sample();
+        let order: Vec<NodeId> = d.descendants_or_self(root).collect();
+        assert_eq!(order[0], root);
+        assert_eq!(order[1], book);
+        assert_eq!(order[2], title);
+        assert_eq!(order.len(), 4); // + text node
+        let proper: Vec<NodeId> = d.descendants(root).collect();
+        assert_eq!(proper.len(), 3);
+        assert!(!proper.contains(&root));
+    }
+
+    #[test]
+    fn doc_order_after_mutation() {
+        let (mut d, root, book, _) = sample();
+        assert_eq!(d.doc_order_cmp(root, book), Ordering::Less);
+        let b2 = d.add_element(root, "book2");
+        // order cache must have been invalidated and recomputed
+        assert_eq!(d.doc_order_cmp(book, b2), Ordering::Less);
+        d.detach(book).unwrap();
+        // detached nodes sort last
+        assert_eq!(d.doc_order_cmp(b2, book), Ordering::Less);
+    }
+
+    #[test]
+    fn sort_dedup() {
+        let (d, root, book, title) = sample();
+        let mut v = vec![title, root, book, root];
+        d.sort_dedup_doc_order(&mut v);
+        assert_eq!(v, vec![root, book, title]);
+    }
+
+    #[test]
+    fn elements_named_scans_whole_document() {
+        let mut d = Document::new();
+        let r = d.add_element(d.root(), "r");
+        let a1 = d.add_element(r, "a");
+        let b = d.add_element(r, "b");
+        let a2 = d.add_element(b, "a");
+        let found: Vec<NodeId> = d.elements_named("a").collect();
+        assert_eq!(found, vec![a1, a2]);
+        assert!(d.elements_named("zzz").next().is_none());
+    }
+
+    #[test]
+    fn siblings() {
+        let mut d = Document::new();
+        let r = d.add_element(d.root(), "r");
+        let a = d.add_element(r, "a");
+        let b = d.add_element(r, "b");
+        let c = d.add_element(r, "c");
+        assert_eq!(d.next_sibling(a), Some(b));
+        assert_eq!(d.prev_sibling(c), Some(b));
+        assert_eq!(d.prev_sibling(a), None);
+        assert_eq!(d.next_sibling(c), None);
+        assert_eq!(d.sibling_index(b), 1);
+    }
+
+    #[test]
+    fn import_whole_document_wraps_in_a_document_element() {
+        let src = Document::parse_str("<r><a/>text</r>").unwrap();
+        let mut dst = Document::new();
+        let copied = dst.import_subtree(&src, src.root());
+        assert_eq!(dst.name(copied), Some("document"));
+        assert_eq!(dst.text_content(copied), "text");
+    }
+
+    #[test]
+    fn sort_dedup_handles_detached_duplicates() {
+        let mut d = Document::new();
+        let r = d.add_element(d.root(), "r");
+        let x = d.add_element(r, "x");
+        let y = d.add_element(r, "y");
+        d.detach(x).unwrap();
+        d.detach(y).unwrap();
+        let mut v = vec![x, y, x, y, r];
+        d.sort_dedup_doc_order(&mut v);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], r);
+    }
+
+    #[test]
+    fn import_subtree_deep_copies() {
+        let (src, _, book, _) = sample();
+        let mut dst = Document::new();
+        let copied = dst.import_subtree(&src, book);
+        dst.append_child(dst.root(), copied).unwrap();
+        assert_eq!(dst.name(copied), Some("book"));
+        assert_eq!(dst.attr(copied, "isbn"), Some("42"));
+        assert_eq!(dst.text_content(copied), "Data on the Web");
+        // Fully independent: mutating dst does not affect src.
+        assert_eq!(src.text_content(book), "Data on the Web");
+    }
+
+    #[test]
+    fn is_ancestor_or_self() {
+        let (d, root, book, title) = sample();
+        assert!(d.is_ancestor_or_self(root, title));
+        assert!(d.is_ancestor_or_self(book, book));
+        assert!(!d.is_ancestor_or_self(title, book));
+    }
+
+    #[test]
+    fn live_vs_total_node_count() {
+        let (mut d, _, book, _) = sample();
+        let total = d.node_count();
+        d.detach(book).unwrap();
+        assert_eq!(d.node_count(), total);
+        assert!(d.live_node_count() < total);
+    }
+}

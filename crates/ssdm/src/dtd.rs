@@ -1,0 +1,1035 @@
+//! DTD parsing and validation.
+//!
+//! XML-GL can express document schemas with more structural expressive power
+//! than DTDs (unordered content, xor arcs); to demonstrate the translation
+//! both ways (experiment **F3**) this module implements the DTD side:
+//!
+//! * a parser for `<!ELEMENT …>` and `<!ATTLIST …>` declarations with the
+//!   full content-particle grammar (`EMPTY`, `ANY`, mixed `(#PCDATA|…)*`,
+//!   sequences, choices, `?`/`*`/`+`);
+//! * a validator that checks a [`Document`] against a [`Dtd`] by compiling
+//!   each content model to a Thompson NFA and simulating it over the child
+//!   sequence, plus attribute-declaration checks (required/fixed/enumerated)
+//!   and document-wide ID uniqueness / IDREF resolution.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::document::{Document, NodeKind};
+use crate::error::{Error, Pos, Result};
+use crate::NodeId;
+
+/// How often a content particle may repeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rep {
+    One,
+    Opt,
+    Star,
+    Plus,
+}
+
+impl Rep {
+    fn suffix(self) -> &'static str {
+        match self {
+            Rep::One => "",
+            Rep::Opt => "?",
+            Rep::Star => "*",
+            Rep::Plus => "+",
+        }
+    }
+}
+
+/// A content particle: name, sequence or choice, each with a repetition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cp {
+    Name(String, Rep),
+    Seq(Vec<Cp>, Rep),
+    Choice(Vec<Cp>, Rep),
+}
+
+impl Cp {
+    /// Render back to DTD concrete syntax.
+    pub fn to_dtd_string(&self) -> String {
+        match self {
+            Cp::Name(n, r) => format!("{n}{}", r.suffix()),
+            Cp::Seq(items, r) => {
+                let inner: Vec<String> = items.iter().map(Cp::to_dtd_string).collect();
+                format!("({}){}", inner.join(","), r.suffix())
+            }
+            Cp::Choice(items, r) => {
+                let inner: Vec<String> = items.iter().map(Cp::to_dtd_string).collect();
+                format!("({}){}", inner.join("|"), r.suffix())
+            }
+        }
+    }
+}
+
+/// Content model of an element declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ContentModel {
+    Empty,
+    Any,
+    /// `(#PCDATA)` or `(#PCDATA|a|b)*` — text freely mixed with the listed
+    /// element names.
+    Mixed(Vec<String>),
+    /// Element content following a content particle.
+    Children(Cp),
+}
+
+/// Declared attribute types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttType {
+    Cdata,
+    Id,
+    Idref,
+    Idrefs,
+    NmToken,
+    NmTokens,
+    Enumeration(Vec<String>),
+}
+
+/// Attribute default declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttDefault {
+    Required,
+    Implied,
+    Fixed(String),
+    Default(String),
+}
+
+/// One attribute declaration inside an ATTLIST.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttDecl {
+    pub name: String,
+    pub ty: AttType,
+    pub default: AttDefault,
+}
+
+/// A parsed DTD: element declarations plus attribute lists.
+#[derive(Debug, Clone, Default)]
+pub struct Dtd {
+    elements: HashMap<String, ContentModel>,
+    /// element name -> its attribute declarations, in declaration order.
+    attlists: HashMap<String, Vec<AttDecl>>,
+    /// Preserves element declaration order for serialisation.
+    element_order: Vec<String>,
+}
+
+impl Dtd {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parse the *internal subset* syntax: a sequence of `<!ELEMENT …>` and
+    /// `<!ATTLIST …>` declarations (comments allowed).
+    pub fn parse(input: &str) -> Result<Dtd> {
+        let mut p = DtdParser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        };
+        let mut dtd = Dtd::new();
+        loop {
+            p.skip_ws_and_comments()?;
+            if p.eof() {
+                break;
+            }
+            if p.looking_at(b"<!ELEMENT") {
+                let (name, model) = p.parse_element_decl()?;
+                if dtd.elements.contains_key(&name) {
+                    return Err(p.err(format!("duplicate declaration of element '{name}'")));
+                }
+                dtd.element_order.push(name.clone());
+                dtd.elements.insert(name, model);
+            } else if p.looking_at(b"<!ATTLIST") {
+                let (elem, decls) = p.parse_attlist_decl()?;
+                dtd.attlists.entry(elem).or_default().extend(decls);
+            } else {
+                return Err(p.err("expected <!ELEMENT or <!ATTLIST declaration"));
+            }
+        }
+        Ok(dtd)
+    }
+
+    /// Add an element declaration programmatically.
+    pub fn declare_element(&mut self, name: &str, model: ContentModel) {
+        if !self.elements.contains_key(name) {
+            self.element_order.push(name.to_string());
+        }
+        self.elements.insert(name.to_string(), model);
+    }
+
+    /// Add an attribute declaration programmatically.
+    pub fn declare_attr(&mut self, elem: &str, decl: AttDecl) {
+        self.attlists
+            .entry(elem.to_string())
+            .or_default()
+            .push(decl);
+    }
+
+    pub fn element(&self, name: &str) -> Option<&ContentModel> {
+        self.elements.get(name)
+    }
+
+    pub fn attrs_of(&self, elem: &str) -> &[AttDecl] {
+        self.attlists.get(elem).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Declared element names in declaration order.
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.element_order.iter().map(String::as_str)
+    }
+
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Serialize back to internal-subset syntax.
+    pub fn to_dtd_string(&self) -> String {
+        let mut out = String::new();
+        for name in &self.element_order {
+            let model = &self.elements[name];
+            let body = match model {
+                ContentModel::Empty => "EMPTY".to_string(),
+                ContentModel::Any => "ANY".to_string(),
+                ContentModel::Mixed(names) if names.is_empty() => "(#PCDATA)".to_string(),
+                ContentModel::Mixed(names) => format!("(#PCDATA|{})*", names.join("|")),
+                ContentModel::Children(cp) => match cp {
+                    // Content particles at the top level are already wrapped
+                    // in parens by the grammar.
+                    Cp::Seq(..) | Cp::Choice(..) => cp.to_dtd_string(),
+                    Cp::Name(..) => format!("({})", cp.to_dtd_string()),
+                },
+            };
+            out.push_str(&format!("<!ELEMENT {name} {body}>\n"));
+            if let Some(decls) = self.attlists.get(name) {
+                for d in decls {
+                    let ty = match &d.ty {
+                        AttType::Cdata => "CDATA".to_string(),
+                        AttType::Id => "ID".to_string(),
+                        AttType::Idref => "IDREF".to_string(),
+                        AttType::Idrefs => "IDREFS".to_string(),
+                        AttType::NmToken => "NMTOKEN".to_string(),
+                        AttType::NmTokens => "NMTOKENS".to_string(),
+                        AttType::Enumeration(vs) => format!("({})", vs.join("|")),
+                    };
+                    let default = match &d.default {
+                        AttDefault::Required => "#REQUIRED".to_string(),
+                        AttDefault::Implied => "#IMPLIED".to_string(),
+                        AttDefault::Fixed(v) => format!("#FIXED \"{v}\""),
+                        AttDefault::Default(v) => format!("\"{v}\""),
+                    };
+                    out.push_str(&format!("<!ATTLIST {name} {} {ty} {default}>\n", d.name));
+                }
+            }
+        }
+        out
+    }
+
+    /// Validate a document. Returns the list of violations (empty = valid).
+    pub fn validate(&self, doc: &Document) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut ids: HashSet<String> = HashSet::new();
+        let mut idrefs: Vec<(String, String)> = Vec::new(); // (element, ref)
+        if let Some(root) = doc.root_element() {
+            self.validate_node(doc, root, &mut violations, &mut ids, &mut idrefs);
+        } else {
+            violations.push("document has no root element".to_string());
+        }
+        for (elem, r) in idrefs {
+            if !ids.contains(&r) {
+                violations.push(format!("IDREF '{r}' on <{elem}> does not match any ID"));
+            }
+        }
+        violations
+    }
+
+    /// Shorthand: validate and convert violations into an error.
+    pub fn check(&self, doc: &Document) -> Result<()> {
+        let v = self.validate(doc);
+        if v.is_empty() {
+            Ok(())
+        } else {
+            Err(Error::validation(v.join("; ")))
+        }
+    }
+
+    fn validate_node(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        violations: &mut Vec<String>,
+        ids: &mut HashSet<String>,
+        idrefs: &mut Vec<(String, String)>,
+    ) {
+        let name = doc.name(node).unwrap_or("").to_string();
+        match self.elements.get(&name) {
+            None => violations.push(format!("element <{name}> is not declared")),
+            Some(model) => self.validate_content(doc, node, &name, model, violations),
+        }
+        self.validate_attrs(doc, node, &name, violations, ids, idrefs);
+        for child in doc.child_elements(node) {
+            self.validate_node(doc, child, violations, ids, idrefs);
+        }
+    }
+
+    fn validate_content(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        name: &str,
+        model: &ContentModel,
+        violations: &mut Vec<String>,
+    ) {
+        let has_text = doc.children(node).iter().any(|&c| {
+            doc.kind(c) == NodeKind::Text && !doc.text(c).unwrap_or("").trim().is_empty()
+        });
+        let child_names: Vec<String> = doc
+            .child_elements(node)
+            .map(|c| doc.name(c).unwrap_or("").to_string())
+            .collect();
+        match model {
+            ContentModel::Any => {}
+            ContentModel::Empty => {
+                if has_text || !child_names.is_empty() {
+                    violations.push(format!("<{name}> is declared EMPTY but has content"));
+                }
+            }
+            ContentModel::Mixed(allowed) => {
+                for c in &child_names {
+                    if !allowed.contains(c) {
+                        violations
+                            .push(format!("<{c}> is not allowed in mixed content of <{name}>"));
+                    }
+                }
+            }
+            ContentModel::Children(cp) => {
+                if has_text {
+                    violations.push(format!("<{name}> has element content but contains text"));
+                }
+                let nfa = Nfa::compile(cp);
+                if !nfa.accepts(&child_names) {
+                    violations.push(format!(
+                        "children of <{name}> ({}) do not match content model {}",
+                        child_names.join(","),
+                        cp.to_dtd_string()
+                    ));
+                }
+            }
+        }
+    }
+
+    fn validate_attrs(
+        &self,
+        doc: &Document,
+        node: NodeId,
+        name: &str,
+        violations: &mut Vec<String>,
+        ids: &mut HashSet<String>,
+        idrefs: &mut Vec<(String, String)>,
+    ) {
+        let decls = self.attrs_of(name);
+        for d in decls {
+            let actual = doc.attr(node, &d.name);
+            match (&d.default, actual) {
+                (AttDefault::Required, None) => violations.push(format!(
+                    "required attribute '{}' missing on <{name}>",
+                    d.name
+                )),
+                (AttDefault::Fixed(v), Some(a)) if a != v => violations.push(format!(
+                    "attribute '{}' on <{name}> must have fixed value \"{v}\", found \"{a}\"",
+                    d.name
+                )),
+                _ => {}
+            }
+            if let Some(v) = actual {
+                match &d.ty {
+                    AttType::Enumeration(allowed) if !allowed.iter().any(|x| x == v) => {
+                        violations.push(format!(
+                            "attribute '{}'=\"{v}\" on <{name}> not in enumeration ({})",
+                            d.name,
+                            allowed.join("|")
+                        ));
+                    }
+                    AttType::Id if !ids.insert(v.to_string()) => {
+                        violations.push(format!("duplicate ID \"{v}\" on <{name}>"));
+                    }
+                    AttType::Idref => idrefs.push((name.to_string(), v.to_string())),
+                    AttType::Idrefs => {
+                        for tok in v.split_whitespace() {
+                            idrefs.push((name.to_string(), tok.to_string()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Undeclared attributes are violations only when the element has an
+        // ATTLIST (lenient mode for undeclared elements keeps partial DTDs
+        // usable — XML-GL schemas are routinely partial).
+        if !decls.is_empty() {
+            for (a, _) in doc.attrs(node) {
+                if !decls.iter().any(|d| d.name == a) {
+                    violations.push(format!("attribute '{a}' on <{name}> is not declared"));
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Content-model NFA (Thompson construction, subset simulation)
+// ----------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Nfa {
+    /// transitions[state] = (label, target); label None = epsilon.
+    transitions: Vec<Vec<(Option<String>, usize)>>,
+    start: usize,
+    accept: usize,
+}
+
+impl Nfa {
+    fn compile(cp: &Cp) -> Nfa {
+        let mut nfa = Nfa {
+            transitions: vec![Vec::new(), Vec::new()],
+            start: 0,
+            accept: 1,
+        };
+        let (s, a) = (0, 1);
+        nfa.build(cp, s, a);
+        nfa
+    }
+
+    fn new_state(&mut self) -> usize {
+        self.transitions.push(Vec::new());
+        self.transitions.len() - 1
+    }
+
+    fn eps(&mut self, from: usize, to: usize) {
+        self.transitions[from].push((None, to));
+    }
+
+    fn build(&mut self, cp: &Cp, from: usize, to: usize) {
+        let rep = match cp {
+            Cp::Name(_, r) | Cp::Seq(_, r) | Cp::Choice(_, r) => *r,
+        };
+        // Inner fragment between f and t without repetition.
+        let (f, t) = (self.new_state(), self.new_state());
+        match cp {
+            Cp::Name(n, _) => self.transitions[f].push((Some(n.clone()), t)),
+            Cp::Seq(items, _) => {
+                let mut cur = f;
+                for (i, item) in items.iter().enumerate() {
+                    let next = if i + 1 == items.len() {
+                        t
+                    } else {
+                        self.new_state()
+                    };
+                    self.build_norep(item, cur, next);
+                    cur = next;
+                }
+                if items.is_empty() {
+                    self.eps(f, t);
+                }
+            }
+            Cp::Choice(items, _) => {
+                for item in items {
+                    self.build_norep(item, f, t);
+                }
+                if items.is_empty() {
+                    self.eps(f, t);
+                }
+            }
+        }
+        match rep {
+            Rep::One => {
+                self.eps(from, f);
+                self.eps(t, to);
+            }
+            Rep::Opt => {
+                self.eps(from, f);
+                self.eps(t, to);
+                self.eps(from, to);
+            }
+            Rep::Star => {
+                self.eps(from, f);
+                self.eps(t, to);
+                self.eps(from, to);
+                self.eps(t, f);
+            }
+            Rep::Plus => {
+                self.eps(from, f);
+                self.eps(t, to);
+                self.eps(t, f);
+            }
+        }
+    }
+
+    /// Build a sub-particle honouring *its own* repetition flag.
+    fn build_norep(&mut self, cp: &Cp, from: usize, to: usize) {
+        self.build(cp, from, to);
+    }
+
+    fn closure(&self, states: &mut HashSet<usize>) {
+        let mut stack: Vec<usize> = states.iter().copied().collect();
+        while let Some(s) = stack.pop() {
+            for (label, t) in &self.transitions[s] {
+                if label.is_none() && states.insert(*t) {
+                    stack.push(*t);
+                }
+            }
+        }
+    }
+
+    fn accepts(&self, input: &[String]) -> bool {
+        let mut current: HashSet<usize> = HashSet::new();
+        current.insert(self.start);
+        self.closure(&mut current);
+        for sym in input {
+            let mut next = HashSet::new();
+            for &s in &current {
+                for (label, t) in &self.transitions[s] {
+                    if label.as_deref() == Some(sym.as_str()) {
+                        next.insert(*t);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            self.closure(&mut next);
+            current = next;
+        }
+        current.contains(&self.accept)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+struct DtdParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> DtdParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::dtd(Pos::new(self.line, self.col), msg)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn looking_at(&self, s: &[u8]) -> bool {
+        self.bytes[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.peek() {
+            Some(x) if x == b => {
+                self.bump();
+                Ok(())
+            }
+            _ => Err(self.err(format!("expected '{}'", b as char))),
+        }
+    }
+
+    fn expect_str(&mut self, s: &[u8]) -> Result<()> {
+        if self.looking_at(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", String::from_utf8_lossy(s))))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.looking_at(b"<!--") {
+                while !self.looking_at(b"-->") {
+                    if self.bump().is_none() {
+                        return Err(self.err("unterminated comment"));
+                    }
+                }
+                self.expect_str(b"-->")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':'))
+        {
+            self.bump();
+        }
+        if start == self.pos {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_rep(&mut self) -> Rep {
+        match self.peek() {
+            Some(b'?') => {
+                self.bump();
+                Rep::Opt
+            }
+            Some(b'*') => {
+                self.bump();
+                Rep::Star
+            }
+            Some(b'+') => {
+                self.bump();
+                Rep::Plus
+            }
+            _ => Rep::One,
+        }
+    }
+
+    fn parse_element_decl(&mut self) -> Result<(String, ContentModel)> {
+        self.expect_str(b"<!ELEMENT")?;
+        self.skip_ws();
+        let name = self.parse_name()?;
+        self.skip_ws();
+        let model = if self.looking_at(b"EMPTY") {
+            self.expect_str(b"EMPTY")?;
+            ContentModel::Empty
+        } else if self.looking_at(b"ANY") {
+            self.expect_str(b"ANY")?;
+            ContentModel::Any
+        } else if self.looking_at(b"PCDATA") {
+            // Tolerated shorthand used in some papers: `<!ELEMENT t PCDATA>`.
+            self.expect_str(b"PCDATA")?;
+            ContentModel::Mixed(Vec::new())
+        } else if self.peek() == Some(b'(') {
+            // Look ahead for #PCDATA to decide mixed vs children.
+            let save = (self.pos, self.line, self.col);
+            self.bump();
+            self.skip_ws();
+            if self.looking_at(b"#PCDATA") {
+                self.expect_str(b"#PCDATA")?;
+                let mut names = Vec::new();
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'|') => {
+                            self.bump();
+                            self.skip_ws();
+                            names.push(self.parse_name()?);
+                        }
+                        Some(b')') => {
+                            self.bump();
+                            break;
+                        }
+                        _ => return Err(self.err("expected '|' or ')' in mixed content")),
+                    }
+                }
+                if !names.is_empty() {
+                    self.expect(b'*')?;
+                } else if self.peek() == Some(b'*') {
+                    self.bump();
+                }
+                ContentModel::Mixed(names)
+            } else {
+                (self.pos, self.line, self.col) = save;
+                let cp = self.parse_group()?;
+                ContentModel::Children(cp)
+            }
+        } else {
+            return Err(self.err("expected a content model"));
+        };
+        self.skip_ws();
+        self.expect(b'>')?;
+        Ok((name, model))
+    }
+
+    /// Parse a parenthesised group, returning a Seq or Choice particle.
+    fn parse_group(&mut self) -> Result<Cp> {
+        self.expect(b'(')?;
+        let mut items = vec![self.parse_cp()?];
+        self.skip_ws();
+        let mut sep: Option<u8> = None;
+        loop {
+            match self.peek() {
+                Some(b')') => {
+                    self.bump();
+                    break;
+                }
+                Some(c @ (b',' | b'|')) => {
+                    if let Some(s) = sep {
+                        if s != c {
+                            return Err(self.err("cannot mix ',' and '|' in one group"));
+                        }
+                    }
+                    sep = Some(c);
+                    self.bump();
+                    self.skip_ws();
+                    items.push(self.parse_cp()?);
+                    self.skip_ws();
+                }
+                _ => return Err(self.err("expected ',', '|' or ')'")),
+            }
+        }
+        let rep = self.parse_rep();
+        Ok(match sep {
+            Some(b'|') => Cp::Choice(items, rep),
+            _ if items.len() == 1 => {
+                // `(x)?` — propagate the group repetition onto the single item
+                // unless the item already carries one (then keep the wrapper).
+                let single = items.pop().expect("one item");
+                match (&single, rep) {
+                    (_, Rep::One) => single,
+                    (Cp::Name(n, Rep::One), r) => Cp::Name(n.clone(), r),
+                    _ => Cp::Seq(vec![single], rep),
+                }
+            }
+            _ => Cp::Seq(items, rep),
+        })
+    }
+
+    fn parse_cp(&mut self) -> Result<Cp> {
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.parse_group()
+        } else {
+            let name = self.parse_name()?;
+            let rep = self.parse_rep();
+            Ok(Cp::Name(name, rep))
+        }
+    }
+
+    fn parse_attlist_decl(&mut self) -> Result<(String, Vec<AttDecl>)> {
+        self.expect_str(b"<!ATTLIST")?;
+        self.skip_ws();
+        let elem = self.parse_name()?;
+        let mut decls = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'>') {
+                self.bump();
+                break;
+            }
+            let name = self.parse_name()?;
+            self.skip_ws();
+            let ty = if self.peek() == Some(b'(') {
+                self.bump();
+                let mut values = Vec::new();
+                loop {
+                    self.skip_ws();
+                    values.push(self.parse_name()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b'|') => {
+                            self.bump();
+                        }
+                        Some(b')') => {
+                            self.bump();
+                            break;
+                        }
+                        _ => return Err(self.err("expected '|' or ')' in enumeration")),
+                    }
+                }
+                AttType::Enumeration(values)
+            } else {
+                let t = self.parse_name()?;
+                match t.as_str() {
+                    "CDATA" => AttType::Cdata,
+                    "ID" => AttType::Id,
+                    "IDREF" => AttType::Idref,
+                    "IDREFS" => AttType::Idrefs,
+                    "NMTOKEN" => AttType::NmToken,
+                    "NMTOKENS" => AttType::NmTokens,
+                    other => return Err(self.err(format!("unsupported attribute type {other}"))),
+                }
+            };
+            self.skip_ws();
+            let default = if self.looking_at(b"#REQUIRED") {
+                self.expect_str(b"#REQUIRED")?;
+                AttDefault::Required
+            } else if self.looking_at(b"#IMPLIED") {
+                self.expect_str(b"#IMPLIED")?;
+                AttDefault::Implied
+            } else if self.looking_at(b"#FIXED") {
+                self.expect_str(b"#FIXED")?;
+                self.skip_ws();
+                AttDefault::Fixed(self.parse_quoted()?)
+            } else {
+                AttDefault::Default(self.parse_quoted()?)
+            };
+            decls.push(AttDecl { name, ty, default });
+        }
+        Ok((elem, decls))
+    }
+
+    fn parse_quoted(&mut self) -> Result<String> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted value")),
+        };
+        self.bump();
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b != quote) {
+            self.bump();
+        }
+        if self.eof() {
+            return Err(self.err("unterminated quoted value"));
+        }
+        let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.bump();
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Document;
+
+    /// The BOOK DTD from the paper's figure XML-GL-DTD2.
+    pub const BOOK_DTD: &str = r#"
+        <!ELEMENT BOOK (title?,price,AUTHOR*)>
+        <!ATTLIST BOOK isbn CDATA #REQUIRED>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT price (#PCDATA)>
+        <!ELEMENT AUTHOR (first-name,last-name)>
+        <!ELEMENT first-name (#PCDATA)>
+        <!ELEMENT last-name (#PCDATA)>
+    "#;
+
+    #[test]
+    fn parse_book_dtd() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        assert_eq!(dtd.element_count(), 6);
+        match dtd.element("BOOK").unwrap() {
+            ContentModel::Children(Cp::Seq(items, Rep::One)) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[0], Cp::Name("title".into(), Rep::Opt));
+                assert_eq!(items[2], Cp::Name("AUTHOR".into(), Rep::Star));
+            }
+            other => panic!("unexpected model {other:?}"),
+        }
+        assert_eq!(dtd.attrs_of("BOOK").len(), 1);
+        assert_eq!(dtd.attrs_of("BOOK")[0].ty, AttType::Cdata);
+        assert_eq!(dtd.attrs_of("BOOK")[0].default, AttDefault::Required);
+    }
+
+    #[test]
+    fn valid_book_document() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        let doc = Document::parse_str(
+            "<BOOK isbn='1'><title>T</title><price>10</price>\
+             <AUTHOR><first-name>A</first-name><last-name>B</last-name></AUTHOR></BOOK>",
+        )
+        .unwrap();
+        assert_eq!(dtd.validate(&doc), Vec::<String>::new());
+    }
+
+    #[test]
+    fn optional_title_may_be_absent() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        let doc = Document::parse_str("<BOOK isbn='1'><price>10</price></BOOK>").unwrap();
+        assert!(dtd.validate(&doc).is_empty());
+    }
+
+    #[test]
+    fn missing_price_is_a_violation() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        let doc = Document::parse_str("<BOOK isbn='1'><title>T</title></BOOK>").unwrap();
+        let v = dtd.validate(&doc);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("content model"));
+    }
+
+    #[test]
+    fn wrong_order_is_a_violation() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        let doc =
+            Document::parse_str("<BOOK isbn='1'><price>10</price><title>T</title></BOOK>").unwrap();
+        assert!(!dtd.validate(&doc).is_empty());
+    }
+
+    #[test]
+    fn missing_required_attr() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        let doc = Document::parse_str("<BOOK><price>1</price></BOOK>").unwrap();
+        let v = dtd.validate(&doc);
+        assert!(
+            v.iter().any(|m| m.contains("required attribute 'isbn'")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn undeclared_element() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        let doc = Document::parse_str("<PAMPHLET/>").unwrap();
+        let v = dtd.validate(&doc);
+        assert!(v.iter().any(|m| m.contains("not declared")));
+    }
+
+    #[test]
+    fn enumeration_and_fixed() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT item (#PCDATA)>\
+             <!ATTLIST item kind (fruit|vegetable) #REQUIRED version CDATA #FIXED \"1\">",
+        )
+        .unwrap();
+        let ok = Document::parse_str("<item kind='fruit' version='1'>x</item>").unwrap();
+        assert!(dtd.validate(&ok).is_empty());
+        let bad_kind = Document::parse_str("<item kind='meat' version='1'>x</item>").unwrap();
+        assert!(dtd
+            .validate(&bad_kind)
+            .iter()
+            .any(|m| m.contains("enumeration")));
+        let bad_fixed = Document::parse_str("<item kind='fruit' version='2'>x</item>").unwrap();
+        assert!(dtd.validate(&bad_fixed).iter().any(|m| m.contains("fixed")));
+    }
+
+    #[test]
+    fn id_uniqueness_and_idref_resolution() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT db (node*)>\
+             <!ELEMENT node EMPTY>\
+             <!ATTLIST node id ID #REQUIRED ref IDREF #IMPLIED>",
+        )
+        .unwrap();
+        let ok = Document::parse_str("<db><node id='a' ref='b'/><node id='b'/></db>").unwrap();
+        assert!(dtd.validate(&ok).is_empty());
+        let dup = Document::parse_str("<db><node id='a'/><node id='a'/></db>").unwrap();
+        assert!(dtd
+            .validate(&dup)
+            .iter()
+            .any(|m| m.contains("duplicate ID")));
+        let dangling = Document::parse_str("<db><node id='a' ref='zz'/></db>").unwrap();
+        assert!(dtd
+            .validate(&dangling)
+            .iter()
+            .any(|m| m.contains("does not match any ID")));
+    }
+
+    #[test]
+    fn idrefs_multi_token() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT db (n*)><!ELEMENT n EMPTY>\
+             <!ATTLIST n id ID #IMPLIED refs IDREFS #IMPLIED>",
+        )
+        .unwrap();
+        let doc = Document::parse_str("<db><n id='a'/><n id='b'/><n refs='a b'/></db>").unwrap();
+        assert!(dtd.validate(&doc).is_empty());
+        let bad = Document::parse_str("<db><n id='a'/><n refs='a c'/></db>").unwrap();
+        assert!(bad.node_count() > 0);
+        assert!(dtd.validate(&bad).iter().any(|m| m.contains("'c'")));
+    }
+
+    #[test]
+    fn mixed_content() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT p (#PCDATA|em|strong)*><!ELEMENT em (#PCDATA)><!ELEMENT strong (#PCDATA)>",
+        )
+        .unwrap();
+        let ok = Document::parse_str("<p>a<em>b</em>c<strong>d</strong></p>").unwrap();
+        assert!(dtd.validate(&ok).is_empty());
+        let bad = Document::parse_str("<p>a<code>b</code></p>").unwrap();
+        // <code> is both not-allowed-in-mixed and undeclared.
+        let v = dtd.validate(&bad);
+        assert!(v.iter().any(|m| m.contains("mixed content")));
+    }
+
+    #[test]
+    fn choices_and_nesting() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT r ((a|b)+,c?)><!ELEMENT a EMPTY><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+        )
+        .unwrap();
+        for (xml, valid) in [
+            ("<r><a/></r>", true),
+            ("<r><b/><a/><c/></r>", true),
+            ("<r><c/></r>", false),
+            ("<r><a/><c/><c/></r>", false),
+            ("<r/>", false),
+        ] {
+            let doc = Document::parse_str(xml).unwrap();
+            assert_eq!(dtd.validate(&doc).is_empty(), valid, "{xml}");
+        }
+    }
+
+    #[test]
+    fn empty_and_any() {
+        let dtd = Dtd::parse("<!ELEMENT e EMPTY><!ELEMENT w ANY>").unwrap();
+        assert!(dtd
+            .validate(&Document::parse_str("<e/>").unwrap())
+            .is_empty());
+        assert!(!dtd
+            .validate(&Document::parse_str("<e>x</e>").unwrap())
+            .is_empty());
+        let w = Document::parse_str("<w>text<e/></w>").unwrap();
+        assert!(dtd.validate(&w).is_empty());
+    }
+
+    #[test]
+    fn element_content_with_text_is_violation() {
+        let dtd = Dtd::parse("<!ELEMENT r (a)><!ELEMENT a EMPTY>").unwrap();
+        let doc = Document::parse_str("<r>oops<a/></r>").unwrap();
+        assert!(dtd
+            .validate(&doc)
+            .iter()
+            .any(|m| m.contains("contains text")));
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        let text = dtd.to_dtd_string();
+        let re = Dtd::parse(&text).unwrap();
+        assert_eq!(re.to_dtd_string(), text);
+        assert_eq!(re.element_count(), dtd.element_count());
+    }
+
+    #[test]
+    fn mixing_separators_rejected() {
+        assert!(Dtd::parse("<!ELEMENT r (a,b|c)>").is_err());
+    }
+
+    #[test]
+    fn duplicate_element_decl_rejected() {
+        assert!(Dtd::parse("<!ELEMENT a EMPTY><!ELEMENT a EMPTY>").is_err());
+    }
+
+    #[test]
+    fn comments_between_decls() {
+        let dtd = Dtd::parse("<!-- books --><!ELEMENT a EMPTY><!-- done -->").unwrap();
+        assert_eq!(dtd.element_count(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type shared by the parsing and validation layers of `gql-ssdm`.
+
+use std::fmt;
+
+/// Result alias used throughout `gql-ssdm`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A source position (1-based line and column) inside parsed text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Pos {
+    pub const fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+
+    /// Position of the very first character.
+    pub const fn start() -> Self {
+        Pos { line: 1, col: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors produced while parsing XML / DTD text or validating documents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical or syntactic XML error at a position.
+    Xml { pos: Pos, msg: String },
+    /// Syntactic DTD error at a position.
+    Dtd { pos: Pos, msg: String },
+    /// A document failed DTD validation.
+    Validation { msg: String },
+    /// A node id was used with a document it does not belong to, or after
+    /// structural surgery invalidated it.
+    InvalidNode { msg: String },
+    /// Structural mutation rejected (e.g. appending a node under one of its
+    /// own descendants, which would create a cycle).
+    Structure { msg: String },
+}
+
+impl Error {
+    pub fn xml(pos: Pos, msg: impl Into<String>) -> Self {
+        Error::Xml {
+            pos,
+            msg: msg.into(),
+        }
+    }
+
+    pub fn dtd(pos: Pos, msg: impl Into<String>) -> Self {
+        Error::Dtd {
+            pos,
+            msg: msg.into(),
+        }
+    }
+
+    pub fn validation(msg: impl Into<String>) -> Self {
+        Error::Validation { msg: msg.into() }
+    }
+
+    pub fn invalid_node(msg: impl Into<String>) -> Self {
+        Error::InvalidNode { msg: msg.into() }
+    }
+
+    pub fn structure(msg: impl Into<String>) -> Self {
+        Error::Structure { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Xml { pos, msg } => write!(f, "XML error at {pos}: {msg}"),
+            Error::Dtd { pos, msg } => write!(f, "DTD error at {pos}: {msg}"),
+            Error::Validation { msg } => write!(f, "validation error: {msg}"),
+            Error::InvalidNode { msg } => write!(f, "invalid node: {msg}"),
+            Error::Structure { msg } => write!(f, "structure error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = Error::xml(Pos::new(3, 14), "unexpected '<'");
+        assert_eq!(e.to_string(), "XML error at 3:14: unexpected '<'");
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::validation("bad").to_string().contains("validation"));
+        assert!(Error::invalid_node("n")
+            .to_string()
+            .contains("invalid node"));
+        assert!(Error::structure("s").to_string().contains("structure"));
+        assert!(Error::dtd(Pos::start(), "d").to_string().contains("DTD"));
+    }
+
+    #[test]
+    fn pos_start_is_1_1() {
+        assert_eq!(Pos::start(), Pos::new(1, 1));
+        assert_eq!(Pos::start().to_string(), "1:1");
+    }
+}

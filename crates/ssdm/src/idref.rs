@@ -1,0 +1,289 @@
+//! ID/IDREF reference resolution — the edges that turn the document tree
+//! into a graph.
+//!
+//! The paper's languages treat semi-structured data as a *graph*: trees plus
+//! reference edges established by ID/IDREF attribute pairs. This module
+//! scans a document for such pairs and materialises a [`RefGraph`] — the
+//! structure WG-Log's instance loader and XML-GL's join evaluation consume.
+//!
+//! Which attributes act as IDs and which as references is configurable
+//! ([`RefConfig`]); the default recognises the conventional attribute names
+//! (`id`; `idref`, `idrefs`, `ref`) and any DTD declarations when provided.
+
+use std::collections::HashMap;
+
+use crate::document::{Document, NodeKind};
+use crate::dtd::{AttType, Dtd};
+use crate::NodeId;
+
+/// Configuration for reference-edge extraction.
+#[derive(Debug, Clone)]
+pub struct RefConfig {
+    /// Attribute names treated as node identifiers.
+    pub id_attrs: Vec<String>,
+    /// Attribute names treated as single references.
+    pub ref_attrs: Vec<String>,
+    /// Attribute names treated as whitespace-separated reference lists.
+    pub refs_attrs: Vec<String>,
+}
+
+impl Default for RefConfig {
+    fn default() -> Self {
+        RefConfig {
+            id_attrs: vec!["id".into()],
+            ref_attrs: vec!["idref".into(), "ref".into()],
+            refs_attrs: vec!["idrefs".into(), "refs".into()],
+        }
+    }
+}
+
+impl RefConfig {
+    /// Derive a configuration from DTD attribute declarations: every
+    /// ID-typed attribute becomes an id attribute, and so on. Falls back to
+    /// nothing — combine with [`RefConfig::default`] via [`RefConfig::merge`]
+    /// if conventional names should also apply.
+    pub fn from_dtd(dtd: &Dtd) -> Self {
+        let mut cfg = RefConfig {
+            id_attrs: vec![],
+            ref_attrs: vec![],
+            refs_attrs: vec![],
+        };
+        for elem in dtd.element_names() {
+            for decl in dtd.attrs_of(elem) {
+                let bucket = match decl.ty {
+                    AttType::Id => &mut cfg.id_attrs,
+                    AttType::Idref => &mut cfg.ref_attrs,
+                    AttType::Idrefs => &mut cfg.refs_attrs,
+                    _ => continue,
+                };
+                if !bucket.contains(&decl.name) {
+                    bucket.push(decl.name.clone());
+                }
+            }
+        }
+        cfg
+    }
+
+    /// Union two configurations.
+    pub fn merge(mut self, other: &RefConfig) -> Self {
+        for (mine, theirs) in [
+            (&mut self.id_attrs, &other.id_attrs),
+            (&mut self.ref_attrs, &other.ref_attrs),
+            (&mut self.refs_attrs, &other.refs_attrs),
+        ] {
+            for a in theirs {
+                if !mine.contains(a) {
+                    mine.push(a.clone());
+                }
+            }
+        }
+        self
+    }
+}
+
+/// One resolved reference edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefEdge {
+    /// The element carrying the reference attribute.
+    pub from: NodeId,
+    /// The element whose id attribute matched.
+    pub to: NodeId,
+}
+
+/// The reference graph extracted from a document.
+#[derive(Debug, Clone, Default)]
+pub struct RefGraph {
+    /// Identifier value → node carrying it.
+    ids: HashMap<String, NodeId>,
+    /// All resolved edges.
+    edges: Vec<RefEdge>,
+    /// Outgoing adjacency.
+    out: HashMap<NodeId, Vec<NodeId>>,
+    /// Incoming adjacency.
+    incoming: HashMap<NodeId, Vec<NodeId>>,
+    /// References whose target id did not exist.
+    dangling: Vec<(NodeId, String)>,
+}
+
+impl RefGraph {
+    /// Extract the reference graph using the default configuration.
+    pub fn extract(doc: &Document) -> Self {
+        Self::extract_with(doc, &RefConfig::default())
+    }
+
+    /// Extract with an explicit configuration.
+    pub fn extract_with(doc: &Document, cfg: &RefConfig) -> Self {
+        let mut g = RefGraph::default();
+        // Pass 1: ids.
+        for n in doc.descendants(doc.root()) {
+            if doc.kind(n) != NodeKind::Element {
+                continue;
+            }
+            for id_attr in &cfg.id_attrs {
+                if let Some(v) = doc.attr(n, id_attr) {
+                    // First declaration wins, matching XML ID semantics where
+                    // duplicates are validity errors surfaced by the DTD layer.
+                    g.ids.entry(v.to_string()).or_insert(n);
+                }
+            }
+        }
+        // Pass 2: references.
+        for n in doc.descendants(doc.root()) {
+            if doc.kind(n) != NodeKind::Element {
+                continue;
+            }
+            for ref_attr in &cfg.ref_attrs {
+                if let Some(v) = doc.attr(n, ref_attr) {
+                    g.add_ref(n, v.trim());
+                }
+            }
+            for refs_attr in &cfg.refs_attrs {
+                if let Some(v) = doc.attr(n, refs_attr) {
+                    for tok in v.split_whitespace() {
+                        g.add_ref(n, tok);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn add_ref(&mut self, from: NodeId, target: &str) {
+        match self.ids.get(target) {
+            Some(&to) => {
+                // Repeated tokens (`refs="p1 p1"`) denote one edge.
+                if self.edges.contains(&RefEdge { from, to }) {
+                    return;
+                }
+                self.edges.push(RefEdge { from, to });
+                self.out.entry(from).or_default().push(to);
+                self.incoming.entry(to).or_default().push(from);
+            }
+            None => self.dangling.push((from, target.to_string())),
+        }
+    }
+
+    /// Node carrying a given identifier value.
+    pub fn node_by_id(&self, id: &str) -> Option<NodeId> {
+        self.ids.get(id).copied()
+    }
+
+    /// All resolved edges.
+    pub fn edges(&self) -> &[RefEdge] {
+        &self.edges
+    }
+
+    /// Targets referenced from `node`.
+    pub fn targets(&self, node: NodeId) -> &[NodeId] {
+        self.out.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Nodes referencing `node`.
+    pub fn referrers(&self, node: NodeId) -> &[NodeId] {
+        self.incoming.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Unresolved references (source node, missing id).
+    pub fn dangling(&self) -> &[(NodeId, String)] {
+        &self.dangling
+    }
+
+    /// Number of distinct identified nodes.
+    pub fn id_count(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<db>\
+               <product id='p1' vendor='x'/>\
+               <product id='p2'/>\
+               <vendor id='v1' refs='p1 p2'/>\
+               <order ref='p1'/>\
+               <order ref='ghost'/>\
+             </db>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_ids_and_edges() {
+        let d = doc();
+        let g = RefGraph::extract(&d);
+        assert_eq!(g.id_count(), 3);
+        let p1 = g.node_by_id("p1").unwrap();
+        let v1 = g.node_by_id("v1").unwrap();
+        assert_eq!(d.name(p1), Some("product"));
+        assert_eq!(g.targets(v1).len(), 2);
+        assert_eq!(g.referrers(p1).len(), 2); // vendor + first order
+    }
+
+    #[test]
+    fn dangling_references_reported() {
+        let d = doc();
+        let g = RefGraph::extract(&d);
+        assert_eq!(g.dangling().len(), 1);
+        assert_eq!(g.dangling()[0].1, "ghost");
+    }
+
+    #[test]
+    fn custom_config() {
+        let d = Document::parse_str("<db><a key='k1'/><b points-to='k1'/></db>").unwrap();
+        let cfg = RefConfig {
+            id_attrs: vec!["key".into()],
+            ref_attrs: vec!["points-to".into()],
+            refs_attrs: vec![],
+        };
+        let g = RefGraph::extract_with(&d, &cfg);
+        assert_eq!(g.edges().len(), 1);
+        assert_eq!(d.name(g.edges()[0].to), Some("a"));
+    }
+
+    #[test]
+    fn config_from_dtd() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT a EMPTY><!ATTLIST a key ID #REQUIRED>\
+             <!ELEMENT b EMPTY><!ATTLIST b tgt IDREF #IMPLIED many IDREFS #IMPLIED>",
+        )
+        .unwrap();
+        let cfg = RefConfig::from_dtd(&dtd);
+        assert_eq!(cfg.id_attrs, vec!["key"]);
+        assert_eq!(cfg.ref_attrs, vec!["tgt"]);
+        assert_eq!(cfg.refs_attrs, vec!["many"]);
+        let merged = cfg.merge(&RefConfig::default());
+        assert!(merged.id_attrs.contains(&"id".to_string()));
+    }
+
+    #[test]
+    fn empty_document_yields_empty_graph() {
+        let d = Document::parse_str("<empty/>").unwrap();
+        let g = RefGraph::extract(&d);
+        assert_eq!(g.id_count(), 0);
+        assert!(g.edges().is_empty());
+        assert!(g.dangling().is_empty());
+    }
+
+    #[test]
+    fn repeated_reference_tokens_are_one_edge() {
+        let d = Document::parse_str("<db><p id='p1'/><v refs='p1 p1' ref='p1'/></db>").unwrap();
+        let g = RefGraph::extract(&d);
+        assert_eq!(g.edges().len(), 1);
+        let v = g.edges()[0].from;
+        assert_eq!(g.targets(v).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_ids_first_wins() {
+        let d =
+            Document::parse_str("<db><a id='x' n='1'/><b id='x' n='2'/><c ref='x'/></db>").unwrap();
+        let g = RefGraph::extract(&d);
+        let target = g.node_by_id("x").unwrap();
+        assert_eq!(d.name(target), Some("a"));
+        assert_eq!(g.edges().len(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Lightweight navigation helpers.
+//!
+//! A tiny slash-separated path notation (`"products/product/name"`) for
+//! tests, examples and dataset assertions — *not* a query language (the
+//! query languages live in their own crates). Each step matches element
+//! children by tag; `*` matches any element; a leading `//` prefix on the
+//! whole path selects descendants at any depth for the first step.
+
+use crate::document::{Document, NodeKind};
+use crate::NodeId;
+
+/// Select all nodes reached from `start` by the path expression.
+///
+/// Steps are tag names separated by `/`; `*` is a wildcard step. A path
+/// starting with `//` applies its first step to all descendants of `start`.
+pub fn select(doc: &Document, start: NodeId, path: &str) -> Vec<NodeId> {
+    let (deep, path) = match path.strip_prefix("//") {
+        Some(rest) => (true, rest),
+        None => (false, path),
+    };
+    let mut current = vec![start];
+    for (i, step) in path.split('/').enumerate() {
+        if step.is_empty() {
+            continue;
+        }
+        let mut next = Vec::new();
+        for &n in &current {
+            if i == 0 && deep {
+                for d in doc.descendants(n) {
+                    if node_matches(doc, d, step) {
+                        next.push(d);
+                    }
+                }
+            } else {
+                for c in doc.child_elements(n) {
+                    if node_matches(doc, c, step) {
+                        next.push(c);
+                    }
+                }
+            }
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    doc.sort_dedup_doc_order(&mut current);
+    current
+}
+
+fn node_matches(doc: &Document, node: NodeId, step: &str) -> bool {
+    doc.kind(node) == NodeKind::Element && (step == "*" || doc.name(node) == Some(step))
+}
+
+/// First node reached by the path, if any.
+pub fn select_first(doc: &Document, start: NodeId, path: &str) -> Option<NodeId> {
+    select(doc, start, path).into_iter().next()
+}
+
+/// Text content of the first node reached by the path, if any.
+pub fn select_text(doc: &Document, start: NodeId, path: &str) -> Option<String> {
+    select_first(doc, start, path).map(|n| doc.text_content(n))
+}
+
+/// The slash path from the root element to `node` (tag names only), e.g.
+/// `bib/book/title`. Useful for labelling query-result provenance the way
+/// BBQ-style interfaces name dragged nodes.
+pub fn path_to(doc: &Document, node: NodeId) -> String {
+    let mut parts = Vec::new();
+    let mut cur = Some(node);
+    while let Some(n) = cur {
+        if doc.kind(n) == NodeKind::Element {
+            parts.push(doc.name(n).unwrap_or("?").to_string());
+        }
+        cur = doc.parent(n);
+    }
+    parts.reverse();
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<shop><products>\
+               <product><name>cabbage</name><price>0.59</price></product>\
+               <product><name>cherry</name><price>2.19</price></product>\
+             </products><vendors><vendor><name>DeRuiter</name></vendor></vendors></shop>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn select_by_path() {
+        let d = doc();
+        let names = select(&d, d.root(), "shop/products/product/name");
+        assert_eq!(names.len(), 2);
+        assert_eq!(d.text_content(names[0]), "cabbage");
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let d = doc();
+        let all_names = select(&d, d.root(), "shop/*/product/name");
+        assert_eq!(all_names.len(), 2);
+        let everything = select(&d, d.root(), "shop/*");
+        assert_eq!(everything.len(), 2); // products, vendors
+    }
+
+    #[test]
+    fn deep_prefix() {
+        let d = doc();
+        let names = select(&d, d.root(), "//name");
+        assert_eq!(names.len(), 3);
+        let prices = select(&d, d.root(), "//product/price");
+        assert_eq!(prices.len(), 2);
+    }
+
+    #[test]
+    fn select_text_and_first() {
+        let d = doc();
+        assert_eq!(
+            select_text(&d, d.root(), "//vendor/name").as_deref(),
+            Some("DeRuiter")
+        );
+        assert_eq!(select_text(&d, d.root(), "//nothing"), None);
+        assert!(select_first(&d, d.root(), "shop").is_some());
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let d = doc();
+        assert!(select(&d, d.root(), "shop/zzz/name").is_empty());
+    }
+
+    #[test]
+    fn path_to_node() {
+        let d = doc();
+        let name = select_first(&d, d.root(), "//vendor/name").unwrap();
+        assert_eq!(path_to(&d, name), "shop/vendors/vendor/name");
+    }
+
+    #[test]
+    fn results_in_document_order_without_duplicates() {
+        let d = doc();
+        // Both a shallow and deep route reach the same nodes.
+        let mut combined = select(&d, d.root(), "//product");
+        combined.extend(select(&d, d.root(), "shop/products/product"));
+        d.sort_dedup_doc_order(&mut combined);
+        assert_eq!(combined.len(), 2);
+    }
+}

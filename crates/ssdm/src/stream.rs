@@ -1,0 +1,783 @@
+//! Streaming XML processing — parse events without building a document.
+//!
+//! The survey chapter highlights research on evaluating XPath over SAX
+//! streams ("no in-memory representation … highly relevant for very large
+//! databases"). This module provides that substrate:
+//!
+//! * [`EventReader`] — a pull parser yielding [`Event`]s over the same XML
+//!   subset as [`crate::xml`], in constant memory w.r.t. document size
+//!   (the open-element stack is the only growth);
+//! * [`StreamPath`] — a streaming evaluator for the navigational core
+//!   (`/a/b//c`-style paths of child and descendant steps over element
+//!   names and `*`), implemented as the classic stack-of-state-sets
+//!   construction.
+//!
+//! The DOM engine (`gql-xpath`) and [`StreamPath`] agree on this fragment;
+//! the property tests pin that equivalence.
+
+use crate::error::{Error, Pos, Result};
+
+/// One parse event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Start tag with decoded attributes.
+    Start {
+        name: String,
+        attrs: Vec<(String, String)>,
+    },
+    /// End tag (also emitted for self-closing elements).
+    End {
+        name: String,
+    },
+    /// Text content (entity-decoded; whitespace-only runs included).
+    Text(String),
+    Comment(String),
+    Pi {
+        target: String,
+        data: String,
+    },
+}
+
+/// Pull parser over an XML string.
+pub struct EventReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Open-element stack for well-formedness checking.
+    stack: Vec<String>,
+    /// Queued End event for self-closing tags.
+    pending_end: Option<String>,
+    prolog_done: bool,
+    finished: bool,
+    /// Set once the root element has closed; further start tags error.
+    root_closed: bool,
+}
+
+impl<'a> EventReader<'a> {
+    pub fn new(input: &'a str) -> Self {
+        EventReader {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            stack: Vec::new(),
+            pending_end: None,
+            prolog_done: false,
+            finished: false,
+            root_closed: false,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::xml(Pos::new(self.line, self.col), msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn looking_at(&self, s: &[u8]) -> bool {
+        self.bytes[self.pos..].starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn expect_str(&mut self, s: &[u8]) -> Result<()> {
+        if self.looking_at(s) {
+            for _ in 0..s.len() {
+                self.bump();
+            }
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", String::from_utf8_lossy(s))))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {}
+            _ => return Err(self.err("expected a name")),
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.bump();
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn decode_entity(&mut self, out: &mut String) -> Result<()> {
+        self.bump(); // '&'
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b != b';') {
+            self.bump();
+        }
+        if self.peek() != Some(b';') {
+            return Err(self.err("unterminated entity reference"));
+        }
+        let name = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.bump();
+        match name.as_str() {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                let cp = if let Some(hex) =
+                    name.strip_prefix("#x").or_else(|| name.strip_prefix("#X"))
+                {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse().ok()
+                } else {
+                    None
+                };
+                match cp.and_then(char::from_u32) {
+                    Some(c) => out.push(c),
+                    None => return Err(self.err(format!("unknown entity &{name};"))),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.skip_ws();
+        // Exact `<?xml` declaration only; `<?xml-stylesheet?>` is a PI.
+        if self.looking_at(b"<?xml")
+            && matches!(
+                self.bytes.get(self.pos + 5),
+                Some(b' ' | b'\t' | b'\r' | b'\n' | b'?')
+            )
+        {
+            while !self.looking_at(b"?>") {
+                if self.bump().is_none() {
+                    return Err(self.err("unterminated XML declaration"));
+                }
+            }
+            self.expect_str(b"?>")?;
+        }
+        loop {
+            self.skip_ws();
+            if self.looking_at(b"<!DOCTYPE") {
+                let mut depth = 0usize;
+                let mut quote: Option<u8> = None;
+                loop {
+                    match self.bump() {
+                        Some(q @ (b'"' | b'\'')) => match quote {
+                            Some(open) if open == q => quote = None,
+                            Some(_) => {}
+                            None => quote = Some(q),
+                        },
+                        Some(_) if quote.is_some() => {}
+                        Some(b'[') => depth += 1,
+                        Some(b']') => depth = depth.saturating_sub(1),
+                        Some(b'>') if depth == 0 => break,
+                        Some(_) => {}
+                        None => return Err(self.err("unterminated DOCTYPE")),
+                    }
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Next event, or `None` at clean end of input.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<Event>> {
+        match self.advance() {
+            Ok(Some(ev)) => Some(Ok(ev)),
+            Ok(None) => None,
+            Err(e) => {
+                self.finished = true;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Event>> {
+        if self.finished {
+            return Ok(None);
+        }
+        if let Some(name) = self.pending_end.take() {
+            self.stack.pop();
+            if self.stack.is_empty() {
+                self.root_closed = true;
+                self.check_trailer()?;
+            }
+            return Ok(Some(Event::End { name }));
+        }
+        if !self.prolog_done {
+            self.skip_prolog()?;
+            self.prolog_done = true;
+        }
+        if self.stack.is_empty() {
+            self.skip_ws();
+        }
+        let Some(b) = self.peek() else {
+            if self.stack.is_empty() {
+                self.finished = true;
+                return Ok(None);
+            }
+            return Err(self.err(format!(
+                "missing closing tag </{}>",
+                self.stack.last().expect("nonempty")
+            )));
+        };
+        if b != b'<' {
+            // Text run.
+            if self.stack.is_empty() {
+                return Err(self.err("text is not allowed at the top level"));
+            }
+            let mut text = String::new();
+            loop {
+                match self.peek() {
+                    Some(b'<') | None => break,
+                    Some(b'&') => self.decode_entity(&mut text)?,
+                    Some(_) => {
+                        let start = self.pos;
+                        while matches!(self.peek(), Some(b) if b != b'<' && b != b'&') {
+                            self.bump();
+                        }
+                        text.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
+                    }
+                }
+            }
+            return Ok(Some(Event::Text(text)));
+        }
+        if self.looking_at(b"<!--") {
+            self.expect_str(b"<!--")?;
+            let start = self.pos;
+            while !self.looking_at(b"-->") {
+                if self.bump().is_none() {
+                    return Err(self.err("unterminated comment"));
+                }
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.expect_str(b"-->")?;
+            return Ok(Some(Event::Comment(text)));
+        }
+        if self.looking_at(b"<![CDATA[") {
+            self.expect_str(b"<![CDATA[")?;
+            if self.stack.is_empty() {
+                return Err(self.err("CDATA is not allowed at the top level"));
+            }
+            let start = self.pos;
+            while !self.looking_at(b"]]>") {
+                if self.bump().is_none() {
+                    return Err(self.err("unterminated CDATA"));
+                }
+            }
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.expect_str(b"]]>")?;
+            return Ok(Some(Event::Text(text)));
+        }
+        if self.looking_at(b"<?") {
+            self.expect_str(b"<?")?;
+            let target = self.parse_name()?;
+            self.skip_ws();
+            let start = self.pos;
+            while !self.looking_at(b"?>") {
+                if self.bump().is_none() {
+                    return Err(self.err("unterminated processing instruction"));
+                }
+            }
+            let data = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.expect_str(b"?>")?;
+            return Ok(Some(Event::Pi { target, data }));
+        }
+        if self.looking_at(b"</") {
+            self.expect_str(b"</")?;
+            let name = self.parse_name()?;
+            self.skip_ws();
+            self.expect_str(b">")?;
+            match self.stack.pop() {
+                Some(open) if open == name => {
+                    if self.stack.is_empty() {
+                        self.root_closed = true;
+                        self.check_trailer()?;
+                    }
+                    Ok(Some(Event::End { name }))
+                }
+                Some(open) => Err(self.err(format!(
+                    "mismatched closing tag </{name}>, expected </{open}>"
+                ))),
+                None => Err(self.err(format!("stray closing tag </{name}>"))),
+            }
+        } else {
+            // Start tag.
+            if self.stack.is_empty() && self.root_closed {
+                return Err(self.err("more than one top-level element"));
+            }
+            self.expect_str(b"<")?;
+            let name = self.parse_name()?;
+            let mut attrs = Vec::new();
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.bump();
+                        self.stack.push(name.clone());
+                        return Ok(Some(Event::Start { name, attrs }));
+                    }
+                    Some(b'/') => {
+                        self.bump();
+                        self.expect_str(b">")?;
+                        self.stack.push(name.clone());
+                        self.pending_end = Some(name.clone());
+                        return Ok(Some(Event::Start { name, attrs }));
+                    }
+                    Some(b) if Self::is_name_start(b) => {
+                        let attr = self.parse_name()?;
+                        self.skip_ws();
+                        self.expect_str(b"=")?;
+                        self.skip_ws();
+                        let quote = match self.peek() {
+                            Some(q @ (b'"' | b'\'')) => q,
+                            _ => return Err(self.err("expected quoted attribute value")),
+                        };
+                        self.bump();
+                        let mut value = String::new();
+                        loop {
+                            match self.peek() {
+                                Some(q) if q == quote => {
+                                    self.bump();
+                                    break;
+                                }
+                                Some(b'&') => self.decode_entity(&mut value)?,
+                                Some(b'<') => return Err(self.err("'<' in attribute value")),
+                                Some(_) => {
+                                    let start = self.pos;
+                                    while matches!(self.peek(), Some(b) if b != quote && b != b'&' && b != b'<')
+                                    {
+                                        self.bump();
+                                    }
+                                    value.push_str(&String::from_utf8_lossy(
+                                        &self.bytes[start..self.pos],
+                                    ));
+                                }
+                                None => return Err(self.err("unterminated attribute value")),
+                            }
+                        }
+                        if attrs.iter().any(|(n, _)| n == &attr) {
+                            return Err(self.err(format!("duplicate attribute '{attr}'")));
+                        }
+                        attrs.push((attr, value));
+                    }
+                    Some(x) => return Err(self.err(format!("unexpected '{}' in tag", x as char))),
+                    None => return Err(self.err("unterminated start tag")),
+                }
+            }
+        }
+    }
+
+    /// After the root element closes, only whitespace/comments/PIs may follow.
+    fn check_trailer(&mut self) -> Result<()> {
+        let save = (self.pos, self.line, self.col);
+        self.skip_ws();
+        if self.peek().is_some() && !self.looking_at(b"<!--") && !self.looking_at(b"<?") {
+            if self.looking_at(b"<") && !self.looking_at(b"</") {
+                return Err(self.err("more than one top-level element"));
+            }
+            if !self.looking_at(b"<") {
+                return Err(self.err("text after the root element"));
+            }
+        }
+        (self.pos, self.line, self.col) = save;
+        Ok(())
+    }
+
+    /// Current open-element depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+impl Iterator for EventReader<'_> {
+    type Item = Result<Event>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        EventReader::next(self)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Streaming path evaluation
+// ----------------------------------------------------------------------
+
+/// One step of a streaming path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStep {
+    /// `true` = descendant-or-further (the step crossed a `//`).
+    pub deep: bool,
+    /// Element name, or `None` for `*`.
+    pub name: Option<String>,
+}
+
+/// A compiled streaming path: the navigational fragment `/a/b//c` (child
+/// and descendant steps, names and `*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamPath {
+    /// `true` when the path starts with `//` (first step at any depth).
+    root_deep: bool,
+    steps: Vec<StreamStep>,
+}
+
+impl StreamPath {
+    /// Parse a path: `/a/b`, `//a//b`, `/a/*//c`.
+    pub fn parse(path: &str) -> Result<StreamPath> {
+        let mut rest = path;
+        let root_deep = if let Some(r) = rest.strip_prefix("//") {
+            rest = r;
+            true
+        } else if let Some(r) = rest.strip_prefix('/') {
+            rest = r;
+            false
+        } else {
+            // Relative paths bind at the root element, same as absolute.
+            false
+        };
+        if rest.is_empty() {
+            return Err(Error::structure("empty streaming path"));
+        }
+        if rest.ends_with('/') {
+            return Err(Error::structure("trailing '/' in streaming path"));
+        }
+        let mut steps = Vec::new();
+        let mut deep = root_deep;
+        let mut first = true;
+        for part in rest.split('/') {
+            if part.is_empty() {
+                // A `//` separator: the *next* step is deep.
+                deep = true;
+                continue;
+            }
+            steps.push(StreamStep {
+                deep: if first { root_deep } else { deep },
+                name: if part == "*" {
+                    None
+                } else {
+                    Some(part.to_string())
+                },
+            });
+            deep = false;
+            first = false;
+        }
+        if steps.is_empty() {
+            return Err(Error::structure("empty streaming path"));
+        }
+        Ok(StreamPath { root_deep, steps })
+    }
+
+    /// Run over a document text, returning the number of matching elements
+    /// and the concatenated text content of each match.
+    ///
+    /// Memory: O(depth × path length) — the defining property of streaming
+    /// evaluation, irrespective of document length.
+    pub fn run(&self, input: &str) -> Result<StreamOutcome> {
+        // Active state-sets per open element. A state `i` means "the first
+        // i steps are matched by ancestors". State = steps.len() is a match.
+        let nsteps = self.steps.len();
+        let mut stack: Vec<Vec<usize>> = Vec::new();
+        // Open captures: (depth of the matched element, index into captures).
+        let mut capturing: Vec<(usize, usize)> = Vec::new();
+        let mut captures: Vec<String> = Vec::new();
+        let mut count = 0usize;
+        let mut reader = EventReader::new(input);
+        let mut depth = 0usize;
+        while let Some(ev) = reader.next() {
+            match ev? {
+                Event::Start { name, .. } => {
+                    depth += 1;
+                    // States active for children of the parent.
+                    let parent_states: Vec<usize> = match stack.last() {
+                        Some(s) => s.clone(),
+                        None => vec![0],
+                    };
+                    let mut here = Vec::new();
+                    for &st in &parent_states {
+                        if st < nsteps {
+                            let step = &self.steps[st];
+                            let name_ok = step.name.as_deref().is_none_or(|n| n == name);
+                            if name_ok {
+                                push_unique(&mut here, st + 1);
+                            }
+                            // Deep steps stay available below.
+                            if step.deep {
+                                push_unique(&mut here, st);
+                            }
+                        }
+                    }
+                    if here.contains(&nsteps) {
+                        count += 1;
+                        capturing.push((depth, captures.len()));
+                        captures.push(String::new());
+                        // A full match cannot extend further; drop the
+                        // terminal state from propagation.
+                        here.retain(|&s| s != nsteps);
+                    }
+                    stack.push(here);
+                }
+                Event::End { .. } => {
+                    if capturing.last().map(|&(d, _)| d) == Some(depth) {
+                        capturing.pop();
+                    }
+                    stack.pop();
+                    depth -= 1;
+                }
+                Event::Text(t) => {
+                    // Text belongs to every open capture (nested matches
+                    // each collect it, matching `text_content`).
+                    for &(_, idx) in &capturing {
+                        captures[idx].push_str(&t);
+                    }
+                }
+                Event::Comment(_) | Event::Pi { .. } => {}
+            }
+        }
+        Ok(StreamOutcome {
+            count,
+            texts: captures,
+        })
+    }
+}
+
+fn push_unique(v: &mut Vec<usize>, x: usize) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+/// Result of a streaming run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOutcome {
+    /// Number of elements matched.
+    pub count: usize,
+    /// Text content of each match, in document order of the start tags.
+    pub texts: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(src: &str) -> Vec<Event> {
+        EventReader::new(src).collect::<Result<Vec<_>>>().unwrap()
+    }
+
+    #[test]
+    fn event_sequence() {
+        let evs = events("<a x='1'>hi<b/></a>");
+        assert_eq!(
+            evs,
+            vec![
+                Event::Start {
+                    name: "a".into(),
+                    attrs: vec![("x".into(), "1".into())]
+                },
+                Event::Text("hi".into()),
+                Event::Start {
+                    name: "b".into(),
+                    attrs: vec![]
+                },
+                Event::End { name: "b".into() },
+                Event::End { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn entities_comments_pis_cdata() {
+        let evs = events("<a>&lt;&#65;<!--c--><?p d?><![CDATA[<x>]]></a>");
+        assert_eq!(evs[1], Event::Text("<A".into()));
+        assert_eq!(evs[2], Event::Comment("c".into()));
+        assert_eq!(
+            evs[3],
+            Event::Pi {
+                target: "p".into(),
+                data: "d".into()
+            }
+        );
+        assert_eq!(evs[4], Event::Text("<x>".into()));
+    }
+
+    #[test]
+    fn errors_surface() {
+        for bad in [
+            "<a><b></a>",
+            "<a>",
+            "</a>",
+            "<a></a><b/>",
+            "<a>x</a>y",
+            // Comments and PIs may trail the root, further elements may not.
+            "<a/><!--c--><b/>",
+            "<a/><?pi d?><b/>",
+        ] {
+            let result: Result<Vec<Event>> = EventReader::new(bad).collect();
+            assert!(result.is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn agrees_with_dom_parser_on_generated_docs() {
+        let doc = crate::generator::bibliography(crate::generator::BibConfig {
+            books: 10,
+            people: 5,
+            seed: 1,
+        });
+        let xml = doc.to_xml_string();
+        // Start events = number of elements.
+        let starts = events(&xml)
+            .iter()
+            .filter(|e| matches!(e, Event::Start { .. }))
+            .count();
+        let elements = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.kind(n) == crate::document::NodeKind::Element)
+            .count();
+        assert_eq!(starts, elements);
+    }
+
+    #[test]
+    fn stream_path_basics() {
+        let xml = "<bib><book><title>A</title></book><book><title>B</title></book>\
+                   <article><title>C</title></article></bib>";
+        assert_eq!(
+            StreamPath::parse("/bib/book/title")
+                .unwrap()
+                .run(xml)
+                .unwrap()
+                .count,
+            2
+        );
+        assert_eq!(
+            StreamPath::parse("//title")
+                .unwrap()
+                .run(xml)
+                .unwrap()
+                .count,
+            3
+        );
+        assert_eq!(
+            StreamPath::parse("/bib/*/title")
+                .unwrap()
+                .run(xml)
+                .unwrap()
+                .count,
+            3
+        );
+        let out = StreamPath::parse("/bib/book/title")
+            .unwrap()
+            .run(xml)
+            .unwrap();
+        assert_eq!(out.texts, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn deep_steps_match_at_any_depth() {
+        let xml = "<r><a><x><a><b>deep</b></a></x></a><b>shallow-b</b></r>";
+        assert_eq!(
+            StreamPath::parse("//a//b").unwrap().run(xml).unwrap().count,
+            1
+        );
+        assert_eq!(StreamPath::parse("//b").unwrap().run(xml).unwrap().count, 2);
+        assert_eq!(
+            StreamPath::parse("/r/a//b")
+                .unwrap()
+                .run(xml)
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn nested_matches_both_count_and_capture() {
+        let xml = "<r><a>out<a>in</a></a></r>";
+        let out = StreamPath::parse("//a").unwrap().run(xml).unwrap();
+        assert_eq!(out.count, 2);
+        assert_eq!(out.texts, vec!["outin", "in"]);
+    }
+
+    #[test]
+    fn agrees_with_dom_xpath_on_the_shared_fragment() {
+        let doc = crate::generator::cityguide(crate::generator::CityConfig {
+            restaurants: 15,
+            hotels: 5,
+            seed: 9,
+        });
+        let xml = doc.to_xml_string();
+        for path in [
+            "/cityguide/restaurant/name",
+            "//name",
+            "//menu/dish",
+            "/cityguide/*/city",
+            "//restaurant/menu",
+            "//nonexistent",
+        ] {
+            let streamed = StreamPath::parse(path).unwrap().run(&xml).unwrap().count;
+            let dom = crate::path::select(&doc, doc.root(), path).len();
+            assert_eq!(streamed, dom, "{path}");
+        }
+    }
+
+    #[test]
+    fn text_after_nested_match_closes_goes_to_the_outer_capture() {
+        let xml = "<r><a>x<a>mid</a>y</a></r>";
+        let out = StreamPath::parse("//a").unwrap().run(xml).unwrap();
+        assert_eq!(out.count, 2);
+        assert_eq!(out.texts, vec!["xmidy", "mid"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(StreamPath::parse("").is_err());
+        assert!(StreamPath::parse("/").is_err());
+        assert!(StreamPath::parse("//").is_err());
+        assert!(StreamPath::parse("/a/").is_err());
+        assert!(StreamPath::parse("//title//").is_err());
+    }
+
+    #[test]
+    fn trailing_comments_and_pis_are_fine() {
+        let evs = events("<a/><!--ok--><?pi d?>");
+        assert_eq!(evs.len(), 4);
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let mut r = EventReader::new("<a><b><c/></b></a>");
+        let mut max = 0;
+        while let Some(ev) = r.next() {
+            ev.unwrap();
+            max = max.max(r.depth());
+        }
+        assert_eq!(max, 3);
+    }
+}

@@ -1,0 +1,349 @@
+//! Graph algorithms used by diagram validation, stratification and layout.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeIx};
+
+/// Error returned by [`toposort`] when the graph contains a cycle; carries
+/// one node that participates in a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cycle(pub NodeIx);
+
+/// Kahn topological sort. Returns nodes in an order where every edge points
+/// forward, or a [`Cycle`] witness.
+pub fn toposort<N, E>(g: &Graph<N, E>) -> Result<Vec<NodeIx>, Cycle> {
+    let mut indeg: Vec<usize> = g.node_indices().map(|n| g.in_degree(n)).collect();
+    let mut queue: VecDeque<NodeIx> = g.node_indices().filter(|n| indeg[n.index()] == 0).collect();
+    let mut order = Vec::with_capacity(g.node_count());
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for s in g.successors(n) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    if order.len() == g.node_count() {
+        Ok(order)
+    } else {
+        let witness = g
+            .node_indices()
+            .find(|n| indeg[n.index()] > 0)
+            .expect("cycle implies a node with remaining in-degree");
+        Err(Cycle(witness))
+    }
+}
+
+/// Whether the directed graph is acyclic.
+pub fn is_acyclic<N, E>(g: &Graph<N, E>) -> bool {
+    toposort(g).is_ok()
+}
+
+/// Nodes reachable from `start` following edge direction (includes `start`).
+pub fn reachable<N, E>(g: &Graph<N, E>, start: NodeIx) -> Vec<NodeIx> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![start];
+    let mut out = Vec::new();
+    seen[start.index()] = true;
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        for s in g.successors(n) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// Weakly connected components; `result[i]` is the component id of node i,
+/// ids are dense starting at 0.
+pub fn components<N, E>(g: &Graph<N, E>) -> Vec<usize> {
+    let mut comp = vec![usize::MAX; g.node_count()];
+    let mut next = 0;
+    for start in g.node_indices() {
+        if comp[start.index()] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start.index()] = next;
+        while let Some(n) = stack.pop() {
+            for m in g.neighbours(n) {
+                if comp[m.index()] == usize::MAX {
+                    comp[m.index()] = next;
+                    stack.push(m);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of weakly connected components.
+pub fn component_count<N, E>(g: &Graph<N, E>) -> usize {
+    components(g).iter().copied().max().map_or(0, |m| m + 1)
+}
+
+/// Tarjan strongly connected components. Returns the list of SCCs in
+/// reverse topological order (standard Tarjan emission order); each SCC is
+/// a list of node indices.
+pub fn tarjan_scc<N, E>(g: &Graph<N, E>) -> Vec<Vec<NodeIx>> {
+    struct State<'a, N, E> {
+        g: &'a Graph<N, E>,
+        index: Vec<Option<u32>>,
+        lowlink: Vec<u32>,
+        on_stack: Vec<bool>,
+        stack: Vec<NodeIx>,
+        counter: u32,
+        sccs: Vec<Vec<NodeIx>>,
+    }
+
+    // Iterative Tarjan to avoid stack overflow on deep diagrams.
+    enum Frame {
+        Enter(NodeIx),
+        Continue(NodeIx, usize),
+    }
+
+    let mut st = State {
+        g,
+        index: vec![None; g.node_count()],
+        lowlink: vec![0; g.node_count()],
+        on_stack: vec![false; g.node_count()],
+        stack: Vec::new(),
+        counter: 0,
+        sccs: Vec::new(),
+    };
+
+    for root in g.node_indices() {
+        if st.index[root.index()].is_some() {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(root)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    st.index[v.index()] = Some(st.counter);
+                    st.lowlink[v.index()] = st.counter;
+                    st.counter += 1;
+                    st.stack.push(v);
+                    st.on_stack[v.index()] = true;
+                    frames.push(Frame::Continue(v, 0));
+                }
+                Frame::Continue(v, succ_i) => {
+                    let succs: Vec<NodeIx> = st.g.successors(v).collect();
+                    if let Some(&w) = succs.get(succ_i) {
+                        frames.push(Frame::Continue(v, succ_i + 1));
+                        match st.index[w.index()] {
+                            None => frames.push(Frame::Enter(w)),
+                            Some(widx) => {
+                                if st.on_stack[w.index()] {
+                                    st.lowlink[v.index()] = st.lowlink[v.index()].min(widx);
+                                }
+                            }
+                        }
+                    } else {
+                        // All successors processed: close v.
+                        if st.lowlink[v.index()] == st.index[v.index()].expect("visited") {
+                            let mut scc = Vec::new();
+                            loop {
+                                let w = st.stack.pop().expect("stack nonempty in SCC pop");
+                                st.on_stack[w.index()] = false;
+                                scc.push(w);
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            st.sccs.push(scc);
+                        }
+                        // Propagate lowlink to parent Continue frame if any.
+                        if let Some(Frame::Continue(p, _)) = frames.last() {
+                            let p = *p;
+                            st.lowlink[p.index()] =
+                                st.lowlink[p.index()].min(st.lowlink[v.index()]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    st.sccs
+}
+
+/// BFS distance layering from a set of sources: `result[i] = Some(distance)`
+/// for reachable nodes.
+pub fn bfs_layers<N, E>(g: &Graph<N, E>, sources: &[NodeIx]) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()].is_none() {
+            dist[s.index()] = Some(0);
+            queue.push_back(s);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        let d = dist[n.index()].expect("queued nodes have distances");
+        for s in g.successors(n) {
+            if dist[s.index()].is_none() {
+                dist[s.index()] = Some(d + 1);
+                queue.push_back(s);
+            }
+        }
+    }
+    dist
+}
+
+/// Longest-path layering for a DAG: every node gets the length of the
+/// longest path from any source to it. Used by the Sugiyama layout's layer
+/// assignment. Errors with a [`Cycle`] witness on cyclic input.
+pub fn longest_path_layers<N, E>(g: &Graph<N, E>) -> Result<Vec<usize>, Cycle> {
+    let order = toposort(g)?;
+    let mut layer = vec![0usize; g.node_count()];
+    for n in order {
+        for s in g.successors(n) {
+            layer[s.index()] = layer[s.index()].max(layer[n.index()] + 1);
+        }
+    }
+    Ok(layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Graph<usize, ()> {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeIx> = (0..n).map(|i| g.add_node(i)).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        g
+    }
+
+    #[test]
+    fn toposort_chain() {
+        let g = chain(5);
+        let order = toposort(&g).unwrap();
+        let pos: Vec<usize> = order.iter().map(|n| n.index()).collect();
+        assert_eq!(pos, vec![0, 1, 2, 3, 4]);
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn toposort_detects_cycle() {
+        let mut g = chain(3);
+        g.add_edge(NodeIx(2), NodeIx(0), ());
+        assert!(toposort(&g).is_err());
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        assert_eq!(toposort(&g), Err(Cycle(a)));
+    }
+
+    #[test]
+    fn reachable_respects_direction() {
+        let g = chain(4);
+        assert_eq!(reachable(&g, NodeIx(1)).len(), 3);
+        assert_eq!(reachable(&g, NodeIx(3)), vec![NodeIx(3)]);
+    }
+
+    #[test]
+    fn weak_components() {
+        let mut g = chain(3);
+        let x = g.add_node(99);
+        let y = g.add_node(100);
+        g.add_edge(y, x, ()); // second component, edge direction irrelevant
+        let comp = components(&g);
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[x.index()], comp[y.index()]);
+        assert_ne!(comp[0], comp[x.index()]);
+        assert_eq!(component_count(&g), 2);
+    }
+
+    #[test]
+    fn scc_of_dag_is_singletons() {
+        let g = chain(4);
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn scc_finds_cycle_groups() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        // a <-> b cycle, c -> d chain, b -> c bridge.
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, d, ());
+        let mut sccs = tarjan_scc(&g);
+        for s in &mut sccs {
+            s.sort();
+        }
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.contains(&vec![a, b]));
+        assert!(sccs.contains(&vec![c]));
+        assert!(sccs.contains(&vec![d]));
+        // Tarjan emits reverse-topologically: the {a,b} SCC comes last.
+        assert_eq!(sccs.last().unwrap(), &vec![a, b]);
+    }
+
+    #[test]
+    fn bfs_layering() {
+        let mut g = chain(3);
+        let iso = g.add_node(42);
+        let dist = bfs_layers(&g, &[NodeIx(0)]);
+        assert_eq!(dist[0], Some(0));
+        assert_eq!(dist[2], Some(2));
+        assert_eq!(dist[iso.index()], None);
+    }
+
+    #[test]
+    fn longest_path_beats_bfs_on_diamonds() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(a, c, ()); // shortcut
+        g.add_edge(c, d, ());
+        let layers = longest_path_layers(&g).unwrap();
+        assert_eq!(layers, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn longest_path_rejects_cycles() {
+        let mut g = chain(2);
+        g.add_edge(NodeIx(1), NodeIx(0), ());
+        assert!(longest_path_layers(&g).is_err());
+    }
+
+    #[test]
+    fn deep_graph_does_not_overflow_stack() {
+        // 100k-node chain would blow a recursive Tarjan.
+        let g = chain(100_000);
+        assert_eq!(tarjan_scc(&g).len(), 100_000);
+        assert!(toposort(&g).is_ok());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Graph<(), ()> = Graph::new();
+        assert!(toposort(&g).unwrap().is_empty());
+        assert_eq!(component_count(&g), 0);
+        assert!(tarjan_scc(&g).is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! The directed attributed multigraph container.
+
+use std::fmt;
+
+/// Index of a node in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIx(pub u32);
+
+/// Index of an edge in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeIx(pub u32);
+
+impl NodeIx {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeIx {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EdgeData<E> {
+    src: NodeIx,
+    dst: NodeIx,
+    weight: E,
+}
+
+/// A directed multigraph with node payloads `N` and edge payloads `E`.
+///
+/// Nodes and edges are append-only; indices are stable. Self-loops and
+/// parallel edges are allowed (diagram formalisms use parallel edges for
+/// repeated roles).
+#[derive(Debug, Clone)]
+pub struct Graph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<EdgeData<E>>,
+    out: Vec<Vec<EdgeIx>>,
+    inc: Vec<Vec<EdgeIx>>,
+}
+
+impl<N, E> Default for Graph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> Graph<N, E> {
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out: Vec::new(),
+            inc: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Graph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out: Vec::with_capacity(nodes),
+            inc: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Add a node, returning its index.
+    pub fn add_node(&mut self, weight: N) -> NodeIx {
+        let ix = NodeIx(self.nodes.len() as u32);
+        self.nodes.push(weight);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        ix
+    }
+
+    /// Add a directed edge, returning its index.
+    ///
+    /// # Panics
+    /// If either endpoint is out of range.
+    pub fn add_edge(&mut self, src: NodeIx, dst: NodeIx, weight: E) -> EdgeIx {
+        assert!(src.index() < self.nodes.len(), "src out of range");
+        assert!(dst.index() < self.nodes.len(), "dst out of range");
+        let ix = EdgeIx(self.edges.len() as u32);
+        self.edges.push(EdgeData { src, dst, weight });
+        self.out[src.index()].push(ix);
+        self.inc[dst.index()].push(ix);
+        ix
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn node(&self, ix: NodeIx) -> &N {
+        &self.nodes[ix.index()]
+    }
+
+    pub fn node_mut(&mut self, ix: NodeIx) -> &mut N {
+        &mut self.nodes[ix.index()]
+    }
+
+    pub fn edge(&self, ix: EdgeIx) -> &E {
+        &self.edges[ix.index()].weight
+    }
+
+    pub fn edge_mut(&mut self, ix: EdgeIx) -> &mut E {
+        &mut self.edges[ix.index()].weight
+    }
+
+    /// Source and destination of an edge.
+    pub fn endpoints(&self, ix: EdgeIx) -> (NodeIx, NodeIx) {
+        let e = &self.edges[ix.index()];
+        (e.src, e.dst)
+    }
+
+    pub fn source(&self, ix: EdgeIx) -> NodeIx {
+        self.edges[ix.index()].src
+    }
+
+    pub fn target(&self, ix: EdgeIx) -> NodeIx {
+        self.edges[ix.index()].dst
+    }
+
+    /// All node indices.
+    pub fn node_indices(&self) -> impl Iterator<Item = NodeIx> + '_ {
+        (0..self.nodes.len() as u32).map(NodeIx)
+    }
+
+    /// All edge indices.
+    pub fn edge_indices(&self) -> impl Iterator<Item = EdgeIx> + '_ {
+        (0..self.edges.len() as u32).map(EdgeIx)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, n: NodeIx) -> impl Iterator<Item = EdgeIx> + '_ {
+        self.out[n.index()].iter().copied()
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, n: NodeIx) -> impl Iterator<Item = EdgeIx> + '_ {
+        self.inc[n.index()].iter().copied()
+    }
+
+    /// Successor nodes (with multiplicity, following parallel edges).
+    pub fn successors(&self, n: NodeIx) -> impl Iterator<Item = NodeIx> + '_ {
+        self.out[n.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].dst)
+    }
+
+    /// Predecessor nodes (with multiplicity).
+    pub fn predecessors(&self, n: NodeIx) -> impl Iterator<Item = NodeIx> + '_ {
+        self.inc[n.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].src)
+    }
+
+    pub fn out_degree(&self, n: NodeIx) -> usize {
+        self.out[n.index()].len()
+    }
+
+    pub fn in_degree(&self, n: NodeIx) -> usize {
+        self.inc[n.index()].len()
+    }
+
+    /// Neighbours in either direction (with multiplicity).
+    pub fn neighbours(&self, n: NodeIx) -> impl Iterator<Item = NodeIx> + '_ {
+        self.successors(n).chain(self.predecessors(n))
+    }
+
+    /// Whether at least one `src → dst` edge exists.
+    pub fn has_edge(&self, src: NodeIx, dst: NodeIx) -> bool {
+        self.out[src.index()]
+            .iter()
+            .any(|&e| self.edges[e.index()].dst == dst)
+    }
+
+    /// Map node and edge payloads into a new graph with identical shape.
+    pub fn map<N2, E2>(
+        &self,
+        mut fnode: impl FnMut(NodeIx, &N) -> N2,
+        mut fedge: impl FnMut(EdgeIx, &E) -> E2,
+    ) -> Graph<N2, E2> {
+        let mut g = Graph::with_capacity(self.node_count(), self.edge_count());
+        for ix in self.node_indices() {
+            g.add_node(fnode(ix, self.node(ix)));
+        }
+        for ix in self.edge_indices() {
+            let (s, d) = self.endpoints(ix);
+            g.add_edge(s, d, fedge(ix, self.edge(ix)));
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph<char, u32>, [NodeIx; 4]) {
+        let mut g = Graph::new();
+        let a = g.add_node('a');
+        let b = g.add_node('b');
+        let c = g.add_node('c');
+        let d = g.add_node('d');
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 2);
+        g.add_edge(b, d, 3);
+        g.add_edge(c, d, 4);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn counts_and_payloads() {
+        let (g, [a, _, _, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(*g.node(a), 'a');
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+    }
+
+    #[test]
+    fn adjacency() {
+        let (g, [a, b, c, d]) = diamond();
+        let succ: Vec<NodeIx> = g.successors(a).collect();
+        assert_eq!(succ, vec![b, c]);
+        let pred: Vec<NodeIx> = g.predecessors(d).collect();
+        assert_eq!(pred, vec![b, c]);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops() {
+        let mut g: Graph<(), &str> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, "x");
+        g.add_edge(a, b, "y");
+        g.add_edge(a, a, "loop");
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.successors(a).filter(|&n| n == b).count(), 2);
+    }
+
+    #[test]
+    fn endpoints_and_mutation() {
+        let (mut g, [a, b, ..]) = diamond();
+        let e = g.out_edges(a).next().unwrap();
+        assert_eq!(g.endpoints(e), (a, b));
+        *g.edge_mut(e) = 99;
+        assert_eq!(*g.edge(e), 99);
+        *g.node_mut(a) = 'z';
+        assert_eq!(*g.node(a), 'z');
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let (g, _) = diamond();
+        let mapped: Graph<String, u32> = g.map(|_, &c| c.to_string(), |_, &w| w * 10);
+        assert_eq!(mapped.node_count(), 4);
+        assert_eq!(*mapped.edge(EdgeIx(0)), 10);
+        assert_eq!(mapped.node(NodeIx(0)), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_to_missing_node_panics() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeIx(5), ());
+    }
+}

@@ -1,0 +1,29 @@
+//! # gql-vgraph — typed attributed multigraph infrastructure
+//!
+//! Both graphical query languages in this workspace — XML-GL and WG-Log —
+//! *are* graphs: their diagrams consist of typed nodes (element boxes, text
+//! circles, attribute dots, aggregation triangles) connected by typed edges
+//! (containment, reference, join, construction binding). This crate provides
+//! the shared graph container ([`Graph`]) and the algorithms the language
+//! crates and the layout engine need: topological sorting, strongly
+//! connected components, reachability, undirected components, and BFS
+//! layering.
+//!
+//! The container is a directed multigraph with stable indices: nodes and
+//! edges are never removed, only added (diagrams are built once, then
+//! analysed), which keeps ids valid and the representation compact.
+//!
+//! ```
+//! use gql_vgraph::Graph;
+//!
+//! let mut g: Graph<&str, ()> = Graph::new();
+//! let a = g.add_node("a");
+//! let b = g.add_node("b");
+//! g.add_edge(a, b, ());
+//! assert!(gql_vgraph::algo::toposort(&g).is_ok());
+//! ```
+
+pub mod algo;
+pub mod graph;
+
+pub use graph::{EdgeIx, Graph, NodeIx};

@@ -1,0 +1,134 @@
+//! Conversion of WG-Log rules to renderable diagrams.
+//!
+//! The figure convention: one graph per rule, rounded boxes for complex
+//! objects, thin solid edges for the query part, thick edges for the
+//! construct part, dashed edges for regular paths, a crossed label for
+//! negation. (The original uses red/green colouring; line weight carries
+//! the same bit in our monochrome renderers, exactly as the paper's own
+//! printed figures fall back to thin/thick.)
+
+use gql_layout::{Diagram, EdgeSpec, EdgeStyle, NodeSpec, Shape};
+use gql_vgraph::NodeIx;
+
+use crate::rule::{AttrValue, Color, LabelTest, Rule};
+
+/// Build a diagram of one rule.
+pub fn rule_diagram(rule: &Rule) -> Diagram {
+    let mut d = Diagram::new();
+    let nodes: Vec<NodeIx> = rule
+        .nodes
+        .iter()
+        .map(|n| {
+            let shape = if n.color == Color::Construct {
+                Shape::RoundedBox
+            } else {
+                Shape::Box
+            };
+            let mut spec = NodeSpec::new(format!("{}: {}", n.var, n.test), shape);
+            let mut notes: Vec<String> = n
+                .constraints
+                .iter()
+                .map(|c| format!("{} {} \"{}\"", c.attr, c.op.symbol(), c.value))
+                .collect();
+            for (attr, v) in &n.set_attrs {
+                match v {
+                    AttrValue::Literal(s) => notes.push(format!("{attr} := \"{s}\"")),
+                    AttrValue::CopyFrom { var, attr: a } => {
+                        notes.push(format!("{attr} := ${var}.{a}"))
+                    }
+                }
+            }
+            if !notes.is_empty() {
+                spec = spec.with_sublabel(notes.join(", "));
+            }
+            d.add_node(spec)
+        })
+        .collect();
+    for e in &rule.edges {
+        let style = match (&e.label, e.color) {
+            (LabelTest::Regex(_), _) => EdgeStyle::Dashed,
+            (_, Color::Construct) => EdgeStyle::Thick,
+            (_, Color::Query) => EdgeStyle::Solid,
+        };
+        let mut label = e.label.to_string();
+        if e.negated {
+            label = format!("✗ {label}");
+        }
+        d.add_edge(
+            nodes[e.from.index()],
+            nodes[e.to.index()],
+            EdgeSpec::labelled(label, style),
+        );
+    }
+    d
+}
+
+/// Render a rule straight to SVG with default layout options.
+pub fn rule_to_svg(rule: &Rule) -> String {
+    let d = rule_diagram(rule);
+    let layout = gql_layout::layout(&d, &gql_layout::LayoutOptions::default());
+    gql_layout::render::to_svg(&d, &layout)
+}
+
+/// Render a rule to ASCII art with default layout options.
+pub fn rule_to_ascii(rule: &Rule) -> String {
+    let d = rule_diagram(rule);
+    let layout = gql_layout::layout(&d, &gql_layout::LayoutOptions::default());
+    gql_layout::render::to_ascii(&d, &layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{CmpOp, PathRe, PathRep, RuleBuilder};
+
+    fn sample() -> Rule {
+        RuleBuilder::new()
+            .query_node("r", "restaurant")
+            .constraint("category", CmpOp::Eq, "italian")
+            .query_node("m", "menu")
+            .query_edge("r", "offers", "m")
+            .unwrap()
+            .negated_edge("r", "closed", "m")
+            .unwrap()
+            .path_edge(
+                "r",
+                PathRe {
+                    labels: vec!["near".into()],
+                    rep: PathRep::Plus,
+                },
+                "m",
+            )
+            .unwrap()
+            .construct_node("l", "rest-list")
+            .copy_attr("city", "r", "city")
+            .construct_edge("l", "member", "r")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn diagram_shape() {
+        let d = rule_diagram(&sample());
+        assert_eq!(d.node_count(), 3);
+        assert_eq!(d.edge_count(), 4);
+    }
+
+    #[test]
+    fn svg_distinguishes_parts() {
+        let svg = rule_to_svg(&sample());
+        assert!(svg.contains("rx=\"8\"")); // rounded construct node
+        assert!(svg.contains("stroke-width=\"3\"")); // thick construct edge
+        assert!(svg.contains("stroke-dasharray")); // regular path edge
+        assert!(svg.contains("✗ closed")); // negation marker
+        assert!(svg.contains("member"));
+    }
+
+    #[test]
+    fn ascii_renders() {
+        let text = rule_to_ascii(&sample());
+        assert!(text.contains("[r: restaurant]"));
+        assert!(text.contains("[l: rest-list]"));
+    }
+}

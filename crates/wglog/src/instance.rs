@@ -1,0 +1,410 @@
+//! Complex-object instance graphs and the XML loader.
+//!
+//! A WG-Log database is a directed labelled graph of typed objects with
+//! atomic attributes. The loader maps a semi-structured document onto this
+//! model the way the paper's city-guide examples assume:
+//!
+//! * every element with element children or attributes becomes an object
+//!   typed by its tag;
+//! * a text-only child element (`<name>Roma</name>`) becomes an attribute
+//!   of the parent object rather than a separate object;
+//! * containment becomes an edge labelled with the child's tag;
+//! * resolved ID/IDREF references become edges labelled with the
+//!   referencing attribute's name.
+
+use std::collections::HashMap;
+
+use gql_ssdm::document::NodeKind;
+use gql_ssdm::idref::RefGraph;
+use gql_ssdm::{Document, NodeId};
+
+/// Index of an object in an [`Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u32);
+
+impl ObjId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One complex object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Object {
+    pub ty: String,
+    /// Attribute name/value pairs; repeated names allowed (multi-valued).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Object {
+    pub fn new(ty: impl Into<String>) -> Self {
+        Object {
+            ty: ty.into(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// First value of an attribute.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of an attribute.
+    pub fn attr_values<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.attrs
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One labelled edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Edge {
+    pub from: ObjId,
+    pub label: String,
+    pub to: ObjId,
+}
+
+/// A WG-Log database: typed objects plus labelled edges.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    objects: Vec<Object>,
+    edges: Vec<Edge>,
+    /// Outgoing adjacency: object → indexes into `edges`.
+    out: Vec<Vec<usize>>,
+    /// Incoming adjacency.
+    inc: Vec<Vec<usize>>,
+    /// Type index: type name → object ids.
+    by_type: HashMap<String, Vec<ObjId>>,
+    /// Fast duplicate check for edges.
+    edge_set: std::collections::HashSet<(ObjId, String, ObjId)>,
+}
+
+impl Instance {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an object, returning its id.
+    pub fn add_object(&mut self, obj: Object) -> ObjId {
+        let id = ObjId(self.objects.len() as u32);
+        self.by_type.entry(obj.ty.clone()).or_default().push(id);
+        self.objects.push(obj);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        id
+    }
+
+    /// Add an edge if not already present; returns whether it was new.
+    pub fn add_edge(&mut self, from: ObjId, label: impl Into<String>, to: ObjId) -> bool {
+        let label = label.into();
+        if !self.edge_set.insert((from, label.clone(), to)) {
+            return false;
+        }
+        let idx = self.edges.len();
+        self.edges.push(Edge { from, label, to });
+        self.out[from.index()].push(idx);
+        self.inc[to.index()].push(idx);
+        true
+    }
+
+    /// Append an attribute value to an object.
+    pub fn add_attr(&mut self, obj: ObjId, name: impl Into<String>, value: impl Into<String>) {
+        self.objects[obj.index()]
+            .attrs
+            .push((name.into(), value.into()));
+    }
+
+    pub fn object(&self, id: ObjId) -> &Object {
+        &self.objects[id.index()]
+    }
+
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    pub fn objects(&self) -> impl Iterator<Item = (ObjId, &Object)> {
+        self.objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (ObjId(i as u32), o))
+    }
+
+    /// Objects of one type.
+    pub fn objects_of_type(&self, ty: &str) -> Vec<ObjId> {
+        self.by_type.get(ty).cloned().unwrap_or_default()
+    }
+
+    /// All type names present, sorted.
+    pub fn type_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.by_type.keys().map(String::as_str).collect();
+        v.sort();
+        v
+    }
+
+    /// Outgoing edges of an object.
+    pub fn out_edges(&self, obj: ObjId) -> impl Iterator<Item = &Edge> {
+        self.out[obj.index()].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Incoming edges of an object.
+    pub fn in_edges(&self, obj: ObjId) -> impl Iterator<Item = &Edge> {
+        self.inc[obj.index()].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Whether a specific edge exists. Probes the outgoing adjacency (small
+    /// degrees) rather than the edge set, avoiding a per-probe allocation —
+    /// this sits on the innermost loop of embedding search.
+    pub fn has_edge(&self, from: ObjId, label: &str, to: ObjId) -> bool {
+        self.out_edges(from).any(|e| e.to == to && e.label == label)
+    }
+
+    /// Successors over edges with a given label.
+    pub fn successors_via<'a>(
+        &'a self,
+        obj: ObjId,
+        label: &'a str,
+    ) -> impl Iterator<Item = ObjId> + 'a {
+        self.out_edges(obj)
+            .filter(move |e| e.label == label)
+            .map(|e| e.to)
+    }
+
+    // ------------------------------------------------------------------
+    // XML loader
+    // ------------------------------------------------------------------
+
+    /// Load a document into an instance graph (see module docs for the
+    /// mapping rules).
+    pub fn from_document(doc: &Document) -> Instance {
+        let mut db = Instance::new();
+        let refs = RefGraph::extract(doc);
+        let mut node_to_obj: HashMap<NodeId, ObjId> = HashMap::new();
+        if let Some(root) = doc.root_element() {
+            load_element(doc, root, &mut db, &mut node_to_obj);
+        }
+        // Reference edges, labelled by the referencing attribute name.
+        for edge in refs.edges() {
+            let (Some(&from), Some(&to)) = (node_to_obj.get(&edge.from), node_to_obj.get(&edge.to))
+            else {
+                continue;
+            };
+            // Find the attribute that produced this reference for its label.
+            let label = doc
+                .attrs(edge.from)
+                .find(|(name, v)| {
+                    matches!(*name, "ref" | "idref" | "refs" | "idrefs")
+                        && v.split_whitespace()
+                            .any(|tok| refs.node_by_id(tok) == Some(edge.to))
+                })
+                .map(|(name, _)| name.to_string())
+                .unwrap_or_else(|| "ref".to_string());
+            db.add_edge(from, label, to);
+        }
+        db
+    }
+
+    /// Convert (part of) the instance back to a document: objects of
+    /// `root_type` become elements under a `wrapper` root, following edges
+    /// up to `depth` levels (cycles stopped by depth).
+    pub fn to_document(&self, wrapper: &str, root_type: &str, depth: usize) -> Document {
+        let mut doc = Document::new();
+        let root = doc.add_element(doc.root(), wrapper);
+        for id in self.objects_of_type(root_type) {
+            let el = self.object_to_element(id, &mut doc, depth);
+            doc.append_child(root, el).expect("fresh element");
+        }
+        doc
+    }
+
+    fn object_to_element(&self, id: ObjId, doc: &mut Document, depth: usize) -> NodeId {
+        let obj = self.object(id);
+        let el = doc.create_element(&obj.ty);
+        for (name, value) in &obj.attrs {
+            // Multi-valued attributes become repeated child elements;
+            // single-valued ones stay compact as children too (lossless
+            // round-trip of the loader's text-only-child rule).
+            let child = doc.create_element(name);
+            let t = doc.create_text(value);
+            doc.append_child(child, t).expect("fresh text");
+            doc.append_child(el, child).expect("fresh child");
+        }
+        if depth > 0 {
+            for edge in self.out_edges(id) {
+                let sub = self.object_to_element(edge.to, doc, depth - 1);
+                doc.append_child(el, sub).expect("fresh subtree");
+            }
+        }
+        el
+    }
+}
+
+/// Is this element "atomic" (text-only, no attributes, no element children)?
+fn is_atomic(doc: &Document, node: NodeId) -> bool {
+    doc.attr_count(node) == 0
+        && doc.child_elements(node).next().is_none()
+        && doc
+            .children(node)
+            .iter()
+            .all(|&c| doc.kind(c) != NodeKind::Element)
+}
+
+fn load_element(
+    doc: &Document,
+    node: NodeId,
+    db: &mut Instance,
+    map: &mut HashMap<NodeId, ObjId>,
+) -> ObjId {
+    let mut obj = Object::new(doc.name(node).unwrap_or("object"));
+    for (name, value) in doc.attrs(node) {
+        obj.attrs.push((name.to_string(), value.to_string()));
+    }
+    // Direct text content becomes a `text` attribute when non-empty.
+    let own_text: String = doc
+        .children(node)
+        .iter()
+        .filter(|&&c| doc.kind(c) == NodeKind::Text)
+        .map(|&c| doc.text(c).unwrap_or(""))
+        .collect();
+    if !own_text.trim().is_empty() {
+        obj.attrs
+            .push(("text".to_string(), own_text.trim().to_string()));
+    }
+    let id = db.add_object(obj);
+    map.insert(node, id);
+    let children: Vec<NodeId> = doc.child_elements(node).collect();
+    for child in children {
+        let tag = doc.name(child).unwrap_or("object").to_string();
+        if is_atomic(doc, child) {
+            db.add_attr(id, tag, doc.text_content(child).trim().to_string());
+        } else {
+            let cid = load_element(doc, child, db, map);
+            db.add_edge(id, tag, cid);
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guide() -> Document {
+        Document::parse_str(
+            "<guide>\
+               <restaurant id='r1' category='italian'>\
+                 <name>Roma</name>\
+                 <menu><name>lunch</name><price>20</price><dish>risotto</dish><dish>polenta</dish></menu>\
+                 <near ref='h1'/>\
+               </restaurant>\
+               <hotel id='h1' stars='4'><name>Grand</name></hotel>\
+             </guide>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn loader_types_and_attrs() {
+        let db = Instance::from_document(&guide());
+        assert_eq!(db.objects_of_type("restaurant").len(), 1);
+        assert_eq!(db.objects_of_type("hotel").len(), 1);
+        assert_eq!(db.objects_of_type("menu").len(), 1);
+        // Atomic children became attributes, not objects.
+        assert!(db.objects_of_type("name").is_empty());
+        let r = db.objects_of_type("restaurant")[0];
+        assert_eq!(db.object(r).attr("name"), Some("Roma"));
+        assert_eq!(db.object(r).attr("category"), Some("italian"));
+        let m = db.objects_of_type("menu")[0];
+        assert_eq!(db.object(m).attr("price"), Some("20"));
+        let dishes: Vec<&str> = db.object(m).attr_values("dish").collect();
+        assert_eq!(dishes, vec!["risotto", "polenta"]);
+    }
+
+    #[test]
+    fn loader_containment_edges() {
+        let db = Instance::from_document(&guide());
+        let r = db.objects_of_type("restaurant")[0];
+        let m = db.objects_of_type("menu")[0];
+        assert!(db.has_edge(r, "menu", m));
+        assert_eq!(db.successors_via(r, "menu").count(), 1);
+    }
+
+    #[test]
+    fn loader_reference_edges() {
+        let db = Instance::from_document(&guide());
+        let r = db.objects_of_type("restaurant")[0];
+        let h = db.objects_of_type("hotel")[0];
+        let near = db.objects_of_type("near")[0];
+        // <near ref='h1'/> is an object (it carries an attribute) with a
+        // reference edge to the hotel.
+        assert!(db.has_edge(r, "near", near));
+        assert!(db.has_edge(near, "ref", h));
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut db = Instance::new();
+        let a = db.add_object(Object::new("a"));
+        let b = db.add_object(Object::new("b"));
+        assert!(db.add_edge(a, "x", b));
+        assert!(!db.add_edge(a, "x", b));
+        assert_eq!(db.edge_count(), 1);
+        assert!(db.add_edge(a, "y", b));
+    }
+
+    #[test]
+    fn adjacency() {
+        let mut db = Instance::new();
+        let a = db.add_object(Object::new("a"));
+        let b = db.add_object(Object::new("b"));
+        let c = db.add_object(Object::new("c"));
+        db.add_edge(a, "x", b);
+        db.add_edge(a, "x", c);
+        db.add_edge(b, "y", c);
+        assert_eq!(db.out_edges(a).count(), 2);
+        assert_eq!(db.in_edges(c).count(), 2);
+        let via: Vec<ObjId> = db.successors_via(a, "x").collect();
+        assert_eq!(via, vec![b, c]);
+    }
+
+    #[test]
+    fn to_document_roundtrip_shape() {
+        let db = Instance::from_document(&guide());
+        let doc = db.to_document("result", "restaurant", 2);
+        let xml = doc.to_xml_string();
+        assert!(xml.starts_with("<result><restaurant>"), "{xml}");
+        assert!(xml.contains("<name>Roma</name>"));
+        assert!(xml.contains("<price>20</price>"));
+    }
+
+    #[test]
+    fn type_names_sorted() {
+        let db = Instance::from_document(&guide());
+        assert_eq!(
+            db.type_names(),
+            vec!["guide", "hotel", "menu", "near", "restaurant"]
+        );
+    }
+
+    #[test]
+    fn mixed_text_becomes_text_attr() {
+        let doc = Document::parse_str("<p note='x'>hello <b>world</b></p>").unwrap();
+        let db = Instance::from_document(&doc);
+        let p = db.objects_of_type("p")[0];
+        assert_eq!(db.object(p).attr("text"), Some("hello"));
+        // <b> is atomic → attribute.
+        assert_eq!(db.object(p).attr("b"), Some("world"));
+    }
+}

@@ -1,0 +1,473 @@
+//! Fluent builders for XML-GL rules.
+//!
+//! Diagrams are trees drawn top-down; the builder mirrors that: construct a
+//! [`Q`] / [`C`] tree value, then attach it to a rule. The intermediate
+//! trees are flattened into the arena-based [`ExtractGraph`] /
+//! [`ConstructGraph`] on attachment.
+//!
+//! ```
+//! use gql_xmlgl::builder::{Q, C, RuleBuilder};
+//! use gql_xmlgl::ast::{CmpOp, AggFunc};
+//!
+//! let rule = RuleBuilder::new()
+//!     .extract(
+//!         Q::elem("book").var("b")
+//!             .child(Q::attr("year").pred(CmpOp::Ge, "2000"))
+//!             .child(Q::elem("title").child(Q::text().var("t"))),
+//!     )
+//!     .construct(C::elem("result").child(C::all("b")).child(C::agg(AggFunc::Count, "b")))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(rule.extract.roots.len(), 1);
+//! ```
+
+use crate::ast::{
+    AggFunc, CNode, CNodeId, CNodeKind, CValue, CmpOp, ConstructGraph, ExtractGraph, NameTest,
+    Predicate, Program, QEdge, QNode, QNodeId, QNodeKind, Rule,
+};
+use crate::{Result, XmlGlError};
+
+/// Builder tree for the extract side.
+#[derive(Debug, Clone)]
+pub struct Q {
+    kind: QNodeKind,
+    var: Option<String>,
+    predicate: Predicate,
+    ordered: bool,
+    children: Vec<(Q, bool, bool)>, // (subtree, deep, negated)
+}
+
+impl Q {
+    pub fn elem(name: impl Into<String>) -> Q {
+        Q {
+            kind: QNodeKind::Element(NameTest::Name(name.into())),
+            var: None,
+            predicate: Predicate::always(),
+            ordered: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// The `*` wildcard box.
+    pub fn any() -> Q {
+        Q {
+            kind: QNodeKind::Element(NameTest::Wildcard),
+            var: None,
+            predicate: Predicate::always(),
+            ordered: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// A hollow text-content circle.
+    pub fn text() -> Q {
+        Q {
+            kind: QNodeKind::Text,
+            var: None,
+            predicate: Predicate::always(),
+            ordered: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// A filled attribute circle.
+    pub fn attr(name: impl Into<String>) -> Q {
+        Q {
+            kind: QNodeKind::Attribute(name.into()),
+            var: None,
+            predicate: Predicate::always(),
+            ordered: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// Bind the node to a variable name.
+    pub fn var(mut self, name: impl Into<String>) -> Q {
+        self.var = Some(name.into());
+        self
+    }
+
+    /// Add a comparison to the node's predicate (conjunction).
+    pub fn pred(mut self, op: CmpOp, value: impl Into<String>) -> Q {
+        self.predicate = self.predicate.and(op, value);
+        self
+    }
+
+    /// Add an alternative to the last predicate clause (disjunction).
+    pub fn or_pred(mut self, op: CmpOp, value: impl Into<String>) -> Q {
+        self.predicate = self.predicate.or(op, value);
+        self
+    }
+
+    /// Require children to match in document order.
+    pub fn ordered(mut self) -> Q {
+        self.ordered = true;
+        self
+    }
+
+    /// Direct containment edge.
+    pub fn child(mut self, q: Q) -> Q {
+        self.children.push((q, false, false));
+        self
+    }
+
+    /// Asterisk (arbitrary-depth) edge.
+    pub fn deep_child(mut self, q: Q) -> Q {
+        self.children.push((q, true, false));
+        self
+    }
+
+    /// Crossed-out (negated) edge.
+    pub fn without(mut self, q: Q) -> Q {
+        self.children.push((q, false, true));
+        self
+    }
+
+    fn flatten(self, g: &mut ExtractGraph) -> QNodeId {
+        let id = g.add(QNode {
+            kind: self.kind,
+            var: self.var,
+            predicate: self.predicate,
+            children: Vec::new(),
+        });
+        g.ordered[id.index()] = self.ordered;
+        let mut edges = Vec::with_capacity(self.children.len());
+        for (sub, deep, negated) in self.children {
+            let child = sub.flatten(g);
+            edges.push(QEdge {
+                target: child,
+                deep,
+                negated,
+            });
+        }
+        g.node_mut(id).children = edges;
+        id
+    }
+}
+
+/// Builder tree for the construct side.
+#[derive(Debug, Clone)]
+pub struct C {
+    kind: CKind,
+    children: Vec<C>,
+}
+
+#[derive(Debug, Clone)]
+enum CKind {
+    Element(String),
+    Text(String),
+    AttrLit(String, String),
+    AttrVar(String, String),
+    Copy(String, bool),
+    All(String, Option<(String, bool)>),
+    GroupBy {
+        source: String,
+        key: String,
+        wrapper: String,
+    },
+    Agg(AggFunc, String),
+}
+
+impl C {
+    pub fn elem(name: impl Into<String>) -> C {
+        C {
+            kind: CKind::Element(name.into()),
+            children: Vec::new(),
+        }
+    }
+
+    pub fn text(value: impl Into<String>) -> C {
+        C {
+            kind: CKind::Text(value.into()),
+            children: Vec::new(),
+        }
+    }
+
+    /// Attribute with a literal value.
+    pub fn attr(name: impl Into<String>, value: impl Into<String>) -> C {
+        C {
+            kind: CKind::AttrLit(name.into(), value.into()),
+            children: Vec::new(),
+        }
+    }
+
+    /// Attribute whose value is the string value of a bound query node.
+    pub fn attr_var(name: impl Into<String>, var: impl Into<String>) -> C {
+        C {
+            kind: CKind::AttrVar(name.into(), var.into()),
+            children: Vec::new(),
+        }
+    }
+
+    /// Copy the binding of a variable (deep).
+    pub fn copy(var: impl Into<String>) -> C {
+        C {
+            kind: CKind::Copy(var.into(), true),
+            children: Vec::new(),
+        }
+    }
+
+    /// Copy only the element shell (no children) — the figure without `*`.
+    pub fn copy_shallow(var: impl Into<String>) -> C {
+        C {
+            kind: CKind::Copy(var.into(), false),
+            children: Vec::new(),
+        }
+    }
+
+    /// The triangle: all matches of the variable.
+    pub fn all(var: impl Into<String>) -> C {
+        C {
+            kind: CKind::All(var.into(), None),
+            children: Vec::new(),
+        }
+    }
+
+    /// The triangle with the `order by` extension: all matches of `var`,
+    /// sorted by the bound value of `key` (ascending unless `descending`).
+    pub fn all_sorted(var: impl Into<String>, key: impl Into<String>, descending: bool) -> C {
+        C {
+            kind: CKind::All(var.into(), Some((key.into(), descending))),
+            children: Vec::new(),
+        }
+    }
+
+    /// The list icon: all matches of `source`, grouped by the value of
+    /// `key`; each group wrapped in a `wrapper` element.
+    pub fn group_by(
+        source: impl Into<String>,
+        key: impl Into<String>,
+        wrapper: impl Into<String>,
+    ) -> C {
+        C {
+            kind: CKind::GroupBy {
+                source: source.into(),
+                key: key.into(),
+                wrapper: wrapper.into(),
+            },
+            children: Vec::new(),
+        }
+    }
+
+    /// An aggregate function node.
+    pub fn agg(func: AggFunc, var: impl Into<String>) -> C {
+        C {
+            kind: CKind::Agg(func, var.into()),
+            children: Vec::new(),
+        }
+    }
+
+    pub fn child(mut self, c: C) -> C {
+        self.children.push(c);
+        self
+    }
+
+    pub fn children(mut self, cs: impl IntoIterator<Item = C>) -> C {
+        self.children.extend(cs);
+        self
+    }
+
+    fn flatten(self, g: &mut ConstructGraph, extract: &ExtractGraph) -> Result<CNodeId> {
+        let resolve = |var: &str| -> Result<QNodeId> {
+            extract.by_var(var).ok_or_else(|| XmlGlError::IllFormed {
+                msg: format!("construct side references unknown variable ${var}"),
+            })
+        };
+        let kind = match &self.kind {
+            CKind::Element(n) => CNodeKind::Element(n.clone()),
+            CKind::Text(t) => CNodeKind::Text(t.clone()),
+            CKind::AttrLit(n, v) => CNodeKind::Attribute {
+                name: n.clone(),
+                value: CValue::Literal(v.clone()),
+            },
+            CKind::AttrVar(n, v) => CNodeKind::Attribute {
+                name: n.clone(),
+                value: CValue::Binding(resolve(v)?),
+            },
+            CKind::Copy(v, deep) => CNodeKind::Copy {
+                source: resolve(v)?,
+                deep: *deep,
+            },
+            CKind::All(v, order) => CNodeKind::All {
+                source: resolve(v)?,
+                order: match order {
+                    None => None,
+                    Some((key, descending)) => Some(crate::ast::SortSpec {
+                        key: resolve(key)?,
+                        descending: *descending,
+                    }),
+                },
+            },
+            CKind::GroupBy {
+                source,
+                key,
+                wrapper,
+            } => CNodeKind::GroupBy {
+                source: resolve(source)?,
+                key: resolve(key)?,
+                wrapper: wrapper.clone(),
+            },
+            CKind::Agg(f, v) => CNodeKind::Aggregate {
+                func: *f,
+                source: resolve(v)?,
+            },
+        };
+        let id = g.add(CNode::new(kind));
+        let mut kids = Vec::with_capacity(self.children.len());
+        for c in self.children {
+            kids.push(c.flatten(g, extract)?);
+        }
+        g.node_mut(id).children = kids;
+        Ok(id)
+    }
+}
+
+/// Assembles a [`Rule`] from builder trees.
+#[derive(Debug, Default)]
+pub struct RuleBuilder {
+    extract_trees: Vec<Q>,
+    construct_trees: Vec<C>,
+    joins: Vec<(String, String)>,
+}
+
+impl RuleBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one extract-forest tree.
+    pub fn extract(mut self, q: Q) -> Self {
+        self.extract_trees.push(q);
+        self
+    }
+
+    /// Add one construct-forest tree.
+    pub fn construct(mut self, c: C) -> Self {
+        self.construct_trees.push(c);
+        self
+    }
+
+    /// Join two bound query nodes on deep-equal content (the shared-node
+    /// idiom of the diagrams).
+    pub fn join(mut self, a: impl Into<String>, b: impl Into<String>) -> Self {
+        self.joins.push((a.into(), b.into()));
+        self
+    }
+
+    pub fn build(self) -> Result<Rule> {
+        let mut extract = ExtractGraph::default();
+        for tree in self.extract_trees {
+            let root = tree.flatten(&mut extract);
+            extract.roots.push(root);
+        }
+        for (a, b) in self.joins {
+            let qa = extract.by_var(&a).ok_or_else(|| XmlGlError::IllFormed {
+                msg: format!("join references unknown variable ${a}"),
+            })?;
+            let qb = extract.by_var(&b).ok_or_else(|| XmlGlError::IllFormed {
+                msg: format!("join references unknown variable ${b}"),
+            })?;
+            extract.joins.push((qa, qb));
+        }
+        let mut construct = ConstructGraph::default();
+        for tree in self.construct_trees {
+            let root = tree.flatten(&mut construct, &extract)?;
+            construct.roots.push(root);
+        }
+        let rule = Rule { extract, construct };
+        crate::check::check_rule(&rule)?;
+        Ok(rule)
+    }
+
+    /// Build a single-rule program.
+    pub fn build_program(self) -> Result<Program> {
+        Ok(Program::single(self.build()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_rule() {
+        let rule = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .var("b")
+                    .child(Q::attr("year").pred(CmpOp::Ge, "2000")),
+            )
+            .construct(C::elem("recent").child(C::all("b")))
+            .build()
+            .unwrap();
+        assert_eq!(rule.extract.nodes.len(), 2);
+        assert_eq!(rule.construct.nodes.len(), 2);
+        assert_eq!(rule.extract.roots.len(), 1);
+    }
+
+    #[test]
+    fn unknown_variable_is_rejected() {
+        let err = RuleBuilder::new()
+            .extract(Q::elem("book"))
+            .construct(C::elem("out").child(C::all("nope")))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("$nope"));
+    }
+
+    #[test]
+    fn join_resolution() {
+        let rule = RuleBuilder::new()
+            .extract(Q::elem("product").child(Q::elem("vendor").child(Q::text().var("v1"))))
+            .extract(Q::elem("vendor").child(Q::elem("name").child(Q::text().var("v2"))))
+            .join("v1", "v2")
+            .construct(C::elem("out"))
+            .build()
+            .unwrap();
+        assert_eq!(rule.extract.joins.len(), 1);
+        assert_eq!(rule.extract.roots.len(), 2);
+    }
+
+    #[test]
+    fn unknown_join_variable_is_rejected() {
+        let err = RuleBuilder::new()
+            .extract(Q::elem("a").child(Q::text().var("x")))
+            .join("x", "ghost")
+            .construct(C::elem("out"))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("$ghost"));
+    }
+
+    #[test]
+    fn edge_flags_flatten() {
+        let rule = RuleBuilder::new()
+            .extract(
+                Q::elem("r")
+                    .deep_child(Q::elem("x").var("x"))
+                    .without(Q::elem("y")),
+            )
+            .construct(C::elem("out").child(C::copy("x")))
+            .build()
+            .unwrap();
+        let root = rule.extract.roots[0];
+        let edges = &rule.extract.node(root).children;
+        assert!(edges[0].deep && !edges[0].negated);
+        assert!(!edges[1].deep && edges[1].negated);
+    }
+
+    #[test]
+    fn ordered_flag() {
+        let rule = RuleBuilder::new()
+            .extract(
+                Q::elem("seq")
+                    .ordered()
+                    .child(Q::elem("a"))
+                    .child(Q::elem("b")),
+            )
+            .construct(C::elem("out"))
+            .build()
+            .unwrap();
+        assert!(rule.extract.ordered[rule.extract.roots[0].index()]);
+    }
+}

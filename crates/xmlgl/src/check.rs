@@ -1,0 +1,417 @@
+//! Well-formedness checking of XML-GL diagrams.
+//!
+//! A drawing can be syntactically assembled and still be meaningless; these
+//! are the rules the interactive editor would enforce while drawing, applied
+//! to the AST instead:
+//!
+//! 1. text and attribute circles are leaves;
+//! 2. extract roots are element boxes;
+//! 3. variable names bind at most one node per rule;
+//! 4. negated subtrees bind no variables (nothing inside "does not exist"
+//!    can flow to the construct side);
+//! 5. join endpoints are distinct nodes;
+//! 6. construct roots are element nodes, attribute nodes hang off elements,
+//!    and collector/aggregate nodes are leaves.
+
+use std::collections::HashSet;
+
+use crate::ast::{CNodeKind, ExtractGraph, Program, QNodeId, QNodeKind, Rule};
+use crate::{Result, XmlGlError};
+
+fn ill(msg: impl Into<String>) -> XmlGlError {
+    XmlGlError::IllFormed { msg: msg.into() }
+}
+
+/// Check every rule of a program.
+pub fn check_program(p: &Program) -> Result<()> {
+    if p.rules.is_empty() {
+        return Err(ill("a program needs at least one rule"));
+    }
+    for (i, rule) in p.rules.iter().enumerate() {
+        check_rule(rule).map_err(|e| match e {
+            XmlGlError::IllFormed { msg } => ill(format!("rule {}: {msg}", i + 1)),
+            other => other,
+        })?;
+    }
+    Ok(())
+}
+
+/// Check one rule.
+pub fn check_rule(rule: &Rule) -> Result<()> {
+    check_extract(&rule.extract)?;
+    check_construct(rule)?;
+    Ok(())
+}
+
+fn check_extract(g: &ExtractGraph) -> Result<()> {
+    if g.roots.is_empty() {
+        return Err(ill("extract graph has no root"));
+    }
+    // Roots are elements.
+    for &r in &g.roots {
+        if !matches!(g.node(r).kind, QNodeKind::Element(_)) {
+            return Err(ill("extract roots must be element boxes"));
+        }
+    }
+    // Leaf discipline and reachability bookkeeping.
+    let mut seen_vars: HashSet<&str> = HashSet::new();
+    for id in g.ids() {
+        let n = g.node(id);
+        match n.kind {
+            QNodeKind::Text | QNodeKind::Attribute(_) => {
+                if !n.children.is_empty() {
+                    return Err(ill("text/attribute circles cannot have children"));
+                }
+            }
+            QNodeKind::Element(_) => {}
+        }
+        if let Some(v) = &n.var {
+            if v.is_empty() {
+                return Err(ill("empty variable name"));
+            }
+            if !seen_vars.insert(v.as_str()) {
+                return Err(ill(format!("variable ${v} is bound twice")));
+            }
+        }
+        for e in &n.children {
+            if e.target.index() >= g.nodes.len() {
+                return Err(ill("dangling containment edge"));
+            }
+        }
+    }
+    // Each node has at most one containment parent (tree/forest shape; the
+    // shared-node join idiom is represented by `joins`, not by DAG edges).
+    let mut parented: HashSet<QNodeId> = HashSet::new();
+    for id in g.ids() {
+        for e in &g.node(id).children {
+            if !parented.insert(e.target) {
+                return Err(ill(format!(
+                    "node {:?} has two containment parents; use a join instead",
+                    e.target
+                )));
+            }
+        }
+    }
+    for &r in &g.roots {
+        if parented.contains(&r) {
+            return Err(ill("a root cannot also be a child"));
+        }
+    }
+    // Negated subtrees bind no variables.
+    for id in g.ids() {
+        for e in &g.node(id).children {
+            if e.negated {
+                let mut stack = vec![e.target];
+                while let Some(t) = stack.pop() {
+                    let tn = g.node(t);
+                    if tn.var.is_some() {
+                        return Err(ill(
+                            "variables inside a negated (crossed-out) subtree can never bind",
+                        ));
+                    }
+                    stack.extend(tn.children.iter().map(|c| c.target));
+                }
+            }
+        }
+    }
+    // Joins connect distinct existing nodes that can actually bind: an
+    // endpoint inside a negated subtree is never bound, which would make
+    // the join silently unsatisfiable.
+    let mut negated_scope: HashSet<QNodeId> = HashSet::new();
+    for id in g.ids() {
+        for e in &g.node(id).children {
+            if e.negated {
+                let mut stack = vec![e.target];
+                while let Some(t) = stack.pop() {
+                    if negated_scope.insert(t) {
+                        stack.extend(g.node(t).children.iter().map(|c| c.target));
+                    }
+                }
+            }
+        }
+    }
+    for &(a, b) in &g.joins {
+        if a == b {
+            return Err(ill("a join must connect two distinct nodes"));
+        }
+        if a.index() >= g.nodes.len() || b.index() >= g.nodes.len() {
+            return Err(ill("join references a missing node"));
+        }
+        if negated_scope.contains(&a) || negated_scope.contains(&b) {
+            return Err(ill(
+                "a join endpoint inside a negated subtree can never bind",
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_construct(rule: &Rule) -> Result<()> {
+    let g = &rule.construct;
+    let q = &rule.extract;
+    if g.roots.is_empty() {
+        return Err(ill("construct graph has no root"));
+    }
+    for &r in &g.roots {
+        if !matches!(g.node(r).kind, CNodeKind::Element(_)) {
+            return Err(ill("construct roots must be element nodes"));
+        }
+    }
+    let valid_q = |id: crate::ast::QNodeId| id.index() < q.nodes.len();
+    for id in g.ids() {
+        let n = g.node(id);
+        match &n.kind {
+            CNodeKind::Element(name) => {
+                if name.is_empty() {
+                    return Err(ill("constructed elements need a tag name"));
+                }
+            }
+            CNodeKind::Text(_) => {
+                if !n.children.is_empty() {
+                    return Err(ill("text nodes are leaves on the construct side"));
+                }
+            }
+            CNodeKind::Attribute { value, .. } => {
+                if !n.children.is_empty() {
+                    return Err(ill("attribute nodes are leaves on the construct side"));
+                }
+                if let crate::ast::CValue::Binding(src) = value {
+                    if !valid_q(*src) {
+                        return Err(ill("attribute value references a missing query node"));
+                    }
+                }
+            }
+            CNodeKind::Copy { source, .. } | CNodeKind::All { source, .. } => {
+                if !n.children.is_empty() {
+                    return Err(ill("copy/all nodes are leaves on the construct side"));
+                }
+                if !valid_q(*source) {
+                    return Err(ill("binding references a missing query node"));
+                }
+            }
+            CNodeKind::GroupBy {
+                source,
+                key,
+                wrapper,
+            } => {
+                if !n.children.is_empty() {
+                    return Err(ill("group-by nodes are leaves on the construct side"));
+                }
+                if wrapper.is_empty() {
+                    return Err(ill("group-by needs a wrapper element name"));
+                }
+                if !valid_q(*source) || !valid_q(*key) {
+                    return Err(ill("group-by references a missing query node"));
+                }
+            }
+            CNodeKind::Aggregate { source, .. } => {
+                if !n.children.is_empty() {
+                    return Err(ill("aggregate nodes are leaves on the construct side"));
+                }
+                if !valid_q(*source) {
+                    return Err(ill("aggregate references a missing query node"));
+                }
+            }
+        }
+        // Attributes must hang off element nodes.
+        for &c in &n.children {
+            if matches!(g.node(c).kind, CNodeKind::Attribute { .. })
+                && !matches!(n.kind, CNodeKind::Element(_))
+            {
+                return Err(ill(
+                    "attributes can only be attached to constructed elements",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn minimal_rule() -> Rule {
+        let mut extract = ExtractGraph::default();
+        let b = extract.add(QNode::element(NameTest::Name("book".into())));
+        extract.roots.push(b);
+        let mut construct = ConstructGraph::default();
+        let out = construct.add(CNode::new(CNodeKind::Element("out".into())));
+        construct.roots.push(out);
+        Rule { extract, construct }
+    }
+
+    #[test]
+    fn minimal_rule_is_wellformed() {
+        assert!(check_rule(&minimal_rule()).is_ok());
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert!(check_program(&Program::default()).is_err());
+    }
+
+    #[test]
+    fn program_error_names_the_rule() {
+        let mut bad = minimal_rule();
+        bad.extract.roots.clear();
+        let p = Program {
+            rules: vec![minimal_rule(), bad],
+        };
+        let err = check_program(&p).unwrap_err();
+        assert!(err.to_string().contains("rule 2"), "{err}");
+    }
+
+    #[test]
+    fn text_with_children_rejected() {
+        let mut rule = minimal_rule();
+        let t = rule.extract.add(QNode::text());
+        let c = rule.extract.add(QNode::element(NameTest::Wildcard));
+        rule.extract.node_mut(t).children.push(QEdge::child(c));
+        let root = rule.extract.roots[0];
+        rule.extract.node_mut(root).children.push(QEdge::child(t));
+        assert!(check_rule(&rule)
+            .unwrap_err()
+            .to_string()
+            .contains("circles"));
+    }
+
+    #[test]
+    fn text_root_rejected() {
+        let mut rule = minimal_rule();
+        let t = rule.extract.add(QNode::text());
+        rule.extract.roots = vec![t];
+        assert!(check_rule(&rule)
+            .unwrap_err()
+            .to_string()
+            .contains("element boxes"));
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let mut rule = minimal_rule();
+        let root = rule.extract.roots[0];
+        rule.extract.node_mut(root).var = Some("x".into());
+        let mut t = QNode::text();
+        t.var = Some("x".into());
+        let t = rule.extract.add(t);
+        rule.extract.node_mut(root).children.push(QEdge::child(t));
+        assert!(check_rule(&rule)
+            .unwrap_err()
+            .to_string()
+            .contains("bound twice"));
+    }
+
+    #[test]
+    fn two_parents_rejected() {
+        let mut rule = minimal_rule();
+        let root = rule.extract.roots[0];
+        let a = rule.extract.add(QNode::element(NameTest::Name("a".into())));
+        let shared = rule.extract.add(QNode::text());
+        rule.extract.node_mut(root).children.push(QEdge::child(a));
+        rule.extract
+            .node_mut(root)
+            .children
+            .push(QEdge::child(shared));
+        rule.extract.node_mut(a).children.push(QEdge::child(shared));
+        assert!(check_rule(&rule)
+            .unwrap_err()
+            .to_string()
+            .contains("join instead"));
+    }
+
+    #[test]
+    fn variable_in_negation_rejected() {
+        let mut rule = minimal_rule();
+        let root = rule.extract.roots[0];
+        let mut neg = QNode::element(NameTest::Name("menu".into()));
+        neg.var = Some("m".into());
+        let neg = rule.extract.add(neg);
+        rule.extract
+            .node_mut(root)
+            .children
+            .push(QEdge::negated(neg));
+        assert!(check_rule(&rule)
+            .unwrap_err()
+            .to_string()
+            .contains("negated"));
+    }
+
+    #[test]
+    fn join_into_negated_subtree_rejected() {
+        let mut rule = minimal_rule();
+        let root = rule.extract.roots[0];
+        rule.extract.node_mut(root).var = Some("b".into());
+        let neg = rule
+            .extract
+            .add(QNode::element(NameTest::Name("menu".into())));
+        rule.extract
+            .node_mut(root)
+            .children
+            .push(QEdge::negated(neg));
+        rule.extract.joins.push((root, neg));
+        assert!(check_rule(&rule)
+            .unwrap_err()
+            .to_string()
+            .contains("negated subtree"));
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let mut rule = minimal_rule();
+        let root = rule.extract.roots[0];
+        rule.extract.joins.push((root, root));
+        assert!(check_rule(&rule)
+            .unwrap_err()
+            .to_string()
+            .contains("distinct"));
+    }
+
+    #[test]
+    fn construct_root_must_be_element() {
+        let mut rule = minimal_rule();
+        let root = rule.extract.roots[0];
+        let mut construct = ConstructGraph::default();
+        let c = construct.add(CNode::new(CNodeKind::All {
+            source: root,
+            order: None,
+        }));
+        construct.roots.push(c);
+        rule.construct = construct;
+        assert!(check_rule(&rule)
+            .unwrap_err()
+            .to_string()
+            .contains("construct roots"));
+    }
+
+    #[test]
+    fn attribute_under_non_element_rejected() {
+        let mut rule = minimal_rule();
+        let out = rule.construct.roots[0];
+        let txt = rule.construct.add(CNode::new(CNodeKind::Text("x".into())));
+        let attr = rule.construct.add(CNode::new(CNodeKind::Attribute {
+            name: "a".into(),
+            value: CValue::Literal("1".into()),
+        }));
+        rule.construct.node_mut(out).children.push(txt);
+        rule.construct.node_mut(txt).children.push(attr);
+        let err = check_rule(&rule).unwrap_err().to_string();
+        assert!(err.contains("leaves") || err.contains("attached"), "{err}");
+    }
+
+    #[test]
+    fn missing_query_node_reference_rejected() {
+        let mut rule = minimal_rule();
+        let out = rule.construct.roots[0];
+        let bad = rule.construct.add(CNode::new(CNodeKind::All {
+            source: QNodeId(99),
+            order: None,
+        }));
+        rule.construct.node_mut(out).children.push(bad);
+        assert!(check_rule(&rule)
+            .unwrap_err()
+            .to_string()
+            .contains("missing query node"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Conversion of XML-GL rules to renderable diagrams.
+//!
+//! Reproduces the visual form of the paper's figures: the extract graph on
+//! the left, the construct graph on the right, and dotted *binding* edges
+//! from query nodes to the construct nodes that copy or collect them. The
+//! result is a [`gql_layout::Diagram`], ready for the Sugiyama layout and
+//! the SVG/ASCII renderers.
+
+use gql_layout::{Diagram, EdgeSpec, EdgeStyle, NodeSpec, Shape};
+use gql_vgraph::NodeIx;
+
+use crate::ast::{CNodeKind, CValue, QNodeKind, Rule};
+
+/// Build a diagram of one rule.
+pub fn rule_diagram(rule: &Rule) -> Diagram {
+    let mut d = Diagram::new();
+
+    // Extract side.
+    let qnodes: Vec<NodeIx> = rule
+        .extract
+        .nodes
+        .iter()
+        .map(|n| {
+            let mut spec = match &n.kind {
+                QNodeKind::Element(t) => NodeSpec::new(t.to_string(), Shape::Box),
+                QNodeKind::Text => NodeSpec::new("", Shape::Circle),
+                QNodeKind::Attribute(a) => NodeSpec::new(a.clone(), Shape::Dot),
+            };
+            let mut notes = Vec::new();
+            if let Some(v) = &n.var {
+                notes.push(format!("${v}"));
+            }
+            if !n.predicate.is_trivial() {
+                notes.push(n.predicate.to_string());
+            }
+            if !notes.is_empty() {
+                spec = spec.with_sublabel(notes.join(" "));
+            }
+            d.add_node(spec)
+        })
+        .collect();
+    for id in rule.extract.ids() {
+        for e in &rule.extract.node(id).children {
+            let style = if e.negated {
+                EdgeStyle::Dashed
+            } else {
+                EdgeStyle::Solid
+            };
+            let mut label = String::new();
+            if e.deep {
+                label.push('*');
+            }
+            if e.negated {
+                label.push('✗');
+            }
+            let spec = if label.is_empty() {
+                EdgeSpec::styled(style)
+            } else {
+                EdgeSpec::labelled(label, style)
+            };
+            d.add_edge(qnodes[id.index()], qnodes[e.target.index()], spec);
+        }
+    }
+    // Join edges: undirected dotted connections labelled '='.
+    for &(a, b) in &rule.extract.joins {
+        d.add_edge(
+            qnodes[a.index()],
+            qnodes[b.index()],
+            EdgeSpec::labelled("=", EdgeStyle::Dotted).undirected(),
+        );
+    }
+
+    // Construct side.
+    let cnodes: Vec<NodeIx> = rule
+        .construct
+        .nodes
+        .iter()
+        .map(|n| {
+            let spec = match &n.kind {
+                CNodeKind::Element(name) => NodeSpec::new(name.clone(), Shape::Box),
+                CNodeKind::Text(t) => NodeSpec::new(format!("\"{t}\""), Shape::Circle),
+                CNodeKind::Attribute { name, value } => {
+                    let v = match value {
+                        CValue::Literal(s) => format!("=\"{s}\""),
+                        CValue::Binding(_) => "=$".to_string(),
+                    };
+                    NodeSpec::new(format!("{name}{v}"), Shape::Dot)
+                }
+                CNodeKind::Copy { deep, .. } => {
+                    NodeSpec::new(if *deep { "copy" } else { "copy (shallow)" }, Shape::Box)
+                }
+                CNodeKind::All { order, .. } => NodeSpec::new(
+                    if order.is_some() {
+                        "all (sorted)"
+                    } else {
+                        "all"
+                    },
+                    Shape::Triangle,
+                ),
+                CNodeKind::GroupBy { wrapper, .. } => {
+                    NodeSpec::new(format!("group→{wrapper}"), Shape::Triangle)
+                }
+                CNodeKind::Aggregate { func, .. } => NodeSpec::new(func.name(), Shape::Diamond),
+            };
+            d.add_node(spec)
+        })
+        .collect();
+    for id in rule.construct.ids() {
+        for &c in &rule.construct.node(id).children {
+            d.add_edge(
+                cnodes[id.index()],
+                cnodes[c.index()],
+                EdgeSpec::styled(EdgeStyle::Thick),
+            );
+        }
+    }
+
+    // Binding edges from query nodes to the construct nodes using them.
+    for id in rule.construct.ids() {
+        let n = rule.construct.node(id);
+        let sources: Vec<crate::ast::QNodeId> = match &n.kind {
+            CNodeKind::Copy { source, .. } | CNodeKind::All { source, .. } => vec![*source],
+            CNodeKind::GroupBy { source, key, .. } => vec![*source, *key],
+            CNodeKind::Aggregate { source, .. } => vec![*source],
+            CNodeKind::Attribute {
+                value: CValue::Binding(source),
+                ..
+            } => vec![*source],
+            _ => Vec::new(),
+        };
+        for s in sources {
+            d.add_edge(
+                qnodes[s.index()],
+                cnodes[id.index()],
+                EdgeSpec::styled(EdgeStyle::Dotted).undirected(),
+            );
+        }
+    }
+    d
+}
+
+/// Render a rule straight to SVG with default layout options.
+pub fn rule_to_svg(rule: &Rule) -> String {
+    let d = rule_diagram(rule);
+    let layout = gql_layout::layout(&d, &gql_layout::LayoutOptions::default());
+    gql_layout::render::to_svg(&d, &layout)
+}
+
+/// Render a rule to ASCII art with default layout options.
+pub fn rule_to_ascii(rule: &Rule) -> String {
+    let d = rule_diagram(rule);
+    let layout = gql_layout::layout(&d, &gql_layout::LayoutOptions::default());
+    gql_layout::render::to_ascii(&d, &layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggFunc, CmpOp};
+    use crate::builder::{RuleBuilder, C, Q};
+
+    fn sample_rule() -> Rule {
+        RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .var("b")
+                    .child(Q::attr("year").var("y").pred(CmpOp::Ge, "2000"))
+                    .deep_child(Q::elem("last").var("l"))
+                    .without(Q::elem("errata")),
+            )
+            .extract(Q::elem("person").child(Q::elem("name").child(Q::text().var("n"))))
+            .join("l", "n")
+            .construct(
+                C::elem("result")
+                    .child(C::attr_var("year", "y"))
+                    .child(C::all("b"))
+                    .child(C::agg(AggFunc::Count, "b")),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn diagram_has_all_nodes_and_binding_edges() {
+        let rule = sample_rule();
+        let d = rule_diagram(&rule);
+        // 7 query nodes + 4 construct nodes.
+        assert_eq!(d.node_count(), 11);
+        // Containment: 3 + 2 = 5 query edges (negated included) + join 1
+        // + construct tree edges 3 + bindings (attr y, all b, count b) 3.
+        assert_eq!(d.edge_count(), 12);
+    }
+
+    #[test]
+    fn svg_rendering_contains_labels() {
+        let svg = rule_to_svg(&sample_rule());
+        assert!(svg.contains("book"));
+        assert!(svg.contains("result"));
+        assert!(svg.contains("count"));
+        assert!(svg.contains("stroke-dasharray")); // dotted binding edges
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn ascii_rendering_shows_shapes() {
+        let text = rule_to_ascii(&sample_rule());
+        assert!(text.contains("[book]"));
+        assert!(text.contains("^all^"));
+        assert!(text.contains("<count>"));
+    }
+}

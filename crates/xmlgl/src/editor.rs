@@ -1,0 +1,684 @@
+//! The editor simulation: incremental construction of XML-GL diagrams.
+//!
+//! The paper's system is an *interactive* editor; this reproduction keeps
+//! the editor's essence — a diagram being built step by step, kept valid,
+//! with undo and with schema-derived affordances — as an explicit API. A
+//! GUI would be a thin shell over [`Editor`]:
+//!
+//! * [`EditOp`] is the vocabulary of mouse gestures (drop a box, draw an
+//!   edge, cross an edge out, bind a variable, …);
+//! * every operation is validated *in context* before being applied, the
+//!   way an editor refuses an illegal gesture;
+//! * [`Editor::undo`] rolls back the last operation;
+//! * [`Editor::suggest_children`] surfaces what the schema (when one is
+//!   loaded) allows under a selected box — the affordance the paper
+//!   credits schema-aware editing with;
+//! * [`Editor::finish`] produces the checked [`Rule`].
+
+use crate::ast::{
+    CNode, CNodeId, CNodeKind, CValue, CmpOp, NameTest, Predicate, QEdge, QNode, QNodeId,
+    QNodeKind, Rule,
+};
+use crate::schema::GlSchema;
+use crate::{Result, XmlGlError};
+
+/// One editing gesture.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditOp {
+    /// Drop an element box on the extract side; `parent: None` makes it a
+    /// new pattern-tree root.
+    AddElement {
+        parent: Option<QNodeId>,
+        name: String,
+        deep: bool,
+        negated: bool,
+    },
+    /// Drop a wildcard box.
+    AddWildcard { parent: Option<QNodeId> },
+    /// Attach a hollow text circle under an element box.
+    AddText { parent: QNodeId },
+    /// Attach a filled attribute circle under an element box.
+    AddAttr { parent: QNodeId, name: String },
+    /// Bind a variable to a query node.
+    BindVar { node: QNodeId, var: String },
+    /// Write a predicate next to a node (conjoined to existing ones).
+    AddPredicate {
+        node: QNodeId,
+        op: CmpOp,
+        value: String,
+    },
+    /// Mark a box's children as order-sensitive.
+    SetOrdered { node: QNodeId },
+    /// Draw the join connector between two bound nodes.
+    AddJoin { a: QNodeId, b: QNodeId },
+    /// Drop a construct element; `parent: None` makes it a construct root.
+    AddConstructElement {
+        parent: Option<CNodeId>,
+        name: String,
+    },
+    /// Drop a triangle collecting a bound query node.
+    AddAll { parent: CNodeId, source: QNodeId },
+    /// Drop a copy node.
+    AddCopy { parent: CNodeId, source: QNodeId },
+    /// Drop an aggregate diamond.
+    AddAggregate {
+        parent: CNodeId,
+        func: crate::ast::AggFunc,
+        source: QNodeId,
+    },
+    /// Attach a constructed attribute with a literal value.
+    AddConstructAttr {
+        parent: CNodeId,
+        name: String,
+        value: String,
+    },
+}
+
+/// An editing session.
+#[derive(Debug, Default)]
+pub struct Editor {
+    rule: Rule,
+    /// Undo log: snapshots before each applied operation. Diagrams are tiny
+    /// (tens of nodes), so whole-rule snapshots are the honest, simple
+    /// choice over operation inverses.
+    history: Vec<Rule>,
+    schema: Option<GlSchema>,
+}
+
+impl Editor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load a schema; subsequent element drops are checked against it and
+    /// [`Editor::suggest_children`] becomes meaningful.
+    pub fn with_schema(mut self, schema: GlSchema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// The diagram as built so far (possibly incomplete).
+    pub fn current(&self) -> &Rule {
+        &self.rule
+    }
+
+    /// Number of applied (undoable) operations.
+    pub fn depth(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Apply one gesture; on error the diagram is unchanged.
+    pub fn apply(&mut self, op: EditOp) -> Result<AppliedId> {
+        let snapshot = self.rule.clone();
+        match self.try_apply(&op) {
+            Ok(id) => {
+                self.history.push(snapshot);
+                Ok(id)
+            }
+            Err(e) => {
+                self.rule = snapshot;
+                Err(e)
+            }
+        }
+    }
+
+    /// Roll back the last applied operation; returns whether anything was
+    /// undone.
+    pub fn undo(&mut self) -> bool {
+        match self.history.pop() {
+            Some(prev) => {
+                self.rule = prev;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// What the schema allows under an element box (with multiplicities) —
+    /// the palette the editor would show. Empty when no schema is loaded or
+    /// the box is a wildcard.
+    pub fn suggest_children(&self, node: QNodeId) -> Vec<(String, String)> {
+        let Some(schema) = &self.schema else {
+            return Vec::new();
+        };
+        let Some(qnode) = self.rule.extract.nodes.get(node.index()) else {
+            return Vec::new();
+        };
+        let QNodeKind::Element(NameTest::Name(name)) = &qnode.kind else {
+            return Vec::new();
+        };
+        let Some(decl) = schema.element(name) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(String, String)> = decl
+            .children
+            .iter()
+            .map(|c| (c.child.clone(), format!("element ({})", c.mult.symbol())))
+            .collect();
+        for (attr, required) in &decl.attrs {
+            out.push((
+                attr.clone(),
+                format!("attribute{}", if *required { " (required)" } else { "" }),
+            ));
+        }
+        if decl.text {
+            out.push(("#text".into(), "text content".into()));
+        }
+        out
+    }
+
+    /// Validate and hand out the completed rule.
+    pub fn finish(self) -> Result<Rule> {
+        crate::check::check_rule(&self.rule)?;
+        Ok(self.rule)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn ill(msg: impl Into<String>) -> XmlGlError {
+        XmlGlError::IllFormed { msg: msg.into() }
+    }
+
+    fn qnode_exists(&self, id: QNodeId) -> Result<()> {
+        if id.index() < self.rule.extract.nodes.len() {
+            Ok(())
+        } else {
+            Err(Self::ill(format!("no query node {id:?} on the canvas")))
+        }
+    }
+
+    fn cnode_exists(&self, id: CNodeId) -> Result<()> {
+        if id.index() < self.rule.construct.nodes.len() {
+            Ok(())
+        } else {
+            Err(Self::ill(format!("no construct node {id:?} on the canvas")))
+        }
+    }
+
+    fn require_element(&self, id: QNodeId) -> Result<()> {
+        self.qnode_exists(id)?;
+        match self.rule.extract.node(id).kind {
+            QNodeKind::Element(_) => Ok(()),
+            _ => Err(Self::ill("only element boxes take children")),
+        }
+    }
+
+    /// Schema gate for dropping `child` under `parent_name`.
+    fn schema_allows(&self, parent: Option<QNodeId>, child: &str) -> Result<()> {
+        let Some(schema) = &self.schema else {
+            return Ok(());
+        };
+        match parent {
+            None => {
+                if schema.element(child).is_none() {
+                    return Err(Self::ill(format!("schema declares no element <{child}>")));
+                }
+            }
+            Some(p) => {
+                if let QNodeKind::Element(NameTest::Name(pname)) = &self.rule.extract.node(p).kind {
+                    if let Some(decl) = schema.element(pname) {
+                        if !decl.children.iter().any(|c| c.child == child) {
+                            return Err(Self::ill(format!(
+                                "schema does not allow <{child}> inside <{pname}>"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn try_apply(&mut self, op: &EditOp) -> Result<AppliedId> {
+        match op {
+            EditOp::AddElement {
+                parent,
+                name,
+                deep,
+                negated,
+            } => {
+                if name.is_empty() {
+                    return Err(Self::ill("element boxes need a name"));
+                }
+                if let Some(p) = parent {
+                    self.require_element(*p)?;
+                } else if *deep || *negated {
+                    return Err(Self::ill("roots have no incoming edge to decorate"));
+                }
+                self.schema_allows(*parent, name)?;
+                let id = self
+                    .rule
+                    .extract
+                    .add(QNode::element(NameTest::Name(name.clone())));
+                match parent {
+                    Some(p) => self.rule.extract.node_mut(*p).children.push(QEdge {
+                        target: id,
+                        deep: *deep,
+                        negated: *negated,
+                    }),
+                    None => self.rule.extract.roots.push(id),
+                }
+                Ok(AppliedId::Query(id))
+            }
+            EditOp::AddWildcard { parent } => {
+                if let Some(p) = parent {
+                    self.require_element(*p)?;
+                }
+                let id = self.rule.extract.add(QNode::element(NameTest::Wildcard));
+                match parent {
+                    Some(p) => self
+                        .rule
+                        .extract
+                        .node_mut(*p)
+                        .children
+                        .push(QEdge::child(id)),
+                    None => self.rule.extract.roots.push(id),
+                }
+                Ok(AppliedId::Query(id))
+            }
+            EditOp::AddText { parent } => {
+                self.require_element(*parent)?;
+                let id = self.rule.extract.add(QNode::text());
+                self.rule
+                    .extract
+                    .node_mut(*parent)
+                    .children
+                    .push(QEdge::child(id));
+                Ok(AppliedId::Query(id))
+            }
+            EditOp::AddAttr { parent, name } => {
+                self.require_element(*parent)?;
+                if name.is_empty() {
+                    return Err(Self::ill("attribute circles need a name"));
+                }
+                let id = self.rule.extract.add(QNode::attribute(name.clone()));
+                self.rule
+                    .extract
+                    .node_mut(*parent)
+                    .children
+                    .push(QEdge::child(id));
+                Ok(AppliedId::Query(id))
+            }
+            EditOp::BindVar { node, var } => {
+                self.qnode_exists(*node)?;
+                if var.is_empty() {
+                    return Err(Self::ill("variables need a name"));
+                }
+                if self.rule.extract.by_var(var).is_some() {
+                    return Err(Self::ill(format!("${var} is already bound")));
+                }
+                self.rule.extract.node_mut(*node).var = Some(var.clone());
+                Ok(AppliedId::Query(*node))
+            }
+            EditOp::AddPredicate { node, op, value } => {
+                self.qnode_exists(*node)?;
+                let n = self.rule.extract.node_mut(*node);
+                n.predicate = std::mem::replace(&mut n.predicate, Predicate::always())
+                    .and(*op, value.clone());
+                Ok(AppliedId::Query(*node))
+            }
+            EditOp::SetOrdered { node } => {
+                self.require_element(*node)?;
+                self.rule.extract.ordered[node.index()] = true;
+                Ok(AppliedId::Query(*node))
+            }
+            EditOp::AddJoin { a, b } => {
+                self.qnode_exists(*a)?;
+                self.qnode_exists(*b)?;
+                if a == b {
+                    return Err(Self::ill("a join connects two distinct nodes"));
+                }
+                self.rule.extract.joins.push((*a, *b));
+                Ok(AppliedId::Query(*a))
+            }
+            EditOp::AddConstructElement { parent, name } => {
+                if name.is_empty() {
+                    return Err(Self::ill("constructed elements need a name"));
+                }
+                if let Some(p) = parent {
+                    self.cnode_exists(*p)?;
+                    if !matches!(self.rule.construct.node(*p).kind, CNodeKind::Element(_)) {
+                        return Err(Self::ill("construct children hang off elements"));
+                    }
+                }
+                let id = self
+                    .rule
+                    .construct
+                    .add(CNode::new(CNodeKind::Element(name.clone())));
+                match parent {
+                    Some(p) => self.rule.construct.node_mut(*p).children.push(id),
+                    None => self.rule.construct.roots.push(id),
+                }
+                Ok(AppliedId::Construct(id))
+            }
+            EditOp::AddAll { parent, source } => self.add_construct_leaf(
+                *parent,
+                CNodeKind::All {
+                    source: *source,
+                    order: None,
+                },
+            ),
+            EditOp::AddCopy { parent, source } => self.add_construct_leaf(
+                *parent,
+                CNodeKind::Copy {
+                    source: *source,
+                    deep: true,
+                },
+            ),
+            EditOp::AddAggregate {
+                parent,
+                func,
+                source,
+            } => self.add_construct_leaf(
+                *parent,
+                CNodeKind::Aggregate {
+                    func: *func,
+                    source: *source,
+                },
+            ),
+            EditOp::AddConstructAttr {
+                parent,
+                name,
+                value,
+            } => self.add_construct_leaf(
+                *parent,
+                CNodeKind::Attribute {
+                    name: name.clone(),
+                    value: CValue::Literal(value.clone()),
+                },
+            ),
+        }
+    }
+
+    fn add_construct_leaf(&mut self, parent: CNodeId, kind: CNodeKind) -> Result<AppliedId> {
+        self.cnode_exists(parent)?;
+        if !matches!(self.rule.construct.node(parent).kind, CNodeKind::Element(_)) {
+            return Err(Self::ill("construct children hang off elements"));
+        }
+        // Source references must exist and (for copy/all/aggregate) be
+        // bound to *something* drawable: any existing query node works.
+        let source = match &kind {
+            CNodeKind::All { source, .. }
+            | CNodeKind::Copy { source, .. }
+            | CNodeKind::Aggregate { source, .. } => Some(*source),
+            _ => None,
+        };
+        if let Some(s) = source {
+            self.qnode_exists(s)?;
+        }
+        let id = self.rule.construct.add(CNode::new(kind));
+        self.rule.construct.node_mut(parent).children.push(id);
+        Ok(AppliedId::Construct(id))
+    }
+}
+
+/// Handle returned by [`Editor::apply`]: the canvas object the gesture
+/// created or modified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppliedId {
+    Query(QNodeId),
+    Construct(CNodeId),
+}
+
+impl AppliedId {
+    pub fn query(self) -> QNodeId {
+        match self {
+            AppliedId::Query(q) => q,
+            AppliedId::Construct(_) => panic!("expected a query node"),
+        }
+    }
+
+    pub fn construct(self) -> CNodeId {
+        match self {
+            AppliedId::Construct(c) => c,
+            AppliedId::Query(_) => panic!("expected a construct node"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AggFunc;
+    use gql_ssdm::dtd::Dtd;
+
+    /// Build the quickstart query entirely through editor gestures.
+    #[test]
+    fn build_a_query_by_gestures() {
+        let mut ed = Editor::new();
+        let book = ed
+            .apply(EditOp::AddElement {
+                parent: None,
+                name: "book".into(),
+                deep: false,
+                negated: false,
+            })
+            .unwrap()
+            .query();
+        ed.apply(EditOp::BindVar {
+            node: book,
+            var: "b".into(),
+        })
+        .unwrap();
+        let year = ed
+            .apply(EditOp::AddAttr {
+                parent: book,
+                name: "year".into(),
+            })
+            .unwrap()
+            .query();
+        ed.apply(EditOp::AddPredicate {
+            node: year,
+            op: CmpOp::Ge,
+            value: "2000".into(),
+        })
+        .unwrap();
+        let result = ed
+            .apply(EditOp::AddConstructElement {
+                parent: None,
+                name: "result".into(),
+            })
+            .unwrap()
+            .construct();
+        ed.apply(EditOp::AddAll {
+            parent: result,
+            source: book,
+        })
+        .unwrap();
+        ed.apply(EditOp::AddAggregate {
+            parent: result,
+            func: AggFunc::Count,
+            source: book,
+        })
+        .unwrap();
+        let rule = ed.finish().unwrap();
+
+        // The edited rule behaves like the parsed one.
+        let doc = gql_ssdm::Document::parse_str(
+            "<bib><book year='2001'><t>A</t></book><book year='1999'><t>B</t></book></bib>",
+        )
+        .unwrap();
+        let out = crate::eval::run_rule(&rule, &doc).unwrap();
+        let xml = out.to_xml_string();
+        assert!(xml.contains("<t>A</t>"));
+        assert!(!xml.contains("<t>B</t>"));
+        assert!(xml.contains('1'));
+    }
+
+    #[test]
+    fn illegal_gestures_are_refused_and_leave_the_canvas_untouched() {
+        let mut ed = Editor::new();
+        let book = ed
+            .apply(EditOp::AddElement {
+                parent: None,
+                name: "book".into(),
+                deep: false,
+                negated: false,
+            })
+            .unwrap()
+            .query();
+        let text = ed.apply(EditOp::AddText { parent: book }).unwrap().query();
+        let before = ed.current().clone();
+        // Children under a text circle.
+        assert!(ed.apply(EditOp::AddText { parent: text }).is_err());
+        // Unnamed element.
+        assert!(ed
+            .apply(EditOp::AddElement {
+                parent: Some(book),
+                name: "".into(),
+                deep: false,
+                negated: false
+            })
+            .is_err());
+        // Duplicate variable.
+        ed.apply(EditOp::BindVar {
+            node: book,
+            var: "x".into(),
+        })
+        .unwrap();
+        assert!(ed
+            .apply(EditOp::BindVar {
+                node: text,
+                var: "x".into()
+            })
+            .is_err());
+        ed.undo();
+        // Decorated root edge.
+        assert!(ed
+            .apply(EditOp::AddElement {
+                parent: None,
+                name: "r".into(),
+                deep: true,
+                negated: false
+            })
+            .is_err());
+        // Self join.
+        assert!(ed.apply(EditOp::AddJoin { a: book, b: book }).is_err());
+        // Dangling references.
+        assert!(ed
+            .apply(EditOp::AddText {
+                parent: QNodeId(99)
+            })
+            .is_err());
+        assert_eq!(ed.current(), &before);
+    }
+
+    #[test]
+    fn undo_rolls_back_one_gesture_at_a_time() {
+        let mut ed = Editor::new();
+        let a = ed
+            .apply(EditOp::AddElement {
+                parent: None,
+                name: "a".into(),
+                deep: false,
+                negated: false,
+            })
+            .unwrap()
+            .query();
+        ed.apply(EditOp::AddText { parent: a }).unwrap();
+        assert_eq!(ed.depth(), 2);
+        assert_eq!(ed.current().extract.nodes.len(), 2);
+        assert!(ed.undo());
+        assert_eq!(ed.current().extract.nodes.len(), 1);
+        assert!(ed.undo());
+        assert_eq!(ed.current().extract.nodes.len(), 0);
+        assert!(!ed.undo());
+    }
+
+    #[test]
+    fn schema_gates_and_suggestions() {
+        let dtd = Dtd::parse(
+            "<!ELEMENT BOOK (title?,price)>\
+             <!ATTLIST BOOK isbn CDATA #REQUIRED>\
+             <!ELEMENT title (#PCDATA)>\
+             <!ELEMENT price (#PCDATA)>",
+        )
+        .unwrap();
+        let schema = crate::schema::GlSchema::from_dtd(&dtd);
+        let mut ed = Editor::new().with_schema(schema);
+        // Undeclared root element refused.
+        assert!(ed
+            .apply(EditOp::AddElement {
+                parent: None,
+                name: "PAMPHLET".into(),
+                deep: false,
+                negated: false
+            })
+            .is_err());
+        let book = ed
+            .apply(EditOp::AddElement {
+                parent: None,
+                name: "BOOK".into(),
+                deep: false,
+                negated: false,
+            })
+            .unwrap()
+            .query();
+        // The palette shows what the schema allows.
+        let suggestions = ed.suggest_children(book);
+        let names: Vec<&str> = suggestions.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"title"));
+        assert!(names.contains(&"price"));
+        assert!(names.contains(&"isbn"));
+        // Disallowed child refused; allowed child accepted.
+        assert!(ed
+            .apply(EditOp::AddElement {
+                parent: Some(book),
+                name: "chapter".into(),
+                deep: false,
+                negated: false
+            })
+            .is_err());
+        assert!(ed
+            .apply(EditOp::AddElement {
+                parent: Some(book),
+                name: "title".into(),
+                deep: false,
+                negated: false
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn incomplete_diagrams_fail_only_at_finish() {
+        let mut ed = Editor::new();
+        ed.apply(EditOp::AddElement {
+            parent: None,
+            name: "a".into(),
+            deep: false,
+            negated: false,
+        })
+        .unwrap();
+        // No construct side yet: the canvas is fine, finish() complains.
+        assert!(ed.finish().is_err());
+    }
+
+    #[test]
+    fn constructed_attribute_via_gesture() {
+        let mut ed = Editor::new();
+        ed.apply(EditOp::AddElement {
+            parent: None,
+            name: "x".into(),
+            deep: false,
+            negated: false,
+        })
+        .unwrap();
+        let root = ed
+            .apply(EditOp::AddConstructElement {
+                parent: None,
+                name: "out".into(),
+            })
+            .unwrap()
+            .construct();
+        ed.apply(EditOp::AddConstructAttr {
+            parent: root,
+            name: "version".into(),
+            value: "1".into(),
+        })
+        .unwrap();
+        let rule = ed.finish().unwrap();
+        let doc = gql_ssdm::Document::parse_str("<x/>").unwrap();
+        let out = crate::eval::run_rule(&rule, &doc).unwrap();
+        assert_eq!(out.to_xml_string(), "<out version=\"1\"/>");
+    }
+}

@@ -1,0 +1,640 @@
+//! Result construction from bindings.
+//!
+//! Each construct root is instantiated once per distinct tuple of its
+//! *scope* — the query nodes referenced by `copy` nodes and bound attribute
+//! values in its subtree. Collector nodes (triangle `all`, list-icon
+//! `group by`, aggregates) range over every binding compatible with the
+//! instantiation, so nesting a triangle under a copied element expresses
+//! grouping, exactly like the nested construction patterns of the figures.
+
+use std::collections::HashMap;
+
+use gql_ssdm::{Document, NodeId};
+
+use crate::ast::{AggFunc, CNodeId, CNodeKind, CValue, QNodeId, Rule};
+use crate::{Result, XmlGlError};
+
+use super::{bound_text, content_key, distinct_bound, identity_key, Binding, Bound};
+
+/// Materialise one rule's construct side into `out`, given the bindings of
+/// its extract side. Instances are appended under the output document node.
+pub fn construct_rule(
+    rule: &Rule,
+    doc: &Document,
+    bindings: &[Binding],
+    out: &mut Document,
+) -> Result<()> {
+    for &root in &rule.construct.roots {
+        let scope = scope_of(rule, root);
+        if scope.is_empty() {
+            // One static instance.
+            let el = instantiate(rule, root, doc, bindings, out)?;
+            attach(out, el)?;
+        } else {
+            for group in group_by_scope(doc, bindings, &scope) {
+                let el = instantiate(rule, root, doc, &group, out)?;
+                attach(out, el)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn attach(out: &mut Document, el: NodeId) -> Result<()> {
+    let root = out.root();
+    out.append_child(root, el).map_err(|e| XmlGlError::Eval {
+        msg: format!("cannot attach result: {e}"),
+    })
+}
+
+/// The scope of a construct subtree: query nodes whose binding determines
+/// one instance (copy sources and bound attribute values).
+fn scope_of(rule: &Rule, root: CNodeId) -> Vec<QNodeId> {
+    let g = &rule.construct;
+    let mut scope = Vec::new();
+    let mut stack = vec![root];
+    while let Some(c) = stack.pop() {
+        let n = g.node(c);
+        match &n.kind {
+            CNodeKind::Copy { source, .. } => scope.push(*source),
+            CNodeKind::Attribute {
+                value: CValue::Binding(source),
+                ..
+            } => scope.push(*source),
+            _ => {}
+        }
+        stack.extend(n.children.iter().copied());
+    }
+    scope.sort();
+    scope.dedup();
+    scope
+}
+
+/// Partition bindings into groups with equal scope tuples, preserving the
+/// order of first occurrence. Bindings missing a scope slot are dropped.
+fn group_by_scope(_doc: &Document, bindings: &[Binding], scope: &[QNodeId]) -> Vec<Vec<Binding>> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<Binding>> = HashMap::new();
+    for b in bindings {
+        let mut parts = Vec::with_capacity(scope.len());
+        let mut complete = true;
+        for &q in scope {
+            match b.get(q) {
+                // Group instances by *identity*: two distinct matched nodes
+                // with equal content still yield two instances, matching the
+                // "one output per match" reading of the figures.
+                Some(v) => parts.push(identity_key(v)),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if !complete {
+            continue;
+        }
+        let key = parts.join("\u{1}");
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(b.clone());
+    }
+    order
+        .into_iter()
+        .map(|k| groups.remove(&k).expect("key recorded"))
+        .collect()
+}
+
+/// Build one instance of a construct node; returns the created output node.
+fn instantiate(
+    rule: &Rule,
+    c: CNodeId,
+    doc: &Document,
+    group: &[Binding],
+    out: &mut Document,
+) -> Result<NodeId> {
+    let g = &rule.construct;
+    let node = g.node(c);
+    match &node.kind {
+        CNodeKind::Element(name) => {
+            let el = out.create_element(name);
+            for &child in &node.children {
+                match &g.node(child).kind {
+                    CNodeKind::Attribute { name, value } => {
+                        let v = match value {
+                            CValue::Literal(s) => s.clone(),
+                            CValue::Binding(q) => first_bound_text(doc, group, *q)?,
+                        };
+                        out.set_attr(el, name, &v)
+                            .map_err(|e| XmlGlError::Eval { msg: e.to_string() })?;
+                    }
+                    _ => {
+                        for produced in instantiate_many(rule, child, doc, group, out)? {
+                            out.append_child(el, produced)
+                                .map_err(|e| XmlGlError::Eval { msg: e.to_string() })?;
+                        }
+                    }
+                }
+            }
+            Ok(el)
+        }
+        other => Err(XmlGlError::Eval {
+            msg: format!("internal: instantiate called on non-element {other:?}"),
+        }),
+    }
+}
+
+/// Build the (possibly several) output nodes a non-attribute construct child
+/// produces within one instance.
+fn instantiate_many(
+    rule: &Rule,
+    c: CNodeId,
+    doc: &Document,
+    group: &[Binding],
+    out: &mut Document,
+) -> Result<Vec<NodeId>> {
+    let g = &rule.construct;
+    let node = g.node(c);
+    match &node.kind {
+        CNodeKind::Element(_) => Ok(vec![instantiate(rule, c, doc, group, out)?]),
+        CNodeKind::Text(s) => Ok(vec![out.create_text(s)]),
+        CNodeKind::Attribute { .. } => Ok(Vec::new()), // handled by the parent
+        CNodeKind::Copy { source, deep } => {
+            let bound = first_bound(group, *source)?;
+            Ok(vec![copy_bound(doc, &bound, *deep, out)])
+        }
+        CNodeKind::All { source, order } => {
+            let mut bounds = distinct_bound(group, *source);
+            if let Some(spec) = order {
+                // Sort by the first key value seen with each collected
+                // binding; numeric when both keys are numbers.
+                let key_of = |bound: &Bound| -> Option<String> {
+                    group.iter().find_map(|b| {
+                        let src = b.get(*source)?;
+                        if identity_key(src) == identity_key(bound) {
+                            b.get(spec.key).map(|k| bound_text(doc, k))
+                        } else {
+                            None
+                        }
+                    })
+                };
+                let mut keyed: Vec<(Option<String>, Bound)> =
+                    bounds.into_iter().map(|b| (key_of(&b), b)).collect();
+                keyed.sort_by(|(a, _), (b, _)| compare_sort_keys(a, b));
+                if spec.descending {
+                    keyed.reverse();
+                }
+                bounds = keyed.into_iter().map(|(_, b)| b).collect();
+            }
+            let mut produced = Vec::new();
+            for bound in bounds {
+                produced.push(copy_bound(doc, &bound, true, out));
+            }
+            Ok(produced)
+        }
+        CNodeKind::GroupBy {
+            source,
+            key,
+            wrapper,
+        } => {
+            // Order groups by first occurrence of the key.
+            let mut order: Vec<String> = Vec::new();
+            let mut groups: HashMap<String, Vec<Binding>> = HashMap::new();
+            for b in group {
+                let Some(kv) = b.get(*key) else { continue };
+                let k = content_key(doc, kv);
+                if !groups.contains_key(&k) {
+                    order.push(k.clone());
+                }
+                groups.entry(k).or_default().push(b.clone());
+            }
+            let mut produced = Vec::new();
+            for k in order {
+                let members = groups.remove(&k).expect("key recorded");
+                let wrap = out.create_element(wrapper);
+                // Label the group with its key value.
+                if let Some(kv) = members[0].get(*key) {
+                    let text = bound_text(doc, kv);
+                    out.set_attr(wrap, "key", &text)
+                        .map_err(|e| XmlGlError::Eval { msg: e.to_string() })?;
+                }
+                for bound in distinct_bound(&members, *source) {
+                    let copied = copy_bound(doc, &bound, true, out);
+                    out.append_child(wrap, copied)
+                        .map_err(|e| XmlGlError::Eval { msg: e.to_string() })?;
+                }
+                produced.push(wrap);
+            }
+            Ok(produced)
+        }
+        CNodeKind::Aggregate { func, source } => {
+            let values = distinct_bound(group, *source);
+            let text = aggregate(doc, *func, &values)?;
+            Ok(vec![out.create_text(&text)])
+        }
+    }
+}
+
+/// Ordering for sort keys: numbers numerically, otherwise lexicographic;
+/// missing keys sort last.
+fn compare_sort_keys(a: &Option<String>, b: &Option<String>) -> std::cmp::Ordering {
+    match (a, b) {
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (Some(x), Some(y)) => {
+            match (
+                gql_ssdm::value::parse_number(x),
+                gql_ssdm::value::parse_number(y),
+            ) {
+                (Some(nx), Some(ny)) => nx.partial_cmp(&ny).unwrap_or(std::cmp::Ordering::Equal),
+                _ => x.cmp(y),
+            }
+        }
+    }
+}
+
+fn first_bound(group: &[Binding], q: QNodeId) -> Result<Bound> {
+    group
+        .iter()
+        .find_map(|b| b.get(q).cloned())
+        .ok_or_else(|| XmlGlError::Eval {
+            msg: format!("query node {q:?} is unbound"),
+        })
+}
+
+fn first_bound_text(doc: &Document, group: &[Binding], q: QNodeId) -> Result<String> {
+    Ok(bound_text(doc, &first_bound(group, q)?))
+}
+
+/// Copy a bound value into the output document (detached).
+fn copy_bound(doc: &Document, bound: &Bound, deep: bool, out: &mut Document) -> NodeId {
+    match bound {
+        Bound::Value { text, .. } => out.create_text(text),
+        Bound::Node(n) => {
+            if deep {
+                out.import_subtree(doc, *n)
+            } else {
+                // Shallow: the element shell with its attributes only.
+                let el = out.create_element(doc.name(*n).unwrap_or(""));
+                let attrs: Vec<(String, String)> = doc
+                    .attrs(*n)
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect();
+                for (k, v) in attrs {
+                    out.set_attr(el, &k, &v)
+                        .expect("fresh element accepts attrs");
+                }
+                el
+            }
+        }
+    }
+}
+
+fn aggregate(doc: &Document, func: AggFunc, values: &[Bound]) -> Result<String> {
+    if func == AggFunc::Count {
+        return Ok(values.len().to_string());
+    }
+    let nums: Vec<f64> = values
+        .iter()
+        .map(|v| {
+            let t = bound_text(doc, v);
+            gql_ssdm::value::parse_number(&t).ok_or_else(|| XmlGlError::Eval {
+                msg: format!("{func:?} over non-number {t:?}"),
+            })
+        })
+        .collect::<Result<_>>()?;
+    if nums.is_empty() {
+        // min/max/avg/sum of nothing: empty string mirrors "no value".
+        return Ok(if func == AggFunc::Sum {
+            "0".to_string()
+        } else {
+            String::new()
+        });
+    }
+    let v = match func {
+        AggFunc::Sum => nums.iter().sum(),
+        AggFunc::Min => nums.iter().copied().fold(f64::INFINITY, f64::min),
+        AggFunc::Max => nums.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        AggFunc::Avg => nums.iter().sum::<f64>() / nums.len() as f64,
+        AggFunc::Count => unreachable!("handled above"),
+    };
+    // Round away accumulated binary-float noise (sums of prices like 39.95
+    // would otherwise print as 145.85000000000002).
+    let rounded = (v * 1e9).round() / 1e9;
+    Ok(gql_ssdm::value::format_number(rounded))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::run_rule;
+    use crate::ast::{AggFunc, CmpOp};
+    use crate::builder::{RuleBuilder, C, Q};
+    use gql_ssdm::Document;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<bib>\
+               <book year='1994'><title>TCP/IP</title><price>65.95</price></book>\
+               <book year='2000'><title>Data on the Web</title><price>39.95</price></book>\
+               <book year='2000'><title>XML Handbook</title><price>39.95</price></book>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_collects_every_match() {
+        let r = RuleBuilder::new()
+            .extract(Q::elem("book").var("b"))
+            .construct(C::elem("result").child(C::all("b")))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        let root = out.root_element().unwrap();
+        assert_eq!(out.name(root), Some("result"));
+        assert_eq!(out.child_elements(root).count(), 3);
+        // Deep copies: titles present.
+        assert!(out.to_xml_string().contains("<title>TCP/IP</title>"));
+    }
+
+    #[test]
+    fn copy_instantiates_per_binding() {
+        let r = RuleBuilder::new()
+            .extract(Q::elem("book").child(Q::elem("title").child(Q::text().var("t"))))
+            .construct(C::elem("entry").child(C::copy("t")))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        let entries: Vec<_> = out.child_elements(out.root()).collect();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(out.text_content(entries[0]), "TCP/IP");
+    }
+
+    #[test]
+    fn shallow_copy_keeps_attrs_only() {
+        let r = RuleBuilder::new()
+            .extract(Q::elem("book").var("b"))
+            .construct(C::elem("shells").child(C::all("b")))
+            .build()
+            .unwrap();
+        // all() is deep; use copy_shallow via scope instead.
+        let r2 = RuleBuilder::new()
+            .extract(Q::elem("book").var("b"))
+            .construct(C::elem("shell").child(C::copy_shallow("b")))
+            .build()
+            .unwrap();
+        let out = run_rule(&r2, &doc()).unwrap();
+        let first = out.child_elements(out.root()).next().unwrap();
+        let book = out.child_elements(first).next().unwrap();
+        assert_eq!(out.attr(book, "year"), Some("1994"));
+        assert_eq!(out.children(book).len(), 0);
+        drop(r);
+    }
+
+    #[test]
+    fn attributes_from_bindings() {
+        let r = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .child(Q::attr("year").var("y"))
+                    .child(Q::elem("title").child(Q::text().var("t"))),
+            )
+            .construct(
+                C::elem("entry")
+                    .child(C::attr_var("published", "y"))
+                    .child(C::copy("t")),
+            )
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        let first = out.child_elements(out.root()).next().unwrap();
+        assert_eq!(out.attr(first, "published"), Some("1994"));
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .var("b")
+                    .child(Q::elem("price").child(Q::text().var("p"))),
+            )
+            .construct(
+                C::elem("stats")
+                    .child(C::elem("n").child(C::agg(AggFunc::Count, "b")))
+                    .child(C::elem("total").child(C::agg(AggFunc::Sum, "p")))
+                    .child(C::elem("cheapest").child(C::agg(AggFunc::Min, "p")))
+                    .child(C::elem("dearest").child(C::agg(AggFunc::Max, "p"))),
+            )
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        let xml = out.to_xml_string();
+        assert!(xml.contains("<n>3</n>"), "{xml}");
+        assert!(xml.contains("<total>145.85</total>"), "{xml}");
+        assert!(xml.contains("<cheapest>39.95</cheapest>"), "{xml}");
+        assert!(xml.contains("<dearest>65.95</dearest>"), "{xml}");
+    }
+
+    #[test]
+    fn count_distinct_is_by_identity_not_value() {
+        // Two books share the price 39.95 — count over price text still sees
+        // one value per *text occurrence*; values are strings, so identical
+        // strings collapse. Counting books (nodes) keeps all three.
+        let r = RuleBuilder::new()
+            .extract(Q::elem("book").var("b"))
+            .construct(C::elem("n").child(C::agg(AggFunc::Count, "b")))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        assert!(out.to_xml_string().contains(">3<") || out.to_xml_string().contains("<n>3</n>"));
+    }
+
+    #[test]
+    fn group_by_emits_one_wrapper_per_key() {
+        let r = RuleBuilder::new()
+            .extract(Q::elem("book").var("b").child(Q::attr("year").var("y")))
+            .construct(C::elem("by-year").child(C::group_by("b", "y", "year-group")))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        let root = out.root_element().unwrap();
+        let groups: Vec<_> = out.child_elements(root).collect();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(out.attr(groups[0], "key"), Some("1994"));
+        assert_eq!(out.child_elements(groups[0]).count(), 1);
+        assert_eq!(out.attr(groups[1], "key"), Some("2000"));
+        assert_eq!(out.child_elements(groups[1]).count(), 2);
+    }
+
+    #[test]
+    fn static_construction_without_bindings() {
+        let r = RuleBuilder::new()
+            .extract(Q::elem("nonexistent").var("x"))
+            .construct(C::elem("empty").child(C::all("x")))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        assert_eq!(out.to_xml_string(), "<empty/>");
+    }
+
+    #[test]
+    fn no_instances_when_scope_unmatched() {
+        let r = RuleBuilder::new()
+            .extract(Q::elem("nonexistent").child(Q::text().var("t")))
+            .construct(C::elem("entry").child(C::copy("t")))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        assert_eq!(out.to_xml_string(), "");
+    }
+
+    #[test]
+    fn literal_text_and_attrs() {
+        let r = RuleBuilder::new()
+            .extract(Q::elem("book").var("b"))
+            .construct(
+                C::elem("report")
+                    .child(C::attr("generated-by", "gql"))
+                    .child(C::text("books: "))
+                    .child(C::elem("list").child(C::all("b"))),
+            )
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        let xml = out.to_xml_string();
+        assert!(
+            xml.starts_with("<report generated-by=\"gql\">books: <list>"),
+            "{xml}"
+        );
+    }
+
+    #[test]
+    fn restructuring_inverts_nesting() {
+        // Q9-style: group titles under their year — nesting inversion.
+        let r = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .child(Q::attr("year").var("y"))
+                    .child(Q::elem("title").var("t")),
+            )
+            .construct(C::elem("years").child(C::group_by("t", "y", "year")))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        let xml = out.to_xml_string();
+        assert!(xml.contains("<year key=\"2000\"><title>Data on the Web</title><title>XML Handbook</title></year>"), "{xml}");
+    }
+
+    #[test]
+    fn the_paper_f2_query_shape() {
+        // F2: all BOOKs (with their subelements) from the source.
+        let r = RuleBuilder::new()
+            .extract(Q::elem("book").var("b"))
+            .construct(C::elem("result").child(C::all("b")))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        assert_eq!(out.child_elements(out.root_element().unwrap()).count(), 3);
+    }
+
+    #[test]
+    fn sorted_collection_orders_by_key() {
+        use crate::builder::C as CB;
+        let r = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .var("b")
+                    .child(Q::elem("price").child(Q::text().var("p"))),
+            )
+            .construct(C::elem("by-price").child(CB::all_sorted("b", "p", false)))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        let root = out.root_element().unwrap();
+        let prices: Vec<String> = out
+            .child_elements(root)
+            .map(|b| gql_ssdm::path::select_text(&out, b, "price").unwrap())
+            .collect();
+        assert_eq!(prices, vec!["39.95", "39.95", "65.95"]);
+        // Descending flips the order.
+        let r = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .var("b")
+                    .child(Q::elem("price").child(Q::text().var("p"))),
+            )
+            .construct(C::elem("by-price").child(CB::all_sorted("b", "p", true)))
+            .build()
+            .unwrap();
+        let out = run_rule(&r, &doc()).unwrap();
+        let root = out.root_element().unwrap();
+        let first = out.child_elements(root).next().unwrap();
+        assert_eq!(
+            gql_ssdm::path::select_text(&out, first, "price").unwrap(),
+            "65.95"
+        );
+    }
+
+    #[test]
+    fn sort_keys_numeric_before_lexicographic() {
+        // Titles sort lexicographically, prices numerically ("9" < "10").
+        let d = gql_ssdm::Document::parse_str(
+            "<bib><book><title>b</title><price>10</price></book>\
+             <book><title>a</title><price>9</price></book></bib>",
+        )
+        .unwrap();
+        let by_price = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .var("b")
+                    .child(Q::elem("price").child(Q::text().var("p"))),
+            )
+            .construct(C::elem("out").child(C::all_sorted("b", "p", false)))
+            .build()
+            .unwrap();
+        let out = run_rule(&by_price, &d).unwrap();
+        let root = out.root_element().unwrap();
+        let first = out.child_elements(root).next().unwrap();
+        assert_eq!(
+            gql_ssdm::path::select_text(&out, first, "price").unwrap(),
+            "9"
+        );
+    }
+
+    #[test]
+    fn multi_rule_program_concatenates() {
+        use crate::ast::Program;
+        let r1 = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .var("b")
+                    .child(Q::attr("year").pred(CmpOp::Eq, "1994")),
+            )
+            .construct(C::elem("old").child(C::all("b")))
+            .build()
+            .unwrap();
+        let r2 = RuleBuilder::new()
+            .extract(
+                Q::elem("book")
+                    .var("b")
+                    .child(Q::attr("year").pred(CmpOp::Eq, "2000")),
+            )
+            .construct(C::elem("new").child(C::all("b")))
+            .build()
+            .unwrap();
+        let out = super::super::run(
+            &Program {
+                rules: vec![r1, r2],
+            },
+            &doc(),
+        )
+        .unwrap();
+        let tops: Vec<_> = out.child_elements(out.root()).collect();
+        assert_eq!(tops.len(), 2);
+        assert_eq!(out.name(tops[0]), Some("old"));
+        assert_eq!(out.name(tops[1]), Some("new"));
+        assert_eq!(out.child_elements(tops[1]).count(), 2);
+    }
+}

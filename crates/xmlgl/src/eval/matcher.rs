@@ -1,0 +1,596 @@
+//! Embedding enumeration: matching the extract graph against a document.
+
+use std::collections::HashMap;
+
+use gql_ssdm::document::NodeKind;
+use gql_ssdm::{Document, NodeId};
+
+use crate::ast::{ExtractGraph, NameTest, QEdge, QNodeId, QNodeKind, Rule};
+
+use super::content_key;
+
+/// What a query node is bound to: a document node (elements) or a string
+/// (text content, attribute values). Strings carry the element they were
+/// read from, so two occurrences of the same value stay distinct matches —
+/// aggregates count and sum per occurrence, not per distinct string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bound {
+    Node(NodeId),
+    Value {
+        text: String,
+        /// The element the text content / attribute was read from.
+        origin: NodeId,
+    },
+}
+
+impl Bound {
+    pub fn value(text: impl Into<String>, origin: NodeId) -> Bound {
+        Bound::Value {
+            text: text.into(),
+            origin,
+        }
+    }
+}
+
+/// One embedding: a partial map from query nodes to bound values. Nodes
+/// under negated edges stay unbound.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Binding {
+    slots: Vec<Option<Bound>>,
+}
+
+impl Binding {
+    fn with_capacity(n: usize) -> Self {
+        Binding {
+            slots: vec![None; n],
+        }
+    }
+
+    pub fn get(&self, q: QNodeId) -> Option<&Bound> {
+        self.slots.get(q.index()).and_then(Option::as_ref)
+    }
+
+    fn set(&mut self, q: QNodeId, b: Bound) {
+        if self.slots.len() <= q.index() {
+            self.slots.resize(q.index() + 1, None);
+        }
+        self.slots[q.index()] = Some(b);
+    }
+
+    /// Merge two disjoint bindings (panics on conflicting slots in debug).
+    fn merge(&self, other: &Binding) -> Binding {
+        let mut out = self.clone();
+        for (i, slot) in other.slots.iter().enumerate() {
+            if let Some(b) = slot {
+                debug_assert!(
+                    out.slots.get(i).is_none_or(Option::is_none),
+                    "bindings overlap at q{i}"
+                );
+                out.set(QNodeId(i as u32), b.clone());
+            }
+        }
+        out
+    }
+
+    /// Bound query-node ids, ascending.
+    pub fn bound_ids(&self) -> impl Iterator<Item = QNodeId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| QNodeId(i as u32))
+    }
+}
+
+/// Enumerate all embeddings of a rule's extract graph into `doc`.
+///
+/// Roots are matched independently; their binding sets are then combined
+/// left-to-right. Whenever a join constraint connects the next root to the
+/// already-combined prefix, the combination is a hash join on the deep-equal
+/// content key instead of a cartesian product.
+pub fn match_rule(rule: &Rule, doc: &Document) -> Vec<Binding> {
+    let g = &rule.extract;
+    let n = g.nodes.len();
+    if g.roots.is_empty() {
+        return Vec::new();
+    }
+
+    // Per-root binding sets.
+    let mut per_root: Vec<Vec<Binding>> = Vec::with_capacity(g.roots.len());
+    for &root in &g.roots {
+        per_root.push(match_root(g, root, doc, n));
+    }
+
+    // Which root does each query node belong to?
+    let mut owner: Vec<usize> = vec![usize::MAX; n];
+    for (ri, &root) in g.roots.iter().enumerate() {
+        let mut stack = vec![root];
+        while let Some(q) = stack.pop() {
+            owner[q.index()] = ri;
+            stack.extend(g.node(q).children.iter().map(|e| e.target));
+        }
+    }
+
+    // Combine roots left to right, remembering which joins the hash-join
+    // pass already enforced (the residual filter can skip them).
+    let mut enforced: Vec<(QNodeId, QNodeId)> = Vec::new();
+    let mut combined: Vec<Binding> = per_root[0].clone();
+    for (ri, right) in per_root.iter().enumerate().skip(1) {
+        // Joins whose endpoints span the combined prefix and this root.
+        let cross_joins: Vec<(QNodeId, QNodeId)> = g
+            .joins
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (oa, ob) = (owner[a.index()], owner[b.index()]);
+                if oa < ri && ob == ri {
+                    Some((a, b))
+                } else if ob < ri && oa == ri {
+                    Some((b, a))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        combined = if cross_joins.is_empty() {
+            product(&combined, right)
+        } else {
+            enforced.extend(cross_joins.iter().copied());
+            hash_join(doc, &combined, right, &cross_joins)
+        };
+        if combined.is_empty() {
+            return combined;
+        }
+    }
+
+    // Residual joins within a single root (or spanning more than two) are
+    // verified by filtering; hash-enforced pairs are already satisfied.
+    let residual: Vec<(QNodeId, QNodeId)> = g
+        .joins
+        .iter()
+        .copied()
+        .filter(|&(a, b)| {
+            !enforced.contains(&(a, b)) && !enforced.contains(&(b, a))
+        })
+        .collect();
+    if !residual.is_empty() {
+        combined.retain(|b| {
+            residual.iter().all(|&(x, y)| match (b.get(x), b.get(y)) {
+                (Some(bx), Some(by)) => content_key(doc, bx) == content_key(doc, by),
+                _ => false,
+            })
+        });
+    }
+    combined
+}
+
+fn product(left: &[Binding], right: &[Binding]) -> Vec<Binding> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for l in left {
+        for r in right {
+            out.push(l.merge(r));
+        }
+    }
+    out
+}
+
+fn hash_join(
+    doc: &Document,
+    left: &[Binding],
+    right: &[Binding],
+    joins: &[(QNodeId, QNodeId)],
+) -> Vec<Binding> {
+    // Key = tuple of content keys over the join columns.
+    let key_of = |b: &Binding, cols: &[QNodeId]| -> Option<String> {
+        let mut parts = Vec::with_capacity(cols.len());
+        for &c in cols {
+            parts.push(content_key(doc, b.get(c)?));
+        }
+        Some(parts.join("\u{1}"))
+    };
+    let left_cols: Vec<QNodeId> = joins.iter().map(|&(l, _)| l).collect();
+    let right_cols: Vec<QNodeId> = joins.iter().map(|&(_, r)| r).collect();
+    let mut index: HashMap<String, Vec<&Binding>> = HashMap::new();
+    for r in right {
+        if let Some(k) = key_of(r, &right_cols) {
+            index.entry(k).or_default().push(r);
+        }
+    }
+    let mut out = Vec::new();
+    for l in left {
+        if let Some(k) = key_of(l, &left_cols) {
+            if let Some(matches) = index.get(&k) {
+                for r in matches {
+                    out.push(l.merge(r));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All embeddings of the pattern tree rooted at `root` anywhere in the
+/// document.
+fn match_root(g: &ExtractGraph, root: QNodeId, doc: &Document, nslots: usize) -> Vec<Binding> {
+    let mut out = Vec::new();
+    let candidates: Vec<NodeId> = match &g.node(root).kind {
+        QNodeKind::Element(NameTest::Name(name)) => doc.elements_named(name).collect(),
+        QNodeKind::Element(NameTest::Wildcard) => doc
+            .descendants(doc.root())
+            .filter(|&d| doc.kind(d) == NodeKind::Element)
+            .collect(),
+        // check.rs guarantees element roots.
+        _ => Vec::new(),
+    };
+    for c in candidates {
+        out.extend(match_node(g, root, doc, c, nslots));
+    }
+    out
+}
+
+/// All embeddings of the subtree at `q` assuming it is matched at `data`.
+fn match_node(
+    g: &ExtractGraph,
+    q: QNodeId,
+    doc: &Document,
+    data: NodeId,
+    nslots: usize,
+) -> Vec<Binding> {
+    let node = g.node(q);
+    // Kind/name/predicate check.
+    match &node.kind {
+        QNodeKind::Element(test) => {
+            if doc.kind(data) != NodeKind::Element {
+                return Vec::new();
+            }
+            if let Some(name) = doc.name(data) {
+                if !test.matches(name) {
+                    return Vec::new();
+                }
+            }
+            if !node.predicate.is_trivial() && !node.predicate.eval(&doc.text_content(data)) {
+                return Vec::new();
+            }
+        }
+        // Text/attribute circles are matched by `match_edge` against the
+        // parent; reaching here would be a checker bug.
+        _ => return Vec::new(),
+    }
+
+    let mut partials = vec![{
+        let mut b = Binding::with_capacity(nslots);
+        b.set(q, Bound::Node(data));
+        b
+    }];
+
+    let ordered = g.ordered[q.index()];
+    for edge in &node.children {
+        let alternatives = match_edge(g, edge, doc, data, nslots);
+        if edge.negated {
+            if !alternatives.is_empty() {
+                return Vec::new();
+            }
+            continue;
+        }
+        if alternatives.is_empty() {
+            return Vec::new();
+        }
+        let mut next = Vec::with_capacity(partials.len() * alternatives.len());
+        for p in &partials {
+            for a in &alternatives {
+                next.push(p.merge(a));
+            }
+        }
+        partials = next;
+    }
+
+    if ordered {
+        // Direct element children must be bound in sibling order.
+        let element_edges: Vec<&QEdge> = node
+            .children
+            .iter()
+            .filter(|e| {
+                !e.negated && !e.deep && matches!(g.node(e.target).kind, QNodeKind::Element(_))
+            })
+            .collect();
+        partials.retain(|b| {
+            let mut last = -1i64;
+            for e in &element_edges {
+                if let Some(Bound::Node(n)) = b.get(e.target) {
+                    let idx = doc.sibling_index(*n) as i64;
+                    if idx < last {
+                        return false;
+                    }
+                    last = idx;
+                }
+            }
+            true
+        });
+    }
+
+    partials
+}
+
+/// Alternatives for one containment edge below a matched element.
+fn match_edge(
+    g: &ExtractGraph,
+    edge: &QEdge,
+    doc: &Document,
+    parent: NodeId,
+    nslots: usize,
+) -> Vec<Binding> {
+    let target = g.node(edge.target);
+    match &target.kind {
+        QNodeKind::Attribute(name) => {
+            let mut out = Vec::new();
+            let mut consider = |el: NodeId| {
+                if let Some(v) = doc.attr(el, name) {
+                    if target.predicate.eval(v) {
+                        let mut b = Binding::with_capacity(nslots);
+                        b.set(edge.target, Bound::value(v, el));
+                        out.push(b);
+                    }
+                }
+            };
+            if edge.deep {
+                for d in doc.descendants_or_self(parent) {
+                    if doc.kind(d) == NodeKind::Element {
+                        consider(d);
+                    }
+                }
+            } else {
+                consider(parent);
+            }
+            out
+        }
+        QNodeKind::Text => {
+            let mut out = Vec::new();
+            let mut consider = |el: NodeId| {
+                let has_text = doc
+                    .children(el)
+                    .iter()
+                    .any(|&c| doc.kind(c) == NodeKind::Text);
+                if has_text {
+                    let v = doc.text_content(el);
+                    if target.predicate.eval(&v) {
+                        let mut b = Binding::with_capacity(nslots);
+                        b.set(edge.target, Bound::value(v, el));
+                        out.push(b);
+                    }
+                }
+            };
+            if edge.deep {
+                for d in doc.descendants_or_self(parent) {
+                    if doc.kind(d) == NodeKind::Element {
+                        consider(d);
+                    }
+                }
+            } else {
+                consider(parent);
+            }
+            out
+        }
+        QNodeKind::Element(_) => {
+            let mut out = Vec::new();
+            if edge.deep {
+                for d in doc.descendants(parent) {
+                    if doc.kind(d) == NodeKind::Element {
+                        out.extend(match_node(g, edge.target, doc, d, nslots));
+                    }
+                }
+            } else {
+                for c in doc.child_elements(parent) {
+                    out.extend(match_node(g, edge.target, doc, c, nslots));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CmpOp;
+    use crate::builder::{RuleBuilder, C, Q};
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<bib>\
+               <book year='1994'><title>TCP/IP</title><price>65.95</price>\
+                 <author><last>Stevens</last></author></book>\
+               <book year='2000'><title>Data on the Web</title><price>39.95</price>\
+                 <author><last>Abiteboul</last></author>\
+                 <author><last>Buneman</last></author></book>\
+               <article year='2000'><title>XML-GL</title></article>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    fn rule(q: Q) -> Rule {
+        RuleBuilder::new()
+            .extract(q)
+            .construct(C::elem("out"))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn root_matches_anywhere() {
+        let d = doc();
+        assert_eq!(match_rule(&rule(Q::elem("book")), &d).len(), 2);
+        assert_eq!(match_rule(&rule(Q::elem("title")), &d).len(), 3);
+        assert_eq!(match_rule(&rule(Q::elem("nothing")), &d).len(), 0);
+        assert_eq!(match_rule(&rule(Q::any()), &d).len(), 15);
+    }
+
+    #[test]
+    fn attribute_predicates_filter() {
+        let d = doc();
+        let r = rule(Q::elem("book").child(Q::attr("year").pred(CmpOp::Ge, "2000")));
+        assert_eq!(match_rule(&r, &d).len(), 1);
+        let r = rule(Q::elem("book").child(Q::attr("year")));
+        assert_eq!(match_rule(&r, &d).len(), 2);
+        let r = rule(Q::elem("book").child(Q::attr("isbn")));
+        assert_eq!(match_rule(&r, &d).len(), 0);
+    }
+
+    #[test]
+    fn text_circles_bind_content() {
+        let d = doc();
+        let r = rule(Q::elem("title").child(Q::text().var("t")));
+        let ms = match_rule(&r, &d);
+        assert_eq!(ms.len(), 3);
+        let q = r.extract.by_var("t").unwrap();
+        let texts: Vec<String> = ms
+            .iter()
+            .map(|m| super::super::bound_text(&d, m.get(q).unwrap()))
+            .collect();
+        assert!(texts.contains(&"TCP/IP".to_string()));
+    }
+
+    #[test]
+    fn multiple_children_multiply_embeddings() {
+        let d = doc();
+        // book with an author: second book has two embeddings.
+        let r = rule(Q::elem("book").child(Q::elem("author").var("a")));
+        assert_eq!(match_rule(&r, &d).len(), 3);
+    }
+
+    #[test]
+    fn deep_edges_match_descendants() {
+        let d = doc();
+        let r = rule(Q::elem("bib").deep_child(Q::elem("last").var("l")));
+        assert_eq!(match_rule(&r, &d).len(), 3);
+        // Direct edge does not reach them.
+        let r = rule(Q::elem("bib").child(Q::elem("last")));
+        assert_eq!(match_rule(&r, &d).len(), 0);
+    }
+
+    #[test]
+    fn negation() {
+        let d = doc();
+        // Books without an <article> sibling constraint is meaningless;
+        // negate a child instead: books with no author → none; articles with
+        // no author → one.
+        let r = rule(Q::elem("book").without(Q::elem("author")));
+        assert_eq!(match_rule(&r, &d).len(), 0);
+        let r = rule(Q::elem("article").without(Q::elem("author")));
+        assert_eq!(match_rule(&r, &d).len(), 1);
+    }
+
+    #[test]
+    fn conjunctive_branches() {
+        let d = doc();
+        let r = rule(
+            Q::elem("book")
+                .child(Q::attr("year").pred(CmpOp::Eq, "2000"))
+                .child(Q::elem("title").child(Q::text().pred(CmpOp::Contains, "Web"))),
+        );
+        assert_eq!(match_rule(&r, &d).len(), 1);
+        // Same branches, impossible combination.
+        let r = rule(
+            Q::elem("book")
+                .child(Q::attr("year").pred(CmpOp::Eq, "1994"))
+                .child(Q::elem("title").child(Q::text().pred(CmpOp::Contains, "Web"))),
+        );
+        assert_eq!(match_rule(&r, &d).len(), 0);
+    }
+
+    #[test]
+    fn element_predicate_sees_text_content() {
+        let d = doc();
+        let r = rule(Q::elem("last").pred(CmpOp::Eq, "Stevens"));
+        assert_eq!(match_rule(&r, &d).len(), 1);
+    }
+
+    #[test]
+    fn cross_tree_join() {
+        let d = Document::parse_str(
+            "<shop><products>\
+               <product><name>apple</name><vendor>Vand</vendor></product>\
+               <product><name>pear</name><vendor>Ghost</vendor></product>\
+             </products>\
+             <vendors><vendor><name>Vand</name><country>nl</country></vendor></vendors></shop>",
+        )
+        .unwrap();
+        let r = RuleBuilder::new()
+            .extract(
+                Q::elem("product")
+                    .var("p")
+                    .child(Q::elem("vendor").child(Q::text().var("v1"))),
+            )
+            .extract(
+                Q::elem("vendors")
+                    .child(Q::elem("vendor").child(Q::elem("name").child(Q::text().var("v2")))),
+            )
+            .join("v1", "v2")
+            .construct(C::elem("out").child(C::all("p")))
+            .build()
+            .unwrap();
+        let ms = match_rule(&r, &d);
+        assert_eq!(ms.len(), 1);
+        let p = r.extract.by_var("p").unwrap();
+        match ms[0].get(p).unwrap() {
+            Bound::Node(n) => {
+                assert!(d.text_content(*n).contains("apple"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cartesian_product_without_join() {
+        let d = doc();
+        let r = RuleBuilder::new()
+            .extract(Q::elem("book").var("b"))
+            .extract(Q::elem("article").var("a"))
+            .construct(C::elem("out"))
+            .build()
+            .unwrap();
+        assert_eq!(match_rule(&r, &d).len(), 2); // 2 books × 1 article
+    }
+
+    #[test]
+    fn ordered_matching() {
+        let d = Document::parse_str("<r><a/><b/></r><!-- -->").unwrap();
+        let ok = rule(
+            Q::elem("r")
+                .ordered()
+                .child(Q::elem("a"))
+                .child(Q::elem("b")),
+        );
+        assert_eq!(match_rule(&ok, &d).len(), 1);
+        let bad = rule(
+            Q::elem("r")
+                .ordered()
+                .child(Q::elem("b"))
+                .child(Q::elem("a")),
+        );
+        assert_eq!(match_rule(&bad, &d).len(), 0);
+        // Unordered succeeds both ways.
+        let free = rule(Q::elem("r").child(Q::elem("b")).child(Q::elem("a")));
+        assert_eq!(match_rule(&free, &d).len(), 1);
+    }
+
+    #[test]
+    fn wildcard_with_structure() {
+        let d = doc();
+        // Any element that has a title child with text containing 'XML'.
+        let r = rule(
+            Q::any()
+                .var("x")
+                .child(Q::elem("title").child(Q::text().pred(CmpOp::Contains, "XML"))),
+        );
+        let ms = match_rule(&r, &d);
+        assert_eq!(ms.len(), 1);
+    }
+
+    #[test]
+    fn deep_attribute_edge() {
+        let d = doc();
+        // bib ~deep~> @year picks up year attributes at any depth.
+        let r = rule(Q::elem("bib").deep_child(Q::attr("year").var("y")));
+        assert_eq!(match_rule(&r, &d).len(), 3);
+    }
+}

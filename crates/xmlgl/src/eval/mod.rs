@@ -1,0 +1,232 @@
+//! Evaluation of XML-GL programs.
+//!
+//! Split into the two halves of a rule: [`matcher`] enumerates *bindings*
+//! (embeddings of the extract graph into the data) and [`construct`]
+//! materialises the result document from those bindings.
+//!
+//! The semantics implemented here, stated once:
+//!
+//! * an extract root matches any element occurrence in the document;
+//! * containment edges match children (or any descendant for asterisk
+//!   edges), unordered by default, order-respecting when the parent box
+//!   carries the order stroke;
+//! * a crossed-out edge succeeds iff no match for its subtree exists;
+//! * join edges require deep-equal bound content;
+//! * each construct root is instantiated once per distinct tuple of the
+//!   bindings it copies (its *scope*); triangles, list icons and aggregate
+//!   nodes collect over all bindings compatible with the instantiation.
+
+pub mod construct;
+pub mod matcher;
+
+use gql_ssdm::{Document, NodeId};
+
+use crate::ast::{Program, QNodeId, Rule};
+use crate::Result;
+
+pub use construct::construct_rule;
+pub use matcher::{match_rule, Binding, Bound};
+
+/// Evaluate a whole program: the outputs of all rules, in rule order, become
+/// the children of the result document's root.
+pub fn run(program: &Program, doc: &Document) -> Result<Document> {
+    crate::check::check_program(program)?;
+    let mut out = Document::new();
+    for rule in &program.rules {
+        run_rule_into(rule, doc, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Evaluate one rule into an existing output document.
+pub fn run_rule_into(rule: &Rule, doc: &Document, out: &mut Document) -> Result<()> {
+    let bindings = match_rule(rule, doc);
+    construct_rule(rule, doc, &bindings, out)
+}
+
+/// Evaluate one rule into a fresh document.
+pub fn run_rule(rule: &Rule, doc: &Document) -> Result<Document> {
+    let mut out = Document::new();
+    run_rule_into(rule, doc, &mut out)?;
+    Ok(out)
+}
+
+/// Evaluate a pipeline of programs: each stage queries the previous stage's
+/// output (the first queries `doc`). This is view composition — the
+/// XML-GL analogue of Xcerpt's rule chaining, restricted to an explicit
+/// stage order (XML-GL has no fixpoint, so composition must be acyclic by
+/// construction).
+pub fn run_pipeline(stages: &[Program], doc: &Document) -> Result<Document> {
+    if stages.is_empty() {
+        return Err(crate::XmlGlError::Eval {
+            msg: "empty pipeline".into(),
+        });
+    }
+    let mut current = run(&stages[0], doc)?;
+    for stage in &stages[1..] {
+        current = run(stage, &current)?;
+    }
+    Ok(current)
+}
+
+/// Canonical string form of a subtree, used for deep-equality joins: tag,
+/// sorted attributes, children in order, with text content inline.
+pub fn canonical(doc: &Document, node: NodeId) -> String {
+    use gql_ssdm::NodeKind;
+    match doc.kind(node) {
+        NodeKind::Text => format!("t:{}", doc.text(node).unwrap_or("")),
+        NodeKind::Comment | NodeKind::Pi => String::new(),
+        NodeKind::Element | NodeKind::Document => {
+            let mut attrs: Vec<(String, String)> = doc
+                .attrs(node)
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            attrs.sort();
+            let attrs: Vec<String> = attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let children: Vec<String> = doc
+                .children(node)
+                .iter()
+                .filter(|&&c| !matches!(doc.kind(c), NodeKind::Comment | NodeKind::Pi))
+                .map(|&c| canonical(doc, c))
+                .collect();
+            format!(
+                "e:{}[{}]({})",
+                doc.name(node).unwrap_or(""),
+                attrs.join(","),
+                children.join(",")
+            )
+        }
+    }
+}
+
+/// Deep structural equality of two subtrees (same document).
+pub fn deep_equal(doc: &Document, a: NodeId, b: NodeId) -> bool {
+    a == b || canonical(doc, a) == canonical(doc, b)
+}
+
+/// Canonical key of a bound value for joins and deduplication by *content*.
+pub fn content_key(doc: &Document, bound: &Bound) -> String {
+    match bound {
+        Bound::Value { text, .. } => format!("v:{text}"),
+        Bound::Node(n) => canonical(doc, *n),
+    }
+}
+
+/// Identity key of a bound value — distinguishes distinct occurrences with
+/// equal content (used when deduplicating triangle collections).
+pub fn identity_key(bound: &Bound) -> String {
+    match bound {
+        Bound::Value { text, origin } => format!("v:{}:{text}", origin.index()),
+        Bound::Node(n) => format!("n:{}", n.index()),
+    }
+}
+
+/// Convenience for tests and the harness: the number of embeddings of a
+/// rule's extract side.
+pub fn count_matches(rule: &Rule, doc: &Document) -> usize {
+    match_rule(rule, doc).len()
+}
+
+/// The string value of a binding entry.
+pub fn bound_text(doc: &Document, bound: &Bound) -> String {
+    match bound {
+        Bound::Value { text, .. } => text.clone(),
+        Bound::Node(n) => doc.text_content(*n),
+    }
+}
+
+/// Project a list of bindings onto one query node, deduplicated by identity,
+/// preserving order of first occurrence.
+pub fn distinct_bound(bindings: &[Binding], q: QNodeId) -> Vec<Bound> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for b in bindings {
+        if let Some(v) = b.get(q) {
+            if seen.insert(identity_key(v)) {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_composes_views() {
+        let doc = Document::parse_str(
+            "<bib><book year='1999'><title>Old</title><price>60</price></book>\
+             <book year='2003'><title>A</title><price>50</price></book>\
+             <book year='2005'><title>B</title><price>10</price></book></bib>",
+        )
+        .unwrap();
+        // Stage 1: a view of recent books. Stage 2: the cheap ones of those.
+        let recent = crate::dsl::parse(
+            r#"rule { extract { book as $b { @year as $y >= "2000" } }
+                      construct { recent { all $b } } }"#,
+        )
+        .unwrap();
+        let cheap = crate::dsl::parse(
+            r#"rule { extract { book as $b { price { text < "20" } } }
+                      construct { cheap-recent { all $b } } }"#,
+        )
+        .unwrap();
+        let out = run_pipeline(&[recent, cheap], &doc).unwrap();
+        assert_eq!(
+            out.to_xml_string(),
+            "<cheap-recent><book year=\"2005\"><title>B</title><price>10</price></book></cheap-recent>"
+        );
+        assert!(run_pipeline(&[], &doc).is_err());
+    }
+
+    #[test]
+    fn canonical_distinguishes_structure() {
+        let d = Document::parse_str("<r><a x='1'>t</a><a x='2'>t</a><a x='1'>t</a></r>").unwrap();
+        let r = d.root_element().unwrap();
+        let kids: Vec<NodeId> = d.child_elements(r).collect();
+        assert!(deep_equal(&d, kids[0], kids[2]));
+        assert!(!deep_equal(&d, kids[0], kids[1]));
+    }
+
+    #[test]
+    fn canonical_sorts_attributes() {
+        let d1 = Document::parse_str("<a x='1' y='2'/>").unwrap();
+        let d2 = Document::parse_str("<a y='2' x='1'/>").unwrap();
+        assert_eq!(
+            canonical(&d1, d1.root_element().unwrap()),
+            canonical(&d2, d2.root_element().unwrap())
+        );
+    }
+
+    #[test]
+    fn canonical_ignores_comments_and_pis() {
+        let d1 = Document::parse_str("<a>x</a>").unwrap();
+        let d2 = Document::parse_str("<a>x<!--note--><?pi d?></a>").unwrap();
+        assert_eq!(
+            canonical(&d1, d1.root_element().unwrap()),
+            canonical(&d2, d2.root_element().unwrap())
+        );
+    }
+
+    #[test]
+    fn canonical_respects_child_order() {
+        let d1 = Document::parse_str("<a><b/><c/></a>").unwrap();
+        let d2 = Document::parse_str("<a><c/><b/></a>").unwrap();
+        assert_ne!(
+            canonical(&d1, d1.root_element().unwrap()),
+            canonical(&d2, d2.root_element().unwrap())
+        );
+    }
+
+    #[test]
+    fn identity_vs_content_keys() {
+        let d = Document::parse_str("<r><a>t</a><a>t</a></r>").unwrap();
+        let r = d.root_element().unwrap();
+        let kids: Vec<NodeId> = d.child_elements(r).collect();
+        let (b0, b1) = (Bound::Node(kids[0]), Bound::Node(kids[1]));
+        assert_eq!(content_key(&d, &b0), content_key(&d, &b1));
+        assert_ne!(identity_key(&b0), identity_key(&b1));
+    }
+}

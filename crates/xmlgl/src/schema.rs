@@ -1,0 +1,575 @@
+//! XML-GL as a schema formalism (experiment **F3**).
+//!
+//! The paper shows that the same graphical vocabulary doubles as a schema
+//! language with *more* structural expressive power than DTDs: content is
+//! unordered by default (a DTD sequence fixes order), multiplicities label
+//! the containment edges, and an **xor arc** across two edges expresses
+//! exclusive choice. This module implements:
+//!
+//! * the schema graph model ([`GlSchema`]);
+//! * validation of documents against a schema (multiplicity counting +
+//!   xor checking — no automaton needed because content is unordered);
+//! * translation DTD → XML-GL schema (loses order, maps `?`/`*`/`+` to
+//!   multiplicities, hoists top-level choices to xor groups);
+//! * translation XML-GL schema → DTD (re-imposes a canonical order, the
+//!   information DTDs cannot avoid fixing — the asymmetry the paper uses
+//!   to argue XML-GL's schema power).
+
+use std::collections::HashMap;
+
+use gql_ssdm::document::NodeKind;
+use gql_ssdm::dtd::{AttDecl, AttDefault, AttType, ContentModel, Cp, Dtd, Rep};
+use gql_ssdm::{Document, NodeId};
+
+/// Edge multiplicity in a schema graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mult {
+    /// Exactly one.
+    One,
+    /// Zero or one (`?`).
+    Opt,
+    /// Zero or more (`*`).
+    Star,
+    /// One or more (`+`).
+    Plus,
+}
+
+impl Mult {
+    pub fn accepts(self, count: usize) -> bool {
+        match self {
+            Mult::One => count == 1,
+            Mult::Opt => count <= 1,
+            Mult::Star => true,
+            Mult::Plus => count >= 1,
+        }
+    }
+
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Mult::One => "1",
+            Mult::Opt => "?",
+            Mult::Star => "*",
+            Mult::Plus => "+",
+        }
+    }
+
+    fn from_rep(rep: Rep) -> Mult {
+        match rep {
+            Rep::One => Mult::One,
+            Rep::Opt => Mult::Opt,
+            Rep::Star => Mult::Star,
+            Rep::Plus => Mult::Plus,
+        }
+    }
+
+    fn to_rep(self) -> Rep {
+        match self {
+            Mult::One => Rep::One,
+            Mult::Opt => Rep::Opt,
+            Mult::Star => Rep::Star,
+            Mult::Plus => Rep::Plus,
+        }
+    }
+}
+
+/// One containment edge of the schema graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChildDecl {
+    pub child: String,
+    pub mult: Mult,
+}
+
+/// Declaration of one element type.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ElemDecl {
+    /// Containment edges (unordered).
+    pub children: Vec<ChildDecl>,
+    /// Whether textual content (a hollow circle) is allowed.
+    pub text: bool,
+    /// Declared attributes (filled circles); `required` mirrors #REQUIRED.
+    pub attrs: Vec<(String, bool)>,
+    /// Xor arcs: each group lists indexes into `children`; exactly one
+    /// member of the group may be present (with its own multiplicity).
+    pub xor_groups: Vec<Vec<usize>>,
+}
+
+/// An XML-GL schema: a graph of element declarations.
+#[derive(Debug, Clone, Default)]
+pub struct GlSchema {
+    elements: HashMap<String, ElemDecl>,
+    order: Vec<String>,
+}
+
+impl GlSchema {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn declare(&mut self, name: &str, decl: ElemDecl) {
+        if !self.elements.contains_key(name) {
+            self.order.push(name.to_string());
+        }
+        self.elements.insert(name.to_string(), decl);
+    }
+
+    pub fn element(&self, name: &str) -> Option<&ElemDecl> {
+        self.elements.get(name)
+    }
+
+    pub fn element_names(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Validate a document; returns violations (empty = valid). Content is
+    /// *unordered*: only per-name counts and xor exclusivity are checked —
+    /// precisely the relaxation the paper highlights over DTDs.
+    pub fn validate(&self, doc: &Document) -> Vec<String> {
+        let mut v = Vec::new();
+        if let Some(root) = doc.root_element() {
+            self.validate_node(doc, root, &mut v);
+        } else {
+            v.push("document has no root element".into());
+        }
+        v
+    }
+
+    fn validate_node(&self, doc: &Document, node: NodeId, out: &mut Vec<String>) {
+        let name = doc.name(node).unwrap_or("").to_string();
+        match self.elements.get(&name) {
+            None => out.push(format!("element <{name}> is not declared")),
+            Some(decl) => {
+                // Count children per name.
+                let mut counts: HashMap<&str, usize> = HashMap::new();
+                for c in doc.child_elements(node) {
+                    *counts.entry(doc.name(c).unwrap_or("")).or_default() += 1;
+                }
+                // Which declared children are exempt via xor groups?
+                let in_xor: Vec<bool> = {
+                    let mut f = vec![false; decl.children.len()];
+                    for g in &decl.xor_groups {
+                        for &i in g {
+                            if let Some(slot) = f.get_mut(i) {
+                                *slot = true;
+                            }
+                        }
+                    }
+                    f
+                };
+                for (i, cd) in decl.children.iter().enumerate() {
+                    let count = counts.remove(cd.child.as_str()).unwrap_or(0);
+                    if in_xor[i] {
+                        // Within an xor group, absence is fine; presence is
+                        // checked against the edge multiplicity below via
+                        // group accounting.
+                        if count > 0 && !cd.mult.accepts(count) {
+                            out.push(format!(
+                                "<{name}> has {count} <{}> children, multiplicity {}",
+                                cd.child,
+                                cd.mult.symbol()
+                            ));
+                        }
+                    } else if !cd.mult.accepts(count) {
+                        out.push(format!(
+                            "<{name}> has {count} <{}> children, multiplicity {}",
+                            cd.child,
+                            cd.mult.symbol()
+                        ));
+                    }
+                }
+                // Xor: exactly one branch present.
+                for group in &decl.xor_groups {
+                    let present: Vec<&str> = group
+                        .iter()
+                        .filter_map(|&i| decl.children.get(i))
+                        .filter(|cd| {
+                            doc.child_elements(node)
+                                .any(|c| doc.name(c) == Some(cd.child.as_str()))
+                        })
+                        .map(|cd| cd.child.as_str())
+                        .collect();
+                    if present.len() != 1 {
+                        out.push(format!(
+                            "<{name}> must contain exactly one of an xor group, found {}",
+                            if present.is_empty() {
+                                "none".to_string()
+                            } else {
+                                present.join(", ")
+                            }
+                        ));
+                    }
+                }
+                // Undeclared children.
+                for (child, _) in counts {
+                    if !child.is_empty() {
+                        out.push(format!("<{name}> may not contain <{child}>"));
+                    }
+                }
+                // Text.
+                let has_text = doc.children(node).iter().any(|&c| {
+                    doc.kind(c) == NodeKind::Text && !doc.text(c).unwrap_or("").trim().is_empty()
+                });
+                if has_text && !decl.text {
+                    out.push(format!("<{name}> may not contain text"));
+                }
+                // Attributes.
+                for (attr, required) in &decl.attrs {
+                    if *required && doc.attr(node, attr).is_none() {
+                        out.push(format!("required attribute '{attr}' missing on <{name}>"));
+                    }
+                }
+                for (a, _) in doc.attrs(node) {
+                    if !decl.attrs.iter().any(|(n, _)| n == a) {
+                        out.push(format!("attribute '{a}' on <{name}> is not declared"));
+                    }
+                }
+            }
+        }
+        for c in doc.child_elements(node) {
+            self.validate_node(doc, c, out);
+        }
+    }
+
+    /// Translate a DTD into an XML-GL schema. Sequences lose their order
+    /// (XML-GL content is unordered); two-way and longer top-level choices
+    /// become xor groups; nested groups are flattened with the weakest
+    /// multiplicity that over-approximates them.
+    pub fn from_dtd(dtd: &Dtd) -> GlSchema {
+        let mut schema = GlSchema::new();
+        for name in dtd.element_names() {
+            let model = dtd.element(name).expect("declared element has a model");
+            let mut decl = ElemDecl::default();
+            match model {
+                ContentModel::Empty => {}
+                ContentModel::Any => {
+                    decl.text = true;
+                    // ANY cannot be represented edge-by-edge; an empty decl
+                    // with text=true plus "anything goes" marker: approximate
+                    // by allowing every declared element as Star child.
+                    for other in dtd.element_names() {
+                        decl.children.push(ChildDecl {
+                            child: other.to_string(),
+                            mult: Mult::Star,
+                        });
+                    }
+                }
+                ContentModel::Mixed(names) => {
+                    decl.text = true;
+                    for n in names {
+                        decl.children.push(ChildDecl {
+                            child: n.clone(),
+                            mult: Mult::Star,
+                        });
+                    }
+                }
+                ContentModel::Children(cp) => {
+                    flatten_cp(cp, Mult::One, &mut decl);
+                }
+            }
+            for att in dtd.attrs_of(name) {
+                decl.attrs.push((
+                    att.name.clone(),
+                    matches!(att.default, AttDefault::Required),
+                ));
+            }
+            schema.declare(name, decl);
+        }
+        schema
+    }
+
+    /// Translate back to a DTD. Children are emitted in declaration order as
+    /// a sequence (the canonical order XML-GL must invent); xor groups
+    /// become choices.
+    pub fn to_dtd(&self) -> Dtd {
+        let mut dtd = Dtd::new();
+        for name in &self.order {
+            let decl = &self.elements[name];
+            let in_xor: Vec<bool> = {
+                let mut f = vec![false; decl.children.len()];
+                for g in &decl.xor_groups {
+                    for &i in g {
+                        if let Some(s) = f.get_mut(i) {
+                            *s = true;
+                        }
+                    }
+                }
+                f
+            };
+            let mut parts: Vec<Cp> = Vec::new();
+            for (i, cd) in decl.children.iter().enumerate() {
+                if !in_xor[i] {
+                    parts.push(Cp::Name(cd.child.clone(), cd.mult.to_rep()));
+                }
+            }
+            for group in &decl.xor_groups {
+                let alts: Vec<Cp> = group
+                    .iter()
+                    .filter_map(|&i| decl.children.get(i))
+                    .map(|cd| Cp::Name(cd.child.clone(), cd.mult.to_rep()))
+                    .collect();
+                if !alts.is_empty() {
+                    parts.push(Cp::Choice(alts, Rep::One));
+                }
+            }
+            let model = if decl.text && parts.is_empty() {
+                ContentModel::Mixed(Vec::new())
+            } else if decl.text {
+                ContentModel::Mixed(decl.children.iter().map(|cd| cd.child.clone()).collect())
+            } else if parts.is_empty() {
+                ContentModel::Empty
+            } else if parts.len() == 1 {
+                ContentModel::Children(parts.pop().expect("one part"))
+            } else {
+                ContentModel::Children(Cp::Seq(parts, Rep::One))
+            };
+            dtd.declare_element(name, model);
+            for (attr, required) in &decl.attrs {
+                dtd.declare_attr(
+                    name,
+                    AttDecl {
+                        name: attr.clone(),
+                        ty: AttType::Cdata,
+                        default: if *required {
+                            AttDefault::Required
+                        } else {
+                            AttDefault::Implied
+                        },
+                    },
+                );
+            }
+        }
+        dtd
+    }
+}
+
+/// Flatten a content particle into unordered child declarations; `outer`
+/// weakens multiplicities inherited from enclosing groups.
+fn flatten_cp(cp: &Cp, outer: Mult, decl: &mut ElemDecl) {
+    let combine = |a: Mult, b: Mult| -> Mult {
+        use Mult::*;
+        match (a, b) {
+            (One, m) | (m, One) => m,
+            (Star, _) | (_, Star) => Star,
+            (Plus, Plus) => Plus,
+            (Opt, Opt) => Opt,
+            (Plus, Opt) | (Opt, Plus) => Star,
+        }
+    };
+    match cp {
+        Cp::Name(n, rep) => {
+            let mult = combine(outer, Mult::from_rep(*rep));
+            if let Some(existing) = decl.children.iter_mut().find(|c| &c.child == n) {
+                // Repeated occurrence in a sequence ⇒ at least weaken to *.
+                existing.mult = Mult::Star;
+            } else {
+                decl.children.push(ChildDecl {
+                    child: n.clone(),
+                    mult,
+                });
+            }
+        }
+        Cp::Seq(items, rep) => {
+            let m = combine(outer, Mult::from_rep(*rep));
+            for item in items {
+                flatten_cp(item, m, decl);
+            }
+        }
+        Cp::Choice(items, rep) => {
+            let m = combine(outer, Mult::from_rep(*rep));
+            // A top-level choice of names becomes an xor group; other
+            // choices are over-approximated as optional members.
+            let all_names = items.iter().all(|i| matches!(i, Cp::Name(..)));
+            if all_names && m == Mult::One {
+                let start = decl.children.len();
+                for item in items {
+                    flatten_cp(item, Mult::One, decl);
+                }
+                decl.xor_groups.push((start..decl.children.len()).collect());
+            } else {
+                for item in items {
+                    flatten_cp(item, combine(m, Mult::Opt), decl);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The BOOK DTD from figure XML-GL-DTD2 of the paper.
+    const BOOK_DTD: &str = r#"
+        <!ELEMENT BOOK (title?,price,AUTHOR*)>
+        <!ATTLIST BOOK isbn CDATA #REQUIRED>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT price (#PCDATA)>
+        <!ELEMENT AUTHOR (first-name,last-name)>
+        <!ELEMENT first-name (#PCDATA)>
+        <!ELEMENT last-name (#PCDATA)>
+    "#;
+
+    fn book_schema() -> GlSchema {
+        GlSchema::from_dtd(&Dtd::parse(BOOK_DTD).unwrap())
+    }
+
+    #[test]
+    fn dtd_to_schema_multiplicities() {
+        let s = book_schema();
+        let book = s.element("BOOK").unwrap();
+        let mult_of = |n: &str| book.children.iter().find(|c| c.child == n).unwrap().mult;
+        assert_eq!(mult_of("title"), Mult::Opt);
+        assert_eq!(mult_of("price"), Mult::One);
+        assert_eq!(mult_of("AUTHOR"), Mult::Star);
+        assert_eq!(book.attrs, vec![("isbn".to_string(), true)]);
+        assert!(s.element("title").unwrap().text);
+    }
+
+    #[test]
+    fn unordered_validation_is_the_paper_distinction() {
+        let s = book_schema();
+        // The DTD rejects price-before-title; the XML-GL schema accepts it.
+        let swapped =
+            Document::parse_str("<BOOK isbn='1'><price>10</price><title>T</title></BOOK>").unwrap();
+        assert!(s.validate(&swapped).is_empty());
+        let dtd = Dtd::parse(BOOK_DTD).unwrap();
+        assert!(!dtd.validate(&swapped).is_empty());
+    }
+
+    #[test]
+    fn multiplicity_violations() {
+        let s = book_schema();
+        let missing_price = Document::parse_str("<BOOK isbn='1'><title>T</title></BOOK>").unwrap();
+        assert!(s
+            .validate(&missing_price)
+            .iter()
+            .any(|m| m.contains("<price>") && m.contains("multiplicity 1")));
+        let two_titles = Document::parse_str(
+            "<BOOK isbn='1'><title>A</title><title>B</title><price>1</price></BOOK>",
+        )
+        .unwrap();
+        assert!(s
+            .validate(&two_titles)
+            .iter()
+            .any(|m| m.contains("<title>")));
+    }
+
+    #[test]
+    fn attribute_checks() {
+        let s = book_schema();
+        let no_isbn = Document::parse_str("<BOOK><price>1</price></BOOK>").unwrap();
+        assert!(s.validate(&no_isbn).iter().any(|m| m.contains("isbn")));
+        let stray = Document::parse_str("<BOOK isbn='1' zzz='2'><price>1</price></BOOK>").unwrap();
+        assert!(s.validate(&stray).iter().any(|m| m.contains("'zzz'")));
+    }
+
+    #[test]
+    fn undeclared_elements_and_text() {
+        let s = book_schema();
+        let stray =
+            Document::parse_str("<BOOK isbn='1'><price>1</price><blurb>x</blurb></BOOK>").unwrap();
+        let v = s.validate(&stray);
+        assert!(v.iter().any(|m| m.contains("<blurb>")), "{v:?}");
+        let text_in_book =
+            Document::parse_str("<BOOK isbn='1'>hello<price>1</price></BOOK>").unwrap();
+        assert!(s.validate(&text_in_book).iter().any(|m| m.contains("text")));
+    }
+
+    #[test]
+    fn xor_groups() {
+        let mut s = GlSchema::new();
+        s.declare(
+            "payment",
+            ElemDecl {
+                children: vec![
+                    ChildDecl {
+                        child: "cash".into(),
+                        mult: Mult::One,
+                    },
+                    ChildDecl {
+                        child: "card".into(),
+                        mult: Mult::One,
+                    },
+                ],
+                xor_groups: vec![vec![0, 1]],
+                ..Default::default()
+            },
+        );
+        s.declare(
+            "cash",
+            ElemDecl {
+                text: true,
+                ..Default::default()
+            },
+        );
+        s.declare(
+            "card",
+            ElemDecl {
+                text: true,
+                ..Default::default()
+            },
+        );
+        let ok = Document::parse_str("<payment><cash>10</cash></payment>").unwrap();
+        assert!(s.validate(&ok).is_empty());
+        let both = Document::parse_str("<payment><cash>1</cash><card>2</card></payment>").unwrap();
+        assert!(s.validate(&both).iter().any(|m| m.contains("xor")));
+        let none = Document::parse_str("<payment/>").unwrap();
+        assert!(s.validate(&none).iter().any(|m| m.contains("none")));
+    }
+
+    #[test]
+    fn choice_dtd_becomes_xor() {
+        let dtd = Dtd::parse("<!ELEMENT r (a|b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>").unwrap();
+        let s = GlSchema::from_dtd(&dtd);
+        let r = s.element("r").unwrap();
+        assert_eq!(r.xor_groups, vec![vec![0, 1]]);
+        let ok = Document::parse_str("<r><a/></r>").unwrap();
+        assert!(s.validate(&ok).is_empty());
+        let bad = Document::parse_str("<r><a/><b/></r>").unwrap();
+        assert!(!s.validate(&bad).is_empty());
+    }
+
+    #[test]
+    fn schema_to_dtd_roundtrip_validates() {
+        let s = book_schema();
+        let dtd = s.to_dtd();
+        // The regenerated DTD accepts canonical-order documents.
+        let doc = Document::parse_str(
+            "<BOOK isbn='1'><title>T</title><price>1</price>\
+             <AUTHOR><first-name>A</first-name><last-name>B</last-name></AUTHOR></BOOK>",
+        )
+        .unwrap();
+        assert_eq!(dtd.validate(&doc), Vec::<String>::new());
+        // And its serialisation parses.
+        assert!(Dtd::parse(&dtd.to_dtd_string()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_in_sequence_weaken_to_star() {
+        let dtd = Dtd::parse("<!ELEMENT r (a,b,a)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>").unwrap();
+        let s = GlSchema::from_dtd(&dtd);
+        let r = s.element("r").unwrap();
+        assert_eq!(
+            r.children.iter().find(|c| c.child == "a").unwrap().mult,
+            Mult::Star
+        );
+    }
+
+    #[test]
+    fn mixed_and_any() {
+        let dtd = Dtd::parse("<!ELEMENT p (#PCDATA|em)*><!ELEMENT em (#PCDATA)><!ELEMENT w ANY>")
+            .unwrap();
+        let s = GlSchema::from_dtd(&dtd);
+        assert!(s.element("p").unwrap().text);
+        let w = s.element("w").unwrap();
+        assert!(w.text);
+        assert_eq!(w.children.len(), 3); // p, em, w all allowed
+    }
+}

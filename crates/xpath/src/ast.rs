@@ -1,0 +1,280 @@
+//! Abstract syntax for the XPath subset.
+
+use std::fmt;
+
+/// Navigation axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    Child,
+    Descendant,
+    DescendantOrSelf,
+    Parent,
+    Ancestor,
+    AncestorOrSelf,
+    SelfAxis,
+    Attribute,
+    FollowingSibling,
+    PrecedingSibling,
+    Following,
+    Preceding,
+}
+
+impl Axis {
+    /// Parse an axis name as written before `::`.
+    pub fn from_name(name: &str) -> Option<Axis> {
+        Some(match name {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "self" => Axis::SelfAxis,
+            "attribute" => Axis::Attribute,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "following" => Axis::Following,
+            "preceding" => Axis::Preceding,
+            _ => return None,
+        })
+    }
+
+    /// Whether the axis enumerates in reverse document order (affects the
+    /// meaning of positional predicates).
+    pub fn is_reverse(self) -> bool {
+        matches!(
+            self,
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::PrecedingSibling
+                | Axis::Preceding
+        )
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Attribute => "attribute",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+        }
+    }
+}
+
+/// Node tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeTest {
+    /// Named element (or named attribute on the attribute axis).
+    Name(String),
+    /// `*`.
+    Any,
+    /// `text()`.
+    Text,
+    /// `comment()`.
+    Comment,
+    /// `node()`.
+    Node,
+}
+
+/// One location step: `axis::test[pred]*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub predicates: Vec<Expr>,
+}
+
+impl Step {
+    pub fn new(axis: Axis, test: NodeTest) -> Self {
+        Step {
+            axis,
+            test,
+            predicates: Vec::new(),
+        }
+    }
+}
+
+/// A location path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationPath {
+    /// `true` when the path starts at the document node (`/…`).
+    pub absolute: bool,
+    pub steps: Vec<Step>,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Or => "or",
+            BinOp::And => "and",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+        }
+    }
+}
+
+/// XPath expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Path(LocationPath),
+    Literal(String),
+    Number(f64),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    Union(Box<Expr>, Box<Expr>),
+    Call(String, Vec<Expr>),
+    /// A parenthesised expression used as the start of a path with trailing
+    /// steps: `(…)/step…` — kept explicit so evaluation can re-apply steps.
+    FilterPath(Box<Expr>, Vec<Step>),
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Literal(s) => write!(f, "\"{s}\""),
+            Expr::Number(n) => write!(f, "{}", gql_ssdm::value::format_number(*n)),
+            Expr::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Neg(e) => write!(f, "-{e}"),
+            Expr::Union(a, b) => write!(f, "{a} | {b}"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::FilterPath(e, steps) => {
+                write!(f, "({e})")?;
+                for s in steps {
+                    write!(f, "/{}", StepDisplay(s))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+struct StepDisplay<'a>(&'a Step);
+
+impl fmt::Display for StepDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        write!(f, "{}::", s.axis.name())?;
+        match &s.test {
+            NodeTest::Name(n) => write!(f, "{n}")?,
+            NodeTest::Any => write!(f, "*")?,
+            NodeTest::Text => write!(f, "text()")?,
+            NodeTest::Comment => write!(f, "comment()")?,
+            NodeTest::Node => write!(f, "node()")?,
+        }
+        for p in &s.predicates {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LocationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            write!(f, "/")?;
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                write!(f, "/")?;
+            }
+            write!(f, "{}", StepDisplay(s))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_names_roundtrip() {
+        for axis in [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::AncestorOrSelf,
+            Axis::SelfAxis,
+            Axis::Attribute,
+            Axis::FollowingSibling,
+            Axis::PrecedingSibling,
+            Axis::Following,
+            Axis::Preceding,
+        ] {
+            assert_eq!(Axis::from_name(axis.name()), Some(axis));
+        }
+        assert_eq!(Axis::from_name("sideways"), None);
+    }
+
+    #[test]
+    fn reverse_axes() {
+        assert!(Axis::Ancestor.is_reverse());
+        assert!(Axis::Preceding.is_reverse());
+        assert!(!Axis::Child.is_reverse());
+        assert!(!Axis::Following.is_reverse());
+    }
+
+    #[test]
+    fn display_path() {
+        let p = LocationPath {
+            absolute: true,
+            steps: vec![
+                Step::new(Axis::Child, NodeTest::Name("bib".into())),
+                Step {
+                    axis: Axis::Descendant,
+                    test: NodeTest::Name("book".into()),
+                    predicates: vec![Expr::Number(1.0)],
+                },
+            ],
+        };
+        assert_eq!(p.to_string(), "/child::bib/descendant::book[1]");
+    }
+}

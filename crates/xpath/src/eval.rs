@@ -1,0 +1,837 @@
+//! Evaluation of XPath expressions over a [`Document`].
+
+use std::cmp::Ordering;
+
+use gql_ssdm::document::NodeKind;
+use gql_ssdm::value::parse_number;
+use gql_ssdm::{Document, NodeId};
+
+use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
+use crate::functions;
+use crate::{Result, XPathError};
+
+/// A context item: an ordinary node or an attribute pseudo-node (the store
+/// keeps attributes in side tables, not as arena nodes, so the attribute
+/// axis materialises them as `(owner, index)` pairs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Item {
+    Node(NodeId),
+    Attr { owner: NodeId, index: usize },
+}
+
+impl Item {
+    /// The underlying element node, for items that are nodes.
+    pub fn as_node(self) -> Option<NodeId> {
+        match self {
+            Item::Node(n) => Some(n),
+            Item::Attr { .. } => None,
+        }
+    }
+}
+
+/// An XPath 1.0 value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XValue {
+    /// Node-set in document order without duplicates.
+    Nodes(Vec<Item>),
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl XValue {
+    pub fn boolean(&self) -> bool {
+        match self {
+            XValue::Nodes(ns) => !ns.is_empty(),
+            XValue::Num(n) => *n != 0.0 && !n.is_nan(),
+            XValue::Str(s) => !s.is_empty(),
+            XValue::Bool(b) => *b,
+        }
+    }
+
+    pub fn number(&self, doc: &Document) -> f64 {
+        match self {
+            XValue::Nodes(_) => parse_number(&self.string(doc)).unwrap_or(f64::NAN),
+            XValue::Num(n) => *n,
+            XValue::Str(s) => parse_number(s).unwrap_or(f64::NAN),
+            XValue::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    pub fn string(&self, doc: &Document) -> String {
+        match self {
+            XValue::Nodes(ns) => ns.first().map_or(String::new(), |&i| string_value(doc, i)),
+            XValue::Num(n) => gql_ssdm::value::format_number(*n),
+            XValue::Str(s) => s.clone(),
+            XValue::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// The node-set, or an evaluation error for non-node values.
+    pub fn into_nodes(self) -> Result<Vec<Item>> {
+        match self {
+            XValue::Nodes(ns) => Ok(ns),
+            other => Err(XPathError::Eval {
+                msg: format!("expected a node-set, got {other:?}"),
+            }),
+        }
+    }
+}
+
+/// XPath string-value of an item.
+pub fn string_value(doc: &Document, item: Item) -> String {
+    match item {
+        Item::Node(n) => match doc.kind(n) {
+            NodeKind::Comment | NodeKind::Pi => doc.text(n).unwrap_or("").to_string(),
+            _ => doc.text_content(n),
+        },
+        Item::Attr { owner, index } => doc
+            .attrs(owner)
+            .nth(index)
+            .map(|(_, v)| v.to_string())
+            .unwrap_or_default(),
+    }
+}
+
+/// Document-order key: attributes sort right after their owning element and
+/// before its children (approximated by a fractional second component).
+fn order_key(doc: &Document, item: Item) -> (u32, u32) {
+    match item {
+        Item::Node(n) => (doc.order_key(n), 0),
+        Item::Attr { owner, index } => (doc.order_key(owner), index as u32 + 1),
+    }
+}
+
+fn sort_dedup(doc: &Document, items: &mut Vec<Item>) {
+    items.sort_by_key(|&i| order_key(doc, i));
+    items.dedup();
+}
+
+/// Per-evaluation caches (built lazily, shared across the expression tree).
+#[derive(Default)]
+pub(crate) struct EvalCaches {
+    /// The ID/IDREF graph used by `id()`; extracting it scans the whole
+    /// document, so it is built at most once per evaluation.
+    refs: std::cell::OnceCell<gql_ssdm::idref::RefGraph>,
+}
+
+impl EvalCaches {
+    pub(crate) fn refs(&self, doc: &Document) -> &gql_ssdm::idref::RefGraph {
+        self.refs.get_or_init(|| gql_ssdm::idref::RefGraph::extract(doc))
+    }
+}
+
+/// Evaluation context.
+#[derive(Clone, Copy)]
+struct Ctx<'d> {
+    doc: &'d Document,
+    item: Item,
+    position: usize,
+    size: usize,
+    caches: &'d EvalCaches,
+}
+
+/// Evaluate an expression with the document node as the context item.
+pub fn evaluate(doc: &Document, expr: &Expr) -> Result<XValue> {
+    let caches = EvalCaches::default();
+    let ctx = Ctx {
+        doc,
+        item: Item::Node(doc.root()),
+        position: 1,
+        size: 1,
+        caches: &caches,
+    };
+    eval_expr(expr, ctx)
+}
+
+/// Parse and evaluate, returning element/text nodes (attribute hits are
+/// dropped). The common entry point for tests and benches.
+pub fn select(doc: &Document, xpath: &str) -> Result<Vec<NodeId>> {
+    let expr = crate::parser::parse(xpath)?;
+    let value = evaluate(doc, &expr)?;
+    Ok(value
+        .into_nodes()?
+        .into_iter()
+        .filter_map(Item::as_node)
+        .collect())
+}
+
+fn eval_expr(expr: &Expr, ctx: Ctx<'_>) -> Result<XValue> {
+    match expr {
+        Expr::Literal(s) => Ok(XValue::Str(s.clone())),
+        Expr::Number(n) => Ok(XValue::Num(*n)),
+        Expr::Neg(e) => {
+            let v = eval_expr(e, ctx)?;
+            Ok(XValue::Num(-v.number(ctx.doc)))
+        }
+        Expr::Path(p) => eval_path(p, ctx).map(XValue::Nodes),
+        Expr::FilterPath(primary, steps) => {
+            let start = eval_expr(primary, ctx)?.into_nodes()?;
+            let mut current = start;
+            for step in steps {
+                current = apply_step(step, &current, ctx.doc, ctx.caches)?;
+            }
+            Ok(XValue::Nodes(current))
+        }
+        Expr::Union(a, b) => {
+            let mut left = eval_expr(a, ctx)?.into_nodes()?;
+            let right = eval_expr(b, ctx)?.into_nodes()?;
+            left.extend(right);
+            sort_dedup(ctx.doc, &mut left);
+            Ok(XValue::Nodes(left))
+        }
+        Expr::Binary(op, a, b) => eval_binary(*op, a, b, ctx),
+        Expr::Call(name, args) => {
+            let mut values = Vec::with_capacity(args.len());
+            for a in args {
+                values.push(eval_expr(a, ctx)?);
+            }
+            functions::call(
+                name, values, ctx.doc, ctx.item, ctx.position, ctx.size, ctx.caches,
+            )
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, a: &Expr, b: &Expr, ctx: Ctx<'_>) -> Result<XValue> {
+    match op {
+        BinOp::Or => {
+            // Short-circuit.
+            if eval_expr(a, ctx)?.boolean() {
+                return Ok(XValue::Bool(true));
+            }
+            Ok(XValue::Bool(eval_expr(b, ctx)?.boolean()))
+        }
+        BinOp::And => {
+            if !eval_expr(a, ctx)?.boolean() {
+                return Ok(XValue::Bool(false));
+            }
+            Ok(XValue::Bool(eval_expr(b, ctx)?.boolean()))
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            let x = eval_expr(a, ctx)?.number(ctx.doc);
+            let y = eval_expr(b, ctx)?.number(ctx.doc);
+            let r = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Mod => x % y,
+                _ => unreachable!("arithmetic op"),
+            };
+            Ok(XValue::Num(r))
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let va = eval_expr(a, ctx)?;
+            let vb = eval_expr(b, ctx)?;
+            Ok(XValue::Bool(compare(op, &va, &vb, ctx.doc)))
+        }
+    }
+}
+
+/// XPath 1.0 comparison semantics, including existential node-set rules.
+fn compare(op: BinOp, a: &XValue, b: &XValue, doc: &Document) -> bool {
+    use XValue::*;
+    match (a, b) {
+        (Nodes(na), Nodes(nb)) => {
+            // Exists x∈A, y∈B with string(x) op string(y) (numbers for
+            // relational operators).
+            na.iter().any(|&x| {
+                let sx = string_value(doc, x);
+                nb.iter().any(|&y| {
+                    let sy = string_value(doc, y);
+                    match op {
+                        BinOp::Eq => sx == sy,
+                        BinOp::Ne => sx != sy,
+                        _ => cmp_numbers(op, num(&sx), num(&sy)),
+                    }
+                })
+            })
+        }
+        // XPath 1.0 §3.4: when one operand is a boolean, compare
+        // boolean(node-set) with it — not the per-node existential rule.
+        (Nodes(ns), Bool(v)) | (Bool(v), Nodes(ns)) if matches!(op, BinOp::Eq | BinOp::Ne) => {
+            let eq = ns.is_empty() != *v;
+            if op == BinOp::Eq {
+                eq
+            } else {
+                !eq
+            }
+        }
+        (Nodes(ns), other) | (other, Nodes(ns)) => {
+            let flipped = matches!(b, Nodes(_)) && !matches!(a, Nodes(_));
+            ns.iter().any(|&x| {
+                let sx = string_value(doc, x);
+                let node_val = XValue::Str(sx);
+                let (lhs, rhs) = if flipped {
+                    (other.clone(), node_val)
+                } else {
+                    (node_val, other.clone())
+                };
+                compare_atomic(op, &lhs, &rhs, doc)
+            })
+        }
+        _ => compare_atomic(op, a, b, doc),
+    }
+}
+
+fn compare_atomic(op: BinOp, a: &XValue, b: &XValue, doc: &Document) -> bool {
+    use XValue::*;
+    match op {
+        BinOp::Eq | BinOp::Ne => {
+            let eq = match (a, b) {
+                (Bool(_), _) | (_, Bool(_)) => a.boolean() == b.boolean(),
+                (Num(_), _) | (_, Num(_)) => a.number(doc) == b.number(doc),
+                _ => a.string(doc) == b.string(doc),
+            };
+            if op == BinOp::Eq {
+                eq
+            } else {
+                !eq
+            }
+        }
+        _ => cmp_numbers(op, a.number(doc), b.number(doc)),
+    }
+}
+
+fn num(s: &str) -> f64 {
+    parse_number(s).unwrap_or(f64::NAN)
+}
+
+fn cmp_numbers(op: BinOp, x: f64, y: f64) -> bool {
+    match x.partial_cmp(&y) {
+        None => false, // NaN involved
+        Some(ord) => match op {
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::Le => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::Ge => ord != Ordering::Less,
+            BinOp::Eq => ord == Ordering::Equal,
+            BinOp::Ne => ord != Ordering::Equal,
+            _ => unreachable!("comparison op"),
+        },
+    }
+}
+
+fn eval_path(p: &LocationPath, ctx: Ctx<'_>) -> Result<Vec<Item>> {
+    let start = if p.absolute {
+        vec![Item::Node(ctx.doc.root())]
+    } else {
+        vec![ctx.item]
+    };
+    let mut current = start;
+    for step in &p.steps {
+        current = apply_step(step, &current, ctx.doc, ctx.caches)?;
+    }
+    Ok(current)
+}
+
+/// Apply one step to a node-set: per context node, enumerate the axis in
+/// axis order, filter by node test, run predicates positionally, then merge
+/// and normalise to document order.
+fn apply_step(
+    step: &Step,
+    input: &[Item],
+    doc: &Document,
+    caches: &EvalCaches,
+) -> Result<Vec<Item>> {
+    let mut out: Vec<Item> = Vec::new();
+    for &ctx_item in input {
+        let mut candidates = axis_items(doc, ctx_item, step.axis);
+        candidates.retain(|&c| test_matches(doc, c, step.axis, &step.test));
+        for pred in &step.predicates {
+            let size = candidates.len();
+            let mut kept = Vec::with_capacity(size);
+            for (i, &c) in candidates.iter().enumerate() {
+                let pctx = Ctx {
+                    doc,
+                    item: c,
+                    position: i + 1,
+                    size,
+                    caches,
+                };
+                let v = eval_expr(pred, pctx)?;
+                let keep = match v {
+                    // Numeric predicate = positional test.
+                    XValue::Num(n) => (i + 1) as f64 == n,
+                    other => other.boolean(),
+                };
+                if keep {
+                    kept.push(c);
+                }
+            }
+            candidates = kept;
+        }
+        out.extend(candidates);
+    }
+    sort_dedup(doc, &mut out);
+    Ok(out)
+}
+
+/// Enumerate an axis in axis order (reverse axes run backwards so that
+/// positional predicates see XPath semantics).
+fn axis_items(doc: &Document, item: Item, axis: Axis) -> Vec<Item> {
+    let node = match item {
+        Item::Node(n) => n,
+        Item::Attr { owner, .. } => {
+            // Attribute items navigate relative to their owning element.
+            return match axis {
+                Axis::SelfAxis => vec![item],
+                // The parent of an attribute is its element, exactly.
+                Axis::Parent => vec![Item::Node(owner)],
+                Axis::Ancestor | Axis::AncestorOrSelf => {
+                    let mut v = if axis == Axis::AncestorOrSelf {
+                        vec![item]
+                    } else {
+                        vec![]
+                    };
+                    v.extend(ancestors(doc, owner, true).into_iter().map(Item::Node));
+                    v
+                }
+                // XPath 1.0: the following axis of an attribute holds every
+                // node after it in document order except descendants of the
+                // attribute (it has none) — i.e. the owner's descendants
+                // plus the owner's following axis.
+                Axis::Following => {
+                    let mut v: Vec<Item> = doc.descendants(owner).map(Item::Node).collect();
+                    v.extend(axis_items(doc, Item::Node(owner), Axis::Following));
+                    v
+                }
+                // And preceding(attr) = preceding(owner): everything before
+                // the owner, minus ancestors.
+                Axis::Preceding => axis_items(doc, Item::Node(owner), Axis::Preceding),
+                _ => Vec::new(),
+            };
+        }
+    };
+    match axis {
+        Axis::Child => doc.children(node).iter().map(|&c| Item::Node(c)).collect(),
+        Axis::Descendant => doc.descendants(node).map(Item::Node).collect(),
+        Axis::DescendantOrSelf => doc.descendants_or_self(node).map(Item::Node).collect(),
+        Axis::Parent => doc.parent(node).map(Item::Node).into_iter().collect(),
+        Axis::Ancestor => ancestors(doc, node, false)
+            .into_iter()
+            .map(Item::Node)
+            .collect(),
+        Axis::AncestorOrSelf => {
+            let mut v = vec![Item::Node(node)];
+            v.extend(ancestors(doc, node, false).into_iter().map(Item::Node));
+            v
+        }
+        Axis::SelfAxis => vec![item],
+        Axis::Attribute => (0..doc.attr_count(node))
+            .map(|index| Item::Attr { owner: node, index })
+            .collect(),
+        Axis::FollowingSibling => {
+            let mut v = Vec::new();
+            let mut cur = doc.next_sibling(node);
+            while let Some(s) = cur {
+                v.push(Item::Node(s));
+                cur = doc.next_sibling(s);
+            }
+            v
+        }
+        Axis::PrecedingSibling => {
+            let mut v = Vec::new();
+            let mut cur = doc.prev_sibling(node);
+            while let Some(s) = cur {
+                v.push(Item::Node(s));
+                cur = doc.prev_sibling(s);
+            }
+            v
+        }
+        Axis::Following => {
+            // Nodes after `node` in document order, excluding descendants:
+            // the subtrees of every following sibling of every
+            // ancestor-or-self — O(|result|), no whole-document scan.
+            let mut v = Vec::new();
+            let mut cur = node;
+            loop {
+                let mut sib = doc.next_sibling(cur);
+                while let Some(s) = sib {
+                    v.extend(doc.descendants_or_self(s).map(Item::Node));
+                    sib = doc.next_sibling(s);
+                }
+                match doc.parent(cur) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            v.sort_by_key(|&i| order_key(doc, i));
+            v
+        }
+        Axis::Preceding => {
+            // Symmetric: subtrees of preceding siblings along the ancestor
+            // chain, reverse document order.
+            let mut v = Vec::new();
+            let mut cur = node;
+            loop {
+                let mut sib = doc.prev_sibling(cur);
+                while let Some(s) = sib {
+                    v.extend(doc.descendants_or_self(s).map(Item::Node));
+                    sib = doc.prev_sibling(s);
+                }
+                match doc.parent(cur) {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+            v.sort_by_key(|&i| std::cmp::Reverse(order_key(doc, i)));
+            v
+        }
+    }
+}
+
+fn ancestors(doc: &Document, node: NodeId, include_start_parent_chain: bool) -> Vec<NodeId> {
+    let mut v = Vec::new();
+    let mut cur = if include_start_parent_chain {
+        Some(node)
+    } else {
+        doc.parent(node)
+    };
+    if include_start_parent_chain {
+        // For attribute items: the owning element is the parent.
+        cur = Some(node);
+    }
+    while let Some(n) = cur {
+        v.push(n);
+        cur = doc.parent(n);
+    }
+    v
+}
+
+fn test_matches(doc: &Document, item: Item, axis: Axis, test: &NodeTest) -> bool {
+    match item {
+        Item::Attr { owner, index } => match test {
+            NodeTest::Any | NodeTest::Node => true,
+            NodeTest::Name(n) => doc
+                .attrs(owner)
+                .nth(index)
+                .is_some_and(|(name, _)| name == n),
+            _ => false,
+        },
+        Item::Node(node) => {
+            let kind = doc.kind(node);
+            match test {
+                NodeTest::Node => true,
+                NodeTest::Text => kind == NodeKind::Text,
+                NodeTest::Comment => kind == NodeKind::Comment,
+                NodeTest::Any => {
+                    // `*` is the principal node type of the axis: elements
+                    // everywhere except the attribute axis (handled above).
+                    debug_assert!(axis != Axis::Attribute);
+                    kind == NodeKind::Element
+                }
+                NodeTest::Name(n) => {
+                    kind == NodeKind::Element && doc.name(node) == Some(n.as_str())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            "<bib>\
+               <book year='1994' isbn='a'>\
+                 <title>TCP/IP Illustrated</title>\
+                 <author><last>Stevens</last></author>\
+                 <price>65.95</price>\
+               </book>\
+               <book year='2000' isbn='b'>\
+                 <title>Data on the Web</title>\
+                 <author><last>Abiteboul</last></author>\
+                 <author><last>Buneman</last></author>\
+                 <author><last>Suciu</last></author>\
+                 <price>39.95</price>\
+               </book>\
+               <article year='2000'><title>XML-GL</title></article>\
+             </bib>",
+        )
+        .unwrap()
+    }
+
+    fn texts(d: &Document, xpath: &str) -> Vec<String> {
+        select(d, xpath)
+            .unwrap()
+            .iter()
+            .map(|&n| d.text_content(n))
+            .collect()
+    }
+
+    #[test]
+    fn child_paths() {
+        let d = doc();
+        assert_eq!(select(&d, "/bib/book").unwrap().len(), 2);
+        assert_eq!(
+            texts(&d, "/bib/book/title"),
+            vec!["TCP/IP Illustrated", "Data on the Web"]
+        );
+    }
+
+    #[test]
+    fn descendant_paths() {
+        let d = doc();
+        assert_eq!(select(&d, "//last").unwrap().len(), 4);
+        assert_eq!(select(&d, "//title").unwrap().len(), 3);
+        assert_eq!(select(&d, "/bib//author//last").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn attribute_predicates() {
+        let d = doc();
+        assert_eq!(
+            texts(&d, "//book[@year='2000']/title"),
+            vec!["Data on the Web"]
+        );
+        assert_eq!(select(&d, "//book[@year > 1995]").unwrap().len(), 1);
+        assert_eq!(select(&d, "//*[@year='2000']").unwrap().len(), 2);
+        assert_eq!(select(&d, "//book[@missing]").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn attribute_values_compare_as_strings_and_numbers() {
+        let d = doc();
+        // string= on the attribute axis value
+        assert_eq!(select(&d, "//book[@isbn='a']").unwrap().len(), 1);
+        // numeric comparison coerces
+        assert_eq!(select(&d, "//book[@year >= 1994]").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let d = doc();
+        assert_eq!(texts(&d, "/bib/book[1]/title"), vec!["TCP/IP Illustrated"]);
+        assert_eq!(texts(&d, "/bib/book[2]/author[3]/last"), vec!["Suciu"]);
+        assert_eq!(
+            texts(&d, "/bib/book[position()=2]/title"),
+            vec!["Data on the Web"]
+        );
+        assert_eq!(
+            texts(&d, "/bib/book[last()]/title"),
+            vec!["Data on the Web"]
+        );
+    }
+
+    #[test]
+    fn reverse_axis_positions() {
+        let d = doc();
+        // The first ancestor of a <last> is <author>, the second <book>.
+        assert_eq!(select(&d, "//last/ancestor::*[2]").unwrap().len(), 2); // two books
+        let names: Vec<_> = select(&d, "(//last)/ancestor::*[1]")
+            .unwrap()
+            .iter()
+            .map(|&n| d.name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["author", "author", "author", "author"]);
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let d = doc();
+        assert_eq!(
+            texts(&d, "//title/following-sibling::price"),
+            vec!["65.95", "39.95"]
+        );
+        assert_eq!(
+            select(&d, "//price/preceding-sibling::author")
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            texts(&d, "//article/preceding-sibling::book[1]/title"),
+            vec!["Data on the Web"]
+        );
+    }
+
+    #[test]
+    fn following_and_preceding() {
+        let d = doc();
+        // article follows everything in both books.
+        assert_eq!(
+            select(&d, "/bib/book[1]/following::article").unwrap().len(),
+            1
+        );
+        assert_eq!(select(&d, "//article/preceding::book").unwrap().len(), 2);
+        // descendants are not in following
+        assert_eq!(
+            select(&d, "/bib/book[1]/following::title").unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let d = doc();
+        assert_eq!(texts(&d, "//last[. = 'Suciu']"), vec!["Suciu"]);
+        assert_eq!(select(&d, "//last/../..").unwrap().len(), 2); // books
+    }
+
+    #[test]
+    fn text_nodes() {
+        let d = doc();
+        let t = select(&d, "//title/text()").unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(d.kind(t[0]), NodeKind::Text);
+    }
+
+    #[test]
+    fn functions_in_predicates() {
+        let d = doc();
+        assert_eq!(
+            texts(&d, "//book[contains(title, 'Web')]/title"),
+            vec!["Data on the Web"]
+        );
+        assert_eq!(
+            texts(&d, "//book[starts-with(title, 'TCP')]/price"),
+            vec!["65.95"]
+        );
+        assert_eq!(
+            texts(&d, "//book[count(author) > 1]/title"),
+            vec!["Data on the Web"]
+        );
+        assert_eq!(
+            texts(&d, "//book[not(@year='1994')]/title"),
+            vec!["Data on the Web"]
+        );
+    }
+
+    #[test]
+    fn top_level_values() {
+        let d = doc();
+        let expr = crate::parse("count(//book)").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap(), XValue::Num(2.0));
+        let expr = crate::parse("sum(//price)").unwrap();
+        match evaluate(&d, &expr).unwrap() {
+            XValue::Num(n) => assert!((n - 105.90).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        let expr = crate::parse("string(//book[1]/title)").unwrap();
+        assert_eq!(
+            evaluate(&d, &expr).unwrap(),
+            XValue::Str("TCP/IP Illustrated".into())
+        );
+    }
+
+    #[test]
+    fn existential_nodeset_comparison() {
+        let d = doc();
+        // Some author is Suciu — node-set = string is existential.
+        let expr = crate::parse("//last = 'Suciu'").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap(), XValue::Bool(true));
+        // And simultaneously some author is not Suciu.
+        let expr = crate::parse("//last != 'Suciu'").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap(), XValue::Bool(true));
+        // Node-set vs node-set.
+        let expr = crate::parse("//book[1]/price < //book[2]/@year").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap(), XValue::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let d = doc();
+        let expr = crate::parse("//book[1]/price * 2 + 1").unwrap();
+        match evaluate(&d, &expr).unwrap() {
+            XValue::Num(n) => assert!((n - 132.9).abs() < 1e-9),
+            other => panic!("unexpected {other:?}"),
+        }
+        let expr = crate::parse("7 mod 3").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap(), XValue::Num(1.0));
+        let expr = crate::parse("1 div 0").unwrap();
+        match evaluate(&d, &expr).unwrap() {
+            XValue::Num(n) => assert!(n.is_infinite()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_is_document_ordered() {
+        let d = doc();
+        let hits = select(&d, "//price | //title").unwrap();
+        let names: Vec<_> = hits
+            .iter()
+            .map(|&n| d.name(n).unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["title", "price", "title", "price", "title"]);
+    }
+
+    #[test]
+    fn result_sets_have_no_duplicates() {
+        let d = doc();
+        // Both steps can reach the same titles.
+        let hits = select(&d, "//book/title | /bib/book/title").unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn boolean_operators_short_circuit() {
+        let d = doc();
+        let expr = crate::parse("true() or boolean(1 div 0)").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap(), XValue::Bool(true));
+        let expr = crate::parse("//book[@year='1994' and count(author)=1]").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap().into_nodes().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bare_root_selects_document_node() {
+        let d = doc();
+        let expr = crate::parse("/").unwrap();
+        let ns = evaluate(&d, &expr).unwrap().into_nodes().unwrap();
+        assert_eq!(ns, vec![Item::Node(d.root())]);
+    }
+
+    #[test]
+    fn attribute_selection_returns_values_via_string() {
+        let d = doc();
+        let expr = crate::parse("string(//book[2]/@isbn)").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap(), XValue::Str("b".into()));
+        // Attribute node-sets have proper sizes.
+        let expr = crate::parse("count(//book/@year)").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap(), XValue::Num(2.0));
+    }
+
+    #[test]
+    fn attribute_axes_follow_the_spec() {
+        let d = doc();
+        // parent:: of an attribute is exactly the owning element.
+        let expr = crate::parse("count(//book[1]/@year/..)").unwrap();
+        assert_eq!(evaluate(&d, &expr).unwrap(), XValue::Num(1.0));
+        // following:: from an attribute sees the owner's subtree and beyond.
+        let hits = select(&d, "//book[1]/@year/following::article").unwrap();
+        assert_eq!(hits.len(), 1);
+        let titles = select(&d, "//book[1]/@year/following::title").unwrap();
+        assert_eq!(titles.len(), 3); // own book's title + book2's + article's
+                                     // preceding:: from book2's attribute sees book1's content.
+        let prices = select(&d, "//book[2]/@year/preceding::price").unwrap();
+        assert_eq!(prices.len(), 1);
+    }
+
+    #[test]
+    fn nodeset_boolean_comparison_follows_the_spec() {
+        let d = doc();
+        let t = |src: &str| evaluate(&d, &crate::parse(src).unwrap()).unwrap();
+        // Empty node-set = false() is TRUE under §3.4.
+        assert_eq!(t("//nonexistent = false()"), XValue::Bool(true));
+        assert_eq!(t("//nonexistent != true()"), XValue::Bool(true));
+        assert_eq!(t("//book = true()"), XValue::Bool(true));
+        assert_eq!(t("//book != true()"), XValue::Bool(false));
+    }
+
+    #[test]
+    fn deep_documents_evaluate() {
+        let d = gql_ssdm::generator::deep_chain(300, 1);
+        assert_eq!(select(&d, "//target").unwrap().len(), 1);
+        assert_eq!(select(&d, "//level[@n='299']/target").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! The XPath 1.0 core function library.
+
+use gql_ssdm::Document;
+
+use crate::eval::{string_value, Item, XValue};
+use crate::{Result, XPathError};
+
+fn arity_err(name: &str, expected: &str, got: usize) -> XPathError {
+    XPathError::Eval {
+        msg: format!("{name}() expects {expected} argument(s), got {got}"),
+    }
+}
+
+/// Dispatch a function call. `item`/`position`/`size` carry the evaluation
+/// context for the context-dependent functions; `caches` holds the
+/// per-evaluation lazily built structures (the `id()` reference graph).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn call(
+    name: &str,
+    args: Vec<XValue>,
+    doc: &Document,
+    item: Item,
+    position: usize,
+    size: usize,
+    caches: &crate::eval::EvalCaches,
+) -> Result<XValue> {
+    let argc = args.len();
+    let mut args = args.into_iter();
+    let mut next = || args.next().expect("arity checked before access");
+    match (name, argc) {
+        // Context.
+        ("position", 0) => Ok(XValue::Num(position as f64)),
+        ("last", 0) => Ok(XValue::Num(size as f64)),
+        // Booleans.
+        ("true", 0) => Ok(XValue::Bool(true)),
+        ("false", 0) => Ok(XValue::Bool(false)),
+        ("not", 1) => Ok(XValue::Bool(!next().boolean())),
+        ("boolean", 1) => Ok(XValue::Bool(next().boolean())),
+        // Node-sets.
+        ("count", 1) => Ok(XValue::Num(next().into_nodes()?.len() as f64)),
+        ("id", 1) => {
+            // XPath id(): elements whose `id` attribute matches any token of
+            // the argument (string value, or each node's value for sets).
+            let arg = next();
+            let mut tokens: Vec<String> = Vec::new();
+            match &arg {
+                XValue::Nodes(ns) => {
+                    for &n in ns {
+                        tokens.extend(string_value(doc, n).split_whitespace().map(str::to_string));
+                    }
+                }
+                other => tokens.extend(other.string(doc).split_whitespace().map(str::to_string)),
+            }
+            let refs = caches.refs(doc);
+            let mut hits: Vec<Item> = tokens
+                .iter()
+                .filter_map(|t| refs.node_by_id(t))
+                .map(Item::Node)
+                .collect();
+            // Document order, no duplicates.
+            hits.sort_by_key(|i| match i {
+                Item::Node(n) => doc.order_key(*n),
+                Item::Attr { owner, .. } => doc.order_key(*owner),
+            });
+            hits.dedup();
+            Ok(XValue::Nodes(hits))
+        }
+        ("sum", 1) => {
+            let ns = next().into_nodes()?;
+            let total: f64 = ns
+                .iter()
+                .map(|&n| gql_ssdm::value::parse_number(&string_value(doc, n)).unwrap_or(f64::NAN))
+                .sum();
+            Ok(XValue::Num(total))
+        }
+        ("name", 0) | ("local-name", 0) => Ok(XValue::Str(item_name(doc, item))),
+        ("name", 1) | ("local-name", 1) => {
+            let ns = next().into_nodes()?;
+            Ok(XValue::Str(
+                ns.first().map_or(String::new(), |&n| item_name(doc, n)),
+            ))
+        }
+        // Strings.
+        ("string", 0) => Ok(XValue::Str(string_value(doc, item))),
+        ("string", 1) => Ok(XValue::Str(next().string(doc))),
+        ("concat", n) if n >= 2 => {
+            let mut out = String::new();
+            for a in args {
+                out.push_str(&a.string(doc));
+            }
+            Ok(XValue::Str(out))
+        }
+        ("contains", 2) => {
+            let hay = next().string(doc);
+            let needle = next().string(doc);
+            Ok(XValue::Bool(hay.contains(&needle)))
+        }
+        ("starts-with", 2) => {
+            let hay = next().string(doc);
+            let prefix = next().string(doc);
+            Ok(XValue::Bool(hay.starts_with(&prefix)))
+        }
+        ("string-length", 0) => Ok(XValue::Num(string_value(doc, item).chars().count() as f64)),
+        ("string-length", 1) => Ok(XValue::Num(next().string(doc).chars().count() as f64)),
+        ("normalize-space", 0 | 1) => {
+            let s = if argc == 1 {
+                next().string(doc)
+            } else {
+                string_value(doc, item)
+            };
+            Ok(XValue::Str(
+                s.split_whitespace().collect::<Vec<_>>().join(" "),
+            ))
+        }
+        ("substring-before", 2) => {
+            let hay = next().string(doc);
+            let sep = next().string(doc);
+            Ok(XValue::Str(
+                hay.split_once(&sep)
+                    .map_or(String::new(), |(a, _)| a.to_string()),
+            ))
+        }
+        ("substring-after", 2) => {
+            let hay = next().string(doc);
+            let sep = next().string(doc);
+            Ok(XValue::Str(
+                hay.split_once(&sep)
+                    .map_or(String::new(), |(_, b)| b.to_string()),
+            ))
+        }
+        ("substring", 2 | 3) => {
+            let s = next().string(doc);
+            let start = next().number(doc);
+            let len = if argc == 3 {
+                next().number(doc)
+            } else {
+                f64::INFINITY
+            };
+            Ok(XValue::Str(xpath_substring(&s, start, len)))
+        }
+        ("translate", 3) => {
+            let s = next().string(doc);
+            let from: Vec<char> = next().string(doc).chars().collect();
+            let to: Vec<char> = next().string(doc).chars().collect();
+            let out: String = s
+                .chars()
+                .filter_map(|c| match from.iter().position(|&f| f == c) {
+                    None => Some(c),
+                    Some(i) => to.get(i).copied(),
+                })
+                .collect();
+            Ok(XValue::Str(out))
+        }
+        // Numbers.
+        ("number", 0) => Ok(XValue::Num(
+            gql_ssdm::value::parse_number(&string_value(doc, item)).unwrap_or(f64::NAN),
+        )),
+        ("number", 1) => Ok(XValue::Num(next().number(doc))),
+        ("floor", 1) => Ok(XValue::Num(next().number(doc).floor())),
+        ("ceiling", 1) => Ok(XValue::Num(next().number(doc).ceil())),
+        ("round", 1) => {
+            let n = next().number(doc);
+            // XPath rounds half towards +infinity.
+            Ok(XValue::Num((n + 0.5).floor()))
+        }
+        // Arity errors for known names; unknown otherwise.
+        (
+            "position" | "last" | "true" | "false" | "not" | "boolean" | "count" | "sum" | "id"
+            | "string" | "concat" | "contains" | "starts-with" | "string-length"
+            | "normalize-space" | "substring-before" | "substring-after" | "substring"
+            | "translate" | "number" | "floor" | "ceiling" | "round" | "name" | "local-name",
+            got,
+        ) => Err(arity_err(name, "a different number of", got)),
+        _ => Err(XPathError::Eval {
+            msg: format!("unknown function '{name}'"),
+        }),
+    }
+}
+
+fn item_name(doc: &Document, item: Item) -> String {
+    match item {
+        Item::Node(n) => doc.name(n).unwrap_or("").to_string(),
+        Item::Attr { owner, index } => doc
+            .attrs(owner)
+            .nth(index)
+            .map(|(n, _)| n.to_string())
+            .unwrap_or_default(),
+    }
+}
+
+/// XPath `substring` semantics: 1-based, rounded endpoints, NaN-safe.
+fn xpath_substring(s: &str, start: f64, len: f64) -> String {
+    if start.is_nan() || len.is_nan() {
+        return String::new();
+    }
+    let round = |x: f64| (x + 0.5).floor();
+    let begin = round(start);
+    let end = if len.is_infinite() {
+        f64::INFINITY
+    } else {
+        begin + round(len)
+    };
+    s.chars()
+        .enumerate()
+        .filter(|(i, _)| {
+            let pos = (*i + 1) as f64;
+            pos >= begin && pos < end
+        })
+        .map(|(_, c)| c)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::parser::parse;
+
+    fn eval_str(xpath: &str) -> XValue {
+        let d = Document::parse_str("<r a='v'>hello world</r>").unwrap();
+        evaluate(&d, &parse(xpath).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(eval_str("concat('a','b','c')"), XValue::Str("abc".into()));
+        assert_eq!(eval_str("contains('banana','ana')"), XValue::Bool(true));
+        assert_eq!(eval_str("starts-with('banana','ban')"), XValue::Bool(true));
+        assert_eq!(eval_str("string-length('héllo')"), XValue::Num(5.0));
+        assert_eq!(
+            eval_str("normalize-space('  a   b ')"),
+            XValue::Str("a b".into())
+        );
+        assert_eq!(
+            eval_str("substring-before('12:34',':')"),
+            XValue::Str("12".into())
+        );
+        assert_eq!(
+            eval_str("substring-after('12:34',':')"),
+            XValue::Str("34".into())
+        );
+        assert_eq!(
+            eval_str("translate('bar','abc','ABC')"),
+            XValue::Str("BAr".into())
+        );
+        assert_eq!(
+            eval_str("translate('--x--','-','')"),
+            XValue::Str("x".into())
+        );
+    }
+
+    #[test]
+    fn substring_spec_cases() {
+        // Cases straight from the XPath 1.0 recommendation.
+        assert_eq!(
+            eval_str("substring('12345', 2, 3)"),
+            XValue::Str("234".into())
+        );
+        assert_eq!(
+            eval_str("substring('12345', 1.5, 2.6)"),
+            XValue::Str("234".into())
+        );
+        assert_eq!(
+            eval_str("substring('12345', 0, 3)"),
+            XValue::Str("12".into())
+        );
+        assert_eq!(
+            eval_str("substring('12345', 2)"),
+            XValue::Str("2345".into())
+        );
+    }
+
+    #[test]
+    fn number_functions() {
+        assert_eq!(eval_str("floor(2.7)"), XValue::Num(2.0));
+        assert_eq!(eval_str("ceiling(2.1)"), XValue::Num(3.0));
+        assert_eq!(eval_str("round(2.5)"), XValue::Num(3.0));
+        assert_eq!(eval_str("round(-2.5)"), XValue::Num(-2.0)); // half toward +inf
+        assert_eq!(eval_str("number('12')"), XValue::Num(12.0));
+    }
+
+    #[test]
+    fn boolean_functions() {
+        assert_eq!(eval_str("not(false())"), XValue::Bool(true));
+        assert_eq!(eval_str("boolean('x')"), XValue::Bool(true));
+        assert_eq!(eval_str("boolean('')"), XValue::Bool(false));
+    }
+
+    #[test]
+    fn name_functions() {
+        let d = Document::parse_str("<r><child attr='1'/></r>").unwrap();
+        let v = evaluate(&d, &parse("name(//child)").unwrap()).unwrap();
+        assert_eq!(v, XValue::Str("child".into()));
+        let v = evaluate(&d, &parse("name(//child/@attr)").unwrap()).unwrap();
+        assert_eq!(v, XValue::Str("attr".into()));
+        let v = evaluate(&d, &parse("name(//nothing)").unwrap()).unwrap();
+        assert_eq!(v, XValue::Str("".into()));
+    }
+
+    #[test]
+    fn id_function() {
+        let d = Document::parse_str(
+            "<db><n id='a'><v>1</v></n><n id='b'><v>2</v></n><ptr refs='b a'/></db>",
+        )
+        .unwrap();
+        let v = evaluate(&d, &parse("count(id('a b'))").unwrap()).unwrap();
+        assert_eq!(v, XValue::Num(2.0));
+        // Document order regardless of token order.
+        let v = evaluate(&d, &parse("string(id('b a')/v)").unwrap()).unwrap();
+        assert_eq!(v, XValue::Str("1".into()));
+        // Node-set argument: tokens from each node's string value.
+        let v = evaluate(&d, &parse("count(id(//ptr/@refs))").unwrap()).unwrap();
+        assert_eq!(v, XValue::Num(2.0));
+        // Unknown ids vanish.
+        let v = evaluate(&d, &parse("count(id('zz'))").unwrap()).unwrap();
+        assert_eq!(v, XValue::Num(0.0));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            eval_err("frobnicate()"),
+            XPathError::Eval { msg } if msg.contains("unknown function")
+        ));
+        assert!(matches!(
+            eval_err("count()"),
+            XPathError::Eval { msg } if msg.contains("argument")
+        ));
+        assert!(matches!(
+            eval_err("count('notanodeset')"),
+            XPathError::Eval { msg } if msg.contains("node-set")
+        ));
+    }
+
+    fn eval_err(xpath: &str) -> XPathError {
+        let d = Document::parse_str("<r/>").unwrap();
+        evaluate(&d, &parse(xpath).unwrap()).unwrap_err()
+    }
+}

@@ -1,0 +1,552 @@
+//! Recursive-descent parser for the XPath subset, following the XPath 1.0
+//! grammar and its disambiguation rules (`*` and the operator names
+//! `and`/`or`/`div`/`mod` are operators only where an operand just ended).
+
+use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
+use crate::lexer::{tokenize, Token};
+use crate::{Result, XPathError};
+
+/// Parse an XPath expression.
+pub fn parse(input: &str) -> Result<Expr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.parse_or()?;
+    if !p.eof() {
+        return Err(p.err(format!("trailing input starting at {}", p.peek_describe())));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> XPathError {
+        XPathError::Parse { msg: msg.into() }
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn peek_describe(&self) -> String {
+        self.peek().map_or("end of input".into(), Token::describe)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                t.describe(),
+                self.peek_describe()
+            )))
+        }
+    }
+
+    /// Is the upcoming name token the given operator keyword?
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Name(n)) if n == kw)
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.at_keyword("or") {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_equality()?;
+        while self.at_keyword("and") {
+            self.bump();
+            let rhs = self.parse_equality()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_equality(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_relational()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Eq) => BinOp::Eq,
+                Some(Token::Ne) => BinOp::Ne,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_relational()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_relational(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_additive()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Lt) => BinOp::Lt,
+                Some(Token::Le) => BinOp::Le,
+                Some(Token::Gt) => BinOp::Gt,
+                Some(Token::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_additive()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Name(n)) if n == "div" => BinOp::Div,
+                Some(Token::Name(n)) if n == "mod" => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+        } else {
+            self.parse_union()
+        }
+    }
+
+    fn parse_union(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_path_expr()?;
+        while self.eat(&Token::Pipe) {
+            let rhs = self.parse_path_expr()?;
+            lhs = Expr::Union(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// Does the next token begin a *filter* (non-location-path) primary?
+    fn at_filter_primary(&self) -> bool {
+        match self.peek() {
+            Some(Token::LParen | Token::Literal(_) | Token::Number(_)) => true,
+            Some(Token::Name(n)) => {
+                // A name followed by '(' is a function call — unless it is a
+                // node-type test, which belongs to a location path.
+                self.peek2() == Some(&Token::LParen)
+                    && !matches!(n.as_str(), "text" | "comment" | "node")
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_path_expr(&mut self) -> Result<Expr> {
+        if self.at_filter_primary() {
+            let primary = self.parse_primary()?;
+            // Optional trailing steps: primary '/' relative-path.
+            let mut steps = Vec::new();
+            loop {
+                if self.eat(&Token::DoubleSlash) {
+                    steps.push(Step::new(Axis::DescendantOrSelf, NodeTest::Node));
+                    steps.push(self.parse_step()?);
+                } else if self.eat(&Token::Slash) {
+                    steps.push(self.parse_step()?);
+                } else {
+                    break;
+                }
+            }
+            if steps.is_empty() {
+                Ok(primary)
+            } else {
+                Ok(Expr::FilterPath(Box::new(primary), steps))
+            }
+        } else {
+            Ok(Expr::Path(self.parse_location_path()?))
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Some(Token::LParen) => {
+                let e = self.parse_or()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Literal(s)) => Ok(Expr::Literal(s)),
+            Some(Token::Number(n)) => Ok(Expr::Number(n)),
+            Some(Token::Name(name)) => {
+                self.expect(&Token::LParen)?;
+                let mut args = Vec::new();
+                if !self.eat(&Token::RParen) {
+                    loop {
+                        args.push(self.parse_or()?);
+                        if self.eat(&Token::RParen) {
+                            break;
+                        }
+                        self.expect(&Token::Comma)?;
+                    }
+                }
+                Ok(Expr::Call(name, args))
+            }
+            other => Err(self.err(format!(
+                "expected a primary expression, found {}",
+                other.map_or("end of input".into(), |t| t.describe())
+            ))),
+        }
+    }
+
+    fn parse_location_path(&mut self) -> Result<LocationPath> {
+        let mut steps = Vec::new();
+        let absolute = if self.eat(&Token::DoubleSlash) {
+            steps.push(Step::new(Axis::DescendantOrSelf, NodeTest::Node));
+            true
+        } else if self.eat(&Token::Slash) {
+            // Bare "/" selects the document node.
+            if self.at_step_start() {
+                // fallthrough to parse steps
+            } else {
+                return Ok(LocationPath {
+                    absolute: true,
+                    steps,
+                });
+            }
+            true
+        } else {
+            false
+        };
+        steps.push(self.parse_step()?);
+        loop {
+            if self.eat(&Token::DoubleSlash) {
+                steps.push(Step::new(Axis::DescendantOrSelf, NodeTest::Node));
+                steps.push(self.parse_step()?);
+            } else if self.eat(&Token::Slash) {
+                steps.push(self.parse_step()?);
+            } else {
+                break;
+            }
+        }
+        Ok(LocationPath { absolute, steps })
+    }
+
+    fn at_step_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Name(_) | Token::Star | Token::At | Token::Dot | Token::DotDot)
+        )
+    }
+
+    fn parse_step(&mut self) -> Result<Step> {
+        if self.eat(&Token::Dot) {
+            return Ok(Step::new(Axis::SelfAxis, NodeTest::Node));
+        }
+        if self.eat(&Token::DotDot) {
+            return Ok(Step::new(Axis::Parent, NodeTest::Node));
+        }
+        let axis = if self.eat(&Token::At) {
+            Axis::Attribute
+        } else if let (Some(Token::Name(n)), Some(Token::ColonColon)) = (self.peek(), self.peek2())
+        {
+            let axis = Axis::from_name(n).ok_or_else(|| self.err(format!("unknown axis '{n}'")))?;
+            self.bump();
+            self.bump();
+            axis
+        } else {
+            Axis::Child
+        };
+        let test = match self.bump() {
+            Some(Token::Star) => NodeTest::Any,
+            Some(Token::Name(n)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    match n.as_str() {
+                        "text" => {
+                            self.bump();
+                            self.expect(&Token::RParen)?;
+                            NodeTest::Text
+                        }
+                        "comment" => {
+                            self.bump();
+                            self.expect(&Token::RParen)?;
+                            NodeTest::Comment
+                        }
+                        "node" => {
+                            self.bump();
+                            self.expect(&Token::RParen)?;
+                            NodeTest::Node
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("function call '{other}(…)' cannot be a step"))
+                            )
+                        }
+                    }
+                } else {
+                    NodeTest::Name(n)
+                }
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected a node test, found {}",
+                    other.map_or("end of input".into(), |t| t.describe())
+                )))
+            }
+        };
+        let mut step = Step::new(axis, test);
+        while self.eat(&Token::LBracket) {
+            let pred = self.parse_or()?;
+            self.expect(&Token::RBracket)?;
+            step.predicates.push(pred);
+        }
+        Ok(step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(e: &Expr) -> &LocationPath {
+        match e {
+            Expr::Path(p) => p,
+            other => panic!("expected path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_absolute_path() {
+        let e = parse("/bib/book").unwrap();
+        let p = path(&e);
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].test, NodeTest::Name("bib".into()));
+        assert_eq!(p.steps[1].axis, Axis::Child);
+    }
+
+    #[test]
+    fn double_slash_expands() {
+        let e = parse("//a").unwrap();
+        let p = path(&e);
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 2);
+        assert_eq!(p.steps[0].axis, Axis::DescendantOrSelf);
+        assert_eq!(p.steps[0].test, NodeTest::Node);
+    }
+
+    #[test]
+    fn bare_root() {
+        let e = parse("/").unwrap();
+        assert!(path(&e).steps.is_empty());
+    }
+
+    #[test]
+    fn abbreviations() {
+        let e = parse("../@id").unwrap();
+        let p = path(&e);
+        assert_eq!(p.steps[0].axis, Axis::Parent);
+        assert_eq!(p.steps[1].axis, Axis::Attribute);
+        assert_eq!(p.steps[1].test, NodeTest::Name("id".into()));
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let e = parse("ancestor-or-self::book/following-sibling::*").unwrap();
+        let p = path(&e);
+        assert_eq!(p.steps[0].axis, Axis::AncestorOrSelf);
+        assert_eq!(p.steps[1].axis, Axis::FollowingSibling);
+        assert_eq!(p.steps[1].test, NodeTest::Any);
+    }
+
+    #[test]
+    fn predicates_parse() {
+        let e = parse("book[@year=1999][2]").unwrap();
+        let p = path(&e);
+        assert_eq!(p.steps[0].predicates.len(), 2);
+        assert_eq!(p.steps[0].predicates[1], Expr::Number(2.0));
+    }
+
+    #[test]
+    fn the_papers_example() {
+        // The hyperlink query from the survey chapter.
+        let e = parse(
+            "/html/body//a[contains(./text(),\"Xcerpt\") and starts-with(./@href,\"http:\")]",
+        )
+        .unwrap();
+        let p = path(&e);
+        assert_eq!(p.steps.len(), 4);
+        assert_eq!(p.steps[3].predicates.len(), 1);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse("1 + 2 * 3 = 7 and true()").unwrap();
+        match e {
+            Expr::Binary(BinOp::And, lhs, _) => match *lhs {
+                Expr::Binary(BinOp::Eq, add, _) => match *add {
+                    Expr::Binary(BinOp::Add, _, mul) => {
+                        assert!(matches!(*mul, Expr::Binary(BinOp::Mul, _, _)));
+                    }
+                    other => panic!("expected Add, got {other:?}"),
+                },
+                other => panic!("expected Eq, got {other:?}"),
+            },
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_disambiguation() {
+        // First * is a wildcard, second is multiplication, third a wildcard.
+        let e = parse("count(*) * count(*)").unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn div_and_mod_vs_element_names() {
+        // Leading "div" is an element name; infix div is the operator.
+        let e = parse("div div div").unwrap();
+        match e {
+            Expr::Binary(BinOp::Div, a, b) => {
+                assert!(matches!(*a, Expr::Path(_)));
+                assert!(matches!(*b, Expr::Path(_)));
+            }
+            other => panic!("expected Div, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_of_paths() {
+        let e = parse("book | article | //note").unwrap();
+        assert!(matches!(e, Expr::Union(_, _)));
+    }
+
+    #[test]
+    fn function_calls() {
+        let e = parse("concat('a', 'b', 'c')").unwrap();
+        match e {
+            Expr::Call(name, args) => {
+                assert_eq!(name, "concat");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+        assert!(matches!(parse("true()").unwrap(), Expr::Call(_, _)));
+    }
+
+    #[test]
+    fn filter_path() {
+        let e = parse("(//book)[1]/title").unwrap_err();
+        // Predicates after parenthesised expressions are not in the subset;
+        // ensure a clean error rather than a wrong parse.
+        assert!(matches!(e, XPathError::Parse { .. }));
+        let ok = parse("(//book)/title").unwrap();
+        assert!(matches!(ok, Expr::FilterPath(_, _)));
+    }
+
+    #[test]
+    fn negation() {
+        let e = parse("--1").unwrap();
+        assert!(matches!(e, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for bad in [
+            "",
+            "/bib/",
+            "book[",
+            "book]",
+            "foo(",
+            "child::",
+            "unknown::x",
+            "1 1",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn node_type_tests() {
+        let e = parse("text() | comment() | node()").unwrap();
+        fn first_test(e: &Expr) -> &NodeTest {
+            &path(e).steps[0].test
+        }
+        match &e {
+            Expr::Union(ab, c) => {
+                assert_eq!(first_test(c), &NodeTest::Node);
+                match &**ab {
+                    Expr::Union(a, b) => {
+                        assert_eq!(first_test(a), &NodeTest::Text);
+                        assert_eq!(first_test(b), &NodeTest::Comment);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        for src in [
+            "/bib/book[@year=1999]/title",
+            "//a[contains(text(),'x')]",
+            "count(//book) > 3 or false()",
+            "book | article",
+        ] {
+            let e1 = parse(src).unwrap();
+            let printed = e1.to_string();
+            let e2 = parse(&printed).unwrap_or_else(|err| panic!("reparse {printed}: {err}"));
+            assert_eq!(e1, e2, "{src} → {printed}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Streaming vs DOM evaluation — the memory/latency trade-off the survey
+//! chapter highlights for navigational queries over very large documents.
+//!
+//! Runs the same `//restaurant/menu/price` selection three ways on a large
+//! generated city guide: the streaming path evaluator (constant memory, no
+//! document built), the DOM XPath engine, and an XML-GL rule — then shows
+//! the update extension rewriting the document.
+//!
+//! ```sh
+//! cargo run --release --example streaming
+//! ```
+
+use std::time::Instant;
+
+use gql::ssdm::generator::{cityguide, CityConfig};
+use gql::ssdm::stream::StreamPath;
+use gql::ssdm::Document;
+
+fn main() {
+    let doc = cityguide(CityConfig {
+        restaurants: 5000,
+        hotels: 500,
+        seed: 23,
+    });
+    let xml = doc.to_xml_string();
+    println!(
+        "dataset: {} live nodes, {:.1} KiB of XML\n",
+        doc.live_node_count(),
+        xml.len() as f64 / 1024.0
+    );
+
+    // 1. Streaming: straight over the text, no tree.
+    let path = StreamPath::parse("/cityguide/restaurant/menu/price").expect("path parses");
+    let t = Instant::now();
+    let streamed = path.run(&xml).expect("stream runs");
+    let t_stream = t.elapsed();
+    println!(
+        "streaming : {:>6} matches in {:>10?}   (no document in memory)",
+        streamed.count, t_stream
+    );
+
+    // 2. DOM XPath: parse + evaluate.
+    let t = Instant::now();
+    let parsed = Document::parse_str(&xml).expect("parses");
+    let t_parse = t.elapsed();
+    let t = Instant::now();
+    let hits = gql::xpath::select(&parsed, "/cityguide/restaurant/menu/price").expect("xpath runs");
+    let t_dom = t.elapsed();
+    println!(
+        "DOM XPath : {:>6} matches in {:>10?}   (+ {:?} to parse the tree)",
+        hits.len(),
+        t_dom,
+        t_parse
+    );
+    assert_eq!(streamed.count, hits.len());
+
+    // 3. The XML-GL rule, for the pattern-language comparison.
+    let program = gql::xmlgl::dsl::parse(
+        r#"rule { extract { restaurant { menu { price { text as $p } } } }
+                  construct { prices { all $p } } }"#,
+    )
+    .expect("rule parses");
+    let t = Instant::now();
+    let out = gql::xmlgl::run(&program, &parsed).expect("rule runs");
+    let t_gl = t.elapsed();
+    let root = out.root_element().expect("prices root");
+    println!(
+        "XML-GL    : {:>6} matches in {:>10?}",
+        out.children(root).len(),
+        t_gl
+    );
+
+    // Cross-check the captured texts against the DOM values.
+    let dom_texts: Vec<String> = hits.iter().map(|&n| parsed.text_content(n)).collect();
+    assert_eq!(streamed.texts, dom_texts);
+    println!("\nall three agree on the matched price values ✓");
+
+    // 4. And the update extension: tag every cheap menu.
+    use gql::xmlgl::builder::{RuleBuilder, C, Q};
+    use gql::xmlgl::update::{UpdateOp, UpdateRule, UpdateValue};
+    let rule = RuleBuilder::new()
+        .extract(Q::elem("menu").var("m").child(
+            Q::elem("price").child(Q::text().var("p").pred(gql::xmlgl::ast::CmpOp::Lt, "15")),
+        ))
+        .construct(C::elem("unused"))
+        .build()
+        .expect("rule builds");
+    let m = rule.extract.by_var("m").expect("var m");
+    let update = UpdateRule {
+        rule,
+        ops: vec![UpdateOp::SetAttr {
+            target: m,
+            attr: "bargain".into(),
+            value: UpdateValue::Literal("yes".into()),
+        }],
+    };
+    let t = Instant::now();
+    let (updated, stats) = update.apply(&parsed).expect("update applies");
+    println!(
+        "\nupdate    : tagged {} cheap menus in {:?} (source untouched: {})",
+        stats.attrs_set,
+        t.elapsed(),
+        !parsed.to_xml_string().contains("bargain")
+    );
+    assert!(updated.to_xml_string().contains("bargain=\"yes\"") || stats.attrs_set == 0);
+}

@@ -1,0 +1,295 @@
+//! Cross-crate integration tests: the full pipeline from XML text through
+//! each query language to serialized results, plus cross-engine agreement
+//! and translator coherence on the canonical suite.
+
+use gql::core::{translate, Engine, QueryKind};
+use gql::ssdm::Document;
+use gql::wglog::instance::Instance;
+
+const CITY: &str = "\
+<guide>\
+  <restaurant id='r1' category='italian'>\
+    <name>Roma</name>\
+    <address><city>Milano</city></address>\
+    <menu><name>lunch</name><price>18</price><dish>risotto</dish></menu>\
+    <menu><name>dinner</name><price>42</price><dish>osso buco</dish></menu>\
+  </restaurant>\
+  <restaurant id='r2' category='french'>\
+    <name>Paris</name>\
+    <address><city>Milano</city></address>\
+  </restaurant>\
+  <restaurant id='r3' category='italian'>\
+    <name>Napoli</name>\
+    <address><city>Roma</city></address>\
+    <menu><name>pizza</name><price>12</price><dish>margherita</dish></menu>\
+  </restaurant>\
+</guide>";
+
+#[test]
+fn xmlgl_full_pipeline() {
+    let doc = Document::parse_str(CITY).unwrap();
+    let program = gql::xmlgl::dsl::parse(
+        r#"rule {
+             extract {
+               restaurant as $r {
+                 @category as $c = "italian"
+                 menu as $m { price { text as $p < "20" } }
+                 name { text as $n }
+               }
+             }
+             construct {
+               cheap-italian {
+                 hit { @name = $n copy $m }
+               }
+             }
+           }"#,
+    )
+    .unwrap();
+    let out = gql::xmlgl::run(&program, &doc).unwrap();
+    let xml = out.to_xml_string();
+    // Roma's lunch menu (18) and Napoli's pizza menu (12) qualify.
+    assert!(xml.contains("<hit name=\"Roma\">"), "{xml}");
+    assert!(xml.contains("<hit name=\"Napoli\">"), "{xml}");
+    assert!(!xml.contains("Paris"), "{xml}");
+    assert!(xml.contains("<dish>margherita</dish>"), "{xml}");
+    // The output re-parses.
+    Document::parse_str(&format!("<w>{xml}</w>")).unwrap();
+}
+
+#[test]
+fn wglog_full_pipeline() {
+    let doc = Document::parse_str(CITY).unwrap();
+    let db = Instance::from_document(&doc);
+    let program = gql::wglog::dsl::parse(
+        r#"rule {
+             query {
+               $r: restaurant where category = "italian"
+               $m: menu where price < "20"
+               $r -menu-> $m
+             }
+             construct {
+               $s: finding per $r set name = $r.name
+               $s -evidence-> $m
+             }
+           }
+           goal finding"#,
+    )
+    .unwrap();
+    let out = gql::wglog::eval::run(&program, &db).unwrap();
+    let findings = out.objects_of_type("finding");
+    assert_eq!(findings.len(), 2);
+    let names: std::collections::HashSet<&str> = findings
+        .iter()
+        .filter_map(|&f| out.object(f).attr("name"))
+        .collect();
+    assert_eq!(names, ["Roma", "Napoli"].into_iter().collect());
+    // Serialization path.
+    let answer = out.to_document("answer", "finding", 2);
+    assert!(answer.to_xml_string().contains("<name>Roma</name>"));
+}
+
+#[test]
+fn xpath_full_pipeline() {
+    let doc = Document::parse_str(CITY).unwrap();
+    let hits = gql::xpath::select(
+        &doc,
+        "//restaurant[@category='italian'][menu/price < 20]/name",
+    )
+    .unwrap();
+    let names: Vec<String> = hits.iter().map(|&n| doc.text_content(n)).collect();
+    assert_eq!(names, vec!["Roma", "Napoli"]);
+}
+
+#[test]
+fn three_engines_agree_on_the_shared_fragment() {
+    let doc = Document::parse_str(CITY).unwrap();
+    let engine = Engine::new();
+    let xmlgl = gql::xmlgl::dsl::parse(
+        r#"rule { extract { restaurant as $r { menu as $m } }
+                  construct { answer { all $r } } }"#,
+    )
+    .unwrap();
+    let wglog = gql::wglog::dsl::parse(
+        "rule { query { $r: restaurant $m: menu $r -menu-> $m }
+                construct { $l: answer $l -member-> $r } } goal answer",
+    )
+    .unwrap();
+    let counts: Vec<usize> = [
+        QueryKind::XmlGl(xmlgl),
+        QueryKind::WgLog(wglog),
+        QueryKind::XPath("//restaurant[menu]".into()),
+    ]
+    .iter()
+    .map(|q| {
+        let outcome = engine.run(q, &doc).unwrap();
+        match q {
+            QueryKind::XPath(_) => outcome.result_count,
+            QueryKind::XmlGl(_) => {
+                let root = outcome.output.root_element().unwrap();
+                outcome.output.child_elements(root).count()
+            }
+            QueryKind::WgLog(_) => {
+                let root = outcome.output.root_element().unwrap();
+                let list = outcome.output.child_elements(root).next().unwrap();
+                outcome.output.child_elements(list).count()
+            }
+        }
+    })
+    .collect();
+    assert_eq!(counts, vec![2, 2, 2]);
+}
+
+#[test]
+fn translation_preserves_selection_semantics() {
+    let doc = Document::parse_str(CITY).unwrap();
+    // XML-GL → WG-Log on the shared fragment.
+    let xmlgl = gql::xmlgl::dsl::parse(
+        r#"rule { extract { restaurant as $r {
+                    @category = "italian"
+                    menu as $m { price { text < "20" } } } }
+                  construct { answer { all $r } } }"#,
+    )
+    .unwrap();
+    let direct = gql::xmlgl::run(&xmlgl, &doc).unwrap();
+    let direct_count = direct
+        .child_elements(direct.root_element().unwrap())
+        .count();
+
+    let ported = translate::xmlgl_to_wglog(&xmlgl.rules[0]).unwrap();
+    let db = Instance::from_document(&doc);
+    let out = gql::wglog::eval::run(&ported, &db).unwrap();
+    let goal = ported.goal.as_deref().unwrap();
+    let list = out.objects_of_type(goal)[0];
+    assert_eq!(out.out_edges(list).count(), direct_count);
+    assert_eq!(direct_count, 2);
+
+    // WG-Log → XML-GL the other way. (The translator renders attribute
+    // constraints as atomic-child patterns — the loader's dominant fold —
+    // so the constrained attribute must be element-backed in the document.)
+    let wglog = gql::wglog::dsl::parse(
+        r#"rule { query { $r: restaurant where name = "Paris" }
+                  construct { $l: answer $l -member-> $r } } goal answer"#,
+    )
+    .unwrap();
+    let back = translate::wglog_to_xmlgl(&wglog).unwrap();
+    let out = gql::xmlgl::run(&back, &doc).unwrap();
+    let root = out.root_element().unwrap();
+    assert_eq!(out.child_elements(root).count(), 1); // Paris
+}
+
+#[test]
+fn algebra_agrees_with_engine_on_the_city_fragment() {
+    let doc = Document::parse_str(CITY).unwrap();
+    let program = gql::xmlgl::dsl::parse(
+        r#"rule { extract { restaurant as $r {
+                    menu as $m { price { text as $p < "20" } } } }
+                  construct { answer { all $r } } }"#,
+    )
+    .unwrap();
+    let embeddings = gql::xmlgl::eval::match_rule(&program.rules[0], &doc).len();
+    let plan = translate::extract_to_plan(&program.rules[0]).unwrap();
+    for p in [
+        plan.clone(),
+        gql::core::algebra::optimize(&plan),
+        gql::core::algebra::deoptimize(&plan),
+    ] {
+        assert_eq!(
+            gql::core::algebra::execute(&p, &doc).unwrap().len(),
+            embeddings
+        );
+    }
+}
+
+#[test]
+fn dsl_printers_roundtrip_the_suite() {
+    // Every canonical suite formulation survives print → parse.
+    for q in gql_bench_suite_queries() {
+        if let Some(src) = q.0 {
+            let p1 = gql::xmlgl::dsl::parse(src).unwrap();
+            let p2 = gql::xmlgl::dsl::parse(&gql::xmlgl::dsl::print(&p1)).unwrap();
+            assert_eq!(p1, p2);
+        }
+        if let Some(src) = q.1 {
+            let p1 = gql::wglog::dsl::parse(src).unwrap();
+            let p2 = gql::wglog::dsl::parse(&gql::wglog::dsl::print(&p1)).unwrap();
+            assert_eq!(p1, p2);
+        }
+    }
+}
+
+/// The suite sources, duplicated minimally here (the bench crate is not a
+/// dependency of the facade); selection + join + recursion cover the DSL
+/// surface.
+fn gql_bench_suite_queries() -> Vec<(Option<&'static str>, Option<&'static str>)> {
+    vec![
+        (
+            Some("rule { extract { restaurant as $r } construct { answer { all $r } } }"),
+            Some("rule { query { $r: restaurant } construct { $l: answer $l -member-> $r } } goal answer"),
+        ),
+        (
+            Some(
+                r#"rule { extract { menu as $m { price { text < "15" or > "50" } } }
+                          construct { answer { all $m } } }"#,
+            ),
+            None,
+        ),
+        (
+            Some(
+                r#"rule { extract {
+                        product as $p { vendor { text as $v1 } }
+                        vendor as $w { name { text as $v2 } }
+                        join $v1 == $v2 }
+                      construct { answer { all $p group by $v1 as seller } } }"#,
+            ),
+            Some(
+                r#"rule { query { $a: doc  $b: doc  $a -(link|index)+-> $b  not $a -cites-> $b }
+                          construct { $r: related per $a set src = $a.id  $r -to-> $b } } goal related"#,
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn diagrams_render_for_both_languages() {
+    let xmlgl = gql::xmlgl::dsl::parse(
+        r#"rule { extract { a as $a { @k as $v > "1" not b deep c as $c } }
+                  construct { out { all $c count($a) } } }"#,
+    )
+    .unwrap();
+    let svg = gql::xmlgl::diagram::rule_to_svg(&xmlgl.rules[0]);
+    assert!(svg.starts_with("<svg") && svg.contains("count"));
+
+    let wglog = gql::wglog::dsl::parse(
+        r#"rule { query { $a: doc  $b: doc  $a -(link)+-> $b }
+                  construct { $r: reachable  $r -member-> $b } } goal reachable"#,
+    )
+    .unwrap();
+    let svg = gql::wglog::diagram::rule_to_svg(&wglog.rules[0]);
+    assert!(svg.starts_with("<svg") && svg.contains("(link)+"));
+}
+
+#[test]
+fn schema_checks_span_both_formalisms() {
+    let doc = Document::parse_str(CITY).unwrap();
+    // WG-Log: extracted schema validates the instance and its own queries.
+    let db = Instance::from_document(&doc);
+    let schema = gql::wglog::schema::WgSchema::extract(&db);
+    assert!(schema.validate(&db).is_empty());
+    // XML-GL: a DTD for the guide, converted to a graphical schema, accepts
+    // the document with shuffled content.
+    let dtd = gql::ssdm::dtd::Dtd::parse(
+        "<!ELEMENT guide (restaurant*)>\
+         <!ELEMENT restaurant (name,address,menu*)>\
+         <!ATTLIST restaurant id CDATA #REQUIRED category CDATA #IMPLIED>\
+         <!ELEMENT name (#PCDATA)>\
+         <!ELEMENT address (city)>\
+         <!ELEMENT city (#PCDATA)>\
+         <!ELEMENT menu (name,price,dish*)>\
+         <!ELEMENT price (#PCDATA)>\
+         <!ELEMENT dish (#PCDATA)>",
+    )
+    .unwrap();
+    assert!(dtd.validate(&doc).is_empty());
+    let gl = gql::xmlgl::schema::GlSchema::from_dtd(&dtd);
+    assert!(gl.validate(&doc).is_empty());
+}

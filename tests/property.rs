@@ -1,0 +1,435 @@
+//! Property-based tests over the core data structures and engine
+//! invariants, driven by proptest-generated documents and patterns.
+
+use proptest::prelude::*;
+
+use gql::ssdm::document::NodeKind;
+use gql::ssdm::{Document, NodeId};
+
+// ----------------------------------------------------------------------
+// Generators
+// ----------------------------------------------------------------------
+
+/// A small tag vocabulary keeps patterns selective enough to be interesting.
+fn tag() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["a", "b", "c", "d", "item"]).prop_map(str::to_string)
+}
+
+fn text_value() -> impl Strategy<Value = String> {
+    // Printable, XML-safe-after-escaping text including tricky characters.
+    "[ -~]{0,12}"
+}
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Element {
+        tag: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
+    Text(String),
+}
+
+fn tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        text_value().prop_map(Tree::Text),
+        (tag(), prop::collection::vec((tag(), text_value()), 0..2)).prop_map(|(tag, attrs)| {
+            let mut seen = std::collections::HashSet::new();
+            let attrs = attrs
+                .into_iter()
+                .filter(|(k, _)| seen.insert(k.clone()))
+                .collect();
+            Tree::Element {
+                tag,
+                attrs,
+                children: Vec::new(),
+            }
+        }),
+    ];
+    leaf.prop_recursive(4, 48, 5, |inner| {
+        (
+            tag(),
+            prop::collection::vec((tag(), text_value()), 0..2),
+            prop::collection::vec(inner, 0..5),
+        )
+            .prop_map(|(tag, attrs, children)| {
+                let mut seen = std::collections::HashSet::new();
+                let attrs = attrs
+                    .into_iter()
+                    .filter(|(k, _)| seen.insert(k.clone()))
+                    .collect();
+                Tree::Element {
+                    tag,
+                    attrs,
+                    children,
+                }
+            })
+    })
+}
+
+fn build(doc: &mut Document, parent: NodeId, t: &Tree) {
+    match t {
+        Tree::Text(s) => {
+            doc.add_text(parent, s);
+        }
+        Tree::Element {
+            tag,
+            attrs,
+            children,
+        } => {
+            let el = doc.add_element(parent, tag);
+            for (k, v) in attrs {
+                doc.set_attr(el, k, v).expect("attrs on elements");
+            }
+            for c in children {
+                build(doc, el, c);
+            }
+        }
+    }
+}
+
+fn document() -> impl Strategy<Value = Document> {
+    (tag(), prop::collection::vec(tree(), 0..6)).prop_map(|(root_tag, trees)| {
+        let mut doc = Document::new();
+        let root = doc.add_element(doc.root(), &root_tag);
+        for t in &trees {
+            build(&mut doc, root, t);
+        }
+        doc
+    })
+}
+
+// ----------------------------------------------------------------------
+// XML round-trip
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// serialize → parse → serialize is a fixed point (whitespace-only text
+    /// nodes excepted, which the default parse drops — the generator can
+    /// produce them, so compare after one normalisation pass).
+    #[test]
+    fn xml_roundtrip(doc in document()) {
+        let once = doc.to_xml_string();
+        let reparsed = Document::parse_str(&once).expect("own output parses");
+        let twice = reparsed.to_xml_string();
+        let thrice = Document::parse_str(&twice).expect("own output parses");
+        prop_assert_eq!(twice, thrice.to_xml_string());
+    }
+
+    /// Pretty-printing never changes the parsed structure for
+    /// element-only content, and always re-parses.
+    #[test]
+    fn pretty_print_reparses(doc in document()) {
+        let pretty = doc.to_xml_pretty();
+        let _ = Document::parse_str(&pretty).expect("pretty output parses");
+    }
+
+    /// Document order is a total order consistent with the parent relation:
+    /// parents precede children, and siblings order by index.
+    #[test]
+    fn document_order_is_consistent(doc in document()) {
+        for n in doc.descendants(doc.root()) {
+            if let Some(p) = doc.parent(n) {
+                prop_assert!(doc.order_key(p) < doc.order_key(n));
+            }
+            let children: Vec<NodeId> = doc.children(n).to_vec();
+            for w in children.windows(2) {
+                prop_assert!(doc.order_key(w[0]) < doc.order_key(w[1]));
+            }
+        }
+    }
+
+    /// `descendants_or_self` visits exactly `live_node_count` nodes, each
+    /// once.
+    #[test]
+    fn traversal_visits_each_node_once(doc in document()) {
+        let visited: Vec<NodeId> = doc.descendants_or_self(doc.root()).collect();
+        let unique: std::collections::HashSet<_> = visited.iter().copied().collect();
+        prop_assert_eq!(visited.len(), unique.len());
+        prop_assert_eq!(visited.len(), doc.live_node_count());
+    }
+}
+
+// ----------------------------------------------------------------------
+// XPath vs the simple path helper, and engine coherences
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `//tag` agrees between the XPath engine and the path helper.
+    #[test]
+    fn xpath_agrees_with_path_select(doc in document(), t in tag()) {
+        let via_xpath = gql::xpath::select(&doc, &format!("//{t}")).expect("xpath runs");
+        let via_path = gql::ssdm::path::select(&doc, doc.root(), &format!("//{t}"));
+        prop_assert_eq!(via_xpath, via_path);
+    }
+
+    /// An XML-GL single-box rule finds exactly the `//tag` node set.
+    #[test]
+    fn xmlgl_root_matches_equal_xpath(doc in document(), t in tag()) {
+        let rule = gql::xmlgl::builder::RuleBuilder::new()
+            .extract(gql::xmlgl::builder::Q::elem(t.clone()).var("x"))
+            .construct(gql::xmlgl::builder::C::elem("out").child(
+                gql::xmlgl::builder::C::all("x"),
+            ))
+            .build()
+            .expect("rule builds");
+        let matches = gql::xmlgl::eval::match_rule(&rule, &doc).len();
+        let xpath = gql::xpath::select(&doc, &format!("//{t}")).expect("xpath runs").len();
+        prop_assert_eq!(matches, xpath);
+    }
+
+    /// The algebra plan for a parent/child pattern returns exactly as many
+    /// rows as the XML-GL matcher finds embeddings, optimized or not.
+    #[test]
+    fn algebra_coheres_with_matcher(doc in document(), pt in tag(), ct in tag()) {
+        let rule = gql::xmlgl::builder::RuleBuilder::new()
+            .extract(
+                gql::xmlgl::builder::Q::elem(pt.clone())
+                    .var("p")
+                    .child(gql::xmlgl::builder::Q::elem(ct.clone()).var("c")),
+            )
+            .construct(gql::xmlgl::builder::C::elem("out"))
+            .build()
+            .expect("rule builds");
+        let embeddings = gql::xmlgl::eval::match_rule(&rule, &doc).len();
+        let plan = gql::core::translate::extract_to_plan(&rule).expect("plans");
+        let rows = gql::core::algebra::execute(&plan, &doc).expect("runs").len();
+        prop_assert_eq!(rows, embeddings);
+        let opt = gql::core::algebra::optimize(&plan);
+        prop_assert_eq!(gql::core::algebra::execute(&opt, &doc).expect("runs").len(), embeddings);
+    }
+
+    /// Negation is the complement: boxes with child X plus boxes without
+    /// child X partition the boxes.
+    #[test]
+    fn negation_partitions(doc in document(), pt in tag(), ct in tag()) {
+        use gql::xmlgl::builder::{C, Q, RuleBuilder};
+        let total = RuleBuilder::new()
+            .extract(Q::elem(pt.clone()).var("p"))
+            .construct(C::elem("out"))
+            .build()
+            .expect("builds");
+        let with = RuleBuilder::new()
+            .extract(Q::elem(pt.clone()).var("p").child(Q::elem(ct.clone())))
+            .construct(C::elem("out"))
+            .build()
+            .expect("builds");
+        let without = RuleBuilder::new()
+            .extract(Q::elem(pt.clone()).var("p").without(Q::elem(ct.clone())))
+            .construct(C::elem("out"))
+            .build()
+            .expect("builds");
+        let n_total = gql::xmlgl::eval::match_rule(&total, &doc).len();
+        // `with` multiplies per matching child; count distinct parents
+        // instead.
+        let with_rule = &with;
+        let parents: std::collections::HashSet<String> =
+            gql::xmlgl::eval::match_rule(with_rule, &doc)
+                .iter()
+                .filter_map(|b| {
+                    b.get(with_rule.extract.by_var("p").expect("var p"))
+                        .map(gql::xmlgl::eval::identity_key)
+                })
+                .collect();
+        let n_without = gql::xmlgl::eval::match_rule(&without, &doc).len();
+        prop_assert_eq!(parents.len() + n_without, n_total);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Streaming vs DOM agreement
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The streaming event reader accepts exactly the serializer's output
+    /// and sees one Start per element.
+    #[test]
+    fn stream_reader_agrees_with_dom(doc in document()) {
+        let xml = doc.to_xml_string();
+        let events: Vec<gql::ssdm::stream::Event> =
+            gql::ssdm::stream::EventReader::new(&xml)
+                .collect::<gql::ssdm::Result<_>>()
+                .expect("own serialization streams");
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, gql::ssdm::stream::Event::Start { .. }))
+            .count();
+        let elements = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.kind(n) == NodeKind::Element)
+            .count();
+        prop_assert_eq!(starts, elements);
+    }
+
+    /// StreamPath and the DOM path helper agree on //tag and /root/tag.
+    #[test]
+    fn stream_path_agrees_with_dom(doc in document(), t in tag()) {
+        let xml = doc.to_xml_string();
+        let deep = format!("//{t}");
+        let streamed = gql::ssdm::stream::StreamPath::parse(&deep)
+            .expect("parses")
+            .run(&xml)
+            .expect("runs");
+        let dom = gql::ssdm::path::select(&doc, doc.root(), &deep);
+        prop_assert_eq!(streamed.count, dom.len());
+        // Text captures agree too (same order: document order).
+        let dom_texts: Vec<String> =
+            dom.iter().map(|&n| doc.text_content(n)).collect();
+        prop_assert_eq!(streamed.texts, dom_texts);
+    }
+
+    /// Arbitrary garbage never panics the streaming reader — it either
+    /// yields events or a clean error.
+    #[test]
+    fn stream_reader_never_panics(input in "[ -~<>&;/='\"]{0,200}") {
+        let _ = gql::ssdm::stream::EventReader::new(&input)
+            .collect::<gql::ssdm::Result<Vec<_>>>();
+    }
+}
+
+// ----------------------------------------------------------------------
+// WG-Log instance loader invariants
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Loading never loses information mass: every element becomes either
+    /// an object or an attribute of its parent object.
+    #[test]
+    fn loader_accounts_for_every_element(doc in document()) {
+        let db = gql::wglog::instance::Instance::from_document(&doc);
+        let elements = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.kind(n) == NodeKind::Element)
+            .count();
+        let objects = db.object_count();
+        let folded: usize = db
+            .objects()
+            .map(|(_, o)| {
+                o.attrs
+                    .iter()
+                    .filter(|(k, _)| {
+                        // attributes that came from atomic child elements:
+                        // approximated as "not an XML attribute of the
+                        // element and not the text pseudo-attribute".
+                        k != "text"
+                    })
+                    .count()
+            })
+            .sum();
+        // objects + folded-elements ≥ elements (XML attributes also land in
+        // attrs, hence ≥ rather than =).
+        prop_assert!(objects + folded >= elements, "objects={objects} folded={folded} elements={elements}");
+        // And every object's type is a tag that exists in the document.
+        for (_, o) in db.objects() {
+            prop_assert!(doc.elements_named(&o.ty).next().is_some());
+        }
+    }
+
+    /// Schema extraction always validates its own instance.
+    #[test]
+    fn extracted_schema_validates_instance(doc in document()) {
+        let db = gql::wglog::instance::Instance::from_document(&doc);
+        let schema = gql::wglog::schema::WgSchema::extract(&db);
+        prop_assert!(schema.validate(&db).is_empty());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Layout invariants
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Layouts never overlap two real nodes of the same layer and always
+    /// stay inside the reported bounds.
+    #[test]
+    fn layout_no_same_layer_overlap(edges in prop::collection::vec((0u32..12, 0u32..12), 0..24)) {
+        use gql::layout::{layout, Diagram, EdgeSpec, LayoutOptions, NodeSpec, Shape};
+        let mut d = Diagram::new();
+        let nodes: Vec<_> =
+            (0..12).map(|i| d.add_node(NodeSpec::new(format!("n{i}"), Shape::Box))).collect();
+        for (a, b) in edges {
+            d.add_edge(nodes[a as usize], nodes[b as usize], EdgeSpec::plain());
+        }
+        let l = layout(&d, &LayoutOptions::default());
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                if l.layers[i] == l.layers[j] {
+                    prop_assert!(
+                        !l.nodes[i].intersects(&l.nodes[j]),
+                        "layer {} overlap: {:?} vs {:?}",
+                        l.layers[i],
+                        l.nodes[i],
+                        l.nodes[j]
+                    );
+                }
+            }
+        }
+        for r in &l.nodes {
+            prop_assert!(l.bounds.x <= r.x && l.bounds.right() >= r.right());
+            prop_assert!(l.bounds.y <= r.y && l.bounds.bottom() >= r.bottom());
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// DSL robustness
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary input never panics either DSL parser.
+    #[test]
+    fn dsl_parsers_never_panic(input in "[ -~\n{}$@#]{0,160}") {
+        let _ = gql::xmlgl::dsl::parse(&input);
+        let _ = gql::wglog::dsl::parse(&input);
+        let _ = gql::xpath::parse(&input);
+    }
+
+    /// Nor do the DTD and XML parsers.
+    #[test]
+    fn markup_parsers_never_panic(input in "[ -~\n<>!?&;'\"\\[\\]()|,*+#]{0,200}") {
+        let _ = gql::ssdm::dtd::Dtd::parse(&input);
+        let _ = gql::ssdm::Document::parse_str(&input);
+        let _ = gql::ssdm::stream::StreamPath::parse(&input);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Value semantics
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// loose_eq is symmetric; loose_cmp is antisymmetric where defined.
+    #[test]
+    fn value_comparisons_behave(a in text_value(), b in text_value()) {
+        use gql::ssdm::Value;
+        let va = Value::from_literal(&a);
+        let vb = Value::from_literal(&b);
+        prop_assert_eq!(va.loose_eq(&vb), vb.loose_eq(&va));
+        match (va.loose_cmp(&vb), vb.loose_cmp(&va)) {
+            (Some(x), Some(y)) => prop_assert_eq!(x, y.reverse()),
+            (None, None) => {}
+            (x, y) => prop_assert!(false, "asymmetric definedness {x:?} {y:?}"),
+        }
+    }
+
+    /// Number parsing and formatting round-trip for in-range integers.
+    #[test]
+    fn number_roundtrip(n in -1_000_000i64..1_000_000) {
+        let s = gql::ssdm::value::format_number(n as f64);
+        prop_assert_eq!(gql::ssdm::value::parse_number(&s), Some(n as f64));
+    }
+}
