@@ -1,0 +1,242 @@
+//! # gql-analyze — static analysis and linting for XML-GL and WG-Log
+//!
+//! A unified pass-based analyzer over both graphical query languages of the
+//! paper. Every finding is a [`Diagnostic`] with a stable code (`GQL001`…),
+//! a severity, a source span, the offending rule's label, a message and
+//! (usually) a help string; a [`Report`] renders them for humans or as JSON
+//! for tooling.
+//!
+//! The passes:
+//!
+//! | pass | codes | needs context? |
+//! |------|-------|----------------|
+//! | syntax                      | GQL000 | no |
+//! | well-formedness & safety    | GQL001–GQL004, GQL011 | no |
+//! | connectivity                | GQL005 | no |
+//! | schema conformance          | GQL006, GQL012, GQL013 | schema |
+//! | contradictory predicates    | GQL007 | no |
+//! | unused variables            | GQL008 | no |
+//! | cost estimation             | GQL009 | document stats |
+//! | stratification              | GQL010 | no |
+//!
+//! Context (a DTD-derived schema, an extracted WG-Log schema, per-document
+//! statistics) is optional: passes that need missing context are skipped.
+//!
+//! ```
+//! use gql_analyze::Analyzer;
+//!
+//! let report = Analyzer::new().analyze_xmlgl_src(
+//!     "rule { extract { book as $b { not review } } construct { out { all $b } } }",
+//! );
+//! assert!(report.is_empty()); // safe: $b is outside the negated subtree
+//! ```
+
+pub mod wglog;
+pub mod xmlgl;
+
+pub use gql_ssdm::{Code, Diagnostic, Report, Severity, Span};
+
+use gql_core::stats::DocStats;
+use gql_wglog::schema::WgSchema;
+use gql_xmlgl::schema::GlSchema;
+
+/// Optional context that unlocks the schema-conformance and cost passes.
+#[derive(Debug, Default)]
+pub struct Context {
+    /// XML-GL schema (e.g. built from a DTD) for GQL006.
+    pub gl_schema: Option<GlSchema>,
+    /// WG-Log schema (declared or extracted from an instance) for
+    /// GQL012/GQL013.
+    pub wg_schema: Option<WgSchema>,
+    /// Per-document statistics for the GQL009 cost pass.
+    pub stats: Option<DocStats>,
+}
+
+/// Description of one analysis pass, for `--explain`-style tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassInfo {
+    pub name: &'static str,
+    pub codes: &'static [Code],
+    /// Context the pass needs, if any.
+    pub needs: Option<&'static str>,
+}
+
+/// The registry of passes, in execution order.
+pub const PASSES: &[PassInfo] = &[
+    PassInfo {
+        name: "syntax",
+        codes: &[Code::Syntax],
+        needs: None,
+    },
+    PassInfo {
+        name: "well-formedness",
+        codes: &[
+            Code::XmlGlIllFormed,
+            Code::DuplicateVariable,
+            Code::WgLogIllFormed,
+        ],
+        needs: None,
+    },
+    PassInfo {
+        name: "safety",
+        codes: &[Code::NegationScope, Code::UnsafeConstruct],
+        needs: None,
+    },
+    PassInfo {
+        name: "connectivity",
+        codes: &[Code::DisconnectedQuery],
+        needs: None,
+    },
+    PassInfo {
+        name: "schema-conformance",
+        codes: &[
+            Code::XmlSchemaMismatch,
+            Code::WgSchemaMismatch,
+            Code::GoalNeverConstructed,
+        ],
+        needs: Some("schema"),
+    },
+    PassInfo {
+        name: "predicates",
+        codes: &[Code::ContradictoryPredicate],
+        needs: None,
+    },
+    PassInfo {
+        name: "unused",
+        codes: &[Code::UnusedVariable],
+        needs: None,
+    },
+    PassInfo {
+        name: "cost",
+        codes: &[Code::CostBlowup],
+        needs: Some("document statistics"),
+    },
+    PassInfo {
+        name: "stratification",
+        codes: &[Code::NotStratifiable],
+        needs: None,
+    },
+];
+
+/// The analyzer: run every applicable pass over a program and collect the
+/// diagnostics into a [`Report`].
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    ctx: Context,
+}
+
+impl Analyzer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Provide an XML-GL schema (unlocks GQL006).
+    pub fn with_gl_schema(mut self, schema: GlSchema) -> Self {
+        self.ctx.gl_schema = Some(schema);
+        self
+    }
+
+    /// Provide a WG-Log schema (unlocks GQL012/GQL013).
+    pub fn with_wg_schema(mut self, schema: WgSchema) -> Self {
+        self.ctx.wg_schema = Some(schema);
+        self
+    }
+
+    /// Provide document statistics (unlocks GQL009).
+    pub fn with_stats(mut self, stats: DocStats) -> Self {
+        self.ctx.stats = Some(stats);
+        self
+    }
+
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Analyze a parsed XML-GL program.
+    pub fn analyze_xmlgl(&self, program: &gql_xmlgl::ast::Program) -> Report {
+        xmlgl::analyze(program, &self.ctx)
+    }
+
+    /// Analyze a parsed WG-Log program.
+    pub fn analyze_wglog(&self, program: &gql_wglog::Program) -> Report {
+        wglog::analyze(program, &self.ctx)
+    }
+
+    /// Parse and analyze XML-GL DSL source. Syntax errors become a GQL000
+    /// diagnostic instead of an `Err`, so tooling has one output shape.
+    pub fn analyze_xmlgl_src(&self, src: &str) -> Report {
+        match gql_xmlgl::dsl::parse_unchecked(src) {
+            Ok(program) => self.analyze_xmlgl(&program),
+            Err(e) => Report::from(vec![syntax_diag(&e.to_string(), syntax_span_xmlgl(&e))]),
+        }
+    }
+
+    /// Parse and analyze WG-Log DSL source (syntax errors become GQL000).
+    pub fn analyze_wglog_src(&self, src: &str) -> Report {
+        match gql_wglog::dsl::parse_unchecked(src) {
+            Ok(program) => self.analyze_wglog(&program),
+            Err(e) => Report::from(vec![syntax_diag(&e.to_string(), syntax_span_wglog(&e))]),
+        }
+    }
+}
+
+fn syntax_diag(msg: &str, span: Span) -> Diagnostic {
+    Diagnostic::new(Code::Syntax, msg).with_span(span)
+}
+
+fn syntax_span_xmlgl(e: &gql_xmlgl::XmlGlError) -> Span {
+    match e {
+        gql_xmlgl::XmlGlError::Syntax { line, col, .. } => Span::new(*line, *col),
+        _ => Span::none(),
+    }
+}
+
+fn syntax_span_wglog(e: &gql_wglog::WgLogError) -> Span {
+    match e {
+        gql_wglog::WgLogError::Syntax { line, col, .. } => Span::new(*line, *col),
+        _ => Span::none(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_registry_covers_every_code() {
+        let mut covered: Vec<&str> = PASSES
+            .iter()
+            .flat_map(|p| p.codes)
+            .map(|c| c.as_str())
+            .collect();
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(covered.len(), Code::all().len());
+    }
+
+    #[test]
+    fn syntax_errors_are_gql000_with_spans() {
+        let r = Analyzer::new().analyze_xmlgl_src("rule {\n  extract {");
+        assert_eq!(r.len(), 1);
+        let d = r.iter().next().unwrap();
+        assert_eq!(d.code, Code::Syntax);
+        assert!(d.is_error());
+        let r = Analyzer::new().analyze_wglog_src("rule {\n query { $r restaurant } }");
+        let d = r.iter().next().unwrap();
+        assert_eq!(d.code, Code::Syntax);
+        assert_eq!(d.span.line, 2);
+    }
+
+    #[test]
+    fn clean_program_clean_report() {
+        let r = Analyzer::new().analyze_xmlgl_src(
+            "rule { extract { restaurant as $r { menu } } construct { answer { all $r } } }",
+        );
+        assert!(r.is_empty(), "{}", r.render());
+        let r = Analyzer::new().analyze_wglog_src(
+            "rule { query { $r: restaurant  $m: menu  $r -menu-> $m } \
+             construct { $l: rest-list  $l -member-> $r } } goal rest-list",
+        );
+        assert!(r.is_empty(), "{}", r.render());
+    }
+}

@@ -1,0 +1,314 @@
+//! WG-Log analysis passes.
+//!
+//! Well-formedness lives on `gql_wglog::Program::diagnostics`; this module
+//! adds stratification diagnostics, schema conformance, goal reachability,
+//! connectivity and contradictory constraints.
+
+use std::collections::HashSet;
+
+use gql_ssdm::{Code, Diagnostic, Report};
+use gql_wglog::eval::stratify;
+use gql_wglog::rule::{rule_label, Color, Rule, TypeTest};
+use gql_wglog::schema::WgSchema;
+use gql_wglog::Program;
+
+use crate::Context;
+
+/// Run every WG-Log pass applicable under `ctx`.
+pub fn analyze(program: &Program, ctx: &Context) -> Report {
+    let mut report = Report::new();
+    let wf = program.diagnostics();
+    let well_formed = !wf.iter().any(Diagnostic::is_error);
+    report.extend(wf);
+    if well_formed {
+        // Stratification (and the per-rule lints) only mean anything for
+        // well-formed rule graphs.
+        report.extend(stratify::diagnose(program));
+        for (i, rule) in program.rules.iter().enumerate() {
+            let label = rule_label(rule, i);
+            let mut ds = Vec::new();
+            connectivity(rule, &mut ds);
+            if let Some(schema) = &ctx.wg_schema {
+                schema_conformance(rule, schema, &mut ds);
+            }
+            contradictions(rule, &mut ds);
+            for mut d in ds {
+                if d.span.is_none() {
+                    d.span = rule.span;
+                }
+                report.push(d.with_rule(label.clone()));
+            }
+        }
+        if let Some(schema) = &ctx.wg_schema {
+            goal_constructed(program, schema, &mut report);
+        }
+    }
+    report
+}
+
+/// GQL005: a rule graph in several connected components matches the cross
+/// product of the components' embeddings.
+fn connectivity(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    let n = rule.nodes.len();
+    if n < 2 {
+        return;
+    }
+    let mut comp: Vec<usize> = (0..n).collect();
+    fn find(comp: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while comp[root] != root {
+            root = comp[root];
+        }
+        let mut cur = i;
+        while comp[cur] != root {
+            let next = comp[cur];
+            comp[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for e in &rule.edges {
+        if e.from.index() < n && e.to.index() < n {
+            let (a, b) = (
+                find(&mut comp, e.from.index()),
+                find(&mut comp, e.to.index()),
+            );
+            comp[a] = b;
+        }
+    }
+    // `per` and attribute copies also tie a construct node to query nodes.
+    for (i, node) in rule.nodes.iter().enumerate() {
+        let tie = |var: &str, comp: &mut [usize]| {
+            if let Some(src) = rule.by_var(var) {
+                let (a, b) = (find(comp, i), find(comp, src.index()));
+                comp[a] = b;
+            }
+        };
+        for var in &node.per {
+            tie(var, &mut comp);
+        }
+        for (_, v) in &node.set_attrs {
+            if let gql_wglog::rule::AttrValue::CopyFrom { var, .. } = v {
+                tie(var, &mut comp);
+            }
+        }
+    }
+    let roots: HashSet<usize> = (0..n).map(|i| find(&mut comp, i)).collect();
+    if roots.len() > 1 {
+        let first = find(&mut comp, 0);
+        let witness = (0..n).find(|&i| find(&mut comp, i) != first).unwrap_or(0);
+        out.push(
+            Diagnostic::new(
+                Code::DisconnectedQuery,
+                format!(
+                    "rule graph has {} disconnected components; embeddings multiply \
+                     into a cross product",
+                    roots.len()
+                ),
+            )
+            .with_span(rule.nodes[witness].span)
+            .with_help(
+                "connect the parts with an edge (or `per`/`set` references), \
+                 or split the rule",
+            ),
+        );
+    }
+}
+
+/// GQL012: query parts that mention types, attributes or relations the
+/// schema does not declare can never match a conforming database.
+fn schema_conformance(rule: &Rule, schema: &WgSchema, out: &mut Vec<Diagnostic>) {
+    for msg in schema.check_rule(rule) {
+        // Anchor the message on the node it names when possible.
+        let span = msg
+            .split('$')
+            .nth(1)
+            .and_then(|rest| {
+                let var: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                rule.by_var(&var)
+            })
+            .map(|id| rule.node(id).span)
+            .unwrap_or_default();
+        out.push(
+            Diagnostic::new(Code::WgSchemaMismatch, msg)
+                .with_span(span)
+                .with_help(
+                    "against a database conforming to this schema the query part \
+                     can never match",
+                ),
+        );
+    }
+}
+
+/// GQL013: the goal type is neither constructed by any rule nor declared in
+/// the schema — the answer is always empty.
+fn goal_constructed(program: &Program, schema: &WgSchema, report: &mut Report) {
+    let Some(goal) = &program.goal else {
+        return;
+    };
+    let constructed = program.rules.iter().any(|r| {
+        r.construct_nodes()
+            .any(|id| matches!(&r.node(id).test, TypeTest::Type(t) if t == goal))
+    });
+    if !constructed && !schema.has_type(goal) {
+        report.push(
+            Diagnostic::new(
+                Code::GoalNeverConstructed,
+                format!(
+                    "goal type '{goal}' is never constructed by any rule and is not \
+                     declared in the schema; the answer is always empty"
+                ),
+            )
+            .with_help("construct an object of the goal type or fix the goal name"),
+        );
+    }
+}
+
+/// GQL007: two constraints on the same attribute of one node that cannot
+/// hold together.
+fn contradictions(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    for node in &rule.nodes {
+        if node.color != Color::Query {
+            continue;
+        }
+        'outer: for (i, a) in node.constraints.iter().enumerate() {
+            for b in &node.constraints[i + 1..] {
+                if a.attr == b.attr
+                    && crate::xmlgl::clauses_contradict(
+                        (a.op, a.value.as_str()),
+                        (b.op, b.value.as_str()),
+                    )
+                {
+                    out.push(
+                        Diagnostic::new(
+                            Code::ContradictoryPredicate,
+                            format!(
+                                "constraints on ${}.{} can never hold together: \
+                                 `{} \"{}\"` contradicts `{} \"{}\"`",
+                                node.var,
+                                a.attr,
+                                a.op.symbol(),
+                                a.value,
+                                b.op.symbol(),
+                                b.value
+                            ),
+                        )
+                        .with_span(node.span)
+                        .with_help("the rule matches nothing; drop or relax one constraint"),
+                    );
+                    break 'outer;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analyzer;
+    use gql_ssdm::Severity;
+
+    #[test]
+    fn non_stratifiable_program_reports_gql010() {
+        let r = Analyzer::new().analyze_wglog_src(
+            "rule { query { $a: doc  $b: doc  $a -link-> $b  not $a -q-> $b } construct { $a -p-> $b } }\n\
+             rule { query { $a: doc  $b: doc  $a -p-> $b } construct { $a -q-> $b } }",
+        );
+        let d = r.iter().find(|d| d.code == Code::NotStratifiable).unwrap();
+        assert!(d.is_error());
+        assert!(d.message.contains("cycle:"), "{}", d.message);
+    }
+
+    #[test]
+    fn disconnected_rule_graph_warns() {
+        let r = Analyzer::new().analyze_wglog_src(
+            "rule {\n  query {\n    $a: doc\n    $b: hotel\n  }\n  construct { $a -pair-> $b } }",
+        );
+        // $a and $b are joined by the construct edge, so connected; make a
+        // genuinely disconnected one:
+        assert!(!r.iter().any(|d| d.code == Code::DisconnectedQuery));
+        let r = Analyzer::new().analyze_wglog_src(
+            "rule {\n  query {\n    $a: doc\n    $b: hotel\n  }\n  construct {\n    $l: pair-list\n    $l -member-> $a\n  }\n}",
+        );
+        let d = r
+            .iter()
+            .find(|d| d.code == Code::DisconnectedQuery)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.line, 4); // $b: hotel
+        assert_eq!(d.rule.as_deref(), Some("rule 1 (pair-list)"));
+    }
+
+    #[test]
+    fn per_references_connect() {
+        let r = Analyzer::new()
+            .analyze_wglog_src("rule { query { $a: doc } construct { $s: summary per $a } }");
+        assert!(
+            !r.iter().any(|d| d.code == Code::DisconnectedQuery),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_and_goal() {
+        let mut schema = WgSchema::new();
+        schema.declare_type("restaurant", &["name", "stars"]);
+        schema.declare_type("menu", &["price"]);
+        schema.declare_relation(
+            "restaurant",
+            "menu",
+            "menu",
+            gql_wglog::schema::RelMult::Many,
+        );
+        let analyzer = Analyzer::new().with_wg_schema(schema);
+        let r = analyzer.analyze_wglog_src(
+            "rule {\n  query {\n    $r: restaurant where rating >= \"3\"\n    $m: pasta\n    $r -menu-> $m\n  }\n  construct { $l: rest-list  $l -member-> $r }\n}\ngoal top-list",
+        );
+        let mismatches: Vec<_> = r
+            .iter()
+            .filter(|d| d.code == Code::WgSchemaMismatch)
+            .collect();
+        assert!(
+            mismatches.iter().any(|d| d.message.contains("rating")),
+            "{}",
+            r.render()
+        );
+        assert!(
+            mismatches.iter().any(|d| d.message.contains("pasta")),
+            "{}",
+            r.render()
+        );
+        // The 'rating' warning anchors on $r's declaration line.
+        let rating = mismatches
+            .iter()
+            .find(|d| d.message.contains("rating"))
+            .unwrap();
+        assert_eq!(rating.span.line, 3);
+        // goal 'top-list' is neither constructed nor declared.
+        let d = r
+            .iter()
+            .find(|d| d.code == Code::GoalNeverConstructed)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("top-list"));
+    }
+
+    #[test]
+    fn contradictory_constraints_warn() {
+        let r = Analyzer::new().analyze_wglog_src(
+            "rule { query { $r: restaurant where stars > \"4\" and stars < \"2\" } \
+             construct { $l: rest-list  $l -member-> $r } } goal rest-list",
+        );
+        let d = r
+            .iter()
+            .find(|d| d.code == Code::ContradictoryPredicate)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("stars"), "{}", d.message);
+    }
+}

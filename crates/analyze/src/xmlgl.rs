@@ -1,0 +1,533 @@
+//! XML-GL analysis passes.
+//!
+//! Well-formedness and safety live in `gql_xmlgl::check` (the front end
+//! runs them too); this module adds the lint-grade passes: connectivity,
+//! schema conformance, contradictory predicates, unused variables and the
+//! statistics-driven cost pass.
+
+use std::collections::HashSet;
+
+use gql_core::algebra::Plan;
+use gql_core::translate::extract_to_plan;
+use gql_ssdm::{CmpOp, Code, Diagnostic, Report};
+use gql_xmlgl::ast::{CNodeKind, CValue, NameTest, Program, QNodeId, QNodeKind, Rule};
+use gql_xmlgl::check::rule_label;
+use gql_xmlgl::schema::GlSchema;
+
+use crate::Context;
+
+/// Run every XML-GL pass applicable under `ctx`.
+pub fn analyze(program: &Program, ctx: &Context) -> Report {
+    let mut report = Report::new();
+    report.extend(gql_xmlgl::check::diagnostics(program));
+    for (i, rule) in program.rules.iter().enumerate() {
+        let label = rule_label(rule, i);
+        let mut ds = Vec::new();
+        connectivity(rule, &mut ds);
+        if let Some(schema) = &ctx.gl_schema {
+            schema_conformance(rule, schema, &mut ds);
+        }
+        contradictions(rule, &mut ds);
+        unused_variables(rule, &mut ds);
+        if let Some(stats) = &ctx.stats {
+            cost(rule, stats, &mut ds);
+        }
+        for mut d in ds {
+            if d.span.is_none() {
+                d.span = rule.span;
+            }
+            report.push(d.with_rule(label.clone()));
+        }
+    }
+    report
+}
+
+/// GQL005: an extract graph whose nodes fall into several connected
+/// components multiplies those components into a cross product.
+/// Containment edges (negated or not) and joins both connect.
+fn connectivity(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    let g = &rule.extract;
+    let n = g.nodes.len();
+    if n == 0 {
+        return; // already an Error from the well-formedness pass
+    }
+    let mut comp: Vec<usize> = (0..n).collect();
+    fn find(comp: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while comp[root] != root {
+            root = comp[root];
+        }
+        let mut cur = i;
+        while comp[cur] != root {
+            let next = comp[cur];
+            comp[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let union = |comp: &mut [usize], a: usize, b: usize| {
+        let (ra, rb) = (find(comp, a), find(comp, b));
+        comp[ra] = rb;
+    };
+    for id in g.ids() {
+        for e in &g.node(id).children {
+            if e.target.index() < n {
+                union(&mut comp, id.index(), e.target.index());
+            }
+        }
+    }
+    for &(a, b) in &g.joins {
+        if a.index() < n && b.index() < n {
+            union(&mut comp, a.index(), b.index());
+        }
+    }
+    let roots: HashSet<usize> = (0..n).map(|i| find(&mut comp, i)).collect();
+    if roots.len() > 1 {
+        // Anchor the warning on a node of the second component.
+        let first = find(&mut comp, 0);
+        let witness = (0..n).find(|&i| find(&mut comp, i) != first).unwrap_or(0);
+        out.push(
+            Diagnostic::new(
+                Code::DisconnectedQuery,
+                format!(
+                    "extract graph has {} disconnected components; unrelated parts \
+                     multiply into a cross product",
+                    roots.len()
+                ),
+            )
+            .with_span(g.node(QNodeId(witness as u32)).span)
+            .with_help(
+                "connect the components with a containment edge or a join, \
+                 or split the rule if the product is intended",
+            ),
+        );
+    }
+}
+
+/// Element names a schema element can reach through containment (for
+/// validating deep edges).
+fn reachable(schema: &GlSchema, from: &str) -> HashSet<String> {
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut stack = vec![from.to_string()];
+    while let Some(tag) = stack.pop() {
+        if let Some(decl) = schema.element(&tag) {
+            for c in &decl.children {
+                if seen.insert(c.child.clone()) {
+                    stack.push(c.child.clone());
+                }
+            }
+        }
+    }
+    seen
+}
+
+/// GQL006: extract edges, text circles and attribute circles that the
+/// schema cannot satisfy — the query part can never match a valid document.
+fn schema_conformance(rule: &Rule, schema: &GlSchema, out: &mut Vec<Diagnostic>) {
+    let g = &rule.extract;
+    let warn = |msg: String, span: gql_ssdm::Span| {
+        Diagnostic::new(Code::XmlSchemaMismatch, msg)
+            .with_span(span)
+            .with_help(
+                "against a document valid for this schema the pattern can \
+                 never match; fix the tag or update the schema",
+            )
+    };
+    for &r in &g.roots {
+        if let QNodeKind::Element(NameTest::Name(tag)) = &g.node(r).kind {
+            if schema.element(tag).is_none() {
+                out.push(warn(
+                    format!("schema declares no element '{tag}'"),
+                    g.node(r).span,
+                ));
+            }
+        }
+    }
+    for id in g.ids() {
+        let parent = g.node(id);
+        let QNodeKind::Element(NameTest::Name(ptag)) = &parent.kind else {
+            continue;
+        };
+        let Some(decl) = schema.element(ptag) else {
+            continue; // the root loop (or a parent edge) already warned
+        };
+        for e in &parent.children {
+            if e.target.index() >= g.nodes.len() {
+                continue;
+            }
+            let child = g.node(e.target);
+            match &child.kind {
+                QNodeKind::Element(NameTest::Name(ctag)) => {
+                    let ok = if e.deep {
+                        reachable(schema, ptag).contains(ctag)
+                    } else {
+                        decl.children.iter().any(|c| &c.child == ctag)
+                    };
+                    if !ok {
+                        out.push(warn(
+                            format!(
+                                "schema: element '{ptag}' declares no {} '{ctag}'",
+                                if e.deep { "descendant" } else { "child" }
+                            ),
+                            child.span,
+                        ));
+                    }
+                }
+                QNodeKind::Element(NameTest::Wildcard) => {}
+                QNodeKind::Text => {
+                    if !decl.text {
+                        out.push(warn(
+                            format!("schema: element '{ptag}' has no text content"),
+                            child.span,
+                        ));
+                    }
+                }
+                QNodeKind::Attribute(name) => {
+                    if !decl.attrs.iter().any(|(a, _)| a == name) {
+                        out.push(warn(
+                            format!("schema: element '{ptag}' declares no attribute '{name}'"),
+                            child.span,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whether two singleton predicate clauses on the same value can both hold.
+/// Sound but incomplete: only clearly-decidable combinations report.
+pub(crate) fn clauses_contradict(a: (CmpOp, &str), b: (CmpOp, &str)) -> bool {
+    let ((op1, v1), (op2, v2)) = (a, b);
+    // An equality pins the value: evaluate the other side against it.
+    if op1 == CmpOp::Eq {
+        return !op2.eval(v1, v2);
+    }
+    if op2 == CmpOp::Eq {
+        return !op1.eval(v2, v1);
+    }
+    // Numeric range emptiness.
+    if let (Ok(n1), Ok(n2)) = (v1.parse::<f64>(), v2.parse::<f64>()) {
+        let empty = |lo_strict: bool, lo: f64, hi_strict: bool, hi: f64| {
+            if lo_strict || hi_strict {
+                lo >= hi
+            } else {
+                lo > hi
+            }
+        };
+        // value < v1-ish AND value > v2-ish.
+        match (op1, op2) {
+            (CmpOp::Lt, CmpOp::Gt) => return empty(true, n2, true, n1),
+            (CmpOp::Lt, CmpOp::Ge) => return empty(false, n2, true, n1),
+            (CmpOp::Le, CmpOp::Gt) => return empty(true, n2, false, n1),
+            (CmpOp::Le, CmpOp::Ge) => return empty(false, n2, false, n1),
+            (CmpOp::Gt, CmpOp::Lt) => return empty(true, n1, true, n2),
+            (CmpOp::Gt, CmpOp::Le) => return empty(false, n1, true, n2),
+            (CmpOp::Ge, CmpOp::Lt) => return empty(true, n1, false, n2),
+            (CmpOp::Ge, CmpOp::Le) => return empty(false, n1, false, n2),
+            _ => {}
+        }
+    }
+    // Two prefixes can only coexist when one extends the other.
+    if op1 == CmpOp::StartsWith && op2 == CmpOp::StartsWith {
+        return !(v1.starts_with(v2) || v2.starts_with(v1));
+    }
+    false
+}
+
+/// GQL007: a node predicate whose conjuncts can never hold together always
+/// matches nothing.
+fn contradictions(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    for id in rule.extract.ids() {
+        let node = rule.extract.node(id);
+        let singletons: Vec<(CmpOp, &str)> = node
+            .predicate
+            .clauses
+            .iter()
+            .filter(|c| c.len() == 1)
+            .map(|c| (c[0].0, c[0].1.as_str()))
+            .collect();
+        'outer: for (i, &a) in singletons.iter().enumerate() {
+            for &b in &singletons[i + 1..] {
+                if clauses_contradict(a, b) {
+                    let who = node
+                        .var
+                        .as_ref()
+                        .map(|v| format!("${v}"))
+                        .unwrap_or_else(|| "this node".to_string());
+                    out.push(
+                        Diagnostic::new(
+                            Code::ContradictoryPredicate,
+                            format!(
+                                "predicate on {who} can never hold: `{} \"{}\"` \
+                                 contradicts `{} \"{}\"`",
+                                a.0.symbol(),
+                                a.1,
+                                b.0.symbol(),
+                                b.1
+                            ),
+                        )
+                        .with_span(node.span)
+                        .with_help("the rule matches nothing; drop or relax one comparison"),
+                    );
+                    break 'outer; // one report per node is enough
+                }
+            }
+        }
+    }
+}
+
+/// Query nodes the construct side references.
+fn construct_references(rule: &Rule) -> HashSet<QNodeId> {
+    let mut used = HashSet::new();
+    for id in rule.construct.ids() {
+        match &rule.construct.node(id).kind {
+            CNodeKind::Attribute {
+                value: CValue::Binding(src),
+                ..
+            } => {
+                used.insert(*src);
+            }
+            CNodeKind::Copy { source, .. } => {
+                used.insert(*source);
+            }
+            CNodeKind::All { source, order } => {
+                used.insert(*source);
+                if let Some(spec) = order {
+                    used.insert(spec.key);
+                }
+            }
+            CNodeKind::GroupBy { source, key, .. } => {
+                used.insert(*source);
+                used.insert(*key);
+            }
+            CNodeKind::Aggregate { source, .. } => {
+                used.insert(*source);
+            }
+            CNodeKind::Element(_) | CNodeKind::Text(_) | CNodeKind::Attribute { .. } => {}
+        }
+    }
+    used
+}
+
+/// GQL008: a variable bound on the extract side but referenced by neither
+/// the construct side nor a join is dead weight.
+fn unused_variables(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    let used = construct_references(rule);
+    let joined: HashSet<QNodeId> = rule
+        .extract
+        .joins
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect();
+    for id in rule.extract.ids() {
+        let node = rule.extract.node(id);
+        if let Some(v) = &node.var {
+            if !used.contains(&id) && !joined.contains(&id) {
+                out.push(
+                    Diagnostic::new(
+                        Code::UnusedVariable,
+                        format!("variable ${v} is bound but never used"),
+                    )
+                    .with_span(node.span)
+                    .with_help("drop the `as $var` binding or reference it on the construct side"),
+                );
+            }
+        }
+    }
+}
+
+fn contains_product(plan: &Plan) -> bool {
+    match plan {
+        Plan::Product { .. } => true,
+        Plan::Scan { .. } => false,
+        Plan::Child { input, .. }
+        | Plan::Attr { input, .. }
+        | Plan::Text { input, .. }
+        | Plan::Filter { input, .. }
+        | Plan::NotExistsChild { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Aggregate { input, .. } => contains_product(input),
+        Plan::HashJoin { left, right, .. } | Plan::NestedLoopJoin { left, right, .. } => {
+            contains_product(left) || contains_product(right)
+        }
+    }
+}
+
+/// Intermediate results larger than this multiple of the document flag a
+/// cost hint.
+const BLOWUP_FACTOR: f64 = 10.0;
+
+/// GQL009: statistics-driven cost estimate of the compiled extract plan.
+fn cost(rule: &Rule, stats: &gql_core::stats::DocStats, out: &mut Vec<Diagnostic>) {
+    let Ok(plan) = extract_to_plan(rule) else {
+        return; // untranslatable extracts (aggregation etc.) get no cost hint
+    };
+    let estimate = stats.estimate(&plan);
+    let doc_size = stats.elements().max(1) as f64;
+    let product = contains_product(&plan);
+    if product || estimate > doc_size * BLOWUP_FACTOR {
+        let detail = if product {
+            "the plan multiplies unjoined parts (cross product)"
+        } else {
+            "the pattern fans out faster than the document bounds it"
+        };
+        out.push(
+            Diagnostic::new(
+                Code::CostBlowup,
+                format!(
+                    "estimated ~{estimate:.0} intermediate rows over a document of \
+                     {doc_size:.0} elements: {detail}"
+                ),
+            )
+            .with_help("add a join or a more selective predicate to bound the match"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analyzer;
+    use gql_ssdm::Severity;
+
+    fn report(src: &str) -> Report {
+        Analyzer::new().analyze_xmlgl_src(src)
+    }
+
+    #[test]
+    fn disconnected_extract_warns() {
+        let r = report(
+            "rule {\n  extract {\n    restaurant as $r\n    hotel as $h\n  }\n  construct { out { all $r  all $h } }\n}",
+        );
+        let d = r
+            .iter()
+            .find(|d| d.code == Code::DisconnectedQuery)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.line, 4); // the hotel component
+        assert!(d.message.contains("2 disconnected components"));
+    }
+
+    #[test]
+    fn joins_connect_components() {
+        let r = report(
+            "rule { extract { restaurant { name as $a }  hotel { name as $b }  join $a == $b } \
+             construct { out { all $a } } }",
+        );
+        assert!(
+            !r.iter().any(|d| d.code == Code::DisconnectedQuery),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        let r = report(
+            "rule {\n  extract {\n    book { price as $p = \"10\" and > \"20\" }\n  }\n  construct { out { all $p } }\n}",
+        );
+        let d = r
+            .iter()
+            .find(|d| d.code == Code::ContradictoryPredicate)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("can never hold"), "{}", d.message);
+    }
+
+    #[test]
+    fn satisfiable_ranges_do_not_warn() {
+        let r = report(
+            "rule { extract { book { price as $p > \"10\" and < \"20\" } } \
+             construct { out { all $p } } }",
+        );
+        assert!(
+            !r.iter().any(|d| d.code == Code::ContradictoryPredicate),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn clause_logic() {
+        use CmpOp::*;
+        assert!(clauses_contradict((Eq, "a"), (Eq, "b")));
+        assert!(!clauses_contradict((Eq, "a"), (Eq, "a")));
+        assert!(clauses_contradict((Eq, "5"), (Gt, "9")));
+        assert!(clauses_contradict((Lt, "3"), (Gt, "7")));
+        assert!(!clauses_contradict((Lt, "7"), (Gt, "3")));
+        assert!(clauses_contradict((Le, "3"), (Ge, "4")));
+        assert!(!clauses_contradict((Le, "3"), (Ge, "3")));
+        assert!(clauses_contradict((StartsWith, "ab"), (StartsWith, "cd")));
+        assert!(!clauses_contradict((StartsWith, "ab"), (StartsWith, "abc")));
+        assert!(clauses_contradict((Eq, "abc"), (Contains, "xyz")));
+        assert!(!clauses_contradict((Ne, "a"), (Ne, "b")));
+    }
+
+    #[test]
+    fn unused_variable_is_a_hint() {
+        let r = report(
+            "rule {\n  extract {\n    restaurant as $r {\n      name as $n\n    }\n  }\n  construct { out { all $r } }\n}",
+        );
+        let d = r.iter().find(|d| d.code == Code::UnusedVariable).unwrap();
+        assert_eq!(d.severity, Severity::Hint);
+        assert!(d.message.contains("$n"));
+        assert_eq!(d.span.line, 4);
+        assert_eq!(d.rule.as_deref(), Some("rule 1 (restaurant)"));
+    }
+
+    #[test]
+    fn schema_mismatch_warns() {
+        let dtd = gql_ssdm::dtd::Dtd::parse(
+            "<!ELEMENT guide (restaurant*)>\n\
+             <!ELEMENT restaurant (name, menu*)>\n\
+             <!ELEMENT name (#PCDATA)>\n\
+             <!ELEMENT menu (#PCDATA)>\n\
+             <!ATTLIST restaurant stars CDATA #IMPLIED>",
+        )
+        .unwrap();
+        let schema = gql_xmlgl::schema::GlSchema::from_dtd(&dtd);
+        let analyzer = Analyzer::new().with_gl_schema(schema);
+        // 'review' is not a declared child of restaurant.
+        let r = analyzer.analyze_xmlgl_src(
+            "rule {\n  extract {\n    restaurant as $r {\n      review as $v\n    }\n  }\n  construct { out { all $r  all $v } }\n}",
+        );
+        let d = r
+            .iter()
+            .find(|d| d.code == Code::XmlSchemaMismatch)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("'review'"), "{}", d.message);
+        assert_eq!(d.span.line, 4);
+        // Deep edges check reachability, and declared patterns stay clean.
+        let r = analyzer.analyze_xmlgl_src(
+            "rule { extract { guide { deep name as $n } } construct { out { all $n } } }",
+        );
+        assert!(
+            !r.iter().any(|d| d.code == Code::XmlSchemaMismatch),
+            "{}",
+            r.render()
+        );
+    }
+
+    #[test]
+    fn cost_pass_flags_products() {
+        let doc = gql_ssdm::Document::parse_str(
+            "<g><a>1</a><a>2</a><a>3</a><b>1</b><b>2</b><b>3</b></g>",
+        )
+        .unwrap();
+        let stats = gql_core::stats::DocStats::collect(&doc);
+        let analyzer = Analyzer::new().with_stats(stats);
+        let r = analyzer.analyze_xmlgl_src(
+            "rule { extract { a as $x  b as $y } construct { out { all $x  all $y } } }",
+        );
+        let d = r.iter().find(|d| d.code == Code::CostBlowup).unwrap();
+        assert_eq!(d.severity, Severity::Hint);
+        assert!(d.message.contains("cross product"), "{}", d.message);
+        // A selective single-scan query stays quiet.
+        let r =
+            analyzer.analyze_xmlgl_src("rule { extract { a as $x } construct { out { all $x } } }");
+        assert!(!r.iter().any(|d| d.code == Code::CostBlowup));
+    }
+}

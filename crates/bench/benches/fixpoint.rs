@@ -1,8 +1,9 @@
 //! Design-choice ablation D3: naive vs semi-naive fixpoint iteration on the
 //! recursive Q10 closure and on a pure chain transitive closure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::microbench::{BenchmarkId, Criterion};
 use gql_bench::suite::{self, Dataset};
+use gql_bench::{criterion_group, criterion_main};
 use gql_wglog::eval::{run_with, FixpointMode};
 use gql_wglog::instance::{Instance, Object};
 use gql_wglog::rule::{Program, RuleBuilder};

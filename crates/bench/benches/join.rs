@@ -2,8 +2,9 @@
 //! pattern-based (factor the join once) and navigational (re-navigate per
 //! candidate) styles, plus the algebra plan.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::microbench::{BenchmarkId, Criterion};
 use gql_bench::suite::Dataset;
+use gql_bench::{criterion_group, criterion_main};
 use gql_core::{algebra, translate};
 
 fn q6_xmlgl() -> gql_xmlgl::ast::Program {

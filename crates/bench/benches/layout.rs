@@ -2,8 +2,9 @@
 //! median crossing-reduction heuristics, on the suite diagrams and on
 //! synthetic layered tangles where crossings actually occur.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::microbench::{BenchmarkId, Criterion};
 use gql_bench::suite;
+use gql_bench::{criterion_group, criterion_main};
 use gql_layout::{layout, Diagram, EdgeSpec, LayoutOptions, NodeSpec, OrderingHeuristic, Shape};
 
 /// A layered "tangle": k layers of w nodes, each node wired to 2 pseudo-

@@ -2,8 +2,9 @@
 //! vs deoptimized (nested loops, hoisted filters) algebra plans, including
 //! a low-selectivity self-join where pushdown pays most.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::microbench::{BenchmarkId, Criterion};
 use gql_bench::suite::Dataset;
+use gql_bench::{criterion_group, criterion_main};
 use gql_core::{algebra, translate};
 use gql_xmlgl::ast::CmpOp;
 use gql_xmlgl::builder::{RuleBuilder, C, Q};

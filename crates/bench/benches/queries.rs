@@ -1,7 +1,8 @@
 //! Experiments F1/F2/F4 + Q2: the worked-figure queries under each engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gql_bench::microbench::{BenchmarkId, Criterion};
 use gql_bench::suite::Dataset;
+use gql_bench::{criterion_group, criterion_main};
 use gql_core::{Engine, QueryKind};
 
 fn bench_figure_queries(c: &mut Criterion) {

@@ -2,8 +2,9 @@
 //! conjunctive and negation query classes. Also exercises the arena-store
 //! design choice (D1): document build + scan cost at each scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gql_bench::microbench::{BenchmarkId, Criterion, Throughput};
 use gql_bench::suite;
+use gql_bench::{criterion_group, criterion_main};
 use gql_core::Engine;
 
 fn bench_scaling(c: &mut Criterion) {

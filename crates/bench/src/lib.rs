@@ -8,8 +8,9 @@
 //! * [`tables`] — a plain-text table renderer for the harness output;
 //! * the `harness` binary (`cargo run -p gql-bench --bin harness -- all`)
 //!   prints tables T1–T5 and writes figures F1–F5 as SVG;
-//! * the Criterion benches (`cargo bench`) measure the same workloads with
-//!   statistical rigour.
+//! * the benches (`cargo bench`) measure the same workloads with the
+//!   dependency-free [`microbench`] timer.
 
+pub mod microbench;
 pub mod suite;
 pub mod tables;

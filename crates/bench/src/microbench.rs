@@ -1,0 +1,193 @@
+//! A dependency-free stand-in for the slice of the Criterion API the
+//! benches use, so `cargo bench` works in this offline workspace.
+//!
+//! Timing model: each `b.iter(f)` call runs one untimed warm-up, then
+//! `sample_size` timed samples; the reported figure is the mean wall-clock
+//! time per iteration (with an elements/second rate when the group set a
+//! [`Throughput`]). No outlier rejection or significance testing — for
+//! statistically rigorous numbers, wire the same closures into a real
+//! harness; for "did this get 10× slower" regression checks this is
+//! enough.
+//!
+//! `GQL_BENCH_SAMPLES` overrides every group's sample size (e.g. `=1` for
+//! a smoke run).
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level driver handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("{name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Element/byte counts that turn mean times into rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A named group of related measurements sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.effective_samples(),
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.mean);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut bencher = Bencher {
+            samples: self.effective_samples(),
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.mean);
+    }
+
+    pub fn finish(self) {}
+
+    fn effective_samples(&self) -> usize {
+        std::env::var("GQL_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.sample_size)
+            .max(1)
+    }
+
+    fn report(&self, id: &str, mean: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if !mean.is_zero() => {
+                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+                format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("  {}/{id}: {mean:.2?}/iter{rate}", self.name);
+    }
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+/// Collect bench functions into one runner, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::microbench::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_a_mean() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut ran = 0usize;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert!(ran >= 4); // warm-up + samples
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_parameter() {
+        assert_eq!(BenchmarkId::new("engine", 400).to_string(), "engine/400");
+    }
+}

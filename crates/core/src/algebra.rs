@@ -509,8 +509,7 @@ pub fn execute(plan: &Plan, doc: &Document) -> Result<Table> {
             // Key the right side once; the loop still compares per pair (the
             // point of the ablation baseline) but no longer re-walks each
             // right subtree per left row.
-            let right_keys: Vec<String> =
-                r.rows.iter().map(|rr| rr[ri].content_key(doc)).collect();
+            let right_keys: Vec<String> = r.rows.iter().map(|rr| rr[ri].content_key(doc)).collect();
             for lr in &l.rows {
                 let lk = lr[li].content_key(doc);
                 for (rr, rk) in r.rows.iter().zip(&right_keys) {

@@ -54,8 +54,40 @@ impl Engine {
         self.resident_instance = Some(Instance::from_document(doc));
     }
 
+    /// Static-analysis gate: Error-level diagnostics (well-formedness,
+    /// safety, stratifiability) refuse the program before any evaluation.
+    fn reject_errors(query: &QueryKind) -> Result<()> {
+        let errors: Vec<gql_ssdm::Diagnostic> = match query {
+            QueryKind::XmlGl(program) => gql_xmlgl::check::diagnostics(program)
+                .into_iter()
+                .filter(gql_ssdm::Diagnostic::is_error)
+                .collect(),
+            QueryKind::WgLog(program) => {
+                let mut ds: Vec<_> = program
+                    .diagnostics()
+                    .into_iter()
+                    .filter(gql_ssdm::Diagnostic::is_error)
+                    .collect();
+                // Stratification only means anything for well-formed rules.
+                if ds.is_empty() {
+                    ds.extend(gql_wglog::eval::stratify::diagnose(program));
+                }
+                ds
+            }
+            QueryKind::XPath(_) => Vec::new(),
+        };
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(CoreError::Rejected {
+                diagnostics: errors,
+            })
+        }
+    }
+
     /// Run a query against a document.
     pub fn run(&self, query: &QueryKind, doc: &Document) -> Result<RunOutcome> {
+        Self::reject_errors(query)?;
         match query {
             QueryKind::XmlGl(program) => {
                 let start = Instant::now();
@@ -228,6 +260,42 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.result_count, 1);
         assert_eq!(outcome.output.to_xml_string(), "<answer>2</answer>");
+    }
+
+    #[test]
+    fn unsafe_programs_are_rejected_before_evaluation() {
+        use gql_ssdm::{Code, Severity};
+        // A variable bound inside a negated subtree can never bind: the
+        // program is unsafe and must be refused with a structured Error.
+        let program = gql_xmlgl::dsl::parse_unchecked(
+            "rule {\n  extract {\n    restaurant as $r {\n      not menu as $m\n    }\n  }\n  construct { answer { all $m } }\n}",
+        )
+        .unwrap();
+        let err = Engine::new()
+            .run(&QueryKind::XmlGl(program), &doc())
+            .unwrap_err();
+        let CoreError::Rejected { diagnostics } = err else {
+            panic!("expected Rejected, got {err:?}");
+        };
+        assert!(diagnostics.iter().all(|d| d.severity == Severity::Error));
+        assert!(diagnostics.iter().any(|d| d.code == Code::NegationScope));
+        assert!(diagnostics.iter().any(|d| d.code == Code::UnsafeConstruct));
+        assert!(diagnostics[0].rule.as_deref() == Some("rule 1 (restaurant)"));
+        assert!(!diagnostics[0].span.is_none());
+
+        // And the WG-Log path refuses non-stratifiable programs.
+        let program = gql_wglog::dsl::parse(
+            "rule { query { $a: doc  $b: doc  $a -link-> $b  not $a -q-> $b } construct { $a -p-> $b } }\n\
+             rule { query { $a: doc  $b: doc  $a -p-> $b } construct { $a -q-> $b } }",
+        )
+        .unwrap();
+        let err = Engine::new()
+            .run(&QueryKind::WgLog(program), &doc())
+            .unwrap_err();
+        let CoreError::Rejected { diagnostics } = err else {
+            panic!("expected Rejected, got {err:?}");
+        };
+        assert!(diagnostics.iter().any(|d| d.code == Code::NotStratifiable));
     }
 
     #[test]

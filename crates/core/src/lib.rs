@@ -44,6 +44,11 @@ pub enum CoreError {
     Algebra { msg: String },
     /// An underlying engine failed.
     Engine { msg: String },
+    /// Static analysis refused the program before evaluation; carries every
+    /// Error-level diagnostic found.
+    Rejected {
+        diagnostics: Vec<gql_ssdm::Diagnostic>,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -54,6 +59,18 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::Algebra { msg } => write!(f, "algebra error: {msg}"),
             CoreError::Engine { msg } => write!(f, "engine error: {msg}"),
+            CoreError::Rejected { diagnostics } => {
+                write!(
+                    f,
+                    "program rejected by static analysis ({} error{}):",
+                    diagnostics.len(),
+                    if diagnostics.len() == 1 { "" } else { "s" }
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

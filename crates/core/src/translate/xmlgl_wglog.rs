@@ -190,6 +190,7 @@ pub fn xmlgl_to_wglog(rule: &xg::Rule) -> Result<wg::Program> {
             constraints: Vec::new(),
             set_attrs: Vec::new(),
             per: Vec::new(),
+            span: root_node.span,
         });
         goal.get_or_insert(tag.clone());
         for &child in &root_node.children {
@@ -351,6 +352,7 @@ fn translate_qnode(
         constraints,
         set_attrs: Vec::new(),
         per: Vec::new(),
+        span: g.node(id).span,
     });
     for (target, tag) in deferred_edges {
         translate_qnode(g, target, out, var_of, used, fresh)?;

@@ -20,8 +20,7 @@
 //! `(scale, seed)` always produces byte-identical documents, so benchmark
 //! runs are reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 use crate::document::Document;
 use crate::NodeId;
@@ -114,7 +113,7 @@ const VENDOR_NAMES: &[&str] = &[
 ];
 const COUNTRIES: &[&str] = &["holland", "france", "italy", "japan", "germany"];
 
-fn pick<'a>(rng: &mut StdRng, pool: &'a [&'a str]) -> &'a str {
+fn pick<'a>(rng: &mut Rng, pool: &'a [&'a str]) -> &'a str {
     pool[rng.gen_range(0..pool.len())]
 }
 
@@ -149,7 +148,7 @@ impl Default for BibConfig {
 ///     └── person* (id)    firstname, lastname, fulladdr? | address?
 /// ```
 pub fn bibliography(cfg: BibConfig) -> Document {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut d = Document::new();
     let bib = d.add_element(d.root(), "bib");
     let books = d.add_element(bib, "books");
@@ -234,7 +233,7 @@ impl Default for CityConfig {
 /// Roughly 25% of restaurants offer no menu — exactly the distinction the
 /// F1 query ("restaurants offering menus") selects on.
 pub fn cityguide(cfg: CityConfig) -> Document {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut d = Document::new();
     let guide = d.add_element(d.root(), "cityguide");
     for i in 0..cfg.restaurants {
@@ -277,7 +276,7 @@ pub fn cityguide(cfg: CityConfig) -> Document {
     for i in 0..cfg.hotels {
         let h = d.add_element(guide, "hotel");
         d.set_attr(h, "id", &format!("h{i}")).expect("element attr");
-        d.set_attr(h, "stars", &rng.gen_range(1..=5u32).to_string())
+        d.set_attr(h, "stars", &rng.gen_range(1..=5).to_string())
             .expect("element attr");
         d.add_text_element(h, "name", &format!("Hotel {}", pick(&mut rng, LAST_NAMES)));
         let addr = d.add_element(h, "address");
@@ -322,7 +321,7 @@ impl Default for GrocerConfig {
 /// `product/vendor` text equals some `vendors/vendor/name` text — the
 /// value-based join of F5/Q6.
 pub fn greengrocer(cfg: GrocerConfig) -> Document {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut d = Document::new();
     let shop = d.add_element(d.root(), "greengrocer");
     let vendors_used: Vec<&str> = (0..cfg.vendors.max(1))
@@ -390,7 +389,7 @@ impl Default for WebConfig {
 /// └── doc* (id)   title, link(ref→doc)*, index(ref→doc)?
 /// ```
 pub fn webgraph(cfg: WebConfig) -> Document {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut d = Document::new();
     let web = d.add_element(d.root(), "web");
     let n = cfg.docs.max(1);
@@ -412,7 +411,7 @@ pub fn webgraph(cfg: WebConfig) -> Document {
             d.set_attr(link, "ref", &format!("d{target}"))
                 .expect("element attr");
         }
-        if rng.gen_range(0..100) < cfg.index_percent {
+        if rng.gen_range(0..100) < cfg.index_percent as usize {
             let idx = d.add_element(doc, "index");
             d.set_attr(idx, "ref", &format!("d{}", rng.gen_range(0..n)))
                 .expect("element attr");
@@ -442,7 +441,7 @@ pub fn deep_chain(depth: usize, fanout: usize) -> Document {
 /// A random tree over a small tag vocabulary, for property tests: `n` element
 /// nodes attached under uniformly random earlier elements.
 pub fn random_tree(n: usize, seed: u64) -> Document {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut d = Document::new();
     let root = d.add_element(d.root(), "root");
     let tags = ["a", "b", "c", "d"];

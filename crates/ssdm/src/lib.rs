@@ -27,17 +27,20 @@
 //! ```
 
 pub mod arena;
+pub mod diag;
 pub mod document;
 pub mod dtd;
 pub mod error;
 pub mod generator;
 pub mod idref;
 pub mod path;
+pub mod rng;
 pub mod stream;
 pub mod value;
 pub mod xml;
 
 pub use arena::{NodeId, Symbol};
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use document::{Document, NodeKind};
 pub use error::{Error, Result};
 pub use value::{CmpOp, Value};

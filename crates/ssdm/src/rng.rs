@@ -1,0 +1,113 @@
+//! A small, dependency-free deterministic PRNG.
+//!
+//! The dataset generators (and the property-test harnesses downstream) need
+//! reproducible pseudo-randomness, not cryptographic quality. This is
+//! SplitMix64 (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number
+//! Generators*, OOPSLA '14): a 64-bit counter run through a finalizer with
+//! full period 2^64, excellent equidistribution for this purpose, and a
+//! trivially seedable, byte-identical-across-platforms state.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic pseudorandom generator. Equal seeds give equal streams.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seed the generator. The same seed always yields the same sequence.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in the given range. Panics on an empty range.
+    pub fn gen_range<R: UsizeRange>(&mut self, range: R) -> usize {
+        let (lo, hi) = range.bounds(); // half-open [lo, hi)
+        assert!(lo < hi, "gen_range on empty range");
+        let span = (hi - lo) as u64;
+        // Modulo bias is < span / 2^64 — irrelevant at generator scale.
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// `true` with probability `p` (clamped to [0, 1]).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 high-quality mantissa bits → uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+}
+
+/// Ranges [`Rng::gen_range`] accepts, normalized to half-open bounds.
+pub trait UsizeRange {
+    fn bounds(self) -> (usize, usize);
+}
+
+impl UsizeRange for Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl UsizeRange for RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(5..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_honoured() {
+        let mut r = Rng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut buckets = [0usize; 8];
+        for _ in 0..8000 {
+            buckets[r.gen_range(0..8)] += 1;
+        }
+        for b in buckets {
+            assert!((800..1200).contains(&b), "{buckets:?}");
+        }
+    }
+}

@@ -286,8 +286,16 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, u32, u32)>> {
     Ok(out)
 }
 
-/// Parse a WG-Log DSL program.
+/// Parse a WG-Log DSL program and check it for well-formedness.
 pub fn parse(src: &str) -> Result<Program> {
+    let program = parse_unchecked(src)?;
+    program.check()?;
+    Ok(program)
+}
+
+/// Parse without the well-formedness check — for tools (like the analyzer)
+/// that want to see ill-formed programs and report on them.
+pub fn parse_unchecked(src: &str) -> Result<Program> {
     let tokens = tokenize(src)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut program = Program::default();
@@ -301,7 +309,6 @@ pub fn parse(src: &str) -> Result<Program> {
         }
         program.rules.push(p.parse_rule()?);
     }
-    program.check()?;
     Ok(program)
 }
 
@@ -313,6 +320,15 @@ struct Parser {
 impl Parser {
     fn eof(&self) -> bool {
         self.pos >= self.tokens.len()
+    }
+
+    /// Source position of the token about to be consumed.
+    fn here(&self) -> gql_ssdm::Span {
+        self.tokens
+            .get(self.pos)
+            .map_or(gql_ssdm::Span::none(), |(_, l, c)| {
+                gql_ssdm::Span::new(*l, *c)
+            })
     }
 
     fn err_here(&self, msg: impl Into<String>) -> WgLogError {
@@ -401,9 +417,13 @@ impl Parser {
     }
 
     fn parse_rule(&mut self) -> Result<Rule> {
+        let span = self.here();
         self.expect_keyword("rule")?;
         self.expect(&Tok::LBrace)?;
-        let mut rule = Rule::default();
+        let mut rule = Rule {
+            span,
+            ..Rule::default()
+        };
         self.expect_keyword("query")?;
         self.expect(&Tok::LBrace)?;
         self.parse_section(&mut rule, Color::Query)?;
@@ -417,12 +437,13 @@ impl Parser {
     fn parse_section(&mut self, rule: &mut Rule, color: Color) -> Result<()> {
         while !self.eat(&Tok::RBrace) {
             let negated = color == Color::Query && self.eat_keyword("not");
+            let span = self.here();
             let var = self.expect_var()?;
             if self.eat(&Tok::Colon) {
                 if negated {
                     return Err(self.err_here("'not' applies to edges, not node declarations"));
                 }
-                self.parse_node_decl(rule, color, var)?;
+                self.parse_node_decl(rule, color, var, span)?;
             } else if self.peek() == Some(&Tok::Minus) {
                 self.parse_edge(rule, color, var, negated)?;
             } else {
@@ -434,7 +455,13 @@ impl Parser {
         Ok(())
     }
 
-    fn parse_node_decl(&mut self, rule: &mut Rule, color: Color, var: String) -> Result<()> {
+    fn parse_node_decl(
+        &mut self,
+        rule: &mut Rule,
+        color: Color,
+        var: String,
+        span: gql_ssdm::Span,
+    ) -> Result<()> {
         let test = match self.peek() {
             Some(Tok::Star) => {
                 self.pos += 1;
@@ -449,6 +476,7 @@ impl Parser {
             constraints: Vec::new(),
             set_attrs: Vec::new(),
             per: Vec::new(),
+            span,
         };
         loop {
             if self.eat_keyword("where") {

@@ -183,6 +183,7 @@ impl Editor {
             constraints: Vec::new(),
             set_attrs: Vec::new(),
             per: Vec::new(),
+            span: gql_ssdm::Span::none(),
         });
         Ok(())
     }

@@ -8,11 +8,12 @@
 //! negative dependency inside one component makes the program
 //! unstratifiable.
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 
-use gql_vgraph::{algo, Graph};
+use gql_ssdm::diag::{Code, Diagnostic};
+use gql_vgraph::{algo, Graph, NodeIx};
 
-use crate::rule::{Color, LabelTest, Program, Rule, TypeTest};
+use crate::rule::{rule_label, Color, LabelTest, Program, Rule, TypeTest};
 use crate::{Result, WgLogError};
 
 /// What a rule produces: (edge labels, object types).
@@ -87,16 +88,13 @@ fn meets(produced: &HashSet<String>, observed: &HashSet<String>) -> bool {
     observed.contains("*") && !produced.is_empty() || produced.iter().any(|p| observed.contains(p))
 }
 
-/// Compute strata: each stratum is a set of rule indexes; strata are
-/// returned in evaluation order.
-pub fn stratify(program: &Program) -> Result<Vec<Vec<usize>>> {
+/// Build the feeds-graph: edge B → A when B's output is observed by A;
+/// weight true for negative observation.
+fn feeds_graph(program: &Program) -> Graph<usize, bool> {
     let n = program.rules.len();
     let prod: Vec<(HashSet<String>, HashSet<String>)> =
         program.rules.iter().map(produces).collect();
     let obs: Vec<Observations> = program.rules.iter().map(observes).collect();
-
-    // feeds-graph: edge B → A when B's output is observed by A; weight true
-    // for negative observation.
     let mut g: Graph<usize, bool> = Graph::new();
     for i in 0..n {
         g.add_node(i);
@@ -106,26 +104,34 @@ pub fn stratify(program: &Program) -> Result<Vec<Vec<usize>>> {
             let negative = meets(labels, neg_l);
             let positive = meets(labels, pos_l) || meets(types, pos_t);
             if positive || negative {
-                g.add_edge(
-                    gql_vgraph::NodeIx(b as u32),
-                    gql_vgraph::NodeIx(a as u32),
-                    negative,
-                );
+                g.add_edge(NodeIx(b as u32), NodeIx(a as u32), negative);
             }
         }
     }
+    g
+}
 
-    // SCCs (Tarjan emits reverse-topological order).
-    let mut sccs = algo::tarjan_scc(&g);
-    sccs.reverse();
-
-    // Negative edge inside an SCC ⇒ not stratifiable.
+/// SCCs of the feeds-graph in topological (evaluation) order, plus each
+/// node's component index.
+fn components(g: &Graph<usize, bool>, n: usize) -> (Vec<Vec<NodeIx>>, Vec<usize>) {
+    let mut sccs = algo::tarjan_scc(g);
+    sccs.reverse(); // Tarjan emits reverse-topological order.
     let mut comp_of = vec![0usize; n];
     for (ci, scc) in sccs.iter().enumerate() {
         for &node in scc {
             comp_of[node.index()] = ci;
         }
     }
+    (sccs, comp_of)
+}
+
+/// Compute strata: each stratum is a set of rule indexes; strata are
+/// returned in evaluation order.
+pub fn stratify(program: &Program) -> Result<Vec<Vec<usize>>> {
+    let g = feeds_graph(program);
+    let (sccs, comp_of) = components(&g, program.rules.len());
+
+    // Negative edge inside an SCC ⇒ not stratifiable.
     for e in g.edge_indices() {
         if *g.edge(e) {
             let (s, t) = g.endpoints(e);
@@ -145,6 +151,109 @@ pub fn stratify(program: &Program) -> Result<Vec<Vec<usize>>> {
         .into_iter()
         .map(|scc| scc.into_iter().map(|ix| ix.index()).collect())
         .collect())
+}
+
+/// The edge labels rule `a` observes under negation that rule `b` derives —
+/// what the negation-through-recursion conflict is *about*.
+fn negated_overlap(program: &Program, b: usize, a: usize) -> Vec<String> {
+    let (labels, _) = produces(&program.rules[b]);
+    let (_, (neg_l, _)) = observes(&program.rules[a]);
+    if neg_l.contains("*") {
+        let mut all: Vec<String> = labels.into_iter().collect();
+        all.sort();
+        return all;
+    }
+    let mut out: Vec<String> = labels.intersection(&neg_l).cloned().collect();
+    out.sort();
+    out
+}
+
+/// Shortest feeds-path from `from` to `to` staying inside one component
+/// (predecessor BFS; the graphs are rule-sized, so O(V·E) is fine).
+fn path_within(g: &Graph<usize, bool>, comp_of: &[usize], from: usize, to: usize) -> Vec<usize> {
+    let comp = comp_of[from];
+    let mut prev: Vec<Option<usize>> = vec![None; comp_of.len()];
+    let mut queue = VecDeque::from([from]);
+    let mut seen = HashSet::from([from]);
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            break;
+        }
+        for e in g.edge_indices() {
+            let (s, t) = g.endpoints(e);
+            if s.index() == cur && comp_of[t.index()] == comp && seen.insert(t.index()) {
+                prev[t.index()] = Some(cur);
+                queue.push_back(t.index());
+            }
+        }
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        match prev[cur] {
+            Some(p) => {
+                path.push(p);
+                cur = p;
+            }
+            None => break, // no path (self-loop case: from == to handled above)
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// Stratification diagnostics: one [`Code::NotStratifiable`] Error per
+/// negative dependency inside a recursive component, naming the cycle
+/// rule-by-rule. Empty when the program stratifies.
+pub fn diagnose(program: &Program) -> Vec<Diagnostic> {
+    let g = feeds_graph(program);
+    let (_, comp_of) = components(&g, program.rules.len());
+    let label = |i: usize| rule_label(&program.rules[i], i);
+    let mut out = Vec::new();
+    for e in g.edge_indices() {
+        if !*g.edge(e) {
+            continue;
+        }
+        let (s, t) = g.endpoints(e);
+        let (b, a) = (s.index(), t.index()); // b derives, a negates
+        if comp_of[b] != comp_of[a] {
+            continue;
+        }
+        let what = negated_overlap(program, b, a);
+        let what = if what.is_empty() {
+            "its output".to_string()
+        } else {
+            what.iter()
+                .map(|l| format!("'{l}'"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        // The cycle: a's output feeds … feeds b, whose output a negates.
+        let cycle: Vec<String> = path_within(&g, &comp_of, a, b)
+            .into_iter()
+            .chain([a])
+            .map(label)
+            .collect();
+        out.push(
+            Diagnostic::new(
+                Code::NotStratifiable,
+                format!(
+                    "negation through recursion: {} negates {what}, which {} derives \
+                     in the same recursive component (cycle: {})",
+                    label(a),
+                    label(b),
+                    cycle.join(" → "),
+                ),
+            )
+            .with_span(program.rules[a].span)
+            .with_rule(label(a))
+            .with_help(
+                "break the cycle so every negated label is fully derived in an \
+                 earlier stratum than the rule that negates it",
+            ),
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -245,6 +354,25 @@ mod tests {
         };
         let err = stratify(&p).unwrap_err();
         assert!(matches!(err, WgLogError::NotStratifiable { .. }));
+
+        let ds = diagnose(&p);
+        assert!(!ds.is_empty());
+        assert_eq!(ds[0].code, Code::NotStratifiable);
+        // The cycle is spelled out rule-by-rule with head labels.
+        assert!(ds[0].message.contains("rule 1 (p)"), "{}", ds[0].message);
+        assert!(ds[0].message.contains("rule 2 (q)"), "{}", ds[0].message);
+        assert!(ds[0].message.contains("'q'"), "{}", ds[0].message);
+        assert!(ds[0].message.contains("cycle:"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn stratifiable_programs_have_no_diagnose_output() {
+        let (base, step) = base_and_step();
+        let p = Program {
+            rules: vec![base, step],
+            goal: None,
+        };
+        assert!(diagnose(&p).is_empty());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod rule;
 pub mod schema;
 
 pub use instance::{Instance, ObjId};
-pub use rule::{Color, Program, Rule};
+pub use rule::{rule_label, Color, Program, Rule};
 
 /// Errors shared by the WG-Log front- and back-ends.
 #[derive(Debug, Clone, PartialEq, Eq)]

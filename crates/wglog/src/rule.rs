@@ -7,6 +7,9 @@
 
 use std::fmt;
 
+use gql_ssdm::diag::{Code, Diagnostic};
+pub use gql_ssdm::Span;
+
 use crate::{Result, WgLogError};
 
 /// Part colouring: thin/red = query, thick/green = construct.
@@ -86,6 +89,9 @@ pub struct RNode {
     /// object per rule (the figure-F1 "single collection node" reading).
     /// Variables referenced by `set_attrs` copies are implicitly included.
     pub per: Vec<String>,
+    /// Source position of the node's declaration (metadata; ignored by
+    /// equality so printed/reparsed rules still compare equal).
+    pub span: Span,
 }
 
 /// Value of an attribute set on an invented object.
@@ -163,6 +169,8 @@ pub struct REdge {
 pub struct Rule {
     pub nodes: Vec<RNode>,
     pub edges: Vec<REdge>,
+    /// Position of the rule's opening keyword (metadata only).
+    pub span: Span,
 }
 
 impl Rule {
@@ -192,80 +200,136 @@ impl Rule {
             .filter(|id| self.node(*id).color == Color::Construct)
     }
 
-    /// Well-formedness: distinct vars; edges in range; construct edges never
-    /// negated; construct parts non-trivially connected to the rule; regular
-    /// paths and wildcards only on the query side; negation only on edges
-    /// whose endpoints are query nodes.
-    pub fn check(&self) -> Result<()> {
-        let ill = |msg: String| Err(WgLogError::IllFormed { msg });
+    /// Human label for the rule: what it constructs (first construct node's
+    /// type, or first construct edge's label), e.g. `rest-list`.
+    pub fn head_label(&self) -> Option<String> {
+        if let Some(id) = self.construct_nodes().next() {
+            return Some(self.node(id).test.to_string());
+        }
+        self.edges
+            .iter()
+            .find(|e| e.color == Color::Construct)
+            .map(|e| e.label.to_string())
+    }
+
+    /// All well-formedness diagnostics for this rule: distinct vars; edges
+    /// in range; construct edges never negated and concretely labelled;
+    /// regular paths and wildcards only on the query side; query edges
+    /// never touching construct nodes; `per`/attribute copies referencing
+    /// query variables.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let ill =
+            |msg: String, span: Span| Diagnostic::new(Code::WgLogIllFormed, msg).with_span(span);
         let mut seen = std::collections::HashSet::new();
         for n in &self.nodes {
             if n.var.is_empty() {
-                return ill("empty variable name".into());
+                out.push(ill("empty variable name".into(), n.span));
             }
-            if !seen.insert(&n.var) {
-                return ill(format!("variable ${} is bound twice", n.var));
+            if !n.var.is_empty() && !seen.insert(&n.var) {
+                out.push(
+                    Diagnostic::new(
+                        Code::DuplicateVariable,
+                        format!("variable ${} is bound twice", n.var),
+                    )
+                    .with_span(n.span),
+                );
             }
             if n.color == Color::Query && !n.set_attrs.is_empty() {
-                return ill(format!("query node ${} cannot set attributes", n.var));
+                out.push(ill(
+                    format!("query node ${} cannot set attributes", n.var),
+                    n.span,
+                ));
             }
             if n.color == Color::Construct {
                 if n.test == TypeTest::Any {
-                    return ill(format!("construct node ${} needs a concrete type", n.var));
+                    out.push(ill(
+                        format!("construct node ${} needs a concrete type", n.var),
+                        n.span,
+                    ));
                 }
                 if !n.constraints.is_empty() {
-                    return ill(format!(
-                        "construct node ${} cannot carry constraints",
-                        n.var
+                    out.push(ill(
+                        format!("construct node ${} cannot carry constraints", n.var),
+                        n.span,
                     ));
                 }
                 for var in &n.per {
                     match self.by_var(var) {
-                        None => return ill(format!("'per' references unknown ${var}")),
-                        Some(src) if self.node(src).color != Color::Query => {
-                            return ill(format!("'per' must reference a query node, got ${var}"))
-                        }
+                        None => out.push(ill(format!("'per' references unknown ${var}"), n.span)),
+                        Some(src) if self.node(src).color != Color::Query => out.push(ill(
+                            format!("'per' must reference a query node, got ${var}"),
+                            n.span,
+                        )),
                         _ => {}
                     }
                 }
                 for (_, v) in &n.set_attrs {
                     if let AttrValue::CopyFrom { var, .. } = v {
                         match self.by_var(var) {
-                            None => return ill(format!("attribute copies unknown ${var}")),
-                            Some(src) if self.node(src).color != Color::Query => {
-                                return ill(format!("attribute copies from non-query node ${var}"))
+                            None => {
+                                out.push(ill(format!("attribute copies unknown ${var}"), n.span))
                             }
+                            Some(src) if self.node(src).color != Color::Query => out.push(ill(
+                                format!("attribute copies from non-query node ${var}"),
+                                n.span,
+                            )),
                             _ => {}
                         }
                     }
                 }
             }
         }
-        if self.nodes.iter().all(|n| n.color == Color::Query) && self.nodes.is_empty() {
-            return ill("a rule needs at least one node".into());
+        if self.nodes.is_empty() {
+            out.push(ill("a rule needs at least one node".into(), self.span));
         }
         for e in &self.edges {
             if e.from.index() >= self.nodes.len() || e.to.index() >= self.nodes.len() {
-                return ill("edge endpoint out of range".into());
+                out.push(ill("edge endpoint out of range".into(), self.span));
+                continue;
             }
+            let espan = self.node(e.from).span;
             let (fc, tc) = (self.node(e.from).color, self.node(e.to).color);
             match e.color {
                 Color::Construct => {
                     if e.negated {
-                        return ill("construct edges cannot be negated".into());
+                        out.push(ill("construct edges cannot be negated".into(), espan));
                     }
                     if matches!(e.label, LabelTest::Any | LabelTest::Regex(_)) {
-                        return ill("construct edges need a concrete label".into());
+                        out.push(ill("construct edges need a concrete label".into(), espan));
                     }
                 }
                 Color::Query => {
                     if fc == Color::Construct || tc == Color::Construct {
-                        return ill("query edges cannot touch construct nodes".into());
+                        out.push(
+                            ill("query edges cannot touch construct nodes".into(), espan)
+                                .with_help(
+                                    "thin (query) edges match existing data; invented \
+                                     objects are only reachable through thick edges",
+                                ),
+                        );
                     }
                 }
             }
         }
-        Ok(())
+        out
+    }
+
+    /// Fail-fast well-formedness check: the first Error-level diagnostic.
+    pub fn check(&self) -> Result<()> {
+        match self.diagnostics().into_iter().find(Diagnostic::is_error) {
+            Some(d) => Err(WgLogError::IllFormed { msg: d.message }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Human label for a rule in a program: 1-based index plus what it
+/// constructs, e.g. `rule 2 (rest-list)`.
+pub fn rule_label(rule: &Rule, index: usize) -> String {
+    match rule.head_label() {
+        Some(h) => format!("rule {} ({h})", index + 1),
+        None => format!("rule {}", index + 1),
     }
 }
 
@@ -278,21 +342,41 @@ pub struct Program {
 }
 
 impl Program {
-    pub fn check(&self) -> Result<()> {
+    /// All well-formedness diagnostics, each tagged with the offending
+    /// rule's label and falling back to the rule's span.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
         if self.rules.is_empty() {
-            return Err(WgLogError::IllFormed {
-                msg: "a program needs at least one rule".into(),
-            });
+            out.push(Diagnostic::new(
+                Code::WgLogIllFormed,
+                "a program needs at least one rule",
+            ));
+            return out;
         }
         for (i, r) in self.rules.iter().enumerate() {
-            r.check().map_err(|e| match e {
-                WgLogError::IllFormed { msg } => WgLogError::IllFormed {
-                    msg: format!("rule {}: {msg}", i + 1),
-                },
-                other => other,
-            })?;
+            let label = rule_label(r, i);
+            for mut d in r.diagnostics() {
+                if d.span.is_none() {
+                    d.span = r.span;
+                }
+                out.push(d.with_rule(label.clone()));
+            }
         }
-        Ok(())
+        out
+    }
+
+    /// Fail-fast check: the first Error-level diagnostic, its message
+    /// prefixed with the rule's label.
+    pub fn check(&self) -> Result<()> {
+        match self.diagnostics().into_iter().find(Diagnostic::is_error) {
+            Some(d) => Err(WgLogError::IllFormed {
+                msg: match &d.rule {
+                    Some(label) => format!("{label}: {}", d.message),
+                    None => d.message,
+                },
+            }),
+            None => Ok(()),
+        }
     }
 }
 
@@ -320,6 +404,7 @@ impl RuleBuilder {
             constraints: Vec::new(),
             set_attrs: Vec::new(),
             per: Vec::new(),
+            span: Span::none(),
         });
         self
     }
@@ -333,6 +418,7 @@ impl RuleBuilder {
             constraints: Vec::new(),
             set_attrs: Vec::new(),
             per: Vec::new(),
+            span: Span::none(),
         });
         self
     }
@@ -601,5 +687,21 @@ mod tests {
         };
         let err = p.check().unwrap_err();
         assert!(err.to_string().contains("rule 2"));
+    }
+
+    #[test]
+    fn diagnostics_name_rule_and_head() {
+        let mut bad = f1_rule();
+        bad.edges[1].negated = true;
+        let p = Program {
+            rules: vec![f1_rule(), bad],
+            goal: Some("rest-list".into()),
+        };
+        let ds = p.diagnostics();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, gql_ssdm::Code::WgLogIllFormed);
+        assert_eq!(ds[0].rule.as_deref(), Some("rule 2 (rest-list)"));
+        let err = p.check().unwrap_err().to_string();
+        assert!(err.contains("rule 2 (rest-list)"), "{err}");
     }
 }

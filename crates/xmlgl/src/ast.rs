@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+pub use gql_ssdm::Span;
+
 /// Index of a node in a rule's extract graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QNodeId(pub u32);
@@ -148,6 +150,10 @@ pub struct QNode {
     pub predicate: Predicate,
     /// Containment edges to child query nodes.
     pub children: Vec<QEdge>,
+    /// Source position of the node in DSL text ([`Span::none`] for
+    /// programs assembled via the builder). Metadata only — ignored by
+    /// equality (see [`Span`]).
+    pub span: Span,
 }
 
 impl QNode {
@@ -157,6 +163,7 @@ impl QNode {
             var: None,
             predicate: Predicate::always(),
             children: Vec::new(),
+            span: Span::none(),
         }
     }
 
@@ -166,6 +173,7 @@ impl QNode {
             var: None,
             predicate: Predicate::always(),
             children: Vec::new(),
+            span: Span::none(),
         }
     }
 
@@ -175,6 +183,7 @@ impl QNode {
             var: None,
             predicate: Predicate::always(),
             children: Vec::new(),
+            span: Span::none(),
         }
     }
 }
@@ -330,6 +339,8 @@ pub enum CNodeKind {
 pub struct CNode {
     pub kind: CNodeKind,
     pub children: Vec<CNodeId>,
+    /// Source position (metadata only — ignored by equality, see [`Span`]).
+    pub span: Span,
 }
 
 impl CNode {
@@ -337,6 +348,7 @@ impl CNode {
         CNode {
             kind,
             children: Vec::new(),
+            span: Span::none(),
         }
     }
 }
@@ -390,6 +402,8 @@ impl ConstructGraph {
 pub struct Rule {
     pub extract: ExtractGraph,
     pub construct: ConstructGraph,
+    /// Position of the rule's opening keyword in DSL text (metadata only).
+    pub span: Span,
 }
 
 /// An XML-GL program is a set of rules; their outputs are concatenated

@@ -129,6 +129,7 @@ impl Q {
             var: self.var,
             predicate: self.predicate,
             children: Vec::new(),
+            span: crate::ast::Span::none(),
         });
         g.ordered[id.index()] = self.ordered;
         let mut edges = Vec::with_capacity(self.children.len());
@@ -374,7 +375,11 @@ impl RuleBuilder {
             let root = tree.flatten(&mut construct, &extract)?;
             construct.roots.push(root);
         }
-        let rule = Rule { extract, construct };
+        let rule = Rule {
+            extract,
+            construct,
+            span: crate::ast::Span::none(),
+        };
         crate::check::check_rule(&rule)?;
         Ok(rule)
     }

@@ -1,4 +1,5 @@
-//! Well-formedness checking of XML-GL diagrams.
+//! Well-formedness and safety checking of XML-GL diagrams, reported as
+//! structured diagnostics.
 //!
 //! A drawing can be syntactically assembled and still be meaningless; these
 //! are the rules the interactive editor would enforce while drawing, applied
@@ -9,73 +10,180 @@
 //! 3. variable names bind at most one node per rule;
 //! 4. negated subtrees bind no variables (nothing inside "does not exist"
 //!    can flow to the construct side);
-//! 5. join endpoints are distinct nodes;
+//! 5. join endpoints are distinct nodes outside negated scope;
 //! 6. construct roots are element nodes, attribute nodes hang off elements,
-//!    and collector/aggregate nodes are leaves.
+//!    and collector/aggregate nodes are leaves;
+//! 7. **safety / range restriction**: every query node the construct side
+//!    references is positively bound — a reference into a negated subtree
+//!    can never produce a binding.
+//!
+//! The primary interface is [`diagnostics`], which reports *every* problem
+//! as a [`Diagnostic`] with a stable code, severity, source span and the
+//! offending rule's label. [`check_program`]/[`check_rule`] are the
+//! original fail-fast API, kept as a shim over the first Error-level
+//! diagnostic.
 
 use std::collections::HashSet;
 
-use crate::ast::{CNodeKind, ExtractGraph, Program, QNodeId, QNodeKind, Rule};
+use gql_ssdm::diag::{Code, Diagnostic};
+
+use crate::ast::{CNodeKind, CValue, ExtractGraph, Program, QNodeId, QNodeKind, Rule};
 use crate::{Result, XmlGlError};
 
-fn ill(msg: impl Into<String>) -> XmlGlError {
-    XmlGlError::IllFormed { msg: msg.into() }
+/// Human label for a rule: 1-based index plus the first extract root's
+/// element name, e.g. `rule 2 (book)`.
+pub fn rule_label(rule: &Rule, index: usize) -> String {
+    match rule
+        .extract
+        .roots
+        .first()
+        .map(|&r| &rule.extract.node(r).kind)
+    {
+        Some(QNodeKind::Element(t)) => format!("rule {} ({t})", index + 1),
+        _ => format!("rule {}", index + 1),
+    }
 }
 
-/// Check every rule of a program.
-pub fn check_program(p: &Program) -> Result<()> {
+/// All well-formedness/safety diagnostics for a program, each tagged with
+/// the offending rule's label and source span.
+pub fn diagnostics(p: &Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
     if p.rules.is_empty() {
-        return Err(ill("a program needs at least one rule"));
+        out.push(Diagnostic::new(
+            Code::XmlGlIllFormed,
+            "a program needs at least one rule",
+        ));
+        return out;
     }
     for (i, rule) in p.rules.iter().enumerate() {
-        check_rule(rule).map_err(|e| match e {
-            XmlGlError::IllFormed { msg } => ill(format!("rule {}: {msg}", i + 1)),
-            other => other,
-        })?;
+        let label = rule_label(rule, i);
+        for mut d in rule_diagnostics(rule) {
+            if d.span.is_none() {
+                d.span = rule.span;
+            }
+            out.push(d.with_rule(label.clone()));
+        }
     }
-    Ok(())
+    out
 }
 
-/// Check one rule.
+/// All diagnostics for a single rule (no rule label attached).
+pub fn rule_diagnostics(rule: &Rule) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    extract_diagnostics(&rule.extract, &mut out);
+    construct_diagnostics(rule, &mut out);
+    out
+}
+
+/// Check every rule of a program; fails with the first Error-level
+/// diagnostic, its message prefixed by the rule's label.
+pub fn check_program(p: &Program) -> Result<()> {
+    match diagnostics(p).into_iter().find(Diagnostic::is_error) {
+        Some(d) => Err(XmlGlError::IllFormed {
+            msg: match &d.rule {
+                Some(label) => format!("{label}: {}", d.message),
+                None => d.message,
+            },
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Check one rule; fails with the first Error-level diagnostic.
 pub fn check_rule(rule: &Rule) -> Result<()> {
-    check_extract(&rule.extract)?;
-    check_construct(rule)?;
-    Ok(())
+    match rule_diagnostics(rule)
+        .into_iter()
+        .find(Diagnostic::is_error)
+    {
+        Some(d) => Err(XmlGlError::IllFormed { msg: d.message }),
+        None => Ok(()),
+    }
 }
 
-fn check_extract(g: &ExtractGraph) -> Result<()> {
+/// Query nodes reachable through a negated (crossed-out) edge: nothing in
+/// here ever produces a binding.
+pub fn negated_scope(g: &ExtractGraph) -> HashSet<QNodeId> {
+    let mut scope: HashSet<QNodeId> = HashSet::new();
+    for id in g.ids() {
+        for e in &g.node(id).children {
+            if e.negated && e.target.index() < g.nodes.len() {
+                let mut stack = vec![e.target];
+                while let Some(t) = stack.pop() {
+                    if scope.insert(t) {
+                        stack.extend(
+                            g.node(t)
+                                .children
+                                .iter()
+                                .map(|c| c.target)
+                                .filter(|c| c.index() < g.nodes.len()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    scope
+}
+
+fn extract_diagnostics(g: &ExtractGraph, out: &mut Vec<Diagnostic>) {
     if g.roots.is_empty() {
-        return Err(ill("extract graph has no root"));
+        out.push(Diagnostic::new(
+            Code::XmlGlIllFormed,
+            "extract graph has no root",
+        ));
     }
     // Roots are elements.
     for &r in &g.roots {
         if !matches!(g.node(r).kind, QNodeKind::Element(_)) {
-            return Err(ill("extract roots must be element boxes"));
+            out.push(
+                Diagnostic::new(Code::XmlGlIllFormed, "extract roots must be element boxes")
+                    .with_span(g.node(r).span),
+            );
         }
     }
-    // Leaf discipline and reachability bookkeeping.
+    // Leaf discipline, variable discipline, dangling edges.
     let mut seen_vars: HashSet<&str> = HashSet::new();
     for id in g.ids() {
         let n = g.node(id);
         match n.kind {
             QNodeKind::Text | QNodeKind::Attribute(_) => {
                 if !n.children.is_empty() {
-                    return Err(ill("text/attribute circles cannot have children"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "text/attribute circles cannot have children",
+                        )
+                        .with_span(n.span),
+                    );
                 }
             }
             QNodeKind::Element(_) => {}
         }
         if let Some(v) = &n.var {
             if v.is_empty() {
-                return Err(ill("empty variable name"));
-            }
-            if !seen_vars.insert(v.as_str()) {
-                return Err(ill(format!("variable ${v} is bound twice")));
+                out.push(
+                    Diagnostic::new(Code::XmlGlIllFormed, "empty variable name").with_span(n.span),
+                );
+            } else if !seen_vars.insert(v.as_str()) {
+                out.push(
+                    Diagnostic::new(
+                        Code::DuplicateVariable,
+                        format!("variable ${v} is bound twice"),
+                    )
+                    .with_span(n.span)
+                    .with_help(format!(
+                        "rename one occurrence, or use `join ${v} == $other` \
+                         to express that two nodes bind equal data"
+                    )),
+                );
             }
         }
         for e in &n.children {
             if e.target.index() >= g.nodes.len() {
-                return Err(ill("dangling containment edge"));
+                out.push(
+                    Diagnostic::new(Code::XmlGlIllFormed, "dangling containment edge")
+                        .with_span(n.span),
+                );
             }
         }
     }
@@ -84,109 +192,202 @@ fn check_extract(g: &ExtractGraph) -> Result<()> {
     let mut parented: HashSet<QNodeId> = HashSet::new();
     for id in g.ids() {
         for e in &g.node(id).children {
-            if !parented.insert(e.target) {
-                return Err(ill(format!(
-                    "node {:?} has two containment parents; use a join instead",
-                    e.target
-                )));
+            if e.target.index() < g.nodes.len() && !parented.insert(e.target) {
+                out.push(
+                    Diagnostic::new(
+                        Code::XmlGlIllFormed,
+                        format!(
+                            "node {:?} has two containment parents; use a join instead",
+                            e.target
+                        ),
+                    )
+                    .with_span(g.node(e.target).span),
+                );
             }
         }
     }
     for &r in &g.roots {
         if parented.contains(&r) {
-            return Err(ill("a root cannot also be a child"));
+            out.push(
+                Diagnostic::new(Code::XmlGlIllFormed, "a root cannot also be a child")
+                    .with_span(g.node(r).span),
+            );
         }
     }
     // Negated subtrees bind no variables.
-    for id in g.ids() {
-        for e in &g.node(id).children {
-            if e.negated {
-                let mut stack = vec![e.target];
-                while let Some(t) = stack.pop() {
-                    let tn = g.node(t);
-                    if tn.var.is_some() {
-                        return Err(ill(
-                            "variables inside a negated (crossed-out) subtree can never bind",
-                        ));
-                    }
-                    stack.extend(tn.children.iter().map(|c| c.target));
-                }
-            }
+    let scope = negated_scope(g);
+    for &t in &scope {
+        if g.node(t).var.is_some() {
+            out.push(
+                Diagnostic::new(
+                    Code::NegationScope,
+                    "variables inside a negated (crossed-out) subtree can never bind",
+                )
+                .with_span(g.node(t).span)
+                .with_help(
+                    "negation asserts absence; move the binding outside the \
+                     crossed-out edge or drop the variable",
+                ),
+            );
         }
     }
     // Joins connect distinct existing nodes that can actually bind: an
     // endpoint inside a negated subtree is never bound, which would make
     // the join silently unsatisfiable.
-    let mut negated_scope: HashSet<QNodeId> = HashSet::new();
-    for id in g.ids() {
-        for e in &g.node(id).children {
-            if e.negated {
-                let mut stack = vec![e.target];
-                while let Some(t) = stack.pop() {
-                    if negated_scope.insert(t) {
-                        stack.extend(g.node(t).children.iter().map(|c| c.target));
-                    }
-                }
-            }
-        }
-    }
     for &(a, b) in &g.joins {
         if a == b {
-            return Err(ill("a join must connect two distinct nodes"));
+            out.push(
+                Diagnostic::new(
+                    Code::XmlGlIllFormed,
+                    "a join must connect two distinct nodes",
+                )
+                .with_span(if a.index() < g.nodes.len() {
+                    g.node(a).span
+                } else {
+                    Default::default()
+                }),
+            );
+            continue;
         }
         if a.index() >= g.nodes.len() || b.index() >= g.nodes.len() {
-            return Err(ill("join references a missing node"));
-        }
-        if negated_scope.contains(&a) || negated_scope.contains(&b) {
-            return Err(ill(
-                "a join endpoint inside a negated subtree can never bind",
+            out.push(Diagnostic::new(
+                Code::XmlGlIllFormed,
+                "join references a missing node",
             ));
+            continue;
+        }
+        if scope.contains(&a) || scope.contains(&b) {
+            out.push(
+                Diagnostic::new(
+                    Code::NegationScope,
+                    "a join endpoint inside a negated subtree can never bind",
+                )
+                .with_span(g.node(a).span),
+            );
         }
     }
-    Ok(())
 }
 
-fn check_construct(rule: &Rule) -> Result<()> {
+fn construct_diagnostics(rule: &Rule, out: &mut Vec<Diagnostic>) {
     let g = &rule.construct;
     let q = &rule.extract;
     if g.roots.is_empty() {
-        return Err(ill("construct graph has no root"));
+        out.push(Diagnostic::new(
+            Code::XmlGlIllFormed,
+            "construct graph has no root",
+        ));
     }
     for &r in &g.roots {
         if !matches!(g.node(r).kind, CNodeKind::Element(_)) {
-            return Err(ill("construct roots must be element nodes"));
+            out.push(
+                Diagnostic::new(
+                    Code::XmlGlIllFormed,
+                    "construct roots must be element nodes",
+                )
+                .with_span(g.node(r).span),
+            );
         }
     }
-    let valid_q = |id: crate::ast::QNodeId| id.index() < q.nodes.len();
+    // Safety / range restriction: construct references must point at query
+    // nodes that exist AND are positively bound (outside negated scope).
+    let neg = negated_scope(q);
+    let valid_q = |id: QNodeId| id.index() < q.nodes.len();
+    let check_ref = |what: &str, src: QNodeId, span: gql_ssdm::Span, out: &mut Vec<Diagnostic>| {
+        if !valid_q(src) {
+            out.push(
+                Diagnostic::new(
+                    Code::XmlGlIllFormed,
+                    format!("{what} references a missing query node"),
+                )
+                .with_span(span),
+            );
+        } else if neg.contains(&src) {
+            let name = q
+                .node(src)
+                .var
+                .as_ref()
+                .map(|v| format!("${v}"))
+                .unwrap_or_else(|| format!("query node {}", src.0));
+            out.push(
+                Diagnostic::new(
+                    Code::UnsafeConstruct,
+                    format!(
+                        "unsafe construct part: {what} references {name} inside a \
+                         negated subtree, which can never bind"
+                    ),
+                )
+                .with_span(span)
+                .with_help(
+                    "every construct-side reference must be positively bound \
+                     on the extract side (range restriction)",
+                ),
+            );
+        }
+    };
     for id in g.ids() {
         let n = g.node(id);
         match &n.kind {
             CNodeKind::Element(name) => {
                 if name.is_empty() {
-                    return Err(ill("constructed elements need a tag name"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "constructed elements need a tag name",
+                        )
+                        .with_span(n.span),
+                    );
                 }
             }
             CNodeKind::Text(_) => {
                 if !n.children.is_empty() {
-                    return Err(ill("text nodes are leaves on the construct side"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "text nodes are leaves on the construct side",
+                        )
+                        .with_span(n.span),
+                    );
                 }
             }
             CNodeKind::Attribute { value, .. } => {
                 if !n.children.is_empty() {
-                    return Err(ill("attribute nodes are leaves on the construct side"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "attribute nodes are leaves on the construct side",
+                        )
+                        .with_span(n.span),
+                    );
                 }
-                if let crate::ast::CValue::Binding(src) = value {
-                    if !valid_q(*src) {
-                        return Err(ill("attribute value references a missing query node"));
-                    }
+                if let CValue::Binding(src) = value {
+                    check_ref("attribute value", *src, n.span, out);
                 }
             }
-            CNodeKind::Copy { source, .. } | CNodeKind::All { source, .. } => {
+            CNodeKind::Copy { source, .. } => {
                 if !n.children.is_empty() {
-                    return Err(ill("copy/all nodes are leaves on the construct side"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "copy/all nodes are leaves on the construct side",
+                        )
+                        .with_span(n.span),
+                    );
                 }
-                if !valid_q(*source) {
-                    return Err(ill("binding references a missing query node"));
+                check_ref("copy", *source, n.span, out);
+            }
+            CNodeKind::All { source, order } => {
+                if !n.children.is_empty() {
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "copy/all nodes are leaves on the construct side",
+                        )
+                        .with_span(n.span),
+                    );
+                }
+                check_ref("binding", *source, n.span, out);
+                if let Some(spec) = order {
+                    check_ref("order-by key", spec.key, n.span, out);
                 }
             }
             CNodeKind::GroupBy {
@@ -195,21 +396,56 @@ fn check_construct(rule: &Rule) -> Result<()> {
                 wrapper,
             } => {
                 if !n.children.is_empty() {
-                    return Err(ill("group-by nodes are leaves on the construct side"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "group-by nodes are leaves on the construct side",
+                        )
+                        .with_span(n.span),
+                    );
                 }
                 if wrapper.is_empty() {
-                    return Err(ill("group-by needs a wrapper element name"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "group-by needs a wrapper element name",
+                        )
+                        .with_span(n.span),
+                    );
                 }
                 if !valid_q(*source) || !valid_q(*key) {
-                    return Err(ill("group-by references a missing query node"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "group-by references a missing query node",
+                        )
+                        .with_span(n.span),
+                    );
+                } else {
+                    check_ref("group-by source", *source, n.span, out);
+                    check_ref("group-by key", *key, n.span, out);
                 }
             }
             CNodeKind::Aggregate { source, .. } => {
                 if !n.children.is_empty() {
-                    return Err(ill("aggregate nodes are leaves on the construct side"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "aggregate nodes are leaves on the construct side",
+                        )
+                        .with_span(n.span),
+                    );
                 }
                 if !valid_q(*source) {
-                    return Err(ill("aggregate references a missing query node"));
+                    out.push(
+                        Diagnostic::new(
+                            Code::XmlGlIllFormed,
+                            "aggregate references a missing query node",
+                        )
+                        .with_span(n.span),
+                    );
+                } else {
+                    check_ref("aggregate", *source, n.span, out);
                 }
             }
         }
@@ -218,19 +454,23 @@ fn check_construct(rule: &Rule) -> Result<()> {
             if matches!(g.node(c).kind, CNodeKind::Attribute { .. })
                 && !matches!(n.kind, CNodeKind::Element(_))
             {
-                return Err(ill(
-                    "attributes can only be attached to constructed elements",
-                ));
+                out.push(
+                    Diagnostic::new(
+                        Code::XmlGlIllFormed,
+                        "attributes can only be attached to constructed elements",
+                    )
+                    .with_span(g.node(c).span),
+                );
             }
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ast::*;
+    use gql_ssdm::Severity;
 
     fn minimal_rule() -> Rule {
         let mut extract = ExtractGraph::default();
@@ -239,12 +479,17 @@ mod tests {
         let mut construct = ConstructGraph::default();
         let out = construct.add(CNode::new(CNodeKind::Element("out".into())));
         construct.roots.push(out);
-        Rule { extract, construct }
+        Rule {
+            extract,
+            construct,
+            span: Span::none(),
+        }
     }
 
     #[test]
     fn minimal_rule_is_wellformed() {
         assert!(check_rule(&minimal_rule()).is_ok());
+        assert!(rule_diagnostics(&minimal_rule()).is_empty());
     }
 
     #[test]
@@ -253,7 +498,7 @@ mod tests {
     }
 
     #[test]
-    fn program_error_names_the_rule() {
+    fn program_error_names_the_rule_and_root_label() {
         let mut bad = minimal_rule();
         bad.extract.roots.clear();
         let p = Program {
@@ -261,6 +506,56 @@ mod tests {
         };
         let err = check_program(&p).unwrap_err();
         assert!(err.to_string().contains("rule 2"), "{err}");
+        // A rule that still has a root is labelled with its element name.
+        let mut dup = minimal_rule();
+        let root = dup.extract.roots[0];
+        dup.extract.node_mut(root).var = Some("x".into());
+        let mut t = QNode::text();
+        t.var = Some("x".into());
+        let t = dup.extract.add(t);
+        dup.extract.node_mut(root).children.push(QEdge::child(t));
+        let p = Program {
+            rules: vec![minimal_rule(), dup],
+        };
+        let err = check_program(&p).unwrap_err().to_string();
+        assert!(err.contains("rule 2 (book)"), "{err}");
+    }
+
+    #[test]
+    fn diagnostics_carry_codes_and_spans() {
+        let src = "rule {\n  extract {\n    book as $b {\n      not menu as $m\n    }\n  }\n  construct { out { all $b } }\n}";
+        let p = crate::dsl::parse_unchecked(src).unwrap();
+        let ds = diagnostics(&p);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        let d = &ds[0];
+        assert_eq!(d.code, Code::NegationScope);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.rule.as_deref(), Some("rule 1 (book)"));
+        assert_eq!((d.span.line, d.span.col), (4, 11)); // the `menu` box
+    }
+
+    #[test]
+    fn unsafe_construct_reference_is_gql004() {
+        // Builder-style assembly: construct references a node under a
+        // negated edge without binding a variable inside it.
+        let mut rule = minimal_rule();
+        let root = rule.extract.roots[0];
+        let neg = rule
+            .extract
+            .add(QNode::element(NameTest::Name("menu".into())));
+        rule.extract
+            .node_mut(root)
+            .children
+            .push(QEdge::negated(neg));
+        let out = rule.construct.roots[0];
+        let bad = rule.construct.add(CNode::new(CNodeKind::Copy {
+            source: neg,
+            deep: true,
+        }));
+        rule.construct.node_mut(out).children.push(bad);
+        let ds = rule_diagnostics(&rule);
+        assert!(ds.iter().any(|d| d.code == Code::UnsafeConstruct), "{ds:?}");
+        assert!(check_rule(&rule).is_err());
     }
 
     #[test]
@@ -301,6 +596,7 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("bound twice"));
+        assert_eq!(rule_diagnostics(&rule)[0].code, Code::DuplicateVariable);
     }
 
     #[test]
@@ -336,6 +632,7 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("negated"));
+        assert_eq!(rule_diagnostics(&rule)[0].code, Code::NegationScope);
     }
 
     #[test]

@@ -36,7 +36,7 @@
 
 use crate::ast::{
     AggFunc, CNode, CNodeId, CNodeKind, CValue, CmpOp, ConstructGraph, ExtractGraph, NameTest,
-    Predicate, Program, QEdge, QNode, QNodeId, QNodeKind, Rule,
+    Predicate, Program, QEdge, QNode, QNodeId, QNodeKind, Rule, Span,
 };
 use crate::{Result, XmlGlError};
 
@@ -265,8 +265,18 @@ impl Lexer {
 // Parser
 // ----------------------------------------------------------------------
 
-/// Parse a GQL DSL program.
+/// Parse a GQL DSL program and run the well-formedness checks.
 pub fn parse(src: &str) -> Result<Program> {
+    let program = parse_unchecked(src)?;
+    crate::check::check_program(&program)?;
+    Ok(program)
+}
+
+/// Parse without running the well-formedness checks. This is the static
+/// analyzer's entry point: it wants the AST of ill-formed programs so it
+/// can report *all* their problems as structured diagnostics, not just the
+/// first one as a parse failure.
+pub fn parse_unchecked(src: &str) -> Result<Program> {
     let tokens = Lexer::new(src).tokenize()?;
     let mut p = Parser { tokens, pos: 0 };
     let mut rules = Vec::new();
@@ -280,9 +290,7 @@ pub fn parse(src: &str) -> Result<Program> {
             msg: "empty program".into(),
         });
     }
-    let program = Program { rules };
-    crate::check::check_program(&program)?;
-    Ok(program)
+    Ok(Program { rules })
 }
 
 /// Parse a single rule (must be exactly one).
@@ -306,6 +314,13 @@ struct Parser {
 impl Parser {
     fn eof(&self) -> bool {
         self.pos >= self.tokens.len()
+    }
+
+    /// Source position of the token about to be consumed.
+    fn here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map_or(Span::none(), |(_, l, c)| Span::new(*l, *c))
     }
 
     fn err_here(&self, msg: impl Into<String>) -> XmlGlError {
@@ -402,6 +417,7 @@ impl Parser {
     }
 
     fn parse_rule(&mut self) -> Result<Rule> {
+        let span = self.here();
         self.expect_keyword("rule")?;
         self.expect(&Tok::LBrace)?;
         self.expect_keyword("extract")?;
@@ -436,11 +452,16 @@ impl Parser {
             construct.roots.push(root);
         }
         self.expect(&Tok::RBrace)?;
-        Ok(Rule { extract, construct })
+        Ok(Rule {
+            extract,
+            construct,
+            span,
+        })
     }
 
     /// Parse one query node (with optional binding, predicate, body).
     fn parse_qnode(&mut self, g: &mut ExtractGraph) -> Result<QNodeId> {
+        let span = self.here();
         let kind = if self.eat(&Tok::At) {
             QNodeKind::Attribute(self.expect_ident()?)
         } else {
@@ -467,6 +488,7 @@ impl Parser {
             var,
             predicate,
             children: Vec::new(),
+            span,
         });
         // Body.
         let (open, close, ordered) = if self.peek() == Some(&Tok::LBrace) {
@@ -561,8 +583,15 @@ impl Parser {
             .ok_or_else(|| self.err_here("expected a comparison after 'and'/'or'"))
     }
 
-    /// Parse one construct node.
+    /// Parse one construct node, stamping its source position.
     fn parse_cnode(&mut self, g: &mut ConstructGraph, q: &ExtractGraph) -> Result<CNodeId> {
+        let span = self.here();
+        let id = self.parse_cnode_inner(g, q)?;
+        g.node_mut(id).span = span;
+        Ok(id)
+    }
+
+    fn parse_cnode_inner(&mut self, g: &mut ConstructGraph, q: &ExtractGraph) -> Result<CNodeId> {
         let resolve = |p: &Parser, var: &str| -> Result<QNodeId> {
             q.by_var(var)
                 .ok_or_else(|| p.err_here(format!("unknown variable ${var} on construct side")))

@@ -148,9 +148,7 @@ pub fn match_rule(rule: &Rule, doc: &Document) -> Vec<Binding> {
         .joins
         .iter()
         .copied()
-        .filter(|&(a, b)| {
-            !enforced.contains(&(a, b)) && !enforced.contains(&(b, a))
-        })
+        .filter(|&(a, b)| !enforced.contains(&(a, b)) && !enforced.contains(&(b, a)))
         .collect();
     if !residual.is_empty() {
         combined.retain(|b| {

@@ -202,6 +202,7 @@ fn instantiate_template(
     let one_rule = Rule {
         extract: rule.extract.clone(),
         construct: scoped,
+        span: rule.span,
     };
     let mut scratch = Document::new();
     crate::eval::construct_rule(&one_rule, doc, std::slice::from_ref(binding), &mut scratch)?;

@@ -123,7 +123,8 @@ pub(crate) struct EvalCaches {
 
 impl EvalCaches {
     pub(crate) fn refs(&self, doc: &Document) -> &gql_ssdm::idref::RefGraph {
-        self.refs.get_or_init(|| gql_ssdm::idref::RefGraph::extract(doc))
+        self.refs
+            .get_or_init(|| gql_ssdm::idref::RefGraph::extract(doc))
     }
 }
 
@@ -193,7 +194,13 @@ fn eval_expr(expr: &Expr, ctx: Ctx<'_>) -> Result<XValue> {
                 values.push(eval_expr(a, ctx)?);
             }
             functions::call(
-                name, values, ctx.doc, ctx.item, ctx.position, ctx.size, ctx.caches,
+                name,
+                values,
+                ctx.doc,
+                ctx.item,
+                ctx.position,
+                ctx.size,
+                ctx.caches,
             )
         }
     }

@@ -27,6 +27,7 @@
 //! assert!(result.to_xml_string().contains("Semi-Structured Data"));
 //! ```
 
+pub use gql_analyze as analyze;
 pub use gql_core as core;
 pub use gql_layout as layout;
 pub use gql_ssdm as ssdm;

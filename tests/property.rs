@@ -1,225 +1,251 @@
 //! Property-based tests over the core data structures and engine
-//! invariants, driven by proptest-generated documents and patterns.
-
-use proptest::prelude::*;
+//! invariants.
+//!
+//! The workspace builds offline with no external crates, so instead of
+//! proptest this uses a small hand-rolled harness: every property runs over
+//! a few hundred cases generated from the deterministic [`gql::ssdm::rng`]
+//! PRNG, and a failure message always carries the offending seed so a case
+//! can be replayed exactly.
 
 use gql::ssdm::document::NodeKind;
+use gql::ssdm::rng::Rng;
 use gql::ssdm::{Document, NodeId};
 
 // ----------------------------------------------------------------------
-// Generators
+// Harness + generators
 // ----------------------------------------------------------------------
 
-/// A small tag vocabulary keeps patterns selective enough to be interesting.
-fn tag() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["a", "b", "c", "d", "item"]).prop_map(str::to_string)
-}
-
-fn text_value() -> impl Strategy<Value = String> {
-    // Printable, XML-safe-after-escaping text including tricky characters.
-    "[ -~]{0,12}"
-}
-
-#[derive(Debug, Clone)]
-enum Tree {
-    Element {
-        tag: String,
-        attrs: Vec<(String, String)>,
-        children: Vec<Tree>,
-    },
-    Text(String),
-}
-
-fn tree() -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        text_value().prop_map(Tree::Text),
-        (tag(), prop::collection::vec((tag(), text_value()), 0..2)).prop_map(|(tag, attrs)| {
-            let mut seen = std::collections::HashSet::new();
-            let attrs = attrs
-                .into_iter()
-                .filter(|(k, _)| seen.insert(k.clone()))
-                .collect();
-            Tree::Element {
-                tag,
-                attrs,
-                children: Vec::new(),
-            }
-        }),
-    ];
-    leaf.prop_recursive(4, 48, 5, |inner| {
-        (
-            tag(),
-            prop::collection::vec((tag(), text_value()), 0..2),
-            prop::collection::vec(inner, 0..5),
-        )
-            .prop_map(|(tag, attrs, children)| {
-                let mut seen = std::collections::HashSet::new();
-                let attrs = attrs
-                    .into_iter()
-                    .filter(|(k, _)| seen.insert(k.clone()))
-                    .collect();
-                Tree::Element {
-                    tag,
-                    attrs,
-                    children,
-                }
-            })
-    })
-}
-
-fn build(doc: &mut Document, parent: NodeId, t: &Tree) {
-    match t {
-        Tree::Text(s) => {
-            doc.add_text(parent, s);
-        }
-        Tree::Element {
-            tag,
-            attrs,
-            children,
-        } => {
-            let el = doc.add_element(parent, tag);
-            for (k, v) in attrs {
-                doc.set_attr(el, k, v).expect("attrs on elements");
-            }
-            for c in children {
-                build(doc, el, c);
-            }
+/// Run `prop` over `cases` deterministic seeds; panic with the seed on
+/// the first failing case (properties themselves panic via assert!).
+fn check(name: &str, cases: u64, prop: impl Fn(&mut Rng)) {
+    for seed in 0..cases {
+        let mut rng = Rng::seed_from_u64(0xC0FFEE ^ (seed * 0x9E37_79B9));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&mut rng)));
+        if let Err(e) = result {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".into());
+            panic!("property '{name}' failed at case seed {seed}: {msg}");
         }
     }
 }
 
-fn document() -> impl Strategy<Value = Document> {
-    (tag(), prop::collection::vec(tree(), 0..6)).prop_map(|(root_tag, trees)| {
-        let mut doc = Document::new();
-        let root = doc.add_element(doc.root(), &root_tag);
-        for t in &trees {
-            build(&mut doc, root, t);
+const TAGS: &[&str] = &["a", "b", "c", "d", "item"];
+
+fn pick<'a>(rng: &mut Rng, pool: &'a [&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Printable, XML-safe-after-escaping text including tricky characters.
+fn text_value(rng: &mut Rng) -> String {
+    let len = rng.gen_range(0..=12);
+    (0..len)
+        .map(|_| char::from(rng.gen_range(0x20..0x7f) as u8))
+        .collect()
+}
+
+/// A string over an explicit alphabet, for fuzzing parsers.
+fn string_over(rng: &mut Rng, alphabet: &[char], max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+fn fuzz_alphabet(extra: &str) -> Vec<char> {
+    let mut v: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    v.extend(extra.chars());
+    v
+}
+
+/// Grow a random subtree under `parent`: depth-bounded elements with a few
+/// attributes, text leaves, small fanout — the same shape the old proptest
+/// strategy produced.
+fn grow(doc: &mut Document, rng: &mut Rng, parent: NodeId, depth: usize) {
+    if depth == 0 || rng.gen_bool(0.25) {
+        if rng.gen_bool(0.5) {
+            let text = text_value(rng);
+            doc.add_text(parent, &text);
+        } else {
+            let el = doc.add_element(parent, pick(rng, TAGS));
+            add_attrs(doc, rng, el);
         }
-        doc
-    })
+        return;
+    }
+    let el = doc.add_element(parent, pick(rng, TAGS));
+    add_attrs(doc, rng, el);
+    for _ in 0..rng.gen_range(0..5) {
+        grow(doc, rng, el, depth - 1);
+    }
+}
+
+fn add_attrs(doc: &mut Document, rng: &mut Rng, el: NodeId) {
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..rng.gen_range(0..2) {
+        let k = pick(rng, TAGS).to_string();
+        if seen.insert(k.clone()) {
+            let v = text_value(rng);
+            doc.set_attr(el, &k, &v).expect("attrs on elements");
+        }
+    }
+}
+
+fn document(rng: &mut Rng) -> Document {
+    let mut doc = Document::new();
+    let root = doc.add_element(doc.root(), pick(rng, TAGS));
+    for _ in 0..rng.gen_range(0..6) {
+        grow(&mut doc, rng, root, 3);
+    }
+    doc
 }
 
 // ----------------------------------------------------------------------
 // XML round-trip
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// serialize → parse → serialize is a fixed point (whitespace-only text
-    /// nodes excepted, which the default parse drops — the generator can
-    /// produce them, so compare after one normalisation pass).
-    #[test]
-    fn xml_roundtrip(doc in document()) {
+/// serialize → parse → serialize is a fixed point (whitespace-only text
+/// nodes excepted, which the default parse drops — the generator can
+/// produce them, so compare after one normalisation pass).
+#[test]
+fn xml_roundtrip() {
+    check("xml_roundtrip", 128, |rng| {
+        let doc = document(rng);
         let once = doc.to_xml_string();
         let reparsed = Document::parse_str(&once).expect("own output parses");
         let twice = reparsed.to_xml_string();
         let thrice = Document::parse_str(&twice).expect("own output parses");
-        prop_assert_eq!(twice, thrice.to_xml_string());
-    }
+        assert_eq!(twice, thrice.to_xml_string());
+    });
+}
 
-    /// Pretty-printing never changes the parsed structure for
-    /// element-only content, and always re-parses.
-    #[test]
-    fn pretty_print_reparses(doc in document()) {
+/// Pretty-printing never changes the parsed structure for element-only
+/// content, and always re-parses.
+#[test]
+fn pretty_print_reparses() {
+    check("pretty_print_reparses", 128, |rng| {
+        let doc = document(rng);
         let pretty = doc.to_xml_pretty();
         let _ = Document::parse_str(&pretty).expect("pretty output parses");
-    }
+    });
+}
 
-    /// Document order is a total order consistent with the parent relation:
-    /// parents precede children, and siblings order by index.
-    #[test]
-    fn document_order_is_consistent(doc in document()) {
+/// Document order is a total order consistent with the parent relation:
+/// parents precede children, and siblings order by index.
+#[test]
+fn document_order_is_consistent() {
+    check("document_order_is_consistent", 128, |rng| {
+        let doc = document(rng);
         for n in doc.descendants(doc.root()) {
             if let Some(p) = doc.parent(n) {
-                prop_assert!(doc.order_key(p) < doc.order_key(n));
+                assert!(doc.order_key(p) < doc.order_key(n));
             }
             let children: Vec<NodeId> = doc.children(n).to_vec();
             for w in children.windows(2) {
-                prop_assert!(doc.order_key(w[0]) < doc.order_key(w[1]));
+                assert!(doc.order_key(w[0]) < doc.order_key(w[1]));
             }
         }
-    }
+    });
+}
 
-    /// `descendants_or_self` visits exactly `live_node_count` nodes, each
-    /// once.
-    #[test]
-    fn traversal_visits_each_node_once(doc in document()) {
+/// `descendants_or_self` visits exactly `live_node_count` nodes, each once.
+#[test]
+fn traversal_visits_each_node_once() {
+    check("traversal_visits_each_node_once", 128, |rng| {
+        let doc = document(rng);
         let visited: Vec<NodeId> = doc.descendants_or_self(doc.root()).collect();
         let unique: std::collections::HashSet<_> = visited.iter().copied().collect();
-        prop_assert_eq!(visited.len(), unique.len());
-        prop_assert_eq!(visited.len(), doc.live_node_count());
-    }
+        assert_eq!(visited.len(), unique.len());
+        assert_eq!(visited.len(), doc.live_node_count());
+    });
 }
 
 // ----------------------------------------------------------------------
 // XPath vs the simple path helper, and engine coherences
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// `//tag` agrees between the XPath engine and the path helper.
-    #[test]
-    fn xpath_agrees_with_path_select(doc in document(), t in tag()) {
+/// `//tag` agrees between the XPath engine and the path helper.
+#[test]
+fn xpath_agrees_with_path_select() {
+    check("xpath_agrees_with_path_select", 96, |rng| {
+        let doc = document(rng);
+        let t = pick(rng, TAGS);
         let via_xpath = gql::xpath::select(&doc, &format!("//{t}")).expect("xpath runs");
         let via_path = gql::ssdm::path::select(&doc, doc.root(), &format!("//{t}"));
-        prop_assert_eq!(via_xpath, via_path);
-    }
+        assert_eq!(via_xpath, via_path);
+    });
+}
 
-    /// An XML-GL single-box rule finds exactly the `//tag` node set.
-    #[test]
-    fn xmlgl_root_matches_equal_xpath(doc in document(), t in tag()) {
+/// An XML-GL single-box rule finds exactly the `//tag` node set.
+#[test]
+fn xmlgl_root_matches_equal_xpath() {
+    check("xmlgl_root_matches_equal_xpath", 96, |rng| {
+        let doc = document(rng);
+        let t = pick(rng, TAGS);
         let rule = gql::xmlgl::builder::RuleBuilder::new()
-            .extract(gql::xmlgl::builder::Q::elem(t.clone()).var("x"))
-            .construct(gql::xmlgl::builder::C::elem("out").child(
-                gql::xmlgl::builder::C::all("x"),
-            ))
+            .extract(gql::xmlgl::builder::Q::elem(t).var("x"))
+            .construct(gql::xmlgl::builder::C::elem("out").child(gql::xmlgl::builder::C::all("x")))
             .build()
             .expect("rule builds");
         let matches = gql::xmlgl::eval::match_rule(&rule, &doc).len();
-        let xpath = gql::xpath::select(&doc, &format!("//{t}")).expect("xpath runs").len();
-        prop_assert_eq!(matches, xpath);
-    }
+        let xpath = gql::xpath::select(&doc, &format!("//{t}"))
+            .expect("xpath runs")
+            .len();
+        assert_eq!(matches, xpath);
+    });
+}
 
-    /// The algebra plan for a parent/child pattern returns exactly as many
-    /// rows as the XML-GL matcher finds embeddings, optimized or not.
-    #[test]
-    fn algebra_coheres_with_matcher(doc in document(), pt in tag(), ct in tag()) {
+/// The algebra plan for a parent/child pattern returns exactly as many rows
+/// as the XML-GL matcher finds embeddings, optimized or not.
+#[test]
+fn algebra_coheres_with_matcher() {
+    check("algebra_coheres_with_matcher", 96, |rng| {
+        let doc = document(rng);
+        let (pt, ct) = (pick(rng, TAGS), pick(rng, TAGS));
         let rule = gql::xmlgl::builder::RuleBuilder::new()
             .extract(
-                gql::xmlgl::builder::Q::elem(pt.clone())
+                gql::xmlgl::builder::Q::elem(pt)
                     .var("p")
-                    .child(gql::xmlgl::builder::Q::elem(ct.clone()).var("c")),
+                    .child(gql::xmlgl::builder::Q::elem(ct).var("c")),
             )
             .construct(gql::xmlgl::builder::C::elem("out"))
             .build()
             .expect("rule builds");
         let embeddings = gql::xmlgl::eval::match_rule(&rule, &doc).len();
         let plan = gql::core::translate::extract_to_plan(&rule).expect("plans");
-        let rows = gql::core::algebra::execute(&plan, &doc).expect("runs").len();
-        prop_assert_eq!(rows, embeddings);
+        let rows = gql::core::algebra::execute(&plan, &doc)
+            .expect("runs")
+            .len();
+        assert_eq!(rows, embeddings);
         let opt = gql::core::algebra::optimize(&plan);
-        prop_assert_eq!(gql::core::algebra::execute(&opt, &doc).expect("runs").len(), embeddings);
-    }
+        assert_eq!(
+            gql::core::algebra::execute(&opt, &doc).expect("runs").len(),
+            embeddings
+        );
+    });
+}
 
-    /// Negation is the complement: boxes with child X plus boxes without
-    /// child X partition the boxes.
-    #[test]
-    fn negation_partitions(doc in document(), pt in tag(), ct in tag()) {
-        use gql::xmlgl::builder::{C, Q, RuleBuilder};
+/// Negation is the complement: boxes with child X plus boxes without child
+/// X partition the boxes.
+#[test]
+fn negation_partitions() {
+    check("negation_partitions", 96, |rng| {
+        use gql::xmlgl::builder::{RuleBuilder, C, Q};
+        let doc = document(rng);
+        let (pt, ct) = (pick(rng, TAGS), pick(rng, TAGS));
         let total = RuleBuilder::new()
-            .extract(Q::elem(pt.clone()).var("p"))
+            .extract(Q::elem(pt).var("p"))
             .construct(C::elem("out"))
             .build()
             .expect("builds");
         let with = RuleBuilder::new()
-            .extract(Q::elem(pt.clone()).var("p").child(Q::elem(ct.clone())))
+            .extract(Q::elem(pt).var("p").child(Q::elem(ct)))
             .construct(C::elem("out"))
             .build()
             .expect("builds");
         let without = RuleBuilder::new()
-            .extract(Q::elem(pt.clone()).var("p").without(Q::elem(ct.clone())))
+            .extract(Q::elem(pt).var("p").without(Q::elem(ct)))
             .construct(C::elem("out"))
             .build()
             .expect("builds");
@@ -236,26 +262,24 @@ proptest! {
                 })
                 .collect();
         let n_without = gql::xmlgl::eval::match_rule(&without, &doc).len();
-        prop_assert_eq!(parents.len() + n_without, n_total);
-    }
+        assert_eq!(parents.len() + n_without, n_total);
+    });
 }
 
 // ----------------------------------------------------------------------
 // Streaming vs DOM agreement
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// The streaming event reader accepts exactly the serializer's output
-    /// and sees one Start per element.
-    #[test]
-    fn stream_reader_agrees_with_dom(doc in document()) {
+/// The streaming event reader accepts exactly the serializer's output and
+/// sees one Start per element.
+#[test]
+fn stream_reader_agrees_with_dom() {
+    check("stream_reader_agrees_with_dom", 96, |rng| {
+        let doc = document(rng);
         let xml = doc.to_xml_string();
-        let events: Vec<gql::ssdm::stream::Event> =
-            gql::ssdm::stream::EventReader::new(&xml)
-                .collect::<gql::ssdm::Result<_>>()
-                .expect("own serialization streams");
+        let events: Vec<gql::ssdm::stream::Event> = gql::ssdm::stream::EventReader::new(&xml)
+            .collect::<gql::ssdm::Result<_>>()
+            .expect("own serialization streams");
         let starts = events
             .iter()
             .filter(|e| matches!(e, gql::ssdm::stream::Event::Start { .. }))
@@ -264,12 +288,16 @@ proptest! {
             .descendants(doc.root())
             .filter(|&n| doc.kind(n) == NodeKind::Element)
             .count();
-        prop_assert_eq!(starts, elements);
-    }
+        assert_eq!(starts, elements);
+    });
+}
 
-    /// StreamPath and the DOM path helper agree on //tag and /root/tag.
-    #[test]
-    fn stream_path_agrees_with_dom(doc in document(), t in tag()) {
+/// StreamPath and the DOM path helper agree on //tag.
+#[test]
+fn stream_path_agrees_with_dom() {
+    check("stream_path_agrees_with_dom", 96, |rng| {
+        let doc = document(rng);
+        let t = pick(rng, TAGS);
         let xml = doc.to_xml_string();
         let deep = format!("//{t}");
         let streamed = gql::ssdm::stream::StreamPath::parse(&deep)
@@ -277,33 +305,34 @@ proptest! {
             .run(&xml)
             .expect("runs");
         let dom = gql::ssdm::path::select(&doc, doc.root(), &deep);
-        prop_assert_eq!(streamed.count, dom.len());
+        assert_eq!(streamed.count, dom.len());
         // Text captures agree too (same order: document order).
-        let dom_texts: Vec<String> =
-            dom.iter().map(|&n| doc.text_content(n)).collect();
-        prop_assert_eq!(streamed.texts, dom_texts);
-    }
+        let dom_texts: Vec<String> = dom.iter().map(|&n| doc.text_content(n)).collect();
+        assert_eq!(streamed.texts, dom_texts);
+    });
+}
 
-    /// Arbitrary garbage never panics the streaming reader — it either
-    /// yields events or a clean error.
-    #[test]
-    fn stream_reader_never_panics(input in "[ -~<>&;/='\"]{0,200}") {
-        let _ = gql::ssdm::stream::EventReader::new(&input)
-            .collect::<gql::ssdm::Result<Vec<_>>>();
-    }
+/// Arbitrary garbage never panics the streaming reader — it either yields
+/// events or a clean error.
+#[test]
+fn stream_reader_never_panics() {
+    let alphabet = fuzz_alphabet("<>&;/='\"");
+    check("stream_reader_never_panics", 96, |rng| {
+        let input = string_over(rng, &alphabet, 200);
+        let _ = gql::ssdm::stream::EventReader::new(&input).collect::<gql::ssdm::Result<Vec<_>>>();
+    });
 }
 
 // ----------------------------------------------------------------------
 // WG-Log instance loader invariants
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Loading never loses information mass: every element becomes either
-    /// an object or an attribute of its parent object.
-    #[test]
-    fn loader_accounts_for_every_element(doc in document()) {
+/// Loading never loses information mass: every element becomes either an
+/// object or an attribute of its parent object.
+#[test]
+fn loader_accounts_for_every_element() {
+    check("loader_accounts_for_every_element", 64, |rng| {
+        let doc = document(rng);
         let db = gql::wglog::instance::Instance::from_document(&doc);
         let elements = doc
             .descendants(doc.root())
@@ -317,8 +346,7 @@ proptest! {
                     .iter()
                     .filter(|(k, _)| {
                         // attributes that came from atomic child elements:
-                        // approximated as "not an XML attribute of the
-                        // element and not the text pseudo-attribute".
+                        // approximated as "not the text pseudo-attribute".
                         k != "text"
                     })
                     .count()
@@ -326,45 +354,52 @@ proptest! {
             .sum();
         // objects + folded-elements ≥ elements (XML attributes also land in
         // attrs, hence ≥ rather than =).
-        prop_assert!(objects + folded >= elements, "objects={objects} folded={folded} elements={elements}");
+        assert!(
+            objects + folded >= elements,
+            "objects={objects} folded={folded} elements={elements}"
+        );
         // And every object's type is a tag that exists in the document.
         for (_, o) in db.objects() {
-            prop_assert!(doc.elements_named(&o.ty).next().is_some());
+            assert!(doc.elements_named(&o.ty).next().is_some());
         }
-    }
+    });
+}
 
-    /// Schema extraction always validates its own instance.
-    #[test]
-    fn extracted_schema_validates_instance(doc in document()) {
+/// Schema extraction always validates its own instance.
+#[test]
+fn extracted_schema_validates_instance() {
+    check("extracted_schema_validates_instance", 64, |rng| {
+        let doc = document(rng);
         let db = gql::wglog::instance::Instance::from_document(&doc);
         let schema = gql::wglog::schema::WgSchema::extract(&db);
-        prop_assert!(schema.validate(&db).is_empty());
-    }
+        assert!(schema.validate(&db).is_empty());
+    });
 }
 
 // ----------------------------------------------------------------------
 // Layout invariants
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Layouts never overlap two real nodes of the same layer and always
-    /// stay inside the reported bounds.
-    #[test]
-    fn layout_no_same_layer_overlap(edges in prop::collection::vec((0u32..12, 0u32..12), 0..24)) {
+/// Layouts never overlap two real nodes of the same layer and always stay
+/// inside the reported bounds.
+#[test]
+fn layout_no_same_layer_overlap() {
+    check("layout_no_same_layer_overlap", 64, |rng| {
         use gql::layout::{layout, Diagram, EdgeSpec, LayoutOptions, NodeSpec, Shape};
         let mut d = Diagram::new();
-        let nodes: Vec<_> =
-            (0..12).map(|i| d.add_node(NodeSpec::new(format!("n{i}"), Shape::Box))).collect();
-        for (a, b) in edges {
-            d.add_edge(nodes[a as usize], nodes[b as usize], EdgeSpec::plain());
+        let nodes: Vec<_> = (0..12)
+            .map(|i| d.add_node(NodeSpec::new(format!("n{i}"), Shape::Box)))
+            .collect();
+        for _ in 0..rng.gen_range(0..24) {
+            let a = rng.gen_range(0..12);
+            let b = rng.gen_range(0..12);
+            d.add_edge(nodes[a], nodes[b], EdgeSpec::plain());
         }
         let l = layout(&d, &LayoutOptions::default());
         for i in 0..nodes.len() {
             for j in i + 1..nodes.len() {
                 if l.layers[i] == l.layers[j] {
-                    prop_assert!(
+                    assert!(
                         !l.nodes[i].intersects(&l.nodes[j]),
                         "layer {} overlap: {:?} vs {:?}",
                         l.layers[i],
@@ -375,61 +410,235 @@ proptest! {
             }
         }
         for r in &l.nodes {
-            prop_assert!(l.bounds.x <= r.x && l.bounds.right() >= r.right());
-            prop_assert!(l.bounds.y <= r.y && l.bounds.bottom() >= r.bottom());
+            assert!(l.bounds.x <= r.x && l.bounds.right() >= r.right());
+            assert!(l.bounds.y <= r.y && l.bounds.bottom() >= r.bottom());
         }
-    }
+    });
 }
 
 // ----------------------------------------------------------------------
 // DSL robustness
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// Arbitrary input never panics either DSL parser.
-    #[test]
-    fn dsl_parsers_never_panic(input in "[ -~\n{}$@#]{0,160}") {
+/// Arbitrary input never panics either DSL parser.
+#[test]
+fn dsl_parsers_never_panic() {
+    let alphabet = fuzz_alphabet("\n{}$@#");
+    check("dsl_parsers_never_panic", 192, |rng| {
+        let input = string_over(rng, &alphabet, 160);
         let _ = gql::xmlgl::dsl::parse(&input);
         let _ = gql::wglog::dsl::parse(&input);
         let _ = gql::xpath::parse(&input);
-    }
+    });
+}
 
-    /// Nor do the DTD and XML parsers.
-    #[test]
-    fn markup_parsers_never_panic(input in "[ -~\n<>!?&;'\"\\[\\]()|,*+#]{0,200}") {
+/// Nor do the DTD and XML parsers.
+#[test]
+fn markup_parsers_never_panic() {
+    let alphabet = fuzz_alphabet("\n<>!?&;'\"[]()|,*+#");
+    check("markup_parsers_never_panic", 192, |rng| {
+        let input = string_over(rng, &alphabet, 200);
         let _ = gql::ssdm::dtd::Dtd::parse(&input);
         let _ = gql::ssdm::Document::parse_str(&input);
         let _ = gql::ssdm::stream::StreamPath::parse(&input);
-    }
+    });
 }
 
 // ----------------------------------------------------------------------
 // Value semantics
 // ----------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// loose_eq is symmetric; loose_cmp is antisymmetric where defined.
-    #[test]
-    fn value_comparisons_behave(a in text_value(), b in text_value()) {
+/// loose_eq is symmetric; loose_cmp is antisymmetric where defined.
+#[test]
+fn value_comparisons_behave() {
+    check("value_comparisons_behave", 256, |rng| {
         use gql::ssdm::Value;
+        let a = text_value(rng);
+        let b = text_value(rng);
         let va = Value::from_literal(&a);
         let vb = Value::from_literal(&b);
-        prop_assert_eq!(va.loose_eq(&vb), vb.loose_eq(&va));
+        assert_eq!(va.loose_eq(&vb), vb.loose_eq(&va));
         match (va.loose_cmp(&vb), vb.loose_cmp(&va)) {
-            (Some(x), Some(y)) => prop_assert_eq!(x, y.reverse()),
+            (Some(x), Some(y)) => assert_eq!(x, y.reverse()),
             (None, None) => {}
-            (x, y) => prop_assert!(false, "asymmetric definedness {x:?} {y:?}"),
+            (x, y) => panic!("asymmetric definedness {x:?} {y:?}"),
+        }
+    });
+}
+
+/// Number parsing and formatting round-trip for in-range integers.
+#[test]
+fn number_roundtrip() {
+    check("number_roundtrip", 256, |rng| {
+        let n = rng.gen_range(0..2_000_000) as i64 - 1_000_000;
+        let s = gql::ssdm::value::format_number(n as f64);
+        assert_eq!(gql::ssdm::value::parse_number(&s), Some(n as f64));
+    });
+}
+
+// ----------------------------------------------------------------------
+// Static analysis
+// ----------------------------------------------------------------------
+
+/// Random (usually broken) DSL input: character soup plus token soup, so
+/// the fuzz reaches past the lexer into the parser and the passes.
+fn dsl_soup(rng: &mut Rng) -> String {
+    const TOKENS: &[&str] = &[
+        "rule",
+        "extract",
+        "construct",
+        "query",
+        "goal",
+        "join",
+        "not",
+        "deep",
+        "all",
+        "copy",
+        "shallow-copy",
+        "text",
+        "per",
+        "set",
+        "where",
+        "and",
+        "or",
+        "as",
+        "{",
+        "}",
+        "(",
+        ")",
+        "==",
+        "=",
+        ">=",
+        "->",
+        "-member->",
+        "$a",
+        "$b",
+        "$",
+        "@attr",
+        "\"10\"",
+        "\"x",
+        "item",
+        ":",
+        "starts-with",
+        "group-by",
+        "count",
+        "\n",
+    ];
+    if rng.gen_bool(0.5) {
+        let alphabet = fuzz_alphabet("{}$:->=\"@*#");
+        string_over(rng, &alphabet, 160)
+    } else {
+        let n = rng.gen_range(0..40);
+        (0..n)
+            .map(|_| pick(rng, TOKENS))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// The analyzer never panics, whatever the input: every outcome is a
+/// report (possibly of syntax errors), never an abort.
+#[test]
+fn analyzer_never_panics_on_arbitrary_input() {
+    use gql::analyze::Analyzer;
+    check("analyzer_never_panics_on_arbitrary_input", 384, |rng| {
+        let src = dsl_soup(rng);
+        let _ = Analyzer::new().analyze_xmlgl_src(&src);
+        let _ = Analyzer::new().analyze_wglog_src(&src);
+    });
+}
+
+/// A random XML-GL extract/construct program as DSL text. Deliberately
+/// allowed to be unsafe (negated bindings referenced on the construct
+/// side): the property filters on the analyzer's verdict.
+fn gen_xmlgl_program(rng: &mut Rng) -> String {
+    fn subtree(rng: &mut Rng, vars: &mut Vec<String>, depth: usize, out: &mut String) {
+        let tag = pick(rng, TAGS);
+        out.push_str(tag);
+        if rng.gen_bool(0.6) {
+            let v = format!("v{}", vars.len());
+            out.push_str(&format!(" as ${v}"));
+            vars.push(v);
+        }
+        if depth > 0 && rng.gen_bool(0.6) {
+            out.push_str(" { ");
+            for _ in 0..rng.gen_range(1..3usize) {
+                if rng.gen_bool(0.2) {
+                    out.push_str("not ");
+                }
+                subtree(rng, vars, depth - 1, out);
+                out.push(' ');
+            }
+            out.push_str("} ");
+        } else {
+            out.push(' ');
         }
     }
-
-    /// Number parsing and formatting round-trip for in-range integers.
-    #[test]
-    fn number_roundtrip(n in -1_000_000i64..1_000_000) {
-        let s = gql::ssdm::value::format_number(n as f64);
-        prop_assert_eq!(gql::ssdm::value::parse_number(&s), Some(n as f64));
+    let mut vars = Vec::new();
+    let mut extract = String::new();
+    subtree(rng, &mut vars, 2, &mut extract);
+    let mut construct = String::from("out { ");
+    if vars.is_empty() {
+        construct.push_str("answer ");
+    } else {
+        let n = rng.gen_range(1..=vars.len());
+        for v in vars.iter().take(n) {
+            construct.push_str(&format!("all ${v} "));
+        }
     }
+    construct.push('}');
+    format!("rule {{ extract {{ {extract} }} construct {{ {construct} }} }}")
+}
+
+/// Programs the analyzer passes without an Error-level diagnostic always
+/// evaluate: no binding errors, no panics, on any document.
+#[test]
+fn zero_error_programs_evaluate() {
+    use gql::analyze::Analyzer;
+    check("zero_error_programs_evaluate", 192, |rng| {
+        let src = gen_xmlgl_program(rng);
+        let program = gql::xmlgl::dsl::parse_unchecked(&src)
+            .unwrap_or_else(|e| panic!("generator produced invalid syntax: {e}\n{src}"));
+        let report = Analyzer::new().analyze_xmlgl(&program);
+        if report.has_errors() {
+            return; // rejected statically; nothing to promise
+        }
+        let doc = document(rng);
+        gql::xmlgl::run(&program, &doc)
+            .unwrap_or_else(|e| panic!("accepted program failed to evaluate: {e}\n{src}"));
+    });
+}
+
+/// Same promise for WG-Log: analyzer-clean programs run to fixpoint.
+#[test]
+fn zero_error_wglog_programs_evaluate() {
+    use gql::analyze::Analyzer;
+    const LABELS: &[&str] = &["link", "ref", "member", "menu"];
+    check("zero_error_wglog_programs_evaluate", 192, |rng| {
+        let n = rng.gen_range(1..4usize);
+        let mut query = String::new();
+        for i in 0..n {
+            query.push_str(&format!("$q{i}: {}  ", pick(rng, TAGS)));
+        }
+        for _ in 0..rng.gen_range(0..3usize) {
+            let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if rng.gen_bool(0.25) {
+                query.push_str("not ");
+            }
+            query.push_str(&format!("$q{a} -{}-> $q{b}  ", pick(rng, LABELS)));
+        }
+        let target = rng.gen_range(0..n);
+        let src = format!(
+            "rule {{ query {{ {query} }} construct {{ $c: result  $c -member-> $q{target} }} }} goal result"
+        );
+        let program = gql::wglog::dsl::parse_unchecked(&src)
+            .unwrap_or_else(|e| panic!("generator produced invalid syntax: {e}\n{src}"));
+        let report = Analyzer::new().analyze_wglog(&program);
+        if report.has_errors() {
+            return;
+        }
+        let db = gql::wglog::Instance::from_document(&document(rng));
+        gql::wglog::eval::run(&program, &db)
+            .unwrap_or_else(|e| panic!("accepted program failed to evaluate: {e}\n{src}"));
+    });
 }
