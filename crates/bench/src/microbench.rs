@@ -11,12 +11,112 @@
 //!
 //! `GQL_BENCH_SAMPLES` overrides every group's sample size (e.g. `=1` for
 //! a smoke run).
+//!
+//! Every reported measurement is also accumulated in-process and written to
+//! a machine-readable results file when the [`Criterion`] driver drops:
+//! `BENCH_results.json` at the repository root by default,
+//! `GQL_BENCH_RESULTS` to override. The file is a JSON array with one entry
+//! object per line; re-running a bench binary replaces its own entries and
+//! leaves entries from other binaries in place, so the file converges to
+//! the union of the latest run of everything.
 
 use std::fmt::Display;
 use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Top-level driver handed to every bench function.
+/// One reported measurement, as serialized into the results file.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    mean_ns: u128,
+    samples: usize,
+    rate: Option<(f64, &'static str)>,
+}
+
+impl Entry {
+    fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"name\":\"{}\",\"mean_ns\":{},\"samples\":{}",
+            json_escape(&self.name),
+            self.mean_ns,
+            self.samples
+        );
+        if let Some((rate, unit)) = self.rate {
+            s.push_str(&format!(",\"rate\":{rate:.1},\"rate_unit\":\"{unit}\""));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Measurements reported since the last flush, process-wide (bench binaries
+/// may build several [`Criterion`]s via `criterion_group!`).
+fn pending() -> &'static Mutex<Vec<Entry>> {
+    static PENDING: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    PENDING.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn results_path() -> PathBuf {
+    std::env::var_os("GQL_BENCH_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_results.json"
+            ))
+        })
+}
+
+/// The "name" field of a serialized entry line (the writer controls the
+/// format, so a plain string scan suffices — no JSON parser needed).
+fn entry_name(line: &str) -> Option<&str> {
+    let rest = line.split_once("\"name\":\"")?.1;
+    rest.split_once('"').map(|(name, _)| name)
+}
+
+/// Merge `new` entries into the results file: keep existing entries whose
+/// names this run did not re-measure, replace the rest.
+fn merge_into_file(path: &Path, new: &[Entry]) -> std::io::Result<()> {
+    let mut lines: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.is_empty() || line == "[" || line == "]" {
+                continue;
+            }
+            lines.push(line.to_string());
+        }
+    }
+    let replaced: std::collections::HashSet<&str> = new.iter().map(|e| e.name.as_str()).collect();
+    lines.retain(|l| entry_name(l).is_none_or(|n| !replaced.contains(n)));
+    lines.extend(new.iter().map(Entry::to_json));
+    let mut out = String::from("[\n");
+    for (i, l) in lines.iter().enumerate() {
+        out.push_str(l);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// Top-level driver handed to every bench function. Flushes accumulated
+/// measurements to the results file on drop.
 #[derive(Debug, Default)]
 pub struct Criterion {}
 
@@ -33,6 +133,19 @@ impl Criterion {
             name,
             sample_size: 10,
             throughput: None,
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let entries: Vec<Entry> = std::mem::take(&mut *pending().lock().expect("not poisoned"));
+        if entries.is_empty() {
+            return;
+        }
+        let path = results_path();
+        if let Err(e) = merge_into_file(&path, &entries) {
+            eprintln!("warning: could not write {}: {e}", path.display());
         }
     }
 }
@@ -82,13 +195,20 @@ impl BenchmarkGroup<'_> {
         self.throughput = Some(t);
     }
 
-    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+    /// Run one measurement; returns the mean time per iteration so callers
+    /// can derive figures (speedup ratios) from pairs of measurements.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> Duration {
         let mut bencher = Bencher {
             samples: self.effective_samples(),
             mean: Duration::ZERO,
         };
         f(&mut bencher);
         self.report(&id.to_string(), bencher.mean);
+        bencher.mean
     }
 
     pub fn bench_with_input<I: ?Sized>(
@@ -96,13 +216,26 @@ impl BenchmarkGroup<'_> {
         id: BenchmarkId,
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
-    ) {
+    ) -> Duration {
         let mut bencher = Bencher {
             samples: self.effective_samples(),
             mean: Duration::ZERO,
         };
         f(&mut bencher, input);
         self.report(&id.to_string(), bencher.mean);
+        bencher.mean
+    }
+
+    /// Record a derived figure (a speedup ratio, a count) into the results
+    /// file alongside the timed entries.
+    pub fn record_metric(&self, id: impl Display, value: f64, unit: &'static str) {
+        println!("  {}/{id}: {value:.2} {unit}", self.name);
+        pending().lock().expect("not poisoned").push(Entry {
+            name: format!("{}/{id}", self.name),
+            mean_ns: 0,
+            samples: 0,
+            rate: Some((value, unit)),
+        });
     }
 
     pub fn finish(self) {}
@@ -118,14 +251,21 @@ impl BenchmarkGroup<'_> {
     fn report(&self, id: &str, mean: Duration) {
         let rate = match self.throughput {
             Some(Throughput::Elements(n)) if !mean.is_zero() => {
-                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+                Some((n as f64 / mean.as_secs_f64(), "elem/s"))
             }
             Some(Throughput::Bytes(n)) if !mean.is_zero() => {
-                format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+                Some((n as f64 / mean.as_secs_f64(), "B/s"))
             }
-            _ => String::new(),
+            _ => None,
         };
-        println!("  {}/{id}: {mean:.2?}/iter{rate}", self.name);
+        let shown = rate.map_or(String::new(), |(r, u)| format!("  ({r:.0} {u})"));
+        println!("  {}/{id}: {mean:.2?}/iter{shown}", self.name);
+        pending().lock().expect("not poisoned").push(Entry {
+            name: format!("{}/{id}", self.name),
+            mean_ns: mean.as_nanos(),
+            samples: self.effective_samples(),
+            rate,
+        });
     }
 }
 
@@ -172,18 +312,69 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bencher_reports_a_mean() {
-        let mut c = Criterion::new();
-        let mut group = c.benchmark_group("test");
-        group.sample_size(3);
+    fn bencher_reports_a_mean_and_writes_results() {
+        // Redirect the results file away from the repository root for the
+        // duration of the test (the driver writes on drop).
+        let path = std::env::temp_dir().join(format!("gql_bench_test_{}.json", std::process::id()));
+        std::env::set_var("GQL_BENCH_RESULTS", &path);
         let mut ran = 0usize;
-        group.bench_function("noop", |b| {
-            b.iter(|| {
-                ran += 1;
-            })
-        });
-        group.finish();
+        {
+            let mut c = Criterion::new();
+            let mut group = c.benchmark_group("test");
+            group.sample_size(3);
+            let mean = group.bench_function("noop", |b| {
+                b.iter(|| {
+                    ran += 1;
+                })
+            });
+            group.finish();
+            assert!(mean >= Duration::ZERO);
+        }
         assert!(ran >= 4); // warm-up + samples
+        let written = std::fs::read_to_string(&path).expect("results written on drop");
+        assert!(written.starts_with("[\n"));
+        assert!(written.contains("\"name\":\"test/noop\""));
+        std::fs::remove_file(&path).ok();
+        std::env::remove_var("GQL_BENCH_RESULTS");
+    }
+
+    #[test]
+    fn merge_replaces_re_measured_entries_and_keeps_the_rest() {
+        let path =
+            std::env::temp_dir().join(format!("gql_bench_merge_{}.json", std::process::id()));
+        let old = [
+            Entry {
+                name: "a/x".into(),
+                mean_ns: 1,
+                samples: 1,
+                rate: None,
+            },
+            Entry {
+                name: "b/y".into(),
+                mean_ns: 2,
+                samples: 1,
+                rate: Some((3.5, "elem/s")),
+            },
+        ];
+        merge_into_file(&path, &old).unwrap();
+        let new = [Entry {
+            name: "a/x".into(),
+            mean_ns: 9,
+            samples: 2,
+            rate: None,
+        }];
+        merge_into_file(&path, &new).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"name\":\"a/x\",\"mean_ns\":9"));
+        assert!(!written.contains("\"mean_ns\":1,"));
+        assert!(written.contains("\"name\":\"b/y\""));
+        assert!(written.contains("\"rate\":3.5,\"rate_unit\":\"elem/s\""));
+        // The file stays a well-formed array: one entry object per line.
+        let lines: Vec<&str> = written.lines().collect();
+        assert_eq!(lines.first(), Some(&"["));
+        assert_eq!(lines.last(), Some(&"]"));
+        assert_eq!(lines.len(), 4); // brackets + two entries
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

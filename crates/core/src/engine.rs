@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use gql_ssdm::Document;
+use gql_ssdm::{DocIndex, Document};
 use gql_wglog::instance::Instance;
 
 use crate::{CoreError, Result};
@@ -36,11 +36,26 @@ pub struct RunOutcome {
     pub load_time: Duration,
 }
 
+/// A [`DocIndex`] pinned to one resident document, fingerprinted by the
+/// document's address and node count. The address is stored as a plain
+/// `usize` and never dereferenced — it only has to *disagree* when a
+/// different (or since-grown) document is queried, making the cache fall
+/// back to a cold build rather than serve stale postings.
+#[derive(Debug)]
+struct ResidentIndex {
+    doc_addr: usize,
+    node_count: usize,
+    index: DocIndex,
+}
+
 /// The unified runner.
 #[derive(Debug, Default)]
 pub struct Engine {
     /// A pre-loaded WG-Log instance, reused across runs when set.
     resident_instance: Option<Instance>,
+    /// A pre-built document index for the tree-native engines (XML-GL and
+    /// XPath), reused across runs when the queried document matches.
+    resident_index: Option<ResidentIndex>,
 }
 
 impl Engine {
@@ -48,10 +63,28 @@ impl Engine {
         Self::default()
     }
 
-    /// Pre-load a WG-Log instance so subsequent WG-Log runs skip the load
-    /// phase (the "resident database" configuration).
+    /// Pre-load a WG-Log instance and build the shared [`DocIndex`] so
+    /// subsequent runs against the same document skip both the load phase
+    /// and the per-query index build (the "resident database"
+    /// configuration).
     pub fn preload(&mut self, doc: &Document) {
         self.resident_instance = Some(Instance::from_document(doc));
+        self.resident_index = Some(ResidentIndex {
+            doc_addr: std::ptr::from_ref(doc) as usize,
+            node_count: doc.node_count(),
+            index: DocIndex::build(doc),
+        });
+    }
+
+    /// The resident index, if it was built for exactly this document in its
+    /// current shape.
+    fn resident_index_for(&self, doc: &Document) -> Option<&DocIndex> {
+        self.resident_index
+            .as_ref()
+            .filter(|r| {
+                r.doc_addr == std::ptr::from_ref(doc) as usize && r.node_count == doc.node_count()
+            })
+            .map(|r| &r.index)
     }
 
     /// Static-analysis gate: Error-level diagnostics (well-formedness,
@@ -91,8 +124,11 @@ impl Engine {
         match query {
             QueryKind::XmlGl(program) => {
                 let start = Instant::now();
-                let output = gql_xmlgl::eval::run(program, doc)
-                    .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                let output = match self.resident_index_for(doc) {
+                    Some(idx) => gql_xmlgl::eval::run_with_index(program, doc, idx),
+                    None => gql_xmlgl::eval::run(program, doc),
+                }
+                .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
                 let eval_time = start.elapsed();
                 let result_count = output.children(output.root()).len();
                 Ok(RunOutcome {
@@ -133,8 +169,11 @@ impl Engine {
                 let parsed =
                     gql_xpath::parse(expr).map_err(|e| CoreError::Engine { msg: e.to_string() })?;
                 let start = Instant::now();
-                let value = gql_xpath::evaluate(doc, &parsed)
-                    .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                let value = match self.resident_index_for(doc) {
+                    Some(idx) => gql_xpath::evaluate_with_index(doc, &parsed, idx),
+                    None => gql_xpath::evaluate(doc, &parsed),
+                }
+                .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
                 let eval_time = start.elapsed();
                 let mut output = Document::new();
                 let root = output.add_element(output.root(), "answer");
@@ -236,6 +275,31 @@ mod tests {
         let warm = engine.run(&q, &d).unwrap();
         assert_eq!(warm.load_time, Duration::ZERO);
         assert_eq!(warm.result_count, cold.result_count);
+    }
+
+    #[test]
+    fn resident_index_matches_cold_runs_and_detects_staleness() {
+        let d = doc();
+        let mut engine = Engine::new();
+        let queries = equivalent_queries();
+        let cold: Vec<String> = queries
+            .iter()
+            .map(|q| engine.run(q, &d).unwrap().output.to_xml_string())
+            .collect();
+        engine.preload(&d);
+        assert!(engine.resident_index_for(&d).is_some());
+        for (q, expect) in queries.iter().zip(&cold) {
+            let warm = engine.run(q, &d).unwrap();
+            assert_eq!(&warm.output.to_xml_string(), expect, "{q:?}");
+        }
+        // A different document (same lifetime, different address/shape) must
+        // not be served from the resident index.
+        let other = Document::parse_str("<guide><restaurant><menu/></restaurant></guide>").unwrap();
+        assert!(engine.resident_index_for(&other).is_none());
+        let outcome = engine
+            .run(&QueryKind::XPath("//restaurant[menu]".to_string()), &other)
+            .unwrap();
+        assert_eq!(outcome.result_count, 1);
     }
 
     #[test]

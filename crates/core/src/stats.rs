@@ -10,14 +10,19 @@
 use std::collections::HashMap;
 
 use gql_ssdm::document::NodeKind;
-use gql_ssdm::Document;
+use gql_ssdm::{DocIndex, Document, Symbol};
 
 use crate::algebra::{optimize, Plan};
 
-/// Per-tag element counts plus document totals.
+/// Per-tag element counts plus document totals. Counts are keyed by the
+/// document's interned tag [`Symbol`]s — collection allocates one `String`
+/// per *distinct* tag (for the name lookup table), not one per element.
 #[derive(Debug, Clone, Default)]
 pub struct DocStats {
-    by_tag: HashMap<String, usize>,
+    by_tag: HashMap<Symbol, usize>,
+    /// Tag name → symbol, resolved once at collection time so
+    /// [`DocStats::count`] keeps its string-keyed API.
+    names: HashMap<String, Symbol>,
     elements: usize,
 }
 
@@ -28,17 +33,42 @@ impl DocStats {
         for n in doc.descendants(doc.root()) {
             if doc.kind(n) == NodeKind::Element {
                 s.elements += 1;
-                if let Some(tag) = doc.name(n) {
-                    *s.by_tag.entry(tag.to_string()).or_default() += 1;
+                if let Some(sym) = doc.name_sym(n) {
+                    *s.by_tag.entry(sym).or_default() += 1;
                 }
             }
         }
+        s.resolve_names(doc);
         s
+    }
+
+    /// Free projection of a prebuilt [`DocIndex`]: tag counts and element
+    /// totals are already materialised in its postings.
+    pub fn from_index(doc: &Document, idx: &DocIndex) -> DocStats {
+        let mut s = DocStats {
+            by_tag: idx.tag_counts().collect(),
+            names: HashMap::new(),
+            elements: idx.element_count(),
+        };
+        s.resolve_names(doc);
+        s
+    }
+
+    fn resolve_names(&mut self, doc: &Document) {
+        self.names = self
+            .by_tag
+            .keys()
+            .map(|&sym| (doc.resolve_sym(sym).to_string(), sym))
+            .collect();
     }
 
     /// Number of elements with a tag.
     pub fn count(&self, tag: &str) -> usize {
-        self.by_tag.get(tag).copied().unwrap_or(0)
+        self.names
+            .get(tag)
+            .and_then(|sym| self.by_tag.get(sym))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total element count.
@@ -236,6 +266,18 @@ mod tests {
         assert_eq!(s.count("vendor"), 55); // 50 product/vendor + 5 vendors/vendor
         assert_eq!(s.count("nonexistent"), 0);
         assert!(s.elements() > 150);
+    }
+
+    #[test]
+    fn from_index_agrees_with_collect() {
+        let d = doc();
+        let collected = DocStats::collect(&d);
+        let idx = gql_ssdm::DocIndex::build(&d);
+        let projected = DocStats::from_index(&d, &idx);
+        assert_eq!(projected.elements(), collected.elements());
+        for tag in ["product", "vendor", "vendors", "name", "nonexistent"] {
+            assert_eq!(projected.count(tag), collected.count(tag), "{tag}");
+        }
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! matching are defined over) is computed lazily and cached; any structural
 //! mutation invalidates the cache.
 
-use std::cell::RefCell;
 use std::cmp::Ordering;
+use std::sync::OnceLock;
 
 use crate::arena::{Interner, NodeId, Symbol};
 use crate::error::{Error, Result};
@@ -65,13 +65,27 @@ impl NodeData {
 /// detached nodes are kept in the arena (there is no garbage collection;
 /// documents are built once and queried many times, matching the workload of
 /// the paper's engines).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Document {
     nodes: Vec<NodeData>,
     interner: Interner,
     root: NodeId,
     /// Lazily computed pre-order positions, invalidated on mutation.
-    order: RefCell<Option<Vec<u32>>>,
+    /// `OnceLock` (not `RefCell`) so a `&Document` can be shared across
+    /// threads by the parallel matcher.
+    order: OnceLock<Vec<u32>>,
+}
+
+impl Clone for Document {
+    fn clone(&self) -> Self {
+        Document {
+            nodes: self.nodes.clone(),
+            interner: self.interner.clone(),
+            root: self.root,
+            // The clone recomputes document order on first use.
+            order: OnceLock::new(),
+        }
+    }
 }
 
 impl Default for Document {
@@ -87,7 +101,7 @@ impl Document {
             nodes: Vec::new(),
             interner: Interner::new(),
             root: NodeId(0),
-            order: RefCell::new(None),
+            order: OnceLock::new(),
         };
         doc.nodes
             .push(NodeData::leaf(NodeKind::Document, None, None));
@@ -495,32 +509,29 @@ impl Document {
     // ------------------------------------------------------------------
 
     fn invalidate_order(&mut self) {
-        *self.order.get_mut() = None;
+        self.order = OnceLock::new();
     }
 
-    fn ensure_order(&self) {
-        let mut cache = self.order.borrow_mut();
-        if cache.is_some() {
-            return;
-        }
-        let mut order = vec![u32::MAX; self.nodes.len()];
-        let mut counter = 0u32;
-        let mut stack = vec![self.root];
-        while let Some(n) = stack.pop() {
-            order[n.index()] = counter;
-            counter += 1;
-            for &c in self.children(n).iter().rev() {
-                stack.push(c);
+    fn ensure_order(&self) -> &Vec<u32> {
+        self.order.get_or_init(|| {
+            let mut order = vec![u32::MAX; self.nodes.len()];
+            let mut counter = 0u32;
+            let mut stack = vec![self.root];
+            while let Some(n) = stack.pop() {
+                order[n.index()] = counter;
+                counter += 1;
+                for &c in self.children(n).iter().rev() {
+                    stack.push(c);
+                }
             }
-        }
-        *cache = Some(order);
+            order
+        })
     }
 
     /// Pre-order position of a node; detached nodes sort after all attached
     /// ones (position `u32::MAX`).
     pub fn order_key(&self, node: NodeId) -> u32 {
-        self.ensure_order();
-        self.order.borrow().as_ref().expect("order cache filled")[node.index()]
+        self.ensure_order()[node.index()]
     }
 
     /// Compare two nodes by document order.
@@ -531,9 +542,7 @@ impl Document {
     /// Sort a node list into document order and drop duplicates — the
     /// normalisation every engine applies to result node-sets.
     pub fn sort_dedup_doc_order(&self, nodes: &mut Vec<NodeId>) {
-        self.ensure_order();
-        let order = self.order.borrow();
-        let order = order.as_ref().expect("order cache filled");
+        let order = self.ensure_order();
         // Detached nodes all share the sentinel key; tie-break on the id so
         // equal nodes become adjacent and dedup removes them.
         nodes.sort_by_key(|n| (order[n.index()], n.index()));

@@ -1,0 +1,513 @@
+//! # Document indexes for evaluation fast paths
+//!
+//! A [`DocIndex`] is built in one pass over a [`Document`] and gives every
+//! engine in the workspace the classic semi-structured access paths from the
+//! Lore / structural-join literature:
+//!
+//! * **tag → postings**: for every element name (as an interned [`Symbol`]),
+//!   the elements carrying it, in document order — replacing the linear
+//!   whole-document walk of [`Document::elements_named`];
+//! * **interval numbering**: each reachable node gets a preorder number and
+//!   the exclusive end of its subtree's preorder interval, so "is `d` a
+//!   descendant of `a`" is two comparisons and "all `x` elements inside this
+//!   subtree" is a binary-searched slice of the postings list;
+//! * **attribute-name and text-value postings**: elements carrying a given
+//!   attribute, elements with a direct text child, and elements keyed by
+//!   their direct text value;
+//! * **memoized structural hashes**: a 64-bit polynomial rolling hash of the
+//!   exact canonical serialization of each subtree, computed bottom-up in one
+//!   pass. Because the hash is *defined* as the hash of the [`canonical`]
+//!   string, `canonical(a) == canonical(b)` implies
+//!   `structural_hash(a) == structural_hash(b)` by construction. The converse
+//!   can fail (collisions), so consumers must verify hash-equal candidates
+//!   with `canonical` — correctness never depends on the hash.
+//!
+//! The index is immutable and describes the document at build time; mutating
+//! the document invalidates it (callers rebuild, as [`gql-core`'s `Engine`]
+//! does per resident document).
+
+use std::collections::HashMap;
+
+use crate::arena::Symbol;
+use crate::document::{Document, NodeKind};
+use crate::NodeId;
+
+/// Base of the polynomial rolling hash (the 64-bit FNV prime — odd, with
+/// good avalanche behaviour over `u64` wraparound).
+const HASH_BASE: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental polynomial hash over a byte string: appending text multiplies
+/// the accumulated hash by `BASE^len` and adds the text's hash, so already
+/// hashed *subtree* hashes can be spliced in O(1) if their `BASE^len` factor
+/// (`pow`) is known. This is what makes the bottom-up build linear.
+#[derive(Clone, Copy)]
+struct Roll {
+    hash: u64,
+    pow: u64,
+}
+
+impl Roll {
+    fn new() -> Self {
+        Roll { hash: 0, pow: 1 }
+    }
+
+    fn push_str(&mut self, s: &str) {
+        for &b in s.as_bytes() {
+            self.hash = self.hash.wrapping_mul(HASH_BASE).wrapping_add(u64::from(b));
+            self.pow = self.pow.wrapping_mul(HASH_BASE);
+        }
+    }
+
+    /// Append an already-hashed string given its `(hash, BASE^len)` pair.
+    fn push_rolled(&mut self, other: Roll) {
+        self.hash = self.hash.wrapping_mul(other.pow).wrapping_add(other.hash);
+        self.pow = self.pow.wrapping_mul(other.pow);
+    }
+}
+
+/// Hash of a string under the same polynomial scheme the index uses for
+/// subtrees: `hash_str(&canonical(doc, n)) == index.structural_hash(doc, n)`.
+pub fn hash_str(s: &str) -> u64 {
+    hash_parts(&[s])
+}
+
+/// Hash of the concatenation of `parts`, without allocating the
+/// concatenation.
+pub fn hash_parts(parts: &[&str]) -> u64 {
+    let mut r = Roll::new();
+    for p in parts {
+        r.push_str(p);
+    }
+    r.hash
+}
+
+/// Canonical string form of a subtree: tag, sorted attributes, children in
+/// order with text inline, comments and processing instructions erased. This
+/// is the deep-equality key used by XML-GL joins and construct-side
+/// deduplication; it lives here so the index can promise that its structural
+/// hashes agree with it exactly. (`gql-xmlgl::eval::canonical` delegates
+/// here.)
+pub fn canonical(doc: &Document, node: NodeId) -> String {
+    match doc.kind(node) {
+        NodeKind::Text => format!("t:{}", doc.text(node).unwrap_or("")),
+        NodeKind::Comment | NodeKind::Pi => String::new(),
+        NodeKind::Element | NodeKind::Document => {
+            let mut attrs: Vec<(&str, &str)> = doc.attrs(node).collect();
+            attrs.sort();
+            let attrs: Vec<String> = attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let children: Vec<String> = doc
+                .children(node)
+                .iter()
+                .filter(|&&c| !matches!(doc.kind(c), NodeKind::Comment | NodeKind::Pi))
+                .map(|&c| canonical(doc, c))
+                .collect();
+            format!(
+                "e:{}[{}]({})",
+                doc.name(node).unwrap_or(""),
+                attrs.join(","),
+                children.join(",")
+            )
+        }
+    }
+}
+
+/// One-pass document index: postings, interval numbering and structural
+/// hashes. See the module docs for the access paths it provides.
+#[derive(Debug, Clone)]
+pub struct DocIndex {
+    /// Preorder number per node id; `u32::MAX` for nodes not reachable from
+    /// the document root (detached subtrees).
+    pre: Vec<u32>,
+    /// Exclusive end of the subtree's preorder interval: `n`'s subtree is
+    /// exactly the nodes with `pre in [pre[n], end[n])`.
+    end: Vec<u32>,
+    /// Rolling hash of `canonical(doc, n)` per node id.
+    hash: Vec<u64>,
+    /// `BASE^len(canonical(doc, n))` per node id (kept so detached-subtree
+    /// rebuilds and incremental composition stay possible).
+    pow: Vec<u64>,
+    /// Whether the node was reachable at build time (its `hash` is valid).
+    hashed: Vec<bool>,
+    /// Elements by tag symbol, in document order.
+    by_tag: HashMap<Symbol, Vec<NodeId>>,
+    /// All elements, in document order.
+    elements: Vec<NodeId>,
+    /// Elements carrying an attribute with the given name, in document order.
+    by_attr: HashMap<Symbol, Vec<NodeId>>,
+    /// Elements with at least one direct text child, in document order.
+    with_text: Vec<NodeId>,
+    /// Elements keyed by the concatenation of their direct text children.
+    by_text_value: HashMap<Box<str>, Vec<NodeId>>,
+    /// `Document::node_count()` at build time, for staleness fingerprinting.
+    built_for: usize,
+}
+
+const EMPTY: &[NodeId] = &[];
+
+impl DocIndex {
+    /// Build the index in one preorder pass (postings, intervals) plus one
+    /// reverse-preorder pass (subtree sizes and bottom-up hashes).
+    pub fn build(doc: &Document) -> DocIndex {
+        let n = doc.node_count();
+        let mut idx = DocIndex {
+            pre: vec![u32::MAX; n],
+            end: vec![u32::MAX; n],
+            hash: vec![0; n],
+            pow: vec![1; n],
+            hashed: vec![false; n],
+            by_tag: HashMap::new(),
+            elements: Vec::new(),
+            by_attr: HashMap::new(),
+            with_text: Vec::new(),
+            by_text_value: HashMap::new(),
+            built_for: n,
+        };
+
+        // Preorder pass: numbering and postings, in document order.
+        let mut pre_list: Vec<NodeId> = Vec::with_capacity(n);
+        let mut stack = vec![doc.root()];
+        while let Some(node) = stack.pop() {
+            idx.pre[node.index()] = pre_list.len() as u32;
+            pre_list.push(node);
+            if doc.kind(node) == NodeKind::Element {
+                idx.elements.push(node);
+                if let Some(sym) = doc.name_sym(node) {
+                    idx.by_tag.entry(sym).or_default().push(node);
+                }
+                for (k, _) in doc.attrs(node) {
+                    if let Some(sym) = doc.lookup_sym(k) {
+                        let posting = idx.by_attr.entry(sym).or_default();
+                        // An element appears once even with duplicate names.
+                        if posting.last() != Some(&node) {
+                            posting.push(node);
+                        }
+                    }
+                }
+                let mut direct_text = String::new();
+                let mut has_text = false;
+                for &c in doc.children(node) {
+                    if doc.kind(c) == NodeKind::Text {
+                        has_text = true;
+                        direct_text.push_str(doc.text(c).unwrap_or(""));
+                    }
+                }
+                if has_text {
+                    idx.with_text.push(node);
+                    idx.by_text_value
+                        .entry(direct_text.into_boxed_str())
+                        .or_default()
+                        .push(node);
+                }
+            }
+            for &c in doc.children(node).iter().rev() {
+                stack.push(c);
+            }
+        }
+
+        // Reverse preorder visits children before parents: subtree sizes and
+        // structural hashes compose bottom-up in O(1) per node.
+        let mut size = vec![0u32; n];
+        for &node in pre_list.iter().rev() {
+            let i = node.index();
+            let mut roll = Roll::new();
+            match doc.kind(node) {
+                NodeKind::Text => {
+                    roll.push_str("t:");
+                    roll.push_str(doc.text(node).unwrap_or(""));
+                }
+                NodeKind::Comment | NodeKind::Pi => {}
+                NodeKind::Element | NodeKind::Document => {
+                    roll.push_str("e:");
+                    roll.push_str(doc.name(node).unwrap_or(""));
+                    roll.push_str("[");
+                    let mut attrs: Vec<(&str, &str)> = doc.attrs(node).collect();
+                    attrs.sort();
+                    for (j, (k, v)) in attrs.iter().enumerate() {
+                        if j > 0 {
+                            roll.push_str(",");
+                        }
+                        roll.push_str(k);
+                        roll.push_str("=");
+                        roll.push_str(v);
+                    }
+                    roll.push_str("](");
+                    let mut first = true;
+                    for &c in doc.children(node) {
+                        if matches!(doc.kind(c), NodeKind::Comment | NodeKind::Pi) {
+                            continue;
+                        }
+                        if !first {
+                            roll.push_str(",");
+                        }
+                        first = false;
+                        roll.push_rolled(Roll {
+                            hash: idx.hash[c.index()],
+                            pow: idx.pow[c.index()],
+                        });
+                    }
+                    roll.push_str(")");
+                }
+            }
+            idx.hash[i] = roll.hash;
+            idx.pow[i] = roll.pow;
+            idx.hashed[i] = true;
+            let children_size: u32 = doc.children(node).iter().map(|c| size[c.index()]).sum();
+            size[i] = 1 + children_size;
+            idx.end[i] = idx.pre[i] + size[i];
+        }
+
+        idx
+    }
+
+    /// Node count of the document this index was built for; a cheap
+    /// staleness fingerprint (appending nodes changes it).
+    pub fn built_for(&self) -> usize {
+        self.built_for
+    }
+
+    /// Preorder number of a node, or `None` if it was detached at build time.
+    pub fn pre(&self, node: NodeId) -> Option<u32> {
+        match self.pre.get(node.index()) {
+            Some(&p) if p != u32::MAX => Some(p),
+            _ => None,
+        }
+    }
+
+    /// All elements named `name`, in document order.
+    pub fn elements_named<'a>(&'a self, doc: &Document, name: &str) -> &'a [NodeId] {
+        doc.lookup_sym(name)
+            .map_or(EMPTY, |sym| self.elements_named_sym(sym))
+    }
+
+    /// All elements whose tag is `sym`, in document order.
+    pub fn elements_named_sym(&self, sym: Symbol) -> &[NodeId] {
+        self.by_tag.get(&sym).map_or(EMPTY, Vec::as_slice)
+    }
+
+    /// All elements, in document order.
+    pub fn elements(&self) -> &[NodeId] {
+        &self.elements
+    }
+
+    /// Elements carrying an attribute whose name is `sym`, in document order.
+    pub fn elements_with_attr_sym(&self, sym: Symbol) -> &[NodeId] {
+        self.by_attr.get(&sym).map_or(EMPTY, Vec::as_slice)
+    }
+
+    /// Elements with at least one direct text child, in document order.
+    pub fn elements_with_text(&self) -> &[NodeId] {
+        &self.with_text
+    }
+
+    /// Elements whose concatenated direct text equals `value`, in document
+    /// order.
+    pub fn elements_with_text_value(&self, value: &str) -> &[NodeId] {
+        self.by_text_value.get(value).map_or(EMPTY, Vec::as_slice)
+    }
+
+    /// Distinct tags with their element counts (the free projection backing
+    /// `DocStats::from_index`).
+    pub fn tag_counts(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.by_tag.iter().map(|(&sym, v)| (sym, v.len()))
+    }
+
+    /// Total number of elements reachable from the root.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Is `node` inside `anc`'s subtree (including `anc` itself)? Two
+    /// comparisons on the interval numbering; `false` if either node was
+    /// detached at build time.
+    pub fn is_descendant_or_self(&self, anc: NodeId, node: NodeId) -> bool {
+        match (self.pre(anc), self.pre(node)) {
+            (Some(a), Some(d)) => d >= a && d < self.end[anc.index()],
+            _ => false,
+        }
+    }
+
+    /// Is `node` a proper descendant of `anc`?
+    pub fn is_descendant(&self, anc: NodeId, node: NodeId) -> bool {
+        anc != node && self.is_descendant_or_self(anc, node)
+    }
+
+    /// Slice of a document-ordered postings list restricted to `anc`'s
+    /// subtree interval, via two binary searches.
+    fn range_in<'a>(&self, list: &'a [NodeId], anc: NodeId, include_self: bool) -> &'a [NodeId] {
+        let Some(a) = self.pre(anc) else { return EMPTY };
+        let e = self.end[anc.index()];
+        let lo_bound = if include_self { a } else { a + 1 };
+        let lo = list.partition_point(|&n| self.pre[n.index()] < lo_bound);
+        let hi = list.partition_point(|&n| self.pre[n.index()] < e);
+        &list[lo..hi]
+    }
+
+    /// Elements named `sym` that are proper descendants of `anc` (or also
+    /// `anc` itself when `include_self`), in document order.
+    pub fn named_in(&self, sym: Symbol, anc: NodeId, include_self: bool) -> &[NodeId] {
+        self.range_in(self.elements_named_sym(sym), anc, include_self)
+    }
+
+    /// Elements in `anc`'s subtree, in document order.
+    pub fn elements_in(&self, anc: NodeId, include_self: bool) -> &[NodeId] {
+        self.range_in(&self.elements, anc, include_self)
+    }
+
+    /// Elements in `anc`'s subtree carrying an attribute named `sym`.
+    pub fn with_attr_in(&self, sym: Symbol, anc: NodeId, include_self: bool) -> &[NodeId] {
+        self.range_in(self.elements_with_attr_sym(sym), anc, include_self)
+    }
+
+    /// Elements in `anc`'s subtree with a direct text child.
+    pub fn with_text_in(&self, anc: NodeId, include_self: bool) -> &[NodeId] {
+        self.range_in(&self.with_text, anc, include_self)
+    }
+
+    /// Memoized structural hash: the rolling hash of `canonical(doc, node)`.
+    /// Nodes detached at build time fall back to hashing their canonical
+    /// form directly (rare; keeps the canonical-equal ⇒ hash-equal invariant
+    /// unconditional).
+    pub fn structural_hash(&self, doc: &Document, node: NodeId) -> u64 {
+        if self.hashed.get(node.index()).copied().unwrap_or(false) {
+            self.hash[node.index()]
+        } else {
+            hash_str(&canonical(doc, node))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Document {
+        Document::parse_str(
+            "<bib><book year='1999' isbn='1'><title>Data<!--c--> on the Web</title>\
+             <author><last>Abiteboul</last></author></book>\
+             <book year='2000'><title>XML-GL</title><author><last>Comai</last></author>\
+             <price>39</price></book>\
+             <paper><title>XML-GL</title><?pi d?></paper></bib>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn postings_match_linear_scan() {
+        let doc = fixture();
+        let idx = DocIndex::build(&doc);
+        for tag in ["bib", "book", "title", "author", "last", "price", "paper"] {
+            let scanned: Vec<NodeId> = doc.elements_named(tag).collect();
+            assert_eq!(idx.elements_named(&doc, tag), &scanned[..], "tag {tag}");
+        }
+        assert!(idx.elements_named(&doc, "absent").is_empty());
+        let all: Vec<NodeId> = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.kind(n) == NodeKind::Element)
+            .collect();
+        assert_eq!(idx.elements(), &all[..]);
+        assert_eq!(idx.element_count(), all.len());
+    }
+
+    #[test]
+    fn intervals_agree_with_ancestor_walks() {
+        let doc = fixture();
+        let idx = DocIndex::build(&doc);
+        let nodes: Vec<NodeId> = doc.descendants_or_self(doc.root()).collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                assert_eq!(
+                    idx.is_descendant_or_self(a, b),
+                    doc.is_ancestor_or_self(a, b),
+                    "{a:?} {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_lookups_match_subtree_filters() {
+        let doc = fixture();
+        let idx = DocIndex::build(&doc);
+        let books: Vec<NodeId> = doc.elements_named("book").collect();
+        let title = doc.lookup_sym("title").unwrap();
+        for &book in &books {
+            let expect: Vec<NodeId> = doc
+                .descendants(book)
+                .filter(|&n| doc.name(n) == Some("title"))
+                .collect();
+            assert_eq!(idx.named_in(title, book, false), &expect[..]);
+            let elems: Vec<NodeId> = doc
+                .descendants(book)
+                .filter(|&n| doc.kind(n) == NodeKind::Element)
+                .collect();
+            assert_eq!(idx.elements_in(book, false), &elems[..]);
+        }
+        // include_self picks up the anchor when it qualifies.
+        let book_sym = doc.lookup_sym("book").unwrap();
+        assert_eq!(idx.named_in(book_sym, books[0], true), &books[..1]);
+        assert!(idx.named_in(book_sym, books[0], false).is_empty());
+    }
+
+    #[test]
+    fn attr_and_text_postings() {
+        let doc = fixture();
+        let idx = DocIndex::build(&doc);
+        let year = doc.lookup_sym("year").unwrap();
+        let with_year: Vec<NodeId> = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.attr(n, "year").is_some())
+            .collect();
+        assert_eq!(idx.elements_with_attr_sym(year), &with_year[..]);
+        let texty: Vec<NodeId> = doc
+            .descendants(doc.root())
+            .filter(|&n| {
+                doc.kind(n) == NodeKind::Element
+                    && doc
+                        .children(n)
+                        .iter()
+                        .any(|&c| doc.kind(c) == NodeKind::Text)
+            })
+            .collect();
+        assert_eq!(idx.elements_with_text(), &texty[..]);
+        assert_eq!(idx.elements_with_text_value("39").len(), 1);
+        assert_eq!(idx.elements_with_text_value("XML-GL").len(), 2);
+        assert!(idx.elements_with_text_value("nope").is_empty());
+    }
+
+    #[test]
+    fn structural_hash_is_hash_of_canonical() {
+        let doc = fixture();
+        let idx = DocIndex::build(&doc);
+        for n in doc.descendants_or_self(doc.root()) {
+            assert_eq!(
+                idx.structural_hash(&doc, n),
+                hash_str(&canonical(&doc, n)),
+                "node {n:?}: memoized hash must equal hash of canonical form"
+            );
+        }
+        // Equal canonical forms (the two XML-GL titles) hash equal.
+        let titles: Vec<NodeId> = doc
+            .elements_named("title")
+            .filter(|&n| doc.text_content(n) == "XML-GL")
+            .collect();
+        assert_eq!(titles.len(), 2);
+        assert_eq!(canonical(&doc, titles[0]), canonical(&doc, titles[1]));
+        assert_eq!(
+            idx.structural_hash(&doc, titles[0]),
+            idx.structural_hash(&doc, titles[1])
+        );
+    }
+
+    #[test]
+    fn tag_counts_project_postings() {
+        let doc = fixture();
+        let idx = DocIndex::build(&doc);
+        let counts: std::collections::HashMap<&str, usize> = idx
+            .tag_counts()
+            .map(|(sym, n)| (doc.resolve_sym(sym), n))
+            .collect();
+        assert_eq!(counts["book"], 2);
+        assert_eq!(counts["title"], 3);
+        assert_eq!(counts["bib"], 1);
+    }
+}

@@ -33,6 +33,7 @@ pub mod dtd;
 pub mod error;
 pub mod generator;
 pub mod idref;
+pub mod index;
 pub mod path;
 pub mod rng;
 pub mod stream;
@@ -43,4 +44,5 @@ pub use arena::{NodeId, Symbol};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use document::{Document, NodeKind};
 pub use error::{Error, Result};
+pub use index::DocIndex;
 pub use value::{CmpOp, Value};

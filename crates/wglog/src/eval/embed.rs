@@ -233,11 +233,7 @@ fn search(
         if e.from == q {
             if let Some(dst) = current[e.to.index()] {
                 let mut cands: Vec<ObjId> = match &e.label {
-                    LabelTest::Label(l) => db
-                        .in_edges(dst)
-                        .filter(|edge| &edge.label == l)
-                        .map(|edge| edge.from)
-                        .collect(),
+                    LabelTest::Label(l) => db.predecessors_via(dst, l).collect(),
                     LabelTest::Any => db.in_edges(dst).map(|edge| edge.from).collect(),
                     // Reverse regex enumeration is not indexed; fall back to
                     // the type scan below.

@@ -70,6 +70,13 @@ pub struct Edge {
 }
 
 /// A WG-Log database: typed objects plus labelled edges.
+///
+/// Edge labels are interned to small integers on insertion, and adjacency
+/// is kept *label-indexed*: `(object, label) → successors/predecessors`.
+/// The fixpoint joins of the Datalog evaluator and the backtracking
+/// embedding search probe edges by `(object, label)` on their innermost
+/// loops, so those probes are hash lookups instead of linear scans with
+/// string compares.
 #[derive(Debug, Clone, Default)]
 pub struct Instance {
     objects: Vec<Object>,
@@ -80,13 +87,34 @@ pub struct Instance {
     inc: Vec<Vec<usize>>,
     /// Type index: type name → object ids.
     by_type: HashMap<String, Vec<ObjId>>,
-    /// Fast duplicate check for edges.
-    edge_set: std::collections::HashSet<(ObjId, String, ObjId)>,
+    /// Interned edge labels.
+    labels: HashMap<String, u32>,
+    /// Labelled adjacency: `(from, label) → successors`, insertion order.
+    succ: HashMap<(ObjId, u32), Vec<ObjId>>,
+    /// Labelled reverse adjacency: `(to, label) → predecessors`.
+    pred: HashMap<(ObjId, u32), Vec<ObjId>>,
+    /// Fast duplicate check for edges, keyed on interned label ids so a
+    /// probe allocates nothing.
+    edge_set: std::collections::HashSet<(ObjId, u32, ObjId)>,
 }
 
 impl Instance {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn intern_label(&mut self, label: &str) -> u32 {
+        if let Some(&id) = self.labels.get(label) {
+            id
+        } else {
+            let id = self.labels.len() as u32;
+            self.labels.insert(label.to_string(), id);
+            id
+        }
+    }
+
+    fn label_id(&self, label: &str) -> Option<u32> {
+        self.labels.get(label).copied()
     }
 
     /// Add an object, returning its id.
@@ -102,13 +130,16 @@ impl Instance {
     /// Add an edge if not already present; returns whether it was new.
     pub fn add_edge(&mut self, from: ObjId, label: impl Into<String>, to: ObjId) -> bool {
         let label = label.into();
-        if !self.edge_set.insert((from, label.clone(), to)) {
+        let lid = self.intern_label(&label);
+        if !self.edge_set.insert((from, lid, to)) {
             return false;
         }
         let idx = self.edges.len();
         self.edges.push(Edge { from, label, to });
         self.out[from.index()].push(idx);
         self.inc[to.index()].push(idx);
+        self.succ.entry((from, lid)).or_default().push(to);
+        self.pred.entry((to, lid)).or_default().push(from);
         true
     }
 
@@ -164,22 +195,39 @@ impl Instance {
         self.inc[obj.index()].iter().map(move |&i| &self.edges[i])
     }
 
-    /// Whether a specific edge exists. Probes the outgoing adjacency (small
-    /// degrees) rather than the edge set, avoiding a per-probe allocation —
-    /// this sits on the innermost loop of embedding search.
+    /// Whether a specific edge exists: one allocation-free set probe on the
+    /// interned-label key — this sits on the innermost loop of embedding
+    /// search.
     pub fn has_edge(&self, from: ObjId, label: &str, to: ObjId) -> bool {
-        self.out_edges(from).any(|e| e.to == to && e.label == label)
+        self.label_id(label)
+            .is_some_and(|lid| self.edge_set.contains(&(from, lid, to)))
     }
 
-    /// Successors over edges with a given label.
+    /// Successors over edges with a given label, in edge-insertion order
+    /// (one lookup in the labelled adjacency).
     pub fn successors_via<'a>(
         &'a self,
         obj: ObjId,
-        label: &'a str,
+        label: &str,
     ) -> impl Iterator<Item = ObjId> + 'a {
-        self.out_edges(obj)
-            .filter(move |e| e.label == label)
-            .map(|e| e.to)
+        self.label_id(label)
+            .and_then(|lid| self.succ.get(&(obj, lid)))
+            .map_or(&[][..], Vec::as_slice)
+            .iter()
+            .copied()
+    }
+
+    /// Predecessors over edges with a given label, in edge-insertion order.
+    pub fn predecessors_via<'a>(
+        &'a self,
+        obj: ObjId,
+        label: &str,
+    ) -> impl Iterator<Item = ObjId> + 'a {
+        self.label_id(label)
+            .and_then(|lid| self.pred.get(&(obj, lid)))
+            .map_or(&[][..], Vec::as_slice)
+            .iter()
+            .copied()
     }
 
     // ------------------------------------------------------------------
@@ -377,6 +425,12 @@ mod tests {
         assert_eq!(db.in_edges(c).count(), 2);
         let via: Vec<ObjId> = db.successors_via(a, "x").collect();
         assert_eq!(via, vec![b, c]);
+        let back: Vec<ObjId> = db.predecessors_via(c, "x").collect();
+        assert_eq!(back, vec![a]);
+        let back: Vec<ObjId> = db.predecessors_via(c, "y").collect();
+        assert_eq!(back, vec![b]);
+        assert_eq!(db.predecessors_via(a, "x").count(), 0);
+        assert_eq!(db.successors_via(a, "unknown-label").count(), 0);
     }
 
     #[test]

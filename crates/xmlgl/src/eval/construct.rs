@@ -9,12 +9,13 @@
 
 use std::collections::HashMap;
 
-use gql_ssdm::{Document, NodeId};
+use gql_ssdm::{DocIndex, Document, NodeId};
 
 use crate::ast::{AggFunc, CNodeId, CNodeKind, CValue, QNodeId, Rule};
 use crate::{Result, XmlGlError};
 
-use super::{bound_text, content_key, distinct_bound, identity_key, Binding, Bound};
+use super::matcher::KeyCache;
+use super::{bound_text, content_hash, content_key, distinct_bound, id_key, Binding, Bound, IdKey};
 
 /// Materialise one rule's construct side into `out`, given the bindings of
 /// its extract side. Instances are appended under the output document node.
@@ -24,15 +25,28 @@ pub fn construct_rule(
     bindings: &[Binding],
     out: &mut Document,
 ) -> Result<()> {
+    construct_rule_with(rule, doc, None, bindings, out)
+}
+
+/// Like [`construct_rule`], but with an optional document index: content
+/// grouping (`group by` list icons) then keys on memoized `u64` structural
+/// hashes, verifying hash-equal rows against canonical forms.
+pub fn construct_rule_with(
+    rule: &Rule,
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    bindings: &[Binding],
+    out: &mut Document,
+) -> Result<()> {
     for &root in &rule.construct.roots {
         let scope = scope_of(rule, root);
         if scope.is_empty() {
             // One static instance.
-            let el = instantiate(rule, root, doc, bindings, out)?;
+            let el = instantiate(rule, root, doc, idx, bindings, out)?;
             attach(out, el)?;
         } else {
             for group in group_by_scope(doc, bindings, &scope) {
-                let el = instantiate(rule, root, doc, &group, out)?;
+                let el = instantiate(rule, root, doc, idx, &group, out)?;
                 attach(out, el)?;
             }
         }
@@ -73,8 +87,8 @@ fn scope_of(rule: &Rule, root: CNodeId) -> Vec<QNodeId> {
 /// Partition bindings into groups with equal scope tuples, preserving the
 /// order of first occurrence. Bindings missing a scope slot are dropped.
 fn group_by_scope(_doc: &Document, bindings: &[Binding], scope: &[QNodeId]) -> Vec<Vec<Binding>> {
-    let mut order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, Vec<Binding>> = HashMap::new();
+    let mut order: Vec<Vec<IdKey>> = Vec::new();
+    let mut groups: HashMap<Vec<IdKey>, Vec<Binding>> = HashMap::new();
     for b in bindings {
         let mut parts = Vec::with_capacity(scope.len());
         let mut complete = true;
@@ -83,7 +97,7 @@ fn group_by_scope(_doc: &Document, bindings: &[Binding], scope: &[QNodeId]) -> V
                 // Group instances by *identity*: two distinct matched nodes
                 // with equal content still yield two instances, matching the
                 // "one output per match" reading of the figures.
-                Some(v) => parts.push(identity_key(v)),
+                Some(v) => parts.push(id_key(v)),
                 None => {
                     complete = false;
                     break;
@@ -93,11 +107,10 @@ fn group_by_scope(_doc: &Document, bindings: &[Binding], scope: &[QNodeId]) -> V
         if !complete {
             continue;
         }
-        let key = parts.join("\u{1}");
-        if !groups.contains_key(&key) {
-            order.push(key.clone());
+        if !groups.contains_key(&parts) {
+            order.push(parts.clone());
         }
-        groups.entry(key).or_default().push(b.clone());
+        groups.entry(parts).or_default().push(b.clone());
     }
     order
         .into_iter()
@@ -105,11 +118,64 @@ fn group_by_scope(_doc: &Document, bindings: &[Binding], scope: &[QNodeId]) -> V
         .collect()
 }
 
+/// Partition `group` by *content* of the binding at `key`, preserving order
+/// of first occurrence. With an index, rows are bucketed by `u64` structural
+/// hash and only hash-equal rows are compared (via memoized canonical
+/// forms); without one, string content keys are used directly.
+fn group_by_content(
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    group: &[Binding],
+    key: QNodeId,
+) -> Vec<Vec<Binding>> {
+    // Each group keeps its first bound as the representative for equality.
+    let mut out: Vec<(Bound, Vec<Binding>)> = Vec::new();
+    match idx {
+        Some(idx) => {
+            let mut cache = KeyCache::new(doc);
+            let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+            for b in group {
+                let Some(kv) = b.get(key) else { continue };
+                let h = content_hash(doc, idx, kv);
+                let slot = buckets.entry(h).or_default();
+                let mut found = None;
+                for &gi in slot.iter() {
+                    if cache.content_eq(&out[gi].0, kv) {
+                        found = Some(gi);
+                        break;
+                    }
+                }
+                match found {
+                    Some(gi) => out[gi].1.push(b.clone()),
+                    None => {
+                        slot.push(out.len());
+                        out.push((kv.clone(), vec![b.clone()]));
+                    }
+                }
+            }
+        }
+        None => {
+            let mut index_of: HashMap<String, usize> = HashMap::new();
+            for b in group {
+                let Some(kv) = b.get(key) else { continue };
+                let k = content_key(doc, kv);
+                let gi = *index_of.entry(k).or_insert_with(|| {
+                    out.push((kv.clone(), Vec::new()));
+                    out.len() - 1
+                });
+                out[gi].1.push(b.clone());
+            }
+        }
+    }
+    out.into_iter().map(|(_, members)| members).collect()
+}
+
 /// Build one instance of a construct node; returns the created output node.
 fn instantiate(
     rule: &Rule,
     c: CNodeId,
     doc: &Document,
+    idx: Option<&DocIndex>,
     group: &[Binding],
     out: &mut Document,
 ) -> Result<NodeId> {
@@ -129,7 +195,7 @@ fn instantiate(
                             .map_err(|e| XmlGlError::Eval { msg: e.to_string() })?;
                     }
                     _ => {
-                        for produced in instantiate_many(rule, child, doc, group, out)? {
+                        for produced in instantiate_many(rule, child, doc, idx, group, out)? {
                             out.append_child(el, produced)
                                 .map_err(|e| XmlGlError::Eval { msg: e.to_string() })?;
                         }
@@ -150,13 +216,14 @@ fn instantiate_many(
     rule: &Rule,
     c: CNodeId,
     doc: &Document,
+    idx: Option<&DocIndex>,
     group: &[Binding],
     out: &mut Document,
 ) -> Result<Vec<NodeId>> {
     let g = &rule.construct;
     let node = g.node(c);
     match &node.kind {
-        CNodeKind::Element(_) => Ok(vec![instantiate(rule, c, doc, group, out)?]),
+        CNodeKind::Element(_) => Ok(vec![instantiate(rule, c, doc, idx, group, out)?]),
         CNodeKind::Text(s) => Ok(vec![out.create_text(s)]),
         CNodeKind::Attribute { .. } => Ok(Vec::new()), // handled by the parent
         CNodeKind::Copy { source, deep } => {
@@ -171,7 +238,9 @@ fn instantiate_many(
                 let key_of = |bound: &Bound| -> Option<String> {
                     group.iter().find_map(|b| {
                         let src = b.get(*source)?;
-                        if identity_key(src) == identity_key(bound) {
+                        // `Bound` equality is identity equality: node ids for
+                        // nodes, (origin, text) for values.
+                        if src == bound {
                             b.get(spec.key).map(|k| bound_text(doc, k))
                         } else {
                             None
@@ -197,20 +266,9 @@ fn instantiate_many(
             key,
             wrapper,
         } => {
-            // Order groups by first occurrence of the key.
-            let mut order: Vec<String> = Vec::new();
-            let mut groups: HashMap<String, Vec<Binding>> = HashMap::new();
-            for b in group {
-                let Some(kv) = b.get(*key) else { continue };
-                let k = content_key(doc, kv);
-                if !groups.contains_key(&k) {
-                    order.push(k.clone());
-                }
-                groups.entry(k).or_default().push(b.clone());
-            }
+            // Groups ordered by first occurrence of the key.
             let mut produced = Vec::new();
-            for k in order {
-                let members = groups.remove(&k).expect("key recorded");
+            for members in group_by_content(doc, idx, group, *key) {
                 let wrap = out.create_element(wrapper);
                 // Label the group with its key value.
                 if let Some(kv) = members[0].get(*key) {

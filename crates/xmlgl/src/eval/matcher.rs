@@ -1,13 +1,31 @@
 //! Embedding enumeration: matching the extract graph against a document.
+//!
+//! Two code paths produce identical results:
+//!
+//! * the **indexed** path ([`match_rule`] / [`match_rule_with`]) resolves
+//!   `NameTest`s to interned [`Symbol`]s once per rule, draws root and
+//!   deep-edge candidates from a [`DocIndex`]'s postings lists (sliced to
+//!   subtree intervals for asterisk edges), joins root binding sets on
+//!   memoized 64-bit structural hashes (verifying hash-equal rows against
+//!   canonical forms, so a collision can never produce a false join), and
+//!   can fan per-root candidate matching across cores;
+//! * the **scan** path ([`match_rule_scan`]) is the straightforward
+//!   walk-the-whole-document implementation with string join keys, kept as
+//!   the differential-testing oracle and benchmark baseline.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use gql_ssdm::document::NodeKind;
-use gql_ssdm::{Document, NodeId};
+use gql_ssdm::index::canonical;
+use gql_ssdm::{DocIndex, Document, NodeId, Symbol};
 
 use crate::ast::{ExtractGraph, NameTest, QEdge, QNodeId, QNodeKind, Rule};
 
-use super::content_key;
+use super::{content_hash, content_key};
+
+/// Below this many root candidates, threads cost more than they save and
+/// `MatchMode::Auto` stays sequential.
+const PARALLEL_THRESHOLD: usize = 64;
 
 /// What a query node is bound to: a document node (elements) or a string
 /// (text content, attribute values). Strings carry the element they were
@@ -82,27 +100,123 @@ impl Binding {
     }
 }
 
-/// Enumerate all embeddings of a rule's extract graph into `doc`.
+/// How [`match_rule_with`] schedules per-root candidate matching.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MatchMode {
+    /// Parallel when there are enough candidates and more than one core;
+    /// sequential otherwise. Output order is deterministic either way.
+    #[default]
+    Auto,
+    /// Never spawn threads.
+    Sequential,
+    /// Spawn threads even for small candidate sets (used by equivalence
+    /// tests; still falls back to sequential on a single-core machine).
+    Parallel,
+}
+
+/// A rule's element/attribute name tests resolved against the document's
+/// interner, once per rule. A name absent from the interner can never match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NameRes {
+    Any,
+    Sym(Symbol),
+    Absent,
+}
+
+fn resolve_names(g: &ExtractGraph, doc: &Document) -> Vec<NameRes> {
+    g.nodes
+        .iter()
+        .map(|n| match &n.kind {
+            QNodeKind::Element(NameTest::Name(name)) => {
+                doc.lookup_sym(name).map_or(NameRes::Absent, NameRes::Sym)
+            }
+            QNodeKind::Attribute(name) => {
+                doc.lookup_sym(name).map_or(NameRes::Absent, NameRes::Sym)
+            }
+            QNodeKind::Element(NameTest::Wildcard) | QNodeKind::Text => NameRes::Any,
+        })
+        .collect()
+}
+
+/// Everything the recursive matching needs, borrowed once. With `idx: None`
+/// the scan fallbacks are used and `names` is ignored.
+struct Ctx<'a> {
+    g: &'a ExtractGraph,
+    doc: &'a Document,
+    nslots: usize,
+    idx: Option<&'a DocIndex>,
+    names: Vec<NameRes>,
+}
+
+/// Enumerate all embeddings of a rule's extract graph into `doc`, building
+/// a fresh [`DocIndex`] for the document. Callers evaluating several rules
+/// against one document should build the index once and use
+/// [`match_rule_with`].
+pub fn match_rule(rule: &Rule, doc: &Document) -> Vec<Binding> {
+    let idx = DocIndex::build(doc);
+    match_rule_with(rule, doc, &idx, MatchMode::Auto)
+}
+
+/// Enumerate all embeddings using a prebuilt index.
 ///
 /// Roots are matched independently; their binding sets are then combined
 /// left-to-right. Whenever a join constraint connects the next root to the
-/// already-combined prefix, the combination is a hash join on the deep-equal
-/// content key instead of a cartesian product.
-pub fn match_rule(rule: &Rule, doc: &Document) -> Vec<Binding> {
-    let g = &rule.extract;
-    let n = g.nodes.len();
+/// already-combined prefix, the combination is a hash join on the 64-bit
+/// structural content hash instead of a cartesian product.
+pub fn match_rule_with(
+    rule: &Rule,
+    doc: &Document,
+    idx: &DocIndex,
+    mode: MatchMode,
+) -> Vec<Binding> {
+    let cx = Ctx {
+        g: &rule.extract,
+        doc,
+        nslots: rule.extract.nodes.len(),
+        idx: Some(idx),
+        names: resolve_names(&rule.extract, doc),
+    };
+    run_match(&cx, mode)
+}
+
+/// Reference implementation: whole-document scans for candidates and string
+/// content keys for joins. Kept as the oracle for the indexed path (property
+/// tests assert `match_rule_scan ≡ match_rule`) and as the benchmark
+/// baseline.
+pub fn match_rule_scan(rule: &Rule, doc: &Document) -> Vec<Binding> {
+    let cx = Ctx {
+        g: &rule.extract,
+        doc,
+        nslots: rule.extract.nodes.len(),
+        idx: None,
+        names: Vec::new(),
+    };
+    run_match(&cx, MatchMode::Sequential)
+}
+
+fn norm_pair(a: QNodeId, b: QNodeId) -> (QNodeId, QNodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn run_match(cx: &Ctx, mode: MatchMode) -> Vec<Binding> {
+    let g = cx.g;
     if g.roots.is_empty() {
         return Vec::new();
     }
 
     // Per-root binding sets.
-    let mut per_root: Vec<Vec<Binding>> = Vec::with_capacity(g.roots.len());
-    for &root in &g.roots {
-        per_root.push(match_root(g, root, doc, n));
-    }
+    let per_root: Vec<Vec<Binding>> = g
+        .roots
+        .iter()
+        .map(|&root| match_root(cx, root, mode))
+        .collect();
 
     // Which root does each query node belong to?
-    let mut owner: Vec<usize> = vec![usize::MAX; n];
+    let mut owner: Vec<usize> = vec![usize::MAX; g.nodes.len()];
     for (ri, &root) in g.roots.iter().enumerate() {
         let mut stack = vec![root];
         while let Some(q) = stack.pop() {
@@ -113,7 +227,7 @@ pub fn match_rule(rule: &Rule, doc: &Document) -> Vec<Binding> {
 
     // Combine roots left to right, remembering which joins the hash-join
     // pass already enforced (the residual filter can skip them).
-    let mut enforced: Vec<(QNodeId, QNodeId)> = Vec::new();
+    let mut enforced: HashSet<(QNodeId, QNodeId)> = HashSet::new();
     let mut combined: Vec<Binding> = per_root[0].clone();
     for (ri, right) in per_root.iter().enumerate().skip(1) {
         // Joins whose endpoints span the combined prefix and this root.
@@ -134,8 +248,13 @@ pub fn match_rule(rule: &Rule, doc: &Document) -> Vec<Binding> {
         combined = if cross_joins.is_empty() {
             product(&combined, right)
         } else {
-            enforced.extend(cross_joins.iter().copied());
-            hash_join(doc, &combined, right, &cross_joins)
+            enforced.extend(cross_joins.iter().map(|&(a, b)| norm_pair(a, b)));
+            match cx.idx {
+                Some(idx) => hash_join_hashed(cx.doc, &combined, right, &cross_joins, |b| {
+                    content_hash(cx.doc, idx, b)
+                }),
+                None => hash_join_strings(cx.doc, &combined, right, &cross_joins),
+            }
         };
         if combined.is_empty() {
             return combined;
@@ -148,15 +267,31 @@ pub fn match_rule(rule: &Rule, doc: &Document) -> Vec<Binding> {
         .joins
         .iter()
         .copied()
-        .filter(|&(a, b)| !enforced.contains(&(a, b)) && !enforced.contains(&(b, a)))
+        .filter(|&(a, b)| !enforced.contains(&norm_pair(a, b)))
         .collect();
     if !residual.is_empty() {
-        combined.retain(|b| {
-            residual.iter().all(|&(x, y)| match (b.get(x), b.get(y)) {
-                (Some(bx), Some(by)) => content_key(doc, bx) == content_key(doc, by),
-                _ => false,
-            })
-        });
+        match cx.idx {
+            Some(idx) => {
+                let mut cache = KeyCache::new(cx.doc);
+                combined.retain(|b| {
+                    residual.iter().all(|&(x, y)| match (b.get(x), b.get(y)) {
+                        (Some(bx), Some(by)) => {
+                            content_hash(cx.doc, idx, bx) == content_hash(cx.doc, idx, by)
+                                && cache.content_eq(bx, by)
+                        }
+                        _ => false,
+                    })
+                });
+            }
+            None => {
+                combined.retain(|b| {
+                    residual.iter().all(|&(x, y)| match (b.get(x), b.get(y)) {
+                        (Some(bx), Some(by)) => content_key(cx.doc, bx) == content_key(cx.doc, by),
+                        _ => false,
+                    })
+                });
+            }
+        }
     }
     combined
 }
@@ -171,7 +306,8 @@ fn product(left: &[Binding], right: &[Binding]) -> Vec<Binding> {
     out
 }
 
-fn hash_join(
+/// Join two binding sets on string content keys (the scan baseline).
+fn hash_join_strings(
     doc: &Document,
     left: &[Binding],
     right: &[Binding],
@@ -206,33 +342,157 @@ fn hash_join(
     out
 }
 
-/// All embeddings of the pattern tree rooted at `root` anywhere in the
-/// document.
-fn match_root(g: &ExtractGraph, root: QNodeId, doc: &Document, nslots: usize) -> Vec<Binding> {
-    let mut out = Vec::new();
-    let candidates: Vec<NodeId> = match &g.node(root).kind {
-        QNodeKind::Element(NameTest::Name(name)) => doc.elements_named(name).collect(),
-        QNodeKind::Element(NameTest::Wildcard) => doc
-            .descendants(doc.root())
-            .filter(|&d| doc.kind(d) == NodeKind::Element)
-            .collect(),
-        // check.rs guarantees element roots.
-        _ => Vec::new(),
+/// Join two binding sets on `u64` content hashes. Hash-equal candidate rows
+/// are verified with [`KeyCache::content_eq`] (memoized canonical forms), so
+/// a hash collision can never produce a false join — correctness does not
+/// depend on the hash. The hasher is injectable so tests can force
+/// collisions.
+fn hash_join_hashed<F: Fn(&Bound) -> u64>(
+    doc: &Document,
+    left: &[Binding],
+    right: &[Binding],
+    joins: &[(QNodeId, QNodeId)],
+    hash: F,
+) -> Vec<Binding> {
+    let left_cols: Vec<QNodeId> = joins.iter().map(|&(l, _)| l).collect();
+    let right_cols: Vec<QNodeId> = joins.iter().map(|&(_, r)| r).collect();
+    let key_of = |b: &Binding, cols: &[QNodeId]| -> Option<Vec<u64>> {
+        cols.iter().map(|&c| b.get(c).map(&hash)).collect()
     };
-    for c in candidates {
-        out.extend(match_node(g, root, doc, c, nslots));
+    let mut table: HashMap<Vec<u64>, Vec<&Binding>> = HashMap::new();
+    for r in right {
+        if let Some(k) = key_of(r, &right_cols) {
+            table.entry(k).or_default().push(r);
+        }
+    }
+    let mut cache = KeyCache::new(doc);
+    let mut out = Vec::new();
+    for l in left {
+        let Some(k) = key_of(l, &left_cols) else {
+            continue;
+        };
+        let Some(matches) = table.get(&k) else {
+            continue;
+        };
+        for r in matches {
+            let verified = joins.iter().all(|&(lc, rc)| match (l.get(lc), r.get(rc)) {
+                (Some(a), Some(b)) => cache.content_eq(a, b),
+                _ => false,
+            });
+            if verified {
+                out.push(l.merge(r));
+            }
+        }
     }
     out
 }
 
+/// Memoizes canonical forms of nodes compared during one join/filter pass,
+/// so collision verification renders each distinct node at most once.
+pub(crate) struct KeyCache<'d> {
+    doc: &'d Document,
+    nodes: HashMap<NodeId, Box<str>>,
+}
+
+impl<'d> KeyCache<'d> {
+    pub(crate) fn new(doc: &'d Document) -> Self {
+        KeyCache {
+            doc,
+            nodes: HashMap::new(),
+        }
+    }
+
+    /// Content equality of two bounds — the `content_key` equality relation
+    /// without rebuilding strings for nodes already rendered.
+    pub(crate) fn content_eq(&mut self, a: &Bound, b: &Bound) -> bool {
+        match (a, b) {
+            (Bound::Value { text: ta, .. }, Bound::Value { text: tb, .. }) => ta == tb,
+            (Bound::Node(na), Bound::Node(nb)) => {
+                if na == nb {
+                    return true;
+                }
+                self.ensure(*na);
+                self.ensure(*nb);
+                self.nodes[na] == self.nodes[nb]
+            }
+            // A value key ("v:…") never equals a node's canonical form.
+            _ => false,
+        }
+    }
+
+    fn ensure(&mut self, n: NodeId) {
+        let doc = self.doc;
+        self.nodes
+            .entry(n)
+            .or_insert_with(|| canonical(doc, n).into_boxed_str());
+    }
+}
+
+/// All embeddings of the pattern tree rooted at `root` anywhere in the
+/// document, optionally fanning candidates across threads. Chunk results are
+/// concatenated in candidate order, so output is deterministic regardless of
+/// scheduling.
+fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode) -> Vec<Binding> {
+    let candidates: Vec<NodeId> = match cx.idx {
+        Some(idx) => match (&cx.g.node(root).kind, cx.names[root.index()]) {
+            (QNodeKind::Element(_), NameRes::Sym(sym)) => idx.elements_named_sym(sym).to_vec(),
+            (QNodeKind::Element(_), NameRes::Any) => idx.elements().to_vec(),
+            // Absent names cannot match; check.rs guarantees element roots.
+            _ => Vec::new(),
+        },
+        None => match &cx.g.node(root).kind {
+            QNodeKind::Element(NameTest::Name(name)) => cx.doc.elements_named(name).collect(),
+            QNodeKind::Element(NameTest::Wildcard) => cx
+                .doc
+                .descendants(cx.doc.root())
+                .filter(|&d| cx.doc.kind(d) == NodeKind::Element)
+                .collect(),
+            _ => Vec::new(),
+        },
+    };
+
+    let threads = match mode {
+        MatchMode::Sequential => 1,
+        MatchMode::Parallel | MatchMode::Auto => {
+            if mode == MatchMode::Auto && candidates.len() < PARALLEL_THRESHOLD {
+                1
+            } else {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+                    .min(candidates.len().max(1))
+            }
+        }
+    };
+
+    let run_range = |range: &[NodeId]| -> Vec<Binding> {
+        let mut out = Vec::new();
+        for &c in range {
+            out.extend(match_node(cx, root, c));
+        }
+        out
+    };
+
+    if threads <= 1 {
+        return run_range(&candidates);
+    }
+    let chunk_size = candidates.len().div_ceil(threads);
+    let mut results: Vec<Vec<Binding>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk_size)
+            .map(|chunk| s.spawn(|| run_range(chunk)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("matcher worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
 /// All embeddings of the subtree at `q` assuming it is matched at `data`.
-fn match_node(
-    g: &ExtractGraph,
-    q: QNodeId,
-    doc: &Document,
-    data: NodeId,
-    nslots: usize,
-) -> Vec<Binding> {
+fn match_node(cx: &Ctx, q: QNodeId, data: NodeId) -> Vec<Binding> {
+    let (g, doc) = (cx.g, cx.doc);
     let node = g.node(q);
     // Kind/name/predicate check.
     match &node.kind {
@@ -240,10 +500,17 @@ fn match_node(
             if doc.kind(data) != NodeKind::Element {
                 return Vec::new();
             }
-            if let Some(name) = doc.name(data) {
-                if !test.matches(name) {
-                    return Vec::new();
+            let name_ok = if cx.idx.is_some() {
+                match cx.names[q.index()] {
+                    NameRes::Any => true,
+                    NameRes::Sym(sym) => doc.name_sym(data) == Some(sym),
+                    NameRes::Absent => false,
                 }
+            } else {
+                doc.name(data).is_none_or(|name| test.matches(name))
+            };
+            if !name_ok {
+                return Vec::new();
             }
             if !node.predicate.is_trivial() && !node.predicate.eval(&doc.text_content(data)) {
                 return Vec::new();
@@ -255,14 +522,14 @@ fn match_node(
     }
 
     let mut partials = vec![{
-        let mut b = Binding::with_capacity(nslots);
+        let mut b = Binding::with_capacity(cx.nslots);
         b.set(q, Bound::Node(data));
         b
     }];
 
     let ordered = g.ordered[q.index()];
     for edge in &node.children {
-        let alternatives = match_edge(g, edge, doc, data, nslots);
+        let alternatives = match_edge(cx, edge, data);
         if edge.negated {
             if !alternatives.is_empty() {
                 return Vec::new();
@@ -309,13 +576,8 @@ fn match_node(
 }
 
 /// Alternatives for one containment edge below a matched element.
-fn match_edge(
-    g: &ExtractGraph,
-    edge: &QEdge,
-    doc: &Document,
-    parent: NodeId,
-    nslots: usize,
-) -> Vec<Binding> {
+fn match_edge(cx: &Ctx, edge: &QEdge, parent: NodeId) -> Vec<Binding> {
+    let (g, doc) = (cx.g, cx.doc);
     let target = g.node(edge.target);
     match &target.kind {
         QNodeKind::Attribute(name) => {
@@ -323,16 +585,29 @@ fn match_edge(
             let mut consider = |el: NodeId| {
                 if let Some(v) = doc.attr(el, name) {
                     if target.predicate.eval(v) {
-                        let mut b = Binding::with_capacity(nslots);
+                        let mut b = Binding::with_capacity(cx.nslots);
                         b.set(edge.target, Bound::value(v, el));
                         out.push(b);
                     }
                 }
             };
             if edge.deep {
-                for d in doc.descendants_or_self(parent) {
-                    if doc.kind(d) == NodeKind::Element {
-                        consider(d);
+                match cx.idx {
+                    Some(idx) => {
+                        // Only elements that carry the attribute, restricted
+                        // to the subtree interval.
+                        if let NameRes::Sym(sym) = cx.names[edge.target.index()] {
+                            for &d in idx.with_attr_in(sym, parent, true) {
+                                consider(d);
+                            }
+                        }
+                    }
+                    None => {
+                        for d in doc.descendants_or_self(parent) {
+                            if doc.kind(d) == NodeKind::Element {
+                                consider(d);
+                            }
+                        }
                     }
                 }
             } else {
@@ -350,16 +625,25 @@ fn match_edge(
                 if has_text {
                     let v = doc.text_content(el);
                     if target.predicate.eval(&v) {
-                        let mut b = Binding::with_capacity(nslots);
+                        let mut b = Binding::with_capacity(cx.nslots);
                         b.set(edge.target, Bound::value(v, el));
                         out.push(b);
                     }
                 }
             };
             if edge.deep {
-                for d in doc.descendants_or_self(parent) {
-                    if doc.kind(d) == NodeKind::Element {
-                        consider(d);
+                match cx.idx {
+                    Some(idx) => {
+                        for &d in idx.with_text_in(parent, true) {
+                            consider(d);
+                        }
+                    }
+                    None => {
+                        for d in doc.descendants_or_self(parent) {
+                            if doc.kind(d) == NodeKind::Element {
+                                consider(d);
+                            }
+                        }
                     }
                 }
             } else {
@@ -370,14 +654,31 @@ fn match_edge(
         QNodeKind::Element(_) => {
             let mut out = Vec::new();
             if edge.deep {
-                for d in doc.descendants(parent) {
-                    if doc.kind(d) == NodeKind::Element {
-                        out.extend(match_node(g, edge.target, doc, d, nslots));
+                match cx.idx {
+                    Some(idx) => match cx.names[edge.target.index()] {
+                        NameRes::Sym(sym) => {
+                            for &d in idx.named_in(sym, parent, false) {
+                                out.extend(match_node(cx, edge.target, d));
+                            }
+                        }
+                        NameRes::Any => {
+                            for &d in idx.elements_in(parent, false) {
+                                out.extend(match_node(cx, edge.target, d));
+                            }
+                        }
+                        NameRes::Absent => {}
+                    },
+                    None => {
+                        for d in doc.descendants(parent) {
+                            if doc.kind(d) == NodeKind::Element {
+                                out.extend(match_node(cx, edge.target, d));
+                            }
+                        }
                     }
                 }
             } else {
                 for c in doc.child_elements(parent) {
-                    out.extend(match_node(g, edge.target, doc, c, nslots));
+                    out.extend(match_node(cx, edge.target, c));
                 }
             }
             out
@@ -590,5 +891,110 @@ mod tests {
         // bib ~deep~> @year picks up year attributes at any depth.
         let r = rule(Q::elem("bib").deep_child(Q::attr("year").var("y")));
         assert_eq!(match_rule(&r, &d).len(), 3);
+    }
+
+    /// Every rule shape exercised above, for the equivalence tests below.
+    fn rule_zoo() -> Vec<Rule> {
+        vec![
+            rule(Q::elem("book")),
+            rule(Q::any()),
+            rule(Q::elem("book").child(Q::attr("year").pred(CmpOp::Ge, "2000"))),
+            rule(Q::elem("bib").deep_child(Q::elem("last").var("l"))),
+            rule(Q::elem("bib").deep_child(Q::attr("year").var("y"))),
+            rule(Q::elem("title").child(Q::text().var("t"))),
+            rule(Q::elem("book").without(Q::elem("author"))),
+            rule(
+                Q::elem("r")
+                    .ordered()
+                    .child(Q::elem("a"))
+                    .child(Q::elem("b")),
+            ),
+            RuleBuilder::new()
+                .extract(Q::elem("book").var("b").child(Q::elem("title").var("t1")))
+                .extract(Q::elem("article").child(Q::elem("title").var("t2")))
+                .join("t1", "t2")
+                .construct(C::elem("out"))
+                .build()
+                .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn indexed_path_equals_scan_path() {
+        let d = doc();
+        let idx = DocIndex::build(&d);
+        for r in rule_zoo() {
+            assert_eq!(
+                match_rule_with(&r, &d, &idx, MatchMode::Sequential),
+                match_rule_scan(&r, &d),
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let d = doc();
+        let idx = DocIndex::build(&d);
+        for r in rule_zoo() {
+            assert_eq!(
+                match_rule_with(&r, &d, &idx, MatchMode::Parallel),
+                match_rule_with(&r, &d, &idx, MatchMode::Sequential),
+            );
+        }
+    }
+
+    #[test]
+    fn hash_collision_falls_back_to_canonical_verification() {
+        let d = doc();
+        let idx = DocIndex::build(&d);
+        let origin = d.root_element().unwrap();
+        let mk = |q: u32, text: &str| {
+            let mut b = Binding::with_capacity(2);
+            b.set(QNodeId(q), Bound::value(text, origin));
+            b
+        };
+        let left = vec![mk(0, "x"), mk(0, "y")];
+        let right = vec![mk(1, "x"), mk(1, "z")];
+        let joins = vec![(QNodeId(0), QNodeId(1))];
+        // The real hashes of the three values differ, so a constant hasher
+        // genuinely forces every row into one colliding bucket.
+        let real: Vec<u64> = ["x", "y", "z"]
+            .iter()
+            .map(|t| content_hash(&d, &idx, &Bound::value(*t, origin)))
+            .collect();
+        assert!(real[0] != real[1] && real[0] != real[2]);
+        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0);
+        // Canonical verification must reject the colliding non-matches and
+        // keep exactly what the string join produces: the x–x pair.
+        let expected = hash_join_strings(&d, &left, &right, &joins);
+        assert_eq!(collided, expected);
+        assert_eq!(collided.len(), 1);
+        assert_eq!(
+            collided[0].get(QNodeId(1)),
+            Some(&Bound::value("x", origin))
+        );
+        // And the production hasher agrees.
+        let hashed = hash_join_hashed(&d, &left, &right, &joins, |b| content_hash(&d, &idx, b));
+        assert_eq!(hashed, expected);
+    }
+
+    #[test]
+    fn collision_verification_also_covers_nodes() {
+        let d = Document::parse_str("<r><a>t</a><a>t</a><b>t</b></r>").unwrap();
+        let kids: Vec<NodeId> = d.child_elements(d.root_element().unwrap()).collect();
+        let mk = |q: u32, n: NodeId| {
+            let mut b = Binding::with_capacity(2);
+            b.set(QNodeId(q), Bound::Node(n));
+            b
+        };
+        let left = vec![mk(0, kids[0])];
+        let right = vec![mk(1, kids[1]), mk(1, kids[2])];
+        let joins = vec![(QNodeId(0), QNodeId(1))];
+        // Under a constant hasher <a>t</a> collides with <b>t</b>; only the
+        // canonically-equal pair survives.
+        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0);
+        assert_eq!(collided, hash_join_strings(&d, &left, &right, &joins));
+        assert_eq!(collided.len(), 1);
+        assert_eq!(collided[0].get(QNodeId(1)), Some(&Bound::Node(kids[1])));
     }
 }

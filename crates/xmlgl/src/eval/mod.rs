@@ -19,21 +19,31 @@
 pub mod construct;
 pub mod matcher;
 
-use gql_ssdm::{Document, NodeId};
+use gql_ssdm::{DocIndex, Document, NodeId};
 
 use crate::ast::{Program, QNodeId, Rule};
 use crate::Result;
 
-pub use construct::construct_rule;
-pub use matcher::{match_rule, Binding, Bound};
+pub use construct::{construct_rule, construct_rule_with};
+pub use matcher::{match_rule, match_rule_scan, match_rule_with, Binding, Bound, MatchMode};
 
 /// Evaluate a whole program: the outputs of all rules, in rule order, become
-/// the children of the result document's root.
+/// the children of the result document's root. Builds one [`DocIndex`] for
+/// the document; callers holding a prebuilt index (e.g. `gql-core`'s
+/// `Engine`) should use [`run_with_index`].
 pub fn run(program: &Program, doc: &Document) -> Result<Document> {
+    let idx = DocIndex::build(doc);
+    run_with_index(program, doc, &idx)
+}
+
+/// Evaluate a whole program against a prebuilt document index: rules share
+/// the postings/interval/hash index instead of rebuilding it per rule.
+pub fn run_with_index(program: &Program, doc: &Document, idx: &DocIndex) -> Result<Document> {
     crate::check::check_program(program)?;
     let mut out = Document::new();
     for rule in &program.rules {
-        run_rule_into(rule, doc, &mut out)?;
+        let bindings = match_rule_with(rule, doc, idx, MatchMode::Auto);
+        construct_rule_with(rule, doc, Some(idx), &bindings, &mut out)?;
     }
     Ok(out)
 }
@@ -71,32 +81,12 @@ pub fn run_pipeline(stages: &[Program], doc: &Document) -> Result<Document> {
 
 /// Canonical string form of a subtree, used for deep-equality joins: tag,
 /// sorted attributes, children in order, with text content inline.
+///
+/// Lives in `gql-ssdm::index` so the [`DocIndex`] structural hashes can be
+/// defined as hashes of exactly this string; re-exported here for the
+/// existing callers.
 pub fn canonical(doc: &Document, node: NodeId) -> String {
-    use gql_ssdm::NodeKind;
-    match doc.kind(node) {
-        NodeKind::Text => format!("t:{}", doc.text(node).unwrap_or("")),
-        NodeKind::Comment | NodeKind::Pi => String::new(),
-        NodeKind::Element | NodeKind::Document => {
-            let mut attrs: Vec<(String, String)> = doc
-                .attrs(node)
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-                .collect();
-            attrs.sort();
-            let attrs: Vec<String> = attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
-            let children: Vec<String> = doc
-                .children(node)
-                .iter()
-                .filter(|&&c| !matches!(doc.kind(c), NodeKind::Comment | NodeKind::Pi))
-                .map(|&c| canonical(doc, c))
-                .collect();
-            format!(
-                "e:{}[{}]({})",
-                doc.name(node).unwrap_or(""),
-                attrs.join(","),
-                children.join(",")
-            )
-        }
-    }
+    gql_ssdm::index::canonical(doc, node)
 }
 
 /// Deep structural equality of two subtrees (same document).
@@ -112,12 +102,40 @@ pub fn content_key(doc: &Document, bound: &Bound) -> String {
     }
 }
 
+/// 64-bit content hash of a bound value, agreeing with [`content_key`]:
+/// `content_hash(b) == hash_str(&content_key(doc, b))` for every bound, so
+/// equal content keys always hash equal. The converse can fail (collisions);
+/// consumers verify hash-equal candidates against the string keys.
+pub fn content_hash(doc: &Document, idx: &DocIndex, bound: &Bound) -> u64 {
+    match bound {
+        Bound::Value { text, .. } => gql_ssdm::index::hash_parts(&["v:", text]),
+        Bound::Node(n) => idx.structural_hash(doc, *n),
+    }
+}
+
 /// Identity key of a bound value — distinguishes distinct occurrences with
 /// equal content (used when deduplicating triangle collections).
 pub fn identity_key(bound: &Bound) -> String {
     match bound {
         Bound::Value { text, origin } => format!("v:{}:{text}", origin.index()),
         Bound::Node(n) => format!("n:{}", n.index()),
+    }
+}
+
+/// Identity of a bound value as a compact hashable key — the same relation
+/// as [`identity_key`] without building a formatted string per row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum IdKey {
+    Node(u32),
+    Value(u32, Box<str>),
+}
+
+pub(crate) fn id_key(bound: &Bound) -> IdKey {
+    match bound {
+        Bound::Value { text, origin } => {
+            IdKey::Value(origin.index() as u32, text.clone().into_boxed_str())
+        }
+        Bound::Node(n) => IdKey::Node(n.index() as u32),
     }
 }
 
@@ -142,7 +160,7 @@ pub fn distinct_bound(bindings: &[Binding], q: QNodeId) -> Vec<Bound> {
     let mut out = Vec::new();
     for b in bindings {
         if let Some(v) = b.get(q) {
-            if seen.insert(identity_key(v)) {
+            if seen.insert(id_key(v)) {
                 out.push(v.clone());
             }
         }

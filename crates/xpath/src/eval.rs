@@ -4,7 +4,7 @@ use std::cmp::Ordering;
 
 use gql_ssdm::document::NodeKind;
 use gql_ssdm::value::parse_number;
-use gql_ssdm::{Document, NodeId};
+use gql_ssdm::{DocIndex, Document, NodeId};
 
 use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
 use crate::functions;
@@ -113,18 +113,51 @@ fn sort_dedup(doc: &Document, items: &mut Vec<Item>) {
     items.dedup();
 }
 
+/// Where the per-evaluation [`DocIndex`] comes from: a caller-provided
+/// prebuilt index (the `Engine`'s resident cache), or one built lazily the
+/// first time an indexed fast path asks for it.
+enum IndexSlot<'d> {
+    Borrowed(&'d DocIndex),
+    Lazy(Box<std::cell::OnceCell<DocIndex>>),
+}
+
 /// Per-evaluation caches (built lazily, shared across the expression tree).
-#[derive(Default)]
-pub(crate) struct EvalCaches {
+pub(crate) struct EvalCaches<'d> {
     /// The ID/IDREF graph used by `id()`; extracting it scans the whole
     /// document, so it is built at most once per evaluation.
     refs: std::cell::OnceCell<gql_ssdm::idref::RefGraph>,
+    /// Postings/interval index used for descendant name-test steps.
+    idx: IndexSlot<'d>,
 }
 
-impl EvalCaches {
+impl Default for EvalCaches<'_> {
+    fn default() -> Self {
+        EvalCaches {
+            refs: std::cell::OnceCell::new(),
+            idx: IndexSlot::Lazy(Box::new(std::cell::OnceCell::new())),
+        }
+    }
+}
+
+impl<'d> EvalCaches<'d> {
+    fn with_index(idx: &'d DocIndex) -> Self {
+        EvalCaches {
+            refs: std::cell::OnceCell::new(),
+            idx: IndexSlot::Borrowed(idx),
+        }
+    }
+
     pub(crate) fn refs(&self, doc: &Document) -> &gql_ssdm::idref::RefGraph {
         self.refs
             .get_or_init(|| gql_ssdm::idref::RefGraph::extract(doc))
+    }
+
+    /// The document index: the borrowed one, or built at most once.
+    fn index(&self, doc: &Document) -> &DocIndex {
+        match &self.idx {
+            IndexSlot::Borrowed(i) => i,
+            IndexSlot::Lazy(cell) => cell.get_or_init(|| DocIndex::build(doc)),
+        }
     }
 }
 
@@ -135,18 +168,32 @@ struct Ctx<'d> {
     item: Item,
     position: usize,
     size: usize,
-    caches: &'d EvalCaches,
+    caches: &'d EvalCaches<'d>,
 }
 
 /// Evaluate an expression with the document node as the context item.
 pub fn evaluate(doc: &Document, expr: &Expr) -> Result<XValue> {
-    let caches = EvalCaches::default();
+    eval_with_caches(doc, expr, &EvalCaches::default())
+}
+
+/// Evaluate against a prebuilt [`DocIndex`] for `doc`: descendant name-test
+/// steps use its postings instead of building a fresh index. The result is
+/// identical to [`evaluate`]'s.
+pub fn evaluate_with_index(doc: &Document, expr: &Expr, idx: &DocIndex) -> Result<XValue> {
+    eval_with_caches(doc, expr, &EvalCaches::with_index(idx))
+}
+
+fn eval_with_caches<'d>(
+    doc: &'d Document,
+    expr: &Expr,
+    caches: &'d EvalCaches<'d>,
+) -> Result<XValue> {
     let ctx = Ctx {
         doc,
         item: Item::Node(doc.root()),
         position: 1,
         size: 1,
-        caches: &caches,
+        caches,
     };
     eval_expr(expr, ctx)
 }
@@ -156,6 +203,17 @@ pub fn evaluate(doc: &Document, expr: &Expr) -> Result<XValue> {
 pub fn select(doc: &Document, xpath: &str) -> Result<Vec<NodeId>> {
     let expr = crate::parser::parse(xpath)?;
     let value = evaluate(doc, &expr)?;
+    Ok(value
+        .into_nodes()?
+        .into_iter()
+        .filter_map(Item::as_node)
+        .collect())
+}
+
+/// [`select`] against a prebuilt index.
+pub fn select_with_index(doc: &Document, xpath: &str, idx: &DocIndex) -> Result<Vec<NodeId>> {
+    let expr = crate::parser::parse(xpath)?;
+    let value = evaluate_with_index(doc, &expr, idx)?;
     Ok(value
         .into_nodes()?
         .into_iter()
@@ -174,11 +232,7 @@ fn eval_expr(expr: &Expr, ctx: Ctx<'_>) -> Result<XValue> {
         Expr::Path(p) => eval_path(p, ctx).map(XValue::Nodes),
         Expr::FilterPath(primary, steps) => {
             let start = eval_expr(primary, ctx)?.into_nodes()?;
-            let mut current = start;
-            for step in steps {
-                current = apply_step(step, &current, ctx.doc, ctx.caches)?;
-            }
-            Ok(XValue::Nodes(current))
+            apply_steps(steps, start, ctx.doc, ctx.caches).map(XValue::Nodes)
         }
         Expr::Union(a, b) => {
             let mut left = eval_expr(a, ctx)?.into_nodes()?;
@@ -332,11 +386,122 @@ fn eval_path(p: &LocationPath, ctx: Ctx<'_>) -> Result<Vec<Item>> {
     } else {
         vec![ctx.item]
     };
+    apply_steps(&p.steps, start, ctx.doc, ctx.caches)
+}
+
+/// Apply a step sequence, fusing each predicate-free pair of
+/// `descendant-or-self::node()` then `child::Name` (the expansion of
+/// `//Name`) into one postings lookup instead of enumerating every node
+/// of every subtree.
+fn apply_steps(
+    steps: &[Step],
+    start: Vec<Item>,
+    doc: &Document,
+    caches: &EvalCaches<'_>,
+) -> Result<Vec<Item>> {
     let mut current = start;
-    for step in &p.steps {
-        current = apply_step(step, &current, ctx.doc, ctx.caches)?;
+    let mut i = 0;
+    while i < steps.len() {
+        if let Some(name) = fused_descendant_name(steps, i) {
+            current = descendant_named(doc, caches, &current, name);
+            i += 2;
+            continue;
+        }
+        current = apply_step(&steps[i], &current, doc, caches)?;
+        i += 1;
     }
     Ok(current)
+}
+
+/// If `steps[i], steps[i+1]` are a predicate-free
+/// `descendant-or-self::node() / child::Name` pair, the name to fuse on.
+/// Both steps must be predicate-free: positional predicates are relative to
+/// the per-context candidate list, which fusion would regroup.
+fn fused_descendant_name(steps: &[Step], i: usize) -> Option<&str> {
+    let a = steps.get(i)?;
+    let b = steps.get(i + 1)?;
+    if a.axis == Axis::DescendantOrSelf
+        && a.test == NodeTest::Node
+        && a.predicates.is_empty()
+        && b.axis == Axis::Child
+        && b.predicates.is_empty()
+    {
+        match &b.test {
+            NodeTest::Name(n) => Some(n),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// All proper-descendant elements named `name` under each input node, via
+/// the tag postings sliced to each subtree interval (children of any node in
+/// `descendant-or-self::node()` = proper descendants). Attribute items have
+/// no descendants and contribute nothing, matching the scan semantics.
+fn descendant_named(
+    doc: &Document,
+    caches: &EvalCaches<'_>,
+    input: &[Item],
+    name: &str,
+) -> Vec<Item> {
+    let idx = caches.index(doc);
+    let mut out: Vec<Item> = Vec::new();
+    let sym = doc.lookup_sym(name);
+    for &item in input {
+        let Item::Node(node) = item else { continue };
+        if idx.pre(node).is_some() {
+            if let Some(sym) = sym {
+                out.extend(
+                    idx.named_in(sym, node, false)
+                        .iter()
+                        .map(|&n| Item::Node(n)),
+                );
+            }
+        } else {
+            // Detached at index build time (cannot happen for root-reachable
+            // evaluation, but keep the scan as the unconditional fallback).
+            out.extend(
+                doc.descendants(node)
+                    .filter(|&d| doc.kind(d) == NodeKind::Element && doc.name(d) == Some(name))
+                    .map(Item::Node),
+            );
+        }
+    }
+    sort_dedup(doc, &mut out);
+    out
+}
+
+/// Postings-backed candidate enumeration for descendant name-test steps.
+/// Returns the same items in the same (document) order as the scan, so
+/// positional predicates see identical semantics; `None` means "no fast
+/// path, use the scan".
+fn indexed_candidates(
+    doc: &Document,
+    caches: &EvalCaches<'_>,
+    item: Item,
+    step: &Step,
+) -> Option<Vec<Item>> {
+    let include_self = match step.axis {
+        Axis::Descendant => false,
+        Axis::DescendantOrSelf => true,
+        _ => return None,
+    };
+    let NodeTest::Name(name) = &step.test else {
+        return None;
+    };
+    let Item::Node(node) = item else { return None };
+    let idx = caches.index(doc);
+    idx.pre(node)?; // detached at build time: fall back to the scan
+    let Some(sym) = doc.lookup_sym(name) else {
+        return Some(Vec::new()); // name never interned: no such elements
+    };
+    Some(
+        idx.named_in(sym, node, include_self)
+            .iter()
+            .map(|&n| Item::Node(n))
+            .collect(),
+    )
 }
 
 /// Apply one step to a node-set: per context node, enumerate the axis in
@@ -346,12 +511,18 @@ fn apply_step(
     step: &Step,
     input: &[Item],
     doc: &Document,
-    caches: &EvalCaches,
+    caches: &EvalCaches<'_>,
 ) -> Result<Vec<Item>> {
     let mut out: Vec<Item> = Vec::new();
     for &ctx_item in input {
-        let mut candidates = axis_items(doc, ctx_item, step.axis);
-        candidates.retain(|&c| test_matches(doc, c, step.axis, &step.test));
+        let mut candidates = match indexed_candidates(doc, caches, ctx_item, step) {
+            Some(c) => c,
+            None => {
+                let mut c = axis_items(doc, ctx_item, step.axis);
+                c.retain(|&x| test_matches(doc, x, step.axis, &step.test));
+                c
+            }
+        };
         for pred in &step.predicates {
             let size = candidates.len();
             let mut kept = Vec::with_capacity(size);
@@ -840,5 +1011,48 @@ mod tests {
         let d = gql_ssdm::generator::deep_chain(300, 1);
         assert_eq!(select(&d, "//target").unwrap().len(), 1);
         assert_eq!(select(&d, "//level[@n='299']/target").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn prebuilt_index_gives_identical_results() {
+        let d = doc();
+        let idx = DocIndex::build(&d);
+        // Exercises the fused `//name` pair, descendant steps with
+        // predicates (positions must match scan semantics), explicit
+        // descendant axes, attribute tests and unknown names.
+        for xpath in [
+            "//last",
+            "//title",
+            "/bib//author//last",
+            "//book[2]/title",
+            "//book[@year='2000']/title",
+            "/bib/book[1]/following::article",
+            "descendant::title[2]",
+            "/bib/descendant-or-self::book",
+            "//book/descendant::last[1]",
+            "//nonexistent",
+            "//price | //title",
+            "//book[count(author) > 1]//last",
+        ] {
+            let plain = select(&d, xpath).unwrap();
+            let indexed = select_with_index(&d, xpath, &idx).unwrap();
+            assert_eq!(plain, indexed, "{xpath}");
+        }
+        let expr = crate::parse("count(//author)").unwrap();
+        assert_eq!(
+            evaluate_with_index(&d, &expr, &idx).unwrap(),
+            XValue::Num(4.0)
+        );
+    }
+
+    #[test]
+    fn fusion_requires_predicate_free_steps() {
+        let d = doc();
+        // `//book[1]` means "every book that is the first child-book of its
+        // parent", NOT "the first book in the document" — the child step's
+        // predicate must block fusion for this to hold.
+        assert_eq!(select(&d, "//book[1]").unwrap().len(), 1);
+        assert_eq!(texts(&d, "//book[1]/title"), vec!["TCP/IP Illustrated"]);
+        assert_eq!(select(&d, "//author[1]").unwrap().len(), 2);
     }
 }

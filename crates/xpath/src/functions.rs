@@ -22,7 +22,7 @@ pub(crate) fn call(
     item: Item,
     position: usize,
     size: usize,
-    caches: &crate::eval::EvalCaches,
+    caches: &crate::eval::EvalCaches<'_>,
 ) -> Result<XValue> {
     let argc = args.len();
     let mut args = args.into_iter();

@@ -609,6 +609,129 @@ fn zero_error_programs_evaluate() {
     });
 }
 
+// ----------------------------------------------------------------------
+// Indexed evaluation fast path
+// ----------------------------------------------------------------------
+
+/// The indexed matcher (postings candidates, interval range lookups, hashed
+/// joins) agrees exactly with the scan oracle — same bindings, same order —
+/// and whole programs produce identical result documents through either
+/// path (hashed vs string-keyed construct-side grouping included).
+#[test]
+fn indexed_evaluation_equals_scan() {
+    use gql::analyze::Analyzer;
+    use gql::xmlgl::eval::{construct_rule, match_rule_scan, match_rule_with, MatchMode};
+    check("indexed_evaluation_equals_scan", 96, |rng| {
+        let src = gen_xmlgl_program(rng);
+        let program = gql::xmlgl::dsl::parse_unchecked(&src)
+            .unwrap_or_else(|e| panic!("generator produced invalid syntax: {e}\n{src}"));
+        if Analyzer::new().analyze_xmlgl(&program).has_errors() {
+            return; // statically rejected; both paths refuse alike
+        }
+        let doc = document(rng);
+        let idx = gql::ssdm::DocIndex::build(&doc);
+        let mut scan_out = Document::new();
+        for rule in &program.rules {
+            let indexed = match_rule_with(rule, &doc, &idx, MatchMode::Auto);
+            let scanned = match_rule_scan(rule, &doc);
+            assert_eq!(indexed, scanned, "bindings diverged for\n{src}");
+            construct_rule(rule, &doc, &scanned, &mut scan_out).expect("scan construct");
+        }
+        let indexed_out = gql::xmlgl::run(&program, &doc).expect("indexed run");
+        assert_eq!(
+            indexed_out.to_xml_string(),
+            scan_out.to_xml_string(),
+            "result documents diverged for\n{src}"
+        );
+    });
+}
+
+/// Two-root joined rules take the hash-join path when indexed and the
+/// string-keyed join when scanning; both must agree, including on join
+/// columns that bind text values rather than nodes.
+#[test]
+fn indexed_joins_equal_scan_joins() {
+    use gql::xmlgl::builder::{RuleBuilder, C, Q};
+    use gql::xmlgl::eval::{match_rule_scan, match_rule_with, MatchMode};
+    check("indexed_joins_equal_scan_joins", 96, |rng| {
+        let doc = document(rng);
+        let (t1, t2) = (pick(rng, TAGS), pick(rng, TAGS));
+        let rule = if rng.gen_bool(0.5) {
+            // Node-valued join columns.
+            RuleBuilder::new()
+                .extract(Q::elem(t1).var("a"))
+                .extract(Q::elem(t2).var("b"))
+                .join("a", "b")
+                .construct(C::elem("out").child(C::all("a")))
+                .build()
+                .expect("builds")
+        } else {
+            // Text-valued join columns.
+            RuleBuilder::new()
+                .extract(Q::elem(t1).child(Q::text().var("a")))
+                .extract(Q::elem(t2).child(Q::text().var("b")))
+                .join("a", "b")
+                .construct(C::elem("out"))
+                .build()
+                .expect("builds")
+        };
+        let idx = gql::ssdm::DocIndex::build(&doc);
+        assert_eq!(
+            match_rule_with(&rule, &doc, &idx, MatchMode::Auto),
+            match_rule_scan(&rule, &doc)
+        );
+    });
+}
+
+/// Forced-parallel matching returns byte-identical binding lists (same
+/// order) as sequential matching.
+#[test]
+fn parallel_matching_equals_sequential() {
+    use gql::xmlgl::builder::{RuleBuilder, C, Q};
+    use gql::xmlgl::eval::{match_rule_with, MatchMode};
+    check("parallel_matching_equals_sequential", 64, |rng| {
+        let doc = document(rng);
+        let (pt, ct) = (pick(rng, TAGS), pick(rng, TAGS));
+        let rule = RuleBuilder::new()
+            .extract(Q::elem(pt).var("p").child(Q::elem(ct).var("c")))
+            .construct(C::elem("out"))
+            .build()
+            .expect("builds");
+        let idx = gql::ssdm::DocIndex::build(&doc);
+        let seq = match_rule_with(&rule, &doc, &idx, MatchMode::Sequential);
+        let par = match_rule_with(&rule, &doc, &idx, MatchMode::Parallel);
+        assert_eq!(seq, par);
+    });
+}
+
+/// `canonical(a) == canonical(b)` implies
+/// `structural_hash(a) == structural_hash(b)`, and every memoized hash is
+/// exactly the rolling hash of the canonical string.
+#[test]
+fn canonical_equality_implies_hash_equality() {
+    use gql::ssdm::index::{canonical, hash_str};
+    check("canonical_equality_implies_hash_equality", 96, |rng| {
+        let doc = document(rng);
+        let idx = gql::ssdm::DocIndex::build(&doc);
+        let nodes: Vec<NodeId> = doc.descendants_or_self(doc.root()).collect();
+        let canon: Vec<String> = nodes.iter().map(|&n| canonical(&doc, n)).collect();
+        let hashes: Vec<u64> = nodes
+            .iter()
+            .map(|&n| idx.structural_hash(&doc, n))
+            .collect();
+        for (c, &h) in canon.iter().zip(&hashes) {
+            assert_eq!(h, hash_str(c));
+        }
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                if canon[i] == canon[j] {
+                    assert_eq!(hashes[i], hashes[j], "{:?} vs {:?}", nodes[i], nodes[j]);
+                }
+            }
+        }
+    });
+}
+
 /// Same promise for WG-Log: analyzer-clean programs run to fixpoint.
 #[test]
 fn zero_error_wglog_programs_evaluate() {
