@@ -235,10 +235,21 @@ pub fn xmlgl_to_wglog(rule: &xg::Rule) -> Result<wg::Program> {
     }
     out.check()
         .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
-    Ok(wg::Program {
+    let program = wg::Program {
         rules: vec![out],
         goal,
-    })
+    };
+    // The translation renders negated subtrees as negated query edges and
+    // construction as derived `member` edges. When a negated edge's label
+    // test can observe a derived label (a wildcard `not *` box, or a box
+    // whose tag collides with `member`), the program negates through its
+    // own derivation — WG-Log's stratified semantics reject it, so report
+    // the pattern as a translation gap rather than hand over a program the
+    // engine cannot run.
+    if let Err(e) = gql_wglog::eval::stratify(&program) {
+        return Err(unsupported("unstratifiable-negation", e.to_string()));
+    }
+    Ok(program)
 }
 
 fn translate_qnode(

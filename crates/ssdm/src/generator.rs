@@ -438,22 +438,100 @@ pub fn deep_chain(depth: usize, fanout: usize) -> Document {
     d
 }
 
+/// Knobs for [`random_tree_with`]. The defaults reproduce the historical
+/// [`random_tree`] shape *byte for byte*: every non-default knob draws its
+/// extra randomness strictly after the legacy draws for a node, so turning a
+/// knob never perturbs the prefix stream of an existing `(scale, seed)` call.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Number of element nodes (including the `root` wrapper).
+    pub nodes: usize,
+    /// RNG seed — equal configs give byte-identical output.
+    pub seed: u64,
+    /// Tag vocabulary; the legacy set is `["a", "b", "c", "d"]`.
+    pub tags: &'static [&'static str],
+    /// Probability a node carries a `t{i}` text child.
+    pub text_prob: f64,
+    /// Probability a node carries the `k="{i}"` counter attribute.
+    pub attr_prob: f64,
+    /// Tag skew exponent. `0.0` is the legacy uniform pick; larger values
+    /// concentrate probability mass on the early tags (a rough Zipf), so
+    /// postings lists and hash buckets see realistic hot-tag stress instead
+    /// of a flat distribution.
+    pub tag_skew: f64,
+    /// Up to this many extra attributes per node, drawn from a small
+    /// attribute-name pool with low-cardinality values (stresses attribute
+    /// postings and equal-value hash paths).
+    pub max_extra_attrs: usize,
+    /// Probability a node is followed by a sibling text run in its parent,
+    /// producing mixed element/text content.
+    pub mixed_text_prob: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            nodes: 100,
+            seed: 0,
+            tags: &["a", "b", "c", "d"],
+            text_prob: 0.3,
+            attr_prob: 0.2,
+            tag_skew: 0.0,
+            max_extra_attrs: 0,
+            mixed_text_prob: 0.0,
+        }
+    }
+}
+
+/// Attribute-name pool for [`TreeConfig::max_extra_attrs`]; values are drawn
+/// from a 4-value domain so equal attribute sets (and thus equal canonical
+/// forms across distinct nodes) occur often.
+const EXTRA_ATTRS: &[&str] = &["lang", "kind", "rank"];
+
 /// A random tree over a small tag vocabulary, for property tests: `n` element
-/// nodes attached under uniformly random earlier elements.
+/// nodes attached under uniformly random earlier elements. Equivalent to
+/// [`random_tree_with`] at the default knobs.
 pub fn random_tree(n: usize, seed: u64) -> Document {
-    let mut rng = Rng::seed_from_u64(seed);
+    random_tree_with(&TreeConfig {
+        nodes: n,
+        seed,
+        ..TreeConfig::default()
+    })
+}
+
+/// [`random_tree`] with explicit [`TreeConfig`] knobs.
+pub fn random_tree_with(cfg: &TreeConfig) -> Document {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut d = Document::new();
     let root = d.add_element(d.root(), "root");
-    let tags = ["a", "b", "c", "d"];
     let mut nodes: Vec<NodeId> = vec![root];
-    for i in 1..n.max(1) {
+    for i in 1..cfg.nodes.max(1) {
         let parent = nodes[rng.gen_range(0..nodes.len())];
-        let el = d.add_element(parent, tags[rng.gen_range(0..tags.len())]);
-        if rng.gen_bool(0.3) {
+        let ti = if cfg.tag_skew <= 0.0 {
+            rng.gen_range(0..cfg.tags.len())
+        } else {
+            // u^(1+skew) pushes mass toward index 0 while staying one draw.
+            let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            ((u.powf(1.0 + cfg.tag_skew) * cfg.tags.len() as f64) as usize).min(cfg.tags.len() - 1)
+        };
+        let el = d.add_element(parent, cfg.tags[ti]);
+        if rng.gen_bool(cfg.text_prob) {
             d.add_text(el, &format!("t{i}"));
         }
-        if rng.gen_bool(0.2) {
+        if rng.gen_bool(cfg.attr_prob) {
             d.set_attr(el, "k", &i.to_string()).expect("element attr");
+        }
+        // Every draw below is gated on a non-default knob, preserving the
+        // legacy stream byte for byte at the defaults.
+        if cfg.max_extra_attrs > 0 {
+            for _ in 0..rng.gen_range(0..=cfg.max_extra_attrs) {
+                let name = EXTRA_ATTRS[rng.gen_range(0..EXTRA_ATTRS.len())];
+                let value = format!("v{}", rng.gen_range(0..4));
+                d.set_attr(el, name, &value).expect("element attr");
+            }
+        }
+        if cfg.mixed_text_prob > 0.0 && rng.gen_bool(cfg.mixed_text_prob) {
+            d.add_text(parent, &format!("m{i}"));
         }
         nodes.push(el);
     }
@@ -604,5 +682,89 @@ mod tests {
         assert!(d.live_node_count() >= 200);
         let d2 = random_tree(200, 4);
         assert_eq!(d.to_xml_string(), d2.to_xml_string());
+    }
+
+    /// The config refactor must not change existing `(scale, seed)` output:
+    /// these hashes were captured from the pre-knob implementation.
+    #[test]
+    fn random_tree_is_byte_identical_to_legacy() {
+        for (n, seed, len, hash) in [
+            (200usize, 4u64, 1717usize, 0xf0658463f51974edu64),
+            (50, 1, 451, 0x5cfc8fa0db2ceac0),
+            (500, 99, 4517, 0x0faa0ccfc1c2406a),
+        ] {
+            let xml = random_tree(n, seed).to_xml_string();
+            assert_eq!(xml.len(), len, "random_tree({n},{seed}) length drifted");
+            assert_eq!(
+                crate::index::hash_str(&xml),
+                hash,
+                "random_tree({n},{seed}) content drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_knobs_extend_the_shape() {
+        let base = TreeConfig {
+            nodes: 300,
+            seed: 7,
+            ..TreeConfig::default()
+        };
+        // Skew concentrates tags: the hottest tag gets a strictly larger
+        // share than under the uniform pick.
+        let uniform = random_tree_with(&base);
+        let skewed = random_tree_with(&TreeConfig {
+            tag_skew: 2.0,
+            ..base.clone()
+        });
+        let hottest = |d: &Document| {
+            let mut counts = std::collections::HashMap::new();
+            for n in d.descendants(d.root()) {
+                if let Some(name) = d.name(n) {
+                    *counts.entry(name.to_string()).or_insert(0usize) += 1;
+                }
+            }
+            counts.values().copied().max().unwrap_or(0)
+        };
+        assert!(hottest(&skewed) > hottest(&uniform));
+
+        // Extra attributes appear, from the extra pool only.
+        let attrs = random_tree_with(&TreeConfig {
+            max_extra_attrs: 2,
+            ..base.clone()
+        });
+        let extra = attrs
+            .descendants(attrs.root())
+            .flat_map(|n| {
+                attrs
+                    .attrs(n)
+                    .map(|(k, _)| k.to_string())
+                    .collect::<Vec<_>>()
+            })
+            .filter(|k| EXTRA_ATTRS.contains(&k.as_str()))
+            .count();
+        assert!(extra > 0, "no extra attributes generated");
+
+        // Mixed text produces text runs between element siblings.
+        let mixed = random_tree_with(&TreeConfig {
+            mixed_text_prob: 0.5,
+            ..base
+        });
+        let has_mixed = mixed.descendants(mixed.root()).any(|n| {
+            let kids = mixed.children(n);
+            kids.len() >= 2
+                && kids
+                    .iter()
+                    .any(|&c| mixed.kind(c) == crate::document::NodeKind::Text)
+                && kids
+                    .iter()
+                    .any(|&c| mixed.kind(c) == crate::document::NodeKind::Element)
+        });
+        assert!(has_mixed, "no mixed element/text content generated");
+
+        // Every knobbed variant still parses its own serialization.
+        for doc in [&uniform, &skewed, &attrs, &mixed] {
+            Document::parse_str(&doc.to_xml_string()).expect("self-parse");
+        }
     }
 }

@@ -1,0 +1,188 @@
+//! `gql-fuzz` — budgeted differential fuzzing across all three engines.
+//!
+//! ```text
+//! gql-fuzz run [--cases N] [--start-seed S] [--generators xmlgl,wglog,xpath,intent]
+//!              [--budget-secs T] [--corpus DIR]
+//! gql-fuzz replay --generator G --seed S
+//! gql-fuzz corpus [DIR]
+//! ```
+//!
+//! `run` executes N seeds through every selected generator's oracle
+//! battery; each disagreement is minimized (document *and* query) and
+//! printed with an exact replay command, and — when `--corpus` is given —
+//! appended as a `.case` file so it becomes a permanent regression test.
+//! `replay` re-runs a single `(generator, seed)` case. `corpus` replays a
+//! corpus directory (default `tests/corpus`). Exit status is non-zero
+//! whenever any disagreement is found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use gql_testkit::corpus::{self, CorpusCase};
+use gql_testkit::fuzz::{fuzz_one, run_fuzz, Failure, Generator};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  gql-fuzz run [--cases N] [--start-seed S] [--generators a,b] \
+         [--budget-secs T] [--corpus DIR]\n  gql-fuzz replay --generator G --seed S\n  \
+         gql-fuzz corpus [DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(args: &mut std::slice::Iter<String>, flag: &str) -> u64 {
+    match args.next().map(|v| v.parse::<u64>()) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("{flag} needs an unsigned integer");
+            usage();
+        }
+    }
+}
+
+fn print_failure(f: &Failure) {
+    println!("FAIL {} seed {}: {}", f.generator, f.seed, f.message);
+    println!("  minimized doc:   {}", f.doc);
+    println!("  minimized query: {}", f.query);
+    println!("  replay: {}", f.replay_command());
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut cases = 1000u64;
+    let mut start_seed = 0u64;
+    let mut generators: Vec<Generator> = Generator::ALL.to_vec();
+    let mut budget: Option<Duration> = None;
+    let mut corpus_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cases" => cases = parse_u64(&mut it, "--cases"),
+            "--start-seed" => start_seed = parse_u64(&mut it, "--start-seed"),
+            "--budget-secs" => {
+                budget = Some(Duration::from_secs(parse_u64(&mut it, "--budget-secs")))
+            }
+            "--generators" => {
+                let Some(list) = it.next() else { usage() };
+                generators = list
+                    .split(',')
+                    .map(|s| {
+                        Generator::from_name(s.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown generator: {s}");
+                            usage();
+                        })
+                    })
+                    .collect();
+            }
+            "--corpus" => corpus_dir = it.next().map(PathBuf::from),
+            _ => usage(),
+        }
+    }
+    let names: Vec<&str> = generators.iter().map(|g| g.name()).collect();
+    println!(
+        "fuzzing {} seeds from {start_seed} over [{}]{}",
+        cases,
+        names.join(", "),
+        budget.map_or(String::new(), |b| format!(", budget {}s", b.as_secs()))
+    );
+    let mut done = 0u64;
+    let report = run_fuzz(&generators, start_seed, cases, budget, |_, _| {
+        done += 1;
+        if done.is_multiple_of(4000) {
+            println!("  … {done} cases");
+        }
+    });
+    for f in &report.failures {
+        print_failure(f);
+        if let Some(dir) = &corpus_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create corpus dir: {e}");
+            } else {
+                let path = dir.join(format!("{}-seed{}.case", f.generator, f.seed));
+                let entry = CorpusCase::from(f).render();
+                match std::fs::write(&path, entry) {
+                    Ok(()) => println!("  appended to corpus: {}", path.display()),
+                    Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+                }
+            }
+        }
+    }
+    println!(
+        "{} cases executed, {} disagreement(s)",
+        report.executed,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let mut generator = None;
+    let mut seed = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--generator" => {
+                generator = it.next().and_then(|s| Generator::from_name(s));
+            }
+            "--seed" => seed = Some(parse_u64(&mut it, "--seed")),
+            _ => usage(),
+        }
+    }
+    let (Some(g), Some(s)) = (generator, seed) else {
+        usage()
+    };
+    match fuzz_one(g, s) {
+        Ok(()) => {
+            println!("OK {} seed {s}: all oracles agree", g.name());
+            ExitCode::SUCCESS
+        }
+        Err(f) => {
+            print_failure(&f);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_corpus(args: &[String]) -> ExitCode {
+    let dir = args
+        .first()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("tests/corpus"));
+    let cases = match corpus::load_dir(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = 0usize;
+    for (path, case) in &cases {
+        match case.replay() {
+            Ok(()) => println!("OK   {}", path.display()),
+            Err(e) => {
+                failed += 1;
+                println!("FAIL {}: {e}", path.display());
+            }
+        }
+    }
+    println!("{} corpus case(s), {failed} failing", cases.len());
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        _ => usage(),
+    }
+}

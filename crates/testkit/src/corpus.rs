@@ -1,0 +1,174 @@
+//! The replayable regression corpus.
+//!
+//! Every bug the fuzzer ever finds becomes a permanent regression test: a
+//! minimized case is appended as a `.case` file under `tests/corpus/` and
+//! the `corpus.rs` integration test replays the whole directory in tier-1
+//! CI. The format is line-oriented `key: value` (documents and queries are
+//! one-liners by construction — the serializer emits single-line XML and
+//! the generators emit single-line sources):
+//!
+//! ```text
+//! # free-form comment lines
+//! kind: xmlgl
+//! oracle: indexed-vs-scan
+//! seed: 42
+//! query: rule { extract { a as $x } construct { out { all $x } } }
+//! doc: <r><a/></r>
+//! ```
+//!
+//! `kind` selects the oracle battery (an entry of [`Generator::ALL`]);
+//! `oracle` and `seed` are documentation (the replay runs the *whole*
+//! battery — a fixed bug must stay fixed under every oracle).
+
+use std::path::{Path, PathBuf};
+
+use crate::fuzz::{check_case, Failure, Generator};
+
+/// One corpus entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusCase {
+    /// Generator name: `xmlgl` | `wglog` | `xpath` | `intent`.
+    pub kind: String,
+    /// Which oracle originally failed (documentation only).
+    pub oracle: String,
+    /// The generator seed that found the case, if any.
+    pub seed: Option<u64>,
+    /// Query source (or intent descriptor), one line.
+    pub query: String,
+    /// Document XML, one line.
+    pub doc: String,
+}
+
+impl CorpusCase {
+    /// Parse the `key: value` format. Unknown keys are ignored (forward
+    /// compatibility); `kind`, `query` and `doc` are required.
+    pub fn parse(text: &str) -> Result<CorpusCase, String> {
+        let mut kind = None;
+        let mut oracle = String::new();
+        let mut seed = None;
+        let mut query = None;
+        let mut doc = None;
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(':') else {
+                return Err(format!("malformed corpus line (no `key:`): {line}"));
+            };
+            let value = value.trim_start().to_string();
+            match key.trim() {
+                "kind" => kind = Some(value),
+                "oracle" => oracle = value,
+                "seed" => {
+                    seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad seed: {value}"))?,
+                    )
+                }
+                "query" => query = Some(value),
+                "doc" => doc = Some(value),
+                _ => {}
+            }
+        }
+        let kind = kind.ok_or("corpus case missing `kind:`")?;
+        if Generator::from_name(&kind).is_none() {
+            return Err(format!("unknown corpus kind: {kind}"));
+        }
+        Ok(CorpusCase {
+            kind,
+            oracle,
+            seed,
+            query: query.ok_or("corpus case missing `query:`")?,
+            doc: doc.ok_or("corpus case missing `doc:`")?,
+        })
+    }
+
+    /// Render back to the file format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("kind: {}\n", self.kind));
+        if !self.oracle.is_empty() {
+            out.push_str(&format!("oracle: {}\n", self.oracle));
+        }
+        if let Some(s) = self.seed {
+            out.push_str(&format!("seed: {s}\n"));
+        }
+        out.push_str(&format!("query: {}\n", self.query));
+        out.push_str(&format!("doc: {}\n", self.doc));
+        out
+    }
+
+    /// Replay: run the kind's whole oracle battery on the stored inputs.
+    pub fn replay(&self) -> Result<(), String> {
+        let generator = Generator::from_name(&self.kind)
+            .ok_or_else(|| format!("unknown corpus kind: {}", self.kind))?;
+        check_case(generator, &self.doc, &self.query)
+    }
+}
+
+impl From<&Failure> for CorpusCase {
+    fn from(f: &Failure) -> CorpusCase {
+        CorpusCase {
+            kind: f.generator.to_string(),
+            oracle: f.message.lines().next().unwrap_or("").to_string(),
+            seed: Some(f.seed),
+            query: f.query.clone(),
+            doc: f.doc.clone(),
+        }
+    }
+}
+
+/// Load every `.case` file in a directory, sorted by file name so replay
+/// order (and failure output) is stable.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusCase)>, String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    entries.sort();
+    let mut out = Vec::new();
+    for path in entries {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let case = CorpusCase::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((path, case));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let case = CorpusCase {
+            kind: "xmlgl".into(),
+            oracle: "indexed-vs-scan".into(),
+            seed: Some(42),
+            query: "rule { extract { a as $x } construct { out { all $x } } }".into(),
+            doc: "<r><a/></r>".into(),
+        };
+        let text = case.render();
+        assert_eq!(CorpusCase::parse(&text), Ok(case));
+    }
+
+    #[test]
+    fn comments_and_unknown_keys_are_tolerated() {
+        let text = "# why this case exists\nkind: xpath\nfuture-key: whatever\nquery: //a\ndoc: <r><a/></r>\n";
+        let case = CorpusCase::parse(text).expect("parses");
+        assert_eq!(case.kind, "xpath");
+        assert_eq!(case.seed, None);
+        assert!(case.replay().is_ok());
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        assert!(CorpusCase::parse("kind: xpath\nquery: //a\n").is_err());
+        assert!(CorpusCase::parse("query: //a\ndoc: <a/>\n").is_err());
+        assert!(CorpusCase::parse("kind: nope\nquery: x\ndoc: <a/>\n").is_err());
+    }
+}

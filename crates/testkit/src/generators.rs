@@ -1,0 +1,514 @@
+//! Deterministic random documents and queries over the shared vocabulary.
+//!
+//! Every generator is a pure function of the [`Rng`] it is handed, so a
+//! `(generator, seed)` pair replays a case exactly. Query generators
+//! always produce *syntactically valid* sources (the analyzers may still
+//! reject a program semantically — negated bindings referenced on the
+//! construct side, say — and the oracles gate on that verdict).
+
+use gql_ssdm::generator::{random_tree_with, TreeConfig};
+use gql_ssdm::rng::Rng;
+use gql_ssdm::{Document, NodeId};
+
+use crate::vocab::{pick, ATTRS, TAGS, VALUES};
+
+// ----------------------------------------------------------------------
+// Text and strings
+// ----------------------------------------------------------------------
+
+/// Printable text including tricky-to-escape characters, never
+/// whitespace-only (whitespace-only text nodes are dropped on reparse,
+/// which would make re-serialization oracles vacuously noisy).
+pub fn text_value(rng: &mut Rng) -> String {
+    let len = rng.gen_range(0..=12);
+    let s: String = (0..len)
+        .map(|_| char::from(rng.gen_range(0x20..0x7f) as u8))
+        .collect();
+    if s.trim().is_empty() && !s.is_empty() {
+        // Re-anchor whitespace-only runs on a visible character.
+        format!("w{s}")
+    } else {
+        s
+    }
+}
+
+/// A string over an explicit alphabet, for fuzzing parsers.
+pub fn string_over(rng: &mut Rng, alphabet: &[char], max_len: usize) -> String {
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+/// All printable ASCII plus the given extra characters.
+pub fn fuzz_alphabet(extra: &str) -> Vec<char> {
+    let mut v: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    v.extend(extra.chars());
+    v
+}
+
+// ----------------------------------------------------------------------
+// Documents
+// ----------------------------------------------------------------------
+
+fn add_attrs(doc: &mut Document, rng: &mut Rng, el: NodeId) {
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..rng.gen_range(0..3) {
+        let k = pick(rng, ATTRS).to_string();
+        if seen.insert(k.clone()) {
+            let v = if rng.gen_bool(0.6) {
+                pick(rng, VALUES).to_string()
+            } else {
+                text_value(rng)
+            };
+            doc.set_attr(el, &k, &v).expect("attrs on elements");
+        }
+    }
+}
+
+/// Grow a random subtree under `parent`: depth-bounded elements with a few
+/// attributes, text leaves, small fanout.
+fn grow(doc: &mut Document, rng: &mut Rng, parent: NodeId, depth: usize) {
+    if depth == 0 || rng.gen_bool(0.25) {
+        if rng.gen_bool(0.5) {
+            let text = if rng.gen_bool(0.5) {
+                pick(rng, VALUES).to_string()
+            } else {
+                text_value(rng)
+            };
+            doc.add_text(parent, &text);
+        } else {
+            let el = doc.add_element(parent, pick(rng, TAGS));
+            add_attrs(doc, rng, el);
+        }
+        return;
+    }
+    let el = doc.add_element(parent, pick(rng, TAGS));
+    add_attrs(doc, rng, el);
+    for _ in 0..rng.gen_range(0..5) {
+        grow(doc, rng, el, depth - 1);
+    }
+}
+
+/// A random document over the shared vocabulary: the hand-grown shape the
+/// historical property tests used, with attribute/value pools aligned to
+/// the query generators.
+pub fn document(rng: &mut Rng) -> Document {
+    let mut doc = Document::new();
+    let root = doc.add_element(doc.root(), pick(rng, TAGS));
+    for _ in 0..rng.gen_range(0..6) {
+        grow(&mut doc, rng, root, 3);
+    }
+    doc
+}
+
+/// A random document as XML text. Mixes the hand-grown generator with
+/// [`random_tree_with`] under randomized knobs (skewed tags, extra
+/// attributes, mixed content) so postings and hash-collision paths see
+/// non-uniform shapes too.
+pub fn document_xml(rng: &mut Rng) -> String {
+    if rng.gen_bool(0.3) {
+        let cfg = TreeConfig {
+            nodes: rng.gen_range(3..80),
+            seed: rng.next_u64(),
+            text_prob: rng.gen_range(0..=5) as f64 / 10.0,
+            attr_prob: rng.gen_range(0..=5) as f64 / 10.0,
+            tag_skew: if rng.gen_bool(0.5) { 1.5 } else { 0.0 },
+            max_extra_attrs: rng.gen_range(0..3),
+            mixed_text_prob: if rng.gen_bool(0.4) { 0.3 } else { 0.0 },
+            ..TreeConfig::default()
+        };
+        random_tree_with(&cfg).to_xml_string()
+    } else {
+        document(rng).to_xml_string()
+    }
+}
+
+// ----------------------------------------------------------------------
+// XML-GL query generator
+// ----------------------------------------------------------------------
+
+/// One query leaf or subtree of an XML-GL extract pattern. Collects the
+/// variables it binds (including under negation — the analyzer gate
+/// decides whether such a program is runnable).
+fn xmlgl_subtree(rng: &mut Rng, vars: &mut Vec<String>, depth: usize, out: &mut String) {
+    let tag = if rng.gen_bool(0.1) {
+        "*"
+    } else {
+        pick(rng, TAGS)
+    };
+    out.push_str(tag);
+    if rng.gen_bool(0.6) {
+        let v = format!("v{}", vars.len());
+        out.push_str(&format!(" as ${v}"));
+        vars.push(v);
+    }
+    if depth > 0 && rng.gen_bool(0.6) {
+        out.push_str(" { ");
+        for _ in 0..rng.gen_range(1..3usize) {
+            match rng.gen_range(0..10) {
+                // Attribute circle, possibly bound and/or constrained.
+                0 | 1 => {
+                    out.push('@');
+                    out.push_str(pick(rng, ATTRS));
+                    if rng.gen_bool(0.5) {
+                        let v = format!("v{}", vars.len());
+                        out.push_str(&format!(" as ${v}"));
+                        vars.push(v);
+                    }
+                    if rng.gen_bool(0.4) {
+                        let op = ["=", ">=", "<=", "!="][rng.gen_range(0..4)];
+                        out.push_str(&format!(" {op} \"{}\"", pick(rng, VALUES)));
+                    }
+                    out.push(' ');
+                }
+                // Content circle.
+                2 => {
+                    out.push_str("text");
+                    if rng.gen_bool(0.5) {
+                        let v = format!("v{}", vars.len());
+                        out.push_str(&format!(" as ${v}"));
+                        vars.push(v);
+                    } else if rng.gen_bool(0.3) {
+                        out.push_str(&format!(" = \"{}\"", pick(rng, VALUES)));
+                    }
+                    out.push(' ');
+                }
+                // Element edge: plain, negated, or deep.
+                _ => {
+                    if rng.gen_bool(0.15) {
+                        out.push_str("not ");
+                    } else if rng.gen_bool(0.2) {
+                        out.push_str("deep ");
+                    }
+                    xmlgl_subtree(rng, vars, depth - 1, out);
+                }
+            }
+        }
+        out.push_str("} ");
+    } else {
+        out.push(' ');
+    }
+}
+
+/// A random XML-GL extract/construct program as DSL text: one or two
+/// extract trees, an optional deep-equal join, and a construct tree over a
+/// subset of the bound variables. Always syntactically valid; deliberately
+/// allowed to be *unsafe* (negated bindings referenced on the construct
+/// side) — oracles filter on the analyzer's verdict.
+pub fn gen_xmlgl(rng: &mut Rng) -> String {
+    let mut vars = Vec::new();
+    let mut extract = String::new();
+    xmlgl_subtree(rng, &mut vars, 2, &mut extract);
+    let first_tree_vars = vars.len();
+    if rng.gen_bool(0.3) {
+        xmlgl_subtree(rng, &mut vars, 1, &mut extract);
+        // A join needs one var from each tree.
+        if first_tree_vars > 0 && vars.len() > first_tree_vars && rng.gen_bool(0.8) {
+            let a = &vars[rng.gen_range(0..first_tree_vars)];
+            let b = &vars[first_tree_vars + rng.gen_range(0..vars.len() - first_tree_vars)];
+            extract.push_str(&format!("join ${a} == ${b} "));
+        }
+    }
+    let mut construct = String::from("out { ");
+    if vars.is_empty() {
+        construct.push_str("answer ");
+    } else {
+        let n = rng.gen_range(1..=vars.len());
+        for v in vars.iter().take(n) {
+            if rng.gen_bool(0.2) {
+                construct.push_str(&format!("copy ${v} "));
+            } else {
+                construct.push_str(&format!("all ${v} "));
+            }
+        }
+    }
+    if rng.gen_bool(0.2) {
+        construct.push_str(&format!(
+            "@{} = \"{}\" ",
+            pick(rng, ATTRS),
+            pick(rng, VALUES)
+        ));
+    }
+    construct.push('}');
+    format!("rule {{ extract {{ {extract}}} construct {{ {construct} }} }}")
+}
+
+// ----------------------------------------------------------------------
+// WG-Log query generator
+// ----------------------------------------------------------------------
+
+/// A random WG-Log program as DSL text: typed query nodes (tags double as
+/// object types), plain/negated/regular-path edges labelled by child tags,
+/// and a collector construct with the `result` goal. Non-vacuous against
+/// the instance mapping (child tags become edge labels, attributes come
+/// from the shared pools).
+pub fn gen_wglog(rng: &mut Rng) -> String {
+    let n = rng.gen_range(1..4usize);
+    let mut query = String::new();
+    for i in 0..n {
+        query.push_str(&format!("$q{i}: {}", pick(rng, TAGS)));
+        if rng.gen_bool(0.15) {
+            let attr = if rng.gen_bool(0.5) {
+                "text"
+            } else {
+                pick(rng, ATTRS)
+            };
+            let op = ["=", ">=", "<="][rng.gen_range(0..3)];
+            query.push_str(&format!(" where {attr} {op} \"{}\"", pick(rng, VALUES)));
+        }
+        query.push_str("  ");
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if rng.gen_bool(0.2) {
+            query.push_str("not ");
+        }
+        let edge = match rng.gen_range(0..10) {
+            // Regular path over two labels (the GraphLog dashed edge).
+            0 => format!("-({}|{})+->", pick(rng, TAGS), pick(rng, TAGS)),
+            1 => format!("-({})+->", pick(rng, TAGS)),
+            // Any-label edge.
+            2 => "-*->".to_string(),
+            _ => format!("-{}->", pick(rng, TAGS)),
+        };
+        query.push_str(&format!("$q{a} {edge} $q{b}  "));
+    }
+    let target = rng.gen_range(0..n);
+    // `set` is a suffix of the node declaration, so it must precede edges.
+    let mut construct = "$c: result".to_string();
+    if rng.gen_bool(0.25) {
+        construct.push_str(&format!(" set tag = \"{}\"", pick(rng, VALUES)));
+    }
+    construct.push_str(&format!("  $c -member-> $q{target}"));
+    format!("rule {{ query {{ {query}}} construct {{ {construct} }} }} goal result")
+}
+
+// ----------------------------------------------------------------------
+// XPath query generator
+// ----------------------------------------------------------------------
+
+fn xpath_predicate(rng: &mut Rng) -> String {
+    match rng.gen_range(0..8) {
+        0 => format!("@{}", pick(rng, ATTRS)),
+        1 => format!("@{}='{}'", pick(rng, ATTRS), pick(rng, VALUES)),
+        2 => pick(rng, TAGS).to_string(),
+        3 => format!("{}", rng.gen_range(1..4)),
+        4 => format!("count({})>{}", pick(rng, TAGS), rng.gen_range(0..2)),
+        5 => format!("not({})", pick(rng, TAGS)),
+        6 => format!("text()='{}'", pick(rng, VALUES)),
+        _ => format!(
+            "@{} {} {}",
+            pick(rng, ATTRS),
+            ["<", "<=", ">", ">=", "!="][rng.gen_range(0..5)],
+            rng.gen_range(0..30)
+        ),
+    }
+}
+
+fn xpath_step(rng: &mut Rng) -> String {
+    let mut step = match rng.gen_range(0..12) {
+        0 => "*".to_string(),
+        1 => "text()".to_string(),
+        2 => format!("descendant::{}", pick(rng, TAGS)),
+        3 => "parent::*".to_string(),
+        4 => format!("following-sibling::{}", pick(rng, TAGS)),
+        5 => format!("ancestor-or-self::{}", pick(rng, TAGS)),
+        _ => pick(rng, TAGS).to_string(),
+    };
+    if !step.ends_with("()") {
+        for _ in 0..rng.gen_range(0..2) {
+            step.push_str(&format!("[{}]", xpath_predicate(rng)));
+        }
+    }
+    step
+}
+
+fn xpath_path(rng: &mut Rng) -> String {
+    let mut p = if rng.gen_bool(0.8) { "//" } else { "/" }.to_string();
+    p.push_str(&xpath_step(rng));
+    for _ in 0..rng.gen_range(0..3usize) {
+        p.push_str(if rng.gen_bool(0.4) { "//" } else { "/" });
+        p.push_str(&xpath_step(rng));
+    }
+    p
+}
+
+/// A random XPath expression within the supported 1.0 subset: abbreviated
+/// and explicit axes, attribute/positional/boolean predicates, unions,
+/// and the occasional scalar wrapper.
+pub fn gen_xpath(rng: &mut Rng) -> String {
+    let p = xpath_path(rng);
+    match rng.gen_range(0..10) {
+        0 => format!("count({p})"),
+        1 => format!("{p} | {}", xpath_path(rng)),
+        2 => format!(
+            "count({p}) {} {}",
+            ["=", ">", "<="][rng.gen_range(0..3)],
+            rng.gen_range(0..4)
+        ),
+        _ => p,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Cross-engine intents
+// ----------------------------------------------------------------------
+
+/// A query intent expressible in both XML-GL and XPath with provably equal
+/// result counts — the cross-engine oracle of the testkit. (WG-Log is
+/// excluded from count equality because the instance mapping folds atomic
+/// elements into attributes, changing what is countable.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Intent {
+    /// All elements named `.0` — `//t`.
+    All(String),
+    /// Elements `.0` with a child `.1` — `//p[c]`, distinct parents.
+    WithChild(String, String),
+    /// Elements `.0` without any child `.1` — `count(//p) - count(//p[c])`.
+    WithoutChild(String, String),
+    /// Child chains `.0/.1/.2` — `//a/b/c` (one embedding per leaf).
+    Chain(String, String, String),
+    /// Descendants `.1` under some `.0` — `//a//d`, distinct descendants.
+    Deep(String, String),
+}
+
+impl Intent {
+    pub fn gen(rng: &mut Rng) -> Intent {
+        let t = |rng: &mut Rng| pick(rng, TAGS).to_string();
+        match rng.gen_range(0..5) {
+            0 => Intent::All(t(rng)),
+            1 => Intent::WithChild(t(rng), t(rng)),
+            2 => Intent::WithoutChild(t(rng), t(rng)),
+            3 => Intent::Chain(t(rng), t(rng), t(rng)),
+            _ => Intent::Deep(t(rng), t(rng)),
+        }
+    }
+
+    /// Parse the textual descriptor produced by `Display` (corpus format).
+    pub fn parse(s: &str) -> Option<Intent> {
+        let mut w = s.split_whitespace();
+        let kind = w.next()?;
+        let rest: Vec<&str> = w.collect();
+        let own = |i: usize| rest.get(i).map(|s| s.to_string());
+        match (kind, rest.len()) {
+            ("all", 1) => Some(Intent::All(own(0)?)),
+            ("with-child", 2) => Some(Intent::WithChild(own(0)?, own(1)?)),
+            ("without-child", 2) => Some(Intent::WithoutChild(own(0)?, own(1)?)),
+            ("chain", 3) => Some(Intent::Chain(own(0)?, own(1)?, own(2)?)),
+            ("deep", 2) => Some(Intent::Deep(own(0)?, own(1)?)),
+            _ => None,
+        }
+    }
+
+    /// The XML-GL side of the intent. The variable the count is taken over
+    /// is always `$x`; [`Intent::distinct`] says whether to deduplicate.
+    pub fn xmlgl(&self) -> String {
+        let body = match self {
+            Intent::All(t) => format!("{t} as $x"),
+            Intent::WithChild(p, c) => format!("{p} as $x {{ {c} }}"),
+            Intent::WithoutChild(p, c) => format!("{p} as $x {{ not {c} }}"),
+            Intent::Chain(a, b, c) => format!("{a} as $x {{ {b} {{ {c} }} }}"),
+            Intent::Deep(a, d) => format!("{a} {{ deep {d} as $x }}"),
+        };
+        format!("rule {{ extract {{ {body} }} construct {{ out {{ all $x }} }} }}")
+    }
+
+    /// The XPath side. `WithoutChild` is counted as a difference of two
+    /// selects, handled in the oracle.
+    pub fn xpath(&self) -> String {
+        match self {
+            Intent::All(t) => format!("//{t}"),
+            Intent::WithChild(p, c) => format!("//{p}[{c}]"),
+            Intent::WithoutChild(p, c) => format!("//{p}[not({c})]"),
+            Intent::Chain(a, b, c) => format!("//{a}/{b}/{c}"),
+            Intent::Deep(a, d) => format!("//{a}//{d}"),
+        }
+    }
+
+    /// Must the XML-GL binding count be deduplicated on `$x`? (A parent
+    /// with two matching children yields two embeddings but one `//p[c]`
+    /// node; a descendant under two nested `a`s yields two embeddings but
+    /// one `//a//d` node.)
+    pub fn distinct(&self) -> bool {
+        matches!(self, Intent::WithChild(..) | Intent::Deep(..))
+    }
+
+    /// Positive intents are monotone under subtree pruning; `WithoutChild`
+    /// is not (removing a child can make its parent start matching).
+    pub fn positive(&self) -> bool {
+        !matches!(self, Intent::WithoutChild(..))
+    }
+}
+
+impl std::fmt::Display for Intent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Intent::All(t) => write!(f, "all {t}"),
+            Intent::WithChild(p, c) => write!(f, "with-child {p} {c}"),
+            Intent::WithoutChild(p, c) => write!(f, "without-child {p} {c}"),
+            Intent::Chain(a, b, c) => write!(f, "chain {a} {b} {c}"),
+            Intent::Deep(a, d) => write!(f, "deep {a} {d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::case_rng;
+
+    #[test]
+    fn xmlgl_generator_is_always_syntactically_valid() {
+        for seed in 0..400 {
+            let mut rng = case_rng(seed);
+            let src = gen_xmlgl(&mut rng);
+            gql_xmlgl::dsl::parse_unchecked(&src)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn wglog_generator_is_always_syntactically_valid() {
+        for seed in 0..400 {
+            let mut rng = case_rng(seed);
+            let src = gen_wglog(&mut rng);
+            gql_wglog::dsl::parse_unchecked(&src)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn xpath_generator_is_always_syntactically_valid() {
+        for seed in 0..400 {
+            let mut rng = case_rng(seed);
+            let src = gen_xpath(&mut rng);
+            gql_xpath::parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn intent_descriptor_roundtrips() {
+        for seed in 0..100 {
+            let mut rng = case_rng(seed);
+            let i = Intent::gen(&mut rng);
+            assert_eq!(Intent::parse(&i.to_string()), Some(i.clone()), "{i}");
+            // Both renderings parse in their engines.
+            gql_xmlgl::dsl::parse(&i.xmlgl()).unwrap_or_else(|e| panic!("{i}: {e}"));
+            gql_xpath::parse(&i.xpath()).unwrap_or_else(|e| panic!("{i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn documents_parse_and_are_reserialization_stable() {
+        for seed in 0..200 {
+            let mut rng = case_rng(seed);
+            let xml = document_xml(&mut rng);
+            let doc = gql_ssdm::Document::parse_str(&xml)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{xml}"));
+            let once = doc.to_xml_string();
+            let again = gql_ssdm::Document::parse_str(&once).expect("reparses");
+            assert_eq!(once, again.to_xml_string(), "seed {seed}");
+        }
+    }
+}

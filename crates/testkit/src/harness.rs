@@ -1,0 +1,87 @@
+//! The seed-reporting property harness.
+//!
+//! The workspace builds offline with no external crates, so instead of
+//! proptest every property runs over a few hundred cases generated from
+//! the deterministic [`gql_ssdm::rng`] PRNG. A failure message always
+//! carries the offending seed *and* an exact one-line replay command;
+//! setting `GQL_REPLAY_SEED=<n>` re-runs a property (or a fuzz generator)
+//! on that single case.
+
+use gql_ssdm::rng::Rng;
+
+/// Salt mixed into every case seed. Kept identical to the historical
+/// `tests/property.rs` harness so existing seeds stay meaningful.
+pub const SEED_SALT: u64 = 0xC0FFEE;
+/// Per-case stride (the 32-bit golden ratio, as in splitmix weighting).
+pub const SEED_STRIDE: u64 = 0x9E37_79B9;
+
+/// The RNG for one case: a pure function of the case seed, shared by the
+/// property harness, the fuzzer and corpus replay.
+pub fn case_rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(SEED_SALT ^ seed.wrapping_mul(SEED_STRIDE))
+}
+
+/// The one-line command that replays a failing property case exactly.
+pub fn replay_command(name: &str, seed: u64) -> String {
+    format!("GQL_REPLAY_SEED={seed} cargo test {name}")
+}
+
+/// Run `prop` over `cases` deterministic seeds; panic with the seed and a
+/// replay command on the first failing case (properties themselves panic
+/// via `assert!`). When `GQL_REPLAY_SEED` is set, only that seed runs —
+/// exactly what the failure message prints.
+pub fn check(name: &str, cases: u64, prop: impl Fn(&mut Rng)) {
+    let replay = std::env::var("GQL_REPLAY_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok());
+    let seeds: Vec<u64> = match replay {
+        Some(s) => vec![s],
+        None => (0..cases).collect(),
+    };
+    for seed in seeds {
+        let mut rng = case_rng(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&mut rng)));
+        if let Err(e) = result {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".into());
+            panic!(
+                "property '{name}' failed at case seed {seed}: {msg}\n  replay: {}",
+                replay_command(name, seed)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        let a: Vec<u64> = (0..4).map(|_| case_rng(7).next_u64()).collect();
+        assert!(a.iter().all(|&x| x == a[0]));
+        assert_ne!(case_rng(7).next_u64(), case_rng(8).next_u64());
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_replay() {
+        let caught = std::panic::catch_unwind(|| {
+            check("always_fails", 3, |_rng| panic!("boom"));
+        });
+        let msg = match caught {
+            Err(e) => e
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic carries a string"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("seed 0"), "{msg}");
+        assert!(
+            msg.contains("GQL_REPLAY_SEED=0 cargo test always_fails"),
+            "{msg}"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # gql-testkit — differential fuzzing and conformance harness
+//!
+//! The paper's core claim is that one query intent can be expressed in
+//! WG-Log, XML-GL and a navigational language — which makes *cross-engine
+//! agreement* the strongest correctness oracle this reproduction has. This
+//! crate turns that observation into infrastructure:
+//!
+//! * [`harness`] — the seed-reporting property runner shared by the
+//!   workspace property tests, corpus replay and the fuzz CLI. Every
+//!   failure prints an exact one-line replay command.
+//! * [`vocab`] — the tag/attribute/value vocabulary shared between the
+//!   document generators and the query generators, so generated queries
+//!   are non-vacuous against generated documents.
+//! * [`generators`] — deterministic random documents, XML-GL rules,
+//!   WG-Log programs, XPath expressions, and cross-engine [`Intent`]s.
+//! * [`oracle`] — differential oracles over every dual execution path
+//!   (indexed vs scan, parallel vs sequential, semi-naive vs naive
+//!   fixpoint, prebuilt vs lazy index, translated vs direct) plus
+//!   metamorphic properties (print→parse round-trips, re-serialization
+//!   invariance, prune monotonicity).
+//! * [`shrink`] — greedy delta-debugging that minimizes both the failing
+//!   document and the failing query.
+//! * [`fuzz`] — the budgeted runner behind the `gql-fuzz` binary.
+//! * [`corpus`] — the replayable regression-corpus file format; every bug
+//!   the fuzzer ever finds becomes a permanent regression test under
+//!   `tests/corpus/`.
+//!
+//! [`Intent`]: generators::Intent
+
+pub mod corpus;
+pub mod fuzz;
+pub mod generators;
+pub mod harness;
+pub mod oracle;
+pub mod shrink;
+pub mod vocab;
+
+pub use fuzz::{Failure, FuzzReport, Generator};
+pub use harness::{case_rng, check, replay_command};
+pub use vocab::{pick, ATTRS, TAGS, VALUES};

@@ -1,0 +1,452 @@
+//! Differential and metamorphic oracles.
+//!
+//! Each checker takes a document and a query source and returns
+//! `Err(message)` only on a *real disagreement between two paths that must
+//! agree* (or a broken metamorphic law). Inputs the engines legitimately
+//! reject — syntax errors, analyzer-rejected programs — are vacuous
+//! (`Ok`), which is exactly what the shrinker needs: a shrunk candidate
+//! that merely breaks the parse does not count as "still failing".
+//!
+//! The oracle matrix (who is checked against whom) is documented in
+//! DESIGN.md's testkit section.
+
+use gql_analyze::Analyzer;
+use gql_core::engine::{Engine, QueryKind};
+use gql_ssdm::{DocIndex, Document};
+use gql_wglog::eval::FixpointMode;
+use gql_wglog::Instance;
+use gql_xmlgl::eval::{
+    construct_rule, distinct_bound, match_rule_scan, match_rule_with, MatchMode,
+};
+use gql_xpath::{Item, XValue};
+
+use crate::generators::Intent;
+
+// ----------------------------------------------------------------------
+// Shared helpers
+// ----------------------------------------------------------------------
+
+/// Parse and normalise a document to its serialize/parse fixed point, so
+/// re-serialization oracles compare like with like (a first parse drops
+/// whitespace-only text nodes).
+pub fn normalize(xml: &str) -> Option<Document> {
+    let once = Document::parse_str(xml).ok()?;
+    Document::parse_str(&once.to_xml_string()).ok()
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_add(0x9e37_79b9_7f4a_7c15).rotate_left(31);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 27)
+}
+
+/// An order-independent fingerprint of a WG-Log instance: per-object
+/// signatures (type + sorted attributes, refined twice over labelled in-
+/// and out-edges) plus edge signatures. Two isomorphic instances always
+/// fingerprint equally, whatever order their objects were invented in —
+/// which is what lets us compare naive against semi-naive fixpoints.
+pub fn instance_fingerprint(db: &Instance) -> (Vec<u64>, Vec<(u64, u64, u64)>) {
+    let n = db.object_count();
+    let mut sig = vec![0u64; n];
+    for (id, o) in db.objects() {
+        let mut attrs: Vec<u64> = o.attrs.iter().map(|(k, v)| mix(fnv(k), fnv(v))).collect();
+        attrs.sort_unstable();
+        let mut h = fnv(&o.ty);
+        for a in attrs {
+            h = mix(h, a);
+        }
+        sig[id.index()] = h;
+    }
+    for _round in 0..2 {
+        let mut outs: Vec<Vec<u64>> = vec![Vec::new(); n];
+        let mut ins: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for e in db.edges() {
+            let l = fnv(&e.label);
+            outs[e.from.index()].push(mix(l, sig[e.to.index()]));
+            ins[e.to.index()].push(mix(l.rotate_left(17), sig[e.from.index()]));
+        }
+        let mut next = vec![0u64; n];
+        for i in 0..n {
+            outs[i].sort_unstable();
+            ins[i].sort_unstable();
+            let mut h = sig[i];
+            for &o in &outs[i] {
+                h = mix(h, o);
+            }
+            h = mix(h, 0xA5A5);
+            for &x in &ins[i] {
+                h = mix(h, x);
+            }
+            next[i] = h;
+        }
+        sig = next;
+    }
+    let mut objs = sig.clone();
+    objs.sort_unstable();
+    let mut edges: Vec<(u64, u64, u64)> = db
+        .edges()
+        .iter()
+        .map(|e| (fnv(&e.label), sig[e.from.index()], sig[e.to.index()]))
+        .collect();
+    edges.sort_unstable();
+    (objs, edges)
+}
+
+// ----------------------------------------------------------------------
+// XML-GL: every dual matcher/construct/engine path
+// ----------------------------------------------------------------------
+
+/// The full XML-GL oracle battery for one `(document, program)` case.
+pub fn check_xmlgl_case(doc: &Document, src: &str) -> Result<(), String> {
+    let Ok(program) = gql_xmlgl::dsl::parse_unchecked(src) else {
+        return Ok(()); // legitimately rejected input is vacuous
+    };
+    // Metamorphic: print → parse is the identity (up to printing).
+    let printed = gql_xmlgl::dsl::print(&program);
+    let reparsed = gql_xmlgl::dsl::parse_unchecked(&printed)
+        .map_err(|e| format!("print-parse: printed program fails to reparse: {e}\n{printed}"))?;
+    let reprinted = gql_xmlgl::dsl::print(&reparsed);
+    if reprinted != printed {
+        return Err(format!(
+            "print-parse: not a fixed point\nfirst:  {printed}\nsecond: {reprinted}"
+        ));
+    }
+    if Analyzer::new().analyze_xmlgl(&program).has_errors() {
+        return Ok(()); // statically rejected; every path refuses alike
+    }
+    let idx = DocIndex::build(doc);
+    let mut scan_out = Document::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let scan = match_rule_scan(rule, doc);
+        for (mode, label) in [
+            (MatchMode::Auto, "indexed"),
+            (MatchMode::Sequential, "sequential"),
+            (MatchMode::Parallel, "parallel"),
+        ] {
+            let got = match_rule_with(rule, doc, &idx, mode);
+            if got != scan {
+                return Err(format!(
+                    "{label}-vs-scan: rule {ri} bindings diverged ({} vs {})",
+                    got.len(),
+                    scan.len()
+                ));
+            }
+        }
+        construct_rule(rule, doc, &scan, &mut scan_out)
+            .map_err(|e| format!("construct: scan-side construct failed: {e}"))?;
+    }
+    let lazy = gql_xmlgl::eval::run(&program, doc)
+        .map_err(|e| format!("run: lazy run failed after clean matching: {e}"))?;
+    let indexed = gql_xmlgl::eval::run_with_index(&program, doc, &idx)
+        .map_err(|e| format!("run: indexed run failed after clean matching: {e}"))?;
+    if indexed.to_xml_string() != lazy.to_xml_string() {
+        return Err("indexed-vs-lazy: result documents diverged".into());
+    }
+    if scan_out.to_xml_string() != lazy.to_xml_string() {
+        return Err("construct-vs-run: scan-constructed document diverged from run()".into());
+    }
+    // Metamorphic: re-serialization invariance.
+    let re = Document::parse_str(&doc.to_xml_string())
+        .map_err(|e| format!("reserialize: document no longer parses: {e}"))?;
+    let re_out = gql_xmlgl::eval::run(&program, &re)
+        .map_err(|e| format!("reserialize: run on reparsed document failed: {e}"))?;
+    if re_out.to_xml_string() != lazy.to_xml_string() {
+        return Err("reserialize: results changed after serialize→parse of the document".into());
+    }
+    // Engine layer: prebuilt (preloaded) index vs cold lazy path.
+    let q = QueryKind::XmlGl(program.clone());
+    let cold = Engine::new().run(&q, doc);
+    let mut warm_engine = Engine::new();
+    warm_engine.preload(doc);
+    let warm = warm_engine.run(&q, doc);
+    match (cold, warm) {
+        (Ok(c), Ok(w)) => {
+            if c.output.to_xml_string() != w.output.to_xml_string()
+                || c.result_count != w.result_count
+            {
+                return Err("engine-warm-vs-cold: preloaded and cold runs diverged".into());
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (c, w) => {
+            return Err(format!(
+                "engine-warm-vs-cold: one path errored, the other did not \
+                 (cold ok: {}, warm ok: {})",
+                c.is_ok(),
+                w.is_ok()
+            ))
+        }
+    }
+    // Translation: where the partial XML-GL→WG-Log translator applies, the
+    // translated program must at least evaluate cleanly over the same data.
+    if program.rules.len() == 1 {
+        if let Ok(wg) = gql_core::translate::xmlgl_to_wglog(&program.rules[0]) {
+            let db = Instance::from_document(doc);
+            gql_wglog::eval::run(&wg, &db)
+                .map_err(|e| format!("translate: translated WG-Log program failed: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// WG-Log: fixpoint modes and loader invariance
+// ----------------------------------------------------------------------
+
+/// The WG-Log oracle battery for one `(document, program)` case.
+pub fn check_wglog_case(doc: &Document, src: &str) -> Result<(), String> {
+    let Ok(program) = gql_wglog::dsl::parse_unchecked(src) else {
+        return Ok(());
+    };
+    let printed = gql_wglog::dsl::print(&program);
+    let reparsed = gql_wglog::dsl::parse_unchecked(&printed)
+        .map_err(|e| format!("print-parse: printed program fails to reparse: {e}\n{printed}"))?;
+    let reprinted = gql_wglog::dsl::print(&reparsed);
+    if reprinted != printed {
+        return Err(format!(
+            "print-parse: not a fixed point\nfirst:  {printed}\nsecond: {reprinted}"
+        ));
+    }
+    if Analyzer::new().analyze_wglog(&program).has_errors() {
+        return Ok(());
+    }
+    let db = Instance::from_document(doc);
+    let naive = gql_wglog::eval::run_with(&program, &db, FixpointMode::Naive);
+    let semi = gql_wglog::eval::run_with(&program, &db, FixpointMode::SemiNaive);
+    let (naive_db, semi_db) = match (naive, semi) {
+        (Ok((n, _)), Ok((s, _))) => (n, s),
+        (Err(_), Err(_)) => return Ok(()), // both reject alike
+        (n, s) => {
+            return Err(format!(
+                "naive-vs-seminaive: one mode errored, the other did not \
+                 (naive ok: {}, semi ok: {})",
+                n.is_ok(),
+                s.is_ok()
+            ))
+        }
+    };
+    if instance_fingerprint(&naive_db) != instance_fingerprint(&semi_db) {
+        return Err(format!(
+            "naive-vs-seminaive: result instances are not isomorphic \
+             ({} objects / {} edges vs {} / {})",
+            naive_db.object_count(),
+            naive_db.edge_count(),
+            semi_db.object_count(),
+            semi_db.edge_count()
+        ));
+    }
+    // Metamorphic: the loader is invariant under document re-serialization.
+    let re = Document::parse_str(&doc.to_xml_string())
+        .map_err(|e| format!("reserialize: document no longer parses: {e}"))?;
+    let re_db = Instance::from_document(&re);
+    let re_run = gql_wglog::eval::run_with(&program, &re_db, FixpointMode::SemiNaive)
+        .map_err(|e| format!("reserialize: run on reparsed document failed: {e}"))?
+        .0;
+    if instance_fingerprint(&re_run) != instance_fingerprint(&semi_db) {
+        return Err("reserialize: results changed after serialize→parse of the document".into());
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// XPath: indexed vs lazy evaluation
+// ----------------------------------------------------------------------
+
+fn xvalue_eq(a: &XValue, b: &XValue) -> bool {
+    match (a, b) {
+        (XValue::Num(x), XValue::Num(y)) => (x.is_nan() && y.is_nan()) || x == y,
+        _ => a == b,
+    }
+}
+
+/// A structural, node-identity-free projection of an XPath result, for
+/// comparing runs over *different* parses of the same document.
+fn observe(doc: &Document, v: &XValue) -> String {
+    match v {
+        XValue::Nodes(items) => {
+            let parts: Vec<String> = items
+                .iter()
+                .map(|it| match *it {
+                    Item::Node(n) => format!(
+                        "{}({})",
+                        doc.name(n).unwrap_or("#text"),
+                        doc.text_content(n)
+                    ),
+                    Item::Attr { owner, index } => doc
+                        .attrs(owner)
+                        .nth(index)
+                        .map(|(k, val)| format!("@{k}={val}"))
+                        .unwrap_or_default(),
+                })
+                .collect();
+            format!("nodes[{}]", parts.join(","))
+        }
+        XValue::Num(n) => format!("num {n}"),
+        XValue::Str(s) => format!("str {s}"),
+        XValue::Bool(b) => format!("bool {b}"),
+    }
+}
+
+/// The XPath oracle battery for one `(document, expression)` case.
+pub fn check_xpath_case(doc: &Document, src: &str) -> Result<(), String> {
+    let Ok(expr) = gql_xpath::parse(src) else {
+        return Ok(());
+    };
+    // Metamorphic: Display → parse is the identity on the AST.
+    let printed = expr.to_string();
+    let reparsed = gql_xpath::parse(&printed)
+        .map_err(|e| format!("print-parse: printed expression fails to reparse: {e}\n{printed}"))?;
+    if reparsed != expr {
+        return Err(format!(
+            "print-parse: AST changed through printing\n{printed}"
+        ));
+    }
+    let idx = DocIndex::build(doc);
+    let lazy = gql_xpath::evaluate(doc, &expr);
+    let fast = gql_xpath::evaluate_with_index(doc, &expr, &idx);
+    let value = match (lazy, fast) {
+        (Ok(l), Ok(f)) => {
+            if !xvalue_eq(&l, &f) {
+                return Err(format!(
+                    "indexed-vs-lazy: values diverged\nlazy:    {}\nindexed: {}",
+                    observe(doc, &l),
+                    observe(doc, &f)
+                ));
+            }
+            l
+        }
+        (Err(_), Err(_)) => return Ok(()),
+        (l, f) => {
+            return Err(format!(
+                "indexed-vs-lazy: one path errored, the other did not \
+                 (lazy ok: {}, indexed ok: {})",
+                l.is_ok(),
+                f.is_ok()
+            ))
+        }
+    };
+    // Metamorphic: re-serialization invariance on the observable result.
+    let re = Document::parse_str(&doc.to_xml_string())
+        .map_err(|e| format!("reserialize: document no longer parses: {e}"))?;
+    let re_val = gql_xpath::evaluate(&re, &expr)
+        .map_err(|e| format!("reserialize: evaluation on reparsed document failed: {e}"))?;
+    if observe(&re, &re_val) != observe(doc, &value) {
+        return Err(format!(
+            "reserialize: results changed after serialize→parse\nbefore: {}\nafter:  {}",
+            observe(doc, &value),
+            observe(&re, &re_val)
+        ));
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Cross-engine intents: XML-GL vs XPath, plus prune monotonicity
+// ----------------------------------------------------------------------
+
+/// Count the intent on the XML-GL side (checking indexed against scan on
+/// the way — the intent doubles as another matcher-path case).
+pub fn intent_xmlgl_count(doc: &Document, intent: &Intent) -> Result<usize, String> {
+    let src = intent.xmlgl();
+    let program = gql_xmlgl::dsl::parse(&src)
+        .map_err(|e| format!("intent-xmlgl: intent rendering failed to parse: {e}\n{src}"))?;
+    let rule = &program.rules[0];
+    let idx = DocIndex::build(doc);
+    let scan = match_rule_scan(rule, doc);
+    let fast = match_rule_with(rule, doc, &idx, MatchMode::Auto);
+    if fast != scan {
+        return Err(format!(
+            "indexed-vs-scan: intent '{intent}' bindings diverged ({} vs {})",
+            fast.len(),
+            scan.len()
+        ));
+    }
+    if intent.distinct() {
+        let q = rule
+            .extract
+            .by_var("x")
+            .ok_or_else(|| format!("intent-xmlgl: $x not bound in {src}"))?;
+        Ok(distinct_bound(&scan, q).len())
+    } else {
+        Ok(scan.len())
+    }
+}
+
+/// Count the intent on the XPath side (checking indexed against lazy).
+pub fn intent_xpath_count(doc: &Document, intent: &Intent) -> Result<usize, String> {
+    let idx = DocIndex::build(doc);
+    let count = |path: &str| -> Result<usize, String> {
+        let expr = gql_xpath::parse(path).map_err(|e| format!("intent-xpath: {e} in {path}"))?;
+        let lazy = gql_xpath::evaluate(doc, &expr)
+            .map_err(|e| format!("intent-xpath: lazy evaluation failed: {e}"))?;
+        let fast = gql_xpath::evaluate_with_index(doc, &expr, &idx)
+            .map_err(|e| format!("intent-xpath: indexed evaluation failed: {e}"))?;
+        if !xvalue_eq(&lazy, &fast) {
+            return Err(format!("indexed-vs-lazy: intent path {path} diverged"));
+        }
+        Ok(lazy
+            .into_nodes()
+            .map_err(|e| format!("intent-xpath: {e}"))?
+            .len())
+    };
+    count(&intent.xpath())
+}
+
+/// The cross-engine oracle for one `(document, intent)` case: equal counts
+/// between XML-GL and XPath, and (for positive intents) monotonicity under
+/// subtree pruning.
+pub fn check_intent_case(doc: &Document, intent: &Intent) -> Result<(), String> {
+    let a = intent_xmlgl_count(doc, intent)?;
+    let b = intent_xpath_count(doc, intent)?;
+    if a != b {
+        return Err(format!(
+            "xmlgl-vs-xpath: intent '{intent}' counts diverged (xmlgl {a}, xpath {b})"
+        ));
+    }
+    if !intent.positive() {
+        return Ok(());
+    }
+    // Prune up to 6 element subtrees (deterministically, in document
+    // order); a positive pattern can never gain matches from removal.
+    let xml = doc.to_xml_string();
+    let total = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.kind(n) == gql_ssdm::NodeKind::Element)
+        .count();
+    for k in 0..total.min(6) {
+        let Ok(mut pruned) = Document::parse_str(&xml) else {
+            break;
+        };
+        let Some(victim) = pruned
+            .descendants(pruned.root())
+            .filter(|&n| pruned.kind(n) == gql_ssdm::NodeKind::Element)
+            .nth(k)
+        else {
+            continue;
+        };
+        if pruned.detach(victim).is_err() {
+            continue;
+        }
+        let Some(clean) = normalize(&pruned.to_xml_string()) else {
+            continue; // pruning the root leaves nothing to query
+        };
+        let a2 = intent_xmlgl_count(&clean, intent)?;
+        let b2 = intent_xpath_count(&clean, intent)?;
+        if a2 > a || b2 > b {
+            return Err(format!(
+                "prune-monotonicity: intent '{intent}' gained matches after pruning subtree {k} \
+                 (xmlgl {a}→{a2}, xpath {b}→{b2})"
+            ));
+        }
+    }
+    Ok(())
+}

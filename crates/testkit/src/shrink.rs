@@ -1,0 +1,223 @@
+//! Greedy delta-debugging: minimize a failing `(document, query)` pair.
+//!
+//! Both shrinkers are *semantic-blind*: a candidate is accepted exactly
+//! when the caller's failure predicate still holds on it. The oracles
+//! return `Ok` for anything that no longer parses, so candidates that
+//! merely break the syntax are rejected automatically and the minimized
+//! case is always a well-formed witness of the original disagreement.
+
+use gql_ssdm::{Document, NodeKind};
+
+/// Count the element nodes of `xml` (0 if it does not parse).
+fn element_count(xml: &str) -> usize {
+    Document::parse_str(xml).map_or(0, |doc| {
+        doc.descendants(doc.root())
+            .filter(|&n| doc.kind(n) == NodeKind::Element)
+            .count()
+    })
+}
+
+/// `xml` with its `k`-th element subtree (document order) removed.
+fn without_kth_element(xml: &str, k: usize) -> Option<String> {
+    let mut doc = Document::parse_str(xml).ok()?;
+    let victim = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.kind(n) == NodeKind::Element)
+        .nth(k)?;
+    doc.detach(victim).ok()?;
+    Some(doc.to_xml_string())
+}
+
+/// All `(element order index, attribute name)` pairs of `xml`.
+fn attr_sites(xml: &str) -> Vec<(usize, String)> {
+    let Ok(doc) = Document::parse_str(xml) else {
+        return Vec::new();
+    };
+    doc.descendants(doc.root())
+        .filter(|&n| doc.kind(n) == NodeKind::Element)
+        .enumerate()
+        .flat_map(|(i, n)| {
+            doc.attrs(n)
+                .map(|(k, _)| (i, k.to_string()))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// `xml` with one attribute removed from its `k`-th element.
+fn without_attr(xml: &str, k: usize, name: &str) -> Option<String> {
+    let mut doc = Document::parse_str(xml).ok()?;
+    let el = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.kind(n) == NodeKind::Element)
+        .nth(k)?;
+    doc.remove_attr(el, name).ok()?;
+    Some(doc.to_xml_string())
+}
+
+/// Minimize a failing document: greedily remove element subtrees, then
+/// attributes, as long as the failure persists.
+pub fn shrink_doc(xml: &str, fails: impl Fn(&str) -> bool) -> String {
+    let mut best = xml.to_string();
+    loop {
+        let mut improved = false;
+        for k in 0..element_count(&best) {
+            if let Some(cand) = without_kth_element(&best, k) {
+                if cand.len() < best.len() && fails(&cand) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    loop {
+        let mut improved = false;
+        for (k, name) in attr_sites(&best) {
+            if let Some(cand) = without_attr(&best, k, &name) {
+                if cand.len() < best.len() && fails(&cand) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+/// Character spans (inclusive) of matching `open`…`close` pairs.
+fn balanced_spans(chars: &[char], open: char, close: char) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut spans = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c == open {
+            stack.push(i);
+        } else if c == close {
+            if let Some(s) = stack.pop() {
+                spans.push((s, i));
+            }
+        }
+    }
+    spans
+}
+
+/// Shrink candidates for a one-line query: balanced-span removals (whole
+/// span, or just its interior) and removals of 1–3 consecutive words.
+fn query_candidates(src: &str) -> Vec<String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    for (open, close) in [('{', '}'), ('(', ')'), ('[', ']')] {
+        for (s, e) in balanced_spans(&chars, open, close) {
+            let drop_all: String = chars[..s].iter().chain(&chars[e + 1..]).collect();
+            out.push(drop_all);
+            if e > s + 1 {
+                let drop_inner: String = chars[..=s].iter().chain(&chars[e..]).collect();
+                out.push(drop_inner);
+            }
+        }
+    }
+    let words: Vec<&str> = src.split_whitespace().collect();
+    for run in 1..=3usize.min(words.len()) {
+        for i in 0..=words.len() - run {
+            let cand: Vec<&str> = words[..i]
+                .iter()
+                .chain(&words[i + run..])
+                .copied()
+                .collect();
+            out.push(cand.join(" "));
+        }
+    }
+    out
+}
+
+/// Minimize a failing query string greedily.
+pub fn shrink_query(src: &str, fails: impl Fn(&str) -> bool) -> String {
+    let mut best = src.to_string();
+    loop {
+        let mut improved = false;
+        for cand in query_candidates(&best) {
+            if cand.len() < best.len() && fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Minimize both halves of a failing case, alternating until neither
+/// shrinks further (bounded, but in practice two rounds suffice).
+pub fn shrink_case(
+    doc_xml: &str,
+    query: &str,
+    fails: impl Fn(&str, &str) -> bool,
+) -> (String, String) {
+    let mut doc = doc_xml.to_string();
+    let mut query = query.to_string();
+    for _ in 0..8 {
+        let d2 = shrink_doc(&doc, |cand| fails(cand, &query));
+        let q2 = shrink_query(&query, |cand| fails(&d2, cand));
+        let stable = d2 == doc && q2 == query;
+        doc = d2;
+        query = q2;
+        if stable {
+            break;
+        }
+    }
+    (doc, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_doc_to_the_witness_subtree() {
+        let xml = "<root><a k='1'><b/><c>x</c></a><d><item lang='y'/></d><b>noise</b></root>";
+        // "Failure" = the document still contains an <item> element.
+        let min = shrink_doc(xml, |cand| {
+            Document::parse_str(cand)
+                .map(|d| d.elements_named("item").next().is_some())
+                .unwrap_or(false)
+        });
+        assert!(min.contains("<item"), "{min}");
+        assert!(!min.contains("<a"), "{min}");
+        assert!(!min.contains("noise"), "{min}");
+        assert!(!min.contains("lang"), "attributes should shrink too: {min}");
+    }
+
+    #[test]
+    fn shrinks_query_keeping_it_failing() {
+        let src = "rule { extract { a as $v0 { b { c } not d } } construct { out { all $v0 } } }";
+        // "Failure" = still a parseable XML-GL rule that mentions `b`.
+        let min = shrink_query(src, |cand| {
+            cand.contains('b') && gql_xmlgl::dsl::parse_unchecked(cand).is_ok()
+        });
+        assert!(min.len() < src.len(), "{min}");
+        assert!(min.contains('b'), "{min}");
+        assert!(gql_xmlgl::dsl::parse_unchecked(&min).is_ok(), "{min}");
+    }
+
+    #[test]
+    fn shrink_case_minimizes_both_halves() {
+        let xml = "<r><a><b>t</b></a><c/><d>pad</d></r>";
+        let query = "rule { extract { a as $x { b } c } construct { out { all $x } } }";
+        let (d, q) = shrink_case(xml, query, |doc, qq| {
+            // "Failure" = query parses and doc still holds a <b>.
+            doc.contains("<b>") && gql_xmlgl::dsl::parse_unchecked(qq).is_ok()
+        });
+        assert!(d.contains("<b>"), "{d}");
+        assert!(!d.contains("pad"), "{d}");
+        assert!(q.len() <= query.len());
+    }
+}

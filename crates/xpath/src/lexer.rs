@@ -67,6 +67,19 @@ impl Token {
     }
 }
 
+/// Collects tokens stamped with the start offset of the lexeme currently
+/// being read.
+struct TokenSink<'a> {
+    out: &'a mut Vec<(Token, usize)>,
+    start: usize,
+}
+
+impl TokenSink<'_> {
+    fn push(&mut self, t: Token) {
+        self.out.push((t, self.start));
+    }
+}
+
 fn is_name_start(c: char) -> bool {
     c.is_alphabetic() || c == '_'
 }
@@ -77,11 +90,26 @@ fn is_name_char(c: char) -> bool {
 
 /// Tokenize an XPath expression.
 pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    Ok(tokenize_spanned(input)?
+        .into_iter()
+        .map(|(t, _)| t)
+        .collect())
+}
+
+/// Tokenize, pairing every token with the character offset it starts at, so
+/// the parser can report span-carrying diagnostics. (Offsets count `char`s,
+/// matching the offsets in [`XPathError::Lex`].)
+pub fn tokenize_spanned(input: &str) -> Result<Vec<(Token, usize)>> {
     let chars: Vec<char> = input.chars().collect();
-    let mut toks = Vec::new();
+    let mut spanned = Vec::new();
     let mut i = 0usize;
     while i < chars.len() {
         let c = chars[i];
+        let start = i;
+        let mut toks = TokenSink {
+            out: &mut spanned,
+            start,
+        };
         match c {
             c if c.is_whitespace() => i += 1,
             '/' => {
@@ -237,7 +265,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    Ok(toks)
+    Ok(spanned)
 }
 
 /// Lex digits [. digits]; returns (value, chars consumed).

@@ -37,10 +37,11 @@ pub use parser::parse;
 /// Errors produced while parsing or evaluating an XPath expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XPathError {
-    /// Lexical error with byte offset.
+    /// Lexical error with character offset.
     Lex { offset: usize, msg: String },
-    /// Syntax error.
-    Parse { msg: String },
+    /// Syntax error with the character offset of the offending token (input
+    /// length when the error is at end of input).
+    Parse { offset: usize, msg: String },
     /// Runtime error (bad function arity, type misuse, …).
     Eval { msg: String },
 }
@@ -48,8 +49,10 @@ pub enum XPathError {
 impl std::fmt::Display for XPathError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            XPathError::Lex { offset, msg } => write!(f, "lex error at byte {offset}: {msg}"),
-            XPathError::Parse { msg } => write!(f, "parse error: {msg}"),
+            XPathError::Lex { offset, msg } => write!(f, "lex error at offset {offset}: {msg}"),
+            XPathError::Parse { offset, msg } => {
+                write!(f, "parse error at offset {offset}: {msg}")
+            }
             XPathError::Eval { msg } => write!(f, "evaluation error: {msg}"),
         }
     }

@@ -3,13 +3,19 @@
 //! `and`/`or`/`div`/`mod` are operators only where an operand just ended).
 
 use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
-use crate::lexer::{tokenize, Token};
+use crate::lexer::{tokenize_spanned, Token};
 use crate::{Result, XPathError};
 
 /// Parse an XPath expression.
 pub fn parse(input: &str) -> Result<Expr> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let spanned = tokenize_spanned(input)?;
+    let (tokens, offsets): (Vec<Token>, Vec<usize>) = spanned.into_iter().unzip();
+    let mut p = Parser {
+        tokens,
+        offsets,
+        end: input.chars().count(),
+        pos: 0,
+    };
     let expr = p.parse_or()?;
     if !p.eof() {
         return Err(p.err(format!("trailing input starting at {}", p.peek_describe())));
@@ -19,12 +25,40 @@ pub fn parse(input: &str) -> Result<Expr> {
 
 struct Parser {
     tokens: Vec<Token>,
+    /// Character offset each token starts at; parallel to `tokens`.
+    offsets: Vec<usize>,
+    /// Character length of the input, reported for errors at end of input.
+    end: usize,
     pos: usize,
 }
 
 impl Parser {
+    /// Offset of the token about to be consumed (input end at EOF).
+    fn here(&self) -> usize {
+        self.offsets.get(self.pos).copied().unwrap_or(self.end)
+    }
+
+    /// A parse error anchored at the current token. Errors raised after
+    /// `bump` consumed the offending token pass `self.pos - 1`'s offset via
+    /// [`Parser::err_before`] instead.
     fn err(&self, msg: impl Into<String>) -> XPathError {
-        XPathError::Parse { msg: msg.into() }
+        XPathError::Parse {
+            offset: self.here(),
+            msg: msg.into(),
+        }
+    }
+
+    /// A parse error anchored at the most recently consumed token.
+    fn err_before(&self, msg: impl Into<String>) -> XPathError {
+        let offset = self
+            .pos
+            .checked_sub(1)
+            .and_then(|p| self.offsets.get(p).copied())
+            .unwrap_or(self.end);
+        XPathError::Parse {
+            offset,
+            msg: msg.into(),
+        }
     }
 
     fn eof(&self) -> bool {
@@ -239,10 +273,11 @@ impl Parser {
                 }
                 Ok(Expr::Call(name, args))
             }
-            other => Err(self.err(format!(
+            Some(other) => Err(self.err_before(format!(
                 "expected a primary expression, found {}",
-                other.map_or("end of input".into(), |t| t.describe())
+                other.describe()
             ))),
+            None => Err(self.err("expected a primary expression, found end of input")),
         }
     }
 
@@ -325,21 +360,21 @@ impl Parser {
                             NodeTest::Node
                         }
                         other => {
-                            return Err(
-                                self.err(format!("function call '{other}(…)' cannot be a step"))
-                            )
+                            return Err(self.err_before(format!(
+                                "function call '{other}(…)' cannot be a step"
+                            )))
                         }
                     }
                 } else {
                     NodeTest::Name(n)
                 }
             }
-            other => {
-                return Err(self.err(format!(
-                    "expected a node test, found {}",
-                    other.map_or("end of input".into(), |t| t.describe())
-                )))
+            Some(other) => {
+                return Err(
+                    self.err_before(format!("expected a node test, found {}", other.describe()))
+                )
             }
+            None => return Err(self.err("expected a node test, found end of input")),
         };
         let mut step = Step::new(axis, test);
         while self.eat(&Token::LBracket) {

@@ -1,0 +1,173 @@
+//! Error-path coverage for the XPath lexer and parser: malformed
+//! predicates, unterminated literals, unknown axes, and truncated input
+//! must all produce span-carrying diagnostics (never panics), with the
+//! offset pointing at the offending character or token.
+
+use gql_xpath::{parse, XPathError};
+
+fn parse_err(src: &str) -> XPathError {
+    parse(src).expect_err(&format!("{src:?} should fail to parse"))
+}
+
+#[test]
+fn unterminated_literal_carries_quote_offset() {
+    match parse_err("'abc") {
+        XPathError::Lex { offset, msg } => {
+            assert_eq!(offset, 0);
+            assert!(msg.contains("unterminated"), "msg: {msg}");
+        }
+        other => panic!("expected Lex, got {other:?}"),
+    }
+    match parse_err("book[@title = \"never closed]") {
+        XPathError::Lex { offset, .. } => assert_eq!(offset, 14),
+        other => panic!("expected Lex, got {other:?}"),
+    }
+}
+
+#[test]
+fn lone_bang_and_lone_colon_point_at_the_character() {
+    match parse_err("a ! b") {
+        XPathError::Lex { offset, msg } => {
+            assert_eq!(offset, 2);
+            assert!(msg.contains('!'), "msg: {msg}");
+        }
+        other => panic!("expected Lex, got {other:?}"),
+    }
+    match parse_err("ns:name") {
+        XPathError::Lex { offset, msg } => {
+            assert_eq!(offset, 2);
+            assert!(msg.contains("namespace"), "msg: {msg}");
+        }
+        other => panic!("expected Lex, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_axis_points_at_the_axis_name() {
+    match parse_err("unknown::x") {
+        XPathError::Parse { offset, msg } => {
+            assert_eq!(offset, 0);
+            assert!(msg.contains("unknown axis"), "msg: {msg}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+    // Same axis error mid-expression: offset must track the step, not 0.
+    match parse_err("//x/preceeding::y") {
+        XPathError::Parse { offset, msg } => {
+            assert_eq!(offset, 4);
+            assert!(msg.contains("preceeding"), "msg: {msg}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_predicate_reports_end_of_input() {
+    // "book[@year >" is 12 chars; the missing operand is reported at the end.
+    match parse_err("book[@year >") {
+        XPathError::Parse { offset, msg } => {
+            assert_eq!(offset, 12);
+            assert!(msg.contains("end of input"), "msg: {msg}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+    match parse_err("book[") {
+        XPathError::Parse { offset, .. } => assert_eq!(offset, 5),
+        other => panic!("expected Parse, got {other:?}"),
+    }
+    match parse_err("child::") {
+        XPathError::Parse { offset, .. } => assert_eq!(offset, 7),
+        other => panic!("expected Parse, got {other:?}"),
+    }
+    match parse_err("foo(") {
+        XPathError::Parse { offset, .. } => assert_eq!(offset, 4),
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_predicate_points_at_the_bad_token() {
+    // "@" with no name: the ']' at offset 6 is where a node test was expected.
+    match parse_err("book[@]") {
+        XPathError::Parse { offset, msg } => {
+            assert_eq!(offset, 6);
+            assert!(msg.contains("node test"), "msg: {msg}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+    // Unbalanced close bracket is trailing input at its own offset.
+    match parse_err("book]") {
+        XPathError::Parse { offset, msg } => {
+            assert_eq!(offset, 4);
+            assert!(msg.contains("trailing"), "msg: {msg}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn function_call_in_step_position_points_at_the_name() {
+    match parse_err("/a/substring(1)") {
+        XPathError::Parse { offset, msg } => {
+            assert_eq!(offset, 3);
+            assert!(msg.contains("substring"), "msg: {msg}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_input_points_at_the_extra_token() {
+    match parse_err("1 1") {
+        XPathError::Parse { offset, msg } => {
+            assert_eq!(offset, 2);
+            assert!(msg.contains("trailing"), "msg: {msg}");
+        }
+        other => panic!("expected Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn display_embeds_the_offset() {
+    let err = parse_err("book[@year >");
+    assert_eq!(
+        err.to_string(),
+        "parse error at offset 12: expected a node test, found end of input"
+    );
+    let lex = parse_err("'abc");
+    assert!(lex.to_string().starts_with("lex error at offset 0:"));
+}
+
+#[test]
+fn error_paths_never_panic() {
+    // A sweep of malformed inputs: each must return Err, not panic.
+    for bad in [
+        "",
+        "/bib/",
+        "book[",
+        "book[]",
+        "book[@]",
+        "book[@year >",
+        "book]",
+        "foo(",
+        "foo(,)",
+        "child::",
+        "unknown::x",
+        "1 1",
+        "| a",
+        "a |",
+        "()",
+        "(a",
+        "@",
+        "//",
+        "..[1",
+        "a[b[c[d[",
+        "---",
+        "1 +",
+        "= 1",
+        "a and",
+        "or or",
+    ] {
+        assert!(parse(bad).is_err(), "{bad:?} should fail");
+    }
+}

@@ -1,0 +1,92 @@
+//! Replays the regression corpus under `tests/corpus/` in tier-1 CI.
+//!
+//! Each `.case` file is a minimized counterexample the fuzzer once found
+//! (or a hand-seeded known-tricky case); replaying it runs the whole
+//! differential-oracle battery for its engine. A failure here means a
+//! previously-fixed disagreement has come back — the file's comment block
+//! says which one, and the `gql-fuzz replay` command in the failure output
+//! reproduces it standalone.
+
+use std::path::Path;
+
+use gql_testkit::corpus::load_dir;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// The corpus is never empty: an accidentally-deleted directory would
+/// otherwise silently pass this suite.
+#[test]
+fn corpus_is_nonempty() {
+    let cases = load_dir(&corpus_dir()).expect("corpus directory loads");
+    assert!(
+        !cases.is_empty(),
+        "tests/corpus/ holds no .case files — the regression corpus is gone"
+    );
+}
+
+/// Every corpus case still parses, and no oracle disagrees on it.
+#[test]
+fn corpus_replays_clean() {
+    let cases = load_dir(&corpus_dir()).expect("corpus directory loads");
+    let mut failures = Vec::new();
+    for (path, case) in &cases {
+        if let Err(msg) = case.replay() {
+            failures.push(format!("{}: {msg}", path.display()));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus case(s) regressed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// No corpus case is vacuous: the oracles return `Ok` for inputs that do
+/// not parse (that is what makes the shrinker sound), so a typo in a
+/// hand-seeded file could silently turn it into a no-op. Every stored
+/// document and query must actually parse for its engine.
+#[test]
+fn corpus_cases_are_nonvacuous() {
+    for (path, case) in load_dir(&corpus_dir()).expect("corpus directory loads") {
+        let at = path.display();
+        assert!(
+            gql::ssdm::Document::parse_str(&case.doc).is_ok(),
+            "{at}: stored document does not parse"
+        );
+        match case.kind.as_str() {
+            "xmlgl" => assert!(
+                gql::xmlgl::dsl::parse_unchecked(&case.query).is_ok(),
+                "{at}: XML-GL query does not parse"
+            ),
+            "wglog" => assert!(
+                gql::wglog::dsl::parse_unchecked(&case.query).is_ok(),
+                "{at}: WG-Log query does not parse"
+            ),
+            "xpath" => assert!(
+                gql::xpath::parse(&case.query).is_ok(),
+                "{at}: XPath query does not parse"
+            ),
+            "intent" => assert!(
+                gql_testkit::generators::Intent::parse(&case.query).is_some(),
+                "{at}: intent descriptor does not parse"
+            ),
+            other => panic!("{at}: unknown kind {other}"),
+        }
+    }
+}
+
+/// Corpus files survive a parse → render → parse round-trip, so `gql-fuzz
+/// run --corpus` appends files this suite can always read back.
+#[test]
+fn corpus_files_roundtrip() {
+    use gql_testkit::corpus::CorpusCase;
+    for (path, case) in load_dir(&corpus_dir()).expect("corpus directory loads") {
+        let rendered = case.render();
+        let reparsed = CorpusCase::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{} does not round-trip: {e}", path.display()));
+        assert_eq!(reparsed, case, "{}", path.display());
+    }
+}

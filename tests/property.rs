@@ -2,104 +2,22 @@
 //! invariants.
 //!
 //! The workspace builds offline with no external crates, so instead of
-//! proptest this uses a small hand-rolled harness: every property runs over
-//! a few hundred cases generated from the deterministic [`gql::ssdm::rng`]
-//! PRNG, and a failure message always carries the offending seed so a case
-//! can be replayed exactly.
+//! proptest this uses the hand-rolled harness from [`gql_testkit`]: every
+//! property runs over a few hundred cases generated from the deterministic
+//! [`gql::ssdm::rng`] PRNG, and a failure message always carries the
+//! offending seed plus an exact one-line replay command
+//! (`GQL_REPLAY_SEED=<n> cargo test <property>` re-runs just that case).
+//!
+//! The generators (documents, DSL programs, fuzz alphabets) live in
+//! [`gql_testkit::generators`] and are shared with the `gql-fuzz`
+//! differential fuzzer, so anything a property observes here the fuzzer
+//! can minimize and replay too.
 
 use gql::ssdm::document::NodeKind;
 use gql::ssdm::rng::Rng;
 use gql::ssdm::{Document, NodeId};
-
-// ----------------------------------------------------------------------
-// Harness + generators
-// ----------------------------------------------------------------------
-
-/// Run `prop` over `cases` deterministic seeds; panic with the seed on
-/// the first failing case (properties themselves panic via assert!).
-fn check(name: &str, cases: u64, prop: impl Fn(&mut Rng)) {
-    for seed in 0..cases {
-        let mut rng = Rng::seed_from_u64(0xC0FFEE ^ (seed * 0x9E37_79B9));
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&mut rng)));
-        if let Err(e) = result {
-            let msg = e
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "<non-string panic>".into());
-            panic!("property '{name}' failed at case seed {seed}: {msg}");
-        }
-    }
-}
-
-const TAGS: &[&str] = &["a", "b", "c", "d", "item"];
-
-fn pick<'a>(rng: &mut Rng, pool: &'a [&'a str]) -> &'a str {
-    pool[rng.gen_range(0..pool.len())]
-}
-
-/// Printable, XML-safe-after-escaping text including tricky characters.
-fn text_value(rng: &mut Rng) -> String {
-    let len = rng.gen_range(0..=12);
-    (0..len)
-        .map(|_| char::from(rng.gen_range(0x20..0x7f) as u8))
-        .collect()
-}
-
-/// A string over an explicit alphabet, for fuzzing parsers.
-fn string_over(rng: &mut Rng, alphabet: &[char], max_len: usize) -> String {
-    let len = rng.gen_range(0..=max_len);
-    (0..len)
-        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
-        .collect()
-}
-
-fn fuzz_alphabet(extra: &str) -> Vec<char> {
-    let mut v: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
-    v.extend(extra.chars());
-    v
-}
-
-/// Grow a random subtree under `parent`: depth-bounded elements with a few
-/// attributes, text leaves, small fanout — the same shape the old proptest
-/// strategy produced.
-fn grow(doc: &mut Document, rng: &mut Rng, parent: NodeId, depth: usize) {
-    if depth == 0 || rng.gen_bool(0.25) {
-        if rng.gen_bool(0.5) {
-            let text = text_value(rng);
-            doc.add_text(parent, &text);
-        } else {
-            let el = doc.add_element(parent, pick(rng, TAGS));
-            add_attrs(doc, rng, el);
-        }
-        return;
-    }
-    let el = doc.add_element(parent, pick(rng, TAGS));
-    add_attrs(doc, rng, el);
-    for _ in 0..rng.gen_range(0..5) {
-        grow(doc, rng, el, depth - 1);
-    }
-}
-
-fn add_attrs(doc: &mut Document, rng: &mut Rng, el: NodeId) {
-    let mut seen = std::collections::HashSet::new();
-    for _ in 0..rng.gen_range(0..2) {
-        let k = pick(rng, TAGS).to_string();
-        if seen.insert(k.clone()) {
-            let v = text_value(rng);
-            doc.set_attr(el, &k, &v).expect("attrs on elements");
-        }
-    }
-}
-
-fn document(rng: &mut Rng) -> Document {
-    let mut doc = Document::new();
-    let root = doc.add_element(doc.root(), pick(rng, TAGS));
-    for _ in 0..rng.gen_range(0..6) {
-        grow(&mut doc, rng, root, 3);
-    }
-    doc
-}
+use gql_testkit::generators::{document, fuzz_alphabet, gen_xmlgl, string_over, text_value};
+use gql_testkit::{check, pick, TAGS};
 
 // ----------------------------------------------------------------------
 // XML round-trip
@@ -548,55 +466,14 @@ fn analyzer_never_panics_on_arbitrary_input() {
     });
 }
 
-/// A random XML-GL extract/construct program as DSL text. Deliberately
-/// allowed to be unsafe (negated bindings referenced on the construct
-/// side): the property filters on the analyzer's verdict.
-fn gen_xmlgl_program(rng: &mut Rng) -> String {
-    fn subtree(rng: &mut Rng, vars: &mut Vec<String>, depth: usize, out: &mut String) {
-        let tag = pick(rng, TAGS);
-        out.push_str(tag);
-        if rng.gen_bool(0.6) {
-            let v = format!("v{}", vars.len());
-            out.push_str(&format!(" as ${v}"));
-            vars.push(v);
-        }
-        if depth > 0 && rng.gen_bool(0.6) {
-            out.push_str(" { ");
-            for _ in 0..rng.gen_range(1..3usize) {
-                if rng.gen_bool(0.2) {
-                    out.push_str("not ");
-                }
-                subtree(rng, vars, depth - 1, out);
-                out.push(' ');
-            }
-            out.push_str("} ");
-        } else {
-            out.push(' ');
-        }
-    }
-    let mut vars = Vec::new();
-    let mut extract = String::new();
-    subtree(rng, &mut vars, 2, &mut extract);
-    let mut construct = String::from("out { ");
-    if vars.is_empty() {
-        construct.push_str("answer ");
-    } else {
-        let n = rng.gen_range(1..=vars.len());
-        for v in vars.iter().take(n) {
-            construct.push_str(&format!("all ${v} "));
-        }
-    }
-    construct.push('}');
-    format!("rule {{ extract {{ {extract} }} construct {{ {construct} }} }}")
-}
-
 /// Programs the analyzer passes without an Error-level diagnostic always
-/// evaluate: no binding errors, no panics, on any document.
+/// evaluate: no binding errors, no panics, on any document. The generator
+/// is the fuzzer's own (joins, predicates, deep edges and all).
 #[test]
 fn zero_error_programs_evaluate() {
     use gql::analyze::Analyzer;
     check("zero_error_programs_evaluate", 192, |rng| {
-        let src = gen_xmlgl_program(rng);
+        let src = gen_xmlgl(rng);
         let program = gql::xmlgl::dsl::parse_unchecked(&src)
             .unwrap_or_else(|e| panic!("generator produced invalid syntax: {e}\n{src}"));
         let report = Analyzer::new().analyze_xmlgl(&program);
@@ -622,7 +499,7 @@ fn indexed_evaluation_equals_scan() {
     use gql::analyze::Analyzer;
     use gql::xmlgl::eval::{construct_rule, match_rule_scan, match_rule_with, MatchMode};
     check("indexed_evaluation_equals_scan", 96, |rng| {
-        let src = gen_xmlgl_program(rng);
+        let src = gen_xmlgl(rng);
         let program = gql::xmlgl::dsl::parse_unchecked(&src)
             .unwrap_or_else(|e| panic!("generator produced invalid syntax: {e}\n{src}"));
         if Analyzer::new().analyze_xmlgl(&program).has_errors() {
@@ -732,28 +609,14 @@ fn canonical_equality_implies_hash_equality() {
     });
 }
 
-/// Same promise for WG-Log: analyzer-clean programs run to fixpoint.
+/// Same promise for WG-Log: analyzer-clean programs run to fixpoint. Uses
+/// the fuzzer's WG-Log generator (regular paths, wildcards, `set` and all).
 #[test]
 fn zero_error_wglog_programs_evaluate() {
     use gql::analyze::Analyzer;
-    const LABELS: &[&str] = &["link", "ref", "member", "menu"];
+    use gql_testkit::generators::gen_wglog;
     check("zero_error_wglog_programs_evaluate", 192, |rng| {
-        let n = rng.gen_range(1..4usize);
-        let mut query = String::new();
-        for i in 0..n {
-            query.push_str(&format!("$q{i}: {}  ", pick(rng, TAGS)));
-        }
-        for _ in 0..rng.gen_range(0..3usize) {
-            let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
-            if rng.gen_bool(0.25) {
-                query.push_str("not ");
-            }
-            query.push_str(&format!("$q{a} -{}-> $q{b}  ", pick(rng, LABELS)));
-        }
-        let target = rng.gen_range(0..n);
-        let src = format!(
-            "rule {{ query {{ {query} }} construct {{ $c: result  $c -member-> $q{target} }} }} goal result"
-        );
+        let src = gen_wglog(rng);
         let program = gql::wglog::dsl::parse_unchecked(&src)
             .unwrap_or_else(|e| panic!("generator produced invalid syntax: {e}\n{src}"));
         let report = Analyzer::new().analyze_wglog(&program);
