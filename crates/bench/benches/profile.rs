@@ -1,0 +1,74 @@
+//! Per-phase engine timings from the tracing layer (experiment companion
+//! to the end-to-end `queries` bench).
+//!
+//! The end-to-end bench reports one wall-clock number per (query, engine);
+//! this bench uses [`Engine::run_profiled`] to split that number into its
+//! phases — `load` (WG-Log's document→instance conversion), `index`
+//! (DocIndex build or cache probe) and `eval` — and records each as a
+//! metric in `BENCH_results.json`. The split is what the paper's cost
+//! discussion needs: WG-Log's load dominates one-shot queries and
+//! amortises away on a resident database, while the tree-native engines
+//! pay per-query indexing instead.
+//!
+//! Phase durations come from the profile's span tree (one profiled run per
+//! sample, minimum over samples to suppress scheduler noise), so the bench
+//! doubles as an integration check that every engine emits the phases.
+
+use gql_bench::microbench::Criterion;
+use gql_bench::suite::{queries, Dataset};
+use gql_bench::{criterion_group, criterion_main};
+use gql_core::engine::Engine;
+
+const SCALE: usize = 300;
+const SAMPLES: usize = 10;
+
+fn bench_phase_profile(c: &mut Criterion) {
+    let group = c.benchmark_group("profile");
+    let datasets: Vec<(Dataset, gql_ssdm::Document)> = [
+        Dataset::CityGuide,
+        Dataset::Greengrocer,
+        Dataset::Bibliography,
+    ]
+    .into_iter()
+    .map(|d| (d, d.build(SCALE)))
+    .collect();
+    // One representative query per engine keeps the bench quick; Q1 has
+    // formulations in all three languages.
+    let suite = queries();
+    let q1 = suite
+        .iter()
+        .find(|q| q.id == "Q1")
+        .expect("Q1 is in the suite");
+    let doc = &datasets
+        .iter()
+        .find(|(d, _)| *d == q1.dataset)
+        .expect("dataset built")
+        .1;
+    let engine = Engine::new();
+    for (label, query) in q1.engine_queries() {
+        let mut phases: Vec<(&'static str, u128)> = Vec::new();
+        for _ in 0..SAMPLES {
+            let outcome = engine
+                .run_profiled(&query, doc)
+                .expect("suite query evaluates");
+            let profile = outcome.profile.expect("profiled run has a profile");
+            let run = profile.find("run").expect("run span");
+            for phase in ["load", "index", "eval", "construct"] {
+                let Some(node) = run.find(phase) else {
+                    continue;
+                };
+                match phases.iter_mut().find(|(p, _)| *p == phase) {
+                    Some((_, best)) => *best = (*best).min(node.nanos),
+                    None => phases.push((phase, node.nanos)),
+                }
+            }
+        }
+        for (phase, nanos) in phases {
+            group.record_metric(format!("Q1/{label}/{phase}_ns"), nanos as f64, "ns");
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase_profile);
+criterion_main!(benches);

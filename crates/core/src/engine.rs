@@ -8,7 +8,8 @@
 
 use std::time::{Duration, Instant};
 
-use gql_ssdm::{DocIndex, Document};
+use gql_ssdm::{shallow_fingerprint, DocIndex, Document};
+use gql_trace::{ExecutionProfile, Trace};
 use gql_wglog::instance::Instance;
 
 use crate::{CoreError, Result};
@@ -34,17 +35,29 @@ pub struct RunOutcome {
     /// Time spent preparing the data representation (WG-Log's instance
     /// load; zero for the tree-native engines).
     pub load_time: Duration,
+    /// The execution profile, when the run was profiled
+    /// ([`Engine::run_profiled`]); `None` for plain [`Engine::run`]s.
+    pub profile: Option<ExecutionProfile>,
 }
 
 /// A [`DocIndex`] pinned to one resident document, fingerprinted by the
-/// document's address and node count. The address is stored as a plain
-/// `usize` and never dereferenced — it only has to *disagree* when a
-/// different (or since-grown) document is queried, making the cache fall
-/// back to a cold build rather than serve stale postings.
+/// document's address, node count AND a shallow content fingerprint. The
+/// address is stored as a plain `usize` and never dereferenced — but an
+/// allocator can hand a *different* document the recycled address of a
+/// dropped one, and node counts collide easily, so address+count alone can
+/// serve stale postings. [`shallow_fingerprint`] (node count, root tag,
+/// root attributes, root child sequence) is O(root fanout) per probe and
+/// catches recycled-address collisions unless the impostor document also
+/// agrees on its entire root level — combined with the node-count term,
+/// disagreement anywhere in the document changes at least one of the three
+/// checks for every realistic mutation; the postings themselves are
+/// verified against node kinds at use, so this is a cache-effectiveness
+/// bound, not a correctness cliff.
 #[derive(Debug)]
 struct ResidentIndex {
     doc_addr: usize,
     node_count: usize,
+    fingerprint: u64,
     index: DocIndex,
 }
 
@@ -72,19 +85,33 @@ impl Engine {
         self.resident_index = Some(ResidentIndex {
             doc_addr: std::ptr::from_ref(doc) as usize,
             node_count: doc.node_count(),
+            fingerprint: shallow_fingerprint(doc),
             index: DocIndex::build(doc),
         });
     }
 
     /// The resident index, if it was built for exactly this document in its
-    /// current shape.
+    /// current shape — address, node count and shallow content fingerprint
+    /// must all agree (see [`ResidentIndex`]).
     fn resident_index_for(&self, doc: &Document) -> Option<&DocIndex> {
         self.resident_index
             .as_ref()
             .filter(|r| {
-                r.doc_addr == std::ptr::from_ref(doc) as usize && r.node_count == doc.node_count()
+                r.doc_addr == std::ptr::from_ref(doc) as usize
+                    && r.node_count == doc.node_count()
+                    && r.fingerprint == shallow_fingerprint(doc)
             })
             .map(|r| &r.index)
+    }
+
+    /// Cache-probe outcome for the index phase, distinguishing "no resident
+    /// index at all" from "resident index built for a different document".
+    fn index_cache_state(&self, doc: &Document) -> &'static str {
+        match &self.resident_index {
+            None => "cold",
+            Some(_) if self.resident_index_for(doc).is_some() => "hit",
+            Some(_) => "miss",
+        }
     }
 
     /// Static-analysis gate: Error-level diagnostics (well-formedness,
@@ -120,22 +147,79 @@ impl Engine {
 
     /// Run a query against a document.
     pub fn run(&self, query: &QueryKind, doc: &Document) -> Result<RunOutcome> {
-        Self::reject_errors(query)?;
+        self.run_with_trace(query, doc, &Trace::disabled())
+    }
+
+    /// Run a query with profiling: identical output to [`Engine::run`]
+    /// (instrumentation only aggregates counters — it never changes a code
+    /// path), with `RunOutcome::profile` carrying the span tree.
+    pub fn run_profiled(&self, query: &QueryKind, doc: &Document) -> Result<RunOutcome> {
+        let trace = Trace::profiling();
+        let mut outcome = self.run_with_trace(query, doc, &trace)?;
+        outcome.profile = trace.finish();
+        Ok(outcome)
+    }
+
+    /// Run a query reporting into a caller-supplied [`Trace`]. The span
+    /// taxonomy (documented in DESIGN.md): a `run` root with `engine` and
+    /// `cache` notes, `analyze` / `load` / `index` / `eval` / `construct`
+    /// phase children, and engine-specific spans below `eval`.
+    pub fn run_with_trace(
+        &self,
+        query: &QueryKind,
+        doc: &Document,
+        trace: &Trace,
+    ) -> Result<RunOutcome> {
+        let _run = trace.span("run");
+        if trace.is_enabled() {
+            trace.note(
+                "engine",
+                match query {
+                    QueryKind::XmlGl(_) => "xmlgl",
+                    QueryKind::WgLog(_) => "wglog",
+                    QueryKind::XPath(_) => "xpath",
+                },
+            );
+            trace.count("doc_nodes", doc.node_count() as u64);
+        }
+        {
+            let _s = trace.span("analyze");
+            Self::reject_errors(query)?;
+        }
         match query {
             QueryKind::XmlGl(program) => {
                 let start = Instant::now();
-                let output = match self.resident_index_for(doc) {
-                    Some(idx) => gql_xmlgl::eval::run_with_index(program, doc, idx),
-                    None => gql_xmlgl::eval::run(program, doc),
+                // Resolve the index up front (the cold path built it inside
+                // `eval::run` before tracing existed — building it here is
+                // semantically identical and gives the build its own span).
+                let built;
+                let span = trace.span("index");
+                trace.note("cache", self.index_cache_state(doc));
+                let idx = match self.resident_index_for(doc) {
+                    Some(idx) => idx,
+                    None => {
+                        built = DocIndex::build(doc);
+                        &built
+                    }
+                };
+                if trace.is_enabled() {
+                    record_index_stats(trace, idx);
                 }
-                .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                drop(span);
+                let output = {
+                    let _s = trace.span("eval");
+                    gql_xmlgl::eval::run_traced(program, doc, idx, trace)
+                        .map_err(|e| CoreError::Engine { msg: e.to_string() })?
+                };
                 let eval_time = start.elapsed();
                 let result_count = output.children(output.root()).len();
+                trace.count("results", result_count as u64);
                 Ok(RunOutcome {
                     output,
                     result_count,
                     eval_time,
                     load_time: Duration::ZERO,
+                    profile: None,
                 })
             }
             QueryKind::WgLog(program) => {
@@ -143,38 +227,75 @@ impl Engine {
                 #[allow(unused_assignments)]
                 // `None` placeholder keeps the borrow alive past the match
                 let mut loaded = None;
+                let span = trace.span("load");
                 let (instance, load_time): (&Instance, Duration) = match &self.resident_instance {
-                    Some(db) => (db, Duration::ZERO),
+                    Some(db) => {
+                        trace.note("cache", "hit");
+                        (db, Duration::ZERO)
+                    }
                     None => {
+                        trace.note("cache", "cold");
                         let start = Instant::now();
                         loaded = Some(Instance::from_document(doc));
                         (loaded.as_ref().expect("just loaded"), start.elapsed())
                     }
                 };
+                if trace.is_enabled() {
+                    trace.count("objects", instance.object_count() as u64);
+                    trace.count("edges", instance.edge_count() as u64);
+                }
+                drop(span);
                 let start = Instant::now();
-                let result = gql_wglog::eval::run(program, instance)
-                    .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                let result = {
+                    let _s = trace.span("eval");
+                    gql_wglog::eval::run_traced(
+                        program,
+                        instance,
+                        gql_wglog::eval::FixpointMode::SemiNaive,
+                        trace,
+                    )
+                    .map(|(db, _)| db)
+                    .map_err(|e| CoreError::Engine { msg: e.to_string() })?
+                };
                 let eval_time = start.elapsed();
+                let span = trace.span("construct");
                 let goal = program.goal.clone().unwrap_or_else(|| "answer".to_string());
                 let goal_objects = result.objects_of_type(&goal);
                 let output = result.to_document("answer", &goal, 2);
+                if trace.is_enabled() {
+                    trace.count("goal_objects", goal_objects.len() as u64);
+                    trace.count("nodes_built", output.node_count() as u64);
+                }
+                drop(span);
+                trace.count("results", goal_objects.len() as u64);
                 Ok(RunOutcome {
                     output,
                     result_count: goal_objects.len(),
                     eval_time,
                     load_time,
+                    profile: None,
                 })
             }
             QueryKind::XPath(expr) => {
-                let parsed =
-                    gql_xpath::parse(expr).map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                let parsed = {
+                    let _s = trace.span("parse");
+                    gql_xpath::parse(expr).map_err(|e| CoreError::Engine { msg: e.to_string() })?
+                };
                 let start = Instant::now();
-                let value = match self.resident_index_for(doc) {
-                    Some(idx) => gql_xpath::evaluate_with_index(doc, &parsed, idx),
-                    None => gql_xpath::evaluate(doc, &parsed),
+                let span = trace.span("index");
+                trace.note("cache", self.index_cache_state(doc));
+                let idx = self.resident_index_for(doc);
+                if let (true, Some(idx)) = (trace.is_enabled(), idx) {
+                    record_index_stats(trace, idx);
                 }
-                .map_err(|e| CoreError::Engine { msg: e.to_string() })?;
+                drop(span);
+                let value = {
+                    let _s = trace.span("eval");
+                    gql_xpath::evaluate_traced(doc, &parsed, idx, trace)
+                        .map_err(|e| CoreError::Engine { msg: e.to_string() })?
+                };
                 let eval_time = start.elapsed();
+                let span = trace.span("construct");
                 let mut output = Document::new();
                 let root = output.add_element(output.root(), "answer");
                 let count;
@@ -199,15 +320,30 @@ impl Engine {
                         output.add_text(root, &other.string(doc));
                     }
                 }
+                if trace.is_enabled() {
+                    trace.count("nodes_built", output.node_count() as u64);
+                }
+                drop(span);
+                trace.count("results", count as u64);
                 Ok(RunOutcome {
                     output,
                     result_count: count,
                     eval_time,
                     load_time: Duration::ZERO,
+                    profile: None,
                 })
             }
         }
     }
+}
+
+/// Record a [`DocIndex`]'s size counters onto the current span.
+fn record_index_stats(trace: &Trace, idx: &DocIndex) {
+    let s = idx.stats();
+    trace.count("elements", s.elements as u64);
+    trace.count("distinct_tags", s.distinct_tags as u64);
+    trace.count("distinct_attrs", s.distinct_attrs as u64);
+    trace.count("text_elements", s.text_elements as u64);
 }
 
 #[cfg(test)]
@@ -370,5 +506,102 @@ mod tests {
             .run(&QueryKind::XPath("///".to_string()), &d)
             .unwrap_err();
         assert!(matches!(err, CoreError::Engine { .. }));
+    }
+
+    /// Regression: an allocator can hand a fresh document the recycled
+    /// address of the one the resident index was built for, and node counts
+    /// collide easily. Address + node count alone would then serve stale
+    /// postings; the shallow content fingerprint must catch it.
+    #[test]
+    fn recycled_address_with_equal_node_count_is_not_served_stale() {
+        let a = Document::parse_str(
+            "<guide><restaurant><name>A</name><menu><price>20</price></menu></restaurant></guide>",
+        )
+        .unwrap();
+        // Same node count and depth profile, different content.
+        let b = Document::parse_str(
+            "<guide><restaurant><name>B</name><cafe><price>20</price></cafe></restaurant></guide>",
+        )
+        .unwrap();
+        assert_eq!(a.node_count(), b.node_count());
+        let mut engine = Engine::new();
+        engine.preload(&a);
+        // Simulate address recycling: force the cached identity onto `b`.
+        let resident = engine.resident_index.as_mut().unwrap();
+        resident.doc_addr = std::ptr::from_ref(&b) as usize;
+        resident.node_count = b.node_count();
+        // The first two checks now agree, so only the fingerprint stands
+        // between `b` and a stale index built for `a`.
+        assert!(
+            engine.resident_index_for(&b).is_none(),
+            "stale index served for a recycled address"
+        );
+        assert_eq!(engine.index_cache_state(&b), "miss");
+        // And the query path falls back to a correct cold evaluation: `a`'s
+        // index has a `menu` posting that `b` does not have.
+        let outcome = engine
+            .run(&QueryKind::XPath("//restaurant[cafe]".to_string()), &b)
+            .unwrap();
+        assert_eq!(outcome.result_count, 1);
+    }
+
+    #[test]
+    fn profiled_runs_match_plain_runs_and_emit_nonempty_profiles() {
+        let d = doc();
+        let engine = Engine::new();
+        for q in equivalent_queries() {
+            let plain = engine.run(&q, &d).unwrap();
+            let profiled = engine.run_profiled(&q, &d).unwrap();
+            assert_eq!(
+                plain.output.to_xml_string(),
+                profiled.output.to_xml_string(),
+                "tracing changed the result for {q:?}"
+            );
+            assert!(plain.profile.is_none());
+            let profile = profiled
+                .profile
+                .expect("run_profiled must attach a profile");
+            let run = profile.find("run").expect("root `run` span");
+            assert!(run.find("analyze").is_some(), "{q:?}");
+            assert!(run.find("eval").is_some(), "{q:?}");
+            assert_eq!(run.counter("results"), Some(profiled.result_count as u64));
+        }
+    }
+
+    #[test]
+    fn profile_reports_index_cache_state() {
+        let d = doc();
+        let mut engine = Engine::new();
+        let q = QueryKind::XPath("//restaurant[menu]".to_string());
+        let cold = engine.run_profiled(&q, &d).unwrap().profile.unwrap();
+        let idx = cold.find("run").unwrap().find("index").unwrap();
+        assert_eq!(idx.note("cache"), Some("cold"));
+        engine.preload(&d);
+        let warm = engine.run_profiled(&q, &d).unwrap().profile.unwrap();
+        let idx = warm.find("run").unwrap().find("index").unwrap();
+        assert_eq!(idx.note("cache"), Some("hit"));
+        assert_eq!(idx.counter("distinct_tags"), Some(5)); // guide restaurant name menu price
+        let other = Document::parse_str("<guide><restaurant><menu/></restaurant></guide>").unwrap();
+        let missed = engine.run_profiled(&q, &other).unwrap().profile.unwrap();
+        let idx = missed.find("run").unwrap().find("index").unwrap();
+        assert_eq!(idx.note("cache"), Some("miss"));
+    }
+
+    #[test]
+    fn wglog_profile_reports_load_and_fixpoint_shape() {
+        let d = doc();
+        let engine = Engine::new();
+        let q = equivalent_queries().remove(1);
+        let profile = engine.run_profiled(&q, &d).unwrap().profile.unwrap();
+        let run = profile.find("run").unwrap();
+        assert_eq!(run.note("engine"), Some("wglog"));
+        let load = run.find("load").unwrap();
+        assert_eq!(load.note("cache"), Some("cold"));
+        assert!(load.counter("objects").unwrap() > 0);
+        let eval = run.find("eval").unwrap();
+        assert!(eval.find("stratify").is_some());
+        let stratum = eval.find("stratum[0]").expect("one stratum");
+        assert!(stratum.find("round[0]").is_some(), "fixpoint rounds traced");
+        assert!(run.find("construct").is_some());
     }
 }

@@ -111,6 +111,102 @@ pub fn canonical(doc: &Document, node: NodeId) -> String {
     }
 }
 
+/// Cheap content fingerprint of a document for index-staleness checks: node
+/// count, root element name, root attributes, the tag sequence of the
+/// root's element children, and a fixed number of evenly-spaced sampled
+/// nodes from the arena (kind + name/text prefix), folded through the
+/// index's polynomial hash. O(1) in document size (the root's child list
+/// is bounded by fanout, not total nodes, and the sample count is
+/// constant), so callers can afford it on every cache probe — unlike the
+/// full root structural hash, which would re-verify the entire tree. The
+/// arena samples make collisions require agreement at sixteen deep probe
+/// points on top of the entire root level; consumers still combine the
+/// fingerprint with the node count and allocation address rather than
+/// trusting it alone.
+pub fn shallow_fingerprint(doc: &Document) -> u64 {
+    // The document node itself carries no name or attributes; fingerprint
+    // the root *element* (first element child) when there is one.
+    let root = doc
+        .children(doc.root())
+        .iter()
+        .copied()
+        .find(|&c| doc.kind(c) == NodeKind::Element)
+        .unwrap_or(doc.root());
+    let mut r = Roll::new();
+    r.push_str(&doc.node_count().to_string());
+    r.push_str("|");
+    r.push_str(doc.name(root).unwrap_or(""));
+    r.push_str("|");
+    let mut attrs: Vec<(&str, &str)> = doc.attrs(root).collect();
+    attrs.sort();
+    for (k, v) in attrs {
+        r.push_str(k);
+        r.push_str("=");
+        r.push_str(v);
+        r.push_str(",");
+    }
+    r.push_str("|");
+    for &c in doc.children(root) {
+        match doc.kind(c) {
+            NodeKind::Element => {
+                r.push_str(doc.name(c).unwrap_or(""));
+                r.push_str(";");
+            }
+            NodeKind::Text => {
+                r.push_str("t:");
+                r.push_str(doc.text(c).unwrap_or(""));
+                r.push_str(";");
+            }
+            NodeKind::Comment | NodeKind::Pi | NodeKind::Document => {}
+        }
+    }
+    // Deep probes: sample up to 16 evenly-spaced arena slots so documents
+    // that agree at the root level but differ below it still diverge.
+    const SAMPLES: usize = 16;
+    let n = doc.node_count();
+    let stride = n.div_ceil(SAMPLES).max(1);
+    for i in (0..n).step_by(stride) {
+        let node = crate::NodeId::from_index(i);
+        r.push_str("|");
+        match doc.kind(node) {
+            NodeKind::Element => {
+                r.push_str("e:");
+                r.push_str(doc.name(node).unwrap_or(""));
+            }
+            NodeKind::Text => {
+                r.push_str("t:");
+                // Prefix only: sampled text nodes must not make the probe
+                // linear in content size.
+                let text = doc.text(node).unwrap_or("");
+                let end = text
+                    .char_indices()
+                    .nth(32)
+                    .map_or(text.len(), |(idx, _)| idx);
+                r.push_str(&text[..end]);
+            }
+            NodeKind::Comment => r.push_str("c"),
+            NodeKind::Pi => r.push_str("p"),
+            NodeKind::Document => r.push_str("d"),
+        }
+    }
+    r.hash
+}
+
+/// Size counters describing a built [`DocIndex`], for profiling surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Elements reachable from the root.
+    pub elements: usize,
+    /// Distinct element tags.
+    pub distinct_tags: usize,
+    /// Distinct attribute names with postings.
+    pub distinct_attrs: usize,
+    /// Elements with at least one direct text child.
+    pub text_elements: usize,
+    /// Distinct direct-text values keyed for value lookups.
+    pub distinct_text_values: usize,
+}
+
 /// One-pass document index: postings, interval numbering and structural
 /// hashes. See the module docs for the access paths it provides.
 #[derive(Debug, Clone)]
@@ -363,6 +459,17 @@ impl DocIndex {
         self.range_in(&self.with_text, anc, include_self)
     }
 
+    /// Size counters for profiling surfaces (index-build spans).
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            elements: self.elements.len(),
+            distinct_tags: self.by_tag.len(),
+            distinct_attrs: self.by_attr.len(),
+            text_elements: self.with_text.len(),
+            distinct_text_values: self.by_text_value.len(),
+        }
+    }
+
     /// Memoized structural hash: the rolling hash of `canonical(doc, node)`.
     /// Nodes detached at build time fall back to hashing their canonical
     /// form directly (rare; keeps the canonical-equal ⇒ hash-equal invariant
@@ -496,6 +603,45 @@ mod tests {
             idx.structural_hash(&doc, titles[0]),
             idx.structural_hash(&doc, titles[1])
         );
+    }
+
+    #[test]
+    fn stats_count_postings() {
+        let doc = fixture();
+        let idx = DocIndex::build(&doc);
+        let s = idx.stats();
+        assert_eq!(s.elements, idx.element_count());
+        assert_eq!(s.distinct_tags, 7); // bib book title author last price paper
+        assert_eq!(s.distinct_attrs, 2); // year isbn
+        assert_eq!(s.text_elements, idx.elements_with_text().len());
+        assert_eq!(s.distinct_text_values, 5); // two XML-GL titles share a key
+    }
+
+    #[test]
+    fn shallow_fingerprint_distinguishes_root_level_changes() {
+        let a = Document::parse_str("<r a='1'><x/><y/>t</r>").unwrap();
+        let same = Document::parse_str("<r a='1'><x/><y/>t</r>").unwrap();
+        assert_eq!(shallow_fingerprint(&a), shallow_fingerprint(&same));
+        for other in [
+            "<r a='2'><x/><y/>t</r>",    // attr value
+            "<r b='1'><x/><y/>t</r>",    // attr name
+            "<q a='1'><x/><y/>t</q>",    // root tag
+            "<r a='1'><y/><x/>t</r>",    // child order
+            "<r a='1'><x/><y/>u</r>",    // direct text
+            "<r a='1'><x/><y/><z/></r>", // child list
+        ] {
+            let b = Document::parse_str(other).unwrap();
+            assert_ne!(
+                shallow_fingerprint(&a),
+                shallow_fingerprint(&b),
+                "fingerprint failed to distinguish {other}"
+            );
+        }
+        // Node-count changes below the root are caught via the count term
+        // even when the root's immediate children look identical.
+        let deep_a = Document::parse_str("<r><x><d/></x></r>").unwrap();
+        let deep_b = Document::parse_str("<r><x><d/><d/></x></r>").unwrap();
+        assert_ne!(shallow_fingerprint(&deep_a), shallow_fingerprint(&deep_b));
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub use arena::{NodeId, Symbol};
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use document::{Document, NodeKind};
 pub use error::{Error, Result};
-pub use index::DocIndex;
+pub use index::{shallow_fingerprint, DocIndex, IndexStats};
 pub use value::{CmpOp, Value};

@@ -3,7 +3,7 @@
 //! ```text
 //! gql-fuzz run [--cases N] [--start-seed S] [--generators xmlgl,wglog,xpath,intent]
 //!              [--budget-secs T] [--corpus DIR]
-//! gql-fuzz replay --generator G --seed S
+//! gql-fuzz replay --generator G --seed S [--profile]
 //! gql-fuzz corpus [DIR]
 //! ```
 //!
@@ -11,7 +11,9 @@
 //! battery; each disagreement is minimized (document *and* query) and
 //! printed with an exact replay command, and — when `--corpus` is given —
 //! appended as a `.case` file so it becomes a permanent regression test.
-//! `replay` re-runs a single `(generator, seed)` case. `corpus` replays a
+//! `replay` re-runs a single `(generator, seed)` case; with `--profile` it
+//! also prints the engine's execution profile for the case, so a slow or
+//! disagreeing case can be inspected span by span. `corpus` replays a
 //! corpus directory (default `tests/corpus`). Exit status is non-zero
 //! whenever any disagreement is found.
 
@@ -20,12 +22,12 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use gql_testkit::corpus::{self, CorpusCase};
-use gql_testkit::fuzz::{fuzz_one, run_fuzz, Failure, Generator};
+use gql_testkit::fuzz::{case_inputs, fuzz_one, profile_case, run_fuzz, Failure, Generator};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gql-fuzz run [--cases N] [--start-seed S] [--generators a,b] \
-         [--budget-secs T] [--corpus DIR]\n  gql-fuzz replay --generator G --seed S\n  \
+         [--budget-secs T] [--corpus DIR]\n  gql-fuzz replay --generator G --seed S [--profile]\n  \
          gql-fuzz corpus [DIR]"
     );
     std::process::exit(2);
@@ -122,6 +124,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
 fn cmd_replay(args: &[String]) -> ExitCode {
     let mut generator = None;
     let mut seed = None;
+    let mut profile = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -129,13 +132,14 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 generator = it.next().and_then(|s| Generator::from_name(s));
             }
             "--seed" => seed = Some(parse_u64(&mut it, "--seed")),
+            "--profile" => profile = true,
             _ => usage(),
         }
     }
     let (Some(g), Some(s)) = (generator, seed) else {
         usage()
     };
-    match fuzz_one(g, s) {
+    let status = match fuzz_one(g, s) {
         Ok(()) => {
             println!("OK {} seed {s}: all oracles agree", g.name());
             ExitCode::SUCCESS
@@ -144,7 +148,18 @@ fn cmd_replay(args: &[String]) -> ExitCode {
             print_failure(&f);
             ExitCode::FAILURE
         }
+    };
+    if profile {
+        let (doc, query) = case_inputs(g, s);
+        match profile_case(g, &doc, &query) {
+            Some(text) => {
+                println!("profile ({} seed {s}):", g.name());
+                print!("{text}");
+            }
+            None => println!("profile: case inputs do not form a runnable query"),
+        }
     }
+    status
 }
 
 fn cmd_corpus(args: &[String]) -> ExitCode {

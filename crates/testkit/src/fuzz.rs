@@ -107,6 +107,33 @@ pub fn check_case(generator: Generator, doc_xml: &str, query: &str) -> Result<()
     }
 }
 
+/// Render the execution profile of a case's engine run as a text tree, for
+/// `gql-fuzz replay --profile`. `None` when the inputs don't parse into an
+/// engine-runnable query (the vacuous cases of [`check_case`]); engine
+/// errors are rendered into the output rather than hidden, since a profile
+/// request is a debugging aid.
+pub fn profile_case(generator: Generator, doc_xml: &str, query: &str) -> Option<String> {
+    use gql_core::engine::{Engine, QueryKind};
+    let doc = oracle::normalize(doc_xml)?;
+    let kind = match generator {
+        Generator::XmlGl => QueryKind::XmlGl(gql_xmlgl::dsl::parse_unchecked(query).ok()?),
+        Generator::WgLog => QueryKind::WgLog(gql_wglog::dsl::parse_unchecked(query).ok()?),
+        Generator::XPath => QueryKind::XPath(query.to_string()),
+        // Intents run on both engines; profile the XPath side, which is the
+        // one with per-step instrumentation.
+        Generator::Intent => QueryKind::XPath(Intent::parse(query)?.xpath()),
+    };
+    match Engine::new().run_profiled(&kind, &doc) {
+        Ok(outcome) => Some(
+            outcome
+                .profile
+                .map(|p| p.to_text())
+                .unwrap_or_else(|| "(empty profile)".to_string()),
+        ),
+        Err(e) => Some(format!("engine error: {e}\n")),
+    }
+}
+
 /// Execute one `(generator, seed)` case; on disagreement, shrink both the
 /// document and the query before reporting.
 pub fn fuzz_one(generator: Generator, seed: u64) -> Result<(), Failure> {

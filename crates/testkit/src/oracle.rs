@@ -102,6 +102,56 @@ pub fn instance_fingerprint(db: &Instance) -> (Vec<u64>, Vec<(u64, u64, u64)>) {
 }
 
 // ----------------------------------------------------------------------
+// Tracing: observational transparency and determinism
+// ----------------------------------------------------------------------
+
+/// Tracing must be observationally free: a profiled run returns the exact
+/// bytes of a plain run, attaches a non-empty profile, and reports the same
+/// span/counter shape every time for the same inputs (durations vary; the
+/// shape may not).
+pub fn check_trace_case(doc: &Document, query: &QueryKind) -> Result<(), String> {
+    let engine = Engine::new();
+    let plain = engine.run(query, doc);
+    let profiled = engine.run_profiled(query, doc);
+    let (plain, profiled) = match (plain, profiled) {
+        (Ok(p), Ok(t)) => (p, t),
+        (Err(_), Err(_)) => return Ok(()), // both reject alike
+        (p, t) => {
+            return Err(format!(
+                "trace-transparency: one path errored, the other did not \
+                 (plain ok: {}, profiled ok: {})",
+                p.is_ok(),
+                t.is_ok()
+            ))
+        }
+    };
+    if plain.output.to_xml_string() != profiled.output.to_xml_string()
+        || plain.result_count != profiled.result_count
+    {
+        return Err("trace-transparency: profiled run diverged from plain run".into());
+    }
+    let profile = profiled
+        .profile
+        .ok_or("trace-presence: run_profiled attached no profile")?;
+    if profile.roots.is_empty() {
+        return Err("trace-presence: profile has no spans".into());
+    }
+    let again = engine
+        .run_profiled(query, doc)
+        .map_err(|e| format!("trace-determinism: repeat profiled run failed: {e}"))?
+        .profile
+        .ok_or("trace-determinism: repeat run attached no profile")?;
+    if again.shape() != profile.shape() {
+        return Err(format!(
+            "trace-determinism: profile shape changed between identical runs\nfirst:\n{}second:\n{}",
+            profile.shape(),
+            again.shape()
+        ));
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
 // XML-GL: every dual matcher/construct/engine path
 // ----------------------------------------------------------------------
 
@@ -186,6 +236,7 @@ pub fn check_xmlgl_case(doc: &Document, src: &str) -> Result<(), String> {
             ))
         }
     }
+    check_trace_case(doc, &q)?;
     // Translation: where the partial XML-GL→WG-Log translator applies, the
     // translated program must at least evaluate cleanly over the same data.
     if program.rules.len() == 1 {
@@ -254,6 +305,7 @@ pub fn check_wglog_case(doc: &Document, src: &str) -> Result<(), String> {
     if instance_fingerprint(&re_run) != instance_fingerprint(&semi_db) {
         return Err("reserialize: results changed after serialize→parse of the document".into());
     }
+    check_trace_case(doc, &QueryKind::WgLog(program.clone()))?;
     Ok(())
 }
 
@@ -346,6 +398,7 @@ pub fn check_xpath_case(doc: &Document, src: &str) -> Result<(), String> {
             observe(&re, &re_val)
         ));
     }
+    check_trace_case(doc, &QueryKind::XPath(src.to_string()))?;
     Ok(())
 }
 

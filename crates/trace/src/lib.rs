@@ -1,0 +1,462 @@
+//! # gql-trace — structured execution tracing and engine metrics
+//!
+//! A lightweight, dependency-free span-tree + typed-counter layer that every
+//! engine in the workspace reports through. The design goals, in order:
+//!
+//! 1. **Zero cost when disabled.** The engine-facing handle is [`Trace`],
+//!    which is an `Option` around a collector: [`Trace::disabled()`] holds
+//!    `None`, so every operation is one branch and no allocation. Engines
+//!    thread a `&Trace` unconditionally; hot loops additionally aggregate
+//!    into plain integers and report once per coarse phase (per root, per
+//!    join, per fixpoint round, per XPath step), never per candidate.
+//! 2. **One model for all three engines.** A trace is a tree of *spans*
+//!    (named, wall-clock-timed phases) carrying *counters* (named `u64`
+//!    accumulators) and *notes* (named string facts such as
+//!    `path=indexed`). The span taxonomy per engine is documented in
+//!    DESIGN.md and treated as a stable surface.
+//! 3. **Deterministic shape.** Counters and notes must be derived from the
+//!    query/data alone, never from timing; [`ExecutionProfile::shape`]
+//!    renders the tree without durations, and the testkit asserts that two
+//!    runs of the same case produce identical shapes.
+//!
+//! The sink behind an enabled [`Trace`] is anything implementing
+//! [`Collector`]; the default [`TreeCollector`] builds the span tree that
+//! [`Trace::finish`] converts into an [`ExecutionProfile`] (renderable as an
+//! aligned text tree or machine-readable JSON — see [`profile`]).
+//!
+//! ```
+//! use gql_trace::Trace;
+//!
+//! let trace = Trace::profiling();
+//! {
+//!     let _eval = trace.span("eval");
+//!     {
+//!         let _m = trace.span("match");
+//!         trace.count("candidates", 42);
+//!         trace.note("path", "indexed");
+//!     }
+//!     trace.count("bindings", 7);
+//! }
+//! let profile = trace.finish().expect("profiling collector");
+//! let eval = &profile.roots[0];
+//! assert_eq!(eval.name, "eval");
+//! assert_eq!(eval.counter("bindings"), Some(7));
+//! assert_eq!(eval.children[0].counter("candidates"), Some(42));
+//! ```
+
+pub mod profile;
+
+use std::any::Any;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use profile::{ExecutionProfile, ProfileNode};
+
+/// A sink for trace events. Implementations receive span boundaries,
+/// counter increments and notes; the default [`TreeCollector`] assembles
+/// them into a span tree, but tests and tools can plug in anything (e.g. a
+/// call-counting collector). Every method has a no-op default, so the unit
+/// struct `struct Ignore; impl Collector for Ignore {}` (plus `into_any`)
+/// is a valid collector.
+pub trait Collector: Send {
+    /// A span opens. Returns a token passed back to [`Collector::span_end`].
+    fn span_start(&mut self, name: &str) -> usize {
+        let _ = name;
+        0
+    }
+
+    /// The span identified by `token` closes after `elapsed`.
+    fn span_end(&mut self, token: usize, elapsed: Duration) {
+        let _ = (token, elapsed);
+    }
+
+    /// Add `delta` to the named counter on the innermost open span.
+    fn count(&mut self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Attach a string fact to the innermost open span.
+    fn note(&mut self, name: &str, value: &str) {
+        let _ = (name, value);
+    }
+
+    /// Downcast support so [`Trace::finish`] can recover a
+    /// [`TreeCollector`].
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// One recorded span while the tree is under construction.
+#[derive(Debug, Default)]
+struct SpanRec {
+    name: String,
+    nanos: u128,
+    counters: Vec<(String, u64)>,
+    notes: Vec<(String, String)>,
+    children: Vec<usize>,
+}
+
+/// The default collector: builds the span tree [`Trace::finish`] snapshots
+/// into an [`ExecutionProfile`].
+#[derive(Debug, Default)]
+pub struct TreeCollector {
+    spans: Vec<SpanRec>,
+    stack: Vec<usize>,
+    roots: Vec<usize>,
+    /// Counters/notes reported outside any span (kept so nothing is lost;
+    /// surfaced as a synthetic `(toplevel)` root if non-empty).
+    loose_counters: Vec<(String, u64)>,
+    loose_notes: Vec<(String, String)>,
+}
+
+impl TreeCollector {
+    pub fn new() -> TreeCollector {
+        TreeCollector::default()
+    }
+
+    fn add_to(list: &mut Vec<(String, u64)>, name: &str, delta: u64) {
+        match list.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += delta,
+            None => list.push((name.to_string(), delta)),
+        }
+    }
+
+    fn note_to(list: &mut Vec<(String, String)>, name: &str, value: &str) {
+        match list.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => {
+                *v = value.to_string();
+            }
+            None => list.push((name.to_string(), value.to_string())),
+        }
+    }
+
+    fn build_node(&self, id: usize) -> ProfileNode {
+        let rec = &self.spans[id];
+        ProfileNode {
+            name: rec.name.clone(),
+            nanos: rec.nanos,
+            counters: rec.counters.clone(),
+            notes: rec.notes.clone(),
+            children: rec.children.iter().map(|&c| self.build_node(c)).collect(),
+        }
+    }
+
+    /// Snapshot the (finished) tree into a profile. Spans still open are
+    /// included with the duration recorded so far (zero if never closed).
+    pub fn into_profile(self) -> ExecutionProfile {
+        let mut roots: Vec<ProfileNode> = self.roots.iter().map(|&r| self.build_node(r)).collect();
+        if !self.loose_counters.is_empty() || !self.loose_notes.is_empty() {
+            roots.push(ProfileNode {
+                name: "(toplevel)".to_string(),
+                nanos: 0,
+                counters: self.loose_counters.clone(),
+                notes: self.loose_notes.clone(),
+                children: Vec::new(),
+            });
+        }
+        ExecutionProfile { roots }
+    }
+}
+
+impl Collector for TreeCollector {
+    fn span_start(&mut self, name: &str) -> usize {
+        let id = self.spans.len();
+        self.spans.push(SpanRec {
+            name: name.to_string(),
+            ..SpanRec::default()
+        });
+        match self.stack.last() {
+            Some(&parent) => self.spans[parent].children.push(id),
+            None => self.roots.push(id),
+        }
+        self.stack.push(id);
+        id
+    }
+
+    fn span_end(&mut self, token: usize, elapsed: Duration) {
+        // Defensive: pop until the matching span is closed, so a leaked
+        // guard cannot corrupt deeper nesting.
+        while let Some(top) = self.stack.pop() {
+            if top == token {
+                self.spans[top].nanos = elapsed.as_nanos();
+                return;
+            }
+        }
+    }
+
+    fn count(&mut self, name: &str, delta: u64) {
+        match self.stack.last() {
+            Some(&top) => Self::add_to(&mut self.spans[top].counters, name, delta),
+            None => Self::add_to(&mut self.loose_counters, name, delta),
+        }
+    }
+
+    fn note(&mut self, name: &str, value: &str) {
+        match self.stack.last() {
+            Some(&top) => Self::note_to(&mut self.spans[top].notes, name, value),
+            None => Self::note_to(&mut self.loose_notes, name, value),
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// The engine-facing tracing handle. Cheap to construct in both states;
+/// engines accept `&Trace` unconditionally and the disabled state turns
+/// every operation into a single branch.
+///
+/// Enabled traces are `Sync` (the collector sits behind a mutex), but the
+/// intended usage keeps trace calls on the coordinating thread — parallel
+/// workers aggregate into locals that the coordinator records after
+/// joining, which also keeps profiles deterministic.
+pub struct Trace {
+    collector: Option<Mutex<Box<dyn Collector>>>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Trace {
+    /// The no-op handle: every operation is one branch, no allocation.
+    pub const fn disabled() -> Trace {
+        Trace { collector: None }
+    }
+
+    /// A tracing handle backed by the default [`TreeCollector`];
+    /// [`Trace::finish`] recovers the profile.
+    pub fn profiling() -> Trace {
+        Trace::with_collector(Box::new(TreeCollector::new()))
+    }
+
+    /// A tracing handle backed by a custom collector.
+    pub fn with_collector(collector: Box<dyn Collector>) -> Trace {
+        Trace {
+            collector: Some(Mutex::new(collector)),
+        }
+    }
+
+    /// Is anything listening? Callers building expensive span names (e.g.
+    /// `format!`-ed per-round labels) should gate on this.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.collector.is_some()
+    }
+
+    /// Open a span; it closes (and records its wall-clock duration) when
+    /// the returned guard drops.
+    #[inline]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        match &self.collector {
+            None => SpanGuard {
+                trace: self,
+                open: None,
+            },
+            Some(m) => {
+                let token = m.lock().expect("trace collector poisoned").span_start(name);
+                SpanGuard {
+                    trace: self,
+                    open: Some((token, Instant::now())),
+                }
+            }
+        }
+    }
+
+    /// Add `delta` to the named counter on the innermost open span.
+    #[inline]
+    pub fn count(&self, name: &str, delta: u64) {
+        if let Some(m) = &self.collector {
+            m.lock()
+                .expect("trace collector poisoned")
+                .count(name, delta);
+        }
+    }
+
+    /// Attach a string fact (`path=indexed`, `cache=hit`) to the innermost
+    /// open span. Re-noting a name overwrites its value.
+    #[inline]
+    pub fn note(&self, name: &str, value: &str) {
+        if let Some(m) = &self.collector {
+            m.lock()
+                .expect("trace collector poisoned")
+                .note(name, value);
+        }
+    }
+
+    /// Consume the handle; `Some` when it was backed by the default
+    /// [`TreeCollector`] (i.e. constructed by [`Trace::profiling`]).
+    pub fn finish(self) -> Option<ExecutionProfile> {
+        self.into_collector()?
+            .into_any()
+            .downcast::<TreeCollector>()
+            .ok()
+            .map(|t| t.into_profile())
+    }
+
+    /// Consume the handle and recover the collector it was constructed
+    /// with, whatever its type — the custom-collector counterpart of
+    /// [`Trace::finish`]. `None` for a disabled handle.
+    pub fn into_collector(self) -> Option<Box<dyn Collector>> {
+        Some(
+            self.collector?
+                .into_inner()
+                .expect("trace collector poisoned"),
+        )
+    }
+}
+
+/// RAII guard returned by [`Trace::span`]; closes the span on drop.
+#[must_use = "a span lasts as long as its guard; dropping immediately records an empty span"]
+pub struct SpanGuard<'t> {
+    trace: &'t Trace,
+    open: Option<(usize, Instant)>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some((token, started)), Some(m)) = (self.open.take(), &self.trace.collector) {
+            m.lock()
+                .expect("trace collector poisoned")
+                .span_end(token, started.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_is_inert() {
+        let t = Trace::disabled();
+        assert!(!t.is_enabled());
+        {
+            let _s = t.span("anything");
+            t.count("c", 1);
+            t.note("n", "v");
+        }
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn span_nesting_and_counters_are_exact() {
+        let t = Trace::profiling();
+        {
+            let _run = t.span("run");
+            {
+                let _m = t.span("match");
+                t.count("candidates", 10);
+                t.count("candidates", 5);
+                t.note("path", "scan");
+                t.note("path", "indexed"); // overwrite
+            }
+            {
+                let _c = t.span("construct");
+                t.count("nodes", 3);
+            }
+            t.count("rules", 1);
+        }
+        let p = t.finish().unwrap();
+        assert_eq!(p.roots.len(), 1);
+        let run = &p.roots[0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.counter("rules"), Some(1));
+        assert_eq!(run.children.len(), 2);
+        assert_eq!(run.children[0].name, "match");
+        assert_eq!(run.children[0].counter("candidates"), Some(15));
+        assert_eq!(run.children[0].note("path"), Some("indexed"));
+        assert_eq!(run.children[1].counter("nodes"), Some(3));
+    }
+
+    #[test]
+    fn sibling_spans_and_multiple_roots() {
+        let t = Trace::profiling();
+        {
+            let _a = t.span("a");
+        }
+        {
+            let _b = t.span("b");
+            {
+                let _c = t.span("c");
+            }
+        }
+        let p = t.finish().unwrap();
+        assert_eq!(
+            p.roots.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(p.roots[1].children[0].name, "c");
+    }
+
+    #[test]
+    fn counters_outside_spans_survive_as_toplevel() {
+        let t = Trace::profiling();
+        t.count("loose", 2);
+        let p = t.finish().unwrap();
+        assert_eq!(p.roots.len(), 1);
+        assert_eq!(p.roots[0].name, "(toplevel)");
+        assert_eq!(p.roots[0].counter("loose"), Some(2));
+    }
+
+    #[test]
+    fn custom_collectors_receive_every_event() {
+        #[derive(Default)]
+        struct Counting {
+            spans: usize,
+            ends: usize,
+            counts: u64,
+            notes: usize,
+        }
+        impl Collector for Counting {
+            fn span_start(&mut self, _n: &str) -> usize {
+                self.spans += 1;
+                self.spans
+            }
+            fn span_end(&mut self, _t: usize, _e: Duration) {
+                self.ends += 1;
+            }
+            fn count(&mut self, _n: &str, d: u64) {
+                self.counts += d;
+            }
+            fn note(&mut self, _n: &str, _v: &str) {
+                self.notes += 1;
+            }
+            fn into_any(self: Box<Self>) -> Box<dyn Any> {
+                self
+            }
+        }
+        let t = Trace::with_collector(Box::<Counting>::default());
+        {
+            let _s = t.span("x");
+            t.count("c", 4);
+            t.note("n", "v");
+        }
+        // finish() on a non-tree collector yields no profile…
+        assert!(t.is_enabled());
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn leaked_guard_order_is_defended() {
+        // Dropping guards out of order (possible via mem::forget games or
+        // explicit drop) must not corrupt the tree.
+        let t = Trace::profiling();
+        let a = t.span("a");
+        let b = t.span("b");
+        drop(a); // closes a AND pops b from the stack defensively
+        {
+            let _c = t.span("c");
+        }
+        drop(b); // late close of an already-popped span is a no-op
+        let p = t.finish().unwrap();
+        assert_eq!(p.roots.len(), 2);
+        assert_eq!(p.roots[0].name, "a");
+        assert_eq!(p.roots[0].children[0].name, "b");
+        assert_eq!(p.roots[1].name, "c");
+    }
+}

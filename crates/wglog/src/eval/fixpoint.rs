@@ -18,6 +18,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use gql_trace::Trace;
+
 use crate::instance::{Instance, ObjId};
 use crate::rule::{AttrValue, Color, LabelTest, RNodeId, Rule, TypeTest};
 use crate::{Result, WgLogError};
@@ -45,8 +47,29 @@ pub struct FixpointStats {
 /// are reported instead of hanging.
 const MAX_ITERATIONS: usize = 100_000;
 
+/// A fixpoint can run for tens of thousands of rounds; recording one child
+/// span per round would bloat the profile without adding signal. The first
+/// `MAX_TRACED_ROUNDS` rounds get their own spans (that's where semi-naive
+/// convergence behaviour is visible); later rounds fold into aggregate
+/// counters and a `truncated_rounds` marker on the stratum span.
+const MAX_TRACED_ROUNDS: usize = 64;
+
 /// Run one stratum's rules to fixpoint on `db` in place.
 pub fn fixpoint(rules: &[&Rule], db: &mut Instance, mode: FixpointMode) -> Result<FixpointStats> {
+    fixpoint_traced(rules, db, mode, &Trace::disabled())
+}
+
+/// [`fixpoint`] reporting into a [`Trace`]: one `round[i]` child span per
+/// iteration (capped at [`MAX_TRACED_ROUNDS`]) carrying the semi-naive
+/// diagnostics — rules evaluated after the relevance filter, embeddings
+/// found, and the delta of objects/edges derived that round. With
+/// `Trace::disabled()` this is exactly `fixpoint`.
+pub fn fixpoint_traced(
+    rules: &[&Rule],
+    db: &mut Instance,
+    mode: FixpointMode,
+    trace: &Trace,
+) -> Result<FixpointStats> {
     let mut stats = FixpointStats::default();
     // Skolem table shared across iterations: (rule idx, cnode, key) → object.
     let mut invented: HashMap<(usize, RNodeId, Vec<Option<ObjId>>), ObjId> = HashMap::new();
@@ -98,6 +121,13 @@ pub fn fixpoint(rules: &[&Rule], db: &mut Instance, mode: FixpointMode) -> Resul
                 msg: format!("fixpoint did not converge within {MAX_ITERATIONS} iterations"),
             });
         }
+        let round_span = if trace.is_enabled() && stats.iterations <= MAX_TRACED_ROUNDS {
+            Some(trace.span(&format!("round[{}]", stats.iterations - 1)))
+        } else {
+            None
+        };
+        let before = stats;
+        let mut rules_run = 0u64;
         let mut new_labels: HashSet<String> = HashSet::new();
         let mut new_types: HashSet<String> = HashSet::new();
         let mut changed = false;
@@ -113,6 +143,7 @@ pub fn fixpoint(rules: &[&Rule], db: &mut Instance, mode: FixpointMode) -> Resul
                     continue;
                 }
             }
+            rules_run += 1;
             let embs = embeddings(rule, db);
             stats.embeddings_found += embs.len();
             for emb in embs {
@@ -130,7 +161,35 @@ pub fn fixpoint(rules: &[&Rule], db: &mut Instance, mode: FixpointMode) -> Resul
             }
         }
 
+        if trace.is_enabled() {
+            if round_span.is_some() {
+                trace.count("rules_run", rules_run);
+                trace.count(
+                    "embeddings",
+                    (stats.embeddings_found - before.embeddings_found) as u64,
+                );
+                trace.count(
+                    "delta_objects",
+                    (stats.objects_created - before.objects_created) as u64,
+                );
+                trace.count(
+                    "delta_edges",
+                    (stats.edges_created - before.edges_created) as u64,
+                );
+                drop(round_span);
+            } else {
+                // Past the cap: fold this round into stratum-level counters.
+                trace.count("truncated_rounds", 1);
+            }
+        }
+
         if !changed {
+            if trace.is_enabled() {
+                trace.count("rounds", stats.iterations as u64);
+                trace.count("embeddings_total", stats.embeddings_found as u64);
+                trace.count("objects_created", stats.objects_created as u64);
+                trace.count("edges_created", stats.edges_created as u64);
+            }
             return Ok(stats);
         }
         prev_labels = new_labels;

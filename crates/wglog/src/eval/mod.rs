@@ -5,13 +5,14 @@ pub mod fixpoint;
 pub mod stratify;
 
 use gql_ssdm::Document;
+use gql_trace::Trace;
 
 use crate::instance::Instance;
 use crate::rule::Program;
 use crate::Result;
 
 pub use embed::{embeddings, path_exists, Embedding};
-pub use fixpoint::{fixpoint, FixpointMode, FixpointStats};
+pub use fixpoint::{fixpoint, fixpoint_traced, FixpointMode, FixpointStats};
 pub use stratify::stratify;
 
 /// Evaluate a program over a database: stratified fixpoint with the default
@@ -28,17 +29,70 @@ pub fn run_with(
     db: &Instance,
     mode: FixpointMode,
 ) -> Result<(Instance, FixpointStats)> {
+    run_traced(program, db, mode, &Trace::disabled())
+}
+
+/// [`run_with`] reporting into a [`Trace`]: a `stratify` span, then one
+/// `stratum[i]` span per stratum whose children are the fixpoint rounds
+/// (see [`fixpoint_traced`]), each carrying rule counts and the derived
+/// instance growth. With `Trace::disabled()` this is exactly `run_with`.
+pub fn run_traced(
+    program: &Program,
+    db: &Instance,
+    mode: FixpointMode,
+    trace: &Trace,
+) -> Result<(Instance, FixpointStats)> {
     program.check()?;
-    let strata = stratify(program)?;
+    let strata = {
+        let _s = trace.span("stratify");
+        let strata = stratify(program)?;
+        if trace.is_enabled() {
+            trace.count("strata", strata.len() as u64);
+            trace.count("rules", program.rules.len() as u64);
+        }
+        strata
+    };
     let mut work = db.clone();
     let mut stats = FixpointStats::default();
-    for stratum in strata {
+    if trace.is_enabled() {
+        trace.note(
+            "mode",
+            match mode {
+                FixpointMode::Naive => "naive",
+                FixpointMode::SemiNaive => "semi_naive",
+            },
+        );
+    }
+    for (si, stratum) in strata.iter().enumerate() {
+        let label = if trace.is_enabled() {
+            format!("stratum[{si}]")
+        } else {
+            String::new()
+        };
+        let span = trace.span(&label);
         let rules: Vec<&crate::rule::Rule> = stratum.iter().map(|&i| &program.rules[i]).collect();
-        let s = fixpoint(&rules, &mut work, mode)?;
+        let (objs_before, edges_before) = (work.object_count(), work.edge_count());
+        let s = fixpoint_traced(&rules, &mut work, mode, trace)?;
+        if trace.is_enabled() {
+            trace.count("stratum_rules", rules.len() as u64);
+            trace.count(
+                "instance_objects_grown",
+                (work.object_count() - objs_before) as u64,
+            );
+            trace.count(
+                "instance_edges_grown",
+                (work.edge_count() - edges_before) as u64,
+            );
+        }
+        drop(span);
         stats.iterations += s.iterations;
         stats.objects_created += s.objects_created;
         stats.edges_created += s.edges_created;
         stats.embeddings_found += s.embeddings_found;
+    }
+    if trace.is_enabled() {
+        trace.count("instance_objects", work.object_count() as u64);
+        trace.count("instance_edges", work.edge_count() as u64);
     }
     Ok((work, stats))
 }

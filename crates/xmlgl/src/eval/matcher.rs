@@ -14,10 +14,12 @@
 //!   the differential-testing oracle and benchmark baseline.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gql_ssdm::document::NodeKind;
 use gql_ssdm::index::canonical;
 use gql_ssdm::{DocIndex, Document, NodeId, Symbol};
+use gql_trace::Trace;
 
 use crate::ast::{ExtractGraph, NameTest, QEdge, QNodeId, QNodeKind, Rule};
 
@@ -146,6 +148,30 @@ struct Ctx<'a> {
     nslots: usize,
     idx: Option<&'a DocIndex>,
     names: Vec<NameRes>,
+    /// Per-query-node candidate counters, allocated only when tracing.
+    /// Atomics because parallel workers share them; each `match_edge` call
+    /// adds once in bulk, so the counts are deterministic and the untraced
+    /// cost is one `Option` branch per edge, never per candidate.
+    cand: Option<Vec<AtomicU64>>,
+}
+
+impl Ctx<'_> {
+    #[inline]
+    fn add_candidates(&self, q: QNodeId, n: u64) {
+        if let Some(cand) = &self.cand {
+            cand[q.index()].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Human-readable label for a query node, used in candidate counter names.
+fn qnode_label(g: &ExtractGraph, q: QNodeId) -> String {
+    match &g.node(q).kind {
+        QNodeKind::Element(NameTest::Name(name)) => name.clone(),
+        QNodeKind::Element(NameTest::Wildcard) => "*".to_string(),
+        QNodeKind::Attribute(name) => format!("@{name}"),
+        QNodeKind::Text => "text()".to_string(),
+    }
 }
 
 /// Enumerate all embeddings of a rule's extract graph into `doc`, building
@@ -169,14 +195,45 @@ pub fn match_rule_with(
     idx: &DocIndex,
     mode: MatchMode,
 ) -> Vec<Binding> {
+    match_rule_traced(rule, doc, idx, mode, &Trace::disabled())
+}
+
+/// [`match_rule_with`] reporting into a [`Trace`]: per-root candidate-set
+/// sizes and worker fan-out, per-combine join statistics (probes, matches,
+/// hash-collision rejects), residual-filter counts and per-query-node
+/// candidate totals. With `Trace::disabled()` this is exactly
+/// `match_rule_with` — the counters are never allocated.
+pub fn match_rule_traced(
+    rule: &Rule,
+    doc: &Document,
+    idx: &DocIndex,
+    mode: MatchMode,
+    trace: &Trace,
+) -> Vec<Binding> {
     let cx = Ctx {
         g: &rule.extract,
         doc,
         nslots: rule.extract.nodes.len(),
         idx: Some(idx),
         names: resolve_names(&rule.extract, doc),
+        cand: trace.is_enabled().then(|| {
+            (0..rule.extract.nodes.len())
+                .map(|_| AtomicU64::new(0))
+                .collect()
+        }),
     };
-    run_match(&cx, mode)
+    let out = run_match(&cx, mode, trace);
+    if let Some(cand) = &cx.cand {
+        for (i, c) in cand.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                let label = qnode_label(cx.g, QNodeId(i as u32));
+                trace.count(&format!("candidates[q{i}:{label}]"), n);
+            }
+        }
+        trace.count("bindings", out.len() as u64);
+    }
+    out
 }
 
 /// Reference implementation: whole-document scans for candidates and string
@@ -190,8 +247,9 @@ pub fn match_rule_scan(rule: &Rule, doc: &Document) -> Vec<Binding> {
         nslots: rule.extract.nodes.len(),
         idx: None,
         names: Vec::new(),
+        cand: None,
     };
-    run_match(&cx, MatchMode::Sequential)
+    run_match(&cx, MatchMode::Sequential, &Trace::disabled())
 }
 
 fn norm_pair(a: QNodeId, b: QNodeId) -> (QNodeId, QNodeId) {
@@ -202,17 +260,31 @@ fn norm_pair(a: QNodeId, b: QNodeId) -> (QNodeId, QNodeId) {
     }
 }
 
-fn run_match(cx: &Ctx, mode: MatchMode) -> Vec<Binding> {
+fn run_match(cx: &Ctx, mode: MatchMode, trace: &Trace) -> Vec<Binding> {
     let g = cx.g;
     if g.roots.is_empty() {
         return Vec::new();
+    }
+    if trace.is_enabled() {
+        trace.note("path", if cx.idx.is_some() { "indexed" } else { "scan" });
     }
 
     // Per-root binding sets.
     let per_root: Vec<Vec<Binding>> = g
         .roots
         .iter()
-        .map(|&root| match_root(cx, root, mode))
+        .enumerate()
+        .map(|(ri, &root)| {
+            let label = if trace.is_enabled() {
+                format!("root[{ri}:{}]", qnode_label(g, root))
+            } else {
+                String::new()
+            };
+            let _s = trace.span(&label);
+            let out = match_root(cx, root, mode, trace);
+            trace.count("bindings", out.len() as u64);
+            out
+        })
         .collect();
 
     // Which root does each query node belong to?
@@ -245,17 +317,43 @@ fn run_match(cx: &Ctx, mode: MatchMode) -> Vec<Binding> {
                 }
             })
             .collect();
+        let label = if trace.is_enabled() {
+            format!("combine[{ri}]")
+        } else {
+            String::new()
+        };
+        let span = trace.span(&label);
+        if trace.is_enabled() {
+            trace.count("left_rows", combined.len() as u64);
+            trace.count("right_rows", right.len() as u64);
+        }
         combined = if cross_joins.is_empty() {
+            trace.note("kind", "product");
             product(&combined, right)
         } else {
+            trace.note("kind", "hash_join");
             enforced.extend(cross_joins.iter().map(|&(a, b)| norm_pair(a, b)));
-            match cx.idx {
-                Some(idx) => hash_join_hashed(cx.doc, &combined, right, &cross_joins, |b| {
-                    content_hash(cx.doc, idx, b)
-                }),
+            let mut stats = JoinStats::default();
+            let joined = match cx.idx {
+                Some(idx) => hash_join_hashed(
+                    cx.doc,
+                    &combined,
+                    right,
+                    &cross_joins,
+                    |b| content_hash(cx.doc, idx, b),
+                    &mut stats,
+                ),
                 None => hash_join_strings(cx.doc, &combined, right, &cross_joins),
+            };
+            if trace.is_enabled() && cx.idx.is_some() {
+                trace.count("probes", stats.probes);
+                trace.count("hash_matches", stats.hash_matches);
+                trace.count("collision_rejects", stats.collision_rejects);
             }
+            joined
         };
+        trace.count("out_rows", combined.len() as u64);
+        drop(span);
         if combined.is_empty() {
             return combined;
         }
@@ -270,6 +368,8 @@ fn run_match(cx: &Ctx, mode: MatchMode) -> Vec<Binding> {
         .filter(|&(a, b)| !enforced.contains(&norm_pair(a, b)))
         .collect();
     if !residual.is_empty() {
+        let span = trace.span("residual_filter");
+        let before = combined.len();
         match cx.idx {
             Some(idx) => {
                 let mut cache = KeyCache::new(cx.doc);
@@ -292,6 +392,12 @@ fn run_match(cx: &Ctx, mode: MatchMode) -> Vec<Binding> {
                 });
             }
         }
+        if trace.is_enabled() {
+            trace.count("joins", residual.len() as u64);
+            trace.count("rows_in", before as u64);
+            trace.count("rows_out", combined.len() as u64);
+        }
+        drop(span);
     }
     combined
 }
@@ -342,6 +448,17 @@ fn hash_join_strings(
     out
 }
 
+/// What one hash join did, reported into the trace when profiling: probe
+/// rows offered, hash-equal candidate pairs, and pairs rejected by canonical
+/// verification (true hash collisions — expected ≈ 0 with the production
+/// hasher, non-zero only under adversarial or test hashers).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct JoinStats {
+    pub probes: u64,
+    pub hash_matches: u64,
+    pub collision_rejects: u64,
+}
+
 /// Join two binding sets on `u64` content hashes. Hash-equal candidate rows
 /// are verified with [`KeyCache::content_eq`] (memoized canonical forms), so
 /// a hash collision can never produce a false join — correctness does not
@@ -353,6 +470,7 @@ fn hash_join_hashed<F: Fn(&Bound) -> u64>(
     right: &[Binding],
     joins: &[(QNodeId, QNodeId)],
     hash: F,
+    stats: &mut JoinStats,
 ) -> Vec<Binding> {
     let left_cols: Vec<QNodeId> = joins.iter().map(|&(l, _)| l).collect();
     let right_cols: Vec<QNodeId> = joins.iter().map(|&(_, r)| r).collect();
@@ -371,16 +489,20 @@ fn hash_join_hashed<F: Fn(&Bound) -> u64>(
         let Some(k) = key_of(l, &left_cols) else {
             continue;
         };
+        stats.probes += 1;
         let Some(matches) = table.get(&k) else {
             continue;
         };
         for r in matches {
+            stats.hash_matches += 1;
             let verified = joins.iter().all(|&(lc, rc)| match (l.get(lc), r.get(rc)) {
                 (Some(a), Some(b)) => cache.content_eq(a, b),
                 _ => false,
             });
             if verified {
                 out.push(l.merge(r));
+            } else {
+                stats.collision_rejects += 1;
             }
         }
     }
@@ -432,7 +554,7 @@ impl<'d> KeyCache<'d> {
 /// document, optionally fanning candidates across threads. Chunk results are
 /// concatenated in candidate order, so output is deterministic regardless of
 /// scheduling.
-fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode) -> Vec<Binding> {
+fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode, trace: &Trace) -> Vec<Binding> {
     let candidates: Vec<NodeId> = match cx.idx {
         Some(idx) => match (&cx.g.node(root).kind, cx.names[root.index()]) {
             (QNodeKind::Element(_), NameRes::Sym(sym)) => idx.elements_named_sym(sym).to_vec(),
@@ -451,6 +573,8 @@ fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode) -> Vec<Binding> {
         },
     };
 
+    cx.add_candidates(root, candidates.len() as u64);
+
     let threads = match mode {
         MatchMode::Sequential => 1,
         MatchMode::Parallel | MatchMode::Auto => {
@@ -464,6 +588,10 @@ fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode) -> Vec<Binding> {
             }
         }
     };
+    if trace.is_enabled() {
+        trace.count("root_candidates", candidates.len() as u64);
+        trace.count("workers", threads as u64);
+    }
 
     let run_range = |range: &[NodeId]| -> Vec<Binding> {
         let mut out = Vec::new();
@@ -487,6 +615,12 @@ fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode) -> Vec<Binding> {
             results.push(h.join().expect("matcher worker panicked"));
         }
     });
+    if trace.is_enabled() {
+        // Worker utilisation: how evenly the per-chunk binding production
+        // spread. Deterministic (chunking is by candidate order).
+        let loads: Vec<String> = results.iter().map(|r| r.len().to_string()).collect();
+        trace.note("worker_out", &loads.join("/"));
+    }
     results.into_iter().flatten().collect()
 }
 
@@ -582,7 +716,9 @@ fn match_edge(cx: &Ctx, edge: &QEdge, parent: NodeId) -> Vec<Binding> {
     match &target.kind {
         QNodeKind::Attribute(name) => {
             let mut out = Vec::new();
+            let mut considered = 0u64;
             let mut consider = |el: NodeId| {
+                considered += 1;
                 if let Some(v) = doc.attr(el, name) {
                     if target.predicate.eval(v) {
                         let mut b = Binding::with_capacity(cx.nslots);
@@ -613,11 +749,14 @@ fn match_edge(cx: &Ctx, edge: &QEdge, parent: NodeId) -> Vec<Binding> {
             } else {
                 consider(parent);
             }
+            cx.add_candidates(edge.target, considered);
             out
         }
         QNodeKind::Text => {
             let mut out = Vec::new();
+            let mut considered = 0u64;
             let mut consider = |el: NodeId| {
+                considered += 1;
                 let has_text = doc
                     .children(el)
                     .iter()
@@ -649,20 +788,26 @@ fn match_edge(cx: &Ctx, edge: &QEdge, parent: NodeId) -> Vec<Binding> {
             } else {
                 consider(parent);
             }
+            cx.add_candidates(edge.target, considered);
             out
         }
         QNodeKind::Element(_) => {
             let mut out = Vec::new();
+            let mut considered = 0u64;
             if edge.deep {
                 match cx.idx {
                     Some(idx) => match cx.names[edge.target.index()] {
                         NameRes::Sym(sym) => {
-                            for &d in idx.named_in(sym, parent, false) {
+                            let cands = idx.named_in(sym, parent, false);
+                            considered = cands.len() as u64;
+                            for &d in cands {
                                 out.extend(match_node(cx, edge.target, d));
                             }
                         }
                         NameRes::Any => {
-                            for &d in idx.elements_in(parent, false) {
+                            let cands = idx.elements_in(parent, false);
+                            considered = cands.len() as u64;
+                            for &d in cands {
                                 out.extend(match_node(cx, edge.target, d));
                             }
                         }
@@ -671,6 +816,7 @@ fn match_edge(cx: &Ctx, edge: &QEdge, parent: NodeId) -> Vec<Binding> {
                     None => {
                         for d in doc.descendants(parent) {
                             if doc.kind(d) == NodeKind::Element {
+                                considered += 1;
                                 out.extend(match_node(cx, edge.target, d));
                             }
                         }
@@ -678,9 +824,11 @@ fn match_edge(cx: &Ctx, edge: &QEdge, parent: NodeId) -> Vec<Binding> {
                 }
             } else {
                 for c in doc.child_elements(parent) {
+                    considered += 1;
                     out.extend(match_node(cx, edge.target, c));
                 }
             }
+            cx.add_candidates(edge.target, considered);
             out
         }
     }
@@ -963,7 +1111,8 @@ mod tests {
             .map(|t| content_hash(&d, &idx, &Bound::value(*t, origin)))
             .collect();
         assert!(real[0] != real[1] && real[0] != real[2]);
-        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0);
+        let mut stats = JoinStats::default();
+        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0, &mut stats);
         // Canonical verification must reject the colliding non-matches and
         // keep exactly what the string join produces: the x–x pair.
         let expected = hash_join_strings(&d, &left, &right, &joins);
@@ -973,9 +1122,29 @@ mod tests {
             collided[0].get(QNodeId(1)),
             Some(&Bound::value("x", origin))
         );
-        // And the production hasher agrees.
-        let hashed = hash_join_hashed(&d, &left, &right, &joins, |b| content_hash(&d, &idx, b));
+        // The stats expose the collisions: 2 probes, every pair hash-equal
+        // under the constant hasher (2×2 = 4), 3 rejected by verification.
+        assert_eq!(
+            stats,
+            JoinStats {
+                probes: 2,
+                hash_matches: 4,
+                collision_rejects: 3,
+            }
+        );
+        // And the production hasher agrees, with zero collisions.
+        let mut clean = JoinStats::default();
+        let hashed = hash_join_hashed(
+            &d,
+            &left,
+            &right,
+            &joins,
+            |b| content_hash(&d, &idx, b),
+            &mut clean,
+        );
         assert_eq!(hashed, expected);
+        assert_eq!(clean.collision_rejects, 0);
+        assert_eq!(clean.hash_matches, 1);
     }
 
     #[test]
@@ -992,7 +1161,9 @@ mod tests {
         let joins = vec![(QNodeId(0), QNodeId(1))];
         // Under a constant hasher <a>t</a> collides with <b>t</b>; only the
         // canonically-equal pair survives.
-        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0);
+        let mut stats = JoinStats::default();
+        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0, &mut stats);
+        assert_eq!(stats.collision_rejects, 1);
         assert_eq!(collided, hash_join_strings(&d, &left, &right, &joins));
         assert_eq!(collided.len(), 1);
         assert_eq!(collided[0].get(QNodeId(1)), Some(&Bound::Node(kids[1])));

@@ -24,8 +24,12 @@ use gql_ssdm::{DocIndex, Document, NodeId};
 use crate::ast::{Program, QNodeId, Rule};
 use crate::Result;
 
+use gql_trace::Trace;
+
 pub use construct::{construct_rule, construct_rule_with};
-pub use matcher::{match_rule, match_rule_scan, match_rule_with, Binding, Bound, MatchMode};
+pub use matcher::{
+    match_rule, match_rule_scan, match_rule_traced, match_rule_with, Binding, Bound, MatchMode,
+};
 
 /// Evaluate a whole program: the outputs of all rules, in rule order, become
 /// the children of the result document's root. Builds one [`DocIndex`] for
@@ -39,11 +43,41 @@ pub fn run(program: &Program, doc: &Document) -> Result<Document> {
 /// Evaluate a whole program against a prebuilt document index: rules share
 /// the postings/interval/hash index instead of rebuilding it per rule.
 pub fn run_with_index(program: &Program, doc: &Document, idx: &DocIndex) -> Result<Document> {
+    run_traced(program, doc, idx, &Trace::disabled())
+}
+
+/// [`run_with_index`] reporting into a [`Trace`]: one `rule[i]` span per
+/// rule with `match` (candidate sets, join statistics, worker fan-out — see
+/// [`match_rule_traced`]) and `construct` (nodes materialised) children.
+/// With `Trace::disabled()` this is exactly `run_with_index`.
+pub fn run_traced(
+    program: &Program,
+    doc: &Document,
+    idx: &DocIndex,
+    trace: &Trace,
+) -> Result<Document> {
     crate::check::check_program(program)?;
     let mut out = Document::new();
-    for rule in &program.rules {
-        let bindings = match_rule_with(rule, doc, idx, MatchMode::Auto);
-        construct_rule_with(rule, doc, Some(idx), &bindings, &mut out)?;
+    for (i, rule) in program.rules.iter().enumerate() {
+        let label = if trace.is_enabled() {
+            format!("rule[{i}]")
+        } else {
+            String::new()
+        };
+        let _rule_span = trace.span(&label);
+        let bindings = {
+            let _s = trace.span("match");
+            match_rule_traced(rule, doc, idx, MatchMode::Auto, trace)
+        };
+        {
+            let _s = trace.span("construct");
+            let before = out.node_count();
+            construct_rule_with(rule, doc, Some(idx), &bindings, &mut out)?;
+            if trace.is_enabled() {
+                trace.count("bindings_in", bindings.len() as u64);
+                trace.count("nodes_built", (out.node_count() - before) as u64);
+            }
+        }
     }
     Ok(out)
 }

@@ -5,6 +5,7 @@ use std::cmp::Ordering;
 use gql_ssdm::document::NodeKind;
 use gql_ssdm::value::parse_number;
 use gql_ssdm::{DocIndex, Document, NodeId};
+use gql_trace::Trace;
 
 use crate::ast::{Axis, BinOp, Expr, LocationPath, NodeTest, Step};
 use crate::functions;
@@ -128,6 +129,13 @@ pub(crate) struct EvalCaches<'d> {
     refs: std::cell::OnceCell<gql_ssdm::idref::RefGraph>,
     /// Postings/interval index used for descendant name-test steps.
     idx: IndexSlot<'d>,
+    /// Profiling sink, when the caller asked for one ([`evaluate_traced`]).
+    trace: Option<&'d Trace>,
+    /// Re-entrancy latch: predicates evaluate sub-paths through the same
+    /// caches, and per-step spans for those would interleave confusingly
+    /// with the outer path's spans. Only the outermost `apply_steps` call
+    /// traces; predicate work shows up inside the enclosing step's span.
+    in_steps: std::cell::Cell<bool>,
 }
 
 impl Default for EvalCaches<'_> {
@@ -135,6 +143,8 @@ impl Default for EvalCaches<'_> {
         EvalCaches {
             refs: std::cell::OnceCell::new(),
             idx: IndexSlot::Lazy(Box::new(std::cell::OnceCell::new())),
+            trace: None,
+            in_steps: std::cell::Cell::new(false),
         }
     }
 }
@@ -142,8 +152,8 @@ impl Default for EvalCaches<'_> {
 impl<'d> EvalCaches<'d> {
     fn with_index(idx: &'d DocIndex) -> Self {
         EvalCaches {
-            refs: std::cell::OnceCell::new(),
             idx: IndexSlot::Borrowed(idx),
+            ..EvalCaches::default()
         }
     }
 
@@ -181,6 +191,26 @@ pub fn evaluate(doc: &Document, expr: &Expr) -> Result<XValue> {
 /// identical to [`evaluate`]'s.
 pub fn evaluate_with_index(doc: &Document, expr: &Expr, idx: &DocIndex) -> Result<XValue> {
     eval_with_caches(doc, expr, &EvalCaches::with_index(idx))
+}
+
+/// Evaluate reporting into a [`Trace`]: one `step[i:axis::test]` span per
+/// top-level location step (context sizes in and out, items drawn from
+/// postings vs axis scans) and a `fusion_hits` counter for each fused
+/// `//Name` pair. Sub-paths inside predicates are folded into their
+/// enclosing step's span. With `Trace::disabled()` this is exactly
+/// [`evaluate`] / [`evaluate_with_index`].
+pub fn evaluate_traced(
+    doc: &Document,
+    expr: &Expr,
+    idx: Option<&DocIndex>,
+    trace: &Trace,
+) -> Result<XValue> {
+    let mut caches = match idx {
+        Some(idx) => EvalCaches::with_index(idx),
+        None => EvalCaches::default(),
+    };
+    caches.trace = Some(trace);
+    eval_with_caches(doc, expr, &caches)
 }
 
 fn eval_with_caches<'d>(
@@ -399,15 +429,82 @@ fn apply_steps(
     doc: &Document,
     caches: &EvalCaches<'_>,
 ) -> Result<Vec<Item>> {
+    // Only the outermost path of a traced evaluation gets per-step spans;
+    // sub-paths inside predicates re-enter here with the latch set.
+    let trace = caches
+        .trace
+        .filter(|t| t.is_enabled() && !caches.in_steps.get());
+    let Some(trace) = trace else {
+        return apply_steps_inner(steps, start, doc, caches, None);
+    };
+    caches.in_steps.set(true);
+    let result = apply_steps_inner(steps, start, doc, caches, Some(trace));
+    caches.in_steps.set(false);
+    result
+}
+
+/// Display form of a node test for step span labels.
+fn test_label(test: &NodeTest) -> String {
+    match test {
+        NodeTest::Name(n) => n.clone(),
+        NodeTest::Any => "*".to_string(),
+        NodeTest::Text => "text()".to_string(),
+        NodeTest::Comment => "comment()".to_string(),
+        NodeTest::Node => "node()".to_string(),
+    }
+}
+
+fn apply_steps_inner(
+    steps: &[Step],
+    start: Vec<Item>,
+    doc: &Document,
+    caches: &EvalCaches<'_>,
+    trace: Option<&Trace>,
+) -> Result<Vec<Item>> {
     let mut current = start;
     let mut i = 0;
     while i < steps.len() {
         if let Some(name) = fused_descendant_name(steps, i) {
+            let span = trace.map(|t| {
+                let s = t.span(&format!("step[{i}:://{name}]"));
+                t.count("context_in", current.len() as u64);
+                t.count("fusion_hits", 1);
+                s
+            });
             current = descendant_named(doc, caches, &current, name);
+            if let Some(t) = trace {
+                t.count("context_out", current.len() as u64);
+            }
+            drop(span);
             i += 2;
             continue;
         }
-        current = apply_step(&steps[i], &current, doc, caches)?;
+        let step = &steps[i];
+        let span = trace.map(|t| {
+            let s = t.span(&format!(
+                "step[{i}:{}::{}]",
+                step.axis.name(),
+                test_label(&step.test)
+            ));
+            t.count("context_in", current.len() as u64);
+            s
+        });
+        let mut stats = StepStats::default();
+        let stats_ref = if trace.is_some() {
+            Some(&mut stats)
+        } else {
+            None
+        };
+        current = apply_step(step, &current, doc, caches, stats_ref)?;
+        if let Some(t) = trace {
+            t.count("context_out", current.len() as u64);
+            t.count("indexed_items", stats.indexed_items);
+            t.count("scanned_items", stats.scanned_items);
+            if !step.predicates.is_empty() {
+                t.count("predicates", step.predicates.len() as u64);
+            }
+        }
+        drop(span);
         i += 1;
     }
     Ok(current)
@@ -504,6 +601,15 @@ fn indexed_candidates(
     )
 }
 
+/// Per-step profiling counters: how many candidate items came off postings
+/// lists vs axis enumeration. Threaded as `Option` so the untraced path
+/// costs one branch per context item.
+#[derive(Debug, Default, Clone, Copy)]
+struct StepStats {
+    indexed_items: u64,
+    scanned_items: u64,
+}
+
 /// Apply one step to a node-set: per context node, enumerate the axis in
 /// axis order, filter by node test, run predicates positionally, then merge
 /// and normalise to document order.
@@ -512,14 +618,23 @@ fn apply_step(
     input: &[Item],
     doc: &Document,
     caches: &EvalCaches<'_>,
+    mut stats: Option<&mut StepStats>,
 ) -> Result<Vec<Item>> {
     let mut out: Vec<Item> = Vec::new();
     for &ctx_item in input {
         let mut candidates = match indexed_candidates(doc, caches, ctx_item, step) {
-            Some(c) => c,
+            Some(c) => {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.indexed_items += c.len() as u64;
+                }
+                c
+            }
             None => {
                 let mut c = axis_items(doc, ctx_item, step.axis);
                 c.retain(|&x| test_matches(doc, x, step.axis, &step.test));
+                if let Some(s) = stats.as_deref_mut() {
+                    s.scanned_items += c.len() as u64;
+                }
                 c
             }
         };

@@ -31,7 +31,9 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{Axis, Expr, LocationPath, NodeTest, Step};
-pub use eval::{evaluate, evaluate_with_index, select, select_with_index, Item, XValue};
+pub use eval::{
+    evaluate, evaluate_traced, evaluate_with_index, select, select_with_index, Item, XValue,
+};
 pub use parser::parse;
 
 /// Errors produced while parsing or evaluating an XPath expression.

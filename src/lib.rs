@@ -31,6 +31,7 @@ pub use gql_analyze as analyze;
 pub use gql_core as core;
 pub use gql_layout as layout;
 pub use gql_ssdm as ssdm;
+pub use gql_trace as trace;
 pub use gql_vgraph as vgraph;
 pub use gql_wglog as wglog;
 pub use gql_xmlgl as xmlgl;

@@ -1,0 +1,263 @@
+//! Exact-counter tests for the execution-profile surface.
+//!
+//! The tracing layer's counters are derived from the query and data alone
+//! (never from timing), so for a fixed input every one of them has a single
+//! correct value. These tests pin those values per engine — a failure
+//! means either the engine's algorithm changed (update the derivation in
+//! the comment) or the instrumentation drifted from what the engine
+//! actually does (a bug).
+
+use gql::core::engine::{Engine, QueryKind};
+use gql::ssdm::Document;
+use gql::trace::ProfileNode;
+
+fn profiled(query: &QueryKind, doc: &Document) -> gql::trace::ExecutionProfile {
+    Engine::new()
+        .run_profiled(query, doc)
+        .expect("query evaluates")
+        .profile
+        .expect("profiled run attaches a profile")
+}
+
+fn counter(node: &ProfileNode, name: &str) -> u64 {
+    node.counter(name)
+        .unwrap_or_else(|| panic!("counter {name} missing on span {}", node.name))
+}
+
+/// The four-document link chain `d1→d2→d3→d4` used by the WG-Log tests:
+/// 8 objects (g, 4 docs, 3 links — d4's `<mark>` child is atomic and
+/// becomes an attribute) and 10 edges (4 `doc`, 3 `link`, 3 `ref`).
+fn chain() -> Document {
+    Document::parse_str(
+        "<g>\
+           <doc id='d1'><link ref='d2'/></doc>\
+           <doc id='d2'><link ref='d3'/></doc>\
+           <doc id='d3'><link ref='d4'/></doc>\
+           <doc id='d4'><mark>end</mark></doc>\
+         </g>",
+    )
+    .unwrap()
+}
+
+/// A two-stratum WG-Log program: stratum 0 derives one `step` edge per
+/// link hop, stratum 1 selects, with negation over `step`, the documents
+/// without a self-loop (all four — the chain is acyclic). Every round and
+/// delta is pinned.
+#[test]
+fn wglog_two_stratum_profile_reports_exact_rounds_and_deltas() {
+    let doc = chain();
+    let program = gql::wglog::dsl::parse(
+        "rule { query { $a: doc  $l: link  $b: doc  $a -link-> $l  $l -ref-> $b } \
+                construct { $a -step-> $b } }\n\
+         rule { query { $a: doc  not $a -step-> $a } \
+                construct { $n: winners  $n -has-> $a } }\n\
+         goal winners",
+    )
+    .unwrap();
+    let profile = profiled(&QueryKind::WgLog(program), &doc);
+    let run = profile.find("run").unwrap();
+    assert_eq!(run.note("engine"), Some("wglog"));
+    let load = run.find("load").unwrap();
+    assert_eq!(counter(load, "objects"), 8);
+    assert_eq!(counter(load, "edges"), 10);
+
+    let eval = run.find("eval").unwrap();
+    assert_eq!(eval.note("mode"), Some("semi_naive"));
+    assert_eq!(counter(eval.find("stratify").unwrap(), "strata"), 2);
+    assert_eq!(counter(eval.find("stratify").unwrap(), "rules"), 2);
+
+    // Stratum 0: 3 link hops → 3 embeddings → 3 `step` edges in round 0,
+    // then one empty round to confirm the fixpoint.
+    let s0 = eval.find("stratum[0]").unwrap();
+    assert_eq!(counter(s0, "rounds"), 2);
+    assert_eq!(counter(s0, "stratum_rules"), 1);
+    assert_eq!(counter(s0, "edges_created"), 3);
+    assert_eq!(counter(s0, "objects_created"), 0);
+    assert_eq!(counter(s0, "instance_edges_grown"), 3);
+    let r0 = s0.find("round[0]").unwrap();
+    assert_eq!(counter(r0, "rules_run"), 1);
+    assert_eq!(counter(r0, "embeddings"), 3);
+    assert_eq!(counter(r0, "delta_edges"), 3);
+    assert_eq!(counter(r0, "delta_objects"), 0);
+    let r1 = s0.find("round[1]").unwrap();
+    assert_eq!(counter(r1, "rules_run"), 0);
+    assert_eq!(counter(r1, "delta_edges"), 0);
+
+    // Stratum 1: all 4 documents lack a `step` self-loop → 4 embeddings,
+    // one invented `winners` object and 4 `has` edges, then the empty
+    // confirming round.
+    let s1 = eval.find("stratum[1]").unwrap();
+    assert_eq!(counter(s1, "rounds"), 2);
+    assert_eq!(counter(s1, "objects_created"), 1);
+    assert_eq!(counter(s1, "edges_created"), 4);
+    let r0 = s1.find("round[0]").unwrap();
+    assert_eq!(counter(r0, "embeddings"), 4);
+    assert_eq!(counter(r0, "delta_objects"), 1);
+    assert_eq!(counter(r0, "delta_edges"), 4);
+    assert_eq!(counter(run, "results"), 1);
+}
+
+/// Semi-naive convergence on a recursive stratum: the transitive-closure
+/// composition rule over the 3-step chain needs exactly 3 rounds — 2
+/// length-2 paths, then 1 length-3 path, then the empty confirming round.
+#[test]
+fn wglog_recursive_stratum_converges_in_pinned_rounds() {
+    let doc = chain();
+    let program = gql::wglog::dsl::parse(
+        "rule { query { $a: doc  $l: link  $b: doc  $a -link-> $l  $l -ref-> $b } \
+                construct { $a -step-> $b } }\n\
+         rule { query { $a: doc  $b: doc  $a -step-> $b } construct { $a -reaches-> $b } }\n\
+         rule { query { $a: doc  $b: doc  $c: doc  $a -reaches-> $b  $b -step-> $c } \
+                construct { $a -reaches-> $c } }\n\
+         rule { query { $a: doc  not $a -reaches-> $a } \
+                construct { $n: winners  $n -has-> $a } }\n\
+         goal winners",
+    )
+    .unwrap();
+    let profile = profiled(&QueryKind::WgLog(program), &doc);
+    let eval = profile.find("eval").unwrap();
+    // The stratifier orders by dependency, one rule per stratum here:
+    // step → reaches-copy → reaches-compose → negation.
+    assert_eq!(counter(eval.find("stratify").unwrap(), "strata"), 4);
+    let compose = eval.find("stratum[2]").unwrap();
+    assert_eq!(counter(compose, "rounds"), 3);
+    let deltas: Vec<u64> = (0..3)
+        .map(|i| counter(compose.find(&format!("round[{i}]")).unwrap(), "delta_edges"))
+        .collect();
+    assert_eq!(deltas, vec![2, 1, 0]);
+    // Full closure of the 4-chain: 3 length-1 (stratum 1) + 2 length-2 +
+    // 1 length-3 (stratum 2) `reaches` edges.
+    assert_eq!(
+        counter(eval.find("stratum[1]").unwrap(), "edges_created"),
+        3
+    );
+    assert_eq!(counter(compose, "edges_created"), 3);
+}
+
+/// An XML-GL join over a document sized by hand: the profile must report
+/// the exact per-query-node candidate sets, hash-join probe counts and
+/// binding totals.
+#[test]
+fn xmlgl_profile_reports_exact_candidates_and_join_counters() {
+    // 3 `a` elements (texts t, t, u) and 2 `b` elements (texts t, x):
+    // joining a-text against b-text on equality yields exactly the two
+    // (a=t, b=t) pairs.
+    let doc = Document::parse_str("<r><a>t</a><a>t</a><a>u</a><b>t</b><b>x</b></r>").unwrap();
+    let program = gql::xmlgl::dsl::parse(
+        "rule { extract { a as $p { text as $x }  b as $q { text as $y } \
+                join $x == $y } construct { out { all $p } } }",
+    )
+    .unwrap();
+    let profile = profiled(&QueryKind::XmlGl(program), &doc);
+    let run = profile.find("run").unwrap();
+    assert_eq!(run.note("engine"), Some("xmlgl"));
+
+    let m = run.find("match").unwrap();
+    assert_eq!(m.note("path"), Some("indexed"));
+    assert_eq!(counter(m, "bindings"), 2);
+    // Candidate sets: 3 `a` roots each with 1 text child considered, and
+    // 2 `b` roots likewise.
+    assert_eq!(counter(m.find("root[0:a]").unwrap(), "root_candidates"), 3);
+    assert_eq!(counter(m.find("root[1:b]").unwrap(), "root_candidates"), 2);
+    // The combine step hash-joins 3 left rows against 2 right rows: one
+    // probe per left row, and the t-bucket holds one right row matched by
+    // two left rows.
+    let combine = m.find("combine[1]").unwrap();
+    assert_eq!(combine.note("kind"), Some("hash_join"));
+    assert_eq!(counter(combine, "left_rows"), 3);
+    assert_eq!(counter(combine, "right_rows"), 2);
+    assert_eq!(counter(combine, "probes"), 3);
+    assert_eq!(counter(combine, "hash_matches"), 2);
+    assert_eq!(counter(combine, "collision_rejects"), 0);
+    assert_eq!(counter(combine, "out_rows"), 2);
+
+    let construct = run.find("construct").unwrap();
+    assert_eq!(counter(construct, "bindings_in"), 2);
+}
+
+/// An XPath location path over a fixed tree: the profile must report the
+/// exact context sizes flowing between steps, and the postings-fusion hit
+/// for a `//name` prefix.
+#[test]
+fn xpath_profile_reports_exact_context_sizes() {
+    let doc = Document::parse_str("<r><a><b>1</b><b>2</b></a><a><b>3</b></a><c><b>4</b></c></r>")
+        .unwrap();
+
+    // Explicit child steps, no fusion: every context size is pinned.
+    let profile = profiled(&QueryKind::XPath("/r/a/b".to_string()), &doc);
+    let run = profile.find("run").unwrap();
+    assert_eq!(run.note("engine"), Some("xpath"));
+    let eval = run.find("eval").unwrap();
+    let step0 = eval.find("step[0:child::r]").unwrap();
+    assert_eq!(counter(step0, "context_in"), 1);
+    assert_eq!(counter(step0, "context_out"), 1);
+    assert_eq!(counter(step0, "scanned_items"), 1);
+    let step1 = eval.find("step[1:child::a]").unwrap();
+    assert_eq!(counter(step1, "context_in"), 1);
+    assert_eq!(counter(step1, "context_out"), 2);
+    let step2 = eval.find("step[2:child::b]").unwrap();
+    assert_eq!(counter(step2, "context_in"), 2);
+    assert_eq!(counter(step2, "context_out"), 3);
+    assert_eq!(counter(step2, "scanned_items"), 3);
+    assert_eq!(counter(run, "results"), 3);
+
+    // A `//a` prefix fuses `descendant-or-self::node()/child::a` into one
+    // step (the span keeps the original step numbering, hence the jump
+    // from step 0 to step 2).
+    let profile = profiled(&QueryKind::XPath("//a/b".to_string()), &doc);
+    let eval = profile.find("eval").unwrap();
+    let fused = eval.find("step[0:://a]").unwrap();
+    assert_eq!(counter(fused, "fusion_hits"), 1);
+    assert_eq!(counter(fused, "context_in"), 1);
+    assert_eq!(counter(fused, "context_out"), 2);
+    let tail = eval.find("step[2:child::b]").unwrap();
+    assert_eq!(counter(tail, "context_in"), 2);
+    assert_eq!(counter(tail, "context_out"), 3);
+
+    // Warm engine: same shape, and the index phase reports the cache hit
+    // with the index's size counters.
+    let mut engine = Engine::new();
+    engine.preload(&doc);
+    let warm = engine
+        .run_profiled(&QueryKind::XPath("//a/b".to_string()), &doc)
+        .unwrap()
+        .profile
+        .unwrap();
+    let run = warm.find("run").unwrap();
+    let index = run.find("index").unwrap();
+    assert_eq!(index.note("cache"), Some("hit"));
+    assert_eq!(counter(index, "distinct_tags"), 4); // r a b c
+    assert_eq!(
+        counter(
+            run.find("eval").unwrap().find("step[0:://a]").unwrap(),
+            "fusion_hits"
+        ),
+        1
+    );
+    assert_eq!(counter(run, "results"), 3);
+}
+
+/// The rendered surfaces stay in sync with the tree: every span name in
+/// the text tree also appears in the JSON and in the duration-free shape,
+/// and the shape is identical across runs (it would not be if durations
+/// leaked into it).
+#[test]
+fn rendered_profiles_agree_across_formats() {
+    let doc = Document::parse_str("<r><a>x</a><a>y</a></r>").unwrap();
+    let q = QueryKind::XPath("//a".to_string());
+    let profile = profiled(&q, &doc);
+    let text = profile.to_text();
+    let json = profile.to_json();
+    let shape = profile.shape();
+    for name in ["run", "analyze", "parse", "eval", "construct"] {
+        assert!(text.contains(name), "{name} missing from text:\n{text}");
+        assert!(
+            json.contains(&format!("\"name\":\"{name}\"")),
+            "{name} missing from json:\n{json}"
+        );
+        assert!(shape.contains(name), "{name} missing from shape:\n{shape}");
+    }
+    // Two profiled runs of the same query have the same shape — the
+    // durations (which differ run to run) must not leak into it.
+    assert_eq!(profiled(&q, &doc).shape(), shape);
+}

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable profile emitted by `gql-prof --json`.
+
+The profile schema is deliberately small and stable; CI pipes the output of
+two example queries through this script so a field rename, a type change or
+a missing phase span breaks the build rather than downstream tooling.
+
+Shape (recursive):
+
+    {"spans": [SPAN, ...]}
+    SPAN = {"name": str,            # span label, e.g. "run", "stratum[0]"
+            "nanos": int >= 0,      # wall-clock duration
+            "counters": {str: int}, # typed counters, e.g. "results": 1
+            "notes": {str: str},    # key=value annotations, e.g. "cache"
+            "children": [SPAN, ...]}
+
+Usage:
+    check_profile_json.py FILE [--engine NAME] [--require SPAN ...]
+
+    FILE            profile JSON ("-" reads stdin)
+    --engine NAME   assert the root "run" span carries notes.engine == NAME
+    --require SPAN  assert a span with this name exists somewhere in the
+                    tree (repeatable)
+
+Exit status: 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+SPAN_KEYS = {"name", "nanos", "counters", "notes", "children"}
+
+
+def fail(msg):
+    print(f"check_profile_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_span(span, path):
+    if not isinstance(span, dict):
+        fail(f"{path}: span is {type(span).__name__}, expected object")
+    extra = set(span) - SPAN_KEYS
+    missing = SPAN_KEYS - set(span)
+    if extra or missing:
+        fail(f"{path}: bad span keys (missing {sorted(missing)}, extra {sorted(extra)})")
+    name = span["name"]
+    if not isinstance(name, str) or not name:
+        fail(f"{path}: name must be a non-empty string")
+    here = f"{path}/{name}"
+    if not isinstance(span["nanos"], int) or span["nanos"] < 0:
+        fail(f"{here}: nanos must be a non-negative integer")
+    for key, value in span["counters"].items():
+        if not isinstance(key, str) or not isinstance(value, int) or value < 0:
+            fail(f"{here}: counter {key!r} must map str -> non-negative int")
+    for key, value in span["notes"].items():
+        if not isinstance(key, str) or not isinstance(value, str):
+            fail(f"{here}: note {key!r} must map str -> str")
+    if not isinstance(span["children"], list):
+        fail(f"{here}: children must be an array")
+    for child in span["children"]:
+        check_span(child, here)
+
+
+def span_names(span):
+    yield span["name"]
+    for child in span["children"]:
+        yield from span_names(child)
+
+
+def main(argv):
+    args = argv[1:]
+    if not args:
+        fail("usage: check_profile_json.py FILE [--engine NAME] [--require SPAN ...]")
+    source = args.pop(0)
+    engine = None
+    required = []
+    while args:
+        flag = args.pop(0)
+        if flag == "--engine" and args:
+            engine = args.pop(0)
+        elif flag == "--require" and args:
+            required.append(args.pop(0))
+        else:
+            fail(f"unknown or incomplete argument {flag!r}")
+
+    text = sys.stdin.read() if source == "-" else open(source, encoding="utf-8").read()
+    try:
+        profile = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+
+    if not isinstance(profile, dict) or set(profile) != {"spans"}:
+        fail('top level must be exactly {"spans": [...]}')
+    roots = profile["spans"]
+    if not isinstance(roots, list) or not roots:
+        fail("spans must be a non-empty array")
+    for root in roots:
+        check_span(root, "")
+
+    run = roots[0]
+    if run["name"] != "run":
+        fail(f'first root span is {run["name"]!r}, expected "run"')
+    if engine is not None and run["notes"].get("engine") != engine:
+        fail(f'run span reports engine={run["notes"].get("engine")!r}, expected {engine!r}')
+
+    names = {name for root in roots for name in span_names(root)}
+    for want in required:
+        if want not in names:
+            fail(f"required span {want!r} not found (have: {', '.join(sorted(names))})")
+
+    print(f"ok: {len(names)} distinct spans" + (f", engine={engine}" if engine else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
