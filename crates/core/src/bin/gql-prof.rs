@@ -12,18 +12,26 @@
 //!                    before the profiled run, so the profile shows the
 //!                    warm-cache phases
 //!   --json           emit the profile as JSON instead of the text tree
+//!   --timeout-ms N   abort the run after N milliseconds of wall clock
+//!   --max-rounds N   abort after N fixpoint rounds / XPath steps
+//!   --max-matches N  abort after N pattern matches / candidate items
 //! ```
 //!
 //! The text tree shows one line per span with its duration (dot-aligned),
 //! counters and notes; the JSON form mirrors it structurally and is stable
 //! for machine consumption (validated in CI against the two example
-//! queries). Exit code 2 on usage errors, 1 on engine errors.
+//! queries). The budget flags run the query through the governed entry
+//! point; a tripped budget prints the partial-progress report and exits 3.
+//! Exit code 2 on usage errors, 1 on engine errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use gql_core::engine::{Engine, QueryKind};
+use gql_core::{Budget, CoreError};
+use gql_guard::Guard;
 use gql_ssdm::{generator, Document};
+use gql_trace::Trace;
 
 struct Options {
     query: Option<PathBuf>,
@@ -32,11 +40,27 @@ struct Options {
     dataset: Option<String>,
     warm: bool,
     json: bool,
+    timeout_ms: Option<u64>,
+    max_rounds: Option<u64>,
+    max_matches: Option<u64>,
 }
 
 fn usage() -> &'static str {
     "Usage: gql-prof [--doc FILE | --dataset NAME] [--warm] [--json] \
+     [--timeout-ms N] [--max-rounds N] [--max-matches N] \
      (--query FILE | --xpath EXPR)"
+}
+
+/// Parse a budget flag's value: a *positive* integer. Zero is rejected —
+/// a zero-round or zero-millisecond "budget" can never admit any run and
+/// is always a typo, not an intent.
+fn parse_limit(value: Option<&String>, flag: &str) -> Result<u64, String> {
+    let v = value.ok_or_else(|| format!("{flag} needs a positive integer argument"))?;
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        Ok(_) => Err(format!("{flag} must be at least 1, got 0")),
+        Err(_) => Err(format!("{flag} needs a positive integer, got '{v}'")),
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -47,6 +71,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         dataset: None,
         warm: false,
         json: false,
+        timeout_ms: None,
+        max_rounds: None,
+        max_matches: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -69,6 +96,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--warm" => opts.warm = true,
             "--json" => opts.json = true,
+            "--timeout-ms" => opts.timeout_ms = Some(parse_limit(it.next(), "--timeout-ms")?),
+            "--max-rounds" => opts.max_rounds = Some(parse_limit(it.next(), "--max-rounds")?),
+            "--max-matches" => opts.max_matches = Some(parse_limit(it.next(), "--max-matches")?),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -146,8 +176,40 @@ fn main() -> ExitCode {
     if opts.warm {
         engine.preload(&doc);
     }
-    let outcome = match engine.run_profiled(&query, &doc) {
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = opts.timeout_ms {
+        budget = budget.with_timeout_ms(ms);
+    }
+    if let Some(n) = opts.max_rounds {
+        budget = budget.with_max_rounds(n);
+    }
+    if let Some(n) = opts.max_matches {
+        budget = budget.with_max_matches(n);
+    }
+    let outcome = if budget.is_unlimited() {
+        engine.run_profiled(&query, &doc)
+    } else {
+        // Profile *and* govern: the guard probes sit at the same sites the
+        // trace instruments, so a tripped run still yields a partial tree.
+        let trace = Trace::profiling();
+        let guard = Guard::new(budget);
+        engine
+            .run_governed(&query, &doc, &trace, &guard)
+            .map(|mut o| {
+                o.profile = trace.finish();
+                o
+            })
+    };
+    let outcome = match outcome {
         Ok(o) => o,
+        Err(CoreError::Budget(g)) => {
+            eprintln!(
+                "gql-prof: budget exceeded ({}): {}",
+                g.kind.name(),
+                g.report.to_text()
+            );
+            return ExitCode::from(3);
+        }
         Err(e) => {
             eprintln!("gql-prof: {e}");
             return ExitCode::FAILURE;

@@ -8,6 +8,7 @@
 
 use std::time::{Duration, Instant};
 
+use gql_guard::{fault, Budget, Guard};
 use gql_ssdm::{shallow_fingerprint, DocIndex, Document};
 use gql_trace::{ExecutionProfile, Trace};
 use gql_wglog::instance::Instance;
@@ -145,6 +146,41 @@ impl Engine {
         }
     }
 
+    /// Resolve the [`DocIndex`] for a tree-native run: the resident index on
+    /// a cache hit, otherwise a fresh build parked in `storage`. Returns
+    /// `None` — the scan-evaluation degradation target — when the
+    /// fault-injection seam fails the build outright, or when it corrupts
+    /// the fresh build's postings and the integrity check rejects them. The
+    /// integrity verification is O(index size), so it is only armed while a
+    /// fault plan is active; a `degraded: scan` trace note records either
+    /// fallback.
+    fn resolve_index<'a>(
+        &'a self,
+        doc: &Document,
+        trace: &Trace,
+        storage: &'a mut Option<DocIndex>,
+    ) -> Option<&'a DocIndex> {
+        if fault::active() && fault::fail_index_build() {
+            trace.note("degraded", "scan");
+            return None;
+        }
+        let idx: &'a DocIndex = match self.resident_index_for(doc) {
+            Some(idx) => idx,
+            None => {
+                let mut fresh = DocIndex::build(doc);
+                if fault::active() && fault::corrupt_postings() {
+                    fresh.corrupt_for_test();
+                }
+                storage.insert(fresh)
+            }
+        };
+        if fault::active() && !idx.is_intact() {
+            trace.note("degraded", "scan");
+            return None;
+        }
+        Some(idx)
+    }
+
     /// Run a query against a document.
     pub fn run(&self, query: &QueryKind, doc: &Document) -> Result<RunOutcome> {
         self.run_with_trace(query, doc, &Trace::disabled())
@@ -170,6 +206,34 @@ impl Engine {
         doc: &Document,
         trace: &Trace,
     ) -> Result<RunOutcome> {
+        self.run_governed(query, doc, trace, &Guard::unlimited())
+    }
+
+    /// Run a query under a resource [`Budget`]: identical output to
+    /// [`Engine::run`] while every limit holds; the first limit that trips
+    /// aborts the run with [`CoreError::Budget`] carrying a partial-progress
+    /// report (phase reached, rounds/matches/nodes so far) — never a
+    /// truncated answer.
+    pub fn run_bounded(
+        &self,
+        query: &QueryKind,
+        doc: &Document,
+        budget: &Budget,
+    ) -> Result<RunOutcome> {
+        self.run_governed(query, doc, &Trace::disabled(), &Guard::new(budget.clone()))
+    }
+
+    /// The fully governed entry point: a caller-supplied [`Trace`] *and*
+    /// [`Guard`] (pass [`Guard::with_cancel`] to attach a cooperative
+    /// [`CancelToken`](gql_guard::CancelToken)). With `Guard::unlimited()`
+    /// this is exactly [`Engine::run_with_trace`].
+    pub fn run_governed(
+        &self,
+        query: &QueryKind,
+        doc: &Document,
+        trace: &Trace,
+        guard: &Guard,
+    ) -> Result<RunOutcome> {
         let _run = trace.span("run");
         if trace.is_enabled() {
             trace.note(
@@ -184,7 +248,9 @@ impl Engine {
         }
         {
             let _s = trace.span("analyze");
+            guard.set_phase("analyze");
             Self::reject_errors(query)?;
+            guard.checkpoint().map_err(CoreError::Budget)?;
         }
         match query {
             QueryKind::XmlGl(program) => {
@@ -192,24 +258,21 @@ impl Engine {
                 // Resolve the index up front (the cold path built it inside
                 // `eval::run` before tracing existed — building it here is
                 // semantically identical and gives the build its own span).
-                let built;
+                let mut built = None;
                 let span = trace.span("index");
+                guard.set_phase("index");
                 trace.note("cache", self.index_cache_state(doc));
-                let idx = match self.resident_index_for(doc) {
-                    Some(idx) => idx,
-                    None => {
-                        built = DocIndex::build(doc);
-                        &built
-                    }
-                };
-                if trace.is_enabled() {
+                let idx = self.resolve_index(doc, trace, &mut built);
+                if let (true, Some(idx)) = (trace.is_enabled(), idx) {
                     record_index_stats(trace, idx);
                 }
                 drop(span);
+                guard.checkpoint().map_err(CoreError::Budget)?;
+                guard.set_phase("eval");
                 let output = {
                     let _s = trace.span("eval");
-                    gql_xmlgl::eval::run_traced(program, doc, idx, trace)
-                        .map_err(|e| CoreError::Engine { msg: e.to_string() })?
+                    gql_xmlgl::eval::run_guarded(program, doc, idx, trace, guard)
+                        .map_err(engine_err_xmlgl)?
                 };
                 let eval_time = start.elapsed();
                 let result_count = output.children(output.root()).len();
@@ -228,6 +291,7 @@ impl Engine {
                 // `None` placeholder keeps the borrow alive past the match
                 let mut loaded = None;
                 let span = trace.span("load");
+                guard.set_phase("load");
                 let (instance, load_time): (&Instance, Duration) = match &self.resident_instance {
                     Some(db) => {
                         trace.note("cache", "hit");
@@ -245,20 +309,24 @@ impl Engine {
                     trace.count("edges", instance.edge_count() as u64);
                 }
                 drop(span);
+                guard.checkpoint().map_err(CoreError::Budget)?;
+                guard.set_phase("eval");
                 let start = Instant::now();
                 let result = {
                     let _s = trace.span("eval");
-                    gql_wglog::eval::run_traced(
+                    gql_wglog::eval::run_guarded(
                         program,
                         instance,
                         gql_wglog::eval::FixpointMode::SemiNaive,
                         trace,
+                        guard,
                     )
                     .map(|(db, _)| db)
-                    .map_err(|e| CoreError::Engine { msg: e.to_string() })?
+                    .map_err(engine_err_wglog)?
                 };
                 let eval_time = start.elapsed();
                 let span = trace.span("construct");
+                guard.set_phase("construct");
                 let goal = program.goal.clone().unwrap_or_else(|| "answer".to_string());
                 let goal_objects = result.objects_of_type(&goal);
                 let output = result.to_document("answer", &goal, 2);
@@ -267,6 +335,7 @@ impl Engine {
                     trace.count("nodes_built", output.node_count() as u64);
                 }
                 drop(span);
+                guard.checkpoint().map_err(CoreError::Budget)?;
                 trace.count("results", goal_objects.len() as u64);
                 Ok(RunOutcome {
                     output,
@@ -279,23 +348,43 @@ impl Engine {
             QueryKind::XPath(expr) => {
                 let parsed = {
                     let _s = trace.span("parse");
+                    guard.set_phase("parse");
                     gql_xpath::parse(expr).map_err(|e| CoreError::Engine { msg: e.to_string() })?
                 };
                 let start = Instant::now();
                 let span = trace.span("index");
+                guard.set_phase("index");
                 trace.note("cache", self.index_cache_state(doc));
-                let idx = self.resident_index_for(doc);
+                // The XPath evaluator builds its own index lazily on the cold
+                // path, so the fault seam must force scan *mode* (which also
+                // suppresses the lazy build), not just withhold the resident
+                // index.
+                let scan_only =
+                    fault::active() && (fault::fail_index_build() || fault::corrupt_postings());
+                let idx = if scan_only {
+                    trace.note("degraded", "scan");
+                    None
+                } else {
+                    self.resident_index_for(doc)
+                };
                 if let (true, Some(idx)) = (trace.is_enabled(), idx) {
                     record_index_stats(trace, idx);
                 }
                 drop(span);
+                guard.checkpoint().map_err(CoreError::Budget)?;
+                guard.set_phase("eval");
                 let value = {
                     let _s = trace.span("eval");
-                    gql_xpath::evaluate_traced(doc, &parsed, idx, trace)
-                        .map_err(|e| CoreError::Engine { msg: e.to_string() })?
+                    if scan_only {
+                        gql_xpath::evaluate_scan_guarded(doc, &parsed, trace, guard)
+                    } else {
+                        gql_xpath::evaluate_guarded(doc, &parsed, idx, trace, guard)
+                    }
+                    .map_err(engine_err_xpath)?
                 };
                 let eval_time = start.elapsed();
                 let span = trace.span("construct");
+                guard.set_phase("construct");
                 let mut output = Document::new();
                 let root = output.add_element(output.root(), "answer");
                 let count;
@@ -324,6 +413,7 @@ impl Engine {
                     trace.count("nodes_built", output.node_count() as u64);
                 }
                 drop(span);
+                guard.checkpoint().map_err(CoreError::Budget)?;
                 trace.count("results", count as u64);
                 Ok(RunOutcome {
                     output,
@@ -334,6 +424,30 @@ impl Engine {
                 })
             }
         }
+    }
+}
+
+/// Map an XML-GL error to the core taxonomy, preserving budget trips.
+fn engine_err_xmlgl(e: gql_xmlgl::XmlGlError) -> CoreError {
+    match e {
+        gql_xmlgl::XmlGlError::Budget(g) => CoreError::Budget(g),
+        e => CoreError::Engine { msg: e.to_string() },
+    }
+}
+
+/// Map a WG-Log error to the core taxonomy, preserving budget trips.
+fn engine_err_wglog(e: gql_wglog::WgLogError) -> CoreError {
+    match e {
+        gql_wglog::WgLogError::Budget(g) => CoreError::Budget(g),
+        e => CoreError::Engine { msg: e.to_string() },
+    }
+}
+
+/// Map an XPath error to the core taxonomy, preserving budget trips.
+fn engine_err_xpath(e: gql_xpath::XPathError) -> CoreError {
+    match e {
+        gql_xpath::XPathError::Budget(g) => CoreError::Budget(g),
+        e => CoreError::Engine { msg: e.to_string() },
     }
 }
 
@@ -585,6 +699,92 @@ mod tests {
         let missed = engine.run_profiled(&q, &other).unwrap().profile.unwrap();
         let idx = missed.find("run").unwrap().find("index").unwrap();
         assert_eq!(idx.note("cache"), Some("miss"));
+    }
+
+    #[test]
+    fn run_bounded_with_unlimited_budget_matches_run() {
+        let d = doc();
+        let engine = Engine::new();
+        for q in equivalent_queries() {
+            let plain = engine.run(&q, &d).unwrap();
+            let bounded = engine.run_bounded(&q, &d, &Budget::unlimited()).unwrap();
+            assert_eq!(
+                plain.output.to_xml_string(),
+                bounded.output.to_xml_string(),
+                "an unlimited budget changed the result for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_bounded_trips_cleanly_with_partial_report() {
+        let d = doc();
+        let engine = Engine::new();
+        // max_matches(0): the first charged candidate set trips in every
+        // engine; the report must name the phase and carry counters.
+        let budget = Budget::unlimited().with_max_matches(0);
+        for q in equivalent_queries() {
+            let err = engine.run_bounded(&q, &d, &budget).unwrap_err();
+            let CoreError::Budget(g) = err else {
+                panic!("expected Budget error for {q:?}, got {err:?}");
+            };
+            assert_eq!(g.kind.name(), "matches", "{q:?}");
+            assert_eq!(g.report.phase, "eval", "{q:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_token_aborts_a_run() {
+        let d = doc();
+        let engine = Engine::new();
+        let token = gql_guard::CancelToken::new();
+        token.cancel(); // cancelled before the run even starts
+        let guard = Guard::with_cancel(Budget::unlimited(), token);
+        let q = QueryKind::XPath("//restaurant[menu]".to_string());
+        let err = engine
+            .run_governed(&q, &d, &Trace::disabled(), &guard)
+            .unwrap_err();
+        let CoreError::Budget(g) = err else {
+            panic!("expected Budget error, got {err:?}");
+        };
+        assert_eq!(g.kind.name(), "cancelled");
+    }
+
+    #[test]
+    fn failed_index_build_degrades_to_scan_with_identical_answers() {
+        let d = doc();
+        let engine = Engine::new();
+        for q in equivalent_queries() {
+            let baseline = engine.run(&q, &d).unwrap().output.to_xml_string();
+            let degraded = fault::with_plan(fault::FaultPlan::fail_index_build(), || {
+                let trace = Trace::profiling();
+                let out = engine
+                    .run_governed(&q, &d, &trace, &Guard::unlimited())
+                    .unwrap();
+                (out.output.to_xml_string(), trace.finish().unwrap())
+            });
+            assert_eq!(baseline, degraded.0, "scan fallback changed {q:?}");
+            if !matches!(q, QueryKind::WgLog(_)) {
+                let idx = degraded.1.find("run").unwrap().find("index").unwrap();
+                assert_eq!(idx.note("degraded"), Some("scan"), "{q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_postings_are_rejected_and_fall_back_to_scan() {
+        let d = doc();
+        let engine = Engine::new();
+        for q in equivalent_queries() {
+            let baseline = engine.run(&q, &d).unwrap().output.to_xml_string();
+            let degraded = fault::with_plan(fault::FaultPlan::corrupt_postings(), || {
+                engine.run(&q, &d).unwrap().output.to_xml_string()
+            });
+            assert_eq!(
+                baseline, degraded,
+                "corrupt-postings fallback changed {q:?}"
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod translate;
 
 pub use capability::{Feature, LanguageProfile};
 pub use engine::{Engine, QueryKind};
+pub use gql_guard::{Budget, CancelToken, GuardError};
 
 /// Errors of the unified layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +50,10 @@ pub enum CoreError {
     Rejected {
         diagnostics: Vec<gql_ssdm::Diagnostic>,
     },
+    /// A resource budget tripped during a bounded run
+    /// ([`Engine::run_bounded`]); carries the structured partial-progress
+    /// report instead of a wrong or truncated answer.
+    Budget(gql_guard::GuardError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -71,6 +76,7 @@ impl std::fmt::Display for CoreError {
                 }
                 Ok(())
             }
+            CoreError::Budget(e) => write!(f, "{e}"),
         }
     }
 }

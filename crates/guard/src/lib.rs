@@ -1,0 +1,793 @@
+//! Resource governance for the gql engines.
+//!
+//! A [`Budget`] bounds a single evaluation: wall-clock deadline, fixpoint
+//! round cap, match/instance-count cap, arena-node cap and parallel-worker
+//! cap. A [`Guard`] carries the budget through an evaluation and is probed
+//! at the same sites the trace layer instruments (per fixpoint round and
+//! delta, per candidate expansion and join batch, per XPath step, per engine
+//! phase). Exceeding any limit *trips* the guard: probe calls start
+//! returning `false`, deep loops unwind cooperatively by returning truncated
+//! partial results, and the nearest `Result`-returning caller converts the
+//! trip into a structured [`GuardError`] via [`Guard::checkpoint`]. The
+//! error carries a [`ProgressReport`] — phase reached, rounds completed,
+//! counts so far — instead of a panic or an unbounded spin.
+//!
+//! The design mirrors `gql_trace::Trace`: [`Guard::unlimited`] is a `const
+//! fn` whose probes compile to a single `Option` discriminant branch, so
+//! production paths that never set a budget pay (near) nothing. The
+//! `benches/guard.rs` overhead bench holds this to the same <2% bound as the
+//! trace layer.
+//!
+//! The [`fault`] module is the test-only injection seam driving the
+//! degradation ladder (indexed → scan, parallel → sequential): the testkit
+//! installs a [`fault::FaultPlan`] and the engines consult it at the exact
+//! boundaries where real faults would surface.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Resource limits for one evaluation. All limits are optional; an
+/// unlimited budget never trips. Budgets are plain data — attach one to an
+/// evaluation with [`Guard::new`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline, measured from `Guard::new`.
+    pub timeout: Option<Duration>,
+    /// Cap on fixpoint rounds (WG-Log) / step iterations charged via
+    /// [`Guard::charge_rounds`].
+    pub max_rounds: Option<u64>,
+    /// Cap on matches / bindings / context items charged via
+    /// [`Guard::charge_matches`]. Intermediate partial rows count too: this
+    /// is a work cap, not an exact result-cardinality cap.
+    pub max_matches: Option<u64>,
+    /// Cap on arena nodes / instance objects+edges created, charged via
+    /// [`Guard::charge_nodes`].
+    pub max_nodes: Option<u64>,
+    /// Cap on parallel matcher workers (see [`Guard::cap_workers`]).
+    pub max_workers: Option<usize>,
+}
+
+impl Budget {
+    /// A budget with no limits. `Guard::new(Budget::unlimited())` still
+    /// counts probes (useful for overhead measurement) but never trips.
+    pub const fn unlimited() -> Budget {
+        Budget {
+            timeout: None,
+            max_rounds: None,
+            max_matches: None,
+            max_nodes: None,
+            max_workers: None,
+        }
+    }
+
+    /// True if no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout.is_none()
+            && self.max_rounds.is_none()
+            && self.max_matches.is_none()
+            && self.max_nodes.is_none()
+            && self.max_workers.is_none()
+    }
+
+    pub fn with_timeout(mut self, d: Duration) -> Budget {
+        self.timeout = Some(d);
+        self
+    }
+
+    pub fn with_timeout_ms(self, ms: u64) -> Budget {
+        self.with_timeout(Duration::from_millis(ms))
+    }
+
+    pub fn with_max_rounds(mut self, n: u64) -> Budget {
+        self.max_rounds = Some(n);
+        self
+    }
+
+    pub fn with_max_matches(mut self, n: u64) -> Budget {
+        self.max_matches = Some(n);
+        self
+    }
+
+    pub fn with_max_nodes(mut self, n: u64) -> Budget {
+        self.max_nodes = Some(n);
+        self
+    }
+
+    pub fn with_max_workers(mut self, n: usize) -> Budget {
+        self.max_workers = Some(n);
+        self
+    }
+}
+
+/// Cooperative cancellation handle. Clone it, hand one clone to the caller
+/// and attach the other to a guard via [`Guard::with_cancel`]; the next
+/// probe after [`CancelToken::cancel`] trips the guard.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Which limit tripped the guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// Wall-clock deadline exceeded.
+    Timeout,
+    /// The attached [`CancelToken`] was cancelled.
+    Cancelled,
+    /// Fixpoint-round / step cap exceeded.
+    Rounds,
+    /// Match / binding / context-item cap exceeded.
+    Matches,
+    /// Arena-node / instance-growth cap exceeded.
+    Nodes,
+    /// A parallel worker panicked and the sequential retry failed too.
+    WorkerPanic,
+}
+
+impl LimitKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            LimitKind::Timeout => "timeout",
+            LimitKind::Cancelled => "cancelled",
+            LimitKind::Rounds => "rounds",
+            LimitKind::Matches => "matches",
+            LimitKind::Nodes => "nodes",
+            LimitKind::WorkerPanic => "worker-panic",
+        }
+    }
+}
+
+/// Partial-progress snapshot taken when a guard trips: how far the
+/// evaluation got. Mirrors the counters the `ExecutionProfile` carries so
+/// the two reports line up.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgressReport {
+    /// Engine phase reached (`analyze`, `index`, `load`, `parse`, `eval`,
+    /// `construct`).
+    pub phase: &'static str,
+    /// Rounds completed before the trip.
+    pub rounds: u64,
+    /// Matches / bindings / context items charged before the trip.
+    pub matches: u64,
+    /// Arena nodes / instance objects+edges charged before the trip.
+    pub nodes: u64,
+    /// Wall-clock time elapsed at the trip.
+    pub elapsed: Duration,
+}
+
+impl ProgressReport {
+    /// Deterministic rendering: everything except `elapsed`. Two runs of
+    /// the same seed under the same (time-free) budget produce identical
+    /// shapes; see the budget-boundary property tests.
+    pub fn shape(&self) -> String {
+        format!(
+            "phase={} rounds={} matches={} nodes={}",
+            self.phase, self.rounds, self.matches, self.nodes
+        )
+    }
+
+    /// Human rendering including elapsed time.
+    pub fn to_text(&self) -> String {
+        format!("{} elapsed={:?}", self.shape(), self.elapsed)
+    }
+}
+
+/// Structured "budget exceeded" error: the limit that tripped plus a
+/// partial-progress report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardError {
+    pub kind: LimitKind,
+    pub report: ProgressReport,
+}
+
+impl GuardError {
+    /// Deterministic rendering (no elapsed time); used by the determinism
+    /// oracles.
+    pub fn shape(&self) -> String {
+        format!(
+            "budget exceeded ({}): {}",
+            self.kind.name(),
+            self.report.shape()
+        )
+    }
+}
+
+impl std::fmt::Display for GuardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "budget exceeded ({}): {}",
+            self.kind.name(),
+            self.report.to_text()
+        )
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+struct Inner {
+    budget: Budget,
+    cancel: Option<CancelToken>,
+    started: Instant,
+    phase: Mutex<&'static str>,
+    rounds: AtomicU64,
+    matches: AtomicU64,
+    nodes: AtomicU64,
+    /// Total probe firings (for the overhead bench's derived bound).
+    probes: AtomicU64,
+    tripped: AtomicBool,
+    trip: Mutex<Option<GuardError>>,
+}
+
+/// Budget enforcement handle threaded through an evaluation.
+///
+/// Probe calls (`charge_*`, [`Guard::ok`]) return `bool`: `true` means
+/// "keep going", `false` means the guard tripped and the caller should
+/// unwind cooperatively (return a truncated partial result). Infallible
+/// code paths — the XML-GL matcher returns plain `Vec<Binding>` — bail on
+/// `false` and rely on the nearest `Result`-returning caller invoking
+/// [`Guard::checkpoint`], which converts the recorded trip into the
+/// [`GuardError`] and discards the truncated output.
+pub struct Guard {
+    inner: Option<Box<Inner>>,
+}
+
+impl Guard {
+    /// The no-op guard: probes are a single discriminant branch, nothing is
+    /// counted, nothing ever trips. This is the production default.
+    pub const fn unlimited() -> Guard {
+        Guard { inner: None }
+    }
+
+    /// An enabled guard enforcing `budget`. The deadline clock starts now.
+    pub fn new(budget: Budget) -> Guard {
+        Guard::build(budget, None)
+    }
+
+    /// An enabled guard that additionally trips when `cancel` fires.
+    pub fn with_cancel(budget: Budget, cancel: CancelToken) -> Guard {
+        Guard::build(budget, Some(cancel))
+    }
+
+    fn build(budget: Budget, cancel: Option<CancelToken>) -> Guard {
+        Guard {
+            inner: Some(Box::new(Inner {
+                budget,
+                cancel,
+                started: Instant::now(),
+                phase: Mutex::new(""),
+                rounds: AtomicU64::new(0),
+                matches: AtomicU64::new(0),
+                nodes: AtomicU64::new(0),
+                probes: AtomicU64::new(0),
+                tripped: AtomicBool::new(false),
+                trip: Mutex::new(None),
+            })),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record the engine phase currently running (shows up in partial
+    /// reports).
+    pub fn set_phase(&self, phase: &'static str) {
+        if let Some(inner) = &self.inner {
+            *inner.phase.lock().unwrap() = phase;
+        }
+    }
+
+    /// Charge `n` fixpoint rounds / step iterations. Returns `false` once
+    /// tripped.
+    #[inline]
+    pub fn charge_rounds(&self, n: u64) -> bool {
+        match &self.inner {
+            None => true,
+            Some(inner) => {
+                inner.charge(&inner.rounds, inner.budget.max_rounds, n, LimitKind::Rounds)
+            }
+        }
+    }
+
+    /// Charge `n` matches / bindings / context items. Returns `false` once
+    /// tripped.
+    #[inline]
+    pub fn charge_matches(&self, n: u64) -> bool {
+        match &self.inner {
+            None => true,
+            Some(inner) => inner.charge(
+                &inner.matches,
+                inner.budget.max_matches,
+                n,
+                LimitKind::Matches,
+            ),
+        }
+    }
+
+    /// Charge `n` arena nodes / instance objects+edges. Returns `false`
+    /// once tripped.
+    #[inline]
+    pub fn charge_nodes(&self, n: u64) -> bool {
+        match &self.inner {
+            None => true,
+            Some(inner) => inner.charge(&inner.nodes, inner.budget.max_nodes, n, LimitKind::Nodes),
+        }
+    }
+
+    /// Deadline / cancellation / already-tripped check without charging a
+    /// counter. Returns `false` once tripped.
+    #[inline]
+    pub fn ok(&self) -> bool {
+        match &self.inner {
+            None => true,
+            Some(inner) => {
+                inner.probes.fetch_add(1, Ordering::Relaxed);
+                !inner.tripped.load(Ordering::Relaxed) && inner.check_ambient()
+            }
+        }
+    }
+
+    /// `charge_rounds` in `Result` form for fallible call sites.
+    #[inline]
+    pub fn try_rounds(&self, n: u64) -> Result<(), GuardError> {
+        if self.charge_rounds(n) {
+            Ok(())
+        } else {
+            Err(self.error().expect("tripped guard has an error"))
+        }
+    }
+
+    /// `charge_matches` in `Result` form for fallible call sites.
+    #[inline]
+    pub fn try_matches(&self, n: u64) -> Result<(), GuardError> {
+        if self.charge_matches(n) {
+            Ok(())
+        } else {
+            Err(self.error().expect("tripped guard has an error"))
+        }
+    }
+
+    /// `charge_nodes` in `Result` form for fallible call sites.
+    #[inline]
+    pub fn try_nodes(&self, n: u64) -> Result<(), GuardError> {
+        if self.charge_nodes(n) {
+            Ok(())
+        } else {
+            Err(self.error().expect("tripped guard has an error"))
+        }
+    }
+
+    /// Convert a recorded trip into its error. Call this after running an
+    /// infallible section (the XML-GL matcher) so truncated partial results
+    /// are discarded rather than returned as answers. Also performs an
+    /// ambient (deadline / cancellation) check.
+    pub fn checkpoint(&self) -> Result<(), GuardError> {
+        match &self.inner {
+            None => Ok(()),
+            Some(inner) => {
+                inner.probes.fetch_add(1, Ordering::Relaxed);
+                if !inner.tripped.load(Ordering::Relaxed) {
+                    inner.check_ambient();
+                }
+                match self.error() {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Clamp a requested parallel worker count to the budget's
+    /// `max_workers` (at least 1).
+    pub fn cap_workers(&self, requested: usize) -> usize {
+        match &self.inner {
+            None => requested,
+            Some(inner) => match inner.budget.max_workers {
+                Some(cap) => requested.min(cap.max(1)),
+                None => requested,
+            },
+        }
+    }
+
+    /// Trip the guard from outside the counter system (e.g. a worker panic
+    /// that survived the sequential retry). No-op on the unlimited guard.
+    pub fn trip_external(&self, kind: LimitKind) {
+        if let Some(inner) = &self.inner {
+            inner.trip(kind);
+        }
+    }
+
+    /// The trip error, if the guard has tripped.
+    pub fn error(&self) -> Option<GuardError> {
+        let inner = self.inner.as_ref()?;
+        inner.trip.lock().unwrap().clone()
+    }
+
+    /// Current progress snapshot (enabled guards only).
+    pub fn report(&self) -> Option<ProgressReport> {
+        self.inner.as_ref().map(|inner| inner.snapshot())
+    }
+
+    /// Total probe firings so far (enabled guards only; the overhead bench
+    /// multiplies this by the measured disabled-probe cost).
+    pub fn probes(&self) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.probes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Inner {
+    #[inline]
+    fn charge(&self, counter: &AtomicU64, limit: Option<u64>, n: u64, kind: LimitKind) -> bool {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        if self.tripped.load(Ordering::Relaxed) {
+            return false;
+        }
+        let total = counter.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(cap) = limit {
+            if total > cap {
+                self.trip(kind);
+                return false;
+            }
+        }
+        self.check_ambient()
+    }
+
+    /// Deadline and cancellation checks (no counter charging). Returns
+    /// `false` if either tripped the guard.
+    #[inline]
+    fn check_ambient(&self) -> bool {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                self.trip(LimitKind::Cancelled);
+                return false;
+            }
+        }
+        if let Some(timeout) = self.budget.timeout {
+            if self.started.elapsed() > timeout {
+                self.trip(LimitKind::Timeout);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn trip(&self, kind: LimitKind) {
+        let mut slot = self.trip.lock().unwrap();
+        // First trip wins; later limit hits keep the original report.
+        if slot.is_none() {
+            *slot = Some(GuardError {
+                kind,
+                report: self.snapshot(),
+            });
+        }
+        self.tripped.store(true, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ProgressReport {
+        ProgressReport {
+            phase: *self.phase.lock().unwrap(),
+            rounds: self.rounds.load(Ordering::Relaxed),
+            matches: self.matches.load(Ordering::Relaxed),
+            nodes: self.nodes.load(Ordering::Relaxed),
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+pub mod fault {
+    //! Fault-injection seams for the degradation ladder.
+    //!
+    //! A [`FaultPlan`] describes which faults to inject; [`with_plan`]
+    //! installs it process-globally for the duration of a closure (plans
+    //! are serialized by a lock so concurrent tests don't interleave
+    //! plans). The engines consult the cheap [`active`] flag first — a
+    //! single relaxed atomic load — so production runs with no plan pay
+    //! one branch per seam.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Which faults to inject. All default off.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct FaultPlan {
+        /// The engine's index build "fails": it must fall back to scan
+        /// mode.
+        pub fail_index_build: bool,
+        /// A freshly built posting list is corrupted; integrity
+        /// verification must catch it and fall back to scan mode.
+        pub corrupt_postings: bool,
+        /// Parallel matcher worker `N` panics; the rule must be retried
+        /// sequentially.
+        pub panic_worker: Option<usize>,
+        /// The fixpoint stalls (sleeps [`FaultPlan::stall_ms`]) at the
+        /// start of every round `>= M`; a deadline budget must trip.
+        pub stall_round: Option<u64>,
+        /// Stall duration per round, milliseconds (default 25).
+        pub stall_ms: u64,
+    }
+
+    impl FaultPlan {
+        pub fn fail_index_build() -> FaultPlan {
+            FaultPlan {
+                fail_index_build: true,
+                ..FaultPlan::default()
+            }
+        }
+
+        pub fn corrupt_postings() -> FaultPlan {
+            FaultPlan {
+                corrupt_postings: true,
+                ..FaultPlan::default()
+            }
+        }
+
+        pub fn panic_worker(n: usize) -> FaultPlan {
+            FaultPlan {
+                panic_worker: Some(n),
+                ..FaultPlan::default()
+            }
+        }
+
+        pub fn stall_round(m: u64) -> FaultPlan {
+            FaultPlan {
+                stall_round: Some(m),
+                stall_ms: 25,
+                ..FaultPlan::default()
+            }
+        }
+    }
+
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+    fn plan_slot() -> &'static Mutex<FaultPlan> {
+        static SLOT: OnceLock<Mutex<FaultPlan>> = OnceLock::new();
+        SLOT.get_or_init(|| Mutex::new(FaultPlan::default()))
+    }
+
+    fn exclusion() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    /// Cheap "any plan installed?" check — the first gate at every seam.
+    #[inline]
+    pub fn active() -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+    }
+
+    /// Install `plan` for the duration of `f`. Plans are process-global
+    /// and serialized: concurrent callers block until the current plan is
+    /// cleared. The plan is cleared even if `f` panics.
+    pub fn with_plan<T>(plan: FaultPlan, f: impl FnOnce() -> T) -> T {
+        let _serial: MutexGuard<'_, ()> = match exclusion().lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                ACTIVE.store(false, Ordering::Relaxed);
+                match plan_slot().lock() {
+                    Ok(mut p) => *p = FaultPlan::default(),
+                    Err(poisoned) => *poisoned.into_inner() = FaultPlan::default(),
+                }
+            }
+        }
+        *plan_slot().lock().unwrap() = plan;
+        ACTIVE.store(true, Ordering::Relaxed);
+        let _reset = Reset;
+        f()
+    }
+
+    fn installed() -> FaultPlan {
+        match plan_slot().lock() {
+            Ok(p) => p.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Seam: should the index build be treated as failed?
+    #[inline]
+    pub fn fail_index_build() -> bool {
+        active() && installed().fail_index_build
+    }
+
+    /// Seam: should the freshly built posting lists be corrupted?
+    #[inline]
+    pub fn corrupt_postings() -> bool {
+        active() && installed().corrupt_postings
+    }
+
+    /// Seam: panic if this worker index is the planned victim. Called from
+    /// inside spawned matcher workers.
+    #[inline]
+    pub fn maybe_panic_worker(worker: usize) {
+        if active() && installed().panic_worker == Some(worker) {
+            panic!("injected fault: matcher worker {worker} poisoned");
+        }
+    }
+
+    /// Seam: sleep `stall_ms` if the plan stalls this round. Called at the
+    /// start of every fixpoint round.
+    #[inline]
+    pub fn maybe_stall_round(round: u64) {
+        if !active() {
+            return;
+        }
+        let plan = installed();
+        if let Some(m) = plan.stall_round {
+            if round >= m {
+                std::thread::sleep(std::time::Duration::from_millis(plan.stall_ms.max(1)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = Guard::unlimited();
+        assert!(!g.is_enabled());
+        for _ in 0..10_000 {
+            assert!(g.charge_rounds(1));
+            assert!(g.charge_matches(1_000_000));
+            assert!(g.charge_nodes(1_000_000));
+            assert!(g.ok());
+        }
+        assert!(g.checkpoint().is_ok());
+        assert!(g.error().is_none());
+        assert_eq!(g.probes(), 0);
+        assert_eq!(g.cap_workers(8), 8);
+    }
+
+    #[test]
+    fn round_cap_trips_with_report() {
+        let g = Guard::new(Budget::unlimited().with_max_rounds(3));
+        g.set_phase("eval");
+        assert!(g.charge_rounds(1));
+        assert!(g.charge_rounds(1));
+        assert!(g.charge_rounds(1));
+        assert!(!g.charge_rounds(1), "fourth round must trip");
+        assert!(!g.ok(), "tripped guard stays tripped");
+        let err = g.checkpoint().unwrap_err();
+        assert_eq!(err.kind, LimitKind::Rounds);
+        assert_eq!(err.report.phase, "eval");
+        assert_eq!(err.report.rounds, 4);
+        assert_eq!(
+            err.shape(),
+            "budget exceeded (rounds): phase=eval rounds=4 matches=0 nodes=0"
+        );
+    }
+
+    #[test]
+    fn match_and_node_caps_trip() {
+        let g = Guard::new(Budget::unlimited().with_max_matches(10));
+        assert!(g.charge_matches(10));
+        assert!(!g.charge_matches(1));
+        assert_eq!(g.error().unwrap().kind, LimitKind::Matches);
+
+        let g = Guard::new(Budget::unlimited().with_max_nodes(5));
+        assert!(!g.charge_nodes(6));
+        assert_eq!(g.error().unwrap().kind, LimitKind::Nodes);
+    }
+
+    #[test]
+    fn first_trip_wins() {
+        let g = Guard::new(Budget::unlimited().with_max_rounds(1).with_max_matches(1));
+        assert!(!g.charge_matches(2));
+        assert!(!g.charge_rounds(2));
+        assert_eq!(g.error().unwrap().kind, LimitKind::Matches);
+    }
+
+    #[test]
+    fn deadline_trips() {
+        let g = Guard::new(Budget::unlimited().with_timeout(Duration::from_millis(5)));
+        assert!(g.ok());
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(!g.ok());
+        assert_eq!(g.error().unwrap().kind, LimitKind::Timeout);
+        assert!(g.error().unwrap().report.elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn cancel_token_trips() {
+        let token = CancelToken::new();
+        let g = Guard::with_cancel(Budget::unlimited(), token.clone());
+        assert!(g.ok());
+        token.cancel();
+        assert!(!g.charge_matches(1));
+        assert_eq!(g.error().unwrap().kind, LimitKind::Cancelled);
+    }
+
+    #[test]
+    fn worker_cap_clamps() {
+        let g = Guard::new(Budget::unlimited().with_max_workers(2));
+        assert_eq!(g.cap_workers(8), 2);
+        assert_eq!(g.cap_workers(1), 1);
+        let g = Guard::new(Budget::unlimited().with_max_workers(0));
+        assert_eq!(g.cap_workers(8), 1, "zero cap still leaves one worker");
+    }
+
+    #[test]
+    fn probes_counted_when_enabled() {
+        let g = Guard::new(Budget::unlimited());
+        for _ in 0..100 {
+            g.ok();
+            g.charge_matches(1);
+        }
+        assert_eq!(g.probes(), 200);
+    }
+
+    #[test]
+    fn external_trip_reports_worker_panic() {
+        let g = Guard::new(Budget::unlimited());
+        g.set_phase("eval");
+        g.trip_external(LimitKind::WorkerPanic);
+        let err = g.checkpoint().unwrap_err();
+        assert_eq!(err.kind, LimitKind::WorkerPanic);
+        // Unlimited guards ignore external trips.
+        let u = Guard::unlimited();
+        u.trip_external(LimitKind::WorkerPanic);
+        assert!(u.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn fault_plan_installs_and_clears() {
+        assert!(!fault::active());
+        fault::with_plan(fault::FaultPlan::fail_index_build(), || {
+            assert!(fault::active());
+            assert!(fault::fail_index_build());
+            assert!(!fault::corrupt_postings());
+        });
+        assert!(!fault::active());
+        assert!(!fault::fail_index_build());
+    }
+
+    #[test]
+    fn fault_plan_clears_after_panic() {
+        let r = std::panic::catch_unwind(|| {
+            fault::with_plan(fault::FaultPlan::panic_worker(0), || {
+                fault::maybe_panic_worker(0);
+            })
+        });
+        assert!(r.is_err());
+        assert!(
+            !fault::active(),
+            "plan must clear even when the closure panics"
+        );
+    }
+
+    #[test]
+    fn report_shape_excludes_elapsed() {
+        let r = ProgressReport {
+            phase: "eval",
+            rounds: 2,
+            matches: 7,
+            nodes: 3,
+            elapsed: Duration::from_millis(123),
+        };
+        assert_eq!(r.shape(), "phase=eval rounds=2 matches=7 nodes=3");
+        assert!(r.to_text().contains("elapsed="));
+    }
+}

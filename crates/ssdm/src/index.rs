@@ -236,6 +236,12 @@ pub struct DocIndex {
     by_text_value: HashMap<Box<str>, Vec<NodeId>>,
     /// `Document::node_count()` at build time, for staleness fingerprinting.
     built_for: usize,
+    /// Checksum over the index contents, set once at the end of [`build`].
+    /// [`is_intact`](DocIndex::is_intact) recomputes and compares it, so a
+    /// posting list mutated after build (bit rot, or the fault-injection
+    /// seam's simulated corruption) is detectable before the index is trusted
+    /// for query answering.
+    checksum: u64,
 }
 
 const EMPTY: &[NodeId] = &[];
@@ -257,6 +263,7 @@ impl DocIndex {
             with_text: Vec::new(),
             by_text_value: HashMap::new(),
             built_for: n,
+            checksum: 0,
         };
 
         // Preorder pass: numbering and postings, in document order.
@@ -352,7 +359,72 @@ impl DocIndex {
             idx.end[i] = idx.pre[i] + size[i];
         }
 
+        idx.checksum = idx.compute_checksum();
         idx
+    }
+
+    /// FNV-style checksum over the numbering arrays and posting lists.
+    /// Per-list hashes are order-dependent (a reordered posting is corrupt);
+    /// the map-level accumulation is order-independent because `HashMap`
+    /// iteration order is unstable.
+    fn compute_checksum(&self) -> u64 {
+        const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        fn mix(h: u64, v: u64) -> u64 {
+            (h ^ v).wrapping_mul(PRIME)
+        }
+        fn list_hash(list: &[NodeId]) -> u64 {
+            let mut h = mix(SEED, list.len() as u64);
+            for &n in list {
+                h = mix(h, n.index() as u64 + 1);
+            }
+            h
+        }
+        let mut h = mix(SEED, self.built_for as u64);
+        for &p in &self.pre {
+            h = mix(h, p as u64);
+        }
+        for &e in &self.end {
+            h = mix(h, e as u64);
+        }
+        h = mix(h, list_hash(&self.elements));
+        h = mix(h, list_hash(&self.with_text));
+        let mut acc: u64 = 0;
+        for list in self.by_tag.values() {
+            acc = acc.wrapping_add(list_hash(list));
+        }
+        for list in self.by_attr.values() {
+            acc = acc.wrapping_add(list_hash(list).rotate_left(17));
+        }
+        for list in self.by_text_value.values() {
+            acc = acc.wrapping_add(list_hash(list).rotate_left(34));
+        }
+        mix(h, acc)
+    }
+
+    /// Does the index still match the checksum taken at build time? `false`
+    /// means a posting list or numbering array was mutated after build and
+    /// the index must not be trusted — callers degrade to scan evaluation.
+    pub fn is_intact(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+
+    /// Deliberately corrupt one posting list *without* refreshing the
+    /// checksum, so [`is_intact`](DocIndex::is_intact) reports `false`. This
+    /// backs the `corrupt_postings` fault-injection seam in integration
+    /// tests; it has no production callers.
+    pub fn corrupt_for_test(&mut self) {
+        if let Some(list) = self.by_tag.values_mut().max_by_key(|v| v.len()) {
+            if !list.is_empty() {
+                list.pop();
+                return;
+            }
+        }
+        if !self.elements.is_empty() {
+            self.elements.pop();
+            return;
+        }
+        self.built_for = self.built_for.wrapping_add(1);
     }
 
     /// Node count of the document this index was built for; a cheap
@@ -486,6 +558,32 @@ impl DocIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn integrity_checksum_detects_corruption() {
+        let doc = Document::parse_str("<r><a>x</a><a>y</a><b/></r>").unwrap();
+        let idx = DocIndex::build(&doc);
+        assert!(idx.is_intact());
+        // Clones share the checksum and stay intact.
+        let mut bad = idx.clone();
+        assert!(bad.is_intact());
+        bad.corrupt_for_test();
+        assert!(!bad.is_intact(), "corrupted posting must fail verification");
+        // The original is untouched.
+        assert!(idx.is_intact());
+    }
+
+    #[test]
+    fn corrupt_for_test_works_on_trivial_documents() {
+        // No elements at all: the fallback path must still flip the check.
+        let doc = Document::parse_str("<e/>").unwrap();
+        let mut idx = DocIndex::build(&doc);
+        for _ in 0..3 {
+            // Repeated corruption keeps the index non-intact, never panics.
+            idx.corrupt_for_test();
+            assert!(!idx.is_intact());
+        }
+    }
 
     fn fixture() -> Document {
         Document::parse_str(

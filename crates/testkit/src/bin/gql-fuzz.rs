@@ -4,7 +4,9 @@
 //! gql-fuzz run [--cases N] [--start-seed S] [--generators xmlgl,wglog,xpath,intent]
 //!              [--budget-secs T] [--corpus DIR]
 //! gql-fuzz replay --generator G --seed S [--profile]
+//!                 [--timeout-ms N] [--max-rounds N] [--max-matches N]
 //! gql-fuzz corpus [DIR]
+//! gql-fuzz faults [--seeds N] [--start-seed S] [--timeout-ms T]
 //! ```
 //!
 //! `run` executes N seeds through every selected generator's oracle
@@ -13,34 +15,57 @@
 //! appended as a `.case` file so it becomes a permanent regression test.
 //! `replay` re-runs a single `(generator, seed)` case; with `--profile` it
 //! also prints the engine's execution profile for the case, so a slow or
-//! disagreeing case can be inspected span by span. `corpus` replays a
-//! corpus directory (default `tests/corpus`). Exit status is non-zero
-//! whenever any disagreement is found.
+//! disagreeing case can be inspected span by span; with budget flags it
+//! instead runs each engine-runnable query of the case bounded and prints
+//! whether it completed or tripped cleanly. `corpus` replays a corpus
+//! directory (default `tests/corpus`). `faults` drives the seeded
+//! fault-injection sweep (every `FaultPlan` × generator × seed) under a
+//! wall-clock smoke budget — the CI degradation check. Exit status is
+//! non-zero whenever any disagreement or degradation violation is found.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use gql_core::engine::Engine;
+use gql_core::{Budget, CoreError};
 use gql_testkit::corpus::{self, CorpusCase};
+use gql_testkit::fault::{query_kinds, run_fault_matrix, smoke_budget};
 use gql_testkit::fuzz::{case_inputs, fuzz_one, profile_case, run_fuzz, Failure, Generator};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  gql-fuzz run [--cases N] [--start-seed S] [--generators a,b] \
-         [--budget-secs T] [--corpus DIR]\n  gql-fuzz replay --generator G --seed S [--profile]\n  \
-         gql-fuzz corpus [DIR]"
+         [--budget-secs T] [--corpus DIR]\n  gql-fuzz replay --generator G --seed S [--profile] \
+         [--timeout-ms N] [--max-rounds N] [--max-matches N]\n  \
+         gql-fuzz corpus [DIR]\n  gql-fuzz faults [--seeds N] [--start-seed S] [--timeout-ms T]"
     );
     std::process::exit(2);
 }
 
-fn parse_u64(args: &mut std::slice::Iter<String>, flag: &str) -> u64 {
-    match args.next().map(|v| v.parse::<u64>()) {
-        Some(Ok(v)) => v,
-        _ => {
-            eprintln!("{flag} needs an unsigned integer");
+/// Parse a flag's value as an unsigned integer; `min` rejects nonsensical
+/// magnitudes (`--cases 0` would silently test nothing, a zero budget can
+/// never admit a run). Prints the reason and exits 2 — never panics.
+fn parse_u64_at_least(args: &mut std::slice::Iter<String>, flag: &str, min: u64) -> u64 {
+    let Some(v) = args.next() else {
+        eprintln!("{flag} needs an unsigned integer argument");
+        usage();
+    };
+    match v.parse::<u64>() {
+        Ok(n) if n >= min => n,
+        Ok(n) => {
+            eprintln!("{flag} must be at least {min}, got {n}");
+            usage();
+        }
+        Err(_) => {
+            eprintln!("{flag} needs an unsigned integer, got '{v}'");
             usage();
         }
     }
+}
+
+fn parse_u64(args: &mut std::slice::Iter<String>, flag: &str) -> u64 {
+    parse_u64_at_least(args, flag, 0)
 }
 
 fn print_failure(f: &Failure) {
@@ -59,13 +84,20 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--cases" => cases = parse_u64(&mut it, "--cases"),
+            "--cases" => cases = parse_u64_at_least(&mut it, "--cases", 1),
             "--start-seed" => start_seed = parse_u64(&mut it, "--start-seed"),
             "--budget-secs" => {
-                budget = Some(Duration::from_secs(parse_u64(&mut it, "--budget-secs")))
+                budget = Some(Duration::from_secs(parse_u64_at_least(
+                    &mut it,
+                    "--budget-secs",
+                    1,
+                )))
             }
             "--generators" => {
-                let Some(list) = it.next() else { usage() };
+                let Some(list) = it.next() else {
+                    eprintln!("--generators needs a comma-separated list");
+                    usage();
+                };
                 generators = list
                     .split(',')
                     .map(|s| {
@@ -75,9 +107,22 @@ fn cmd_run(args: &[String]) -> ExitCode {
                         })
                     })
                     .collect();
+                if generators.is_empty() {
+                    eprintln!("--generators selected no generators");
+                    usage();
+                }
             }
-            "--corpus" => corpus_dir = it.next().map(PathBuf::from),
-            _ => usage(),
+            "--corpus" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--corpus needs a directory argument");
+                    usage();
+                };
+                corpus_dir = Some(PathBuf::from(dir));
+            }
+            other => {
+                eprintln!("unknown option for `run`: {other}");
+                usage();
+            }
         }
     }
     let names: Vec<&str> = generators.iter().map(|g| g.name()).collect();
@@ -125,20 +170,44 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     let mut generator = None;
     let mut seed = None;
     let mut profile = false;
+    let mut budget = Budget::unlimited();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--generator" => {
-                generator = it.next().and_then(|s| Generator::from_name(s));
+                let Some(name) = it.next() else {
+                    eprintln!("--generator needs a name argument");
+                    usage();
+                };
+                generator = Some(Generator::from_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown generator: {name}");
+                    usage();
+                }));
             }
             "--seed" => seed = Some(parse_u64(&mut it, "--seed")),
             "--profile" => profile = true,
-            _ => usage(),
+            "--timeout-ms" => {
+                budget = budget.with_timeout_ms(parse_u64_at_least(&mut it, "--timeout-ms", 1))
+            }
+            "--max-rounds" => {
+                budget = budget.with_max_rounds(parse_u64_at_least(&mut it, "--max-rounds", 1))
+            }
+            "--max-matches" => {
+                budget = budget.with_max_matches(parse_u64_at_least(&mut it, "--max-matches", 1))
+            }
+            other => {
+                eprintln!("unknown option for `replay`: {other}");
+                usage();
+            }
         }
     }
     let (Some(g), Some(s)) = (generator, seed) else {
+        eprintln!("replay needs both --generator and --seed");
         usage()
     };
+    if !budget.is_unlimited() {
+        return replay_bounded(g, s, &budget);
+    }
     let status = match fuzz_one(g, s) {
         Ok(()) => {
             println!("OK {} seed {s}: all oracles agree", g.name());
@@ -160,6 +229,94 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         }
     }
     status
+}
+
+/// Bounded replay: run every engine-runnable query the case denotes under
+/// `budget`. Completing and tripping cleanly are both acceptable; what the
+/// budget must never cause is a non-budget failure.
+fn replay_bounded(g: Generator, seed: u64, budget: &Budget) -> ExitCode {
+    let (doc_xml, query) = case_inputs(g, seed);
+    let Some(doc) = gql_testkit::oracle::normalize(&doc_xml) else {
+        println!(
+            "OK {} seed {seed}: generated document does not parse (vacuous)",
+            g.name()
+        );
+        return ExitCode::SUCCESS;
+    };
+    let kinds = query_kinds(g, &query);
+    if kinds.is_empty() {
+        println!(
+            "OK {} seed {seed}: generated query does not parse (vacuous)",
+            g.name()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let mut status = ExitCode::SUCCESS;
+    for kind in kinds {
+        let label = match &kind {
+            gql_core::engine::QueryKind::XmlGl(_) => "xmlgl",
+            gql_core::engine::QueryKind::WgLog(_) => "wglog",
+            gql_core::engine::QueryKind::XPath(_) => "xpath",
+        };
+        match Engine::new().run_bounded(&kind, &doc, budget) {
+            Ok(o) => println!(
+                "OK {} seed {seed} [{label}]: completed under budget, {} result(s)",
+                g.name(),
+                o.result_count
+            ),
+            Err(CoreError::Budget(e)) => println!(
+                "TRIPPED {} seed {seed} [{label}]: {} — {}",
+                g.name(),
+                e.kind.name(),
+                e.report.to_text()
+            ),
+            Err(e) => {
+                println!("FAIL {} seed {seed} [{label}]: {e}", g.name());
+                status = ExitCode::FAILURE;
+            }
+        }
+    }
+    status
+}
+
+/// The seeded fault-injection sweep: every `FaultPlan` variant against
+/// every generator for `--seeds` consecutive seeds, each run bounded by
+/// the smoke budget (override the wall clock with `--timeout-ms`). This is
+/// the CI degradation check: any wrong answer, hang or abort under an
+/// injected fault fails the command.
+fn cmd_faults(args: &[String]) -> ExitCode {
+    let mut seeds = 8u64;
+    let mut start_seed = 0u64;
+    let mut budget = smoke_budget();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => seeds = parse_u64_at_least(&mut it, "--seeds", 1),
+            "--start-seed" => start_seed = parse_u64(&mut it, "--start-seed"),
+            "--timeout-ms" => {
+                budget = Budget::unlimited().with_timeout_ms(parse_u64_at_least(
+                    &mut it,
+                    "--timeout-ms",
+                    1,
+                ))
+            }
+            other => {
+                eprintln!("unknown option for `faults`: {other}");
+                usage();
+            }
+        }
+    }
+    println!("fault sweep: {seeds} seed(s) from {start_seed}, every plan × generator");
+    match run_fault_matrix(start_seed, seeds, &budget) {
+        Ok(executed) => {
+            println!("{executed} (seed, generator, plan) cells executed, all degraded cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("FAIL {msg}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_corpus(args: &[String]) -> ExitCode {
@@ -198,6 +355,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("faults") => cmd_faults(&args[1..]),
         _ => usage(),
     }
 }

@@ -19,10 +19,23 @@
 //! `kind` selects the oracle battery (an entry of [`Generator::ALL`]);
 //! `oracle` and `seed` are documentation (the replay runs the *whole*
 //! battery — a fixed bug must stay fixed under every oracle).
+//!
+//! A case may also carry a `budget:` line — space-separated `key=value`
+//! tokens over `timeout-ms`, `max-rounds`, `max-matches`, `max-nodes` and
+//! `max-workers`. Budget-bearing cases are *pathological by construction*
+//! (exploding fixpoints, combinatorial joins): replay runs them through
+//! [`Engine::run_bounded`] and passes only when the budget trips with a
+//! clean, non-degenerate [`CoreError::Budget`] report — the unbounded
+//! oracle battery would hang on them.
 
 use std::path::{Path, PathBuf};
 
+use gql_core::engine::{Engine, QueryKind};
+use gql_core::{Budget, CoreError};
+
 use crate::fuzz::{check_case, Failure, Generator};
+use crate::generators::Intent;
+use crate::oracle;
 
 /// One corpus entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +50,37 @@ pub struct CorpusCase {
     pub query: String,
     /// Document XML, one line.
     pub doc: String,
+    /// Budget spec for pathological cases (see [`parse_budget_spec`]);
+    /// `None` replays the ordinary oracle battery.
+    pub budget: Option<String>,
+}
+
+/// Parse a corpus `budget:` spec — space-separated `key=value` tokens —
+/// into a [`Budget`]. Rejects unknown keys, unparseable values and specs
+/// that set no limit at all (an unlimited "budget" on a pathological case
+/// would hang the tier-1 suite).
+pub fn parse_budget_spec(spec: &str) -> Result<Budget, String> {
+    let mut b = Budget::unlimited();
+    for tok in spec.split_whitespace() {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("bad budget token (want key=value): {tok}"))?;
+        let n: u64 = v
+            .parse()
+            .map_err(|_| format!("bad budget value in: {tok}"))?;
+        b = match k {
+            "timeout-ms" => b.with_timeout_ms(n),
+            "max-rounds" => b.with_max_rounds(n),
+            "max-matches" => b.with_max_matches(n),
+            "max-nodes" => b.with_max_nodes(n),
+            "max-workers" => b.with_max_workers(n as usize),
+            _ => return Err(format!("unknown budget key: {k}")),
+        };
+    }
+    if b.is_unlimited() {
+        return Err("budget spec sets no limits".into());
+    }
+    Ok(b)
 }
 
 impl CorpusCase {
@@ -48,6 +92,7 @@ impl CorpusCase {
         let mut seed = None;
         let mut query = None;
         let mut doc = None;
+        let mut budget = None;
         for line in text.lines() {
             let line = line.trim_end();
             if line.is_empty() || line.starts_with('#') {
@@ -69,6 +114,10 @@ impl CorpusCase {
                 }
                 "query" => query = Some(value),
                 "doc" => doc = Some(value),
+                "budget" => {
+                    parse_budget_spec(&value)?; // reject malformed specs at load
+                    budget = Some(value);
+                }
                 _ => {}
             }
         }
@@ -82,6 +131,7 @@ impl CorpusCase {
             seed,
             query: query.ok_or("corpus case missing `query:`")?,
             doc: doc.ok_or("corpus case missing `doc:`")?,
+            budget,
         })
     }
 
@@ -97,14 +147,61 @@ impl CorpusCase {
         }
         out.push_str(&format!("query: {}\n", self.query));
         out.push_str(&format!("doc: {}\n", self.doc));
+        if let Some(b) = &self.budget {
+            out.push_str(&format!("budget: {b}\n"));
+        }
         out
     }
 
-    /// Replay: run the kind's whole oracle battery on the stored inputs.
+    /// Replay: run the kind's whole oracle battery on the stored inputs —
+    /// or, for budget-bearing cases, the bounded replay (see the module
+    /// docs).
     pub fn replay(&self) -> Result<(), String> {
+        if let Some(spec) = &self.budget {
+            return self.replay_bounded(&parse_budget_spec(spec)?);
+        }
         let generator = Generator::from_name(&self.kind)
             .ok_or_else(|| format!("unknown corpus kind: {}", self.kind))?;
         check_case(generator, &self.doc, &self.query)
+    }
+
+    /// Bounded replay of a pathological case: the budget must trip with a
+    /// clean, non-degenerate report. Completing under the budget fails too
+    /// — the case would no longer pin the behaviour it was added for.
+    fn replay_bounded(&self, budget: &Budget) -> Result<(), String> {
+        let doc =
+            oracle::normalize(&self.doc).ok_or("budgeted case: stored document does not parse")?;
+        let kind = match self.kind.as_str() {
+            "xmlgl" => QueryKind::XmlGl(
+                gql_xmlgl::dsl::parse_unchecked(&self.query)
+                    .map_err(|e| format!("budgeted case: XML-GL query does not parse: {e}"))?,
+            ),
+            "wglog" => QueryKind::WgLog(
+                gql_wglog::dsl::parse_unchecked(&self.query)
+                    .map_err(|e| format!("budgeted case: WG-Log query does not parse: {e}"))?,
+            ),
+            "xpath" => QueryKind::XPath(self.query.clone()),
+            "intent" => QueryKind::XPath(
+                Intent::parse(&self.query)
+                    .ok_or("budgeted case: intent descriptor does not parse")?
+                    .xpath(),
+            ),
+            other => return Err(format!("unknown corpus kind: {other}")),
+        };
+        match Engine::new().run_bounded(&kind, &doc, budget) {
+            Err(CoreError::Budget(g)) if !g.report.phase.is_empty() => Ok(()),
+            Err(CoreError::Budget(g)) => Err(format!(
+                "budgeted case tripped with a degenerate report: {g}"
+            )),
+            Ok(_) => Err(
+                "budgeted pathological case completed without tripping its budget \
+                          (tighten the budget or retire the case)"
+                    .into(),
+            ),
+            Err(e) => Err(format!(
+                "budgeted case failed outside the budget system: {e}"
+            )),
+        }
     }
 }
 
@@ -116,6 +213,7 @@ impl From<&Failure> for CorpusCase {
             seed: Some(f.seed),
             query: f.query.clone(),
             doc: f.doc.clone(),
+            budget: None,
         }
     }
 }
@@ -151,9 +249,25 @@ mod tests {
             seed: Some(42),
             query: "rule { extract { a as $x } construct { out { all $x } } }".into(),
             doc: "<r><a/></r>".into(),
+            budget: None,
         };
         let text = case.render();
         assert_eq!(CorpusCase::parse(&text), Ok(case));
+    }
+
+    #[test]
+    fn budget_specs_parse_render_and_reject_nonsense() {
+        let text =
+            "kind: xpath\nquery: //a\ndoc: <r><a/></r>\nbudget: max-rounds=4 max-matches=100\n";
+        let case = CorpusCase::parse(text).expect("parses");
+        assert_eq!(case.budget.as_deref(), Some("max-rounds=4 max-matches=100"));
+        assert_eq!(CorpusCase::parse(&case.render()), Ok(case));
+        // Malformed specs are rejected at load, not at replay.
+        assert!(
+            CorpusCase::parse("kind: xpath\nquery: //a\ndoc: <a/>\nbudget: max-bogus=1\n").is_err()
+        );
+        assert!(CorpusCase::parse("kind: xpath\nquery: //a\ndoc: <a/>\nbudget: \n").is_err());
+        assert!(parse_budget_spec("max-rounds=x").is_err());
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Fault-injection differential oracles: the degradation ladder under test.
+//!
+//! Every [`FaultPlan`] variant is driven against every case generator and
+//! checked against one invariant — an injected fault may **never** produce a
+//! wrong answer, a hang, or a process abort. The two acceptable outcomes
+//! are:
+//!
+//! 1. *graceful degradation*: the faulted bounded run returns exactly the
+//!    bytes of the unfaulted baseline (index build failed → scan mode
+//!    answered; a worker panicked → the sequential retry answered), or
+//! 2. *clean refusal*: the faulted run surfaces a structured
+//!    [`CoreError::Budget`] whose partial-progress report names the phase
+//!    reached (a stalled fixpoint tripping its deadline, a cancelled run).
+//!
+//! Baseline errors (analyzer-rejected programs, syntax errors) must stay
+//! errors under fault — a fault may not *un*-reject a program.
+
+use std::time::Duration;
+
+use gql_core::engine::{Engine, QueryKind};
+use gql_core::{Budget, CoreError};
+use gql_guard::fault::{self, FaultPlan};
+
+use crate::fuzz::{case_inputs, Generator};
+use crate::generators::Intent;
+use crate::oracle;
+
+/// Every fault variant the sweep drives, with the worker index / round
+/// chosen to hit real seams on small generated cases.
+pub fn all_plans() -> Vec<FaultPlan> {
+    vec![
+        FaultPlan::fail_index_build(),
+        FaultPlan::corrupt_postings(),
+        FaultPlan::panic_worker(0),
+        FaultPlan::panic_worker(1),
+        FaultPlan::stall_round(1),
+    ]
+}
+
+/// The engine-runnable queries a generator's source text denotes; empty for
+/// unparseable inputs (vacuous, mirroring [`crate::fuzz::check_case`]).
+/// Intents contribute both their XML-GL and XPath renderings, so one intent
+/// case exercises two engines under the same fault.
+pub fn query_kinds(generator: Generator, query: &str) -> Vec<QueryKind> {
+    match generator {
+        Generator::XmlGl => gql_xmlgl::dsl::parse_unchecked(query)
+            .ok()
+            .map(QueryKind::XmlGl)
+            .into_iter()
+            .collect(),
+        Generator::WgLog => gql_wglog::dsl::parse_unchecked(query)
+            .ok()
+            .map(QueryKind::WgLog)
+            .into_iter()
+            .collect(),
+        Generator::XPath => vec![QueryKind::XPath(query.to_string())],
+        Generator::Intent => match Intent::parse(query) {
+            Some(i) => {
+                let mut v = vec![QueryKind::XPath(i.xpath())];
+                if let Ok(p) = gql_xmlgl::dsl::parse_unchecked(&i.xmlgl()) {
+                    v.push(QueryKind::XmlGl(p));
+                }
+                v
+            }
+            None => Vec::new(),
+        },
+    }
+}
+
+/// Check one `(document, query, fault, budget)` case: run the unfaulted,
+/// unlimited baseline, then the same query bounded by `budget` with `plan`
+/// installed, and demand degradation-to-correct or a clean budget error.
+pub fn check_fault_case(
+    generator: Generator,
+    doc_xml: &str,
+    query: &str,
+    plan: &FaultPlan,
+    budget: &Budget,
+) -> Result<(), String> {
+    let Some(doc) = oracle::normalize(doc_xml) else {
+        return Ok(());
+    };
+    for kind in query_kinds(generator, query) {
+        let baseline = Engine::new().run(&kind, &doc);
+        let faulted = fault::with_plan(plan.clone(), || {
+            Engine::new().run_bounded(&kind, &doc, budget)
+        });
+        match (baseline, faulted) {
+            (Ok(b), Ok(f)) => {
+                let (b, f) = (b.output.to_xml_string(), f.output.to_xml_string());
+                if b != f {
+                    return Err(format!(
+                        "fault-degradation: {plan:?} changed the answer\nbaseline: {b}\nfaulted:  {f}"
+                    ));
+                }
+            }
+            (_, Err(CoreError::Budget(g))) => {
+                // A clean structured refusal: the report must be
+                // non-degenerate (it names the phase reached).
+                if g.report.phase.is_empty() {
+                    return Err(format!(
+                        "fault-refusal: {plan:?} produced a degenerate budget report: {g}"
+                    ));
+                }
+            }
+            (Err(be), Err(fe)) => {
+                if format!("{be}") != format!("{fe}") {
+                    return Err(format!(
+                        "fault-error-stability: {plan:?} changed the error\nbaseline: {be}\nfaulted:  {fe}"
+                    ));
+                }
+            }
+            (Ok(_), Err(fe)) => {
+                return Err(format!(
+                    "fault-refusal: {plan:?} turned a clean run into a non-budget error: {fe}"
+                ));
+            }
+            (Err(be), Ok(_)) => {
+                return Err(format!(
+                    "fault-error-stability: {plan:?} made a rejected query succeed \
+                     (baseline error: {be})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Seeded sweep: `seeds` consecutive seeds × every generator × every
+/// [`all_plans`] variant, each under `budget`. Returns the number of
+/// `(seed, generator, plan)` cells executed, or the first violation with
+/// enough context to replay it.
+pub fn run_fault_matrix(start_seed: u64, seeds: u64, budget: &Budget) -> Result<u64, String> {
+    let mut executed = 0u64;
+    for seed in start_seed..start_seed.saturating_add(seeds) {
+        for g in Generator::ALL {
+            let (doc, query) = case_inputs(g, seed);
+            for plan in all_plans() {
+                check_fault_case(g, &doc, &query, &plan, budget).map_err(|msg| {
+                    format!("generator {} seed {seed} plan {plan:?}: {msg}", g.name())
+                })?;
+                executed += 1;
+            }
+        }
+    }
+    Ok(executed)
+}
+
+/// The budget the CI fault-injection smoke step uses: generous enough that
+/// only genuinely stalled runs trip it, small enough to bound the sweep's
+/// wall clock even against injected stalls.
+pub fn smoke_budget() -> Budget {
+    Budget::unlimited().with_timeout(Duration::from_millis(2000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_ssdm::Document;
+
+    #[test]
+    fn fault_matrix_small_sweep_is_clean() {
+        let executed = run_fault_matrix(0, 4, &smoke_budget()).unwrap();
+        assert_eq!(
+            executed,
+            4 * Generator::ALL.len() as u64 * all_plans().len() as u64
+        );
+    }
+
+    #[test]
+    fn stalled_fixpoint_trips_a_deadline_budget() {
+        let doc =
+            Document::parse_str("<guide><restaurant><menu/></restaurant><restaurant/></guide>")
+                .unwrap();
+        let program = gql_wglog::dsl::parse(
+            "rule { query { $r: restaurant  $m: menu  $r -menu-> $m } \
+                    construct { $l: rest-list  $l -member-> $r } } goal rest-list",
+        )
+        .unwrap();
+        let kind = QueryKind::WgLog(program);
+        let budget = Budget::unlimited().with_timeout_ms(1);
+        let err = fault::with_plan(FaultPlan::stall_round(1), || {
+            Engine::new().run_bounded(&kind, &doc, &budget).unwrap_err()
+        });
+        let CoreError::Budget(g) = err else {
+            panic!("expected a budget error, got {err:?}");
+        };
+        assert_eq!(g.kind.name(), "timeout");
+        assert!(!g.report.phase.is_empty());
+    }
+
+    #[test]
+    fn injected_worker_panic_degrades_to_the_sequential_answer() {
+        use gql_trace::Trace;
+        use gql_xmlgl::eval::{match_rule_guarded, MatchMode};
+        // Enough candidates that the parallel matcher actually fans out.
+        let mut xml = String::from("<r>");
+        for i in 0..64 {
+            xml.push_str(&format!("<a><b>{i}</b></a>"));
+        }
+        xml.push_str("</r>");
+        let doc = Document::parse_str(&xml).unwrap();
+        let rule = gql_xmlgl::dsl::parse_unchecked(
+            "rule { extract { a as $x { b as $y } } construct { out { all $x } } }",
+        )
+        .unwrap()
+        .rules
+        .remove(0);
+        let sequential = match_rule_guarded(
+            &rule,
+            &doc,
+            None,
+            MatchMode::Sequential,
+            &Trace::disabled(),
+            &gql_guard::Guard::unlimited(),
+        );
+        let retried = fault::with_plan(FaultPlan::panic_worker(0), || {
+            let trace = Trace::profiling();
+            let bs = match_rule_guarded(
+                &rule,
+                &doc,
+                None,
+                MatchMode::Parallel,
+                &trace,
+                &gql_guard::Guard::unlimited(),
+            );
+            (bs, trace.finish())
+        });
+        assert_eq!(
+            retried.0.len(),
+            sequential.len(),
+            "sequential retry must reproduce the sequential binding set"
+        );
+    }
+}

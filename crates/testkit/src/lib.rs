@@ -18,6 +18,10 @@
 //!   fixpoint, prebuilt vs lazy index, translated vs direct) plus
 //!   metamorphic properties (print→parse round-trips, re-serialization
 //!   invariance, prune monotonicity).
+//! * [`fault`] — fault-injection differential oracles: every
+//!   [`FaultPlan`](gql_guard::fault::FaultPlan) variant driven against
+//!   every generator, proving injected faults degrade to the correct
+//!   answer or surface a clean budget error — never a wrong answer.
 //! * [`shrink`] — greedy delta-debugging that minimizes both the failing
 //!   document and the failing query.
 //! * [`fuzz`] — the budgeted runner behind the `gql-fuzz` binary.
@@ -28,6 +32,7 @@
 //! [`Intent`]: generators::Intent
 
 pub mod corpus;
+pub mod fault;
 pub mod fuzz;
 pub mod generators;
 pub mod harness;

@@ -18,6 +18,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use gql_guard::Guard;
 use gql_trace::Trace;
 
 use crate::instance::{Instance, ObjId};
@@ -51,7 +52,8 @@ const MAX_ITERATIONS: usize = 100_000;
 /// span per round would bloat the profile without adding signal. The first
 /// `MAX_TRACED_ROUNDS` rounds get their own spans (that's where semi-naive
 /// convergence behaviour is visible); later rounds fold into aggregate
-/// counters and a `truncated_rounds` marker on the stratum span.
+/// counters, an explicit `rounds_truncated` count and a `round_spans:
+/// truncated` note on the stratum span — the truncation is never silent.
 const MAX_TRACED_ROUNDS: usize = 64;
 
 /// Run one stratum's rules to fixpoint on `db` in place.
@@ -69,6 +71,22 @@ pub fn fixpoint_traced(
     db: &mut Instance,
     mode: FixpointMode,
     trace: &Trace,
+) -> Result<FixpointStats> {
+    fixpoint_guarded(rules, db, mode, trace, &Guard::unlimited())
+}
+
+/// [`fixpoint_traced`] under a resource [`Guard`]: the round cap is charged
+/// at the start of every round, the match cap after every rule's embedding
+/// batch, and the node cap with every round's derived delta, so a
+/// non-converging fixpoint trips the budget instead of running to
+/// [`MAX_ITERATIONS`]. With `Guard::unlimited()` this is exactly
+/// `fixpoint_traced`.
+pub fn fixpoint_guarded(
+    rules: &[&Rule],
+    db: &mut Instance,
+    mode: FixpointMode,
+    trace: &Trace,
+    guard: &Guard,
 ) -> Result<FixpointStats> {
     let mut stats = FixpointStats::default();
     // Skolem table shared across iterations: (rule idx, cnode, key) → object.
@@ -121,6 +139,13 @@ pub fn fixpoint_traced(
                 msg: format!("fixpoint did not converge within {MAX_ITERATIONS} iterations"),
             });
         }
+        if gql_guard::fault::active() {
+            gql_guard::fault::maybe_stall_round(stats.iterations as u64);
+        }
+        // Budget probe: rounds are charged *before* the round runs, so a
+        // round cap of N never evaluates round N+1's (possibly explosive)
+        // embedding search.
+        guard.try_rounds(1).map_err(WgLogError::Budget)?;
         let round_span = if trace.is_enabled() && stats.iterations <= MAX_TRACED_ROUNDS {
             Some(trace.span(&format!("round[{}]", stats.iterations - 1)))
         } else {
@@ -146,6 +171,9 @@ pub fn fixpoint_traced(
             rules_run += 1;
             let embs = embeddings(rule, db);
             stats.embeddings_found += embs.len();
+            guard
+                .try_matches(embs.len() as u64)
+                .map_err(WgLogError::Budget)?;
             for emb in embs {
                 apply_construct(
                     rule,
@@ -178,10 +206,18 @@ pub fn fixpoint_traced(
                 );
                 drop(round_span);
             } else {
-                // Past the cap: fold this round into stratum-level counters.
-                trace.count("truncated_rounds", 1);
+                // Past the cap: fold this round into stratum-level counters
+                // with an explicit truncation marker.
+                trace.count("rounds_truncated", 1);
             }
         }
+        // Budget probe: charge the round's instance growth against the
+        // node cap.
+        let delta_nodes = (stats.objects_created - before.objects_created)
+            + (stats.edges_created - before.edges_created);
+        guard
+            .try_nodes(delta_nodes as u64)
+            .map_err(WgLogError::Budget)?;
 
         if !changed {
             if trace.is_enabled() {
@@ -189,6 +225,9 @@ pub fn fixpoint_traced(
                 trace.count("embeddings_total", stats.embeddings_found as u64);
                 trace.count("objects_created", stats.objects_created as u64);
                 trace.count("edges_created", stats.edges_created as u64);
+                if stats.iterations > MAX_TRACED_ROUNDS {
+                    trace.note("round_spans", "truncated");
+                }
             }
             return Ok(stats);
         }

@@ -4,6 +4,7 @@ pub mod embed;
 pub mod fixpoint;
 pub mod stratify;
 
+use gql_guard::Guard;
 use gql_ssdm::Document;
 use gql_trace::Trace;
 
@@ -12,7 +13,7 @@ use crate::rule::Program;
 use crate::Result;
 
 pub use embed::{embeddings, path_exists, Embedding};
-pub use fixpoint::{fixpoint, fixpoint_traced, FixpointMode, FixpointStats};
+pub use fixpoint::{fixpoint, fixpoint_guarded, fixpoint_traced, FixpointMode, FixpointStats};
 pub use stratify::stratify;
 
 /// Evaluate a program over a database: stratified fixpoint with the default
@@ -41,6 +42,20 @@ pub fn run_traced(
     db: &Instance,
     mode: FixpointMode,
     trace: &Trace,
+) -> Result<(Instance, FixpointStats)> {
+    run_guarded(program, db, mode, trace, &Guard::unlimited())
+}
+
+/// [`run_traced`] under a resource [`Guard`]: each stratum's fixpoint runs
+/// with the guard's round/match/node caps (see
+/// [`fixpoint::fixpoint_guarded`]) and trips cleanly with a partial-progress
+/// report. With `Guard::unlimited()` this is exactly `run_traced`.
+pub fn run_guarded(
+    program: &Program,
+    db: &Instance,
+    mode: FixpointMode,
+    trace: &Trace,
+    guard: &Guard,
 ) -> Result<(Instance, FixpointStats)> {
     program.check()?;
     let strata = {
@@ -72,7 +87,7 @@ pub fn run_traced(
         let span = trace.span(&label);
         let rules: Vec<&crate::rule::Rule> = stratum.iter().map(|&i| &program.rules[i]).collect();
         let (objs_before, edges_before) = (work.object_count(), work.edge_count());
-        let s = fixpoint_traced(&rules, &mut work, mode, trace)?;
+        let s = fixpoint_guarded(&rules, &mut work, mode, trace, guard)?;
         if trace.is_enabled() {
             trace.count("stratum_rules", rules.len() as u64);
             trace.count(

@@ -62,6 +62,9 @@ pub enum WgLogError {
     NotStratifiable { msg: String },
     /// Runtime failure.
     Eval { msg: String },
+    /// A resource budget tripped during evaluation (carries the partial
+    /// progress report).
+    Budget(gql_guard::GuardError),
 }
 
 impl std::fmt::Display for WgLogError {
@@ -75,6 +78,7 @@ impl std::fmt::Display for WgLogError {
                 write!(f, "program is not stratifiable: {msg}")
             }
             WgLogError::Eval { msg } => write!(f, "WG-Log evaluation error: {msg}"),
+            WgLogError::Budget(e) => write!(f, "WG-Log {e}"),
         }
     }
 }

@@ -16,6 +16,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use gql_guard::{Guard, LimitKind};
 use gql_ssdm::document::NodeKind;
 use gql_ssdm::index::canonical;
 use gql_ssdm::{DocIndex, Document, NodeId, Symbol};
@@ -28,6 +29,9 @@ use super::{content_hash, content_key};
 /// Below this many root candidates, threads cost more than they save and
 /// `MatchMode::Auto` stays sequential.
 const PARALLEL_THRESHOLD: usize = 64;
+
+/// The no-op guard the unguarded entry points thread through [`Ctx`].
+static UNLIMITED: Guard = Guard::unlimited();
 
 /// What a query node is bound to: a document node (elements) or a string
 /// (text content, attribute values). Strings carry the element they were
@@ -153,6 +157,11 @@ struct Ctx<'a> {
     /// adds once in bulk, so the counts are deterministic and the untraced
     /// cost is one `Option` branch per edge, never per candidate.
     cand: Option<Vec<AtomicU64>>,
+    /// Resource budget. Matching is infallible (`Vec<Binding>` out), so a
+    /// tripped guard makes the candidate loops bail early with *truncated*
+    /// results; the `Result`-returning caller must `guard.checkpoint()`
+    /// afterwards to convert the trip into an error and discard them.
+    guard: &'a Guard,
 }
 
 impl Ctx<'_> {
@@ -210,17 +219,44 @@ pub fn match_rule_traced(
     mode: MatchMode,
     trace: &Trace,
 ) -> Vec<Binding> {
+    match_rule_guarded(rule, doc, Some(idx), mode, trace, &UNLIMITED)
+}
+
+/// [`match_rule_traced`] under a resource [`Guard`], with an *optional*
+/// index (`None` selects the scan path — the degradation target when an
+/// index build fails). Budget probes fire per root candidate, per
+/// alternative expansion in `match_node` and per join/product batch. A
+/// tripped guard truncates the returned binding set; the caller must call
+/// `guard.checkpoint()` afterwards and discard the output on error. A
+/// panicking parallel worker is isolated at the scoped-thread boundary and
+/// the root's candidates retried once sequentially (`degraded:
+/// sequential_retry` trace note); if the retry panics too, an enabled guard
+/// converts it into a `WorkerPanic` trip, an unlimited guard resumes the
+/// panic.
+pub fn match_rule_guarded(
+    rule: &Rule,
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    mode: MatchMode,
+    trace: &Trace,
+    guard: &Guard,
+) -> Vec<Binding> {
     let cx = Ctx {
         g: &rule.extract,
         doc,
         nslots: rule.extract.nodes.len(),
-        idx: Some(idx),
-        names: resolve_names(&rule.extract, doc),
+        idx,
+        names: if idx.is_some() {
+            resolve_names(&rule.extract, doc)
+        } else {
+            Vec::new()
+        },
         cand: trace.is_enabled().then(|| {
             (0..rule.extract.nodes.len())
                 .map(|_| AtomicU64::new(0))
                 .collect()
         }),
+        guard,
     };
     let out = run_match(&cx, mode, trace);
     if let Some(cand) = &cx.cand {
@@ -241,15 +277,14 @@ pub fn match_rule_traced(
 /// tests assert `match_rule_scan ≡ match_rule`) and as the benchmark
 /// baseline.
 pub fn match_rule_scan(rule: &Rule, doc: &Document) -> Vec<Binding> {
-    let cx = Ctx {
-        g: &rule.extract,
+    match_rule_guarded(
+        rule,
         doc,
-        nslots: rule.extract.nodes.len(),
-        idx: None,
-        names: Vec::new(),
-        cand: None,
-    };
-    run_match(&cx, MatchMode::Sequential, &Trace::disabled())
+        None,
+        MatchMode::Sequential,
+        &Trace::disabled(),
+        &UNLIMITED,
+    )
 }
 
 fn norm_pair(a: QNodeId, b: QNodeId) -> (QNodeId, QNodeId) {
@@ -327,9 +362,12 @@ fn run_match(cx: &Ctx, mode: MatchMode, trace: &Trace) -> Vec<Binding> {
             trace.count("left_rows", combined.len() as u64);
             trace.count("right_rows", right.len() as u64);
         }
+        if !cx.guard.ok() {
+            return Vec::new();
+        }
         combined = if cross_joins.is_empty() {
             trace.note("kind", "product");
-            product(&combined, right)
+            product(&combined, right, cx.guard)
         } else {
             trace.note("kind", "hash_join");
             enforced.extend(cross_joins.iter().map(|&(a, b)| norm_pair(a, b)));
@@ -342,8 +380,9 @@ fn run_match(cx: &Ctx, mode: MatchMode, trace: &Trace) -> Vec<Binding> {
                     &cross_joins,
                     |b| content_hash(cx.doc, idx, b),
                     &mut stats,
+                    cx.guard,
                 ),
-                None => hash_join_strings(cx.doc, &combined, right, &cross_joins),
+                None => hash_join_strings(cx.doc, &combined, right, &cross_joins, cx.guard),
             };
             if trace.is_enabled() && cx.idx.is_some() {
                 trace.count("probes", stats.probes);
@@ -402,9 +441,19 @@ fn run_match(cx: &Ctx, mode: MatchMode, trace: &Trace) -> Vec<Binding> {
     combined
 }
 
-fn product(left: &[Binding], right: &[Binding]) -> Vec<Binding> {
-    let mut out = Vec::with_capacity(left.len() * right.len());
+fn product(left: &[Binding], right: &[Binding], guard: &Guard) -> Vec<Binding> {
+    // Only pre-size when unguarded: a guarded combinatorial product must
+    // not allocate `left × right` rows up front only to trip immediately.
+    let mut out = if guard.is_enabled() {
+        Vec::new()
+    } else {
+        Vec::with_capacity(left.len() * right.len())
+    };
     for l in left {
+        // Budget probe: one per output batch (this left row's fan-out).
+        if !guard.charge_matches(right.len() as u64) {
+            break;
+        }
         for r in right {
             out.push(l.merge(r));
         }
@@ -418,6 +467,7 @@ fn hash_join_strings(
     left: &[Binding],
     right: &[Binding],
     joins: &[(QNodeId, QNodeId)],
+    guard: &Guard,
 ) -> Vec<Binding> {
     // Key = tuple of content keys over the join columns.
     let key_of = |b: &Binding, cols: &[QNodeId]| -> Option<String> {
@@ -439,6 +489,10 @@ fn hash_join_strings(
     for l in left {
         if let Some(k) = key_of(l, &left_cols) {
             if let Some(matches) = index.get(&k) {
+                // Budget probe: one per probe batch.
+                if !guard.charge_matches(matches.len() as u64) {
+                    break;
+                }
                 for r in matches {
                     out.push(l.merge(r));
                 }
@@ -464,6 +518,7 @@ pub(crate) struct JoinStats {
 /// a hash collision can never produce a false join — correctness does not
 /// depend on the hash. The hasher is injectable so tests can force
 /// collisions.
+#[allow(clippy::too_many_arguments)]
 fn hash_join_hashed<F: Fn(&Bound) -> u64>(
     doc: &Document,
     left: &[Binding],
@@ -471,6 +526,7 @@ fn hash_join_hashed<F: Fn(&Bound) -> u64>(
     joins: &[(QNodeId, QNodeId)],
     hash: F,
     stats: &mut JoinStats,
+    guard: &Guard,
 ) -> Vec<Binding> {
     let left_cols: Vec<QNodeId> = joins.iter().map(|&(l, _)| l).collect();
     let right_cols: Vec<QNodeId> = joins.iter().map(|&(_, r)| r).collect();
@@ -493,6 +549,10 @@ fn hash_join_hashed<F: Fn(&Bound) -> u64>(
         let Some(matches) = table.get(&k) else {
             continue;
         };
+        // Budget probe: one per hash-probe batch (this key's bucket).
+        if !guard.charge_matches(matches.len() as u64) {
+            break;
+        }
         for r in matches {
             stats.hash_matches += 1;
             let verified = joins.iter().all(|&(lc, rc)| match (l.get(lc), r.get(rc)) {
@@ -575,7 +635,7 @@ fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode, trace: &Trace) -> Vec<Bi
 
     cx.add_candidates(root, candidates.len() as u64);
 
-    let threads = match mode {
+    let threads = cx.guard.cap_workers(match mode {
         MatchMode::Sequential => 1,
         MatchMode::Parallel | MatchMode::Auto => {
             if mode == MatchMode::Auto && candidates.len() < PARALLEL_THRESHOLD {
@@ -587,7 +647,7 @@ fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode, trace: &Trace) -> Vec<Bi
                     .min(candidates.len().max(1))
             }
         }
-    };
+    });
     if trace.is_enabled() {
         trace.count("root_candidates", candidates.len() as u64);
         trace.count("workers", threads as u64);
@@ -596,7 +656,16 @@ fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode, trace: &Trace) -> Vec<Bi
     let run_range = |range: &[NodeId]| -> Vec<Binding> {
         let mut out = Vec::new();
         for &c in range {
-            out.extend(match_node(cx, root, c));
+            // Budget probe: one per root candidate (covers deadline and
+            // cancellation), plus the bindings it produced.
+            if !cx.guard.ok() {
+                break;
+            }
+            let bs = match_node(cx, root, c);
+            if !cx.guard.charge_matches(bs.len() as u64) {
+                break;
+            }
+            out.extend(bs);
         }
         out
     };
@@ -606,15 +675,51 @@ fn match_root(cx: &Ctx, root: QNodeId, mode: MatchMode, trace: &Trace) -> Vec<Bi
     }
     let chunk_size = candidates.len().div_ceil(threads);
     let mut results: Vec<Vec<Binding>> = Vec::with_capacity(threads);
+    let mut worker_panicked = false;
     std::thread::scope(|s| {
         let handles: Vec<_> = candidates
             .chunks(chunk_size)
-            .map(|chunk| s.spawn(|| run_range(chunk)))
+            .enumerate()
+            .map(|(wi, chunk)| {
+                let run_range = &run_range;
+                s.spawn(move || {
+                    if gql_guard::fault::active() {
+                        gql_guard::fault::maybe_panic_worker(wi);
+                    }
+                    run_range(chunk)
+                })
+            })
             .collect();
         for h in handles {
-            results.push(h.join().expect("matcher worker panicked"));
+            match h.join() {
+                Ok(r) => results.push(r),
+                // A panicking worker is contained here; degradation happens
+                // after the scope so the remaining workers finish first.
+                Err(_) => worker_panicked = true,
+            }
         }
     });
+    if worker_panicked {
+        // Degradation ladder, parallel → sequential: retry the whole
+        // candidate set once on this thread. If the retry panics too, an
+        // enabled guard converts it into a clean WorkerPanic trip (the
+        // caller's checkpoint surfaces it); an unlimited guard propagates
+        // the panic as before.
+        trace.note("degraded", "sequential_retry");
+        let retry =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_range(&candidates)));
+        return match retry {
+            Ok(r) => r,
+            Err(payload) => {
+                if cx.guard.is_enabled() {
+                    cx.guard.trip_external(LimitKind::WorkerPanic);
+                    Vec::new()
+                } else {
+                    std::panic::resume_unwind(payload)
+                }
+            }
+        };
+    }
     if trace.is_enabled() {
         // Worker utilisation: how evenly the per-chunk binding production
         // spread. Deterministic (chunking is by candidate order).
@@ -671,6 +776,15 @@ fn match_node(cx: &Ctx, q: QNodeId, data: NodeId) -> Vec<Binding> {
             continue;
         }
         if alternatives.is_empty() {
+            return Vec::new();
+        }
+        // Budget probe: charge the expansion *before* allocating it, so an
+        // exploding partials × alternatives product trips instead of
+        // allocating.
+        if !cx
+            .guard
+            .charge_matches((partials.len() * alternatives.len()) as u64)
+        {
             return Vec::new();
         }
         let mut next = Vec::with_capacity(partials.len() * alternatives.len());
@@ -1112,10 +1226,10 @@ mod tests {
             .collect();
         assert!(real[0] != real[1] && real[0] != real[2]);
         let mut stats = JoinStats::default();
-        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0, &mut stats);
+        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0, &mut stats, &UNLIMITED);
         // Canonical verification must reject the colliding non-matches and
         // keep exactly what the string join produces: the x–x pair.
-        let expected = hash_join_strings(&d, &left, &right, &joins);
+        let expected = hash_join_strings(&d, &left, &right, &joins, &UNLIMITED);
         assert_eq!(collided, expected);
         assert_eq!(collided.len(), 1);
         assert_eq!(
@@ -1141,6 +1255,7 @@ mod tests {
             &joins,
             |b| content_hash(&d, &idx, b),
             &mut clean,
+            &UNLIMITED,
         );
         assert_eq!(hashed, expected);
         assert_eq!(clean.collision_rejects, 0);
@@ -1162,9 +1277,12 @@ mod tests {
         // Under a constant hasher <a>t</a> collides with <b>t</b>; only the
         // canonically-equal pair survives.
         let mut stats = JoinStats::default();
-        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0, &mut stats);
+        let collided = hash_join_hashed(&d, &left, &right, &joins, |_| 0, &mut stats, &UNLIMITED);
         assert_eq!(stats.collision_rejects, 1);
-        assert_eq!(collided, hash_join_strings(&d, &left, &right, &joins));
+        assert_eq!(
+            collided,
+            hash_join_strings(&d, &left, &right, &joins, &UNLIMITED)
+        );
         assert_eq!(collided.len(), 1);
         assert_eq!(collided[0].get(QNodeId(1)), Some(&Bound::Node(kids[1])));
     }

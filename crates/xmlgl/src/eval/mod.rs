@@ -26,9 +26,12 @@ use crate::Result;
 
 use gql_trace::Trace;
 
+use gql_guard::Guard;
+
 pub use construct::{construct_rule, construct_rule_with};
 pub use matcher::{
-    match_rule, match_rule_scan, match_rule_traced, match_rule_with, Binding, Bound, MatchMode,
+    match_rule, match_rule_guarded, match_rule_scan, match_rule_traced, match_rule_with, Binding,
+    Bound, MatchMode,
 };
 
 /// Evaluate a whole program: the outputs of all rules, in rule order, become
@@ -56,6 +59,24 @@ pub fn run_traced(
     idx: &DocIndex,
     trace: &Trace,
 ) -> Result<Document> {
+    run_guarded(program, doc, Some(idx), trace, &Guard::unlimited())
+}
+
+/// [`run_traced`] under a resource [`Guard`] and with an *optional* index
+/// (`None` selects the scan matcher — the degradation target when an index
+/// build fails or verification rejects it). The matcher's budget probes
+/// truncate its binding set when a limit trips; the `guard.checkpoint()`
+/// after each rule's match converts the trip into an
+/// [`XmlGlError::Budget`](crate::XmlGlError) and discards the truncated
+/// bindings, so partial results are never constructed into an answer. With
+/// `Guard::unlimited()` and `Some(idx)` this is exactly `run_traced`.
+pub fn run_guarded(
+    program: &Program,
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    trace: &Trace,
+    guard: &Guard,
+) -> Result<Document> {
     crate::check::check_program(program)?;
     let mut out = Document::new();
     for (i, rule) in program.rules.iter().enumerate() {
@@ -67,16 +88,21 @@ pub fn run_traced(
         let _rule_span = trace.span(&label);
         let bindings = {
             let _s = trace.span("match");
-            match_rule_traced(rule, doc, idx, MatchMode::Auto, trace)
+            match_rule_guarded(rule, doc, idx, MatchMode::Auto, trace, guard)
         };
+        guard.checkpoint().map_err(crate::XmlGlError::Budget)?;
         {
             let _s = trace.span("construct");
             let before = out.node_count();
-            construct_rule_with(rule, doc, Some(idx), &bindings, &mut out)?;
+            construct_rule_with(rule, doc, idx, &bindings, &mut out)?;
             if trace.is_enabled() {
                 trace.count("bindings_in", bindings.len() as u64);
                 trace.count("nodes_built", (out.node_count() - before) as u64);
             }
+            // Charge the constructed nodes against the node cap.
+            guard
+                .try_nodes((out.node_count() - before) as u64)
+                .map_err(crate::XmlGlError::Budget)?;
         }
     }
     Ok(out)

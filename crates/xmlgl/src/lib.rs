@@ -64,6 +64,9 @@ pub enum XmlGlError {
     IllFormed { msg: String },
     /// Evaluation failed (unbound variable, type misuse, …).
     Eval { msg: String },
+    /// A resource budget tripped during evaluation (carries the partial
+    /// progress report).
+    Budget(gql_guard::GuardError),
 }
 
 impl std::fmt::Display for XmlGlError {
@@ -74,6 +77,7 @@ impl std::fmt::Display for XmlGlError {
             }
             XmlGlError::IllFormed { msg } => write!(f, "ill-formed XML-GL diagram: {msg}"),
             XmlGlError::Eval { msg } => write!(f, "XML-GL evaluation error: {msg}"),
+            XmlGlError::Budget(e) => write!(f, "XML-GL {e}"),
         }
     }
 }

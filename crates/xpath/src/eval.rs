@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 
+use gql_guard::Guard;
 use gql_ssdm::document::NodeKind;
 use gql_ssdm::value::parse_number;
 use gql_ssdm::{DocIndex, Document, NodeId};
@@ -136,6 +137,12 @@ pub(crate) struct EvalCaches<'d> {
     /// with the outer path's spans. Only the outermost `apply_steps` call
     /// traces; predicate work shows up inside the enclosing step's span.
     in_steps: std::cell::Cell<bool>,
+    /// Resource budget, when the caller asked for one
+    /// ([`evaluate_guarded`]). `None` costs one branch per probe site.
+    guard: Option<&'d Guard>,
+    /// Scan-only mode: the index fast paths are disabled and no lazy index
+    /// is ever built — the degradation target when an index build fails.
+    no_index: bool,
 }
 
 impl Default for EvalCaches<'_> {
@@ -145,6 +152,8 @@ impl Default for EvalCaches<'_> {
             idx: IndexSlot::Lazy(Box::new(std::cell::OnceCell::new())),
             trace: None,
             in_steps: std::cell::Cell::new(false),
+            guard: None,
+            no_index: false,
         }
     }
 }
@@ -210,6 +219,46 @@ pub fn evaluate_traced(
         None => EvalCaches::default(),
     };
     caches.trace = Some(trace);
+    eval_with_caches(doc, expr, &caches)
+}
+
+/// [`evaluate_traced`] under a resource [`Guard`]: each top-level location
+/// step charges one round plus its context size, and every context item
+/// expansion inside a step charges its candidate count, so a pathological
+/// path trips the budget with a partial-progress report instead of running
+/// unbounded. With `Guard::unlimited()` this is exactly `evaluate_traced`.
+pub fn evaluate_guarded(
+    doc: &Document,
+    expr: &Expr,
+    idx: Option<&DocIndex>,
+    trace: &Trace,
+    guard: &Guard,
+) -> Result<XValue> {
+    let mut caches = match idx {
+        Some(idx) => EvalCaches::with_index(idx),
+        None => EvalCaches::default(),
+    };
+    caches.trace = Some(trace);
+    caches.guard = guard.is_enabled().then_some(guard);
+    eval_with_caches(doc, expr, &caches)
+}
+
+/// [`evaluate_guarded`] in forced scan mode: the postings fast paths are
+/// disabled and no lazy index is built. This is the degradation target the
+/// engine falls back to when an index build fails or its integrity
+/// verification rejects it; results are identical to the indexed path's.
+pub fn evaluate_scan_guarded(
+    doc: &Document,
+    expr: &Expr,
+    trace: &Trace,
+    guard: &Guard,
+) -> Result<XValue> {
+    let caches = EvalCaches {
+        trace: Some(trace),
+        guard: guard.is_enabled().then_some(guard),
+        no_index: true,
+        ..Default::default()
+    };
     eval_with_caches(doc, expr, &caches)
 }
 
@@ -464,6 +513,13 @@ fn apply_steps_inner(
     let mut current = start;
     let mut i = 0;
     while i < steps.len() {
+        // Budget probe: one round per location step plus the context size
+        // it is about to expand.
+        if let Some(g) = caches.guard {
+            g.try_rounds(1).map_err(XPathError::Budget)?;
+            g.try_matches(current.len() as u64)
+                .map_err(XPathError::Budget)?;
+        }
         if let Some(name) = fused_descendant_name(steps, i) {
             let span = trace.map(|t| {
                 let s = t.span(&format!("step[{i}:://{name}]"));
@@ -472,6 +528,12 @@ fn apply_steps_inner(
                 s
             });
             current = descendant_named(doc, caches, &current, name);
+            // Budget probe: the fused lookup skips apply_step, so charge
+            // its fan-out here or `//Name` explosions would go unmetered.
+            if let Some(g) = caches.guard {
+                g.try_matches(current.len() as u64)
+                    .map_err(XPathError::Budget)?;
+            }
             if let Some(t) = trace {
                 t.count("context_out", current.len() as u64);
             }
@@ -542,6 +604,21 @@ fn descendant_named(
     input: &[Item],
     name: &str,
 ) -> Vec<Item> {
+    if caches.no_index {
+        // Scan-only degradation: walk each subtree instead of touching (or
+        // lazily building) postings.
+        let mut out: Vec<Item> = Vec::new();
+        for &item in input {
+            let Item::Node(node) = item else { continue };
+            out.extend(
+                doc.descendants(node)
+                    .filter(|&d| doc.kind(d) == NodeKind::Element && doc.name(d) == Some(name))
+                    .map(Item::Node),
+            );
+        }
+        sort_dedup(doc, &mut out);
+        return out;
+    }
     let idx = caches.index(doc);
     let mut out: Vec<Item> = Vec::new();
     let sym = doc.lookup_sym(name);
@@ -579,6 +656,9 @@ fn indexed_candidates(
     item: Item,
     step: &Step,
 ) -> Option<Vec<Item>> {
+    if caches.no_index {
+        return None; // scan-only degradation: never touch postings
+    }
     let include_self = match step.axis {
         Axis::Descendant => false,
         Axis::DescendantOrSelf => true,
@@ -622,6 +702,15 @@ fn apply_step(
 ) -> Result<Vec<Item>> {
     let mut out: Vec<Item> = Vec::new();
     for &ctx_item in input {
+        // Budget probe: per context item (covers deadline/cancellation even
+        // inside one huge step).
+        if let Some(g) = caches.guard {
+            if !g.ok() {
+                return Err(XPathError::Budget(
+                    g.error().expect("tripped guard has an error"),
+                ));
+            }
+        }
         let mut candidates = match indexed_candidates(doc, caches, ctx_item, step) {
             Some(c) => {
                 if let Some(s) = stats.as_deref_mut() {
@@ -638,6 +727,11 @@ fn apply_step(
                 c
             }
         };
+        // Budget probe: this context item's candidate fan-out.
+        if let Some(g) = caches.guard {
+            g.try_matches(candidates.len() as u64)
+                .map_err(XPathError::Budget)?;
+        }
         for pred in &step.predicates {
             let size = candidates.len();
             let mut kept = Vec::with_capacity(size);

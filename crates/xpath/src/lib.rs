@@ -32,7 +32,8 @@ pub mod parser;
 
 pub use ast::{Axis, Expr, LocationPath, NodeTest, Step};
 pub use eval::{
-    evaluate, evaluate_traced, evaluate_with_index, select, select_with_index, Item, XValue,
+    evaluate, evaluate_guarded, evaluate_scan_guarded, evaluate_traced, evaluate_with_index,
+    select, select_with_index, Item, XValue,
 };
 pub use parser::parse;
 
@@ -46,6 +47,9 @@ pub enum XPathError {
     Parse { offset: usize, msg: String },
     /// Runtime error (bad function arity, type misuse, …).
     Eval { msg: String },
+    /// A resource budget tripped during evaluation (carries the partial
+    /// progress report).
+    Budget(gql_guard::GuardError),
 }
 
 impl std::fmt::Display for XPathError {
@@ -56,6 +60,7 @@ impl std::fmt::Display for XPathError {
                 write!(f, "parse error at offset {offset}: {msg}")
             }
             XPathError::Eval { msg } => write!(f, "evaluation error: {msg}"),
+            XPathError::Budget(e) => write!(f, "{e}"),
         }
     }
 }

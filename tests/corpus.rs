@@ -78,6 +78,33 @@ fn corpus_cases_are_nonvacuous() {
     }
 }
 
+/// Budget-bearing corpus cases are pathological by construction (exploding
+/// fixpoints, combinatorial joins): unbounded they would hang this suite.
+/// Each must trip its budget cleanly — `replay()` enforces that — AND do so
+/// inside a small wall-clock bound, proving the probes sit close enough to
+/// the explosion that the budget arrests it early.
+#[test]
+fn budgeted_corpus_cases_trip_within_wall_clock_bound() {
+    let cases = load_dir(&corpus_dir()).expect("corpus directory loads");
+    let budgeted: Vec<_> = cases.iter().filter(|(_, c)| c.budget.is_some()).collect();
+    assert!(
+        budgeted.len() >= 2,
+        "expected at least the two seeded pathological cases, found {}",
+        budgeted.len()
+    );
+    for (path, case) in budgeted {
+        let started = std::time::Instant::now();
+        case.replay()
+            .unwrap_or_else(|msg| panic!("{}: {msg}", path.display()));
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(5),
+            "{}: budget took {elapsed:?} to trip — the probes are too far from the explosion",
+            path.display()
+        );
+    }
+}
+
 /// Corpus files survive a parse → render → parse round-trip, so `gql-fuzz
 /// run --corpus` appends files this suite can always read back.
 #[test]

@@ -134,6 +134,51 @@ fn wglog_recursive_stratum_converges_in_pinned_rounds() {
     assert_eq!(counter(compose, "edges_created"), 3);
 }
 
+/// A fixpoint longer than the 64-round tracing cap must not silently drop
+/// rounds: the first 64 get spans, every later round is folded into an
+/// explicit `rounds_truncated` counter, and the stratum carries a
+/// `round_spans: truncated` note. The transitive closure of a 70-document
+/// chain needs exactly 69 rounds in its compose stratum (68 productive
+/// path-extension rounds, then the empty confirming round), so exactly 5
+/// rounds are truncated.
+#[test]
+fn wglog_long_fixpoint_truncates_round_spans_with_explicit_counter() {
+    let n = 70;
+    let mut xml = String::from("<g>");
+    for i in 1..n {
+        xml.push_str(&format!("<doc id='d{i}'><link ref='d{}'/></doc>", i + 1));
+    }
+    xml.push_str(&format!("<doc id='d{n}'><mark>end</mark></doc></g>"));
+    let doc = Document::parse_str(&xml).unwrap();
+    let program = gql::wglog::dsl::parse(
+        "rule { query { $a: doc  $l: link  $b: doc  $a -link-> $l  $l -ref-> $b } \
+                construct { $a -step-> $b } }\n\
+         rule { query { $a: doc  $b: doc  $a -step-> $b } construct { $a -reaches-> $b } }\n\
+         rule { query { $a: doc  $b: doc  $c: doc  $a -reaches-> $b  $b -step-> $c } \
+                construct { $a -reaches-> $c } }\n\
+         goal doc",
+    )
+    .unwrap();
+    let profile = profiled(&QueryKind::WgLog(program), &doc);
+    let eval = profile.find("eval").unwrap();
+    let compose = eval.find("stratum[2]").unwrap();
+    let rounds = counter(compose, "rounds");
+    assert_eq!(rounds, 69);
+    // Relational pin: whatever the cap, truncated + traced must cover every
+    // round — nothing disappears silently.
+    assert_eq!(counter(compose, "rounds_truncated"), rounds - 64);
+    assert_eq!(compose.note("round_spans"), Some("truncated"));
+    assert!(compose.find("round[63]").is_some(), "last capped span kept");
+    assert!(
+        compose.find("round[64]").is_none(),
+        "rounds past the cap must fold into the counter, not spans"
+    );
+    // The short strata are untouched: no truncation marker.
+    let s0 = eval.find("stratum[0]").unwrap();
+    assert!(s0.counter("rounds_truncated").is_none());
+    assert!(s0.note("round_spans").is_none());
+}
+
 /// An XML-GL join over a document sized by hand: the profile must report
 /// the exact per-query-node candidate sets, hash-join probe counts and
 /// binding totals.

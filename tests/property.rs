@@ -19,6 +19,11 @@ use gql::ssdm::{Document, NodeId};
 use gql_testkit::generators::{document, fuzz_alphabet, gen_xmlgl, string_over, text_value};
 use gql_testkit::{check, pick, TAGS};
 
+use gql::core::engine::Engine;
+use gql::core::{Budget, CoreError};
+use gql_testkit::fault::query_kinds;
+use gql_testkit::fuzz::{case_inputs, Generator};
+
 // ----------------------------------------------------------------------
 // XML round-trip
 // ----------------------------------------------------------------------
@@ -627,4 +632,96 @@ fn zero_error_wglog_programs_evaluate() {
         gql::wglog::eval::run(&program, &db)
             .unwrap_or_else(|e| panic!("accepted program failed to evaluate: {e}\n{src}"));
     });
+}
+
+// ----------------------------------------------------------------------
+// Resource governance (gql-guard)
+// ----------------------------------------------------------------------
+
+/// Budget-boundary property: a budget is a *cap*, never an influence. Any
+/// query that completes under budget B must return byte-identical results
+/// under budget 2B and under no budget at all — headroom may not change an
+/// answer. Trips under B are fine (that is what budgets are for); the only
+/// forbidden outcome is completing with different bytes.
+#[test]
+fn completing_under_a_budget_is_headroom_invariant() {
+    check(
+        "completing_under_a_budget_is_headroom_invariant",
+        48,
+        |rng| {
+            let seed = rng.next_u64();
+            for g in Generator::ALL {
+                let (doc_xml, query) = case_inputs(g, seed);
+                let Ok(doc) = Document::parse_str(&doc_xml) else {
+                    continue;
+                };
+                let m = rng.gen_range(1..400) as u64;
+                let r = rng.gen_range(1..12) as u64;
+                let budget = Budget::unlimited().with_max_matches(m).with_max_rounds(r);
+                let double = Budget::unlimited()
+                    .with_max_matches(m * 2)
+                    .with_max_rounds(r * 2);
+                for kind in query_kinds(g, &query) {
+                    let engine = Engine::new();
+                    let under_b = match engine.run_bounded(&kind, &doc, &budget) {
+                        Ok(out) => out,
+                        Err(_) => continue, // tripped or rejected: vacuous here
+                    };
+                    let under_2b = engine
+                        .run_bounded(&kind, &doc, &double)
+                        .unwrap_or_else(|e| {
+                            panic!("completed under B but tripped under 2B: {e}\n{query}")
+                        });
+                    let unlimited = engine.run(&kind, &doc).unwrap_or_else(|e| {
+                        panic!("completed under B but failed unbounded: {e}\n{query}")
+                    });
+                    assert_eq!(
+                        under_b.output.to_xml_string(),
+                        under_2b.output.to_xml_string(),
+                        "doubling the budget changed the answer\n{query}"
+                    );
+                    assert_eq!(
+                        under_b.output.to_xml_string(),
+                        unlimited.output.to_xml_string(),
+                        "removing the budget changed the answer\n{query}"
+                    );
+                }
+            }
+        },
+    );
+}
+
+/// Budget-trip determinism: for a fixed seed and a time-free budget that
+/// trips in a sequential phase (round caps — WG-Log's fixpoint and XPath's
+/// step loop are sequential), the partial-progress report is a pure
+/// function of the inputs: two runs produce identical `shape()` strings
+/// (the deterministic rendering, which excludes elapsed time).
+#[test]
+fn budget_trip_reports_are_deterministic_for_a_fixed_seed() {
+    check(
+        "budget_trip_reports_are_deterministic_for_a_fixed_seed",
+        48,
+        |rng| {
+            let seed = rng.next_u64();
+            let budget = Budget::unlimited().with_max_rounds(1);
+            for g in [Generator::WgLog, Generator::XPath] {
+                let (doc_xml, query) = case_inputs(g, seed);
+                let Ok(doc) = Document::parse_str(&doc_xml) else {
+                    continue;
+                };
+                for kind in query_kinds(g, &query) {
+                    let trip = |engine: &Engine| match engine.run_bounded(&kind, &doc, &budget) {
+                        Err(CoreError::Budget(e)) => Some(e.shape()),
+                        _ => None,
+                    };
+                    let first = trip(&Engine::new());
+                    let second = trip(&Engine::new());
+                    assert_eq!(
+                        first, second,
+                        "trip report changed between identical runs\n{query}"
+                    );
+                }
+            }
+        },
+    );
 }
