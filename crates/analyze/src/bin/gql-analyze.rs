@@ -1,4 +1,5 @@
-//! `gql-analyze` — lint XML-GL (`.gql`) and WG-Log (`.wgl`) query programs.
+//! `gql-analyze` — lint XML-GL (`.gql`), WG-Log (`.wgl`) and XPath (`.xp`)
+//! query programs.
 //!
 //! ```text
 //! Usage: gql-analyze [options] <file-or-dir>...
@@ -6,12 +7,16 @@
 //!   --json             machine-readable report (one JSON object per file)
 //!   --deny-warnings    exit non-zero on warnings, not just errors
 //!   --dtd FILE         XML DTD for the schema-conformance pass (GQL006)
-//!   --instance FILE    XML document: extracts a WG-Log schema (GQL012/13)
-//!                      and collects statistics for the cost pass (GQL009)
+//!   --instance FILE    XML document: extracts a WG-Log schema (GQL012/13),
+//!                      collects statistics for the cost pass (GQL009) and
+//!                      infers the structural summary for the
+//!                      summary-inference pass (GQL014–GQL016) with
+//!                      cardinality bounds
 //!   --explain          print the pass/diagnostic-code table and exit
 //! ```
 //!
-//! Directories are searched recursively for `.gql`/`.wgl` files. Exit code
+//! Directories are searched recursively for `.gql`/`.wgl`/`.xp` files. Exit
+//! code
 //! is 1 when any file has an Error-level diagnostic (with `--deny-warnings`,
 //! also on Warning-level), 2 on usage/IO problems.
 
@@ -93,8 +98,8 @@ fn explain() {
     }
 }
 
-/// Collect `.gql`/`.wgl` files under a path (recursing into directories),
-/// in sorted order for stable output.
+/// Collect `.gql`/`.wgl`/`.xp` files under a path (recursing into
+/// directories), in sorted order for stable output.
 fn collect(path: &Path, into: &mut Vec<PathBuf>) -> Result<(), String> {
     if path.is_dir() {
         let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
@@ -108,7 +113,7 @@ fn collect(path: &Path, into: &mut Vec<PathBuf>) -> Result<(), String> {
         return Ok(());
     }
     match path.extension().and_then(|e| e.to_str()) {
-        Some("gql") | Some("wgl") => into.push(path.to_path_buf()),
+        Some("gql") | Some("wgl") | Some("xp") => into.push(path.to_path_buf()),
         // Explicitly-named files of other types are an error; files found
         // during directory walks are just skipped.
         _ => {}
@@ -133,19 +138,67 @@ fn build_analyzer(opts: &Options) -> Result<Analyzer, String> {
         let db = gql_wglog::Instance::from_document(&doc);
         analyzer = analyzer
             .with_wg_schema(gql_wglog::schema::WgSchema::extract(&db))
-            .with_stats(gql_core::stats::DocStats::collect(&doc));
+            .with_stats(gql_core::stats::DocStats::collect(&doc))
+            .with_summary(gql_ssdm::Summary::build(&doc));
     }
     Ok(analyzer)
 }
 
-fn analyze_file(analyzer: &Analyzer, path: &Path) -> Result<Report, String> {
+/// Analyze one file: its report, plus the summary inference (cardinality
+/// bounds) when an `--instance` summary is in context and the file parses.
+fn analyze_file(
+    analyzer: &Analyzer,
+    path: &Path,
+) -> Result<(Report, Option<gql_analyze::Inference>), String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
     let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
     Ok(match ext {
-        "gql" => analyzer.analyze_xmlgl_src(&src),
-        "wgl" => analyzer.analyze_wglog_src(&src),
+        "gql" => match gql_xmlgl::dsl::parse_unchecked(&src) {
+            Ok(p) => {
+                let inf = analyzer.infer_xmlgl(&p);
+                (analyzer.analyze_xmlgl(&p), inf)
+            }
+            Err(_) => (analyzer.analyze_xmlgl_src(&src), None),
+        },
+        "wgl" => match gql_wglog::dsl::parse_unchecked(&src) {
+            Ok(p) => {
+                let inf = analyzer.infer_wglog(&p);
+                (analyzer.analyze_wglog(&p), inf)
+            }
+            Err(_) => (analyzer.analyze_wglog_src(&src), None),
+        },
+        "xp" => {
+            let expr = src.trim();
+            match gql_xpath::parse(expr) {
+                Ok(p) => {
+                    let inf = analyzer.infer_xpath(&p);
+                    (analyzer.analyze_xpath_src(expr), inf)
+                }
+                Err(_) => (analyzer.analyze_xpath_src(expr), None),
+            }
+        }
         _ => return Err(format!("{}: unknown extension '{ext}'", path.display())),
     })
+}
+
+/// JSON array of cardinality facts: `u64::MAX` (unbounded) becomes `null`.
+fn bounds_json(cards: &gql_analyze::CardinalityMap) -> String {
+    let entries: Vec<String> = cards
+        .iter()
+        .map(|e| {
+            let bound = if e.bound == u64::MAX {
+                "null".to_string()
+            } else {
+                e.bound.to_string()
+            };
+            format!(
+                "{{\"rule\":{},\"target\":{},\"bound\":{bound}}}",
+                e.rule + 1,
+                json_string(&e.target)
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
 }
 
 fn main() -> ExitCode {
@@ -179,7 +232,7 @@ fn main() -> ExitCode {
     let mut json_entries = Vec::new();
     let (mut errors, mut warnings, mut hints) = (0usize, 0usize, 0usize);
     for file in &files {
-        let report = match analyze_file(&analyzer, file) {
+        let (report, inference) = match analyze_file(&analyzer, file) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("gql-analyze: {e}");
@@ -193,14 +246,32 @@ fn main() -> ExitCode {
             failed = true;
         }
         if opts.json {
+            let bounds = inference
+                .as_ref()
+                .map_or(String::from("[]"), |inf| bounds_json(&inf.cards));
             json_entries.push(format!(
-                "{{\"path\":{},\"report\":{}}}",
+                "{{\"path\":{},\"report\":{},\"bounds\":{bounds}}}",
                 json_string(&file.display().to_string()),
                 report.to_json()
             ));
         } else {
             for d in report.iter() {
                 println!("{}: {d}", file.display());
+            }
+            if let Some(inf) = &inference {
+                for e in inf.cards.iter() {
+                    let bound = if e.bound == u64::MAX {
+                        String::from("unbounded")
+                    } else {
+                        format!("<= {}", e.bound)
+                    };
+                    println!(
+                        "{}: rule {} {}: {bound}",
+                        file.display(),
+                        e.rule + 1,
+                        e.target
+                    );
+                }
             }
         }
     }

@@ -18,9 +18,11 @@
 //! | unused variables            | GQL008 | no |
 //! | cost estimation             | GQL009 | document stats |
 //! | stratification              | GQL010 | no |
+//! | summary inference           | GQL014–GQL016 | document summary |
 //!
 //! Context (a DTD-derived schema, an extracted WG-Log schema, per-document
-//! statistics) is optional: passes that need missing context are skipped.
+//! statistics, an inferred structural summary) is optional: passes that
+//! need missing context are skipped.
 //!
 //! ```
 //! use gql_analyze::Analyzer;
@@ -34,9 +36,11 @@
 pub mod wglog;
 pub mod xmlgl;
 
+pub use gql_infer::{CardEntry, CardinalityMap, Inference};
 pub use gql_ssdm::{Code, Diagnostic, Report, Severity, Span};
 
 use gql_core::stats::DocStats;
+use gql_ssdm::Summary;
 use gql_wglog::schema::WgSchema;
 use gql_xmlgl::schema::GlSchema;
 
@@ -50,6 +54,9 @@ pub struct Context {
     pub wg_schema: Option<WgSchema>,
     /// Per-document statistics for the GQL009 cost pass.
     pub stats: Option<DocStats>,
+    /// Inferred structural summary (DataGuide with counts) for the
+    /// summary-inference pass (GQL014–GQL016) and cardinality bounds.
+    pub summary: Option<Summary>,
 }
 
 /// Description of one analysis pass, for `--explain`-style tooling.
@@ -116,6 +123,15 @@ pub const PASSES: &[PassInfo] = &[
         codes: &[Code::NotStratifiable],
         needs: None,
     },
+    PassInfo {
+        name: "summary-inference",
+        codes: &[
+            Code::EmptyUnderSummary,
+            Code::DeadRule,
+            Code::PathNeverMatches,
+        ],
+        needs: Some("document summary"),
+    },
 ];
 
 /// The analyzer: run every applicable pass over a program and collect the
@@ -148,8 +164,44 @@ impl Analyzer {
         self
     }
 
+    /// Provide an inferred structural summary (unlocks GQL014–GQL016 and
+    /// the cardinality bounds of [`Analyzer::infer_xmlgl`] /
+    /// [`Analyzer::infer_wglog`]).
+    pub fn with_summary(mut self, summary: Summary) -> Self {
+        self.ctx.summary = Some(summary);
+        self
+    }
+
     pub fn context(&self) -> &Context {
         &self.ctx
+    }
+
+    /// Full summary inference for an XML-GL program — GQL014 diagnostics
+    /// plus per-node cardinality bounds. `None` without a summary in
+    /// context.
+    pub fn infer_xmlgl(&self, program: &gql_xmlgl::ast::Program) -> Option<Inference> {
+        self.ctx
+            .summary
+            .as_ref()
+            .map(|s| gql_infer::infer_xmlgl(program, s))
+    }
+
+    /// Full summary inference for a WG-Log program (GQL014/GQL015 and
+    /// bounds). `None` without a summary in context.
+    pub fn infer_wglog(&self, program: &gql_wglog::Program) -> Option<Inference> {
+        self.ctx
+            .summary
+            .as_ref()
+            .map(|s| gql_infer::infer_wglog(program, s))
+    }
+
+    /// Full summary inference for a parsed XPath expression (GQL016 and
+    /// per-step bounds). `None` without a summary in context.
+    pub fn infer_xpath(&self, expr: &gql_xpath::Expr) -> Option<Inference> {
+        self.ctx
+            .summary
+            .as_ref()
+            .map(|s| gql_infer::infer_xpath(expr, s))
     }
 
     /// Analyze a parsed XML-GL program.
@@ -178,6 +230,19 @@ impl Analyzer {
             Err(e) => Report::from(vec![syntax_diag(&e.to_string(), syntax_span_wglog(&e))]),
         }
     }
+
+    /// Parse and analyze an XPath expression. Only the syntax (GQL000) and
+    /// summary-inference (GQL016) passes apply to XPath; the latter needs a
+    /// summary in context.
+    pub fn analyze_xpath_src(&self, src: &str) -> Report {
+        match gql_xpath::parse(src) {
+            Ok(expr) => self
+                .infer_xpath(&expr)
+                .map(|inf| inf.report)
+                .unwrap_or_default(),
+            Err(e) => Report::from(vec![syntax_diag(&e.to_string(), syntax_span_xpath(&e))]),
+        }
+    }
 }
 
 fn syntax_diag(msg: &str, span: Span) -> Diagnostic {
@@ -194,6 +259,16 @@ fn syntax_span_xmlgl(e: &gql_xmlgl::XmlGlError) -> Span {
 fn syntax_span_wglog(e: &gql_wglog::WgLogError) -> Span {
     match e {
         gql_wglog::WgLogError::Syntax { line, col, .. } => Span::new(*line, *col),
+        _ => Span::none(),
+    }
+}
+
+fn syntax_span_xpath(e: &gql_xpath::XPathError) -> Span {
+    // XPath expressions are single-line; the error offset is the column.
+    match e {
+        gql_xpath::XPathError::Lex { offset, .. } | gql_xpath::XPathError::Parse { offset, .. } => {
+            Span::new(1, u32::try_from(offset + 1).unwrap_or(u32::MAX))
+        }
         _ => Span::none(),
     }
 }
@@ -225,6 +300,44 @@ mod tests {
         let d = r.iter().next().unwrap();
         assert_eq!(d.code, Code::Syntax);
         assert_eq!(d.span.line, 2);
+    }
+
+    #[test]
+    fn summary_unlocks_inference_pass() {
+        let doc = gql_ssdm::Document::parse_str(
+            "<guide><restaurant><name>A</name></restaurant>\
+             <restaurant><name>B</name></restaurant></guide>",
+        )
+        .unwrap();
+        let analyzer = Analyzer::new().with_summary(Summary::build(&doc));
+        // XML-GL: a tag absent from the document is statically empty.
+        let r = analyzer.analyze_xmlgl_src(
+            "rule { extract { cinema as $c { show } } construct { out { all $c } } }",
+        );
+        assert!(
+            r.iter().any(|d| d.code == Code::EmptyUnderSummary),
+            "{}",
+            r.render()
+        );
+        // A live query gets cardinality bounds instead of diagnostics.
+        let p = gql_xmlgl::dsl::parse_unchecked(
+            "rule { extract { restaurant as $r { name } } construct { out { all $r } } }",
+        )
+        .unwrap();
+        let inf = analyzer.infer_xmlgl(&p).unwrap();
+        assert!(!inf.is_statically_empty());
+        assert!(inf.cards.iter().any(|e| e.bound == 2), "{:?}", inf.cards);
+        // XPath: dead step is GQL016, garbage is GQL000 with a column.
+        let r = analyzer.analyze_xpath_src("/guide/cinema");
+        assert!(r.iter().any(|d| d.code == Code::PathNeverMatches));
+        let r = analyzer.analyze_xpath_src("/guide//");
+        let d = r.iter().next().unwrap();
+        assert_eq!(d.code, Code::Syntax);
+        assert!(!d.span.is_none());
+        // Without a summary the pass is skipped entirely.
+        assert!(Analyzer::new()
+            .analyze_xpath_src("/guide/cinema")
+            .is_empty());
     }
 
     #[test]

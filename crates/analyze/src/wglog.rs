@@ -42,6 +42,11 @@ pub fn analyze(program: &Program, ctx: &Context) -> Report {
         if let Some(schema) = &ctx.wg_schema {
             goal_constructed(program, schema, &mut report);
         }
+        // Summary inference (GQL014/GQL015): dead rules and unavailable
+        // goals under the document's inferred structural summary.
+        if let Some(summary) = &ctx.summary {
+            report.extend(gql_infer::infer_wglog(program, summary).report);
+        }
     }
     report
 }

@@ -39,6 +39,11 @@ pub fn analyze(program: &Program, ctx: &Context) -> Report {
             report.push(d.with_rule(label.clone()));
         }
     }
+    // Summary inference (GQL014): abstract interpretation against the
+    // inferred DataGuide; its diagnostics already carry spans and rules.
+    if let Some(summary) = &ctx.summary {
+        report.extend(gql_infer::infer_xmlgl(program, summary).report);
+    }
     report
 }
 

@@ -19,7 +19,8 @@ fn examples_dir() -> PathBuf {
 }
 
 /// Build an analyzer with the fixture's sidecar context: `<stem>.dtd`
-/// becomes the XML-GL schema, `<stem>.xml` the WG-Log schema + statistics.
+/// becomes the XML-GL schema, `<stem>.xml` the WG-Log schema, statistics and
+/// structural summary.
 fn analyzer_for(fixture: &Path) -> Analyzer {
     let mut analyzer = Analyzer::new();
     let dtd_path = fixture.with_extension("dtd");
@@ -35,7 +36,8 @@ fn analyzer_for(fixture: &Path) -> Analyzer {
         let db = gql_wglog::Instance::from_document(&doc);
         analyzer = analyzer
             .with_wg_schema(gql_wglog::schema::WgSchema::extract(&db))
-            .with_stats(gql_core::stats::DocStats::collect(&doc));
+            .with_stats(gql_core::stats::DocStats::collect(&doc))
+            .with_summary(gql_ssdm::Summary::build(&doc));
     }
     analyzer
 }
@@ -45,6 +47,7 @@ fn analyze(path: &Path) -> Report {
     match path.extension().and_then(|e| e.to_str()) {
         Some("gql") => analyzer_for(path).analyze_xmlgl_src(&src),
         Some("wgl") => analyzer_for(path).analyze_wglog_src(&src),
+        Some("xp") => analyzer_for(path).analyze_xpath_src(src.trim()),
         other => panic!("{}: unexpected extension {other:?}", path.display()),
     }
 }
@@ -56,7 +59,7 @@ fn query_files(dir: &Path) -> Vec<PathBuf> {
         .filter(|p| {
             matches!(
                 p.extension().and_then(|e| e.to_str()),
-                Some("gql") | Some("wgl")
+                Some("gql") | Some("wgl") | Some("xp")
             )
         })
         .collect();
@@ -94,7 +97,8 @@ fn fixtures_match_their_golden_reports() {
 }
 
 /// Each `gqlNNN_*` fixture must actually produce its namesake code, with a
-/// source span (GQL013 is program-level and exempt from the span rule).
+/// source span (GQL013 is program-level and GQL016 expression-level — XPath
+/// steps carry no source offsets — so both are exempt from the span rule).
 #[test]
 fn every_code_has_a_fixture_with_a_span() {
     let mut seen: BTreeMap<String, bool> = BTreeMap::new();
@@ -113,7 +117,7 @@ fn every_code_has_a_fixture_with_a_span() {
         );
         let spanned = matching.iter().any(|d| !d.span.is_none());
         assert!(
-            spanned || code_name == "GQL013",
+            spanned || code_name == "GQL013" || code_name == "GQL016",
             "{stem}: {code_name} diagnostic carries no span"
         );
         seen.insert(code_name, spanned);

@@ -1,13 +1,19 @@
 //! Experiment T5 / design-choice D2: optimized (hash join, pushed filters)
 //! vs deoptimized (nested loops, hoisted filters) algebra plans, including
-//! a low-selectivity self-join where pushdown pays most.
+//! a low-selectivity self-join where pushdown pays most, plus the matcher
+//! side of the same story: declaration-order root joins vs the
+//! summary-inferred combine order from `gql-infer`.
 
 use gql_bench::microbench::{BenchmarkId, Criterion};
 use gql_bench::suite::Dataset;
 use gql_bench::{criterion_group, criterion_main};
 use gql_core::{algebra, translate};
+use gql_guard::Guard;
+use gql_ssdm::{DocIndex, Summary};
+use gql_trace::Trace;
 use gql_xmlgl::ast::CmpOp;
 use gql_xmlgl::builder::{RuleBuilder, C, Q};
+use gql_xmlgl::eval::{match_rule_guarded, match_rule_planned, MatchMode};
 
 fn bench_q6(c: &mut Criterion) {
     let mut group = c.benchmark_group("t5_q6_join_plans");
@@ -24,7 +30,7 @@ fn bench_q6(c: &mut Criterion) {
     let plan = translate::extract_to_plan(&program.rules[0]).expect("Q6 plans");
     let fast = algebra::optimize(&plan);
     let slow = algebra::deoptimize(&plan);
-    for scale in [200usize, 800] {
+    for scale in [200usize, 800, 3200] {
         let doc = Dataset::Greengrocer.build(scale);
         group.bench_with_input(BenchmarkId::new("optimized", scale), &doc, |b, doc| {
             b.iter(|| algebra::execute(&fast, doc).expect("plan runs"))
@@ -32,6 +38,59 @@ fn bench_q6(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("deoptimized", scale), &doc, |b, doc| {
             b.iter(|| algebra::execute(&slow, doc).expect("plan runs"))
         });
+
+        // Matcher-level counterpart: Q6's declaration order combines the
+        // bulky `product` root first; the summary-inferred plan starts from
+        // the country-filtered `vendor` root instead. Results are
+        // guaranteed identical — only intermediate join sizes differ.
+        let rule = &program.rules[0];
+        let idx = DocIndex::build(&doc);
+        let summary = Summary::from_index(&doc, &idx);
+        let inference = gql_infer::infer_xmlgl(&program, &summary);
+        let order = gql_infer::plan_root_order(rule, &inference.root_bounds[0])
+            .expect("Q6 has a reorderable multi-root extract");
+        assert_ne!(order, vec![0, 1], "plan must actually reorder Q6");
+        let (trace, guard) = (Trace::disabled(), Guard::unlimited());
+        let declared = match_rule_guarded(
+            rule,
+            &doc,
+            Some(&idx),
+            MatchMode::Sequential,
+            &trace,
+            &guard,
+        );
+        let planned = match_rule_planned(
+            rule,
+            &doc,
+            Some(&idx),
+            MatchMode::Sequential,
+            &trace,
+            &guard,
+            &order,
+        );
+        assert_eq!(declared, planned, "plans must not change results");
+        group.bench_with_input(BenchmarkId::new("declared-order", scale), &doc, |b, doc| {
+            b.iter(|| {
+                match_rule_guarded(rule, doc, Some(&idx), MatchMode::Sequential, &trace, &guard)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("summary-planned", scale),
+            &doc,
+            |b, doc| {
+                b.iter(|| {
+                    match_rule_planned(
+                        rule,
+                        doc,
+                        Some(&idx),
+                        MatchMode::Sequential,
+                        &trace,
+                        &guard,
+                        &order,
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -223,6 +223,19 @@ fn main() -> ExitCode {
         println!("{}", profile.to_json());
     } else {
         print!("{}", profile.to_text());
+        // Static inference over the document summary: warnings first, then
+        // the per-node cardinality upper bounds the planner saw.
+        for d in outcome.inference.report.iter() {
+            println!("infer: {d}");
+        }
+        for e in outcome.inference.cards.iter() {
+            let bound = if e.bound == u64::MAX {
+                String::from("unbounded")
+            } else {
+                format!("<= {}", e.bound)
+            };
+            println!("bound: rule {} {}: {bound}", e.rule + 1, e.target);
+        }
         println!(
             "{} result(s) in {:?} (load {:?})",
             outcome.result_count, outcome.eval_time, outcome.load_time

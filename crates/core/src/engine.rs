@@ -9,9 +9,11 @@
 use std::time::{Duration, Instant};
 
 use gql_guard::{fault, Budget, Guard};
-use gql_ssdm::{shallow_fingerprint, DocIndex, Document};
+use gql_infer::Inference;
+use gql_ssdm::{shallow_fingerprint, DocIndex, Document, Summary};
 use gql_trace::{ExecutionProfile, Trace};
 use gql_wglog::instance::Instance;
+use gql_xmlgl::eval::MatchPlans;
 
 use crate::{CoreError, Result};
 
@@ -39,6 +41,12 @@ pub struct RunOutcome {
     /// The execution profile, when the run was profiled
     /// ([`Engine::run_profiled`]); `None` for plain [`Engine::run`]s.
     pub profile: Option<ExecutionProfile>,
+    /// Static inference of the query against the document's structural
+    /// summary: GQL014–GQL016 warnings (statically-empty queries, dead
+    /// rules, dead XPath steps) and cardinality upper bounds. Warnings
+    /// never refuse a run — the result is still computed and the bounds
+    /// also drive the XML-GL join planner.
+    pub inference: Inference,
 }
 
 /// A [`DocIndex`] pinned to one resident document, fingerprinted by the
@@ -60,6 +68,9 @@ struct ResidentIndex {
     node_count: usize,
     fingerprint: u64,
     index: DocIndex,
+    /// The structural summary (DataGuide with per-path counts) inferred
+    /// from the same document, cached for the static-analysis phase.
+    summary: Summary,
 }
 
 /// The unified runner.
@@ -83,26 +94,38 @@ impl Engine {
     /// configuration).
     pub fn preload(&mut self, doc: &Document) {
         self.resident_instance = Some(Instance::from_document(doc));
+        let index = DocIndex::build(doc);
+        let summary = Summary::from_index(doc, &index);
         self.resident_index = Some(ResidentIndex {
             doc_addr: std::ptr::from_ref(doc) as usize,
             node_count: doc.node_count(),
             fingerprint: shallow_fingerprint(doc),
-            index: DocIndex::build(doc),
+            index,
+            summary,
         });
     }
 
-    /// The resident index, if it was built for exactly this document in its
-    /// current shape — address, node count and shallow content fingerprint
-    /// must all agree (see [`ResidentIndex`]).
+    /// The resident cache entry, if it was built for exactly this document
+    /// in its current shape — address, node count and shallow content
+    /// fingerprint must all agree (see [`ResidentIndex`]).
+    fn resident_for(&self, doc: &Document) -> Option<&ResidentIndex> {
+        self.resident_index.as_ref().filter(|r| {
+            r.doc_addr == std::ptr::from_ref(doc) as usize
+                && r.node_count == doc.node_count()
+                && r.fingerprint == shallow_fingerprint(doc)
+        })
+    }
+
+    /// The resident index, under the staleness checks of [`resident_for`].
+    ///
+    /// [`resident_for`]: Engine::resident_for
     fn resident_index_for(&self, doc: &Document) -> Option<&DocIndex> {
-        self.resident_index
-            .as_ref()
-            .filter(|r| {
-                r.doc_addr == std::ptr::from_ref(doc) as usize
-                    && r.node_count == doc.node_count()
-                    && r.fingerprint == shallow_fingerprint(doc)
-            })
-            .map(|r| &r.index)
+        self.resident_for(doc).map(|r| &r.index)
+    }
+
+    /// The resident structural summary, under the same staleness checks.
+    fn resident_summary_for(&self, doc: &Document) -> Option<&Summary> {
+        self.resident_for(doc).map(|r| &r.summary)
     }
 
     /// Cache-probe outcome for the index phase, distinguishing "no resident
@@ -246,12 +269,40 @@ impl Engine {
             );
             trace.count("doc_nodes", doc.node_count() as u64);
         }
-        {
+        let mut summary_storage = None;
+        let inference = {
             let _s = trace.span("analyze");
             guard.set_phase("analyze");
             Self::reject_errors(query)?;
+            // Static inference against the structural summary: resident
+            // when preloaded for this document, otherwise inferred here
+            // (one preorder pass). Its diagnostics are Warnings — surfaced
+            // on the outcome, never a refusal — and its cardinality bounds
+            // feed the XML-GL join planner below.
+            let summary: &Summary = match self.resident_summary_for(doc) {
+                Some(s) => s,
+                None => summary_storage.insert(Summary::build(doc)),
+            };
+            let inference = match query {
+                QueryKind::XmlGl(program) => gql_infer::infer_xmlgl(program, summary),
+                QueryKind::WgLog(program) => gql_infer::infer_wglog(program, summary),
+                // A parse failure here is reported by the parse span below
+                // with its original error; inference just stays empty.
+                QueryKind::XPath(expr) => gql_xpath::parse(expr)
+                    .map(|parsed| gql_infer::infer_xpath(&parsed, summary))
+                    .unwrap_or_default(),
+            };
+            if trace.is_enabled() {
+                let s = summary.stats();
+                trace.count("summary_paths", s.paths as u64);
+                trace.count("infer_diags", inference.report.len() as u64);
+                if inference.is_statically_empty() {
+                    trace.note("statically_empty", "true");
+                }
+            }
             guard.checkpoint().map_err(CoreError::Budget)?;
-        }
+            inference
+        };
         match query {
             QueryKind::XmlGl(program) => {
                 let start = Instant::now();
@@ -269,9 +320,30 @@ impl Engine {
                 drop(span);
                 guard.checkpoint().map_err(CoreError::Budget)?;
                 guard.set_phase("eval");
+                // Summary-derived join plans: per rule, the root combine
+                // order chosen from the inferred cardinality bounds. Plans
+                // never change results (see `match_rule_planned`), only
+                // intermediate join sizes.
+                let plans = MatchPlans {
+                    per_rule: program
+                        .rules
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            inference
+                                .root_bounds
+                                .get(i)
+                                .and_then(|b| gql_infer::plan_root_order(r, b))
+                        })
+                        .collect(),
+                };
                 let output = {
                     let _s = trace.span("eval");
-                    gql_xmlgl::eval::run_guarded(program, doc, idx, trace, guard)
+                    if trace.is_enabled() && !plans.is_empty() {
+                        let planned = plans.per_rule.iter().filter(|p| p.is_some()).count();
+                        trace.count("planned_rules", planned as u64);
+                    }
+                    gql_xmlgl::eval::run_planned(program, doc, idx, trace, guard, &plans)
                         .map_err(engine_err_xmlgl)?
                 };
                 let eval_time = start.elapsed();
@@ -283,6 +355,7 @@ impl Engine {
                     eval_time,
                     load_time: Duration::ZERO,
                     profile: None,
+                    inference,
                 })
             }
             QueryKind::WgLog(program) => {
@@ -343,6 +416,7 @@ impl Engine {
                     eval_time,
                     load_time,
                     profile: None,
+                    inference,
                 })
             }
             QueryKind::XPath(expr) => {
@@ -421,6 +495,7 @@ impl Engine {
                     eval_time,
                     load_time: Duration::ZERO,
                     profile: None,
+                    inference,
                 })
             }
         }
@@ -785,6 +860,96 @@ mod tests {
                 "corrupt-postings fallback changed {q:?}"
             );
         }
+    }
+
+    #[test]
+    fn inference_surfaces_summary_warnings_without_refusing() {
+        use gql_ssdm::Code;
+        let d = doc();
+        let engine = Engine::new();
+        // A tag that exists in no document path: every language gets its
+        // inference warning, and every run still completes.
+        let xmlgl = gql_xmlgl::dsl::parse(
+            "rule { extract { cinema as $c } construct { answer { all $c } } }",
+        )
+        .unwrap();
+        let out = engine.run(&QueryKind::XmlGl(xmlgl), &d).unwrap();
+        assert!(out.inference.empty_rules[0]);
+        assert!(out
+            .inference
+            .report
+            .iter()
+            .any(|x| x.code == Code::EmptyUnderSummary));
+        assert_eq!(out.inference.root_bounds, vec![vec![0]]);
+
+        let wglog = gql_wglog::dsl::parse(
+            "rule { query { $c: cinema } construct { $l: cine-list  $l -member-> $c } } \
+             goal cine-list",
+        )
+        .unwrap();
+        let out = engine.run(&QueryKind::WgLog(wglog), &d).unwrap();
+        assert!(out.inference.is_statically_empty());
+        assert!(out
+            .inference
+            .report
+            .iter()
+            .any(|x| x.code == Code::DeadRule));
+        assert_eq!(out.result_count, 0);
+
+        let out = engine
+            .run(&QueryKind::XPath("//cinema/name".into()), &d)
+            .unwrap();
+        assert!(out.inference.is_statically_empty());
+        assert!(out
+            .inference
+            .report
+            .iter()
+            .any(|x| x.code == Code::PathNeverMatches));
+        assert_eq!(out.result_count, 0);
+
+        // A live query carries bounds and no warnings.
+        let out = engine
+            .run(&QueryKind::XPath("//restaurant/menu".into()), &d)
+            .unwrap();
+        assert!(out.inference.report.is_empty());
+        assert_eq!(out.inference.cards.result_bound(0), Some(2));
+        assert_eq!(out.result_count, 2);
+    }
+
+    #[test]
+    fn summary_join_plans_are_applied_and_change_nothing() {
+        let d = doc();
+        // Three roots: the menu root (bound 2) is cheapest, so the planner
+        // reorders away from declaration order; results must be identical.
+        let program = gql_xmlgl::dsl::parse(
+            r#"rule {
+                 extract {
+                   restaurant { name { text as $a } }
+                   menu as $m
+                   name { text as $b }
+                   join $a == $b
+                 }
+                 construct { answer { all $m } }
+               }"#,
+        )
+        .unwrap();
+        let baseline = gql_xmlgl::eval::run(&program, &d).unwrap().to_xml_string();
+        let engine = Engine::new();
+        let q = QueryKind::XmlGl(program);
+        let out = engine.run_profiled(&q, &d).unwrap();
+        assert_eq!(out.output.to_xml_string(), baseline);
+        let profile = out.profile.unwrap();
+        let run = profile.find("run").unwrap();
+        assert_eq!(run.find("eval").unwrap().counter("planned_rules"), Some(1));
+        let matched = run
+            .find("eval")
+            .and_then(|e| e.find("rule[0]"))
+            .and_then(|r| r.find("match"))
+            .unwrap();
+        assert!(
+            matched.note("combine_plan").is_some(),
+            "planned combine must record its order"
+        );
     }
 
     #[test]

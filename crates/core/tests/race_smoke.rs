@@ -1,0 +1,115 @@
+//! Concurrency smoke tests: hammer the parallel matcher and the guard/
+//! trace atomics from many threads at once. These are the tier-1 stand-ins
+//! for a sanitizer pass — CI additionally runs the guard and trace suites
+//! under miri (nightly) for data-race/UB detection; this file covers the
+//! parallel matcher, which is too heavy to interpret there.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use gql_guard::{Budget, CancelToken, Guard};
+use gql_ssdm::{generator, DocIndex};
+use gql_trace::Trace;
+use gql_xmlgl::ast::Rule;
+use gql_xmlgl::eval::{match_rule_guarded, match_rule_scan, match_rule_with, MatchMode};
+
+fn join_rule() -> Rule {
+    gql_xmlgl::dsl::parse(
+        "rule { extract { restaurant as $r { name { text as $n } } } \
+         construct { out { all $r } } }",
+    )
+    .unwrap()
+    .rules
+    .remove(0)
+}
+
+#[test]
+fn parallel_matcher_agrees_with_scan_under_thread_storm() {
+    let doc = generator::cityguide(Default::default());
+    let idx = DocIndex::build(&doc);
+    let rule = join_rule();
+    let baseline = match_rule_scan(&rule, &doc);
+    assert!(!baseline.is_empty(), "storm baseline must not be vacuous");
+    thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..16 {
+                    let got = match_rule_with(&rule, &doc, &idx, MatchMode::Parallel);
+                    assert!(got == baseline, "parallel bindings diverged from scan");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn contended_guard_admits_exactly_the_budget() {
+    const CAP: u64 = 10_000;
+    let guard = Guard::new(Budget::unlimited().with_max_matches(CAP));
+    let admitted = AtomicU64::new(0);
+    thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                let mut local = 0u64;
+                while guard.charge_matches(1) {
+                    local += 1;
+                }
+                admitted.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    // Every unit charge claims a unique running total, so exactly CAP of
+    // them land at or under the cap — racing threads may both observe an
+    // over-cap total, but neither gets a success for it.
+    assert_eq!(admitted.load(Ordering::Relaxed), CAP);
+    assert!(!guard.ok(), "guard must stay tripped after exhaustion");
+}
+
+#[test]
+fn trace_counters_accumulate_exactly_under_contention() {
+    let trace = Trace::profiling();
+    thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..1_000 {
+                    trace.count("hits", 1);
+                }
+            });
+        }
+    });
+    let profile = trace.finish().expect("profiling trace yields a profile");
+    assert_eq!(
+        profile.find("(toplevel)").and_then(|n| n.counter("hits")),
+        Some(8_000)
+    );
+}
+
+#[test]
+fn cancellation_mid_parallel_match_is_clean() {
+    let doc = generator::cityguide(Default::default());
+    let idx = DocIndex::build(&doc);
+    let rule = join_rule();
+    let baseline = match_rule_scan(&rule, &doc);
+    // Cancel at increasing delays: from "before the run starts" to "long
+    // after it finished". Every variant must return without panicking or
+    // deadlocking, and can only ever see a truncated result.
+    for delay in [0u64, 50, 500, 5_000] {
+        let cancel = CancelToken::new();
+        let guard = Guard::with_cancel(Budget::unlimited(), cancel.clone());
+        let trace = Trace::disabled();
+        let got = thread::scope(|s| {
+            let canceller = cancel.clone();
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_micros(delay));
+                canceller.cancel();
+            });
+            match_rule_guarded(&rule, &doc, Some(&idx), MatchMode::Parallel, &trace, &guard)
+        });
+        assert!(
+            got.len() <= baseline.len(),
+            "cancelled run invented bindings ({} > {})",
+            got.len(),
+            baseline.len()
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Predicate interval and constant folding.
+//!
+//! XML-GL predicates are CNF over string comparisons with numeric coercion
+//! (`CmpOp::eval` compares numerically when both sides parse as numbers and
+//! falls back to lexicographic order otherwise). Folding must respect both
+//! interpretations: a predicate is declared unsatisfiable only when *no*
+//! string — numeric or not — can pass every clause. Anything we cannot
+//! decide stays satisfiable; soundness here means never calling a
+//! satisfiable predicate empty.
+
+use gql_ssdm::CmpOp;
+use gql_xmlgl::ast::Predicate;
+
+fn num(s: &str) -> Option<f64> {
+    s.trim().parse::<f64>().ok().filter(|n| n.is_finite())
+}
+
+/// Interval over one ordering, with open/closed endpoints. `None` endpoints
+/// are unbounded.
+struct Range<'a, T> {
+    lo: Option<(T, bool)>, // (value, strict)
+    hi: Option<(T, bool)>,
+    eq: Vec<&'a str>,
+}
+
+impl<T: PartialOrd + Copy> Range<'_, T> {
+    fn new() -> Self {
+        Range {
+            lo: None,
+            hi: None,
+            eq: Vec::new(),
+        }
+    }
+
+    fn tighten_lo(&mut self, v: T, strict: bool) {
+        match self.lo {
+            Some((cur, cs)) if cur > v || (cur == v && cs) => {}
+            _ => self.lo = Some((v, strict)),
+        }
+    }
+
+    fn tighten_hi(&mut self, v: T, strict: bool) {
+        match self.hi {
+            Some((cur, cs)) if cur < v || (cur == v && cs) => {}
+            _ => self.hi = Some((v, strict)),
+        }
+    }
+
+    /// Whether the open/closed interval `[lo, hi]` is empty. Conservative:
+    /// adjacent-but-distinct endpoints count as non-empty.
+    fn interval_empty(&self) -> bool {
+        match (&self.lo, &self.hi) {
+            (Some((lo, ls)), Some((hi, hs))) => lo > hi || (lo == hi && (*ls || *hs)),
+            _ => false,
+        }
+    }
+
+    fn contains(&self, v: T) -> bool {
+        if let Some((lo, strict)) = self.lo {
+            if v < lo || (v == lo && strict) {
+                return false;
+            }
+        }
+        if let Some((hi, strict)) = self.hi {
+            if v > hi || (v == hi && strict) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Decide whether `p` is unsatisfiable: no data string can make it true.
+///
+/// Only singleton clauses are folded (a disjunction can always escape
+/// through its other alternative). The checks:
+///
+/// * an empty clause (no alternatives) is vacuously false;
+/// * two `=` clauses whose constants differ both as numbers and as strings;
+/// * `<`/`<=`/`>`/`>=` chains whose numeric interval *and* lexicographic
+///   interval are both empty — a data string is compared numerically when
+///   it and the constant both parse, lexicographically otherwise, so both
+///   orderings must rule it out;
+/// * an `=` constant excluded by those same interval pairs.
+pub fn predicate_unsat(p: &Predicate) -> bool {
+    if p.clauses.iter().any(Vec::is_empty) {
+        return true;
+    }
+    // Three interval views: numeric bounds (apply to numeric data), lex
+    // bounds from *non-numeric* constants (apply to every data string —
+    // a non-numeric constant always falls back to lexicographic order),
+    // and lex bounds from all constants (apply to non-numeric data).
+    let mut nrange: Range<'_, f64> = Range::new();
+    let mut lnn: Range<'_, &str> = Range::new();
+    let mut lrange: Range<'_, &str> = Range::new();
+    for clause in &p.clauses {
+        let [(op, v)] = clause.as_slice() else {
+            continue;
+        };
+        let n = num(v);
+        match op {
+            CmpOp::Eq => {
+                nrange.eq.push(v);
+                lrange.eq.push(v);
+            }
+            CmpOp::Lt | CmpOp::Le => {
+                let strict = *op == CmpOp::Lt;
+                match n {
+                    Some(n) => nrange.tighten_hi(n, strict),
+                    None => lnn.tighten_hi(v.as_str(), strict),
+                }
+                lrange.tighten_hi(v.as_str(), strict);
+            }
+            CmpOp::Gt | CmpOp::Ge => {
+                let strict = *op == CmpOp::Gt;
+                match n {
+                    Some(n) => nrange.tighten_lo(n, strict),
+                    None => lnn.tighten_lo(v.as_str(), strict),
+                }
+                lrange.tighten_lo(v.as_str(), strict);
+            }
+            _ => {}
+        }
+    }
+
+    // Two pinned constants that no single string satisfies together. `=`
+    // passes on numeric equality (when both sides parse) or exact string
+    // equality, so constants conflict only when both readings differ.
+    for pair in nrange.eq.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a == b {
+            continue;
+        }
+        match (num(a), num(b)) {
+            (Some(x), Some(y)) if x == y => {}
+            _ => return true,
+        }
+    }
+
+    // A pinned constant outside the feasible interval. Data equal to a
+    // numeric constant is compared numerically against numeric bounds and
+    // could be *any* string spelling of that number, so only the numeric
+    // interval applies; a non-numeric constant is compared
+    // lexicographically against every bound.
+    if let Some(&e) = nrange.eq.first() {
+        return match num(e) {
+            Some(n) => !nrange.contains(n),
+            None => !lrange.contains(e),
+        };
+    }
+
+    // Pure interval emptiness. Numeric data must fit the numeric bounds
+    // and lex-satisfy the non-numeric constants; non-numeric data must
+    // lex-satisfy everything. Unsat iff both populations are excluded.
+    (nrange.interval_empty() || lnn.interval_empty()) && lrange.interval_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_and_open_predicates_are_satisfiable() {
+        assert!(!predicate_unsat(&Predicate::always()));
+        assert!(!predicate_unsat(&Predicate::cmp(CmpOp::Gt, "10")));
+        assert!(!predicate_unsat(
+            &Predicate::cmp(CmpOp::Gt, "10").and(CmpOp::Lt, "20")
+        ));
+        // Real-valued gap: 9 < x < 10 admits 9.5.
+        assert!(!predicate_unsat(
+            &Predicate::cmp(CmpOp::Gt, "9").and(CmpOp::Lt, "10")
+        ));
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let p = Predicate {
+            clauses: vec![vec![], vec![(CmpOp::Eq, "x".into())]],
+        };
+        assert!(predicate_unsat(&p));
+    }
+
+    #[test]
+    fn contradictory_equalities() {
+        assert!(predicate_unsat(
+            &Predicate::cmp(CmpOp::Eq, "a").and(CmpOp::Eq, "b")
+        ));
+        assert!(predicate_unsat(
+            &Predicate::cmp(CmpOp::Eq, "1").and(CmpOp::Eq, "2")
+        ));
+        // Numerically equal spellings are compatible.
+        assert!(!predicate_unsat(
+            &Predicate::cmp(CmpOp::Eq, "20.0").and(CmpOp::Eq, "20")
+        ));
+    }
+
+    #[test]
+    fn empty_numeric_interval() {
+        // x > 20 and x < 10: numerically empty, and lexicographically
+        // "20" > "10" leaves no room either.
+        assert!(predicate_unsat(
+            &Predicate::cmp(CmpOp::Gt, "20").and(CmpOp::Lt, "10")
+        ));
+        // x >= 10 and x <= 10 pins 10 — satisfiable.
+        assert!(!predicate_unsat(
+            &Predicate::cmp(CmpOp::Ge, "10").and(CmpOp::Le, "10")
+        ));
+        // x > 10 and x <= 10 is empty both ways.
+        assert!(predicate_unsat(
+            &Predicate::cmp(CmpOp::Gt, "10").and(CmpOp::Le, "10")
+        ));
+    }
+
+    #[test]
+    fn empty_lexicographic_interval() {
+        // No numeric reading exists; every data string is ordered
+        // lexicographically, and nothing is above "z" yet below "a".
+        assert!(predicate_unsat(
+            &Predicate::cmp(CmpOp::Gt, "z").and(CmpOp::Lt, "a")
+        ));
+    }
+
+    #[test]
+    fn lex_feasible_gap_is_satisfiable() {
+        // Non-numeric bounds leave a lexicographic gap ("4x" sits between
+        // "3x" and "5x"), so this must not fold even though no number
+        // satisfies it.
+        assert!(!predicate_unsat(
+            &Predicate::cmp(CmpOp::Gt, "3x").and(CmpOp::Lt, "5x")
+        ));
+    }
+
+    #[test]
+    fn equality_outside_interval() {
+        assert!(predicate_unsat(
+            &Predicate::cmp(CmpOp::Eq, "5").and(CmpOp::Gt, "10")
+        ));
+        assert!(!predicate_unsat(
+            &Predicate::cmp(CmpOp::Eq, "15").and(CmpOp::Gt, "10")
+        ));
+        // Non-numeric pinned constant against lexicographic bounds.
+        assert!(predicate_unsat(
+            &Predicate::cmp(CmpOp::Eq, "apple").and(CmpOp::Gt, "banana")
+        ));
+        assert!(!predicate_unsat(
+            &Predicate::cmp(CmpOp::Eq, "cherry").and(CmpOp::Gt, "banana")
+        ));
+    }
+
+    #[test]
+    fn disjunctions_never_fold() {
+        // (= a or = b) and (= a): the disjunction can satisfy = a.
+        let p = Predicate::cmp(CmpOp::Eq, "a")
+            .or(CmpOp::Eq, "b")
+            .and(CmpOp::Eq, "a");
+        assert!(!predicate_unsat(&p));
+    }
+
+    #[test]
+    fn contains_and_startswith_are_opaque() {
+        assert!(!predicate_unsat(
+            &Predicate::cmp(CmpOp::Contains, "x").and(CmpOp::Eq, "y")
+        ));
+    }
+}

@@ -1,0 +1,434 @@
+//! Abstract interpretation of XPath expressions against a summary.
+//!
+//! A location path is walked over the summary automaton: the abstract state
+//! is the set of summary paths the current node-set can live on, plus flags
+//! for node kinds the summary does not track per-instance (text nodes,
+//! comments, attribute members). Exact transitions exist for the child/
+//! descendant/parent/ancestor/self/attribute axes; the sibling and
+//! following/preceding axes use conservative supersets (all children of the
+//! parents, or the whole document). Untracked members are harmless on
+//! forward axes — text, comment, and attribute nodes have no children,
+//! descendants, or attributes of their own — and are carried through the
+//! "self" part of `self::`/`descendant-or-self::`; only the parent/
+//! ancestor/sibling axes need their exact membership, so the walk gives up
+//! (soundly, "unknown") there and only there. Predicates only *restrict* a
+//! step, so ignoring them keeps the walk an over-approximation.
+//!
+//! When a step empties the state the query provably selects nothing from
+//! that step on — [`Code::PathNeverMatches`] (GQL016), and the whole
+//! expression (for a plain path) is statically empty. Bounds are the sum
+//! of path counts whenever the state contains only tracked node kinds.
+
+use std::collections::BTreeSet;
+
+use gql_ssdm::diag::{Code, Diagnostic};
+use gql_ssdm::summary::{PathId, Summary, ROOT_PATH};
+use gql_xpath::ast::{Axis, Expr, LocationPath, NodeTest, Step};
+
+use crate::Inference;
+
+/// Abstractly interpret an XPath expression against a document summary.
+pub fn infer_xpath(expr: &Expr, summary: &Summary) -> Inference {
+    let mut inf = Inference::default();
+    if let Some(out) = analyze(expr, summary, &mut inf) {
+        inf.result_empty = out.empty;
+        if let Some(b) = out.bound {
+            inf.cards.push(0, "result", b);
+        }
+    }
+    inf
+}
+
+struct Out {
+    empty: bool,
+    bound: Option<u64>,
+}
+
+fn analyze(expr: &Expr, s: &Summary, inf: &mut Inference) -> Option<Out> {
+    match expr {
+        Expr::Path(lp) => Some(walk(lp, s, inf)),
+        Expr::Union(a, b) => {
+            let oa = analyze(a, s, inf)?;
+            let ob = analyze(b, s, inf)?;
+            Some(Out {
+                empty: oa.empty && ob.empty,
+                bound: match (oa.bound, ob.bound) {
+                    (Some(x), Some(y)) => Some(x.saturating_add(y)),
+                    _ => None,
+                },
+            })
+        }
+        // Scalars evaluate to exactly one value.
+        Expr::Literal(_) | Expr::Number(_) | Expr::Binary(..) | Expr::Neg(_) => Some(Out {
+            empty: false,
+            bound: Some(1),
+        }),
+        Expr::Call(..) | Expr::FilterPath(..) => None,
+    }
+}
+
+/// Abstract node-set: element/document paths the set can live on, plus
+/// whether it may contain text nodes, attribute nodes (with an exact
+/// bound), or nodes the summary cannot track (comments).
+#[derive(Clone, Default)]
+struct State {
+    elems: BTreeSet<PathId>,
+    text: bool,
+    attrs: Option<u64>,
+    opaque: bool,
+}
+
+impl State {
+    fn provably_empty(&self) -> bool {
+        self.elems.is_empty() && !self.text && !self.opaque && self.attrs.unwrap_or(0) == 0
+    }
+
+    /// Result-count upper bound, when every member kind is tracked.
+    fn bound(&self, s: &Summary) -> Option<u64> {
+        if self.text || self.opaque {
+            return None;
+        }
+        let elems: u64 = self.elems.iter().map(|&p| s.node(p).count).sum();
+        Some(elems.saturating_add(self.attrs.unwrap_or(0)))
+    }
+}
+
+fn describe(step: &Step) -> String {
+    let test = match &step.test {
+        NodeTest::Name(n) => n.clone(),
+        NodeTest::Any => "*".into(),
+        NodeTest::Text => "text()".into(),
+        NodeTest::Comment => "comment()".into(),
+        NodeTest::Node => "node()".into(),
+    };
+    format!("{}::{}", step.axis.name(), test)
+}
+
+fn walk(lp: &LocationPath, s: &Summary, inf: &mut Inference) -> Out {
+    let mut st = State {
+        elems: std::iter::once(ROOT_PATH).collect(),
+        ..State::default()
+    };
+    for (i, step) in lp.steps.iter().enumerate() {
+        st = match apply_step(&st, step, s) {
+            Some(next) => next,
+            // Reverse/sibling axis from members the summary does not
+            // track: give up soundly.
+            None => {
+                return Out {
+                    empty: false,
+                    bound: None,
+                }
+            }
+        };
+        if st.provably_empty() {
+            inf.report.push(
+                Diagnostic::new(
+                    Code::PathNeverMatches,
+                    format!(
+                        "step {} ({}) matches no path in the document summary",
+                        i + 1,
+                        describe(step)
+                    ),
+                )
+                .with_help(
+                    "the inferred DataGuide has no node reachable by this step; the \
+                     path selects nothing on this document",
+                ),
+            );
+            return Out {
+                empty: true,
+                bound: Some(0),
+            };
+        }
+        if let Some(b) = st.bound(s) {
+            inf.cards
+                .push(0, format!("step {} ({})", i + 1, describe(step)), b);
+        }
+    }
+    Out {
+        empty: false,
+        bound: st.bound(s),
+    }
+}
+
+/// Candidate elements/documents reached by an axis, before the node test,
+/// plus whether the axis can reach text nodes from `from`.
+fn axis_candidates(from: &BTreeSet<PathId>, axis: Axis, s: &Summary) -> (BTreeSet<PathId>, bool) {
+    let mut out = BTreeSet::new();
+    let mut text = false;
+    let direct_text = |set: &BTreeSet<PathId>| set.iter().any(|&p| s.node(p).text_count > 0);
+    match axis {
+        Axis::Child => {
+            for &p in from {
+                out.extend(s.node(p).children.iter().copied());
+            }
+            text = direct_text(from);
+        }
+        Axis::Descendant | Axis::DescendantOrSelf => {
+            for &p in from {
+                out.extend(s.descendants(p));
+            }
+            // Text children of `from` elements are descendants too.
+            text = direct_text(from) || direct_text(&out);
+            if axis == Axis::DescendantOrSelf {
+                out.extend(from.iter().copied());
+            }
+        }
+        Axis::Parent => {
+            for &p in from {
+                out.extend(s.node(p).parent);
+            }
+        }
+        Axis::Ancestor | Axis::AncestorOrSelf => {
+            for &p in from {
+                let mut cur = s.node(p).parent;
+                while let Some(a) = cur {
+                    out.insert(a);
+                    cur = s.node(a).parent;
+                }
+            }
+            if axis == Axis::AncestorOrSelf {
+                out.extend(from.iter().copied());
+            }
+        }
+        Axis::SelfAxis => {
+            out.extend(from.iter().copied());
+        }
+        Axis::FollowingSibling | Axis::PrecedingSibling => {
+            let parents: BTreeSet<PathId> = from.iter().filter_map(|&p| s.node(p).parent).collect();
+            for &p in &parents {
+                out.extend(s.node(p).children.iter().copied());
+            }
+            text = direct_text(&parents);
+        }
+        Axis::Following | Axis::Preceding => {
+            out.extend(s.element_paths());
+            text =
+                s.node(ROOT_PATH).text_count > 0 || out.iter().any(|&p| s.node(p).text_count > 0);
+        }
+        // Attribute is handled in apply_step.
+        Axis::Attribute => {}
+    }
+    (out, text)
+}
+
+fn apply_step(st: &State, step: &Step, s: &Summary) -> Option<State> {
+    let from = &st.elems;
+    let untracked = st.text || st.opaque || st.attrs.is_some();
+    if step.axis == Axis::Attribute {
+        let count = |name: Option<&str>| -> u64 {
+            from.iter()
+                .map(|&p| match name {
+                    Some(a) => s.node(p).attrs.get(a).copied().unwrap_or(0),
+                    None => s.node(p).attrs.values().sum(),
+                })
+                .sum()
+        };
+        // Only elements carry attributes, so untracked members (text,
+        // comment, attribute nodes) contribute nothing here.
+        return Some(match &step.test {
+            NodeTest::Name(a) => State {
+                attrs: Some(count(Some(a))),
+                ..State::default()
+            },
+            // node() on the attribute axis selects attributes (its
+            // principal node kind), like `@*`.
+            NodeTest::Any | NodeTest::Node => State {
+                attrs: Some(count(None)),
+                ..State::default()
+            },
+            // text()/comment() on the attribute axis: engine-dependent
+            // corner; stay agnostic rather than claim emptiness.
+            NodeTest::Text | NodeTest::Comment => State {
+                opaque: true,
+                ..State::default()
+            },
+        });
+    }
+
+    // Reverse, sibling, and following/preceding-sibling transitions need
+    // the exact membership of the current set; if it may contain members
+    // the summary cannot track, their parents are unknowable here.
+    if untracked
+        && matches!(
+            step.axis,
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::FollowingSibling
+                | Axis::PrecedingSibling
+        )
+    {
+        return None;
+    }
+
+    // Forward axes see only the element members — text/comment/attribute
+    // nodes have no children or descendants. The "self" part of self:: and
+    // descendant-or-self:: carries the untracked flags through.
+    let (cands, axis_text) = axis_candidates(from, step.axis, s);
+    let carries_self = matches!(step.axis, Axis::SelfAxis | Axis::DescendantOrSelf);
+    let self_text = carries_self && st.text;
+    let self_attrs = if carries_self { st.attrs } else { None };
+    let text = axis_text || self_text;
+    Some(match &step.test {
+        // Name/* match only elements (the principal node kind of every
+        // non-attribute axis), so untracked members drop out.
+        NodeTest::Name(n) => State {
+            // Tag comparison excludes the virtual root (tag "").
+            elems: cands.into_iter().filter(|&p| s.node(p).tag == *n).collect(),
+            ..State::default()
+        },
+        NodeTest::Any => State {
+            elems: cands.into_iter().filter(|&p| p != ROOT_PATH).collect(),
+            ..State::default()
+        },
+        NodeTest::Text => State {
+            text,
+            ..State::default()
+        },
+        NodeTest::Comment => State {
+            opaque: true,
+            ..State::default()
+        },
+        NodeTest::Node => State {
+            elems: cands,
+            text,
+            // Comments/PIs can hide anywhere the summary does not see.
+            opaque: true,
+            attrs: self_attrs,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_ssdm::Document;
+    use gql_xpath::parse;
+
+    const BIB: &str = "<bib><book year='1994'><title>TCP/IP</title></book>\
+                       <book year='2000'><title>Web</title></book>\
+                       <article><title>GL</title></article></bib>";
+
+    fn summarise(xml: &str) -> Summary {
+        Summary::build(&Document::parse_str(xml).unwrap())
+    }
+
+    fn infer(src: &str, s: &Summary) -> Inference {
+        infer_xpath(&parse(src).unwrap(), s)
+    }
+
+    #[test]
+    fn exact_bounds_along_child_paths() {
+        let s = summarise(BIB);
+        let inf = infer("/bib/book/title", &s);
+        assert!(inf.report.is_empty(), "{}", inf.report.render());
+        assert!(!inf.is_statically_empty());
+        assert_eq!(inf.cards.result_bound(0), Some(2));
+    }
+
+    #[test]
+    fn descendant_bounds_cover_all_paths() {
+        let s = summarise(BIB);
+        let inf = infer("//title", &s);
+        assert_eq!(inf.cards.result_bound(0), Some(3));
+    }
+
+    #[test]
+    fn dead_step_is_flagged() {
+        let s = summarise(BIB);
+        let inf = infer("/bib/journal/title", &s);
+        assert!(inf.is_statically_empty());
+        let d = inf.report.iter().next().unwrap();
+        assert_eq!(d.code, Code::PathNeverMatches);
+        assert!(d.message.contains("step 2"), "{}", d.message);
+        assert_eq!(inf.cards.result_bound(0), Some(0));
+    }
+
+    #[test]
+    fn wrong_nesting_is_flagged() {
+        let s = summarise(BIB);
+        // titles exist, but never directly under bib.
+        let inf = infer("/bib/title", &s);
+        assert!(inf.is_statically_empty());
+    }
+
+    #[test]
+    fn attribute_counts_are_exact() {
+        let s = summarise(BIB);
+        let inf = infer("//book/@year", &s);
+        assert_eq!(inf.cards.result_bound(0), Some(2));
+        let inf = infer("//article/@year", &s);
+        assert!(inf.is_statically_empty());
+    }
+
+    #[test]
+    fn text_steps_respect_presence() {
+        let s = summarise(BIB);
+        let inf = infer("/bib/book/title/text()", &s);
+        assert!(!inf.is_statically_empty());
+        // Text node counts are not tracked — no bound.
+        assert_eq!(inf.cards.result_bound(0), None);
+        // book elements have no direct text.
+        let inf = infer("/bib/book/text()", &s);
+        assert!(inf.is_statically_empty());
+    }
+
+    #[test]
+    fn predicates_do_not_affect_the_walk() {
+        let s = summarise(BIB);
+        let inf = infer("/bib/book[@year='1994']/title", &s);
+        assert!(!inf.is_statically_empty());
+        assert_eq!(inf.cards.result_bound(0), Some(2));
+    }
+
+    #[test]
+    fn reverse_axes_walk_the_automaton() {
+        let s = summarise(BIB);
+        let inf = infer("//title/parent::book", &s);
+        assert!(!inf.is_statically_empty());
+        assert_eq!(inf.cards.result_bound(0), Some(2));
+        let inf = infer("//title/ancestor::journal", &s);
+        assert!(inf.is_statically_empty());
+    }
+
+    #[test]
+    fn union_is_empty_only_when_both_sides_are() {
+        let s = summarise(BIB);
+        let inf = infer("/bib/journal | /bib/article", &s);
+        assert!(!inf.is_statically_empty());
+        // The dead branch still gets its step diagnostic.
+        assert!(inf.report.iter().any(|d| d.code == Code::PathNeverMatches));
+        assert_eq!(inf.cards.result_bound(0), Some(1));
+        let inf = infer("/bib/journal | /bib/letter", &s);
+        assert!(inf.is_statically_empty());
+    }
+
+    #[test]
+    fn comments_and_functions_stay_unknown() {
+        let s = summarise(BIB);
+        let inf = infer("//comment()", &s);
+        assert!(!inf.is_statically_empty());
+        assert_eq!(inf.cards.result_bound(0), None);
+        let inf = infer("count(//book)", &s);
+        assert!(!inf.is_statically_empty());
+        assert_eq!(inf.cards.result_bound(0), None);
+    }
+
+    #[test]
+    fn scalars_bound_to_one() {
+        let s = summarise(BIB);
+        let inf = infer("1 + 2", &s);
+        assert_eq!(inf.cards.result_bound(0), Some(1));
+    }
+
+    #[test]
+    fn sibling_axes_are_conservative() {
+        let s = summarise(BIB);
+        let inf = infer("/bib/book/following-sibling::article", &s);
+        assert!(!inf.is_statically_empty());
+        let inf = infer("/bib/book/following-sibling::journal", &s);
+        assert!(inf.is_statically_empty());
+    }
+}

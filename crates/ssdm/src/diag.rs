@@ -124,6 +124,15 @@ pub enum Code {
     /// GQL013 — the goal type is neither in the schema nor constructed by
     /// any rule: the answer is provably empty.
     GoalNeverConstructed,
+    /// GQL014 — the query is provably empty under the inferred structural
+    /// summary of the queried document (no conforming data can match).
+    EmptyUnderSummary,
+    /// GQL015 — a WG-Log rule is dead: its positive observations can never
+    /// be satisfied by the base facts or any live rule's output.
+    DeadRule,
+    /// GQL016 — an XPath step selects along a path the document's summary
+    /// automaton does not contain.
+    PathNeverMatches,
 }
 
 impl Code {
@@ -143,6 +152,9 @@ impl Code {
             Code::WgLogIllFormed => "GQL011",
             Code::WgSchemaMismatch => "GQL012",
             Code::GoalNeverConstructed => "GQL013",
+            Code::EmptyUnderSummary => "GQL014",
+            Code::DeadRule => "GQL015",
+            Code::PathNeverMatches => "GQL016",
         }
     }
 
@@ -160,7 +172,10 @@ impl Code {
             | Code::XmlSchemaMismatch
             | Code::ContradictoryPredicate
             | Code::WgSchemaMismatch
-            | Code::GoalNeverConstructed => Severity::Warning,
+            | Code::GoalNeverConstructed
+            | Code::EmptyUnderSummary
+            | Code::DeadRule
+            | Code::PathNeverMatches => Severity::Warning,
             Code::UnusedVariable | Code::CostBlowup => Severity::Hint,
         }
     }
@@ -182,6 +197,9 @@ impl Code {
             Code::WgLogIllFormed,
             Code::WgSchemaMismatch,
             Code::GoalNeverConstructed,
+            Code::EmptyUnderSummary,
+            Code::DeadRule,
+            Code::PathNeverMatches,
         ]
     }
 }
@@ -468,7 +486,7 @@ mod tests {
     #[test]
     fn codes_are_stable_and_unique() {
         let all = Code::all();
-        assert_eq!(all.len(), 14);
+        assert_eq!(all.len(), 17);
         for (i, c) in all.iter().enumerate() {
             assert_eq!(c.as_str(), format!("GQL{i:03}"));
         }

@@ -37,6 +37,7 @@ pub mod index;
 pub mod path;
 pub mod rng;
 pub mod stream;
+pub mod summary;
 pub mod value;
 pub mod xml;
 
@@ -45,4 +46,5 @@ pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use document::{Document, NodeKind};
 pub use error::{Error, Result};
 pub use index::{shallow_fingerprint, DocIndex, IndexStats};
+pub use summary::{PathId, Summary, SummaryStats};
 pub use value::{CmpOp, Value};

@@ -1,0 +1,141 @@
+//! DTD validator edge cases: mixed content with repeated names, enumerated
+//! and FIXED attribute interplay, and ID/IDREF resolution across nested
+//! subtrees (forward references, dangling refs buried deep in the tree).
+
+use gql_ssdm::dtd::{AttDefault, AttType, ContentModel, Dtd};
+use gql_ssdm::Document;
+
+#[test]
+fn mixed_content_accepts_repeated_names_in_any_order() {
+    let dtd = Dtd::parse(
+        "<!ELEMENT p (#PCDATA|em|code)*><!ELEMENT em (#PCDATA)><!ELEMENT code (#PCDATA)>",
+    )
+    .unwrap();
+    // Mixed content is unordered and unbounded: the same child name may
+    // repeat arbitrarily, interleaved with text, in any order.
+    for xml in [
+        "<p><em>a</em><em>b</em><em>c</em></p>",
+        "<p>t<code>x</code>t<em>y</em>t<code>z</code><em>w</em></p>",
+        "<p></p>",
+    ] {
+        let doc = Document::parse_str(xml).unwrap();
+        assert_eq!(dtd.validate(&doc), Vec::<String>::new(), "{xml}");
+    }
+    let bad = Document::parse_str("<p><em>a</em><b>no</b><em>c</em></p>").unwrap();
+    let v = dtd.validate(&bad);
+    assert!(
+        v.iter().any(|m| m.contains("mixed content")),
+        "repeated allowed names must not mask the disallowed one: {v:?}"
+    );
+}
+
+#[test]
+fn repeated_name_in_mixed_declaration_roundtrips() {
+    // `(#PCDATA|em|em)*` is odd but well-formed input; the validator must
+    // treat the duplicate as a plain member and serialisation must keep it.
+    let dtd = Dtd::parse("<!ELEMENT p (#PCDATA|em|em)*><!ELEMENT em (#PCDATA)>").unwrap();
+    match dtd.element("p").unwrap() {
+        ContentModel::Mixed(names) => assert_eq!(names, &["em".to_string(), "em".to_string()]),
+        other => panic!("expected mixed model, got {other:?}"),
+    }
+    let doc = Document::parse_str("<p><em>a</em><em>b</em></p>").unwrap();
+    assert!(dtd.validate(&doc).is_empty());
+    let re = Dtd::parse(&dtd.to_dtd_string()).unwrap();
+    assert_eq!(re.to_dtd_string(), dtd.to_dtd_string());
+}
+
+#[test]
+fn enumerated_attr_with_fixed_default() {
+    // An enumeration combined with #FIXED: only the fixed value is legal,
+    // and an off-enumeration value trips both checks.
+    let dtd = Dtd::parse(
+        "<!ELEMENT job EMPTY>\
+         <!ATTLIST job state (open|closed) #FIXED \"open\">",
+    )
+    .unwrap();
+    assert_eq!(
+        dtd.attrs_of("job")[0].default,
+        AttDefault::Fixed("open".into())
+    );
+    let ok = Document::parse_str("<job state='open'/>").unwrap();
+    assert!(dtd.validate(&ok).is_empty());
+    // Absent is fine: #FIXED constrains the value only when present.
+    let absent = Document::parse_str("<job/>").unwrap();
+    assert!(dtd.validate(&absent).is_empty());
+    let wrong_member = Document::parse_str("<job state='closed'/>").unwrap();
+    let v = dtd.validate(&wrong_member);
+    assert!(v.iter().any(|m| m.contains("fixed value")), "{v:?}");
+    let off_enum = Document::parse_str("<job state='pending'/>").unwrap();
+    let v = dtd.validate(&off_enum);
+    assert!(v.iter().any(|m| m.contains("enumeration")), "{v:?}");
+    assert!(v.iter().any(|m| m.contains("fixed value")), "{v:?}");
+}
+
+#[test]
+fn enumeration_is_case_sensitive_and_whole_token() {
+    let dtd = Dtd::parse("<!ELEMENT e EMPTY><!ATTLIST e k (ab|cd) #IMPLIED>").unwrap();
+    match &dtd.attrs_of("e")[0].ty {
+        AttType::Enumeration(vs) => assert_eq!(vs, &["ab".to_string(), "cd".to_string()]),
+        other => panic!("expected enumeration, got {other:?}"),
+    }
+    for (xml, valid) in [
+        ("<e k='ab'/>", true),
+        ("<e k='AB'/>", false),
+        ("<e k='a'/>", false),
+        ("<e k='abcd'/>", false),
+    ] {
+        let doc = Document::parse_str(xml).unwrap();
+        assert_eq!(dtd.validate(&doc).is_empty(), valid, "{xml}");
+    }
+}
+
+const GRAPH_DTD: &str = "<!ELEMENT g (part*)>\
+     <!ELEMENT part (part*,wire*)>\
+     <!ELEMENT wire EMPTY>\
+     <!ATTLIST part id ID #REQUIRED>\
+     <!ATTLIST wire to IDREF #REQUIRED>";
+
+#[test]
+fn idref_resolves_forward_and_across_subtrees() {
+    let dtd = Dtd::parse(GRAPH_DTD).unwrap();
+    // The wire deep inside the first subtree points at an ID declared later
+    // in a sibling subtree; IDs are document-global, so this is valid.
+    let doc = Document::parse_str(
+        "<g><part id='a'><part id='a1'><wire to='b1'/></part></part>\
+         <part id='b'><part id='b1'><wire to='a'/></part></part></g>",
+    )
+    .unwrap();
+    assert_eq!(dtd.validate(&doc), Vec::<String>::new());
+}
+
+#[test]
+fn dangling_idref_in_nested_subtree_is_reported() {
+    let dtd = Dtd::parse(GRAPH_DTD).unwrap();
+    let doc = Document::parse_str(
+        "<g><part id='a'><part id='a1'><part id='a2'><wire to='ghost'/></part></part></part>\
+         <part id='b'><wire to='a2'/></part></g>",
+    )
+    .unwrap();
+    let v = dtd.validate(&doc);
+    // Exactly the buried ref is dangling; the valid cross-subtree ref to
+    // 'a2' must not be flagged along with it.
+    assert_eq!(v.len(), 1, "{v:?}");
+    assert!(v[0].contains("'ghost'") && v[0].contains("does not match any ID"));
+}
+
+#[test]
+fn duplicate_id_in_different_subtrees_is_reported_once() {
+    let dtd = Dtd::parse(GRAPH_DTD).unwrap();
+    let doc = Document::parse_str(
+        "<g><part id='x'/><part id='y'><part id='x'><wire to='y'/></part></part></g>",
+    )
+    .unwrap();
+    let v = dtd.validate(&doc);
+    assert_eq!(
+        v.iter().filter(|m| m.contains("duplicate ID")).count(),
+        1,
+        "{v:?}"
+    );
+    // The ref to the duplicated ID still resolves (first declaration wins).
+    assert!(!v.iter().any(|m| m.contains("does not match any ID")));
+}

@@ -1,0 +1,100 @@
+//! Structural-summary (DataGuide) behaviour on the reference-heavy
+//! generators: the webgraph hyperdocument and the ID/IDREF graph it induces.
+//! Pins down that the walk-based and index-based constructions agree, that
+//! reference accounting matches the generator's invariants, and that the
+//! summary is deterministic per seed.
+
+use gql_ssdm::generator::{webgraph, WebConfig};
+use gql_ssdm::idref::RefGraph;
+use gql_ssdm::{DocIndex, Document, Summary};
+
+fn cfg(seed: u64) -> WebConfig {
+    WebConfig {
+        docs: 40,
+        links_per_doc: 3,
+        index_percent: 50,
+        seed,
+    }
+}
+
+#[test]
+fn webgraph_summary_build_and_from_index_agree() {
+    for seed in [1u64, 17, 99] {
+        let doc = webgraph(cfg(seed));
+        let idx = DocIndex::build(&doc);
+        let walked = Summary::build(&doc);
+        let indexed = Summary::from_index(&doc, &idx);
+        assert_eq!(walked.stats(), indexed.stats(), "seed {seed}");
+    }
+}
+
+#[test]
+fn webgraph_summary_counts_match_generator_invariants() {
+    let c = cfg(17);
+    let doc = webgraph(c);
+    let s = Summary::build(&doc);
+    // Every doc gets exactly links_per_doc links; index children are
+    // probabilistic, so bound them by [0, docs].
+    assert_eq!(s.tag_total("doc"), c.docs as u64);
+    assert_eq!(s.tag_total("title"), c.docs as u64);
+    assert_eq!(s.tag_total("link"), (c.docs * c.links_per_doc) as u64);
+    assert!(s.tag_total("index") <= c.docs as u64);
+    // The generator only ever targets existing d0..d{n-1} ids, so the
+    // summary's reference accounting must see every edge and no dangles.
+    assert_eq!(
+        s.ref_edge_count() as u64,
+        s.tag_total("link") + s.tag_total("index")
+    );
+    assert_eq!(s.dangling_ref_count(), 0);
+    // Shape: web → doc → {title, link, index} is the whole DataGuide.
+    let paths: Vec<String> = (0..s.path_count())
+        .map(|i| s.path_string(gql_ssdm::PathId(i as u32)))
+        .collect();
+    for expect in ["/web", "/web/doc", "/web/doc/title", "/web/doc/link"] {
+        assert!(
+            paths.iter().any(|p| p == expect),
+            "missing {expect}: {paths:?}"
+        );
+    }
+    assert!(!paths.iter().any(|p| p.contains("doc/doc")), "{paths:?}");
+}
+
+#[test]
+fn webgraph_summary_is_deterministic_per_seed() {
+    let a = Summary::build(&webgraph(cfg(23))).render();
+    let b = Summary::build(&webgraph(cfg(23))).render();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn refgraph_and_summary_agree_on_webgraph_edges() {
+    let doc = webgraph(cfg(5));
+    let refs = RefGraph::extract(&doc);
+    let s = Summary::build(&doc);
+    assert_eq!(refs.id_count(), cfg(5).docs);
+    assert_eq!(refs.edges().len(), s.ref_edge_count());
+    assert!(refs.dangling().is_empty());
+    assert_eq!(s.dangling_ref_count(), 0);
+}
+
+#[test]
+fn summary_counts_dangling_refs_in_nested_subtrees() {
+    // Hand-built idref graph: one resolvable ref and one dangling ref
+    // buried two levels deep — the summary must count exactly the dangle.
+    let mut d = Document::new();
+    let g = d.add_element(d.root(), "g");
+    let a = d.add_element(g, "part");
+    d.set_attr(a, "id", "a").unwrap();
+    let a1 = d.add_element(a, "part");
+    d.set_attr(a1, "id", "a1").unwrap();
+    let w1 = d.add_element(a1, "wire");
+    d.set_attr(w1, "ref", "a").unwrap();
+    let w2 = d.add_element(a1, "wire");
+    d.set_attr(w2, "ref", "ghost").unwrap();
+    let s = Summary::build(&d);
+    // ref_edges counts only resolved edges; the dangle is tallied apart.
+    assert_eq!(s.ref_edge_count(), 1);
+    assert_eq!(s.dangling_ref_count(), 1);
+    let idx = DocIndex::build(&d);
+    assert_eq!(s.stats(), Summary::from_index(&d, &idx).stats());
+}

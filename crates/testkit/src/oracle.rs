@@ -12,7 +12,7 @@
 
 use gql_analyze::Analyzer;
 use gql_core::engine::{Engine, QueryKind};
-use gql_ssdm::{DocIndex, Document};
+use gql_ssdm::{DocIndex, Document, Summary};
 use gql_wglog::eval::FixpointMode;
 use gql_wglog::Instance;
 use gql_xmlgl::eval::{
@@ -152,6 +152,49 @@ pub fn check_trace_case(doc: &Document, query: &QueryKind) -> Result<(), String>
 }
 
 // ----------------------------------------------------------------------
+// Static inference: summary-derived claims must be sound
+// ----------------------------------------------------------------------
+
+/// Check one "statically empty ⇒ evaluates empty" / "count ≤ bound" pair.
+fn infer_claim(
+    what: &str,
+    statically_empty: bool,
+    bound: Option<u64>,
+    actual: usize,
+) -> Result<(), String> {
+    if statically_empty && actual != 0 {
+        return Err(format!(
+            "infer-soundness: {what} is statically empty under the summary \
+             but evaluates to {actual} result(s)"
+        ));
+    }
+    if let Some(b) = bound {
+        if actual as u64 > b {
+            return Err(format!(
+                "infer-soundness: {what} evaluates to {actual} result(s), \
+                 above the inferred upper bound {b}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The two summary construction paths — a direct document walk and the
+/// DocIndex-postings shortcut the engine cache uses — must agree.
+fn check_summary_paths(doc: &Document, idx: &DocIndex) -> Result<(), String> {
+    let walked = Summary::build(doc);
+    let derived = Summary::from_index(doc, idx);
+    if walked.stats() != derived.stats() {
+        return Err(format!(
+            "summary-vs-index: walked {:?} != index-derived {:?}",
+            walked.stats(),
+            derived.stats()
+        ));
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
 // XML-GL: every dual matcher/construct/engine path
 // ----------------------------------------------------------------------
 
@@ -174,9 +217,20 @@ pub fn check_xmlgl_case(doc: &Document, src: &str) -> Result<(), String> {
         return Ok(()); // statically rejected; every path refuses alike
     }
     let idx = DocIndex::build(doc);
+    check_summary_paths(doc, &idx)?;
+    let inf = gql_infer::infer_xmlgl(&program, &Summary::build(doc));
     let mut scan_out = Document::new();
     for (ri, rule) in program.rules.iter().enumerate() {
         let scan = match_rule_scan(rule, doc);
+        // Static inference soundness: a rule the summary proves empty has
+        // no bindings, and the rule's binding count never exceeds its
+        // inferred upper bound.
+        infer_claim(
+            &format!("xmlgl rule {ri}"),
+            inf.empty_rules.get(ri).copied().unwrap_or(false),
+            inf.cards.result_bound(ri),
+            scan.len(),
+        )?;
         for (mode, label) in [
             (MatchMode::Auto, "indexed"),
             (MatchMode::Sequential, "sequential"),
@@ -295,6 +349,20 @@ pub fn check_wglog_case(doc: &Document, src: &str) -> Result<(), String> {
             semi_db.edge_count()
         ));
     }
+    check_summary_paths(doc, &DocIndex::build(doc))?;
+    // Static inference soundness against the computed fixpoint: an empty
+    // goal claim means no goal-typed object exists, and the goal bound
+    // dominates the concrete goal population.
+    if let Some(goal) = &program.goal {
+        let inf = gql_infer::infer_wglog(&program, &Summary::build(doc));
+        let goal_count = semi_db.objects().filter(|(_, o)| o.ty == *goal).count();
+        infer_claim(
+            &format!("wglog goal '{goal}'"),
+            inf.is_statically_empty(),
+            inf.cards.result_bound(0),
+            goal_count,
+        )?;
+    }
     // Metamorphic: the loader is invariant under document re-serialization.
     let re = Document::parse_str(&doc.to_xml_string())
         .map_err(|e| format!("reserialize: document no longer parses: {e}"))?;
@@ -363,6 +431,7 @@ pub fn check_xpath_case(doc: &Document, src: &str) -> Result<(), String> {
         ));
     }
     let idx = DocIndex::build(doc);
+    check_summary_paths(doc, &idx)?;
     let lazy = gql_xpath::evaluate(doc, &expr);
     let fast = gql_xpath::evaluate_with_index(doc, &expr, &idx);
     let value = match (lazy, fast) {
@@ -386,6 +455,20 @@ pub fn check_xpath_case(doc: &Document, src: &str) -> Result<(), String> {
             ))
         }
     };
+    // Static inference soundness: a statically-empty path selects nothing
+    // and a node-set never outgrows its inferred bound. (Scalar results
+    // satisfy the bound-of-1 claim by construction.)
+    let inf = gql_infer::infer_xpath(&expr, &Summary::build(doc));
+    let result_size = match &value {
+        XValue::Nodes(items) => items.len(),
+        _ => 1,
+    };
+    infer_claim(
+        &format!("xpath '{src}'"),
+        inf.is_statically_empty(),
+        inf.cards.result_bound(0),
+        result_size,
+    )?;
     // Metamorphic: re-serialization invariance on the observable result.
     let re = Document::parse_str(&doc.to_xml_string())
         .map_err(|e| format!("reserialize: document no longer parses: {e}"))?;

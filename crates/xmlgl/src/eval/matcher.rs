@@ -258,7 +258,14 @@ pub fn match_rule_guarded(
         }),
         guard,
     };
-    let out = run_match(&cx, mode, trace);
+    let out = run_match(&cx, mode, trace, None);
+    emit_match_counters(&cx, trace, &out);
+    out
+}
+
+/// Per-query-node candidate totals and the final binding count, emitted on
+/// the enclosing span once a match completes (planned and unplanned alike).
+fn emit_match_counters(cx: &Ctx, trace: &Trace, out: &[Binding]) {
     if let Some(cand) = &cx.cand {
         for (i, c) in cand.iter().enumerate() {
             let n = c.load(Ordering::Relaxed);
@@ -269,7 +276,67 @@ pub fn match_rule_guarded(
         }
         trace.count("bindings", out.len() as u64);
     }
+}
+
+/// [`match_rule_guarded`] with a root *combine order* chosen by a planner
+/// (e.g. `gql-infer`'s [`plan_root_order`] from summary cardinality bounds).
+///
+/// `order` is a permutation of root indices in declaration order; combining
+/// starts from `order[0]` and hash-joins each next root against the
+/// accumulated prefix, so a selective root can shrink the intermediate
+/// result before a bulky one multiplies it. The *result is identical* to
+/// declaration-order matching — rows carry their per-root provenance and
+/// are sorted back into declaration order before bindings are materialised
+/// — only the intermediate sizes change. An invalid `order` (wrong length,
+/// not a permutation) falls back to declaration order.
+///
+/// [`plan_root_order`]: https://docs.rs/gql-infer
+pub fn match_rule_planned(
+    rule: &Rule,
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    mode: MatchMode,
+    trace: &Trace,
+    guard: &Guard,
+    order: &[usize],
+) -> Vec<Binding> {
+    let cx = Ctx {
+        g: &rule.extract,
+        doc,
+        nslots: rule.extract.nodes.len(),
+        idx,
+        names: if idx.is_some() {
+            resolve_names(&rule.extract, doc)
+        } else {
+            Vec::new()
+        },
+        cand: trace.is_enabled().then(|| {
+            (0..rule.extract.nodes.len())
+                .map(|_| AtomicU64::new(0))
+                .collect()
+        }),
+        guard,
+    };
+    let plan = valid_plan(order, rule.extract.roots.len()).then_some(order);
+    let out = run_match(&cx, mode, trace, plan);
+    emit_match_counters(&cx, trace, &out);
     out
+}
+
+/// A plan is usable when it is a true permutation of `0..nroots` and
+/// actually reorders something.
+fn valid_plan(order: &[usize], nroots: usize) -> bool {
+    if order.len() != nroots || nroots < 2 {
+        return false;
+    }
+    let mut seen = vec![false; nroots];
+    for &ri in order {
+        if ri >= nroots || seen[ri] {
+            return false;
+        }
+        seen[ri] = true;
+    }
+    order.iter().enumerate().any(|(i, &ri)| i != ri)
 }
 
 /// Reference implementation: whole-document scans for candidates and string
@@ -295,7 +362,7 @@ fn norm_pair(a: QNodeId, b: QNodeId) -> (QNodeId, QNodeId) {
     }
 }
 
-fn run_match(cx: &Ctx, mode: MatchMode, trace: &Trace) -> Vec<Binding> {
+fn run_match(cx: &Ctx, mode: MatchMode, trace: &Trace, plan: Option<&[usize]>) -> Vec<Binding> {
     let g = cx.g;
     if g.roots.is_empty() {
         return Vec::new();
@@ -332,9 +399,71 @@ fn run_match(cx: &Ctx, mode: MatchMode, trace: &Trace) -> Vec<Binding> {
         }
     }
 
-    // Combine roots left to right, remembering which joins the hash-join
-    // pass already enforced (the residual filter can skip them).
+    // Combine roots, remembering which joins the hash-join pass already
+    // enforced (the residual filter can skip them). A planner-supplied
+    // order takes the provenance-tracking path; the default is the plain
+    // left-to-right declaration-order merge.
     let mut enforced: HashSet<(QNodeId, QNodeId)> = HashSet::new();
+    let mut combined: Vec<Binding> = if let Some(order) = plan {
+        combine_planned(cx, &per_root, &owner, order, &mut enforced, trace)
+    } else {
+        combine_declared(cx, &per_root, &owner, &mut enforced, trace)
+    };
+
+    // Residual joins within a single root (or spanning more than two) are
+    // verified by filtering; hash-enforced pairs are already satisfied.
+    let residual: Vec<(QNodeId, QNodeId)> = g
+        .joins
+        .iter()
+        .copied()
+        .filter(|&(a, b)| !enforced.contains(&norm_pair(a, b)))
+        .collect();
+    if !residual.is_empty() {
+        let span = trace.span("residual_filter");
+        let before = combined.len();
+        match cx.idx {
+            Some(idx) => {
+                let mut cache = KeyCache::new(cx.doc);
+                combined.retain(|b| {
+                    residual.iter().all(|&(x, y)| match (b.get(x), b.get(y)) {
+                        (Some(bx), Some(by)) => {
+                            content_hash(cx.doc, idx, bx) == content_hash(cx.doc, idx, by)
+                                && cache.content_eq(bx, by)
+                        }
+                        _ => false,
+                    })
+                });
+            }
+            None => {
+                combined.retain(|b| {
+                    residual.iter().all(|&(x, y)| match (b.get(x), b.get(y)) {
+                        (Some(bx), Some(by)) => content_key(cx.doc, bx) == content_key(cx.doc, by),
+                        _ => false,
+                    })
+                });
+            }
+        }
+        if trace.is_enabled() {
+            trace.count("joins", residual.len() as u64);
+            trace.count("rows_in", before as u64);
+            trace.count("rows_out", combined.len() as u64);
+        }
+        drop(span);
+    }
+    combined
+}
+
+/// Declaration-order combine: fold the per-root binding sets left to
+/// right, hash-joining whenever a join constraint connects the next root
+/// to the accumulated prefix and taking the cartesian product otherwise.
+fn combine_declared(
+    cx: &Ctx,
+    per_root: &[Vec<Binding>],
+    owner: &[usize],
+    enforced: &mut HashSet<(QNodeId, QNodeId)>,
+    trace: &Trace,
+) -> Vec<Binding> {
+    let g = cx.g;
     let mut combined: Vec<Binding> = per_root[0].clone();
     for (ri, right) in per_root.iter().enumerate().skip(1) {
         // Joins whose endpoints span the combined prefix and this root.
@@ -397,48 +526,241 @@ fn run_match(cx: &Ctx, mode: MatchMode, trace: &Trace) -> Vec<Binding> {
             return combined;
         }
     }
-
-    // Residual joins within a single root (or spanning more than two) are
-    // verified by filtering; hash-enforced pairs are already satisfied.
-    let residual: Vec<(QNodeId, QNodeId)> = g
-        .joins
-        .iter()
-        .copied()
-        .filter(|&(a, b)| !enforced.contains(&norm_pair(a, b)))
-        .collect();
-    if !residual.is_empty() {
-        let span = trace.span("residual_filter");
-        let before = combined.len();
-        match cx.idx {
-            Some(idx) => {
-                let mut cache = KeyCache::new(cx.doc);
-                combined.retain(|b| {
-                    residual.iter().all(|&(x, y)| match (b.get(x), b.get(y)) {
-                        (Some(bx), Some(by)) => {
-                            content_hash(cx.doc, idx, bx) == content_hash(cx.doc, idx, by)
-                                && cache.content_eq(bx, by)
-                        }
-                        _ => false,
-                    })
-                });
-            }
-            None => {
-                combined.retain(|b| {
-                    residual.iter().all(|&(x, y)| match (b.get(x), b.get(y)) {
-                        (Some(bx), Some(by)) => content_key(cx.doc, bx) == content_key(cx.doc, by),
-                        _ => false,
-                    })
-                });
-            }
-        }
-        if trace.is_enabled() {
-            trace.count("joins", residual.len() as u64);
-            trace.count("rows_in", before as u64);
-            trace.count("rows_out", combined.len() as u64);
-        }
-        drop(span);
-    }
     combined
+}
+
+/// The join column `c` of an accumulated provenance row `t`: read straight
+/// off the owning root's per-root binding, so intermediate rows never clone
+/// binding slots.
+fn row_col<'a>(
+    per_root: &'a [Vec<Binding>],
+    owner: &[usize],
+    t: &[u32],
+    c: QNodeId,
+) -> Option<&'a Bound> {
+    let o = owner[c.index()];
+    per_root[o][t[o] as usize].get(c)
+}
+
+/// Planner-order combine: the same relation as [`combine_declared`], with
+/// the roots merged in `order` instead of declaration order, so a selective
+/// root can shrink the intermediate result before a bulky one multiplies
+/// it. Intermediate rows are provenance tuples — one per-root binding index
+/// per root — and are sorted back into declaration-order lexicographic
+/// sequence before bindings are materialised, which reproduces exactly the
+/// binding list the declaration-order combine emits (products and hash
+/// joins both emit left-to-right, right-index-ascending): construct output
+/// cannot depend on the plan.
+fn combine_planned(
+    cx: &Ctx,
+    per_root: &[Vec<Binding>],
+    owner: &[usize],
+    order: &[usize],
+    enforced: &mut HashSet<(QNodeId, QNodeId)>,
+    trace: &Trace,
+) -> Vec<Binding> {
+    let g = cx.g;
+    let nroots = per_root.len();
+    let first = order[0];
+    if trace.is_enabled() {
+        let plan = order
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        trace.note("combine_plan", &plan);
+    }
+    let mut processed = vec![false; nroots];
+    processed[first] = true;
+    let mut rows: Vec<Vec<u32>> = (0..per_root[first].len() as u32)
+        .map(|i| {
+            let mut t = vec![u32::MAX; nroots];
+            t[first] = i;
+            t
+        })
+        .collect();
+    for (k, &ri) in order.iter().enumerate().skip(1) {
+        let right = &per_root[ri];
+        // Joins whose endpoints span the processed prefix and this root.
+        let cross_joins: Vec<(QNodeId, QNodeId)> = g
+            .joins
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (oa, ob) = (owner[a.index()], owner[b.index()]);
+                if oa == usize::MAX || ob == usize::MAX {
+                    None
+                } else if processed[oa] && ob == ri {
+                    Some((a, b))
+                } else if processed[ob] && oa == ri {
+                    Some((b, a))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let label = if trace.is_enabled() {
+            format!("combine[{k}:root {ri}]")
+        } else {
+            String::new()
+        };
+        let span = trace.span(&label);
+        if trace.is_enabled() {
+            trace.count("left_rows", rows.len() as u64);
+            trace.count("right_rows", right.len() as u64);
+        }
+        if !cx.guard.ok() {
+            return Vec::new();
+        }
+        let next = if cross_joins.is_empty() {
+            trace.note("kind", "product");
+            let mut out = Vec::new();
+            for t in &rows {
+                // Budget probe: one per output batch (this row's fan-out).
+                if !cx.guard.charge_matches(right.len() as u64) {
+                    break;
+                }
+                for i in 0..right.len() as u32 {
+                    let mut nt = t.clone();
+                    nt[ri] = i;
+                    out.push(nt);
+                }
+            }
+            out
+        } else {
+            trace.note("kind", "hash_join");
+            enforced.extend(cross_joins.iter().map(|&(a, b)| norm_pair(a, b)));
+            let left_cols: Vec<QNodeId> = cross_joins.iter().map(|&(l, _)| l).collect();
+            let right_cols: Vec<QNodeId> = cross_joins.iter().map(|&(_, r)| r).collect();
+            let mut stats = JoinStats::default();
+            let out = match cx.idx {
+                Some(idx) => {
+                    let hash = |b: &Bound| content_hash(cx.doc, idx, b);
+                    let mut table: HashMap<Vec<u64>, Vec<u32>> = HashMap::new();
+                    for (i, r) in right.iter().enumerate() {
+                        let key: Option<Vec<u64>> =
+                            right_cols.iter().map(|&c| r.get(c).map(hash)).collect();
+                        if let Some(k) = key {
+                            table.entry(k).or_default().push(i as u32);
+                        }
+                    }
+                    let mut cache = KeyCache::new(cx.doc);
+                    let mut out = Vec::new();
+                    for t in &rows {
+                        let key: Option<Vec<u64>> = left_cols
+                            .iter()
+                            .map(|&c| row_col(per_root, owner, t, c).map(hash))
+                            .collect();
+                        let Some(k) = key else {
+                            continue;
+                        };
+                        stats.probes += 1;
+                        let Some(matches) = table.get(&k) else {
+                            continue;
+                        };
+                        // Budget probe: one per hash-probe batch.
+                        if !cx.guard.charge_matches(matches.len() as u64) {
+                            break;
+                        }
+                        for &i in matches {
+                            stats.hash_matches += 1;
+                            let r = &right[i as usize];
+                            let verified = cross_joins.iter().all(|&(lc, rc)| {
+                                match (row_col(per_root, owner, t, lc), r.get(rc)) {
+                                    (Some(a), Some(b)) => cache.content_eq(a, b),
+                                    _ => false,
+                                }
+                            });
+                            if verified {
+                                let mut nt = t.clone();
+                                nt[ri] = i;
+                                out.push(nt);
+                            } else {
+                                stats.collision_rejects += 1;
+                            }
+                        }
+                    }
+                    out
+                }
+                None => {
+                    let mut table: HashMap<String, Vec<u32>> = HashMap::new();
+                    let key_of = |parts: Vec<Option<String>>| -> Option<String> {
+                        let parts: Option<Vec<String>> = parts.into_iter().collect();
+                        parts.map(|p| p.join("\u{1}"))
+                    };
+                    for (i, r) in right.iter().enumerate() {
+                        let key = key_of(
+                            right_cols
+                                .iter()
+                                .map(|&c| r.get(c).map(|b| content_key(cx.doc, b)))
+                                .collect(),
+                        );
+                        if let Some(k) = key {
+                            table.entry(k).or_default().push(i as u32);
+                        }
+                    }
+                    let mut out = Vec::new();
+                    for t in &rows {
+                        let key = key_of(
+                            left_cols
+                                .iter()
+                                .map(|&c| {
+                                    row_col(per_root, owner, t, c).map(|b| content_key(cx.doc, b))
+                                })
+                                .collect(),
+                        );
+                        let Some(k) = key else {
+                            continue;
+                        };
+                        let Some(matches) = table.get(&k) else {
+                            continue;
+                        };
+                        if !cx.guard.charge_matches(matches.len() as u64) {
+                            break;
+                        }
+                        for &i in matches {
+                            let mut nt = t.clone();
+                            nt[ri] = i;
+                            out.push(nt);
+                        }
+                    }
+                    out
+                }
+            };
+            if trace.is_enabled() && cx.idx.is_some() {
+                trace.count("probes", stats.probes);
+                trace.count("hash_matches", stats.hash_matches);
+                trace.count("collision_rejects", stats.collision_rejects);
+            }
+            out
+        };
+        rows = next;
+        processed[ri] = true;
+        trace.count("out_rows", rows.len() as u64);
+        drop(span);
+        if rows.is_empty() {
+            break;
+        }
+    }
+
+    // Restore declaration order: lexicographic in the provenance tuple is
+    // exactly the sequence the declaration-order combine produces.
+    rows.sort_unstable();
+    rows.into_iter()
+        .map(|t| {
+            let mut b: Option<Binding> = None;
+            for (ro, &i) in t.iter().enumerate() {
+                if i == u32::MAX {
+                    continue;
+                }
+                let rb = &per_root[ro][i as usize];
+                b = Some(match b {
+                    Some(acc) => acc.merge(rb),
+                    None => rb.clone(),
+                });
+            }
+            b.unwrap_or_default()
+        })
+        .collect()
 }
 
 fn product(left: &[Binding], right: &[Binding], guard: &Guard) -> Vec<Binding> {
@@ -1285,5 +1607,111 @@ mod tests {
         );
         assert_eq!(collided.len(), 1);
         assert_eq!(collided[0].get(QNodeId(1)), Some(&Bound::Node(kids[1])));
+    }
+
+    #[test]
+    fn planned_combine_reproduces_declaration_order() {
+        // Matching titles across books and articles, plus an unjoined
+        // author root: exercises both the hash-join and the product stage
+        // of the planned combine.
+        let d = Document::parse_str(
+            "<bib><book><title>A</title></book><book><title>B</title></book>\
+             <article><title>A</title></article><article><title>B</title></article>\
+             <author>x</author><author>y</author></bib>",
+        )
+        .unwrap();
+        let idx = DocIndex::build(&d);
+        let p = crate::dsl::parse(
+            r#"rule {
+                 extract {
+                   book { title { text as $t1 } }
+                   article { title { text as $t2 } }
+                   author as $a
+                   join $t1 == $t2
+                 }
+                 construct { out { all $a } }
+               }"#,
+        )
+        .unwrap();
+        let rule = &p.rules[0];
+        let base = match_rule_with(rule, &d, &idx, MatchMode::Sequential);
+        assert_eq!(base.len(), 4, "2 joined title pairs × 2 authors");
+        for order in [
+            vec![1, 0, 2],
+            vec![2, 1, 0],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![0, 2, 1],
+        ] {
+            let planned = match_rule_planned(
+                rule,
+                &d,
+                Some(&idx),
+                MatchMode::Sequential,
+                &Trace::disabled(),
+                &UNLIMITED,
+                &order,
+            );
+            assert_eq!(planned, base, "indexed, order {order:?}");
+            let scan = match_rule_planned(
+                rule,
+                &d,
+                None,
+                MatchMode::Sequential,
+                &Trace::disabled(),
+                &UNLIMITED,
+                &order,
+            );
+            assert_eq!(scan, base, "scan, order {order:?}");
+        }
+        // Invalid plans (wrong length, repeated index) fall back cleanly.
+        for bad in [vec![0usize, 0, 1], vec![1, 0], vec![0, 1, 2, 3]] {
+            let out = match_rule_planned(
+                rule,
+                &d,
+                Some(&idx),
+                MatchMode::Sequential,
+                &Trace::disabled(),
+                &UNLIMITED,
+                &bad,
+            );
+            assert_eq!(out, base, "fallback for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn planned_combine_respects_multi_span_joins() {
+        // A join that spans roots 0 and 2 stays residual in declaration
+        // order until root 2 arrives; a plan starting at 2 enforces it in
+        // the first combine. Both must agree.
+        let d = Document::parse_str("<r><a>k1</a><a>k2</a><b>z</b><c>k1</c><c>k3</c></r>").unwrap();
+        let idx = DocIndex::build(&d);
+        let p = crate::dsl::parse(
+            r#"rule {
+                 extract {
+                   a { text as $x }
+                   b as $m
+                   c { text as $y }
+                   join $x == $y
+                 }
+                 construct { out { all $m } }
+               }"#,
+        )
+        .unwrap();
+        let rule = &p.rules[0];
+        let base = match_rule_with(rule, &d, &idx, MatchMode::Sequential);
+        assert_eq!(base.len(), 1, "only k1 joins, times one <b>");
+        for order in [vec![2, 0, 1], vec![2, 1, 0], vec![1, 2, 0]] {
+            let planned = match_rule_planned(
+                rule,
+                &d,
+                Some(&idx),
+                MatchMode::Sequential,
+                &Trace::disabled(),
+                &UNLIMITED,
+                &order,
+            );
+            assert_eq!(planned, base, "order {order:?}");
+        }
     }
 }

@@ -30,9 +30,35 @@ use gql_guard::Guard;
 
 pub use construct::{construct_rule, construct_rule_with};
 pub use matcher::{
-    match_rule, match_rule_guarded, match_rule_scan, match_rule_traced, match_rule_with, Binding,
-    Bound, MatchMode,
+    match_rule, match_rule_guarded, match_rule_planned, match_rule_scan, match_rule_traced,
+    match_rule_with, Binding, Bound, MatchMode,
 };
+
+/// Per-rule root combine orders chosen by a planner (`gql-infer`'s
+/// `plan_root_order` over summary cardinality bounds). `None` for a rule —
+/// or a missing entry, or an invalid permutation — means declaration order.
+/// Plans never change results, only intermediate join sizes; see
+/// [`match_rule_planned`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchPlans {
+    pub per_rule: Vec<Option<Vec<usize>>>,
+}
+
+impl MatchPlans {
+    /// No reordering for any rule.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The combine order for rule `i`, if one was planned.
+    pub fn plan_for(&self, i: usize) -> Option<&[usize]> {
+        self.per_rule.get(i).and_then(|p| p.as_deref())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.per_rule.iter().all(Option::is_none)
+    }
+}
 
 /// Evaluate a whole program: the outputs of all rules, in rule order, become
 /// the children of the result document's root. Builds one [`DocIndex`] for
@@ -77,6 +103,22 @@ pub fn run_guarded(
     trace: &Trace,
     guard: &Guard,
 ) -> Result<Document> {
+    run_planned(program, doc, idx, trace, guard, &MatchPlans::none())
+}
+
+/// [`run_guarded`] with planner-chosen root combine orders: rules with a
+/// plan in `plans` combine their roots in that order (identical results,
+/// smaller intermediates — see [`match_rule_planned`]); the rest use
+/// declaration order. With `MatchPlans::none()` this is exactly
+/// `run_guarded`.
+pub fn run_planned(
+    program: &Program,
+    doc: &Document,
+    idx: Option<&DocIndex>,
+    trace: &Trace,
+    guard: &Guard,
+    plans: &MatchPlans,
+) -> Result<Document> {
     crate::check::check_program(program)?;
     let mut out = Document::new();
     for (i, rule) in program.rules.iter().enumerate() {
@@ -88,7 +130,12 @@ pub fn run_guarded(
         let _rule_span = trace.span(&label);
         let bindings = {
             let _s = trace.span("match");
-            match_rule_guarded(rule, doc, idx, MatchMode::Auto, trace, guard)
+            match plans.plan_for(i) {
+                Some(order) => {
+                    match_rule_planned(rule, doc, idx, MatchMode::Auto, trace, guard, order)
+                }
+                None => match_rule_guarded(rule, doc, idx, MatchMode::Auto, trace, guard),
+            }
         };
         guard.checkpoint().map_err(crate::XmlGlError::Budget)?;
         {

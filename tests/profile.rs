@@ -201,17 +201,20 @@ fn xmlgl_profile_reports_exact_candidates_and_join_counters() {
     assert_eq!(m.note("path"), Some("indexed"));
     assert_eq!(counter(m, "bindings"), 2);
     // Candidate sets: 3 `a` roots each with 1 text child considered, and
-    // 2 `b` roots likewise.
+    // 2 `b` roots likewise (per-root matching stays in declaration order
+    // whatever the combine plan).
     assert_eq!(counter(m.find("root[0:a]").unwrap(), "root_candidates"), 3);
     assert_eq!(counter(m.find("root[1:b]").unwrap(), "root_candidates"), 2);
-    // The combine step hash-joins 3 left rows against 2 right rows: one
-    // probe per left row, and the t-bucket holds one right row matched by
-    // two left rows.
-    let combine = m.find("combine[1]").unwrap();
+    // Summary inference bounds the roots at 3 (`a`) and 2 (`b`), so the
+    // engine's combine plan starts from the selective `b` root: 2 left
+    // rows hash-probe against the 3-row `a` table — one probe per left
+    // row, and the t-bucket holds two right rows matched by one left row.
+    assert_eq!(m.note("combine_plan"), Some("1,0"));
+    let combine = m.find("combine[1:root 0]").unwrap();
     assert_eq!(combine.note("kind"), Some("hash_join"));
-    assert_eq!(counter(combine, "left_rows"), 3);
-    assert_eq!(counter(combine, "right_rows"), 2);
-    assert_eq!(counter(combine, "probes"), 3);
+    assert_eq!(counter(combine, "left_rows"), 2);
+    assert_eq!(counter(combine, "right_rows"), 3);
+    assert_eq!(counter(combine, "probes"), 2);
     assert_eq!(counter(combine, "hash_matches"), 2);
     assert_eq!(counter(combine, "collision_rejects"), 0);
     assert_eq!(counter(combine, "out_rows"), 2);

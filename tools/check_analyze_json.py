@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable report emitted by `gql-analyze --json`.
+
+CI pipes the analyzer's output over the summary-inference fixtures through
+this script, so a field rename, a type change or a silently-dropped
+diagnostic code breaks the build rather than downstream tooling.
+
+Shape:
+
+    {"files": [FILE, ...]}
+    FILE   = {"path": str,           # input file as given on the command line
+              "report": REPORT,
+              "bounds": [BOUND, ...]}  # summary-inference cardinality facts
+    REPORT = {"diagnostics": [DIAG, ...],
+              "errors": int >= 0,    # tallies; must match the diagnostics
+              "warnings": int >= 0,
+              "hints": int >= 0}
+    DIAG   = {"code": "GQLnnn", "severity": "error"|"warning"|"hint",
+              "line": int >= 0, "col": int >= 0,
+              "rule": str|null, "message": str, "help": str|null}
+    BOUND  = {"rule": int >= 1,      # 1-based rule ordinal
+              "target": str,         # "$var", "result", "step 2 (…)" …
+              "bound": int|null}     # null = unbounded
+
+Usage:
+    check_analyze_json.py FILE [--files N] [--require-code CODE ...]
+                               [--require-bounds]
+
+    FILE                 report JSON ("-" reads stdin)
+    --files N            assert exactly N file entries
+    --require-code CODE  assert some diagnostic carries this code (repeatable)
+    --require-bounds     assert at least one file reports a finite bound
+
+Exit status: 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import re
+import sys
+
+FILE_KEYS = {"path", "report", "bounds"}
+REPORT_KEYS = {"diagnostics", "errors", "warnings", "hints"}
+DIAG_KEYS = {"code", "severity", "line", "col", "rule", "message", "help"}
+BOUND_KEYS = {"rule", "target", "bound"}
+SEVERITIES = ("error", "warning", "hint")
+
+
+def fail(msg):
+    print(f"check_analyze_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_keys(obj, keys, path):
+    if not isinstance(obj, dict):
+        fail(f"{path}: expected object, got {type(obj).__name__}")
+    extra = set(obj) - keys
+    missing = keys - set(obj)
+    if extra or missing:
+        fail(f"{path}: bad keys (missing {sorted(missing)}, extra {sorted(extra)})")
+
+
+def check_diag(diag, path):
+    check_keys(diag, DIAG_KEYS, path)
+    if not isinstance(diag["code"], str) or not re.fullmatch(r"GQL\d{3}", diag["code"]):
+        fail(f"{path}: code {diag['code']!r} is not GQLnnn")
+    if diag["severity"] not in SEVERITIES:
+        fail(f"{path}: severity {diag['severity']!r} not in {SEVERITIES}")
+    for key in ("line", "col"):
+        if not isinstance(diag[key], int) or diag[key] < 0:
+            fail(f"{path}: {key} must be a non-negative integer")
+    if not isinstance(diag["message"], str) or not diag["message"]:
+        fail(f"{path}: message must be a non-empty string")
+    for key in ("rule", "help"):
+        if diag[key] is not None and not isinstance(diag[key], str):
+            fail(f"{path}: {key} must be a string or null")
+
+
+def check_file(entry, path):
+    check_keys(entry, FILE_KEYS, path)
+    if not isinstance(entry["path"], str) or not entry["path"]:
+        fail(f"{path}: path must be a non-empty string")
+    report = entry["report"]
+    check_keys(report, REPORT_KEYS, f"{path}/report")
+    diags = report["diagnostics"]
+    if not isinstance(diags, list):
+        fail(f"{path}/report: diagnostics must be an array")
+    for i, diag in enumerate(diags):
+        check_diag(diag, f"{path}/report/diagnostics[{i}]")
+    for sev in SEVERITIES:
+        key = sev + "s"
+        tally = sum(1 for d in diags if d["severity"] == sev)
+        if report[key] != tally:
+            fail(f"{path}/report: {key}={report[key]} but {tally} {sev} diagnostics")
+    bounds = entry["bounds"]
+    if not isinstance(bounds, list):
+        fail(f"{path}: bounds must be an array")
+    for i, bound in enumerate(bounds):
+        here = f"{path}/bounds[{i}]"
+        check_keys(bound, BOUND_KEYS, here)
+        if not isinstance(bound["rule"], int) or bound["rule"] < 1:
+            fail(f"{here}: rule must be a positive 1-based ordinal")
+        if not isinstance(bound["target"], str) or not bound["target"]:
+            fail(f"{here}: target must be a non-empty string")
+        b = bound["bound"]
+        if b is not None and (not isinstance(b, int) or b < 0):
+            fail(f"{here}: bound must be a non-negative integer or null")
+
+
+def main(argv):
+    args = argv[1:]
+    if not args:
+        fail(
+            "usage: check_analyze_json.py FILE [--files N] "
+            "[--require-code CODE ...] [--require-bounds]"
+        )
+    source = args.pop(0)
+    expected_files = None
+    required_codes = []
+    require_bounds = False
+    while args:
+        flag = args.pop(0)
+        if flag == "--files" and args:
+            expected_files = int(args.pop(0))
+        elif flag == "--require-code" and args:
+            required_codes.append(args.pop(0))
+        elif flag == "--require-bounds":
+            require_bounds = True
+        else:
+            fail(f"unknown or incomplete argument {flag!r}")
+
+    text = sys.stdin.read() if source == "-" else open(source, encoding="utf-8").read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or set(doc) != {"files"}:
+        fail('top level must be exactly {"files": [...]}')
+    files = doc["files"]
+    if not isinstance(files, list):
+        fail("files must be an array")
+    for i, entry in enumerate(files):
+        check_file(entry, f"files[{i}]")
+
+    if expected_files is not None and len(files) != expected_files:
+        fail(f"expected {expected_files} file entries, got {len(files)}")
+    codes = {d["code"] for f in files for d in f["report"]["diagnostics"]}
+    for want in required_codes:
+        if want not in codes:
+            fail(f"required code {want!r} not reported (have: {', '.join(sorted(codes))})")
+    if require_bounds and not any(
+        b["bound"] is not None for f in files for b in f["bounds"]
+    ):
+        fail("no file reports a finite cardinality bound")
+
+    ndiags = sum(len(f["report"]["diagnostics"]) for f in files)
+    nbounds = sum(len(f["bounds"]) for f in files)
+    print(f"ok: {len(files)} file(s), {ndiags} diagnostic(s), {nbounds} bound(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
