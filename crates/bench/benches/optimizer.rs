@@ -2,18 +2,50 @@
 //! vs deoptimized (nested loops, hoisted filters) algebra plans, including
 //! a low-selectivity self-join where pushdown pays most, plus the matcher
 //! side of the same story: declaration-order root joins vs the
-//! summary-inferred combine order from `gql-infer`.
+//! summary-inferred combine order from `gql-infer`, the cost-based order
+//! from `gql-plan` against the full enumeration of root orders, and the
+//! engine's plan-cache warm/cold phase timings.
 
 use gql_bench::microbench::{BenchmarkId, Criterion};
 use gql_bench::suite::Dataset;
 use gql_bench::{criterion_group, criterion_main};
-use gql_core::{algebra, translate};
+use gql_core::{algebra, translate, Engine, QueryKind};
 use gql_guard::Guard;
 use gql_ssdm::{DocIndex, Summary};
-use gql_trace::Trace;
+use gql_trace::{ExecutionProfile, Trace};
 use gql_xmlgl::ast::CmpOp;
 use gql_xmlgl::builder::{RuleBuilder, C, Q};
 use gql_xmlgl::eval::{match_rule_guarded, match_rule_planned, MatchMode};
+
+/// All permutations of `0..k` (the full join-order search space for a
+/// `k`-root rule; only used for tiny `k`).
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..k).collect();
+    fn heap(items: &mut Vec<usize>, n: usize, out: &mut Vec<Vec<usize>>) {
+        if n <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..n {
+            heap(items, n - 1, out);
+            if n.is_multiple_of(2) {
+                items.swap(i, n - 1);
+            } else {
+                items.swap(0, n - 1);
+            }
+        }
+    }
+    heap(&mut items, k, &mut out);
+    out
+}
+
+/// Nanoseconds a profiled run spent in its plan-related phases
+/// (`analyze` + `plan`) — the cost a cache hit avoids.
+fn plan_phase_nanos(profile: &ExecutionProfile) -> u128 {
+    let run = profile.find("run").expect("run span");
+    run.find("analyze").map_or(0, |s| s.nanos) + run.find("plan").map_or(0, |s| s.nanos)
+}
 
 fn bench_q6(c: &mut Criterion) {
     let mut group = c.benchmark_group("t5_q6_join_plans");
@@ -91,6 +123,120 @@ fn bench_q6(c: &mut Criterion) {
                 })
             },
         );
+
+        // The cost-based order from `gql-plan`'s bottom-up enumerator,
+        // against the *full* enumeration of root orders. Acceptance: the
+        // cost-chosen order stays within 10% of the best enumerated order
+        // (`cost_planned_vs_best` ≤ 1.1).
+        let cost_order = gql_plan::plan_rule_order(rule, &inference.root_bounds[0])
+            .expect("Q6 plans under gql-plan");
+        let planned_mean =
+            group.bench_with_input(BenchmarkId::new("cost-planned", scale), &doc, |b, doc| {
+                b.iter(|| {
+                    match_rule_planned(
+                        rule,
+                        doc,
+                        Some(&idx),
+                        MatchMode::Sequential,
+                        &trace,
+                        &guard,
+                        &cost_order,
+                    )
+                })
+            });
+        let mut best: Option<std::time::Duration> = None;
+        for enumerated in permutations(rule.extract.roots.len()) {
+            let label = format!(
+                "enumerated-{}",
+                enumerated
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join("-")
+            );
+            let mean = group.bench_with_input(BenchmarkId::new(label, scale), &doc, |b, doc| {
+                b.iter(|| {
+                    match_rule_planned(
+                        rule,
+                        doc,
+                        Some(&idx),
+                        MatchMode::Sequential,
+                        &trace,
+                        &guard,
+                        &enumerated,
+                    )
+                })
+            });
+            best = Some(best.map_or(mean, |b| b.min(mean)));
+        }
+        let best = best.expect("at least one enumerated order");
+        group.record_metric(
+            BenchmarkId::new("cost_planned_vs_best", scale),
+            planned_mean.as_nanos() as f64 / best.as_nanos().max(1) as f64,
+            "x",
+        );
+    }
+    group.finish();
+}
+
+/// Plan-cache effect on the plan phase: cold runs pay summary inference,
+/// join-order enumeration and lowering; warm runs pay a keyed lookup. The
+/// `plan_warm_speedup` metric (cold / warm plan-phase nanoseconds, from
+/// trace phase timings) is the acceptance figure: ≥ 5× on a hit.
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_q6_join_plans");
+    group.sample_size(10);
+    let program = gql_xmlgl::dsl::parse(
+        r#"rule { extract {
+                    product as $p { vendor { text as $v1 } }
+                    vendor as $w { country { text = "holland" }
+                                   name { text as $v2 } }
+                    join $v1 == $v2 }
+                  construct { answer { all $p } } }"#,
+    )
+    .expect("Q6 parses");
+    let samples: usize = std::env::var("GQL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    for scale in [200usize, 800, 3200] {
+        let doc = Dataset::Greengrocer.build(scale);
+        let q = QueryKind::XmlGl(program.clone());
+        // Cold: a fresh engine per run, so every plan phase misses.
+        let mut cold_total = 0u128;
+        for _ in 0..samples {
+            let engine = Engine::new();
+            let profile = engine
+                .run_profiled(&q, &doc)
+                .expect("Q6 runs")
+                .profile
+                .expect("profiled");
+            cold_total += plan_phase_nanos(&profile);
+        }
+        // Warm: one engine with the cache primed, so every plan phase hits.
+        let engine = Engine::new();
+        engine.run(&q, &doc).expect("priming run");
+        let mut warm_total = 0u128;
+        for _ in 0..samples {
+            let profile = engine
+                .run_profiled(&q, &doc)
+                .expect("Q6 runs")
+                .profile
+                .expect("profiled");
+            warm_total += plan_phase_nanos(&profile);
+        }
+        let stats = engine.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "only the priming run may miss");
+        assert_eq!(stats.hits as usize, samples, "warm runs must all hit");
+        let cold = cold_total as f64 / samples as f64;
+        let warm = (warm_total as f64 / samples as f64).max(1.0);
+        group.record_metric(BenchmarkId::new("plan_phase_cold_ns", scale), cold, "ns");
+        group.record_metric(BenchmarkId::new("plan_phase_warm_ns", scale), warm, "ns");
+        group.record_metric(
+            BenchmarkId::new("plan_warm_speedup", scale),
+            cold / warm,
+            "x",
+        );
     }
     group.finish();
 }
@@ -135,5 +281,10 @@ fn bench_selective_self_join(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_q6, bench_selective_self_join);
+criterion_group!(
+    benches,
+    bench_q6,
+    bench_selective_self_join,
+    bench_plan_cache
+);
 criterion_main!(benches);

@@ -236,6 +236,31 @@ fn main() -> ExitCode {
             };
             println!("bound: rule {} {}: {bound}", e.rule + 1, e.target);
         }
+        // The logical plan the run executed, with the cost-chosen join
+        // orders and the plan-cache behaviour of this engine.
+        for line in outcome.plan.lines() {
+            println!("plan: {line}");
+        }
+        if let Some(plan_span) = profile.find("plan") {
+            for (name, value) in &plan_span.notes {
+                if name.starts_with("join_order") {
+                    println!("plan: {name} = [{value}]");
+                }
+            }
+        }
+        // Estimated vs actual result cardinality (the planner's bound
+        // against what the run produced).
+        if let Some(est) = outcome.inference.cards.result_bound(0) {
+            println!(
+                "cards: result estimated <= {est}, actual {}",
+                outcome.result_count
+            );
+        }
+        let stats = engine.plan_cache_stats();
+        println!(
+            "plan_cache: {{hit: {}, miss: {}, evict: {}, replan: {}}}",
+            stats.hits, stats.misses, stats.evictions, stats.replans
+        );
         println!(
             "{} result(s) in {:?} (load {:?})",
             outcome.result_count, outcome.eval_time, outcome.load_time

@@ -6,10 +6,12 @@
 //! counted separately so the comparison can show it both ways (amortised
 //! loads for a resident database, full loads for one-shot queries).
 
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use gql_guard::{fault, Budget, Guard};
 use gql_infer::Inference;
+use gql_plan::{CacheStats, CachedPlan, PlanCache, PlanKey};
 use gql_ssdm::{shallow_fingerprint, DocIndex, Document, Summary};
 use gql_trace::{ExecutionProfile, Trace};
 use gql_wglog::instance::Instance;
@@ -47,6 +49,9 @@ pub struct RunOutcome {
     /// never refuse a run — the result is still computed and the bounds
     /// also drive the XML-GL join planner.
     pub inference: Inference,
+    /// The logical plan the run executed (multi-line EXPLAIN rendering of
+    /// the `gql_plan` lowering), for provenance surfaces.
+    pub plan: String,
 }
 
 /// A [`DocIndex`] pinned to one resident document, fingerprinted by the
@@ -81,6 +86,10 @@ pub struct Engine {
     /// A pre-built document index for the tree-native engines (XML-GL and
     /// XPath), reused across runs when the queried document matches.
     resident_index: Option<ResidentIndex>,
+    /// Cached planning outcomes keyed by (canonical query, document
+    /// fingerprint, budget class): on a hit the analyze/plan phases are
+    /// served from the cache and the run goes parse → execution.
+    plan_cache: Mutex<PlanCache>,
 }
 
 impl Engine {
@@ -169,6 +178,106 @@ impl Engine {
         }
     }
 
+    /// The plan cache, immune to lock poisoning: a panicking run must not
+    /// take the cache down with it, and every hit is re-validated against
+    /// the query shape before its orders are trusted.
+    fn lock_plan_cache(&self) -> MutexGuard<'_, PlanCache> {
+        self.plan_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Cumulative plan-cache counters (hits, misses, evictions, replans)
+    /// since engine construction.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.lock_plan_cache().stats()
+    }
+
+    /// Number of plans currently resident in the cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.lock_plan_cache().len()
+    }
+
+    /// Drop every cached plan (the counters are preserved).
+    pub fn clear_plan_cache(&self) {
+        self.lock_plan_cache().clear()
+    }
+
+    /// Canonical query text for plan-cache keying: the printed DSL for the
+    /// graphical languages (structurally identical programs share an entry
+    /// regardless of source formatting), the raw expression for XPath. The
+    /// language prefix keeps the three namespaces disjoint.
+    fn canonical_query(query: &QueryKind) -> String {
+        match query {
+            QueryKind::XmlGl(program) => format!("xmlgl:{}", gql_xmlgl::dsl::print(program)),
+            QueryKind::WgLog(program) => format!("wglog:{}", gql_wglog::dsl::print(program)),
+            QueryKind::XPath(expr) => format!("xpath:{expr}"),
+        }
+    }
+
+    /// Per-rule extract-root counts — the shape a cached XML-GL plan is
+    /// validated against before its join orders are trusted.
+    fn plan_root_counts(query: &QueryKind) -> Vec<usize> {
+        match query {
+            QueryKind::XmlGl(program) => program
+                .rules
+                .iter()
+                .map(|r| r.extract.roots.len())
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Build the cacheable planning outcome for a query: cost-based join
+    /// orders (XML-GL; the other engines execute their declared shape),
+    /// plus the lowered logical-algebra tree for provenance surfaces.
+    fn build_plan(
+        query: &QueryKind,
+        inference: Inference,
+        summary_paths: u64,
+        root_counts: Vec<usize>,
+    ) -> CachedPlan {
+        let (orders, lowered) = match query {
+            QueryKind::XmlGl(program) => {
+                let orders: Vec<Option<Vec<usize>>> = program
+                    .rules
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        inference
+                            .root_bounds
+                            .get(i)
+                            .and_then(|b| gql_plan::plan_rule_order(r, b))
+                    })
+                    .collect();
+                let lowered = gql_plan::lower_xmlgl(program, &inference, &orders);
+                (orders, lowered)
+            }
+            QueryKind::WgLog(program) => (Vec::new(), gql_plan::lower_wglog(program, &inference)),
+            QueryKind::XPath(expr) => {
+                // A parse failure is reported by the parse span with its
+                // original error; the plan just records the failure.
+                let lowered = match gql_xpath::parse(expr) {
+                    Ok(parsed) => gql_plan::lower_xpath(&parsed, &inference),
+                    Err(_) => gql_plan::LogicalPlan::Construct {
+                        shape: "unparsed".into(),
+                        inputs: Vec::new(),
+                        span: gql_ssdm::Span::none(),
+                    },
+                };
+                (Vec::new(), lowered)
+            }
+        };
+        CachedPlan {
+            inference,
+            orders,
+            plan_text: lowered.render(),
+            plan_compact: lowered.render_compact(),
+            root_counts,
+            summary_paths,
+        }
+    }
+
     /// Resolve the [`DocIndex`] for a tree-native run: the resident index on
     /// a cache hit, otherwise a fresh build parked in `storage`. Returns
     /// `None` — the scan-evaluation degradation target — when the
@@ -221,8 +330,10 @@ impl Engine {
 
     /// Run a query reporting into a caller-supplied [`Trace`]. The span
     /// taxonomy (documented in DESIGN.md): a `run` root with `engine` and
-    /// `cache` notes, `analyze` / `load` / `index` / `eval` / `construct`
-    /// phase children, and engine-specific spans below `eval`.
+    /// `cache` notes, `analyze` / `plan` / `load` / `index` / `eval` /
+    /// `construct` phase children, and engine-specific spans below `eval`.
+    /// The `plan` span notes `plan_cache` (`hit` / `miss` / `replan`), the
+    /// compact logical plan, and any reordered XML-GL join orders.
     pub fn run_with_trace(
         &self,
         query: &QueryKind,
@@ -269,40 +380,125 @@ impl Engine {
             );
             trace.count("doc_nodes", doc.node_count() as u64);
         }
-        let mut summary_storage = None;
-        let inference = {
+        // Probe the plan cache. The corruption fault seam scrambles the
+        // entry *before* the probe, so a poisoned hit exercises the real
+        // validate → replan path.
+        let key = PlanKey::new(
+            &Self::canonical_query(query),
+            shallow_fingerprint(doc),
+            guard.budget_class(),
+        );
+        let root_counts = Self::plan_root_counts(query);
+        let mut cached = {
+            let mut cache = self.lock_plan_cache();
+            if fault::active() && fault::corrupt_plan_cache() {
+                cache.corrupt_entry(&key);
+            }
+            cache.get(&key)
+        };
+        let mut cache_state = if cached.is_some() { "hit" } else { "miss" };
+        if cached
+            .as_ref()
+            .is_some_and(|plan| !plan.is_valid_for(&root_counts))
+        {
+            // A hit that fails validation (a corrupted entry, or a key
+            // collision against a structurally different query) is dropped
+            // and replanned from scratch.
+            cache_state = "replan";
+            let mut cache = self.lock_plan_cache();
+            cache.note_replan();
+            cache.remove(&key);
+            cached = None;
+        }
+        let analyzed: Option<(Inference, u64)> = {
             let _s = trace.span("analyze");
             guard.set_phase("analyze");
+            // The rejection gate runs warm or cold: it is pure on the
+            // query, and an invalid program must behave identically either
+            // way (it is also why a rejected program is never cached — the
+            // cold path errors out before planning).
             Self::reject_errors(query)?;
-            // Static inference against the structural summary: resident
-            // when preloaded for this document, otherwise inferred here
-            // (one preorder pass). Its diagnostics are Warnings — surfaced
-            // on the outcome, never a refusal — and its cardinality bounds
-            // feed the XML-GL join planner below.
-            let summary: &Summary = match self.resident_summary_for(doc) {
-                Some(s) => s,
-                None => summary_storage.insert(Summary::build(doc)),
+            let out = match &cached {
+                // Warm path: analysis is served from the cache; the span
+                // still reports the counters the cold run recorded so
+                // profiled shapes match.
+                Some(plan) => {
+                    if trace.is_enabled() {
+                        trace.count("summary_paths", plan.summary_paths);
+                        trace.count("infer_diags", plan.inference.report.len() as u64);
+                        if plan.inference.is_statically_empty() {
+                            trace.note("statically_empty", "true");
+                        }
+                    }
+                    None
+                }
+                None => {
+                    // Static inference against the structural summary:
+                    // resident when preloaded for this document, otherwise
+                    // inferred here (one preorder pass). Its diagnostics
+                    // are Warnings — surfaced on the outcome, never a
+                    // refusal — and its cardinality bounds feed the
+                    // cost-based join planner below.
+                    let mut summary_storage = None;
+                    let summary: &Summary = match self.resident_summary_for(doc) {
+                        Some(s) => s,
+                        None => summary_storage.insert(Summary::build(doc)),
+                    };
+                    let inference = match query {
+                        QueryKind::XmlGl(program) => gql_infer::infer_xmlgl(program, summary),
+                        QueryKind::WgLog(program) => gql_infer::infer_wglog(program, summary),
+                        // A parse failure here is reported by the parse
+                        // span below with its original error; inference
+                        // just stays empty.
+                        QueryKind::XPath(expr) => gql_xpath::parse(expr)
+                            .map(|parsed| gql_infer::infer_xpath(&parsed, summary))
+                            .unwrap_or_default(),
+                    };
+                    let summary_paths = summary.stats().paths as u64;
+                    if trace.is_enabled() {
+                        trace.count("summary_paths", summary_paths);
+                        trace.count("infer_diags", inference.report.len() as u64);
+                        if inference.is_statically_empty() {
+                            trace.note("statically_empty", "true");
+                        }
+                    }
+                    Some((inference, summary_paths))
+                }
             };
-            let inference = match query {
-                QueryKind::XmlGl(program) => gql_infer::infer_xmlgl(program, summary),
-                QueryKind::WgLog(program) => gql_infer::infer_wglog(program, summary),
-                // A parse failure here is reported by the parse span below
-                // with its original error; inference just stays empty.
-                QueryKind::XPath(expr) => gql_xpath::parse(expr)
-                    .map(|parsed| gql_infer::infer_xpath(&parsed, summary))
-                    .unwrap_or_default(),
+            guard.checkpoint().map_err(CoreError::Budget)?;
+            out
+        };
+        let planned: CachedPlan = {
+            let _s = trace.span("plan");
+            guard.set_phase("plan");
+            let plan = match (cached, analyzed) {
+                (Some(plan), None) => plan,
+                (None, Some((inference, summary_paths))) => {
+                    let plan = Self::build_plan(query, inference, summary_paths, root_counts);
+                    self.lock_plan_cache().insert(key, plan.clone());
+                    plan
+                }
+                _ => unreachable!("cache probe and analysis must agree"),
             };
             if trace.is_enabled() {
-                let s = summary.stats();
-                trace.count("summary_paths", s.paths as u64);
-                trace.count("infer_diags", inference.report.len() as u64);
-                if inference.is_statically_empty() {
-                    trace.note("statically_empty", "true");
+                trace.note("plan_cache", cache_state);
+                trace.note("plan", &plan.plan_compact);
+                for (i, order) in plan.orders.iter().enumerate() {
+                    if let Some(order) = order {
+                        let digits: Vec<String> = order.iter().map(usize::to_string).collect();
+                        trace.note(&format!("join_order[{i}]"), &digits.join(","));
+                    }
                 }
             }
             guard.checkpoint().map_err(CoreError::Budget)?;
-            inference
+            plan
         };
+        let CachedPlan {
+            inference,
+            orders,
+            plan_text,
+            ..
+        } = planned;
         match query {
             QueryKind::XmlGl(program) => {
                 let start = Instant::now();
@@ -320,23 +516,12 @@ impl Engine {
                 drop(span);
                 guard.checkpoint().map_err(CoreError::Budget)?;
                 guard.set_phase("eval");
-                // Summary-derived join plans: per rule, the root combine
-                // order chosen from the inferred cardinality bounds. Plans
+                // Cost-based join plans: per rule, the root combine order
+                // chosen by `gql_plan` from the inferred cardinality bounds
+                // (and reused across runs through the plan cache). Plans
                 // never change results (see `match_rule_planned`), only
                 // intermediate join sizes.
-                let plans = MatchPlans {
-                    per_rule: program
-                        .rules
-                        .iter()
-                        .enumerate()
-                        .map(|(i, r)| {
-                            inference
-                                .root_bounds
-                                .get(i)
-                                .and_then(|b| gql_infer::plan_root_order(r, b))
-                        })
-                        .collect(),
-                };
+                let plans = MatchPlans { per_rule: orders };
                 let output = {
                     let _s = trace.span("eval");
                     if trace.is_enabled() && !plans.is_empty() {
@@ -356,6 +541,7 @@ impl Engine {
                     load_time: Duration::ZERO,
                     profile: None,
                     inference,
+                    plan: plan_text,
                 })
             }
             QueryKind::WgLog(program) => {
@@ -417,6 +603,7 @@ impl Engine {
                     load_time,
                     profile: None,
                     inference,
+                    plan: plan_text,
                 })
             }
             QueryKind::XPath(expr) => {
@@ -496,6 +683,7 @@ impl Engine {
                     load_time: Duration::ZERO,
                     profile: None,
                     inference,
+                    plan: plan_text,
                 })
             }
         }
@@ -950,6 +1138,136 @@ mod tests {
             matched.note("combine_plan").is_some(),
             "planned combine must record its order"
         );
+    }
+
+    /// One helper: the `plan_cache` note of a profiled run.
+    fn plan_cache_note(profile: &ExecutionProfile) -> Option<String> {
+        profile
+            .find("run")
+            .and_then(|r| r.find("plan"))
+            .and_then(|p| p.note("plan_cache"))
+            .map(str::to_string)
+    }
+
+    #[test]
+    fn plan_cache_serves_warm_runs_identically() {
+        let d = doc();
+        let engine = Engine::new();
+        for q in equivalent_queries() {
+            let cold = engine.run_profiled(&q, &d).unwrap();
+            let warm = engine.run_profiled(&q, &d).unwrap();
+            assert_eq!(
+                cold.output.to_xml_string(),
+                warm.output.to_xml_string(),
+                "a warm plan changed the answer for {q:?}"
+            );
+            assert_eq!(
+                plan_cache_note(cold.profile.as_ref().unwrap()).as_deref(),
+                Some("miss"),
+                "{q:?}"
+            );
+            assert_eq!(
+                plan_cache_note(warm.profile.as_ref().unwrap()).as_deref(),
+                Some("hit"),
+                "{q:?}"
+            );
+            // The cached inference is the one the cold run computed.
+            assert_eq!(
+                format!("{:?}", cold.inference.report),
+                format!("{:?}", warm.inference.report)
+            );
+            assert_eq!(cold.inference.root_bounds, warm.inference.root_bounds);
+        }
+        let stats = engine.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.replans), (3, 3, 0));
+        assert_eq!(engine.plan_cache_len(), 3);
+        engine.clear_plan_cache();
+        assert_eq!(engine.plan_cache_len(), 0);
+        assert_eq!(engine.plan_cache_stats().hits, 3, "counters survive clear");
+    }
+
+    #[test]
+    fn plan_cache_keys_on_document_fingerprint_and_budget_class() {
+        let mut d = doc();
+        let engine = Engine::new();
+        let q = QueryKind::XPath("//restaurant[menu]".to_string());
+        engine.run(&q, &d).unwrap();
+        engine.run(&q, &d).unwrap();
+        assert_eq!(engine.plan_cache_stats().hits, 1);
+        // Mutating the document changes its shallow fingerprint, so the
+        // stale plan is not served.
+        let root = d.root_element().unwrap();
+        d.add_element(root, "restaurant");
+        engine.run(&q, &d).unwrap();
+        let s = engine.plan_cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+        // A different budget class never aliases the unlimited entry.
+        let budget = Budget::unlimited().with_max_matches(1_000_000);
+        engine.run_bounded(&q, &d, &budget).unwrap();
+        assert_eq!(engine.plan_cache_stats().misses, 3);
+        engine.run_bounded(&q, &d, &budget).unwrap();
+        assert_eq!(engine.plan_cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn corrupt_plan_cache_entries_are_replanned_with_identical_answers() {
+        let d = doc();
+        let engine = Engine::new();
+        for q in equivalent_queries() {
+            // Warm the cache, then run with the corruption fault armed: the
+            // poisoned entry must fail validation and be replanned, with a
+            // byte-identical answer.
+            let baseline = engine.run(&q, &d).unwrap().output.to_xml_string();
+            let (xml, profile) = fault::with_plan(fault::FaultPlan::corrupt_plan_cache(), || {
+                let trace = Trace::profiling();
+                let out = engine
+                    .run_governed(&q, &d, &trace, &Guard::unlimited())
+                    .unwrap();
+                (out.output.to_xml_string(), trace.finish().unwrap())
+            });
+            assert_eq!(baseline, xml, "replan changed the answer for {q:?}");
+            assert_eq!(
+                plan_cache_note(&profile).as_deref(),
+                Some("replan"),
+                "{q:?}"
+            );
+        }
+        assert_eq!(engine.plan_cache_stats().replans, 3);
+        // With the fault gone the replanned entries serve hits again.
+        let q = equivalent_queries().remove(0);
+        let profile = engine.run_profiled(&q, &d).unwrap().profile.unwrap();
+        assert_eq!(plan_cache_note(&profile).as_deref(), Some("hit"));
+    }
+
+    #[test]
+    fn plan_span_records_the_lowered_plan_and_join_order() {
+        let d = doc();
+        let engine = Engine::new();
+        // The 3-root join query: the optimizer must pick a non-declared
+        // order and record it.
+        let program = gql_xmlgl::dsl::parse(
+            r#"rule {
+                 extract {
+                   restaurant { name { text as $a } }
+                   menu as $m
+                   name { text as $b }
+                   join $a == $b
+                 }
+                 construct { answer { all $m } }
+               }"#,
+        )
+        .unwrap();
+        let profile = engine
+            .run_profiled(&QueryKind::XmlGl(program), &d)
+            .unwrap()
+            .profile
+            .unwrap();
+        let plan = profile.find("run").unwrap().find("plan").unwrap();
+        let compact = plan.note("plan").expect("plan note");
+        assert!(compact.contains("HashJoin"), "{compact}");
+        assert!(compact.contains("Construct"), "{compact}");
+        let order = plan.note("join_order[0]").expect("join order note");
+        assert_ne!(order, "0,1,2", "optimizer must reorder this query");
     }
 
     #[test]

@@ -98,6 +98,24 @@ impl Budget {
         self.max_workers = Some(n);
         self
     }
+
+    /// Coarse equivalence class of this budget, for plan-cache keying:
+    /// budgets in different classes may degrade differently (e.g. a timed
+    /// run falling back to scan mode mid-way), so their cached plans never
+    /// alias. The class deliberately ignores limit *values* — plans are
+    /// chosen from cardinality facts, not from how much headroom a run
+    /// has — so all timed runs share warm plans.
+    pub fn class(&self) -> &'static str {
+        match (
+            self.timeout.is_some(),
+            self.max_rounds.is_some() || self.max_matches.is_some() || self.max_nodes.is_some(),
+        ) {
+            (false, false) => "unlimited",
+            (true, false) => "timed",
+            (false, true) => "capped",
+            (true, true) => "timed+capped",
+        }
+    }
 }
 
 /// Cooperative cancellation handle. Clone it, hand one clone to the caller
@@ -423,6 +441,15 @@ impl Guard {
         self.inner.as_ref().map(|inner| inner.snapshot())
     }
 
+    /// The budget class of this guard (see [`Budget::class`]);
+    /// `"unlimited"` for the no-op guard.
+    pub fn budget_class(&self) -> &'static str {
+        match &self.inner {
+            None => "unlimited",
+            Some(inner) => inner.budget.class(),
+        }
+    }
+
     /// Total probe firings so far (enabled guards only; the overhead bench
     /// multiplies this by the measured disabled-probe cost).
     pub fn probes(&self) -> u64 {
@@ -522,6 +549,9 @@ pub mod fault {
         pub stall_round: Option<u64>,
         /// Stall duration per round, milliseconds (default 25).
         pub stall_ms: u64,
+        /// A cached plan entry is corrupted in place; validation must
+        /// catch it and replan from scratch.
+        pub corrupt_plan_cache: bool,
     }
 
     impl FaultPlan {
@@ -550,6 +580,13 @@ pub mod fault {
             FaultPlan {
                 stall_round: Some(m),
                 stall_ms: 25,
+                ..FaultPlan::default()
+            }
+        }
+
+        pub fn corrupt_plan_cache() -> FaultPlan {
+            FaultPlan {
+                corrupt_plan_cache: true,
                 ..FaultPlan::default()
             }
         }
@@ -614,6 +651,14 @@ pub mod fault {
     #[inline]
     pub fn corrupt_postings() -> bool {
         active() && installed().corrupt_postings
+    }
+
+    /// Seam: should the cached plan entry about to be served be corrupted
+    /// first? The engine corrupts the entry in place, so the subsequent
+    /// validation failure exercises the real replan path.
+    #[inline]
+    pub fn corrupt_plan_cache() -> bool {
+        active() && installed().corrupt_plan_cache
     }
 
     /// Seam: panic if this worker index is the planned victim. Called from
@@ -776,6 +821,39 @@ mod tests {
             !fault::active(),
             "plan must clear even when the closure panics"
         );
+    }
+
+    #[test]
+    fn budget_classes_partition_by_limit_kind() {
+        assert_eq!(Budget::unlimited().class(), "unlimited");
+        assert_eq!(Budget::unlimited().with_timeout_ms(5).class(), "timed");
+        assert_eq!(Budget::unlimited().with_max_rounds(3).class(), "capped");
+        assert_eq!(Budget::unlimited().with_max_matches(3).class(), "capped");
+        assert_eq!(Budget::unlimited().with_max_nodes(3).class(), "capped");
+        assert_eq!(
+            Budget::unlimited()
+                .with_timeout_ms(5)
+                .with_max_matches(3)
+                .class(),
+            "timed+capped"
+        );
+        // Worker caps never change plan choice, so they don't change class.
+        assert_eq!(Budget::unlimited().with_max_workers(2).class(), "unlimited");
+        assert_eq!(Guard::unlimited().budget_class(), "unlimited");
+        assert_eq!(
+            Guard::new(Budget::unlimited().with_timeout_ms(1000)).budget_class(),
+            "timed"
+        );
+    }
+
+    #[test]
+    fn corrupt_plan_cache_seam_gates_on_plan() {
+        assert!(!fault::corrupt_plan_cache());
+        fault::with_plan(fault::FaultPlan::corrupt_plan_cache(), || {
+            assert!(fault::corrupt_plan_cache());
+            assert!(!fault::fail_index_build());
+        });
+        assert!(!fault::corrupt_plan_cache());
     }
 
     #[test]

@@ -1,0 +1,304 @@
+//! The engine-resident plan cache.
+//!
+//! Keys combine the three things that can change a plan: the query (stored
+//! canonically — the printed DSL/XPath text — so equality is exact and a
+//! structural hash is kept only for display), a cheap content fingerprint
+//! of the document (`gql_ssdm::shallow_fingerprint`; a changed document
+//! changes the summary and therefore the cost facts), and the budget class
+//! (different governance regimes may degrade differently, so their plans
+//! never alias). Values carry everything the engine needs to skip the
+//! analyze/plan phases on a hit: the full inference, the chosen per-rule
+//! join orders, and the rendered plan text for provenance.
+//!
+//! Eviction is LRU over a monotonic use clock. The cache never affects
+//! answers — a stale or corrupted entry is caught by
+//! [`CachedPlan::is_valid_for`] and triggers a replan (counted in
+//! [`CacheStats::replans`]), and even an undetected wrong *order* only
+//! changes work, because the matcher re-sorts provenance tuples to
+//! declaration order. Fingerprint collisions therefore bound cache
+//! effectiveness, not correctness — the same stance the resident index
+//! takes.
+
+use gql_infer::Inference;
+use gql_ssdm::index::hash_str;
+
+/// Default number of cached plans per engine.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Cache key: (canonical query text, document fingerprint, budget class).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanKey {
+    /// Canonical query text (printed DSL / XPath source).
+    pub query: String,
+    /// Structural hash of the canonical text, for display surfaces.
+    pub query_hash: u64,
+    /// `gql_ssdm::shallow_fingerprint` of the target document.
+    pub doc_fingerprint: u64,
+    /// `Budget::class()` of the run.
+    pub budget_class: &'static str,
+}
+
+impl PlanKey {
+    pub fn new(canonical_query: &str, doc_fingerprint: u64, budget_class: &'static str) -> PlanKey {
+        PlanKey {
+            query_hash: hash_str(canonical_query),
+            query: canonical_query.to_string(),
+            doc_fingerprint,
+            budget_class,
+        }
+    }
+}
+
+/// A cached planning outcome: everything needed to go parse → execution.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The inference (diagnostics, cardinality bounds, emptiness facts).
+    pub inference: Inference,
+    /// Per-rule root evaluation orders (XML-GL; empty for the others).
+    /// `None` entries mean "declared order".
+    pub orders: Vec<Option<Vec<usize>>>,
+    /// Rendered logical plan (multi-line EXPLAIN form), for provenance
+    /// surfaces.
+    pub plan_text: String,
+    /// Single-line plan rendering, for trace notes.
+    pub plan_compact: String,
+    /// Per-rule extract-root counts at plan time, for validation.
+    pub root_counts: Vec<usize>,
+    /// Summary path count observed at plan time, so warm runs emit the
+    /// same analyze counters as the cold run that built the entry.
+    pub summary_paths: u64,
+}
+
+impl CachedPlan {
+    /// A cached entry is usable only if its orders are well-formed
+    /// permutations for the query at hand: one entry per rule, each `Some`
+    /// order a permutation of that rule's roots. Anything else — a
+    /// corrupted entry, or a key collision against a structurally
+    /// different query — fails validation and forces a replan.
+    pub fn is_valid_for(&self, root_counts: &[usize]) -> bool {
+        if self.root_counts != root_counts || self.orders.len() != root_counts.len() {
+            return false;
+        }
+        self.orders.iter().zip(root_counts).all(|(o, &n)| match o {
+            None => true,
+            Some(order) => {
+                let mut seen = vec![false; n];
+                order.len() == n
+                    && order
+                        .iter()
+                        .all(|&i| i < n && !std::mem::replace(&mut seen[i], true))
+            }
+        })
+    }
+
+    /// Scramble the entry so [`CachedPlan::is_valid_for`] fails — the
+    /// corruption the fault-injection seam applies.
+    pub fn corrupt_for_test(&mut self) {
+        self.plan_text.push_str(" [corrupted]");
+        if self.orders.is_empty() {
+            self.orders.push(Some(vec![usize::MAX]));
+        } else {
+            for o in &mut self.orders {
+                *o = Some(vec![usize::MAX]);
+            }
+        }
+    }
+}
+
+/// Monotonic counters describing cache behaviour since engine start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    /// Hits whose entry failed validation and were replanned.
+    pub replans: u64,
+}
+
+/// An LRU map from [`PlanKey`] to [`CachedPlan`].
+///
+/// Linear scan on probe: the capacity is small (tens of entries) and keys
+/// compare by two `u64`s before ever touching the query string, so a scan
+/// beats hashing the key for every lookup at this size.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: Vec<(PlanKey, CachedPlan, u64)>,
+    capacity: usize,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Probe the cache. A hit refreshes the entry's LRU stamp and returns a
+    /// clone; hit/miss is counted either way.
+    pub fn get(&mut self, key: &PlanKey) -> Option<CachedPlan> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.iter_mut().find(|(k, _, _)| k == key) {
+            Some((_, plan, stamp)) => {
+                *stamp = clock;
+                self.stats.hits += 1;
+                Some(plan.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting the least recently used one
+    /// when at capacity.
+    pub fn insert(&mut self, key: PlanKey, plan: CachedPlan) {
+        self.clock += 1;
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+            *slot = (key, plan, self.clock);
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, stamp))| *stamp)
+                .map(|(i, _)| i)
+            {
+                self.entries.swap_remove(lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.push((key, plan, self.clock));
+    }
+
+    /// Record that a hit entry failed validation and was replanned.
+    pub fn note_replan(&mut self) {
+        self.stats.replans += 1;
+    }
+
+    /// Drop the entry for a key (used after a failed validation so the
+    /// replanned result can take its slot).
+    pub fn remove(&mut self, key: &PlanKey) {
+        self.entries.retain(|(k, _, _)| k != key);
+    }
+
+    /// Corrupt the cached entry for `key`, if present — the fault-injection
+    /// seam's handle. Returns whether an entry was corrupted.
+    pub fn corrupt_entry(&mut self, key: &PlanKey) -> bool {
+        match self.entries.iter_mut().find(|(k, _, _)| k == key) {
+            Some((_, plan, _)) => {
+                plan.corrupt_for_test();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(orders: Vec<Option<Vec<usize>>>, root_counts: Vec<usize>) -> CachedPlan {
+        CachedPlan {
+            inference: Inference::default(),
+            orders,
+            plan_text: "Construct out\n".into(),
+            plan_compact: "Construct(out)".into(),
+            root_counts,
+            summary_paths: 0,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let mut c = PlanCache::new(2);
+        let k1 = PlanKey::new("q1", 1, "unlimited");
+        let k2 = PlanKey::new("q2", 1, "unlimited");
+        let k3 = PlanKey::new("q3", 1, "unlimited");
+        assert!(c.get(&k1).is_none());
+        c.insert(k1.clone(), plan(vec![], vec![]));
+        c.insert(k2.clone(), plan(vec![], vec![]));
+        assert!(c.get(&k1).is_some()); // refreshes k1 — k2 is now LRU
+        c.insert(k3.clone(), plan(vec![], vec![]));
+        assert!(c.get(&k2).is_none(), "k2 should have been evicted");
+        assert!(c.get(&k1).is_some());
+        assert!(c.get(&k3).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 2, 1));
+    }
+
+    #[test]
+    fn keys_separate_fingerprint_and_budget_class() {
+        let mut c = PlanCache::default();
+        c.insert(PlanKey::new("q", 1, "unlimited"), plan(vec![], vec![]));
+        assert!(c.get(&PlanKey::new("q", 2, "unlimited")).is_none());
+        assert!(c.get(&PlanKey::new("q", 1, "timed")).is_none());
+        assert!(c.get(&PlanKey::new("q", 1, "unlimited")).is_some());
+        assert_eq!(PlanKey::new("q", 1, "unlimited").query_hash, hash_str("q"));
+    }
+
+    #[test]
+    fn validation_catches_corruption_and_shape_mismatches() {
+        let good = plan(vec![Some(vec![1, 0]), None], vec![2, 1]);
+        assert!(good.is_valid_for(&[2, 1]));
+        assert!(!good.is_valid_for(&[2, 2]), "root counts must match");
+        assert!(!good.is_valid_for(&[2]), "rule count must match");
+        let mut bad = good.clone();
+        bad.corrupt_for_test();
+        assert!(!bad.is_valid_for(&[2, 1]));
+        assert!(bad.plan_text.contains("[corrupted]"));
+        // Non-permutations are invalid even with the right length.
+        let dup = plan(vec![Some(vec![0, 0])], vec![2]);
+        assert!(!dup.is_valid_for(&[2]));
+        // An entry with no orders at all is corrupted into invalidity too.
+        let mut empty = plan(vec![], vec![]);
+        empty.corrupt_for_test();
+        assert!(!empty.is_valid_for(&[]));
+    }
+
+    #[test]
+    fn corrupt_entry_reaches_the_stored_plan() {
+        let mut c = PlanCache::default();
+        let k = PlanKey::new("q", 1, "unlimited");
+        assert!(!c.corrupt_entry(&k));
+        c.insert(k.clone(), plan(vec![Some(vec![0, 1])], vec![2]));
+        assert!(c.corrupt_entry(&k));
+        let fetched = c.get(&k).unwrap();
+        assert!(!fetched.is_valid_for(&[2]));
+        c.note_replan();
+        c.remove(&k);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().replans, 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # gql-plan — unified logical algebra, cost-based join ordering, plan cache
+//!
+//! The three query surfaces of the paper (XML-GL, WG-Log, XPath) share one
+//! evaluation core but were planned ad hoc: a hardcoded indexed-vs-scan
+//! choice plus gql-infer's greedy root-order hint. This crate makes
+//! planning a first-class, cacheable artifact:
+//!
+//! * [`algebra`] — a seven-operator logical algebra (`Scan`, `IndexLookup`,
+//!   `Filter`, `HashJoin`, `Fixpoint`, `Construct`, `PathStep`) all three
+//!   languages lower to, spans preserved for provenance;
+//! * [`lower`] — the per-language lowerings that feed EXPLAIN surfaces and
+//!   stamp inference cardinalities onto the operators;
+//! * [`join_order`] — the cost model and bottom-up join-order enumerator
+//!   (exhaustive subset DP for rule bodies of ≤ 8 roots, greedy beyond)
+//!   that generalises `gql_infer::plan_root_order`;
+//! * [`cache`] — the engine-resident LRU plan cache keyed by (canonical
+//!   query text, document content fingerprint, budget class) so warm
+//!   traffic goes parse → execution without re-running analysis.
+//!
+//! Nothing here can change an answer: orders are validated permutations
+//! the matcher re-sorts to declaration order after combining, and any
+//! cached entry that fails validation (corruption, key collision) is
+//! replanned. The testkit differential oracles enforce this end to end.
+
+pub mod algebra;
+pub mod cache;
+pub mod join_order;
+pub mod lower;
+
+pub use algebra::LogicalPlan;
+pub use cache::{CacheStats, CachedPlan, PlanCache, PlanKey, DEFAULT_CAPACITY};
+pub use join_order::{plan_rule_order, JoinGraph, DP_LIMIT};
+pub use lower::{lower_wglog, lower_xmlgl, lower_xpath};

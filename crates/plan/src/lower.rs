@@ -1,0 +1,505 @@
+//! Lowering the three query surfaces into the logical algebra.
+//!
+//! The lowered tree is the provenance artifact behind every EXPLAIN
+//! surface: it names the access path per leaf (posting probe vs arena
+//! scan), the join spine in the *chosen* evaluation order with estimated
+//! intermediates, and the construct/fixpoint shape on top. Execution stays
+//! with the interpreters; only the XML-GL join order in the `HashJoin`
+//! spine is prescriptive (the engine hands it to the matcher).
+
+use gql_infer::Inference;
+use gql_ssdm::Span;
+use gql_xmlgl::ast::{NameTest, QNodeId, QNodeKind};
+use gql_xpath::ast::{Expr, LocationPath, NodeTest};
+
+use crate::algebra::LogicalPlan;
+use crate::join_order::{root_owners, JoinGraph};
+
+/// Lower an XML-GL program. `orders` gives the chosen per-rule root order
+/// (`None` = declared); bounds and cardinalities come from `inference`.
+pub fn lower_xmlgl(
+    program: &gql_xmlgl::ast::Program,
+    inference: &Inference,
+    orders: &[Option<Vec<usize>>],
+) -> LogicalPlan {
+    let mut rules = Vec::with_capacity(program.rules.len());
+    for (ri, rule) in program.rules.iter().enumerate() {
+        rules.push(lower_xmlgl_rule(
+            rule,
+            ri,
+            inference,
+            orders.get(ri).and_then(Option::as_ref),
+        ));
+    }
+    match rules.len() {
+        1 => rules.pop().expect("one rule"),
+        _ => LogicalPlan::Construct {
+            shape: "result".into(),
+            inputs: rules,
+            span: Span::none(),
+        },
+    }
+}
+
+fn lower_xmlgl_rule(
+    rule: &gql_xmlgl::ast::Rule,
+    ri: usize,
+    inference: &Inference,
+    order: Option<&Vec<usize>>,
+) -> LogicalPlan {
+    let g = &rule.extract;
+    let bounds = inference.root_bounds.get(ri);
+    let root_plans: Vec<LogicalPlan> = g
+        .roots
+        .iter()
+        .enumerate()
+        .map(|(i, &root)| {
+            let est = bounds.and_then(|b| b.get(i)).copied().unwrap_or(u64::MAX);
+            lower_qnode(g, root, est)
+        })
+        .collect();
+
+    let order: Vec<usize> = match order {
+        Some(o) if o.len() == root_plans.len() => o.clone(),
+        _ => (0..root_plans.len()).collect(),
+    };
+    let graph = bounds.and_then(|b| JoinGraph::from_rule(rule, b));
+    let rows = graph.as_ref().map(|jg| jg.order_rows(&order));
+    let owner = root_owners(rule);
+
+    let mut plans = root_plans;
+    let mut spine: Option<LogicalPlan> = None;
+    let mut placed: Vec<usize> = Vec::new();
+    for (step, &ri_next) in order.iter().enumerate() {
+        let next = std::mem::replace(
+            &mut plans[ri_next],
+            LogicalPlan::Scan {
+                test: "∅".into(),
+                est: 0,
+                span: Span::none(),
+            },
+        );
+        spine = Some(match spine {
+            None => next,
+            Some(left) => {
+                let on = join_condition(g, &owner, &placed, ri_next);
+                let est = rows
+                    .as_ref()
+                    .and_then(|r| r.get(step))
+                    .map(|&r| u64::try_from(r).unwrap_or(u64::MAX))
+                    .unwrap_or(u64::MAX);
+                LogicalPlan::HashJoin {
+                    left: Box::new(left),
+                    right: Box::new(next),
+                    on,
+                    est,
+                    span: rule.span,
+                }
+            }
+        });
+        placed.push(ri_next);
+    }
+
+    let shape = rule
+        .construct
+        .roots
+        .iter()
+        .map(|&r| match &rule.construct.node(r).kind {
+            gql_xmlgl::ast::CNodeKind::Element(t) => t.clone(),
+            other => format!("{other:?}"),
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    LogicalPlan::Construct {
+        shape: if shape.is_empty() {
+            "rule".into()
+        } else {
+            shape
+        },
+        inputs: spine.into_iter().collect(),
+        span: rule.span,
+    }
+}
+
+/// The join condition connecting root `next` to the already-placed prefix:
+/// every `join $a == $b` constraint with one side in each; `cross` when
+/// none connects them.
+fn join_condition(
+    g: &gql_xmlgl::ast::ExtractGraph,
+    owner: &[usize],
+    placed: &[usize],
+    next: usize,
+) -> String {
+    let mut conds = Vec::new();
+    for &(a, b) in &g.joins {
+        let (oa, ob) = (owner[a.index()], owner[b.index()]);
+        let links = (placed.contains(&oa) && ob == next) || (placed.contains(&ob) && oa == next);
+        if links {
+            conds.push(format!("{} == {}", var_name(g, a), var_name(g, b)));
+        }
+    }
+    if conds.is_empty() {
+        "cross".into()
+    } else {
+        conds.join(" and ")
+    }
+}
+
+fn var_name(g: &gql_xmlgl::ast::ExtractGraph, q: QNodeId) -> String {
+    match &g.node(q).var {
+        Some(v) => format!("${v}"),
+        None => format!("q{}", q.0),
+    }
+}
+
+/// One extract root: access-path leaf, then a `PathStep` per child edge
+/// (compact subtree description) and a `Filter` when predicated.
+fn lower_qnode(g: &gql_xmlgl::ast::ExtractGraph, q: QNodeId, est: u64) -> LogicalPlan {
+    let n = g.node(q);
+    let mut plan = match &n.kind {
+        // Named elements probe the tag postings; wildcards walk the arena.
+        QNodeKind::Element(NameTest::Name(t)) => LogicalPlan::IndexLookup {
+            test: t.clone(),
+            est,
+            span: n.span,
+        },
+        QNodeKind::Element(NameTest::Wildcard) => LogicalPlan::Scan {
+            test: "*".into(),
+            est,
+            span: n.span,
+        },
+        QNodeKind::Text => LogicalPlan::Scan {
+            test: "text()".into(),
+            est,
+            span: n.span,
+        },
+        QNodeKind::Attribute(a) => LogicalPlan::IndexLookup {
+            test: format!("@{a}"),
+            est,
+            span: n.span,
+        },
+    };
+    for edge in &n.children {
+        let axis = match (edge.deep, edge.negated) {
+            (false, false) => "child",
+            (true, false) => "descendant",
+            (false, true) => "no-child",
+            (true, true) => "no-descendant",
+        };
+        plan = LogicalPlan::PathStep {
+            axis: axis.into(),
+            test: subtree_test(g, edge.target),
+            input: Some(Box::new(plan)),
+            est,
+            span: g.node(edge.target).span,
+        };
+    }
+    if !n.predicate.is_trivial() {
+        plan = LogicalPlan::Filter {
+            pred: format!("{} {}", var_name(g, q), n.predicate),
+            input: Box::new(plan),
+            span: n.span,
+        };
+    }
+    plan
+}
+
+/// Compact description of a pattern subtree for a `PathStep` test:
+/// `title/text()`, `vendor{country,name}` …
+fn subtree_test(g: &gql_xmlgl::ast::ExtractGraph, q: QNodeId) -> String {
+    let n = g.node(q);
+    let own = match &n.kind {
+        QNodeKind::Element(t) => t.to_string(),
+        QNodeKind::Text => "text()".into(),
+        QNodeKind::Attribute(a) => format!("@{a}"),
+    };
+    match n.children.len() {
+        0 => own,
+        1 => format!("{own}/{}", subtree_test(g, n.children[0].target)),
+        _ => {
+            let kids: Vec<String> = n
+                .children
+                .iter()
+                .map(|e| subtree_test(g, e.target))
+                .collect();
+            format!("{own}{{{}}}", kids.join(","))
+        }
+    }
+}
+
+/// Lower a WG-Log program: per-rule join plans inside a `Fixpoint`, with
+/// the goal extraction as the outer `Construct`.
+pub fn lower_wglog(program: &gql_wglog::rule::Program, inference: &Inference) -> LogicalPlan {
+    use gql_wglog::rule::{Color, LabelTest};
+    let mut body = Vec::with_capacity(program.rules.len());
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let query: Vec<_> = rule.query_nodes().collect();
+        let mut spine: Option<LogicalPlan> = None;
+        let mut placed: Vec<gql_wglog::rule::RNodeId> = Vec::new();
+        for &id in &query {
+            let n = rule.node(id);
+            let est = inference
+                .cards
+                .bound_for(ri, &format!("${}", n.var))
+                .unwrap_or(u64::MAX);
+            let mut leaf = LogicalPlan::Scan {
+                test: n.test.to_string(),
+                est,
+                span: n.span,
+            };
+            if !n.constraints.is_empty() {
+                let pred = n
+                    .constraints
+                    .iter()
+                    .map(|c| format!("{} {} \"{}\"", c.attr, c.op.symbol(), c.value))
+                    .collect::<Vec<_>>()
+                    .join(" and ");
+                leaf = LogicalPlan::Filter {
+                    pred: format!("${} {pred}", n.var),
+                    input: Box::new(leaf),
+                    span: n.span,
+                };
+            }
+            spine = Some(match spine {
+                None => leaf,
+                Some(left) => {
+                    // Edges between the new node and the placed prefix.
+                    let mut labels = Vec::new();
+                    for e in &rule.edges {
+                        if e.color != Color::Query || e.negated {
+                            continue;
+                        }
+                        let links = (placed.contains(&e.from) && e.to == id)
+                            || (placed.contains(&e.to) && e.from == id);
+                        if links {
+                            labels.push(match &e.label {
+                                LabelTest::Label(l) => l.clone(),
+                                LabelTest::Any => "*".into(),
+                                LabelTest::Regex(r) => r.to_string(),
+                            });
+                        }
+                    }
+                    let on = if labels.is_empty() {
+                        "cross".into()
+                    } else {
+                        labels.join(" and ")
+                    };
+                    LogicalPlan::HashJoin {
+                        left: Box::new(left),
+                        right: Box::new(leaf),
+                        on,
+                        est: u64::MAX,
+                        span: rule.span,
+                    }
+                }
+            });
+            placed.push(id);
+        }
+        let mut inputs: Vec<LogicalPlan> = spine.into_iter().collect();
+        // Negated edges restrict the whole embedding set.
+        for e in &rule.edges {
+            if e.color == Color::Query && e.negated {
+                if let Some(inner) = inputs.pop() {
+                    inputs.push(LogicalPlan::Filter {
+                        pred: format!(
+                            "no ${} -{}-> ${}",
+                            rule.node(e.from).var,
+                            e.label,
+                            rule.node(e.to).var
+                        ),
+                        input: Box::new(inner),
+                        span: rule.span,
+                    });
+                }
+            }
+        }
+        let shape = rule.head_label().unwrap_or_else(|| "rule".into());
+        body.push(LogicalPlan::Construct {
+            shape,
+            inputs,
+            span: rule.span,
+        });
+    }
+    LogicalPlan::Construct {
+        shape: match &program.goal {
+            Some(g) => format!("goal {g}"),
+            None => "goal".into(),
+        },
+        inputs: vec![LogicalPlan::Fixpoint {
+            body,
+            span: Span::none(),
+        }],
+        span: Span::none(),
+    }
+}
+
+/// Lower an XPath expression: a `PathStep` chain per location path (with
+/// `Filter` for predicates), `Construct` around unions and value
+/// expressions.
+pub fn lower_xpath(expr: &Expr, inference: &Inference) -> LogicalPlan {
+    match expr {
+        Expr::Path(p) => LogicalPlan::Construct {
+            shape: "node-set".into(),
+            inputs: vec![lower_path(p, inference)],
+            span: Span::none(),
+        },
+        Expr::Union(a, b) => LogicalPlan::Construct {
+            shape: "union".into(),
+            inputs: vec![lower_xpath(a, inference), lower_xpath(b, inference)],
+            span: Span::none(),
+        },
+        Expr::FilterPath(inner, steps) => {
+            let mut plan = lower_xpath(inner, inference);
+            for s in steps {
+                plan = step_plan(s, Some(Box::new(plan)), u64::MAX);
+            }
+            LogicalPlan::Construct {
+                shape: "node-set".into(),
+                inputs: vec![plan],
+                span: Span::none(),
+            }
+        }
+        other => LogicalPlan::Construct {
+            shape: format!("value ({})", kind_name(other)),
+            inputs: Vec::new(),
+            span: Span::none(),
+        },
+    }
+}
+
+fn kind_name(e: &Expr) -> &'static str {
+    match e {
+        Expr::Path(_) => "path",
+        Expr::Literal(_) => "literal",
+        Expr::Number(_) => "number",
+        Expr::Binary(..) => "binary",
+        Expr::Neg(_) => "neg",
+        Expr::Union(..) => "union",
+        Expr::Call(..) => "call",
+        Expr::FilterPath(..) => "filter-path",
+    }
+}
+
+fn lower_path(p: &LocationPath, inference: &Inference) -> LogicalPlan {
+    let mut plan: Option<Box<LogicalPlan>> = None;
+    for (i, step) in p.steps.iter().enumerate() {
+        let label = format!(
+            "step {} ({}::{})",
+            i + 1,
+            step.axis.name(),
+            test_name(&step.test)
+        );
+        let est = inference.cards.bound_for(0, &label).unwrap_or(u64::MAX);
+        let mut sp = step_plan(step, plan, est);
+        for pred in &step.predicates {
+            sp = LogicalPlan::Filter {
+                pred: pred.to_string(),
+                input: Box::new(sp),
+                span: Span::none(),
+            };
+        }
+        plan = Some(Box::new(sp));
+    }
+    match plan {
+        Some(p) => *p,
+        None => LogicalPlan::Scan {
+            test: "document".into(),
+            est: 1,
+            span: Span::none(),
+        },
+    }
+}
+
+fn step_plan(
+    step: &gql_xpath::ast::Step,
+    input: Option<Box<LogicalPlan>>,
+    est: u64,
+) -> LogicalPlan {
+    LogicalPlan::PathStep {
+        axis: step.axis.name().into(),
+        test: test_name(&step.test),
+        input,
+        est,
+        span: Span::none(),
+    }
+}
+
+fn test_name(t: &NodeTest) -> String {
+    match t {
+        NodeTest::Name(n) => n.clone(),
+        NodeTest::Any => "*".into(),
+        NodeTest::Text => "text()".into(),
+        NodeTest::Comment => "comment()".into(),
+        NodeTest::Node => "node()".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_infer::{infer_xmlgl, infer_xpath};
+    use gql_ssdm::{Document, Summary};
+
+    const GROCER: &str = "<shop><product><vendor>acme</vendor></product>\
+                          <vendor><country>holland</country><name>acme</name></vendor>\
+                          <vendor><country>france</country><name>beta</name></vendor></shop>";
+
+    #[test]
+    fn xmlgl_lowering_names_access_paths_and_join_order() {
+        let doc = Document::parse_str(GROCER).unwrap();
+        let s = Summary::build(&doc);
+        let p = gql_xmlgl::dsl::parse(
+            r#"rule {
+                 extract {
+                   product as $p { vendor { text as $v1 } }
+                   vendor as $w { country { text = "holland" } name { text as $v2 } }
+                   join $v1 == $v2
+                 }
+                 construct { out { all $p } }
+               }"#,
+        )
+        .unwrap();
+        let inf = infer_xmlgl(&p, &s);
+        let plan = lower_xmlgl(&p, &inf, &[Some(vec![1, 0])]);
+        let text = plan.render();
+        assert!(text.contains("Construct out"), "{text}");
+        assert!(text.contains("HashJoin on $v1 == $v2"), "{text}");
+        assert!(text.contains("IndexLookup product"), "{text}");
+        assert!(text.contains("IndexLookup vendor"), "{text}");
+        // The chosen order puts vendor (root 1) on the left of the spine.
+        let compact = plan.render_compact();
+        let vendor_pos = compact.find("IndexLookup(vendor)").unwrap();
+        let product_pos = compact.find("IndexLookup(product)").unwrap();
+        assert!(vendor_pos < product_pos, "{compact}");
+    }
+
+    #[test]
+    fn wglog_lowering_wraps_rules_in_a_fixpoint() {
+        let p = gql_wglog::dsl::parse(
+            "rule { query { $r: restaurant $m: menu $r -menu-> $m } \
+             construct { $l: rest-list $l -member-> $r } } goal rest-list",
+        )
+        .unwrap();
+        let plan = lower_wglog(&p, &Inference::default());
+        let text = plan.render();
+        assert!(text.contains("Construct goal rest-list"), "{text}");
+        assert!(text.contains("Fixpoint"), "{text}");
+        assert!(text.contains("HashJoin on menu"), "{text}");
+        assert!(text.contains("Scan restaurant"), "{text}");
+    }
+
+    #[test]
+    fn xpath_lowering_chains_steps_with_estimates() {
+        let doc = Document::parse_str(GROCER).unwrap();
+        let s = Summary::build(&doc);
+        let expr = gql_xpath::parse("/shop/vendor[country]/name").unwrap();
+        let inf = infer_xpath(&expr, &s);
+        let plan = lower_xpath(&expr, &inf);
+        let text = plan.render();
+        assert!(text.contains("Construct node-set"), "{text}");
+        assert!(text.contains("PathStep child::vendor"), "{text}");
+        assert!(text.contains("Filter"), "{text}");
+        // Step estimates come from the inference: two vendors.
+        assert!(text.contains("PathStep child::name"), "{text}");
+    }
+}

@@ -384,6 +384,14 @@ impl Document {
             .map(move |(n, v)| (self.interner.resolve(*n), v.as_ref()))
     }
 
+    /// Attribute names of an element as interned symbols, in set order —
+    /// the resolution-free sibling of [`attrs`](Document::attrs) for index
+    /// builds, which would otherwise hash every name string back through
+    /// the interner.
+    pub fn attr_syms(&self, node: NodeId) -> impl Iterator<Item = Symbol> + '_ {
+        self.nodes[node.index()].attrs.iter().map(|(n, _)| *n)
+    }
+
     /// Value of one attribute.
     pub fn attr(&self, node: NodeId, name: &str) -> Option<&str> {
         let sym = self.interner.get(name)?;

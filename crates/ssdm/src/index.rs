@@ -247,21 +247,67 @@ pub struct DocIndex {
 const EMPTY: &[NodeId] = &[];
 
 impl DocIndex {
-    /// Build the index in one preorder pass (postings, intervals) plus one
-    /// reverse-preorder pass (subtree sizes and bottom-up hashes).
+    /// Build the index in one counting pre-pass (exact container sizing),
+    /// one preorder pass (postings, intervals) and one reverse-preorder
+    /// pass (subtree sizes and bottom-up hashes).
     pub fn build(doc: &Document) -> DocIndex {
         let n = doc.node_count();
+        // Counting pre-pass: one flat arena sweep sizes every posting
+        // container exactly, so the preorder pass below never reallocates —
+        // repeated `Vec` doublings (each a memcpy of a large postings list)
+        // and `HashMap` rehashes dominated the build on large documents.
+        // Detached nodes are counted too: a slightly generous capacity is
+        // harmless. Per-symbol counts are dense arrays indexed by the
+        // interner id, not maps.
+        let mut element_total = 0usize;
+        let mut text_total = 0usize;
+        let mut distinct_tags = 0usize;
+        let mut distinct_attrs = 0usize;
+        let mut tag_counts: Vec<u32> = Vec::new();
+        let mut attr_counts: Vec<u32> = Vec::new();
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            if doc.kind(node) != NodeKind::Element {
+                continue;
+            }
+            element_total += 1;
+            if let Some(sym) = doc.name_sym(node) {
+                let s = sym.index();
+                if s >= tag_counts.len() {
+                    tag_counts.resize(s + 1, 0);
+                }
+                distinct_tags += usize::from(tag_counts[s] == 0);
+                tag_counts[s] += 1;
+            }
+            for sym in doc.attr_syms(node) {
+                let s = sym.index();
+                if s >= attr_counts.len() {
+                    attr_counts.resize(s + 1, 0);
+                }
+                distinct_attrs += usize::from(attr_counts[s] == 0);
+                attr_counts[s] += 1;
+            }
+            if doc
+                .children(node)
+                .iter()
+                .any(|&c| doc.kind(c) == NodeKind::Text)
+            {
+                text_total += 1;
+            }
+        }
         let mut idx = DocIndex {
             pre: vec![u32::MAX; n],
             end: vec![u32::MAX; n],
             hash: vec![0; n],
             pow: vec![1; n],
             hashed: vec![false; n],
-            by_tag: HashMap::new(),
-            elements: Vec::new(),
-            by_attr: HashMap::new(),
-            with_text: Vec::new(),
-            by_text_value: HashMap::new(),
+            by_tag: HashMap::with_capacity(distinct_tags),
+            elements: Vec::with_capacity(element_total),
+            by_attr: HashMap::with_capacity(distinct_attrs),
+            with_text: Vec::with_capacity(text_total),
+            // Distinct direct-text values are bounded by the number of
+            // elements that have direct text at all.
+            by_text_value: HashMap::with_capacity(text_total),
             built_for: n,
             checksum: 0,
         };
@@ -275,31 +321,50 @@ impl DocIndex {
             if doc.kind(node) == NodeKind::Element {
                 idx.elements.push(node);
                 if let Some(sym) = doc.name_sym(node) {
-                    idx.by_tag.entry(sym).or_default().push(node);
-                }
-                for (k, _) in doc.attrs(node) {
-                    if let Some(sym) = doc.lookup_sym(k) {
-                        let posting = idx.by_attr.entry(sym).or_default();
-                        // An element appears once even with duplicate names.
-                        if posting.last() != Some(&node) {
-                            posting.push(node);
-                        }
-                    }
-                }
-                let mut direct_text = String::new();
-                let mut has_text = false;
-                for &c in doc.children(node) {
-                    if doc.kind(c) == NodeKind::Text {
-                        has_text = true;
-                        direct_text.push_str(doc.text(c).unwrap_or(""));
-                    }
-                }
-                if has_text {
-                    idx.with_text.push(node);
-                    idx.by_text_value
-                        .entry(direct_text.into_boxed_str())
-                        .or_default()
+                    idx.by_tag
+                        .entry(sym)
+                        .or_insert_with(|| Vec::with_capacity(tag_counts[sym.index()] as usize))
                         .push(node);
+                }
+                for sym in doc.attr_syms(node) {
+                    let posting = idx
+                        .by_attr
+                        .entry(sym)
+                        .or_insert_with(|| Vec::with_capacity(attr_counts[sym.index()] as usize));
+                    // An element appears once even with duplicate names.
+                    if posting.last() != Some(&node) {
+                        posting.push(node);
+                    }
+                }
+                // Direct-text key: the single-text-child case (the vast
+                // majority) borrows the text and only allocates an owned
+                // key for the first occurrence of each value; concatenation
+                // is reserved for mixed content.
+                let mut text_children = doc
+                    .children(node)
+                    .iter()
+                    .filter(|&&c| doc.kind(c) == NodeKind::Text);
+                let first = text_children.next();
+                if let Some(&first) = first {
+                    idx.with_text.push(node);
+                    let rest: Vec<NodeId> = text_children.copied().collect();
+                    if rest.is_empty() {
+                        let value = doc.text(first).unwrap_or("");
+                        if let Some(posting) = idx.by_text_value.get_mut(value) {
+                            posting.push(node);
+                        } else {
+                            idx.by_text_value.insert(value.into(), vec![node]);
+                        }
+                    } else {
+                        let mut direct_text = doc.text(first).unwrap_or("").to_string();
+                        for c in rest {
+                            direct_text.push_str(doc.text(c).unwrap_or(""));
+                        }
+                        idx.by_text_value
+                            .entry(direct_text.into_boxed_str())
+                            .or_default()
+                            .push(node);
+                    }
                 }
             }
             for &c in doc.children(node).iter().rev() {

@@ -31,6 +31,7 @@ pub fn all_plans() -> Vec<FaultPlan> {
     vec![
         FaultPlan::fail_index_build(),
         FaultPlan::corrupt_postings(),
+        FaultPlan::corrupt_plan_cache(),
         FaultPlan::panic_worker(0),
         FaultPlan::panic_worker(1),
         FaultPlan::stall_round(1),

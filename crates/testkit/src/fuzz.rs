@@ -123,13 +123,27 @@ pub fn profile_case(generator: Generator, doc_xml: &str, query: &str) -> Option<
         // one with per-step instrumentation.
         Generator::Intent => QueryKind::XPath(Intent::parse(query)?.xpath()),
     };
-    match Engine::new().run_profiled(&kind, &doc) {
-        Ok(outcome) => Some(
-            outcome
+    let engine = Engine::new();
+    match engine.run_profiled(&kind, &doc) {
+        Ok(outcome) => {
+            let mut text = outcome
                 .profile
                 .map(|p| p.to_text())
-                .unwrap_or_else(|| "(empty profile)".to_string()),
-        ),
+                .unwrap_or_else(|| "(empty profile)".to_string());
+            // Plan provenance for the case: the lowered logical plan and the
+            // engine's plan-cache behaviour, same surfaces `gql-prof` prints.
+            for line in outcome.plan.lines() {
+                text.push_str("plan: ");
+                text.push_str(line);
+                text.push('\n');
+            }
+            let stats = engine.plan_cache_stats();
+            text.push_str(&format!(
+                "plan_cache: {{hit: {}, miss: {}, evict: {}, replan: {}}}\n",
+                stats.hits, stats.misses, stats.evictions, stats.replans
+            ));
+            Some(text)
+        }
         Err(e) => Some(format!("engine error: {e}\n")),
     }
 }

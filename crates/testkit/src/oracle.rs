@@ -152,6 +152,118 @@ pub fn check_trace_case(doc: &Document, query: &QueryKind) -> Result<(), String>
 }
 
 // ----------------------------------------------------------------------
+// Planning: the plan cache must be answer-invisible
+// ----------------------------------------------------------------------
+
+/// Cached-plan re-execution must be byte-identical to fresh planning, in
+/// every cache state the engine can reach:
+///
+/// * *warm vs cold* — a second run on the same engine (cache hit) returns
+///   the exact bytes of the first (cache miss), and of a fresh engine;
+/// * *post-mutation invalidation* — after the document changes, the cache
+///   keys apart (content fingerprint) and the answer tracks the new
+///   document, not the stale plan;
+/// * *corrupt entry → replan* — a corrupted cache entry is detected,
+///   replanned, and still answers byte-identically.
+///
+/// Error cases must error identically warm and cold — a cached plan may
+/// not *un*-reject a query.
+pub fn check_plan_cache_case(doc: &Document, query: &QueryKind) -> Result<(), String> {
+    use gql_guard::fault::{self, FaultPlan};
+    let engine = Engine::new();
+    let (cold, warm) = (engine.run(query, doc), engine.run(query, doc));
+    let cold = match (cold, warm) {
+        (Ok(c), Ok(w)) => {
+            let (c_xml, w_xml) = (c.output.to_xml_string(), w.output.to_xml_string());
+            if c_xml != w_xml {
+                return Err(format!(
+                    "plan-cache-warm: cached plan changed the answer\ncold: {c_xml}\nwarm: {w_xml}"
+                ));
+            }
+            if engine.plan_cache_stats().hits == 0 {
+                return Err("plan-cache-warm: second identical run did not hit the cache".into());
+            }
+            c
+        }
+        (Err(c), Err(w)) => {
+            if format!("{c}") != format!("{w}") {
+                return Err(format!(
+                    "plan-cache-warm: cached plan changed the error\ncold: {c}\nwarm: {w}"
+                ));
+            }
+            return Ok(()); // rejected queries have no answer to compare further
+        }
+        (c, w) => {
+            return Err(format!(
+                "plan-cache-warm: one run errored, the other did not \
+                 (cold ok: {}, warm ok: {})",
+                c.is_ok(),
+                w.is_ok()
+            ))
+        }
+    };
+    // Post-mutation invalidation: the same engine on a changed document
+    // must answer like a fresh engine on that document.
+    let mut mutated = doc.clone();
+    let root = mutated.root();
+    mutated.add_element(root, "plan-cache-probe");
+    let stale = engine.run(query, &mutated);
+    let fresh = Engine::new().run(query, &mutated);
+    match (stale, fresh) {
+        (Ok(s), Ok(f)) => {
+            let (s_xml, f_xml) = (s.output.to_xml_string(), f.output.to_xml_string());
+            if s_xml != f_xml {
+                return Err(format!(
+                    "plan-cache-invalidation: engine with a cached plan diverged from a \
+                     fresh engine after a document mutation\ncached-engine: {s_xml}\nfresh: {f_xml}"
+                ));
+            }
+        }
+        (Err(s), Err(f)) => {
+            if format!("{s}") != format!("{f}") {
+                return Err(format!(
+                    "plan-cache-invalidation: errors diverged after mutation\n\
+                     cached-engine: {s}\nfresh: {f}"
+                ));
+            }
+        }
+        (s, f) => {
+            return Err(format!(
+                "plan-cache-invalidation: one run errored, the other did not \
+                 (cached-engine ok: {}, fresh ok: {})",
+                s.is_ok(),
+                f.is_ok()
+            ))
+        }
+    }
+    // Corrupt entry → replan: the warm engine's entry for the original
+    // document is corrupted in place; the run must detect it, replan, and
+    // still return the cold run's bytes.
+    let replans_before = engine.plan_cache_stats().replans;
+    let faulted = fault::with_plan(FaultPlan::corrupt_plan_cache(), || engine.run(query, doc));
+    match faulted {
+        Ok(f) => {
+            let (c_xml, f_xml) = (cold.output.to_xml_string(), f.output.to_xml_string());
+            if c_xml != f_xml {
+                return Err(format!(
+                    "plan-cache-replan: replanned run changed the answer\n\
+                     baseline: {c_xml}\nreplanned: {f_xml}"
+                ));
+            }
+        }
+        Err(e) => {
+            return Err(format!(
+                "plan-cache-replan: corrupt cache entry turned a clean run into an error: {e}"
+            ))
+        }
+    }
+    if engine.plan_cache_stats().replans <= replans_before {
+        return Err("plan-cache-replan: corrupt entry was not detected as a replan".into());
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
 // Static inference: summary-derived claims must be sound
 // ----------------------------------------------------------------------
 
@@ -291,6 +403,7 @@ pub fn check_xmlgl_case(doc: &Document, src: &str) -> Result<(), String> {
         }
     }
     check_trace_case(doc, &q)?;
+    check_plan_cache_case(doc, &q)?;
     // Translation: where the partial XML-GL→WG-Log translator applies, the
     // translated program must at least evaluate cleanly over the same data.
     if program.rules.len() == 1 {
@@ -374,6 +487,7 @@ pub fn check_wglog_case(doc: &Document, src: &str) -> Result<(), String> {
         return Err("reserialize: results changed after serialize→parse of the document".into());
     }
     check_trace_case(doc, &QueryKind::WgLog(program.clone()))?;
+    check_plan_cache_case(doc, &QueryKind::WgLog(program.clone()))?;
     Ok(())
 }
 
@@ -482,6 +596,7 @@ pub fn check_xpath_case(doc: &Document, src: &str) -> Result<(), String> {
         ));
     }
     check_trace_case(doc, &QueryKind::XPath(src.to_string()))?;
+    check_plan_cache_case(doc, &QueryKind::XPath(src.to_string()))?;
     Ok(())
 }
 

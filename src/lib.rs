@@ -32,6 +32,7 @@ pub use gql_core as core;
 pub use gql_guard as guard;
 pub use gql_infer as infer;
 pub use gql_layout as layout;
+pub use gql_plan as plan;
 pub use gql_ssdm as ssdm;
 pub use gql_trace as trace;
 pub use gql_vgraph as vgraph;

@@ -691,6 +691,103 @@ fn completing_under_a_budget_is_headroom_invariant() {
     );
 }
 
+/// Join-order quality on the T5/Q6 family (value-joined product/vendor
+/// extracts over greengrocer documents of varying size, vendor pool and
+/// country selectivity): the cost-chosen order from `gql-plan` may never
+/// lose to the declared order by more than a bounded factor of *join
+/// work* — hash-join row/probe counts from the trace, not wall clock, so
+/// the property is exact and machine-independent. Results themselves must
+/// be byte-identical under any order.
+#[test]
+fn cost_planned_order_is_work_bounded_on_q6_family() {
+    use gql::ssdm::generator::{greengrocer, GrocerConfig};
+    use gql::ssdm::{DocIndex, Summary};
+    use gql::trace::{ExecutionProfile, ProfileNode, Trace};
+    use gql::xmlgl::eval::{match_rule_planned, MatchMode};
+
+    /// Total hash-join work in a profile: rows flowing into combines plus
+    /// probe count, summed over every span.
+    fn join_work(profile: &ExecutionProfile) -> u64 {
+        fn walk(node: &ProfileNode, total: &mut u64) {
+            for (name, value) in &node.counters {
+                if matches!(name.as_str(), "left_rows" | "right_rows" | "probes") {
+                    *total += value;
+                }
+            }
+            for child in &node.children {
+                walk(child, total);
+            }
+        }
+        let mut total = 0;
+        for root in &profile.roots {
+            walk(root, &mut total);
+        }
+        total
+    }
+
+    check(
+        "cost_planned_order_is_work_bounded_on_q6_family",
+        32,
+        |rng| {
+            let cfg = GrocerConfig {
+                products: 10 + rng.gen_range(0..110),
+                vendors: 1 + rng.gen_range(0..6),
+                seed: rng.next_u64(),
+            };
+            let country = pick(rng, &["holland", "france", "italy", "japan", "germany"]);
+            let src = format!(
+                r#"rule {{ extract {{
+                    product as $p {{ vendor {{ text as $v1 }} }}
+                    vendor as $w {{ country {{ text = "{country}" }}
+                                   name {{ text as $v2 }} }}
+                    join $v1 == $v2 }}
+                  construct {{ answer {{ all $p }} }} }}"#
+            );
+            let program = gql::xmlgl::dsl::parse(&src).expect("Q6-family program parses");
+            let rule = &program.rules[0];
+            let doc = greengrocer(cfg);
+            let idx = DocIndex::build(&doc);
+            let summary = Summary::from_index(&doc, &idx);
+            let inference = gql::infer::infer_xmlgl(&program, &summary);
+            let Some(cost_order) = gql::plan::plan_rule_order(rule, &inference.root_bounds[0])
+            else {
+                return; // not reorderable: declared order is the plan, vacuous
+            };
+            let guard = gql::guard::Guard::unlimited();
+            let run = |order: &[usize]| {
+                let trace = Trace::profiling();
+                let bindings = match_rule_planned(
+                    rule,
+                    &doc,
+                    Some(&idx),
+                    MatchMode::Sequential,
+                    &trace,
+                    &guard,
+                    order,
+                );
+                let profile = trace.finish().expect("profiling trace yields a profile");
+                (bindings, profile)
+            };
+            let declared: Vec<usize> = (0..rule.extract.roots.len()).collect();
+            let (declared_bindings, declared_profile) = run(&declared);
+            let (cost_bindings, cost_profile) = run(&cost_order);
+            assert_eq!(
+                declared_bindings, cost_bindings,
+                "join order {cost_order:?} changed the binding set"
+            );
+            let (declared_work, cost_work) =
+                (join_work(&declared_profile), join_work(&cost_profile));
+            assert!(
+                cost_work <= 2 * declared_work + 64,
+                "cost order {cost_order:?} did {cost_work} join work vs {declared_work} declared \
+             (bound: 2x + 64) on {} products / {} vendors / {country}",
+                cfg.products,
+                cfg.vendors
+            );
+        },
+    );
+}
+
 /// Budget-trip determinism: for a fixed seed and a time-free budget that
 /// trips in a sequential phase (round caps — WG-Log's fixpoint and XPath's
 /// step loop are sequential), the partial-progress report is a pure
