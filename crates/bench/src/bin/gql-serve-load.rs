@@ -1,0 +1,73 @@
+//! `gql-serve-load` — run the corpus-replay load driver from the command
+//! line and print one JSON summary per worker count.
+//!
+//! ```text
+//! gql-serve-load [--workers 1,8,64] [--requests 1600] [--corpus DIR]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gql_bench::serve_load::{build_workload, default_corpus_dir, run_load};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gql-serve-load [--workers 1,8,64] [--requests N] [--corpus DIR]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut workers: Vec<usize> = vec![1, 8, 64];
+    let mut requests: u64 = 1600;
+    let mut corpus: PathBuf = default_corpus_dir();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let Some(list) = args.next() else {
+                    return usage();
+                };
+                let parsed: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+                match parsed {
+                    Ok(w) if !w.is_empty() => workers = w,
+                    _ => return usage(),
+                }
+            }
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => requests = n,
+                None => return usage(),
+            },
+            "--corpus" => match args.next() {
+                Some(dir) => corpus = PathBuf::from(dir),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    for w in workers {
+        let (catalog, items) = match build_workload(&corpus) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("gql-serve-load: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let r = run_load(catalog, &items, w, requests);
+        println!(
+            "{{\"workers\":{},\"requests\":{},\"ok\":{},\"errors\":{},\"wall_ms\":{},\
+             \"throughput_rps\":{:.1},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\
+             \"plan_hit_rate\":{:.3},\"index_hit_rate\":{:.3}}}",
+            r.workers,
+            r.requests,
+            r.ok,
+            r.errors,
+            r.wall.as_millis(),
+            r.throughput_rps,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+            r.plan_hit_rate,
+            r.index_hit_rate,
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -9,8 +9,13 @@
 //! * the `harness` binary (`cargo run -p gql-bench --bin harness -- all`)
 //!   prints tables T1–T5 and writes figures F1–F5 as SVG;
 //! * the benches (`cargo bench`) measure the same workloads with the
-//!   dependency-free [`microbench`] timer.
+//!   dependency-free [`microbench`] timer;
+//! * [`serve_load`] — the corpus-replay load driver for the `gql-serve`
+//!   query service (shared by `benches/serve_load.rs` and the
+//!   `gql-serve-load` binary): throughput, p50/p95/p99 latency and cache
+//!   hit rates at configurable concurrency.
 
 pub mod microbench;
+pub mod serve_load;
 pub mod suite;
 pub mod tables;

@@ -1,0 +1,328 @@
+//! The corpus-replay load driver behind `benches/serve_load.rs` and the
+//! `gql-serve-load` binary.
+//!
+//! A workload is the regression corpus (budget-bearing cases excluded)
+//! plus a deterministic generated mix — per-dataset queries over the four
+//! paper datasets and seeded cross-engine [`Intent`]s over generated
+//! documents — replayed through an in-process [`ServeHandle`] at a
+//! configurable worker count. The driver records every request's wall
+//! latency and reduces them to throughput plus p50/p95/p99, and reads the
+//! service's trace-derived warm/cold counters back as plan/index cache hit
+//! rates. In-process on purpose: the socket adds nondeterministic batching
+//! the latency distribution shouldn't inherit (the TCP path has its own
+//! smoke coverage in CI).
+//!
+//! [`Intent`]: gql_testkit::generators::Intent
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use gql_serve::{Catalog, Envelope, Request, Service, TenantRegistry};
+use gql_ssdm::generator;
+use gql_testkit::generators;
+use gql_testkit::harness::case_rng;
+
+/// One request the load loop replays.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    pub dataset: String,
+    pub kind: String,
+    pub query: String,
+}
+
+/// The tenant every load request runs as.
+const TENANT: &str = "load";
+
+/// Seeded [`Intent`]s and documents mixed into the corpus replay.
+const GENERATED_DOCS: u64 = 6;
+
+/// Build the catalog + work list: every replayable corpus case, canned
+/// queries over the four paper datasets, and seeded generated pairs.
+pub fn build_workload(corpus_dir: &Path) -> Result<(Catalog, Vec<WorkItem>), String> {
+    let mut catalog = Catalog::new();
+    let mut items = Vec::new();
+
+    // The regression corpus, replayed against the service verbatim.
+    for (path, case) in gql_testkit::corpus::load_dir(corpus_dir)? {
+        if case.budget.is_some() {
+            continue; // pathological by construction
+        }
+        let Ok(kind) = case.query_kind() else {
+            continue;
+        };
+        let name = format!(
+            "corpus-{}",
+            path.file_stem()
+                .map(|s| s.to_string_lossy())
+                .unwrap_or_default()
+        );
+        let Some(doc) = gql_testkit::oracle::normalize(&case.doc) else {
+            continue;
+        };
+        catalog.register(&name, doc);
+        let (kind, query) = match kind {
+            gql_core::QueryKind::XmlGl(_) => ("xmlgl", case.query.clone()),
+            gql_core::QueryKind::WgLog(_) => ("wglog", case.query.clone()),
+            gql_core::QueryKind::XPath(x) => ("xpath", x),
+        };
+        items.push(WorkItem {
+            dataset: name,
+            kind: kind.into(),
+            query,
+        });
+    }
+
+    // The paper datasets under representative queries in all three
+    // languages — the steady-state "many clients, few datasets" shape the
+    // catalog is built for.
+    catalog.register("bibliography", generator::bibliography(Default::default()));
+    catalog.register("cityguide", generator::cityguide(Default::default()));
+    catalog.register("greengrocer", generator::greengrocer(Default::default()));
+    catalog.register("webgraph", generator::webgraph(Default::default()));
+    let canned: &[(&str, &str, &str)] = &[
+        ("bibliography", "xpath", "//book/title"),
+        ("bibliography", "xpath", "//book[year]"),
+        (
+            "bibliography",
+            "wglog",
+            "rule { query { $b: book  $a: author  $b -author-> $a } \
+             construct { $l: author-list  $l -member-> $a } } goal author-list",
+        ),
+        (
+            "cityguide",
+            "xmlgl",
+            "rule { query { $r: restaurant  $n: name  $r -> $n } \
+             construct { $out: result  $out -> $n } }",
+        ),
+        ("cityguide", "xpath", "//restaurant/name"),
+        ("greengrocer", "xpath", "//price"),
+        ("webgraph", "xpath", "//page"),
+    ];
+    for (dataset, kind, query) in canned {
+        items.push(WorkItem {
+            dataset: (*dataset).into(),
+            kind: (*kind).into(),
+            query: (*query).into(),
+        });
+    }
+
+    // Seeded generated mix: a fresh document per seed, queried through a
+    // cross-engine Intent in both of its lowerings plus a raw generated
+    // XPath. Deterministic by seed, so every run replays the same load.
+    for seed in 0..GENERATED_DOCS {
+        let mut rng = case_rng(0x10ad ^ seed);
+        let name = format!("gen-{seed}");
+        catalog.register(&name, generators::document(&mut rng));
+        let intent = generators::Intent::gen(&mut rng);
+        items.push(WorkItem {
+            dataset: name.clone(),
+            kind: "xpath".into(),
+            query: intent.xpath(),
+        });
+        items.push(WorkItem {
+            dataset: name.clone(),
+            kind: "xmlgl".into(),
+            query: intent.xmlgl(),
+        });
+        items.push(WorkItem {
+            dataset: name,
+            kind: "xpath".into(),
+            query: generators::gen_xpath(&mut rng),
+        });
+    }
+    Ok((catalog, items))
+}
+
+/// One load run's reduced measurements.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub workers: usize,
+    pub requests: u64,
+    pub ok: u64,
+    pub errors: u64,
+    pub wall: Duration,
+    /// Requests per second over the whole run.
+    pub throughput_rps: f64,
+    /// Latency percentiles over every request, in nanoseconds.
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    /// Plan-cache and index-cache hit rates observed through the service's
+    /// trace-derived counters (warm / (warm + cold)).
+    pub plan_hit_rate: f64,
+    pub index_hit_rate: f64,
+}
+
+/// Nearest-rank percentile: the smallest value with at least `p` of the
+/// distribution at or below it.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Replay `items` round-robin for `total_requests` across `workers`
+/// concurrent submitter threads against a fresh service. The submitter
+/// count models client concurrency; the service's own pool is sized to the
+/// machine (as a deployment would be), with the tenant envelope wide
+/// enough that admission never rejects — the measurement is execution
+/// plus queueing latency, which is what a loaded service actually serves.
+///
+/// The timed window measures warm steady state: every item is replayed
+/// once untimed first (planting plan-cache entries and paging the resident
+/// indexes), and all submitter threads gate on a barrier so thread spawn
+/// cost never leaks into the wall clock.
+pub fn run_load(
+    catalog: Catalog,
+    items: &[WorkItem],
+    workers: usize,
+    total_requests: u64,
+) -> LoadReport {
+    assert!(!items.is_empty(), "empty workload");
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let pool = workers.min(cores * 4).max(1);
+    let mut tenants = TenantRegistry::new();
+    tenants.register(TENANT, Envelope::slots(workers as u64 * 2));
+    let service = Service::builder()
+        .workers(pool)
+        .catalog(catalog)
+        .tenants(tenants)
+        .build();
+    let handle = service.handle();
+
+    // Untimed warm-up: one pass over the unique work list.
+    for item in items {
+        let _ = handle.submit(&Request::new(
+            TENANT,
+            &item.dataset,
+            &item.kind,
+            &item.query,
+        ));
+    }
+    let warmup_metrics = handle.metrics();
+
+    let barrier = std::sync::Barrier::new(workers + 1);
+    let next = AtomicU64::new(0);
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let lat_slot = AtomicUsize::new(0);
+    let latencies: Vec<AtomicU64> = (0..total_requests as usize)
+        .map(|_| AtomicU64::new(0))
+        .collect();
+    let mut wall = Duration::ZERO;
+    std::thread::scope(|s| {
+        let submitters: Vec<_> = (0..workers)
+            .map(|_| {
+                let handle = handle.clone();
+                let (barrier, next, ok, errors, lat_slot, latencies) =
+                    (&barrier, &next, &ok, &errors, &lat_slot, &latencies);
+                s.spawn(move || {
+                    barrier.wait();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total_requests {
+                            return;
+                        }
+                        let item = &items[i as usize % items.len()];
+                        let req = Request::new(TENANT, &item.dataset, &item.kind, &item.query);
+                        let t0 = Instant::now();
+                        let resp = handle.submit(&req);
+                        let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                        latencies[lat_slot.fetch_add(1, Ordering::Relaxed)]
+                            .store(ns, Ordering::Relaxed);
+                        if resp.is_ok() {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        for t in submitters {
+            t.join().expect("submitter thread");
+        }
+        wall = start.elapsed();
+    });
+    let metrics = handle.metrics();
+    service.shutdown();
+
+    let mut sorted: Vec<u64> = latencies
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .collect();
+    sorted.sort_unstable();
+    // Hit rates over the timed window only (warm-up traffic subtracted).
+    let rate = |warm: u64, cold: u64| {
+        if warm + cold == 0 {
+            0.0
+        } else {
+            warm as f64 / (warm + cold) as f64
+        }
+    };
+    LoadReport {
+        workers,
+        requests: total_requests,
+        ok: ok.into_inner(),
+        errors: errors.into_inner(),
+        wall,
+        throughput_rps: total_requests as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ns: percentile(&sorted, 0.50),
+        p95_ns: percentile(&sorted, 0.95),
+        p99_ns: percentile(&sorted, 0.99),
+        plan_hit_rate: rate(
+            metrics.plan_warm - warmup_metrics.plan_warm,
+            metrics.plan_cold - warmup_metrics.plan_cold,
+        ),
+        index_hit_rate: rate(
+            metrics.index_warm - warmup_metrics.index_warm,
+            metrics.index_cold - warmup_metrics.index_cold,
+        ),
+    }
+}
+
+/// The workspace corpus directory (the load driver and bench both run from
+/// inside the workspace).
+pub fn default_corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_and_replays_mostly_ok() {
+        let (catalog, items) = build_workload(&default_corpus_dir()).expect("workload builds");
+        assert!(items.len() >= 20, "got {} items", items.len());
+        let report = run_load(catalog, &items, 4, items.len() as u64 * 2);
+        assert_eq!(report.ok + report.errors, report.requests);
+        // The corpus and canned queries dominate; generated intents may
+        // reject, but the bulk of the mix must answer ok.
+        assert!(
+            report.ok * 2 > report.requests,
+            "ok {} of {}",
+            report.ok,
+            report.requests
+        );
+        assert!(report.p50_ns <= report.p95_ns && report.p95_ns <= report.p99_ns);
+        assert!(report.throughput_rps > 0.0);
+        // Every item replays at least twice, so plans must be warming.
+        assert!(report.plan_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+    }
+}

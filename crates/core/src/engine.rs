@@ -6,12 +6,12 @@
 //! counted separately so the comparison can show it both ways (amortised
 //! loads for a resident database, full loads for one-shot queries).
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use gql_guard::{fault, Budget, Guard};
 use gql_infer::Inference;
-use gql_plan::{CacheStats, CachedPlan, PlanCache, PlanKey};
+use gql_plan::{CacheStats, CachedPlan, PlanCache, PlanKey, StatsCell};
 use gql_ssdm::{shallow_fingerprint, DocIndex, Document, Summary};
 use gql_trace::{ExecutionProfile, Trace};
 use gql_wglog::instance::Instance;
@@ -79,7 +79,7 @@ struct ResidentIndex {
 }
 
 /// The unified runner.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Engine {
     /// A pre-loaded WG-Log instance, reused across runs when set.
     resident_instance: Option<Instance>,
@@ -90,6 +90,23 @@ pub struct Engine {
     /// fingerprint, budget class): on a hit the analyze/plan phases are
     /// served from the cache and the run goes parse → execution.
     plan_cache: Mutex<PlanCache>,
+    /// Snapshot-consistent view of the plan cache's counters, cloned from
+    /// the cache at construction so [`Engine::plan_cache_stats`] never
+    /// contends with planners holding the cache mutex.
+    plan_stats: Arc<StatsCell>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        let plan_cache = PlanCache::default();
+        let plan_stats = plan_cache.stats_cell();
+        Engine {
+            resident_instance: None,
+            resident_index: None,
+            plan_cache: Mutex::new(plan_cache),
+            plan_stats,
+        }
+    }
 }
 
 impl Engine {
@@ -187,10 +204,13 @@ impl Engine {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Cumulative plan-cache counters (hits, misses, evictions, replans)
-    /// since engine construction.
+    /// Cumulative plan-cache counters (hits, misses, evictions, replans,
+    /// lookups) since engine construction. Reads a snapshot-consistent
+    /// seqlock cell rather than the cache mutex, so concurrent callers on
+    /// a shared engine never block planners or observe torn totals
+    /// (`CacheStats::is_consistent` holds for every returned value).
     pub fn plan_cache_stats(&self) -> CacheStats {
-        self.lock_plan_cache().stats()
+        self.plan_stats.snapshot()
     }
 
     /// Number of plans currently resident in the cache.

@@ -4,9 +4,11 @@
 //! under miri (nightly) for data-race/UB detection; this file covers the
 //! parallel matcher, which is too heavy to interpret there.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 
+use gql_core::{Engine, QueryKind};
 use gql_guard::{Budget, CancelToken, Guard};
 use gql_ssdm::{generator, DocIndex};
 use gql_trace::Trace;
@@ -82,6 +84,77 @@ fn trace_counters_accumulate_exactly_under_contention() {
         profile.find("(toplevel)").and_then(|n| n.counter("hits")),
         Some(8_000)
     );
+}
+
+/// Regression for the shared-use `plan_cache_stats()` fix: a shared engine
+/// hammered by querying threads while other threads continuously snapshot
+/// the counters. Every snapshot must satisfy the seqlock invariant
+/// (`lookups == hits + misses`) and be monotonic — a torn read (hits from
+/// after a probe, misses from before) would violate both.
+#[test]
+fn shared_engine_stats_snapshots_are_consistent_under_storm() {
+    let doc = generator::cityguide(Default::default());
+    let engine = Arc::new(Engine::new());
+    let queries = [
+        "/city/restaurant/name",
+        "//restaurant",
+        "/city/hotel/name",
+        "//name",
+    ];
+    let done = AtomicBool::new(false);
+    thread::scope(|s| {
+        // Readers: snapshot continuously while the storm runs.
+        for _ in 0..2 {
+            s.spawn(|| {
+                let mut last_lookups = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let stats = engine.plan_cache_stats();
+                    assert!(
+                        stats.is_consistent(),
+                        "torn stats snapshot: hits={} misses={} lookups={}",
+                        stats.hits,
+                        stats.misses,
+                        stats.lookups
+                    );
+                    assert!(stats.lookups >= last_lookups, "lookups went backwards");
+                    last_lookups = stats.lookups;
+                }
+            });
+        }
+        // Writers: concurrent queries through one shared engine, mixing
+        // warm hits and (via distinct queries) cold misses.
+        let storm: Vec<_> = (0..4)
+            .map(|t| {
+                let engine = Arc::clone(&engine);
+                let doc = &doc;
+                s.spawn(move || {
+                    for i in 0..24 {
+                        let q = QueryKind::XPath(queries[(t + i) % queries.len()].to_string());
+                        engine.run(&q, doc).expect("storm query must succeed");
+                    }
+                })
+            })
+            .collect();
+        for h in storm {
+            h.join().expect("storm thread panicked");
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+    let stats = engine.plan_cache_stats();
+    assert!(stats.is_consistent());
+    assert_eq!(
+        stats.lookups,
+        4 * 24,
+        "every run probes the cache exactly once"
+    );
+    // Probe and insert are separate critical sections, so two threads can
+    // race the same cold key and both miss — but never fewer misses than
+    // distinct queries, and the storm is warm-heavy so hits dominate.
+    assert!(
+        stats.misses >= queries.len() as u64,
+        "each distinct query plans cold at least once"
+    );
+    assert!(stats.hits > stats.misses, "warm storm must be hit-heavy");
 }
 
 #[test]

@@ -19,6 +19,9 @@
 //! effectiveness, not correctness — the same stance the resident index
 //! takes.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use gql_infer::Inference;
 use gql_ssdm::index::hash_str;
 
@@ -113,6 +116,82 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Hits whose entry failed validation and were replanned.
     pub replans: u64,
+    /// Total probes (`get` calls). Maintained in the same atomic write
+    /// section as `hits`/`misses`, so every snapshot satisfies
+    /// `lookups == hits + misses` — the invariant the shared-engine
+    /// regression tests assert to prove snapshots are never torn.
+    pub lookups: u64,
+}
+
+impl CacheStats {
+    /// The snapshot-consistency invariant: a counter set read mid-update
+    /// (a torn read) would violate it; [`StatsCell::snapshot`] never does.
+    pub fn is_consistent(&self) -> bool {
+        self.lookups == self.hits + self.misses
+    }
+}
+
+/// Snapshot-consistent shared counters for the plan cache.
+///
+/// The cache itself lives behind the engine's mutex, so *writers* are
+/// already serialized — but `Engine::plan_cache_stats()` was designed
+/// single-caller and used to read the counters through that same lock,
+/// which both contends with concurrent planners and, if naively converted
+/// to independent atomics, lets a reader observe a half-applied update
+/// (hits from after a probe, misses from before — a *torn* total). This
+/// cell is a sequence lock: writers bump `version` to odd, apply every
+/// counter of one logical event, then bump back to even; readers retry
+/// until they see the same even version on both sides of the reads. Reads
+/// never take the cache mutex, and every returned [`CacheStats`] is a
+/// consistent point-in-time snapshot.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    version: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    replans: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl StatsCell {
+    /// Apply one logical cache event atomically with respect to readers.
+    /// Callers must be serialized (the plan cache is always behind a
+    /// mutex); the seqlock only protects readers from tearing.
+    fn record(&self, f: impl FnOnce(&StatsCell)) {
+        // Odd version = write in progress. SeqCst throughout: the cell is
+        // probed a handful of times per query, so the strongest ordering
+        // costs nothing and keeps the reader's version/counter/version
+        // sandwich valid on every architecture (and under miri).
+        let v = self.version.load(Ordering::SeqCst);
+        self.version.store(v.wrapping_add(1), Ordering::SeqCst);
+        f(self);
+        self.version.store(v.wrapping_add(2), Ordering::SeqCst);
+    }
+
+    /// A consistent snapshot: retries while a write is in flight. Writers
+    /// hold the cache mutex for well under a microsecond per event, so the
+    /// retry loop terminates promptly.
+    pub fn snapshot(&self) -> CacheStats {
+        loop {
+            let v1 = self.version.load(Ordering::SeqCst);
+            if !v1.is_multiple_of(2) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let stats = CacheStats {
+                hits: self.hits.load(Ordering::SeqCst),
+                misses: self.misses.load(Ordering::SeqCst),
+                evictions: self.evictions.load(Ordering::SeqCst),
+                replans: self.replans.load(Ordering::SeqCst),
+                lookups: self.lookups.load(Ordering::SeqCst),
+            };
+            if self.version.load(Ordering::SeqCst) == v1 {
+                return stats;
+            }
+            std::hint::spin_loop();
+        }
+    }
 }
 
 /// An LRU map from [`PlanKey`] to [`CachedPlan`].
@@ -125,7 +204,9 @@ pub struct PlanCache {
     entries: Vec<(PlanKey, CachedPlan, u64)>,
     capacity: usize,
     clock: u64,
-    stats: CacheStats,
+    /// Shared so `Engine::plan_cache_stats()` can snapshot without taking
+    /// the cache mutex (see [`StatsCell`]).
+    stats: Arc<StatsCell>,
 }
 
 impl Default for PlanCache {
@@ -140,7 +221,7 @@ impl PlanCache {
             entries: Vec::new(),
             capacity: capacity.max(1),
             clock: 0,
-            stats: CacheStats::default(),
+            stats: Arc::new(StatsCell::default()),
         }
     }
 
@@ -157,7 +238,14 @@ impl PlanCache {
     }
 
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// The shared stats cell, for readers that must not contend with the
+    /// cache mutex (the engine keeps a clone so `plan_cache_stats()` is a
+    /// lock-free snapshot).
+    pub fn stats_cell(&self) -> Arc<StatsCell> {
+        Arc::clone(&self.stats)
     }
 
     /// Probe the cache. A hit refreshes the entry's LRU stamp and returns a
@@ -168,11 +256,17 @@ impl PlanCache {
         match self.entries.iter_mut().find(|(k, _, _)| k == key) {
             Some((_, plan, stamp)) => {
                 *stamp = clock;
-                self.stats.hits += 1;
+                self.stats.record(|s| {
+                    s.hits.fetch_add(1, Ordering::SeqCst);
+                    s.lookups.fetch_add(1, Ordering::SeqCst);
+                });
                 Some(plan.clone())
             }
             None => {
-                self.stats.misses += 1;
+                self.stats.record(|s| {
+                    s.misses.fetch_add(1, Ordering::SeqCst);
+                    s.lookups.fetch_add(1, Ordering::SeqCst);
+                });
                 None
             }
         }
@@ -195,7 +289,9 @@ impl PlanCache {
                 .map(|(i, _)| i)
             {
                 self.entries.swap_remove(lru);
-                self.stats.evictions += 1;
+                self.stats.record(|s| {
+                    s.evictions.fetch_add(1, Ordering::SeqCst);
+                });
             }
         }
         self.entries.push((key, plan, self.clock));
@@ -203,7 +299,9 @@ impl PlanCache {
 
     /// Record that a hit entry failed validation and was replanned.
     pub fn note_replan(&mut self) {
-        self.stats.replans += 1;
+        self.stats.record(|s| {
+            s.replans.fetch_add(1, Ordering::SeqCst);
+        });
     }
 
     /// Drop the entry for a key (used after a failed validation so the
@@ -300,5 +398,62 @@ mod tests {
         c.remove(&k);
         assert!(c.is_empty());
         assert_eq!(c.stats().replans, 1);
+    }
+
+    #[test]
+    fn lookups_track_hits_plus_misses() {
+        let mut c = PlanCache::default();
+        let k = PlanKey::new("q", 1, "unlimited");
+        assert!(c.get(&k).is_none());
+        c.insert(k.clone(), plan(vec![], vec![]));
+        assert!(c.get(&k).is_some());
+        assert!(c.get(&k).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.lookups), (2, 1, 3));
+        assert!(s.is_consistent());
+    }
+
+    /// Regression for the shared-use fix: concurrent readers snapshotting
+    /// while writers probe must never observe a torn counter set
+    /// (`lookups != hits + misses`). Before the seqlock, independent
+    /// atomics (or a racy read through the mutex'd struct) could tear.
+    #[test]
+    fn concurrent_snapshots_are_never_torn() {
+        use std::sync::Mutex;
+
+        // Miri executes this loop orders of magnitude slower; keep it
+        // meaningful but bounded there.
+        let iters: u64 = if cfg!(miri) { 200 } else { 20_000 };
+        let cache = Arc::new(Mutex::new(PlanCache::new(4)));
+        let cell = cache.lock().unwrap().stats_cell();
+        let writer = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                for i in 0..iters {
+                    let k = PlanKey::new("q", i % 8, "unlimited");
+                    let mut c = cache.lock().unwrap();
+                    if c.get(&k).is_none() {
+                        c.insert(k, plan(vec![], vec![]));
+                    }
+                }
+            })
+        };
+        let mut last = CacheStats::default();
+        while !writer.is_finished() {
+            let s = cell.snapshot();
+            assert!(
+                s.is_consistent(),
+                "torn snapshot: hits={} misses={} lookups={}",
+                s.hits,
+                s.misses,
+                s.lookups
+            );
+            assert!(s.lookups >= last.lookups, "counters must be monotonic");
+            last = s;
+        }
+        writer.join().unwrap();
+        let s = cell.snapshot();
+        assert!(s.is_consistent());
+        assert_eq!(s.lookups, iters);
     }
 }

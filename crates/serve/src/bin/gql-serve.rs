@@ -1,0 +1,180 @@
+//! `gql-serve` — run or smoke-test the multi-tenant query service.
+//!
+//! ```text
+//! Usage: gql-serve serve [--addr HOST:PORT] [--workers N]
+//!        gql-serve smoke
+//! ```
+//!
+//! `serve` builds a catalog of the four synthetic datasets (bibliography,
+//! cityguide, greengrocer, webgraph), registers a permissive `public`
+//! tenant, and serves the length-prefixed JSON protocol until killed.
+//!
+//! `smoke` is the CI step: it starts the same service on an ephemeral
+//! port, sends a ping, a 3-query batch over two datasets, a
+//! deliberately-unknown dataset, and a metrics request through a real
+//! socket, and prints each response as one JSON line for
+//! `tools/check_serve_json.py` to validate. Exit 1 if any query of the
+//! batch fails.
+
+use std::process::ExitCode;
+
+use gql_guard::Budget;
+use gql_serve::json::Value;
+use gql_serve::{Catalog, Client, Envelope, Server, Service, TenantRegistry};
+use gql_ssdm::generator;
+
+fn usage() -> &'static str {
+    "Usage: gql-serve serve [--addr HOST:PORT] [--workers N]\n       gql-serve smoke"
+}
+
+/// The standard demo catalog: every synthetic generator at its default
+/// scale, loaded and indexed once at startup.
+fn demo_catalog() -> Catalog {
+    let mut catalog = Catalog::new();
+    catalog.register("bibliography", generator::bibliography(Default::default()));
+    catalog.register("cityguide", generator::cityguide(Default::default()));
+    catalog.register("greengrocer", generator::greengrocer(Default::default()));
+    catalog.register("webgraph", generator::webgraph(Default::default()));
+    catalog
+}
+
+/// A permissive public tenant: plenty of slots, per-query caps high
+/// enough for every demo query but low enough that a pathological one
+/// cannot wedge a worker forever.
+fn demo_tenants() -> TenantRegistry {
+    let mut tenants = TenantRegistry::new();
+    tenants.register(
+        "public",
+        Envelope::slots(64).with_per_query(Budget::unlimited().with_timeout_ms(30_000)),
+    );
+    tenants
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut workers = 4usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--workers needs a positive integer")?
+            }
+            other => return Err(format!("unknown flag: {other}\n{}", usage())),
+        }
+    }
+    let service = Service::builder()
+        .workers(workers)
+        .catalog(demo_catalog())
+        .tenants(demo_tenants())
+        .build();
+    let server =
+        Server::bind(&addr, service.handle()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "gql-serve listening on {} ({} datasets, {} workers)",
+        server.addr(),
+        service.catalog().len(),
+        workers
+    );
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_smoke() -> Result<(), String> {
+    let service = Service::builder()
+        .workers(4)
+        .catalog(demo_catalog())
+        .tenants(demo_tenants())
+        .build();
+    let server = Server::bind("127.0.0.1:0", service.handle())
+        .map_err(|e| format!("cannot bind ephemeral port: {e}"))?;
+    let mut client = Client::connect(server.addr()).map_err(|e| format!("cannot connect: {e}"))?;
+    let mut failures = 0u32;
+    let mut send = |label: &str, req: &str| -> Result<Value, String> {
+        let v = Value::parse(req).expect("smoke request literals are valid JSON");
+        let resp = client
+            .roundtrip(&v)
+            .map_err(|e| format!("{label}: transport error: {e}"))?;
+        println!("{}", resp.render());
+        Ok(resp)
+    };
+    let ping = send("ping", r#"{"op":"ping"}"#)?;
+    if ping.get("pong").and_then(Value::as_bool) != Some(true) {
+        failures += 1;
+    }
+    // The CI batch: three queries, two datasets, all three languages.
+    let batch = send(
+        "batch",
+        r#"{"op":"batch","tenant":"public","items":[
+            {"dataset":"bibliography","kind":"xpath","query":"//book/title"},
+            {"dataset":"cityguide","kind":"xmlgl","query":"rule { extract { restaurant as $r { name { text as $n } } } construct { out { all $n } } }"},
+            {"dataset":"bibliography","kind":"wglog","query":"rule { query { $b: book  $a: author  $b -author-> $a } construct { $l: author-list  $l -member-> $a } } goal author-list"}
+        ]}"#,
+    )?;
+    match batch.get("batch").and_then(Value::as_arr) {
+        Some(items) if items.len() == 3 => {
+            for (i, item) in items.iter().enumerate() {
+                let ok = item.get("ok").and_then(Value::as_bool) == Some(true);
+                let nonempty = item
+                    .get("result_count")
+                    .and_then(Value::as_u64)
+                    .unwrap_or(0)
+                    > 0;
+                if !ok || !nonempty {
+                    eprintln!("smoke: batch item {i} failed: {}", item.render());
+                    failures += 1;
+                }
+            }
+        }
+        _ => {
+            eprintln!("smoke: batch response malformed: {}", batch.render());
+            failures += 1;
+        }
+    }
+    // Unknown dataset must come back as a structured error, not a hang.
+    let unknown = send(
+        "unknown-dataset",
+        r#"{"op":"query","tenant":"public","dataset":"nope","kind":"xpath","query":"//a"}"#,
+    )?;
+    if unknown.get("code").and_then(Value::as_str) != Some("unknown-dataset") {
+        failures += 1;
+    }
+    let metrics = send("metrics", r#"{"op":"metrics"}"#)?;
+    let completed = metrics
+        .get("metrics")
+        .and_then(|m| m.get("completed"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    if completed < 3 {
+        eprintln!("smoke: expected ≥3 completed queries, saw {completed}");
+        failures += 1;
+    }
+    server.shutdown();
+    service.shutdown();
+    if failures > 0 {
+        return Err(format!("smoke: {failures} check(s) failed"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("smoke") if args.len() == 1 => cmd_smoke(),
+        _ => Err(usage().to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(if msg.starts_with("Usage:") { 2 } else { 1 })
+        }
+    }
+}

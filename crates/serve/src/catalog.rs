@@ -1,0 +1,155 @@
+//! The document catalog: named datasets loaded and indexed once, shared
+//! read-only across every connection.
+//!
+//! Each [`Dataset`] owns its document behind an `Arc` (documents are
+//! immutable and `Sync` — interior caches are `OnceLock`-based) and a
+//! dedicated [`Engine`] preloaded against that document, so every query
+//! hits the resident index/summary and the dataset's own plan cache. The
+//! engine's resident-index validation is address-based, which is why the
+//! document is arena-pinned behind the `Arc` *before* preloading: the
+//! address the engine captured stays valid for the dataset's lifetime.
+//!
+//! A content fingerprint taken at registration is re-checked on every
+//! snapshot ([`Dataset::verify`]) — a dataset whose document no longer
+//! matches what was indexed (impossible through safe code, but cheap to
+//! prove per request) is refused rather than served stale.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use gql_core::Engine;
+use gql_ssdm::{shallow_fingerprint, Document};
+
+/// One named, preloaded dataset.
+#[derive(Debug)]
+pub struct Dataset {
+    name: String,
+    doc: Arc<Document>,
+    engine: Arc<Engine>,
+    fingerprint: u64,
+}
+
+impl Dataset {
+    fn new(name: &str, doc: Document) -> Dataset {
+        let doc = Arc::new(doc);
+        let mut engine = Engine::new();
+        // Preload against the Arc'd allocation so the address the resident
+        // index validates against is the one queries will present.
+        engine.preload(&doc);
+        Dataset {
+            name: name.to_string(),
+            fingerprint: shallow_fingerprint(&doc),
+            doc,
+            engine: Arc::new(engine),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn doc(&self) -> &Arc<Document> {
+        &self.doc
+    }
+
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Registration-time content fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Re-validate the content fingerprint taken at registration.
+    pub fn verify(&self) -> bool {
+        shallow_fingerprint(&self.doc) == self.fingerprint
+    }
+}
+
+/// Immutable-after-build map of dataset name → [`Dataset`].
+///
+/// Built once at service start, then shared via `Arc<Catalog>`; the
+/// service never mutates it, so lookups are lock-free.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    datasets: BTreeMap<String, Arc<Dataset>>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a document under `name`, building its index/summary and
+    /// plan cache eagerly. Re-registering a name replaces the dataset.
+    pub fn register(&mut self, name: &str, doc: Document) -> Arc<Dataset> {
+        let ds = Arc::new(Dataset::new(name, doc));
+        self.datasets.insert(name.to_string(), Arc::clone(&ds));
+        ds
+    }
+
+    /// Parse and register XML source under `name`.
+    pub fn register_xml(&mut self, name: &str, xml: &str) -> Result<Arc<Dataset>, String> {
+        let doc = gql_ssdm::xml::parse(xml).map_err(|e| format!("dataset `{name}`: {e}"))?;
+        Ok(self.register(name, doc))
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.datasets.get(name).cloned()
+    }
+
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Dataset names in deterministic (sorted) order.
+    pub fn names(&self) -> Vec<&str> {
+        self.datasets.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate datasets in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Dataset>> {
+        self.datasets.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gql_core::QueryKind;
+
+    #[test]
+    fn registered_dataset_serves_from_resident_index() {
+        let mut cat = Catalog::new();
+        let ds = cat
+            .register_xml("bib", "<bib><book><title>t</title></book></bib>")
+            .expect("parses");
+        assert!(ds.verify());
+        assert_eq!(cat.names(), ["bib"]);
+        // A profiled run against the dataset's own doc must hit the
+        // preloaded resident index.
+        let out = ds
+            .engine()
+            .run_profiled(&QueryKind::XPath("//title".into()), ds.doc())
+            .expect("query runs");
+        let profile = out.profile.expect("profiled");
+        assert_eq!(
+            profile.find("index").and_then(|n| n.note("cache")),
+            Some("hit"),
+            "catalog datasets must serve warm"
+        );
+    }
+
+    #[test]
+    fn unknown_names_and_bad_xml_are_refused() {
+        let mut cat = Catalog::new();
+        assert!(cat.get("nope").is_none());
+        assert!(cat.register_xml("bad", "<unclosed").is_err());
+        assert!(cat.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! # gql-serve — the multi-tenant query service
+//!
+//! Everything the library stack built — resident index cache, keyed plan
+//! cache (`gql-plan`), budgets and cooperative cancellation (`gql-guard`),
+//! execution profiles (`gql-trace`) — assembled into a long-lived,
+//! thread-pooled service:
+//!
+//! * [`catalog`] — named datasets loaded and indexed **once**, shared
+//!   read-only across connections via `Arc`, re-validated against a
+//!   content fingerprint on every access;
+//! * [`tenant`] — per-tenant budget envelopes: an in-flight slot count
+//!   plus a pooled match-unit reservation every admitted query draws
+//!   from. Admission control rejects with a structured `overloaded`
+//!   response instead of queueing unboundedly;
+//! * [`service`] — the worker pool and the in-process [`ServeHandle`]
+//!   API: single, cancellable and batched submission (a batch shares one
+//!   catalog snapshot and plan-cache warmup), per-request profiles, and
+//!   warm/cold cache counters surfaced as service metrics through the
+//!   trace layer;
+//! * [`proto`] + [`server`] — a length-prefixed JSON protocol over TCP.
+//!   Client disconnect mid-query trips the request's `CancelToken`; the
+//!   partial-progress trip report is returned, not dropped.
+//!
+//! The testkit's concurrency differential oracle replays the whole
+//! regression corpus through this service at concurrency 8 and holds the
+//! results byte-identical to a fresh single-threaded `Engine` — serving
+//! concurrently must never change an answer.
+
+pub mod catalog;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod tenant;
+
+pub use catalog::{Catalog, Dataset};
+pub use server::{Client, Server};
+pub use service::{
+    ErrorCode, Pending, QueryErr, QueryOk, Request, Response, ServeHandle, Service, ServiceBuilder,
+    ServiceMetrics,
+};
+pub use tenant::{Envelope, Permit, Tenant, TenantMetrics, TenantRegistry};

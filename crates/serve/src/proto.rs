@@ -1,0 +1,284 @@
+//! The wire protocol: length-prefixed JSON frames over any byte stream.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Frames above [`MAX_FRAME`] are refused with a
+//! structured `bad-request` error before the body is read — an attacker
+//! cannot make the server allocate from the length prefix alone.
+//!
+//! Request objects carry an `op`:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"query","tenant":"public","dataset":"bib","kind":"xpath","query":"//title","profile":false}
+//! {"op":"batch","tenant":"public","items":[{"dataset":"bib","kind":"xpath","query":"//title"},…]}
+//! {"op":"metrics"}
+//! ```
+//!
+//! Every response is one frame: `{"ok":true,…}` or
+//! `{"ok":false,"code":"…","message":"…"[,"report":"…"]}`. Budget and
+//! cancellation errors carry the partial-progress trip report in
+//! `report` — the service returns how far the run got, it never silently
+//! drops the work.
+
+use std::io::{Read, Write};
+
+use crate::json::Value;
+use crate::service::{ErrorCode, QueryErr, QueryOk, Request, Response};
+
+/// Maximum accepted frame payload, in bytes.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Read one frame. `Ok(None)` is a clean EOF at a frame boundary; an EOF
+/// mid-frame (a client that died mid-send) is an `UnexpectedEof` error the
+/// connection loop turns into a close — never a hang.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// One parsed client operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    Ping,
+    Query(Request),
+    Batch(Vec<Request>),
+    Metrics,
+}
+
+/// Decode a request frame. Errors are `bad-request` messages.
+pub fn decode_op(payload: &[u8]) -> Result<Op, String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+    let v = Value::parse(text).map_err(|e| format!("frame is not JSON: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing `op` field")?;
+    match op {
+        "ping" => Ok(Op::Ping),
+        "metrics" => Ok(Op::Metrics),
+        "query" => decode_request(&v, None).map(Op::Query),
+        "batch" => {
+            let tenant = v.get("tenant").and_then(Value::as_str);
+            let items = v
+                .get("items")
+                .and_then(Value::as_arr)
+                .ok_or("batch without `items` array")?;
+            items
+                .iter()
+                .map(|item| decode_request(item, tenant))
+                .collect::<Result<Vec<_>, _>>()
+                .map(Op::Batch)
+        }
+        other => Err(format!("unknown op: {other}")),
+    }
+}
+
+fn decode_request(v: &Value, default_tenant: Option<&str>) -> Result<Request, String> {
+    let field = |name: &str| -> Result<String, String> {
+        v.get(name)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or(format!("missing `{name}` field"))
+    };
+    let tenant = match v.get("tenant").and_then(Value::as_str).or(default_tenant) {
+        Some(t) => t.to_string(),
+        None => return Err("missing `tenant` field".into()),
+    };
+    Ok(Request {
+        tenant,
+        dataset: field("dataset")?,
+        kind: field("kind")?,
+        query: field("query")?,
+        profile: v.get("profile").and_then(Value::as_bool).unwrap_or(false),
+    })
+}
+
+/// Encode one service response.
+pub fn encode_response(resp: &Response) -> Value {
+    match resp {
+        Response::Ok(ok) => encode_ok(ok),
+        Response::Err(err) => encode_err(err),
+    }
+}
+
+fn encode_ok(ok: &QueryOk) -> Value {
+    let mut pairs = vec![
+        ("ok".into(), Value::Bool(true)),
+        ("xml".into(), Value::str(ok.xml.clone())),
+        ("result_count".into(), Value::count(ok.result_count)),
+        ("eval_us".into(), Value::count(ok.eval_us)),
+        ("plan".into(), Value::str(ok.plan.clone())),
+        ("plan_cache".into(), Value::str(ok.plan_cache.clone())),
+        ("index_cache".into(), Value::str(ok.index_cache.clone())),
+    ];
+    if let Some(p) = &ok.profile {
+        // The profile is itself JSON; embed it structurally, not as a
+        // string (fall back to the raw string if it ever fails to parse).
+        match Value::parse(p) {
+            Ok(v) => pairs.push(("profile".into(), v)),
+            Err(_) => pairs.push(("profile".into(), Value::str(p.clone()))),
+        }
+    }
+    if let Some(s) = &ok.shape {
+        pairs.push(("shape".into(), Value::str(s.clone())));
+    }
+    Value::Obj(pairs)
+}
+
+fn encode_err(err: &QueryErr) -> Value {
+    let mut pairs = vec![
+        ("ok".into(), Value::Bool(false)),
+        ("code".into(), Value::str(err.code.name())),
+        ("message".into(), Value::str(err.message.clone())),
+    ];
+    if let Some(r) = &err.report {
+        pairs.push(("report".into(), Value::str(r.clone())));
+    }
+    Value::Obj(pairs)
+}
+
+/// Decode a response frame back into a [`Response`] (the client half; the
+/// tests and the load driver use it to talk to a real socket).
+pub fn decode_response(v: &Value) -> Result<Response, String> {
+    match v.get("ok").and_then(Value::as_bool) {
+        Some(true) => Ok(Response::Ok(Box::new(QueryOk {
+            xml: v
+                .get("xml")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            result_count: v.get("result_count").and_then(Value::as_u64).unwrap_or(0),
+            eval_us: v.get("eval_us").and_then(Value::as_u64).unwrap_or(0),
+            plan: v
+                .get("plan")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            plan_cache: v
+                .get("plan_cache")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            index_cache: v
+                .get("index_cache")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            profile: v.get("profile").map(Value::render),
+            shape: v.get("shape").and_then(Value::as_str).map(str::to_string),
+        }))),
+        Some(false) => Ok(Response::Err(QueryErr {
+            code: v
+                .get("code")
+                .and_then(Value::as_str)
+                .and_then(ErrorCode::from_name)
+                .ok_or("error response without a known `code`")?,
+            message: v
+                .get("message")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            report: v.get("report").and_then(Value::as_str).map(str::to_string),
+        })),
+        None => Err("response without boolean `ok`".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"op\":\"ping\"}").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(&b"{\"op\":\"ping\"}"[..])
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+        // A length prefix over the cap errors before any body allocation.
+        let huge = ((MAX_FRAME + 1) as u32).to_be_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+        // EOF mid-frame is an error, not a hang.
+        let truncated = [0u8, 0, 0, 10, b'x', b'y'];
+        assert!(read_frame(&mut &truncated[..]).is_err());
+    }
+
+    #[test]
+    fn ops_decode() {
+        assert_eq!(decode_op(b"{\"op\":\"ping\"}"), Ok(Op::Ping));
+        assert_eq!(decode_op(b"{\"op\":\"metrics\"}"), Ok(Op::Metrics));
+        let q =
+            decode_op(br#"{"op":"query","tenant":"t","dataset":"d","kind":"xpath","query":"//a"}"#)
+                .unwrap();
+        assert_eq!(q, Op::Query(Request::new("t", "d", "xpath", "//a")));
+        // Batch items inherit the batch-level tenant unless they override.
+        let b = decode_op(
+            br#"{"op":"batch","tenant":"t","items":[{"dataset":"d","kind":"xpath","query":"//a"},{"tenant":"u","dataset":"d","kind":"xpath","query":"//b"}]}"#,
+        )
+        .unwrap();
+        let Op::Batch(items) = b else {
+            panic!("not a batch")
+        };
+        assert_eq!(items[0].tenant, "t");
+        assert_eq!(items[1].tenant, "u");
+    }
+
+    #[test]
+    fn malformed_ops_are_structured_errors() {
+        for bad in [
+            &b"not json"[..],
+            b"{}",
+            b"{\"op\":\"warp\"}",
+            b"{\"op\":\"query\",\"tenant\":\"t\"}",
+            b"{\"op\":\"batch\"}",
+            b"\xff\xfe",
+        ] {
+            assert!(decode_op(bad).is_err(), "should reject: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let ok = Response::Ok(Box::new(QueryOk {
+            xml: "<out/>".into(),
+            result_count: 3,
+            eval_us: 17,
+            plan: "Scan".into(),
+            plan_cache: "hit".into(),
+            index_cache: "hit".into(),
+            profile: None,
+            shape: Some("run".into()),
+        }));
+        assert_eq!(decode_response(&encode_response(&ok)), Ok(ok));
+        let err = Response::Err(QueryErr {
+            code: ErrorCode::Budget,
+            message: "budget exceeded (matches): …".into(),
+            report: Some("phase=eval rounds=0 matches=10 nodes=0".into()),
+        });
+        assert_eq!(decode_response(&encode_response(&err)), Ok(err));
+    }
+}

@@ -1,0 +1,222 @@
+//! The TCP front end: an accept loop, one thread per connection, and
+//! disconnect-triggered cancellation.
+//!
+//! While a query is in flight the connection thread polls both the
+//! response channel and the socket; a client that hangs up (EOF on peek)
+//! trips the request's `CancelToken`, the engine aborts at its next
+//! checkpoint, and the worker's slot frees — a dead client cannot pin a
+//! tenant's envelope. Malformed frames get a structured `bad-request`
+//! response; oversized or mid-frame-truncated input closes the connection
+//! after (when possible) a final error frame. The server never panics or
+//! hangs on client behaviour — the protocol tests storm it with garbage.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gql_guard::CancelToken;
+
+use crate::json::Value;
+use crate::proto::{decode_op, encode_response, read_frame, write_frame, Op};
+use crate::service::{ErrorCode, Response, ServeHandle};
+
+/// A running TCP server. Dropping it (or calling [`Server::shutdown`])
+/// stops the accept loop; connection threads exit when their client
+/// disconnects or on their next request.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and serve `handle`.
+    pub fn bind(addr: &str, handle: ServeHandle) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("gql-serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let handle = handle.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("gql-serve-conn".into())
+                        .spawn(move || serve_connection(stream, handle));
+                }
+            })?;
+        Ok(Server {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolved port for `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+/// How often the in-flight poll loop checks the socket for a disconnect.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+fn serve_connection(mut stream: TcpStream, handle: ServeHandle) {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF, mid-frame EOF, oversized length, socket error:
+            // either way this connection is done. For oversized frames try
+            // to say so first.
+            Ok(None) => return,
+            Err(e) => {
+                if e.kind() == std::io::ErrorKind::InvalidData {
+                    respond_err(&mut stream, ErrorCode::BadRequest, &e.to_string());
+                }
+                return;
+            }
+        };
+        let op = match decode_op(&frame) {
+            Ok(op) => op,
+            Err(msg) => {
+                // Malformed JSON / fields: structured error, connection
+                // stays usable (framing itself was intact).
+                respond_err(&mut stream, ErrorCode::BadRequest, &msg);
+                continue;
+            }
+        };
+        let reply = match op {
+            Op::Ping => Value::Obj(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("pong".into(), Value::Bool(true)),
+            ]),
+            Op::Metrics => Value::Obj(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("metrics".into(), handle.metrics().to_value()),
+            ]),
+            Op::Query(req) => {
+                let resp = run_watching_disconnect(&handle, &req, &stream);
+                encode_response(&resp)
+            }
+            Op::Batch(reqs) => {
+                // Batched submission shares the catalog snapshot and plan
+                // warmup inside the service; disconnect-watching covers the
+                // whole batch via one shared token.
+                let responses = handle.submit_batch(&reqs);
+                Value::Obj(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    (
+                        "batch".into(),
+                        Value::Arr(responses.iter().map(encode_response).collect()),
+                    ),
+                ])
+            }
+        };
+        if write_frame(&mut stream, reply.render().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Run one query, cancelling it if the client hangs up mid-flight.
+fn run_watching_disconnect(
+    handle: &ServeHandle,
+    req: &crate::service::Request,
+    stream: &TcpStream,
+) -> Response {
+    let cancel = CancelToken::new();
+    let mut pending = match handle.submit_cancellable(req, cancel.clone()) {
+        Ok(p) => p,
+        Err(immediate) => return immediate,
+    };
+    loop {
+        match pending.wait_timeout(POLL_INTERVAL) {
+            Ok(resp) => return resp,
+            Err(still_pending) => pending = still_pending,
+        }
+        if client_gone(stream) {
+            // Trip the token; keep waiting for the worker's trip report —
+            // the write below will likely fail, but the slot must be
+            // released through the normal path either way.
+            cancel.cancel();
+        }
+    }
+}
+
+/// Peek the socket without blocking: `Ok(0)` is EOF (client hung up).
+/// Pipelined request bytes also show up here, which is fine — peeking
+/// consumes nothing.
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = matches!(stream.peek(&mut probe), Ok(0));
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+fn respond_err(stream: &mut TcpStream, code: ErrorCode, message: &str) {
+    let frame = encode_response(&Response::err(code, message)).render();
+    let _ = write_frame(stream, frame.as_bytes());
+    let _ = stream.flush();
+}
+
+/// A minimal blocking client for tests, the CLI and the load driver.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Send one JSON request and read one JSON response.
+    pub fn roundtrip(&mut self, request: &Value) -> std::io::Result<Value> {
+        write_frame(&mut self.stream, request.render().as_bytes())?;
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed")
+        })?;
+        let text = String::from_utf8(frame)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Value::parse(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// The raw stream (for tests that need to misbehave on purpose).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,275 @@
+//! Per-tenant budget envelopes and admission control.
+//!
+//! A tenant's [`Envelope`] bounds what its *concurrent* traffic may hold at
+//! once: an in-flight slot count and a pooled match-unit reservation that
+//! every admitted query draws its per-query match cap from. Admission is a
+//! single atomic claim — either both the slot and the pool reservation are
+//! granted (returning an RAII [`Permit`] that releases them on drop, even
+//! if the query panics) or the request is rejected `overloaded` without
+//! queueing. Rejection is deliberately cheap and unqueued: a storm from one
+//! tenant burns only that tenant's envelope, never another tenant's slots —
+//! the starvation property test pins this.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gql_guard::Budget;
+
+/// What one tenant may hold in flight at once.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Maximum concurrently admitted queries.
+    pub max_in_flight: u64,
+    /// Budget each admitted query runs under (`Guard::with_cancel` per
+    /// request). Its `max_matches` is the pool draw, when a pool is set.
+    pub per_query: Budget,
+    /// Total match units the tenant's concurrent queries may reserve; each
+    /// admission draws `per_query.max_matches` (admission fails if the
+    /// per-query budget is match-unlimited while a pool is set — an
+    /// unlimited draw would defeat the pool).
+    pub pool_matches: Option<u64>,
+}
+
+impl Envelope {
+    /// A permissive envelope: `n` slots, unlimited per-query budget, no
+    /// match pool.
+    pub fn slots(n: u64) -> Envelope {
+        Envelope {
+            max_in_flight: n,
+            per_query: Budget::unlimited(),
+            pool_matches: None,
+        }
+    }
+
+    pub fn with_per_query(mut self, b: Budget) -> Envelope {
+        self.per_query = b;
+        self
+    }
+
+    pub fn with_pool_matches(mut self, units: u64) -> Envelope {
+        self.pool_matches = Some(units);
+        self
+    }
+}
+
+/// Cumulative per-tenant counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantMetrics {
+    pub admitted: u64,
+    pub rejected: u64,
+    /// High-water mark of concurrently admitted queries.
+    pub peak_in_flight: u64,
+    /// High-water mark of reserved pool match units.
+    pub peak_pool_draw: u64,
+}
+
+/// A registered tenant: envelope plus live admission state.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    envelope: Envelope,
+    in_flight: AtomicU64,
+    pool_drawn: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    peak_in_flight: AtomicU64,
+    peak_pool_draw: AtomicU64,
+}
+
+impl Tenant {
+    fn new(name: &str, envelope: Envelope) -> Tenant {
+        Tenant {
+            name: name.to_string(),
+            envelope,
+            in_flight: AtomicU64::new(0),
+            pool_drawn: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+            peak_pool_draw: AtomicU64::new(0),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn envelope(&self) -> &Envelope {
+        &self.envelope
+    }
+
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    pub fn metrics(&self) -> TenantMetrics {
+        TenantMetrics {
+            admitted: self.admitted.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            peak_in_flight: self.peak_in_flight.load(Ordering::SeqCst),
+            peak_pool_draw: self.peak_pool_draw.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The pool draw one admission claims: the per-query match cap, or the
+    /// whole pool when the per-query budget is match-unlimited (so an
+    /// uncapped query can never share the pool with anything else).
+    fn pool_draw(&self) -> u64 {
+        match self.envelope.pool_matches {
+            None => 0,
+            Some(pool) => self.envelope.per_query.max_matches.unwrap_or(pool.max(1)),
+        }
+    }
+
+    /// Claim a `counter` increment of `amount` bounded by `cap`, updating
+    /// `peak`; backs out nothing (caller releases on failure of a later
+    /// claim). Returns false if the claim would exceed the cap.
+    fn claim(counter: &AtomicU64, cap: u64, amount: u64, peak: &AtomicU64) -> bool {
+        let mut cur = counter.load(Ordering::SeqCst);
+        loop {
+            let next = match cur.checked_add(amount) {
+                Some(n) if n <= cap => n,
+                _ => return false,
+            };
+            match counter.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => {
+                    peak.fetch_max(next, Ordering::SeqCst);
+                    return true;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Try to admit one query: claim an in-flight slot, then the pool
+    /// draw. Returns the RAII permit, or `None` (counted as a rejection).
+    pub fn try_admit(self: &Arc<Tenant>) -> Option<Permit> {
+        if !Self::claim(
+            &self.in_flight,
+            self.envelope.max_in_flight,
+            1,
+            &self.peak_in_flight,
+        ) {
+            self.rejected.fetch_add(1, Ordering::SeqCst);
+            return None;
+        }
+        let draw = self.pool_draw();
+        if let Some(pool) = self.envelope.pool_matches {
+            if !Self::claim(&self.pool_drawn, pool, draw, &self.peak_pool_draw) {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                self.rejected.fetch_add(1, Ordering::SeqCst);
+                return None;
+            }
+        }
+        self.admitted.fetch_add(1, Ordering::SeqCst);
+        Some(Permit {
+            tenant: Arc::clone(self),
+            draw,
+        })
+    }
+}
+
+/// RAII admission permit: releases the slot and pool reservation on drop.
+#[derive(Debug)]
+pub struct Permit {
+    tenant: Arc<Tenant>,
+    draw: u64,
+}
+
+impl Permit {
+    pub fn tenant(&self) -> &Arc<Tenant> {
+        &self.tenant
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.tenant.in_flight.fetch_sub(1, Ordering::SeqCst);
+        if self.tenant.envelope.pool_matches.is_some() {
+            self.tenant
+                .pool_drawn
+                .fetch_sub(self.draw, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Immutable-after-build registry of tenants, shared via `Arc`.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    tenants: Vec<Arc<Tenant>>,
+}
+
+impl TenantRegistry {
+    pub fn new() -> TenantRegistry {
+        TenantRegistry::default()
+    }
+
+    /// Register a tenant; re-registering a name replaces the entry (state
+    /// resets — registries are built before the service starts).
+    pub fn register(&mut self, name: &str, envelope: Envelope) -> Arc<Tenant> {
+        let t = Arc::new(Tenant::new(name, envelope));
+        self.tenants.retain(|x| x.name() != name);
+        self.tenants.push(Arc::clone(&t));
+        t
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Arc<Tenant>> {
+        self.tenants.iter().find(|t| t.name() == name)
+    }
+
+    /// Tenants in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Tenant>> {
+        self.tenants.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_admit_up_to_capacity_and_release_on_drop() {
+        let mut reg = TenantRegistry::new();
+        let t = reg.register("a", Envelope::slots(2));
+        let p1 = t.try_admit().expect("slot 1");
+        let p2 = t.try_admit().expect("slot 2");
+        assert!(t.try_admit().is_none(), "third must be rejected");
+        assert_eq!(t.in_flight(), 2);
+        drop(p1);
+        let p3 = t.try_admit().expect("freed slot readmits");
+        drop((p2, p3));
+        let m = t.metrics();
+        assert_eq!((m.admitted, m.rejected, m.peak_in_flight), (3, 1, 2));
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn pool_bounds_concurrent_match_draw() {
+        let mut reg = TenantRegistry::new();
+        // 3 slots but only 2 queries' worth of match units.
+        let t = reg.register(
+            "a",
+            Envelope::slots(3)
+                .with_per_query(Budget::unlimited().with_max_matches(100))
+                .with_pool_matches(200),
+        );
+        let p1 = t.try_admit().expect("draw 100");
+        let _p2 = t.try_admit().expect("draw 200");
+        assert!(t.try_admit().is_none(), "pool exhausted before slots");
+        assert_eq!(t.in_flight(), 2, "failed pool claim must release its slot");
+        drop(p1);
+        assert!(t.try_admit().is_some(), "returned units readmit");
+        assert_eq!(t.metrics().peak_pool_draw, 200);
+    }
+
+    #[test]
+    fn match_unlimited_query_claims_the_whole_pool() {
+        let mut reg = TenantRegistry::new();
+        let t = reg.register("a", Envelope::slots(4).with_pool_matches(1_000));
+        let _p = t.try_admit().expect("first");
+        assert!(
+            t.try_admit().is_none(),
+            "an uncapped query must monopolize the pool"
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Admission-control property tests: thread-storms of M tenants × K
+//! queries against one service, asserting the envelope invariants that
+//! make multi-tenancy safe:
+//!
+//! * conservation — every submission is admitted, rejected or refused,
+//!   exactly once (`admitted + rejected + refused == submitted`, per
+//!   tenant and service-wide);
+//! * no over-draw — concurrent in-flight work never exceeds a tenant's
+//!   slot count, and pooled match-unit reservations never exceed the
+//!   pool (checked via the peak high-water marks);
+//! * isolation — a tenant storming its exhausted envelope never starves
+//!   another tenant's sequential traffic.
+//!
+//! These extend the `race_smoke` battery in gql-core to the service
+//! layer; CI additionally runs this crate's suite under miri.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use gql_guard::Budget;
+use gql_serve::{Catalog, Envelope, ErrorCode, Request, Service, TenantRegistry};
+
+/// Miri interprets ~1000× slower; scale the storms down there without
+/// changing their shape.
+const SCALE: u64 = if cfg!(miri) { 2 } else { 24 };
+
+fn storm_service(tenants: TenantRegistry, workers: usize) -> Service {
+    let mut catalog = Catalog::new();
+    catalog
+        .register_xml("d", "<r><a/><a/><b><a/></b></r>")
+        .expect("dataset parses");
+    Service::builder()
+        .workers(workers)
+        .catalog(catalog)
+        .tenants(tenants)
+        .build()
+}
+
+#[test]
+fn storm_conserves_submissions_and_never_overdraws() {
+    const TENANT_COUNT: usize = 3;
+    let per_thread = SCALE;
+    let mut tenants = TenantRegistry::new();
+    let mut registered = Vec::new();
+    for i in 0..TENANT_COUNT {
+        registered.push(
+            tenants.register(
+                &format!("t{i}"),
+                // Tight envelopes with a match pool, so both the slot and the
+                // pool claim paths race under the storm.
+                Envelope::slots(2)
+                    .with_per_query(Budget::unlimited().with_max_matches(1_000))
+                    .with_pool_matches(2_000),
+            ),
+        );
+    }
+    let service = storm_service(tenants, 4);
+    let handle = service.handle();
+    let ok = AtomicU64::new(0);
+    let overloaded = AtomicU64::new(0);
+    let other = AtomicU64::new(0);
+    thread::scope(|s| {
+        for t in 0..TENANT_COUNT {
+            for _ in 0..3 {
+                let handle = handle.clone();
+                let (ok, overloaded, other) = (&ok, &overloaded, &other);
+                s.spawn(move || {
+                    let req = Request::new(&format!("t{t}"), "d", "xpath", "//a");
+                    for _ in 0..per_thread {
+                        match handle.submit(&req).error_code() {
+                            None => ok.fetch_add(1, Ordering::SeqCst),
+                            Some(ErrorCode::Overloaded) => {
+                                overloaded.fetch_add(1, Ordering::SeqCst)
+                            }
+                            Some(_) => other.fetch_add(1, Ordering::SeqCst),
+                        };
+                    }
+                });
+            }
+        }
+    });
+    let submitted = TENANT_COUNT as u64 * 3 * per_thread;
+    assert_eq!(
+        other.load(Ordering::SeqCst),
+        0,
+        "only ok/overloaded allowed"
+    );
+    assert_eq!(
+        ok.load(Ordering::SeqCst) + overloaded.load(Ordering::SeqCst),
+        submitted,
+        "every submission resolves exactly once"
+    );
+    let m = handle.metrics();
+    assert_eq!(m.submitted, submitted);
+    assert_eq!(m.refused, 0, "well-formed requests are never refused");
+    assert_eq!(
+        m.admitted + m.rejected + m.refused,
+        m.submitted,
+        "service-wide conservation"
+    );
+    assert_eq!(m.admitted, m.completed, "all admitted work finished");
+    for t in &registered {
+        let tm = t.metrics();
+        assert_eq!(
+            tm.admitted + tm.rejected,
+            3 * per_thread,
+            "per-tenant conservation"
+        );
+        assert!(
+            tm.peak_in_flight <= t.envelope().max_in_flight,
+            "tenant {} exceeded its slots: peak {} > {}",
+            t.name(),
+            tm.peak_in_flight,
+            t.envelope().max_in_flight
+        );
+        assert!(
+            tm.peak_pool_draw <= t.envelope().pool_matches.unwrap(),
+            "tenant {} overdrew its match pool: peak {} > {}",
+            t.name(),
+            tm.peak_pool_draw,
+            t.envelope().pool_matches.unwrap()
+        );
+        assert_eq!(t.in_flight(), 0, "all permits returned");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn an_exhausted_tenant_never_starves_another() {
+    let mut tenants = TenantRegistry::new();
+    tenants.register("hog", Envelope::slots(1));
+    tenants.register("modest", Envelope::slots(1));
+    let service = storm_service(tenants, 3);
+    let handle = service.handle();
+    let stop = AtomicU64::new(0);
+    thread::scope(|s| {
+        // The hog storms its single-slot envelope from 4 threads,
+        // guaranteeing a continuous stream of admissions *and* rejections.
+        for _ in 0..4 {
+            let handle = handle.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let req = Request::new("hog", "d", "xpath", "//a");
+                while stop.load(Ordering::SeqCst) == 0 {
+                    let _ = handle.submit(&req);
+                }
+            });
+        }
+        // Meanwhile the modest tenant submits strictly sequential queries:
+        // with its own envelope untouched by the hog, every single one
+        // must be admitted.
+        let req = Request::new("modest", "d", "xpath", "//a");
+        for i in 0..SCALE {
+            let resp = handle.submit(&req);
+            assert!(
+                resp.is_ok(),
+                "modest tenant starved on query {i}: {:?}",
+                resp.error_code()
+            );
+        }
+        stop.store(1, Ordering::SeqCst);
+    });
+    let m = handle.metrics();
+    let modest = m
+        .tenants
+        .iter()
+        .find(|(n, _)| n == "modest")
+        .map(|(_, tm)| *tm)
+        .expect("modest tenant registered");
+    assert_eq!(modest.rejected, 0, "sequential traffic is never rejected");
+    assert_eq!(modest.admitted, SCALE);
+    service.shutdown();
+}
+
+#[test]
+fn permits_release_on_panic_free_error_paths() {
+    let mut tenants = TenantRegistry::new();
+    let t = tenants.register("t", Envelope::slots(1));
+    let service = storm_service(tenants, 1);
+    let handle = service.handle();
+    // Engine errors, rejected programs and bad requests must all return
+    // the slot; a leak would wedge the tenant after max_in_flight errors.
+    let bad_queries = [
+        ("xpath", "//["),    // engine parse error
+        ("sql", "select 1"), // bad request (never admitted)
+        ("xpath", "//a"),    // success
+    ];
+    for round in 0..3 {
+        for (kind, q) in bad_queries {
+            let _ = handle.submit(&Request::new("t", "d", kind, q));
+            assert_eq!(
+                t.in_flight(),
+                0,
+                "slot leaked after ({kind}, {q}) in round {round}"
+            );
+        }
+    }
+    service.shutdown();
+}

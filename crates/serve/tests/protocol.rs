@@ -1,0 +1,284 @@
+//! Protocol error-path battery over a real TCP server.
+//!
+//! Every way a client can misbehave must land as a structured error (or a
+//! clean close), never a panic or a hang:
+//!
+//! * malformed frames and bad requests — pinned as corpus-style `.case`
+//!   files under `tests/proto_cases/`, replayed one per fresh connection,
+//!   each followed by a ping proving the connection survived;
+//! * oversized length prefixes — refused before the body is read, with a
+//!   final `bad-request` frame, then the connection closes;
+//! * mid-frame disconnects — a client dying mid-send closes its own
+//!   connection without wedging the server;
+//! * interleaved garbage — the server keeps serving fresh connections
+//!   after all of the above.
+
+// Miri has no socket support; the admission suite and the crate unit tests
+// carry the gql-serve miri coverage.
+#![cfg(not(miri))]
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+use gql_serve::json::Value;
+use gql_serve::proto::{read_frame, write_frame, MAX_FRAME};
+use gql_serve::{Catalog, Client, Envelope, ErrorCode, Request, Server, Service, TenantRegistry};
+
+fn test_server() -> (Service, Server) {
+    let mut catalog = Catalog::new();
+    catalog
+        .register_xml("d", "<r><a/><a/><b><a/></b></r>")
+        .expect("dataset parses");
+    let mut tenants = TenantRegistry::new();
+    tenants.register("t", Envelope::slots(8));
+    let service = Service::builder()
+        .workers(2)
+        .catalog(catalog)
+        .tenants(tenants)
+        .build();
+    let server = Server::bind("127.0.0.1:0", service.handle()).expect("bind");
+    (service, server)
+}
+
+fn ping_works(server: &Server) {
+    let mut client = Client::connect(server.addr()).expect("fresh connection");
+    let pong = client
+        .roundtrip(&Value::parse(r#"{"op":"ping"}"#).unwrap())
+        .expect("ping roundtrip");
+    assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+}
+
+/// One pinned case: the raw frame payload and the expected outcome.
+struct ProtoCase {
+    name: String,
+    payload: Vec<u8>,
+    /// `None` expects a successful (`ok`-ish) response; `Some(code)` expects
+    /// a structured error with that code.
+    expect: Option<ErrorCode>,
+}
+
+fn load_proto_cases() -> Vec<ProtoCase> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/proto_cases");
+    let mut cases = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("proto_cases dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable case");
+        let mut payload = None;
+        let mut expect = None;
+        let mut saw_expect = false;
+        for line in text.lines() {
+            if let Some(p) = line.strip_prefix("payload: ") {
+                payload = Some(p.as_bytes().to_vec());
+            } else if let Some(code) = line.strip_prefix("expect-code: ") {
+                expect = Some(
+                    ErrorCode::from_name(code.trim())
+                        .unwrap_or_else(|| panic!("{path:?}: unknown code {code}")),
+                );
+                saw_expect = true;
+            } else if line.strip_prefix("expect: ").map(str::trim) == Some("ok") {
+                saw_expect = true;
+            }
+        }
+        assert!(saw_expect, "{path:?}: no expectation line");
+        cases.push(ProtoCase {
+            name: path.file_stem().unwrap().to_string_lossy().into_owned(),
+            payload: payload.unwrap_or_else(|| panic!("{path:?}: no payload line")),
+            expect,
+        });
+    }
+    assert!(cases.len() >= 10, "pinned protocol corpus went missing");
+    cases
+}
+
+#[test]
+fn pinned_cases_get_structured_responses_and_leave_the_connection_alive() {
+    let (service, server) = test_server();
+    for case in load_proto_cases() {
+        let mut client = Client::connect(server.addr()).expect("connect");
+        write_frame(client.stream(), &case.payload).expect("send");
+        let frame = read_frame(client.stream())
+            .unwrap_or_else(|e| panic!("{}: read failed: {e}", case.name))
+            .unwrap_or_else(|| panic!("{}: server closed without replying", case.name));
+        let v = Value::parse(std::str::from_utf8(&frame).expect("utf8 reply"))
+            .unwrap_or_else(|e| panic!("{}: reply not JSON: {e}", case.name));
+        let got_code = v
+            .get("code")
+            .and_then(Value::as_str)
+            .and_then(ErrorCode::from_name);
+        match case.expect {
+            None => assert_eq!(
+                v.get("ok").and_then(Value::as_bool),
+                Some(true),
+                "{}: expected success, got {}",
+                case.name,
+                v.render()
+            ),
+            Some(code) => assert_eq!(
+                got_code,
+                Some(code),
+                "{}: expected {}, got {}",
+                case.name,
+                code.name(),
+                v.render()
+            ),
+        }
+        // Framing stayed intact, so the same connection must still serve.
+        let pong = client
+            .roundtrip(&Value::parse(r#"{"op":"ping"}"#).unwrap())
+            .unwrap_or_else(|e| panic!("{}: connection died after response: {e}", case.name));
+        assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+    }
+    ping_works(&server);
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_is_refused_before_allocation() {
+    let (service, server) = test_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // Promise a body 16 GiB long; a correct server answers from the prefix
+    // alone and never tries to read (or allocate) the body.
+    let huge: u64 = 16 << 30;
+    stream
+        .write_all(&((huge.min(u32::MAX as u64)) as u32).to_be_bytes())
+        .expect("send prefix");
+    stream.flush().unwrap();
+    let frame = read_frame(&mut stream)
+        .expect("error frame readable")
+        .expect("server said why before closing");
+    let v = Value::parse(std::str::from_utf8(&frame).unwrap()).unwrap();
+    assert_eq!(
+        v.get("code").and_then(Value::as_str),
+        Some(ErrorCode::BadRequest.name()),
+        "got {}",
+        v.render()
+    );
+    // After an unframeable prefix the connection closes...
+    assert_eq!(read_frame(&mut stream).expect("clean close"), None);
+    // ...but the server keeps accepting.
+    ping_works(&server);
+    // Boundary: exactly MAX_FRAME must still be framed (the body here is
+    // garbage JSON, which is a *decoded* bad-request, not a framing error).
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let body = vec![b' '; MAX_FRAME];
+    write_frame(client.stream(), &body).expect("send max frame");
+    let reply = read_frame(client.stream()).expect("read").expect("reply");
+    let v = Value::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(
+        v.get("code").and_then(Value::as_str),
+        Some(ErrorCode::BadRequest.name())
+    );
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn mid_frame_disconnects_never_wedge_the_server() {
+    let (service, server) = test_server();
+    // Die at every interesting point of a frame: after a partial prefix,
+    // after the full prefix, and mid-body.
+    let full = br#"{"op":"query","tenant":"t","dataset":"d","kind":"xpath","query":"//a"}"#;
+    let prefix = (full.len() as u32).to_be_bytes();
+    let partial_sends: Vec<Vec<u8>> = vec![prefix[..2].to_vec(), prefix.to_vec(), {
+        let mut v = prefix.to_vec();
+        v.extend_from_slice(&full[..10]);
+        v
+    }];
+    for (i, bytes) in partial_sends.iter().enumerate() {
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.write_all(bytes).expect("partial send");
+        stream.flush().unwrap();
+        drop(stream); // hang up mid-frame
+                      // The server must shrug this off and serve the next client.
+        let start = std::time::Instant::now();
+        ping_works(&server);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "server wedged after partial send #{i}"
+        );
+    }
+    // A half-closed socket (shutdown write, keep reading) mid-frame is the
+    // classic "client died but TCP lingers" shape.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.write_all(&prefix).expect("prefix");
+    stream.write_all(&full[..5]).expect("partial body");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink); // whatever the server sends, then EOF
+    ping_works(&server);
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn pipelined_frames_on_one_connection_all_get_answers() {
+    let (service, server) = test_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // Write three frames back-to-back before reading anything: a good
+    // query, garbage, and a ping. Three responses must come back in order.
+    let mut burst = Vec::new();
+    write_frame(
+        &mut burst,
+        br#"{"op":"query","tenant":"t","dataset":"d","kind":"xpath","query":"//a"}"#,
+    )
+    .unwrap();
+    write_frame(&mut burst, b"garbage").unwrap();
+    write_frame(&mut burst, br#"{"op":"ping"}"#).unwrap();
+    stream.write_all(&burst).expect("burst");
+    stream.flush().unwrap();
+    let mut replies = Vec::new();
+    for _ in 0..3 {
+        let frame = read_frame(&mut stream).expect("read").expect("reply");
+        replies.push(Value::parse(std::str::from_utf8(&frame).unwrap()).unwrap());
+    }
+    assert_eq!(replies[0].get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        replies[1].get("code").and_then(Value::as_str),
+        Some(ErrorCode::BadRequest.name())
+    );
+    assert_eq!(replies[2].get("pong").and_then(Value::as_bool), Some(true));
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn batch_over_the_wire_reports_per_item_outcomes() {
+    let (service, server) = test_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let req = Value::parse(
+        r#"{"op":"batch","tenant":"t","items":[
+            {"dataset":"d","kind":"xpath","query":"//a"},
+            {"dataset":"ghost","kind":"xpath","query":"//a"},
+            {"dataset":"d","kind":"xpath","query":"//a"}
+        ]}"#,
+    )
+    .unwrap();
+    let v = client.roundtrip(&req).expect("batch roundtrip");
+    let items = v.get("batch").and_then(Value::as_arr).expect("batch array");
+    assert_eq!(items.len(), 3);
+    assert_eq!(items[0].get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        items[1].get("code").and_then(Value::as_str),
+        Some(ErrorCode::UnknownDataset.name()),
+        "one bad item must not poison its siblings"
+    );
+    assert_eq!(items[2].get("ok").and_then(Value::as_bool), Some(true));
+    // In-process view agrees with the wire view.
+    let direct = service
+        .handle()
+        .submit(&Request::new("t", "d", "xpath", "//a"));
+    assert!(direct.is_ok());
+    server.shutdown();
+    service.shutdown();
+}

@@ -165,29 +165,36 @@ impl CorpusCase {
         check_case(generator, &self.doc, &self.query)
     }
 
+    /// The case's query as an engine [`QueryKind`], if its source parses.
+    /// Uses the unchecked parsers — the engine's static-analysis gate is
+    /// part of what replays exercise. Intent descriptors lower to their
+    /// XPath rendering (the concurrency oracle and the load driver replay
+    /// them through the service the same way).
+    pub fn query_kind(&self) -> Result<QueryKind, String> {
+        match self.kind.as_str() {
+            "xmlgl" => gql_xmlgl::dsl::parse_unchecked(&self.query)
+                .map(QueryKind::XmlGl)
+                .map_err(|e| format!("XML-GL query does not parse: {e}")),
+            "wglog" => gql_wglog::dsl::parse_unchecked(&self.query)
+                .map(QueryKind::WgLog)
+                .map_err(|e| format!("WG-Log query does not parse: {e}")),
+            "xpath" => Ok(QueryKind::XPath(self.query.clone())),
+            "intent" => Intent::parse(&self.query)
+                .map(|i| QueryKind::XPath(i.xpath()))
+                .ok_or_else(|| "intent descriptor does not parse".to_string()),
+            other => Err(format!("unknown corpus kind: {other}")),
+        }
+    }
+
     /// Bounded replay of a pathological case: the budget must trip with a
     /// clean, non-degenerate report. Completing under the budget fails too
     /// — the case would no longer pin the behaviour it was added for.
     fn replay_bounded(&self, budget: &Budget) -> Result<(), String> {
         let doc =
             oracle::normalize(&self.doc).ok_or("budgeted case: stored document does not parse")?;
-        let kind = match self.kind.as_str() {
-            "xmlgl" => QueryKind::XmlGl(
-                gql_xmlgl::dsl::parse_unchecked(&self.query)
-                    .map_err(|e| format!("budgeted case: XML-GL query does not parse: {e}"))?,
-            ),
-            "wglog" => QueryKind::WgLog(
-                gql_wglog::dsl::parse_unchecked(&self.query)
-                    .map_err(|e| format!("budgeted case: WG-Log query does not parse: {e}"))?,
-            ),
-            "xpath" => QueryKind::XPath(self.query.clone()),
-            "intent" => QueryKind::XPath(
-                Intent::parse(&self.query)
-                    .ok_or("budgeted case: intent descriptor does not parse")?
-                    .xpath(),
-            ),
-            other => return Err(format!("unknown corpus kind: {other}")),
-        };
+        let kind = self
+            .query_kind()
+            .map_err(|e| format!("budgeted case: {e}"))?;
         match Engine::new().run_bounded(&kind, &doc, budget) {
             Err(CoreError::Budget(g)) if !g.report.phase.is_empty() => Ok(()),
             Err(CoreError::Budget(g)) => Err(format!(

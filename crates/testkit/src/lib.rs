@@ -28,6 +28,11 @@
 //! * [`corpus`] — the replayable regression-corpus file format; every bug
 //!   the fuzzer ever finds becomes a permanent regression test under
 //!   `tests/corpus/`.
+//! * [`serve_oracle`] — the concurrency differential oracle: the whole
+//!   corpus replayed through the `gql-serve` service at concurrency N
+//!   with mixed tenants, held byte-identical to a fresh single-threaded
+//!   engine, plus trace-shape determinism and cancellation-hygiene
+//!   checks.
 //!
 //! [`Intent`]: generators::Intent
 
@@ -37,6 +42,7 @@ pub mod fuzz;
 pub mod generators;
 pub mod harness;
 pub mod oracle;
+pub mod serve_oracle;
 pub mod shrink;
 pub mod vocab;
 

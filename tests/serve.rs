@@ -1,0 +1,28 @@
+//! Tier-1 acceptance for the query service: the regression corpus
+//! replayed through `gql-serve` at concurrency 8 (shared catalog, mixed
+//! tenants) must be **byte-identical** to a fresh single-threaded
+//! `Engine::run` on every case, with deterministic warm trace shapes and
+//! cancellation that never poisons the shared caches. See
+//! `gql_testkit::serve_oracle` for the oracle itself.
+
+use std::path::Path;
+
+use gql_testkit::serve_oracle::check_corpus_dir;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_through_service_at_concurrency_8_is_byte_identical() {
+    let report = check_corpus_dir(&corpus_dir(), 8)
+        .unwrap_or_else(|msg| panic!("serve oracle failed:\n{msg}"));
+    // The corpus holds more than its two pathological (budget-bearing)
+    // cases; if this count collapses the oracle went vacuous.
+    assert!(
+        report.cases >= 10,
+        "only {} cases replayed through the service",
+        report.cases
+    );
+    assert!(report.requests > report.cases * 4);
+}

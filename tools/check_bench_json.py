@@ -23,6 +23,9 @@ Usage:
                          (repeatable)
     --max-rate PREFIX V  assert every row matching PREFIX has rate <= V
     --min-rate PREFIX V  assert every row matching PREFIX has rate >= V
+    --percentiles PREFIX assert rows PREFIX/p50, PREFIX/p95, PREFIX/p99
+                         exist, carry rates, and are ordered
+                         p50 <= p95 <= p99 (repeatable)
 
 A `--max-rate`/`--min-rate` flag also implies `--require PREFIX`: a
 threshold over zero matching rows would pass vacuously and hide a renamed
@@ -73,10 +76,13 @@ def main(argv):
     source = args.pop(0)
     required = []
     bounds = []  # (prefix, op, value)
+    percentiles = []
     while args:
         flag = args.pop(0)
         if flag == "--require" and args:
             required.append(args.pop(0))
+        elif flag == "--percentiles" and args:
+            percentiles.append(args.pop(0))
         elif flag in ("--max-rate", "--min-rate") and len(args) >= 2:
             prefix = args.pop(0)
             try:
@@ -118,6 +124,22 @@ def main(argv):
             if flag == "--min-rate" and rate < value:
                 fail(f"{row['name']}: rate {rate:g} below minimum {value:g}")
             checked += 1
+    by_name = {row["name"]: row for row in rows}
+    for prefix in percentiles:
+        values = []
+        for p in ("p50", "p95", "p99"):
+            row = by_name.get(f"{prefix}/{p}")
+            if row is None:
+                fail(f"missing percentile row {prefix}/{p}")
+            if "rate" not in row:
+                fail(f"{prefix}/{p}: percentile rows must carry a rate value")
+            values.append(row["rate"])
+        if not values[0] <= values[1] <= values[2]:
+            fail(
+                f"{prefix}: percentiles out of order "
+                f"(p50={values[0]:g}, p95={values[1]:g}, p99={values[2]:g})"
+            )
+        checked += 3
 
     print(f"ok: {len(rows)} rows, {checked} threshold check(s)")
     return 0

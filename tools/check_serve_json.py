@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate the JSON lines printed by `gql-serve smoke`.
+
+The smoke run drives a real server over a real socket — ping, a 3-query
+batch across two datasets and all three languages, a deliberately-unknown
+dataset, and a metrics request — and prints each response as one JSON
+line. CI pipes that output through this script so a protocol schema drift
+(a renamed field, a dropped error code, a metrics regression) breaks the
+build rather than downstream clients.
+
+Expected stream (order-independent except ping-first):
+
+    {"ok":true,"pong":true}
+    {"ok":true,"batch":[RESPONSE, RESPONSE, RESPONSE]}
+    {"ok":false,"code":"unknown-dataset","message":...}
+    {"ok":true,"metrics":{...}}
+
+    RESPONSE(ok)  = {"ok":true,"xml":str,"result_count":int,"eval_us":int,
+                     "plan":str,"plan_cache":str,"index_cache":str,...}
+    RESPONSE(err) = {"ok":false,"code":str,"message":str[,"report":str]}
+
+Usage:
+    check_serve_json.py FILE [--batch-ok N]
+
+    FILE            smoke output ("-" reads stdin)
+    --batch-ok N    assert the batch holds exactly N responses, all ok
+                    with non-empty results (default 3)
+
+Exit status: 0 on success, 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+OK_KEYS = {"ok", "xml", "result_count", "eval_us", "plan", "plan_cache", "index_cache"}
+OK_OPTIONAL = {"profile", "shape"}
+ERR_KEYS = {"ok", "code", "message"}
+ERR_OPTIONAL = {"report"}
+CACHE_STATES = {"hit", "miss", "replan", "cold", "bypass", ""}
+
+
+def fail(msg):
+    print(f"check_serve_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_query_response(resp, path):
+    if not isinstance(resp, dict) or not isinstance(resp.get("ok"), bool):
+        fail(f"{path}: not a response object with boolean `ok`")
+    if resp["ok"]:
+        missing = OK_KEYS - set(resp)
+        extra = set(resp) - OK_KEYS - OK_OPTIONAL
+        if missing or extra:
+            fail(f"{path}: bad ok-response keys (missing {sorted(missing)}, extra {sorted(extra)})")
+        if not isinstance(resp["result_count"], int) or resp["result_count"] < 0:
+            fail(f"{path}: result_count must be a non-negative integer")
+        for cache in ("plan_cache", "index_cache"):
+            if resp[cache] not in CACHE_STATES:
+                fail(f"{path}: unknown {cache} state {resp[cache]!r}")
+    else:
+        missing = ERR_KEYS - set(resp)
+        extra = set(resp) - ERR_KEYS - ERR_OPTIONAL
+        if missing or extra:
+            fail(f"{path}: bad error keys (missing {sorted(missing)}, extra {sorted(extra)})")
+        if not isinstance(resp["code"], str) or not resp["code"]:
+            fail(f"{path}: error code must be a non-empty string")
+
+
+def main(argv):
+    args = argv[1:]
+    if not args:
+        fail("usage: check_serve_json.py FILE [--batch-ok N]")
+    source = args.pop(0)
+    batch_ok = 3
+    while args:
+        flag = args.pop(0)
+        if flag == "--batch-ok" and args:
+            try:
+                batch_ok = int(args.pop(0))
+            except ValueError:
+                fail("--batch-ok needs an integer")
+        else:
+            fail(f"unknown or incomplete argument {flag!r}")
+
+    text = sys.stdin.read() if source == "-" else open(source, encoding="utf-8").read()
+    lines = [l for l in text.splitlines() if l.strip()]
+    if len(lines) < 4:
+        fail(f"expected at least 4 response lines, got {len(lines)}")
+    responses = []
+    for i, line in enumerate(lines):
+        try:
+            responses.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"line {i + 1} is not valid JSON: {e}")
+
+    if responses[0].get("pong") is not True:
+        fail("first response must be the ping ({'ok':true,'pong':true})")
+
+    batches = [r for r in responses if "batch" in r]
+    if len(batches) != 1:
+        fail(f"expected exactly one batch response, got {len(batches)}")
+    items = batches[0]["batch"]
+    if not isinstance(items, list) or len(items) != batch_ok:
+        fail(f"batch must hold exactly {batch_ok} responses")
+    for i, item in enumerate(items):
+        check_query_response(item, f"batch[{i}]")
+        if not item.get("ok"):
+            fail(f"batch[{i}] failed: {json.dumps(item)}")
+        if item["result_count"] < 1:
+            fail(f"batch[{i}] returned no results: {json.dumps(item)}")
+
+    errors = [r for r in responses if r.get("ok") is False]
+    if not any(r.get("code") == "unknown-dataset" for r in errors):
+        fail("no structured unknown-dataset error in the stream")
+    for i, r in enumerate(errors):
+        check_query_response(r, f"error[{i}]")
+
+    metrics = [r for r in responses if "metrics" in r]
+    if len(metrics) != 1:
+        fail(f"expected exactly one metrics response, got {len(metrics)}")
+    m = metrics[0]["metrics"]
+    for key in ("submitted", "admitted", "rejected", "refused", "completed"):
+        if not isinstance(m.get(key), int) or m[key] < 0:
+            fail(f"metrics.{key} must be a non-negative integer")
+    if m["admitted"] + m["rejected"] + m["refused"] != m["submitted"]:
+        fail(
+            "metrics conservation violated: "
+            f"admitted {m['admitted']} + rejected {m['rejected']} + refused {m['refused']}"
+            f" != submitted {m['submitted']}"
+        )
+    if m["completed"] < batch_ok:
+        fail(f"metrics.completed {m['completed']} below the {batch_ok} batch queries")
+
+    print(f"ok: {len(responses)} responses, batch of {batch_ok} served")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
