@@ -1,0 +1,103 @@
+//! Telemetry-plane overhead on the serve hot path.
+//!
+//! The telemetry plane makes the same promise the trace and guard layers
+//! do — free when disabled: every hook on a disabled [`Telemetry`] is one
+//! `enabled` branch and an immediate return. This bench holds that
+//! promise to a number on the corpus-replay load the `serve_load` bench
+//! measures:
+//!
+//! * the full workload with the plane **disabled** (per-request wall
+//!   time — the baseline),
+//! * the same workload with the plane **enabled** (recorded as a ratio,
+//!   not asserted — two full service runs differ by scheduling noise
+//!   larger than the margin under test), and
+//! * the **derived bound**: the number of telemetry probes one request
+//!   fires on average (read exactly from the enabled plane's probe
+//!   counter) times the measured cost of a disabled probe must stay
+//!   under 2% of the disabled per-request time. That figure is immune to
+//!   run-to-run noise and regresses exactly when a hook starts doing
+//!   real work while disabled.
+//!
+//! `GQL_BENCH_SAMPLES` scales effort as usual.
+
+use gql_bench::microbench::Criterion;
+use gql_bench::serve_load::{build_workload, default_corpus_dir, run_load_with};
+use gql_bench::{criterion_group, criterion_main};
+use gql_serve::{Telemetry, TelemetryConfig};
+
+fn requests_per_run() -> u64 {
+    let samples: u64 = std::env::var("GQL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    (samples.clamp(1, 10) * 160).max(64 * 20)
+}
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(20);
+    let requests = requests_per_run();
+    let workers = 8;
+
+    let (catalog, items) = build_workload(&default_corpus_dir()).expect("workload builds");
+    let disabled = run_load_with(
+        catalog,
+        &items,
+        workers,
+        requests,
+        TelemetryConfig::disabled(),
+    );
+    assert_eq!(disabled.telemetry_probes, 0, "disabled plane fired probes");
+    let (catalog, items) = build_workload(&default_corpus_dir()).expect("workload builds");
+    let enabled = run_load_with(
+        catalog,
+        &items,
+        workers,
+        requests,
+        TelemetryConfig::default(),
+    );
+    assert!(enabled.telemetry_probes > 0, "enabled plane fired nothing");
+
+    let disabled_per_req = disabled.wall.as_secs_f64() / requests as f64;
+    let enabled_per_req = enabled.wall.as_secs_f64() / requests as f64;
+    let probes_per_req = enabled.telemetry_probes as f64 / requests as f64;
+    group.record_metric("throughput_disabled", disabled.throughput_rps, "req/s");
+    group.record_metric("throughput_enabled", enabled.throughput_rps, "req/s");
+    group.record_metric(
+        "enabled_ratio",
+        enabled_per_req / disabled_per_req.max(f64::MIN_POSITIVE),
+        "x",
+    );
+    group.record_metric("probes_per_request", probes_per_req, "probes");
+
+    // Measure the disabled-probe cost through the same hook the service's
+    // submit path calls. Batch 1024 probes per timed iteration so the
+    // figure stays meaningful even under `GQL_BENCH_SAMPLES=1` (a single
+    // branch is below timer resolution).
+    const PROBE_BATCH: u32 = 1024;
+    let plane = Telemetry::build(&TelemetryConfig::disabled(), &[]);
+    let probe = group.bench_function("disabled_probe_x1024", |b| {
+        b.iter(|| {
+            for _ in 0..PROBE_BATCH {
+                plane.on_submitted(None);
+            }
+            plane.probes()
+        })
+    }) / PROBE_BATCH;
+    let derived = probe.as_secs_f64() * probes_per_req;
+    let derived_pct = 100.0 * derived / disabled_per_req.max(f64::MIN_POSITIVE);
+    group.record_metric("derived_overhead_pct", derived_pct, "%");
+    group.finish();
+
+    // The acceptance bar: disabled-telemetry overhead bounded under 2% of
+    // a request's service time.
+    assert!(
+        derived_pct < 2.0,
+        "disabled-telemetry overhead bound is {derived_pct:.3}% of a request \
+         ({probes_per_req:.1} probes/request × {probe:?}/probe vs {:.1}us/request)",
+        disabled_per_req * 1e6
+    );
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

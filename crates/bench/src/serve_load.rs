@@ -6,19 +6,22 @@
 //! paper datasets and seeded cross-engine [`Intent`]s over generated
 //! documents — replayed through an in-process [`ServeHandle`] at a
 //! configurable worker count. The driver records every request's wall
-//! latency and reduces them to throughput plus p50/p95/p99, and reads the
-//! service's trace-derived warm/cold counters back as plan/index cache hit
-//! rates. In-process on purpose: the socket adds nondeterministic batching
-//! the latency distribution shouldn't inherit (the TCP path has its own
-//! smoke coverage in CI).
+//! latency into a shared lock-free [`Histo`] (the same log-linear
+//! histogram the service's telemetry plane uses, so the reported
+//! percentiles carry the same ≤[`Histo::MAX_RELATIVE_ERROR`] bound) and
+//! reads the service's trace-derived warm/cold counters back as
+//! plan/index cache hit rates. In-process on purpose: the socket adds
+//! nondeterministic batching the latency distribution shouldn't inherit
+//! (the TCP path has its own smoke coverage in CI).
 //!
 //! [`Intent`]: gql_testkit::generators::Intent
 
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use gql_serve::{Catalog, Envelope, Request, Service, TenantRegistry};
+use gql_metrics::Histo;
+use gql_serve::{Catalog, Envelope, Request, Service, TelemetryConfig, TenantRegistry};
 use gql_ssdm::generator;
 use gql_testkit::generators;
 use gql_testkit::harness::case_rng;
@@ -144,7 +147,9 @@ pub struct LoadReport {
     pub wall: Duration,
     /// Requests per second over the whole run.
     pub throughput_rps: f64,
-    /// Latency percentiles over every request, in nanoseconds.
+    /// Latency percentiles over every request, in nanoseconds —
+    /// nearest-rank reduced from the shared [`Histo`], so each is the
+    /// true order statistic within [`Histo::MAX_RELATIVE_ERROR`].
     pub p50_ns: u64,
     pub p95_ns: u64,
     pub p99_ns: u64,
@@ -152,16 +157,10 @@ pub struct LoadReport {
     /// trace-derived counters (warm / (warm + cold)).
     pub plan_hit_rate: f64,
     pub index_hit_rate: f64,
-}
-
-/// Nearest-rank percentile: the smallest value with at least `p` of the
-/// distribution at or below it.
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (p * sorted.len() as f64).ceil().max(1.0) as usize;
-    sorted[rank.min(sorted.len()) - 1]
+    /// Telemetry probe firings inside the service over the timed window
+    /// (0 when the plane is disabled) — the multiplier the overhead bench
+    /// uses to derive its disabled-cost bound.
+    pub telemetry_probes: u64,
 }
 
 /// Replay `items` round-robin for `total_requests` across `workers`
@@ -181,6 +180,25 @@ pub fn run_load(
     workers: usize,
     total_requests: u64,
 ) -> LoadReport {
+    run_load_with(
+        catalog,
+        items,
+        workers,
+        total_requests,
+        TelemetryConfig::default(),
+    )
+}
+
+/// [`run_load`] with an explicit telemetry configuration — the overhead
+/// bench runs the identical workload with the plane disabled and enabled
+/// to bound what telemetry costs the hot path.
+pub fn run_load_with(
+    catalog: Catalog,
+    items: &[WorkItem],
+    workers: usize,
+    total_requests: u64,
+    telemetry: TelemetryConfig,
+) -> LoadReport {
     assert!(!items.is_empty(), "empty workload");
     let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
     let pool = workers.min(cores * 4).max(1);
@@ -190,6 +208,7 @@ pub fn run_load(
         .workers(pool)
         .catalog(catalog)
         .tenants(tenants)
+        .telemetry(telemetry)
         .build();
     let handle = service.handle();
 
@@ -203,22 +222,20 @@ pub fn run_load(
         ));
     }
     let warmup_metrics = handle.metrics();
+    let warmup_probes = handle.telemetry().probes();
 
     let barrier = std::sync::Barrier::new(workers + 1);
     let next = AtomicU64::new(0);
     let ok = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
-    let lat_slot = AtomicUsize::new(0);
-    let latencies: Vec<AtomicU64> = (0..total_requests as usize)
-        .map(|_| AtomicU64::new(0))
-        .collect();
+    let latencies = Histo::new();
     let mut wall = Duration::ZERO;
     std::thread::scope(|s| {
         let submitters: Vec<_> = (0..workers)
             .map(|_| {
                 let handle = handle.clone();
-                let (barrier, next, ok, errors, lat_slot, latencies) =
-                    (&barrier, &next, &ok, &errors, &lat_slot, &latencies);
+                let (barrier, next, ok, errors, latencies) =
+                    (&barrier, &next, &ok, &errors, &latencies);
                 s.spawn(move || {
                     barrier.wait();
                     loop {
@@ -231,8 +248,7 @@ pub fn run_load(
                         let t0 = Instant::now();
                         let resp = handle.submit(&req);
                         let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-                        latencies[lat_slot.fetch_add(1, Ordering::Relaxed)]
-                            .store(ns, Ordering::Relaxed);
+                        latencies.record(ns);
                         if resp.is_ok() {
                             ok.fetch_add(1, Ordering::Relaxed);
                         } else {
@@ -250,13 +266,10 @@ pub fn run_load(
         wall = start.elapsed();
     });
     let metrics = handle.metrics();
+    let probes = handle.telemetry().probes();
     service.shutdown();
 
-    let mut sorted: Vec<u64> = latencies
-        .iter()
-        .map(|a| a.load(Ordering::Relaxed))
-        .collect();
-    sorted.sort_unstable();
+    let latency = latencies.snapshot();
     // Hit rates over the timed window only (warm-up traffic subtracted).
     let rate = |warm: u64, cold: u64| {
         if warm + cold == 0 {
@@ -272,9 +285,9 @@ pub fn run_load(
         errors: errors.into_inner(),
         wall,
         throughput_rps: total_requests as f64 / wall.as_secs_f64().max(1e-9),
-        p50_ns: percentile(&sorted, 0.50),
-        p95_ns: percentile(&sorted, 0.95),
-        p99_ns: percentile(&sorted, 0.99),
+        p50_ns: latency.p50(),
+        p95_ns: latency.p95(),
+        p99_ns: latency.p99(),
         plan_hit_rate: rate(
             metrics.plan_warm - warmup_metrics.plan_warm,
             metrics.plan_cold - warmup_metrics.plan_cold,
@@ -283,6 +296,7 @@ pub fn run_load(
             metrics.index_warm - warmup_metrics.index_warm,
             metrics.index_cold - warmup_metrics.index_cold,
         ),
+        telemetry_probes: probes - warmup_probes,
     }
 }
 
@@ -314,15 +328,72 @@ mod tests {
         assert!(report.throughput_rps > 0.0);
         // Every item replays at least twice, so plans must be warming.
         assert!(report.plan_hit_rate > 0.0);
+        // Telemetry defaults on: the service fired probes for this load.
+        assert!(report.telemetry_probes > 0);
     }
 
     #[test]
-    fn percentiles_are_order_statistics() {
-        let v: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&v, 0.50), 50);
-        assert_eq!(percentile(&v, 0.95), 95);
-        assert_eq!(percentile(&v, 0.99), 99);
-        assert_eq!(percentile(&[], 0.5), 0);
-        assert_eq!(percentile(&[7], 0.99), 7);
+    fn disabled_telemetry_fires_no_probes() {
+        let (catalog, items) = build_workload(&default_corpus_dir()).expect("workload builds");
+        let n = items.len() as u64;
+        let report = run_load_with(catalog, &items, 2, n, TelemetryConfig::disabled());
+        assert_eq!(report.ok + report.errors, report.requests);
+        assert_eq!(report.telemetry_probes, 0);
+    }
+
+    /// Exact nearest-rank percentile over a sorted slice — the oracle the
+    /// histogram reduction is checked against.
+    fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = (p * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    /// Property: for seeded value streams spanning exact buckets through
+    /// wide octaves, every histogram percentile brackets the true
+    /// nearest-rank order statistic from above within one bucket's
+    /// relative error — the contract the load report's p50/p95/p99 now
+    /// rely on.
+    #[test]
+    fn histo_percentiles_track_exact_nearest_rank() {
+        for seed in 0u64..8 {
+            let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (seed + 1);
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            let h = Histo::new();
+            let mut values = Vec::new();
+            for i in 0..2000u64 {
+                // Mix exact small values with log-distributed large ones.
+                let v = match i % 3 {
+                    0 => next() % 16,
+                    1 => next() % 10_000,
+                    _ => next() % 1_000_000_000,
+                };
+                h.record(v);
+                values.push(v);
+            }
+            values.sort_unstable();
+            let snap = h.snapshot();
+            assert_eq!(snap.count, values.len() as u64);
+            for p in [0.10, 0.50, 0.90, 0.95, 0.99, 1.0] {
+                let exact = exact_percentile(&values, p);
+                let approx = snap.percentile(p);
+                assert!(
+                    approx >= exact,
+                    "seed {seed} p{p}: approx {approx} below exact {exact}"
+                );
+                let bound = exact as f64 * (1.0 + Histo::MAX_RELATIVE_ERROR) + 1.0;
+                assert!(
+                    (approx as f64) <= bound,
+                    "seed {seed} p{p}: approx {approx} exceeds {bound} (exact {exact})"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,192 @@
+//! Concurrency storms for the lock-free telemetry primitives.
+//!
+//! These pin the accounting contracts under real contention:
+//! * `Histo`: every recorded value is counted exactly once — recorded ==
+//!   observed totals, sum exact.
+//! * `EventRing`: `retained + dropped == appended` exactly at quiescence,
+//!   drop-oldest keeps the newest events.
+//! * `Windows`: lifetime totals are not the windows' contract, but sums on
+//!   a frozen clock see every increment.
+//!
+//! Sizes shrink under miri (`cfg(miri)`) so the interpreter finishes while
+//! still exercising every atomic path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use gql_metrics::{Clock, Event, EventKind, EventRing, Histo, KeyedHistos, ManualClock, Windows};
+
+#[cfg(miri)]
+const THREADS: usize = 3;
+#[cfg(not(miri))]
+const THREADS: usize = 8;
+
+#[cfg(miri)]
+const PER_THREAD: u64 = 40;
+#[cfg(not(miri))]
+const PER_THREAD: u64 = 20_000;
+
+#[test]
+fn histo_storm_counts_every_record_exactly_once() {
+    let histo = Arc::new(Histo::new());
+    let expected_sum = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let histo = Arc::clone(&histo);
+        let expected_sum = Arc::clone(&expected_sum);
+        handles.push(thread::spawn(move || {
+            // Deterministic per-thread value stream spanning many octaves.
+            let mut v = (t as u64) * 7 + 1;
+            for _ in 0..PER_THREAD {
+                v = v
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let sample = v >> 34; // ~30-bit latencies
+                histo.record(sample);
+                expected_sum.fetch_add(sample, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(histo.count(), total, "no record lost or double-counted");
+    assert_eq!(histo.sum(), expected_sum.load(Ordering::Relaxed));
+    let snap = histo.snapshot();
+    assert_eq!(snap.count, total, "bucket sum equals record count");
+    assert_eq!(snap.counts.iter().sum::<u64>(), total);
+    assert!(snap.p50() <= snap.p95() && snap.p95() <= snap.p99());
+}
+
+#[test]
+fn keyed_histo_storm_routes_every_record_to_its_key() {
+    let keyed: Arc<KeyedHistos<usize>> = Arc::new(KeyedHistos::new());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let keyed = Arc::clone(&keyed);
+        handles.push(thread::spawn(move || {
+            let key = t % 3;
+            let handle = keyed.get(&key); // cached-handle hot path
+            for i in 0..PER_THREAD {
+                if i % 2 == 0 {
+                    handle.record(i);
+                } else {
+                    keyed.record(&key, i); // map-lookup path
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total: u64 = keyed.snapshots().iter().map(|(_, s)| s.count).sum();
+    assert_eq!(total, THREADS as u64 * PER_THREAD);
+    assert_eq!(keyed.merged().count, total);
+    assert!(keyed.len() <= 3);
+}
+
+#[test]
+fn event_ring_storm_accounting_is_exact_at_quiescence() {
+    // Capacity far below the append volume forces constant drop-oldest.
+    let ring = Arc::new(EventRing::new(64));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let ring = Arc::clone(&ring);
+        handles.push(thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                ring.record(Event {
+                    request_id: (t as u64) << 32 | i,
+                    kind: EventKind::Reply,
+                    t_micros: i,
+                    code: t as u32,
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let (events, stats) = ring.snapshot();
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(stats.appended, total, "every append took a ticket");
+    assert_eq!(
+        stats.retained + stats.dropped,
+        stats.appended,
+        "conservation: retained + dropped == appended"
+    );
+    assert_eq!(events.len() as u64, stats.retained);
+    assert!(stats.retained <= ring.capacity() as u64);
+    assert!(
+        stats.lost_races <= stats.dropped,
+        "race losses are a subset of drops"
+    );
+    // At quiescence no slot is torn, so the only unreadable slots are ones
+    // whose ticket was raced; retained is capacity minus those.
+    assert!(stats.retained + stats.lost_races >= ring.capacity() as u64);
+}
+
+#[test]
+fn event_ring_no_overflow_storm_retains_everything() {
+    // Capacity >= total appends: nothing may be dropped except races, and
+    // with each thread touching disjoint slots-in-time the retained set
+    // must contain every thread's full stream.
+    let cap = THREADS * PER_THREAD as usize;
+    let ring = Arc::new(EventRing::new(cap));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let ring = Arc::clone(&ring);
+        handles.push(thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                ring.record(Event {
+                    request_id: (t as u64) << 32 | i,
+                    kind: EventKind::Admit,
+                    t_micros: i,
+                    code: 0,
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let (events, stats) = ring.snapshot();
+    assert_eq!(stats.appended, cap as u64);
+    assert_eq!(stats.dropped, 0, "ring never filled, nothing dropped");
+    assert_eq!(stats.lost_races, 0, "tickets map to distinct slots");
+    assert_eq!(events.len(), cap);
+    // Every thread's events all present.
+    for t in 0..THREADS {
+        let mine = events
+            .iter()
+            .filter(|e| e.request_id >> 32 == t as u64)
+            .count();
+        assert_eq!(mine as u64, PER_THREAD);
+    }
+}
+
+#[test]
+fn windows_storm_on_a_frozen_clock_loses_nothing() {
+    // With the clock frozen there is no rotation race: every increment
+    // lands in the current second and the trailing sums must be exact.
+    let clock = Arc::new(ManualClock::at_micros(5_000_000));
+    let w = Arc::new(Windows::new(2, Arc::clone(&clock) as Arc<dyn Clock>));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let w = Arc::clone(&w);
+        handles.push(thread::spawn(move || {
+            for _ in 0..PER_THREAD {
+                w.record(t % 2);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let per_lane: Vec<u64> = (0..2)
+        .map(|lane| (0..THREADS).filter(|t| t % 2 == lane).count() as u64 * PER_THREAD)
+        .collect();
+    assert_eq!(w.sums(1), per_lane);
+    assert_eq!(w.sums(60), per_lane);
+}

@@ -1,30 +1,45 @@
-//! `gql-serve` — run or smoke-test the multi-tenant query service.
+//! `gql-serve` — run, inspect or smoke-test the multi-tenant query
+//! service.
 //!
 //! ```text
 //! Usage: gql-serve serve [--addr HOST:PORT] [--workers N]
+//!        gql-serve stat [--addr HOST:PORT] [--view text|counters|report|prometheus]
 //!        gql-serve smoke
+//!        gql-serve smoke-metrics
 //! ```
 //!
 //! `serve` builds a catalog of the four synthetic datasets (bibliography,
 //! cityguide, greengrocer, webgraph), registers a permissive `public`
 //! tenant, and serves the length-prefixed JSON protocol until killed.
 //!
+//! `stat` connects to a running server and prints one rendering of its
+//! telemetry plane: the human stat summary (default), the raw cumulative
+//! counters, the full JSON report, or the Prometheus text exposition.
+//!
 //! `smoke` is the CI step: it starts the same service on an ephemeral
 //! port, sends a ping, a 3-query batch over two datasets, a
-//! deliberately-unknown dataset, and a metrics request through a real
+//! deliberately-unknown dataset, and every metrics view through a real
 //! socket, and prints each response as one JSON line for
 //! `tools/check_serve_json.py` to validate. Exit 1 if any query of the
 //! batch fails.
+//!
+//! `smoke-metrics` is the telemetry CI step: it drives a deterministic
+//! traffic mix (successes, refusals, rejections, a budget trip) through
+//! a service whose slow-query threshold is zero, and prints **two**
+//! Prometheus scrapes separated by a `=== scrape ===` marker line so
+//! `tools/check_metrics_text.py` can check the exposition grammar,
+//! conservation laws and counter monotonicity.
 
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 
 use gql_guard::Budget;
 use gql_serve::json::Value;
-use gql_serve::{Catalog, Client, Envelope, Server, Service, TenantRegistry};
+use gql_serve::{Catalog, Client, Envelope, Server, Service, TelemetryConfig, TenantRegistry};
 use gql_ssdm::generator;
 
 fn usage() -> &'static str {
-    "Usage: gql-serve serve [--addr HOST:PORT] [--workers N]\n       gql-serve smoke"
+    "Usage: gql-serve serve [--addr HOST:PORT] [--workers N]\n       gql-serve stat [--addr HOST:PORT] [--view text|counters|report|prometheus]\n       gql-serve smoke\n       gql-serve smoke-metrics"
 }
 
 /// The standard demo catalog: every synthetic generator at its default
@@ -48,6 +63,13 @@ fn demo_tenants() -> TenantRegistry {
         Envelope::slots(64).with_per_query(Budget::unlimited().with_timeout_ms(30_000)),
     );
     tenants
+}
+
+fn resolve_addr(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("cannot resolve {addr}: no addresses"))
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
@@ -84,6 +106,54 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// `stat`: ask a running server for one rendering of its telemetry.
+fn cmd_stat(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut view = "text".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = it.next().ok_or("--addr needs HOST:PORT")?.clone(),
+            "--view" => view = it.next().ok_or("--view needs a name")?.clone(),
+            other => return Err(format!("unknown flag: {other}\n{}", usage())),
+        }
+    }
+    let mut client = Client::connect(resolve_addr(&addr)?)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let req = Value::Obj(vec![
+        ("op".into(), Value::str("metrics")),
+        ("view".into(), Value::str(&view)),
+    ]);
+    let resp = client
+        .roundtrip(&req)
+        .map_err(|e| format!("transport error: {e}"))?;
+    if resp.get("ok").and_then(Value::as_bool) != Some(true) {
+        return Err(format!("server refused: {}", resp.render()));
+    }
+    // Text-shaped views print their string raw; JSON views print JSON.
+    match view.as_str() {
+        "text" => print!(
+            "{}",
+            resp.get("stat").and_then(Value::as_str).unwrap_or_default()
+        ),
+        "prometheus" => print!(
+            "{}",
+            resp.get("prometheus")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+        ),
+        "counters" => println!(
+            "{}",
+            resp.get("metrics").map(Value::render).unwrap_or_default()
+        ),
+        _ => println!(
+            "{}",
+            resp.get("report").map(Value::render).unwrap_or_default()
+        ),
+    }
+    Ok(())
 }
 
 fn cmd_smoke() -> Result<(), String> {
@@ -155,6 +225,37 @@ fn cmd_smoke() -> Result<(), String> {
         eprintln!("smoke: expected ≥3 completed queries, saw {completed}");
         failures += 1;
     }
+    // The telemetry report view: the latency histogram must have seen
+    // every admitted request.
+    let report = send("metrics-report", r#"{"op":"metrics","view":"report"}"#)?;
+    let histo_count = report
+        .get("report")
+        .and_then(|r| r.get("latency_all"))
+        .and_then(|l| l.get("count"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    if histo_count < 3 {
+        eprintln!("smoke: expected ≥3 latency samples in the report, saw {histo_count}");
+        failures += 1;
+    }
+    // The Prometheus exposition as one string field.
+    let prom = send(
+        "metrics-prometheus",
+        r#"{"op":"metrics","view":"prometheus"}"#,
+    )?;
+    let text = prom
+        .get("prometheus")
+        .and_then(Value::as_str)
+        .unwrap_or_default();
+    if !text.contains("gql_requests_total") {
+        eprintln!("smoke: prometheus exposition missing gql_requests_total");
+        failures += 1;
+    }
+    // An unknown view must be a structured bad-request, not a hang.
+    let bad_view = send("metrics-bad-view", r#"{"op":"metrics","view":"warp"}"#)?;
+    if bad_view.get("code").and_then(Value::as_str) != Some("bad-request") {
+        failures += 1;
+    }
     server.shutdown();
     service.shutdown();
     if failures > 0 {
@@ -163,11 +264,119 @@ fn cmd_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// The `smoke-metrics` tenant roster: a permissive tenant, a zero-slot
+/// tenant (every submission is deterministically rejected) and a tenant
+/// whose per-query budget trips on any multi-match query.
+fn metrics_smoke_tenants() -> TenantRegistry {
+    let mut tenants = TenantRegistry::new();
+    tenants.register(
+        "public",
+        Envelope::slots(64).with_per_query(Budget::unlimited().with_timeout_ms(30_000)),
+    );
+    tenants.register("cap0", Envelope::slots(0));
+    tenants.register(
+        "strict",
+        Envelope::slots(4).with_per_query(Budget::unlimited().with_max_matches(1)),
+    );
+    tenants
+}
+
+/// Drive one deterministic round of mixed traffic: two successes, an
+/// unknown-dataset refusal, an unknown-tenant refusal, a zero-slot
+/// rejection and a budget trip. Returns the number of transport-level
+/// failures (the *application* outcomes are intentionally mixed).
+fn metrics_smoke_round(client: &mut Client) -> Result<(), String> {
+    let traffic: &[(&str, &str)] = &[
+        (
+            "ok-bibliography",
+            r#"{"op":"query","tenant":"public","dataset":"bibliography","kind":"xpath","query":"//book/title"}"#,
+        ),
+        (
+            "ok-cityguide",
+            r#"{"op":"query","tenant":"public","dataset":"cityguide","kind":"xpath","query":"//restaurant/name"}"#,
+        ),
+        (
+            "refused-unknown-dataset",
+            r#"{"op":"query","tenant":"public","dataset":"nope","kind":"xpath","query":"//a"}"#,
+        ),
+        (
+            "refused-unknown-tenant",
+            r#"{"op":"query","tenant":"ghost","dataset":"bibliography","kind":"xpath","query":"//a"}"#,
+        ),
+        (
+            "rejected-zero-slots",
+            r#"{"op":"query","tenant":"cap0","dataset":"bibliography","kind":"xpath","query":"//book/title"}"#,
+        ),
+        (
+            "budget-trip",
+            r#"{"op":"query","tenant":"strict","dataset":"bibliography","kind":"xpath","query":"//book/title"}"#,
+        ),
+    ];
+    for (label, req) in traffic {
+        let v = Value::parse(req).expect("smoke request literals are valid JSON");
+        client
+            .roundtrip(&v)
+            .map_err(|e| format!("{label}: transport error: {e}"))?;
+    }
+    Ok(())
+}
+
+fn cmd_smoke_metrics() -> Result<(), String> {
+    let service = Service::builder()
+        .workers(4)
+        .catalog(demo_catalog())
+        .tenants(metrics_smoke_tenants())
+        // Threshold zero: every completed query qualifies for the slow
+        // log, so the budget trip's capture is deterministic.
+        .telemetry(TelemetryConfig::default().with_slow_threshold_us(0))
+        .build();
+    let server = Server::bind("127.0.0.1:0", service.handle())
+        .map_err(|e| format!("cannot bind ephemeral port: {e}"))?;
+    let mut client = Client::connect(server.addr()).map_err(|e| format!("cannot connect: {e}"))?;
+    let scrape = |client: &mut Client| -> Result<String, String> {
+        let req = Value::parse(r#"{"op":"metrics","view":"prometheus"}"#).unwrap();
+        let resp = client
+            .roundtrip(&req)
+            .map_err(|e| format!("scrape: transport error: {e}"))?;
+        resp.get("prometheus")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("scrape: malformed response: {}", resp.render()))
+    };
+
+    metrics_smoke_round(&mut client)?;
+    let first = scrape(&mut client)?;
+    print!("{first}");
+    println!("=== scrape ===");
+    metrics_smoke_round(&mut client)?;
+    metrics_smoke_round(&mut client)?;
+    let second = scrape(&mut client)?;
+    print!("{second}");
+
+    // Belt-and-braces beyond what check_metrics_text.py validates: the
+    // budget trip must have landed in the slow log with its trip report.
+    let report = service.handle().metrics_report();
+    let slow = report.to_value();
+    let captured = slow
+        .get("slow")
+        .and_then(|s| s.get("captured"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    server.shutdown();
+    service.shutdown();
+    if captured == 0 {
+        return Err("smoke-metrics: no slow-query captures recorded".into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
+        Some("stat") => cmd_stat(&args[1..]),
         Some("smoke") if args.len() == 1 => cmd_smoke(),
+        Some("smoke-metrics") if args.len() == 1 => cmd_smoke_metrics(),
         _ => Err(usage().to_string()),
     };
     match result {

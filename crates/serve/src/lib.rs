@@ -31,12 +31,15 @@ pub mod json;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod telemetry;
 pub mod tenant;
 
 pub use catalog::{Catalog, Dataset};
+pub use proto::MetricsView;
 pub use server::{Client, Server};
 pub use service::{
     ErrorCode, Pending, QueryErr, QueryOk, Request, Response, ServeHandle, Service, ServiceBuilder,
     ServiceMetrics,
 };
+pub use telemetry::{MetricsReport, Telemetry, TelemetryConfig};
 pub use tenant::{Envelope, Permit, Tenant, TenantMetrics, TenantRegistry};

@@ -12,7 +12,17 @@
 //! {"op":"query","tenant":"public","dataset":"bib","kind":"xpath","query":"//title","profile":false}
 //! {"op":"batch","tenant":"public","items":[{"dataset":"bib","kind":"xpath","query":"//title"},…]}
 //! {"op":"metrics"}
+//! {"op":"metrics","view":"report"}
+//! {"op":"metrics","view":"prometheus"}
+//! {"op":"metrics","view":"text"}
 //! ```
+//!
+//! The `metrics` op takes an optional `view`: `counters` (the default,
+//! back-compatible cumulative counters), `report` (the full telemetry
+//! report: latency histograms, rate windows, request events, slow-query
+//! log), `prometheus` (the text exposition as one string field) or
+//! `text` (the human stat printout `gql-serve stat` shows). An unknown
+//! view is a `bad-request`.
 //!
 //! Every response is one frame: `{"ok":true,…}` or
 //! `{"ok":false,"code":"…","message":"…"[,"report":"…"]}`. Budget and
@@ -57,13 +67,39 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Which rendering of the telemetry plane a `metrics` op asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsView {
+    /// Cumulative counters only (the pre-telemetry response shape).
+    #[default]
+    Counters,
+    /// The full report: histograms, windows, events, slow log.
+    Report,
+    /// Prometheus text exposition.
+    Prometheus,
+    /// The human stat printout (what `gql-serve stat` prints).
+    Text,
+}
+
+impl MetricsView {
+    pub fn from_name(name: &str) -> Option<MetricsView> {
+        match name {
+            "counters" => Some(MetricsView::Counters),
+            "report" => Some(MetricsView::Report),
+            "prometheus" => Some(MetricsView::Prometheus),
+            "text" => Some(MetricsView::Text),
+            _ => None,
+        }
+    }
+}
+
 /// One parsed client operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
     Ping,
     Query(Request),
     Batch(Vec<Request>),
-    Metrics,
+    Metrics(MetricsView),
 }
 
 /// Decode a request frame. Errors are `bad-request` messages.
@@ -76,7 +112,19 @@ pub fn decode_op(payload: &[u8]) -> Result<Op, String> {
         .ok_or("missing `op` field")?;
     match op {
         "ping" => Ok(Op::Ping),
-        "metrics" => Ok(Op::Metrics),
+        "metrics" => match v.get("view") {
+            None => Ok(Op::Metrics(MetricsView::default())),
+            Some(view) => view
+                .as_str()
+                .and_then(MetricsView::from_name)
+                .map(Op::Metrics)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown metrics view: {} (expected counters|report|prometheus|text)",
+                        view.render()
+                    )
+                }),
+        },
         "query" => decode_request(&v, None).map(Op::Query),
         "batch" => {
             let tenant = v.get("tenant").and_then(Value::as_str);
@@ -230,7 +278,26 @@ mod tests {
     #[test]
     fn ops_decode() {
         assert_eq!(decode_op(b"{\"op\":\"ping\"}"), Ok(Op::Ping));
-        assert_eq!(decode_op(b"{\"op\":\"metrics\"}"), Ok(Op::Metrics));
+        assert_eq!(
+            decode_op(b"{\"op\":\"metrics\"}"),
+            Ok(Op::Metrics(MetricsView::Counters))
+        );
+        assert_eq!(
+            decode_op(br#"{"op":"metrics","view":"report"}"#),
+            Ok(Op::Metrics(MetricsView::Report))
+        );
+        assert_eq!(
+            decode_op(br#"{"op":"metrics","view":"prometheus"}"#),
+            Ok(Op::Metrics(MetricsView::Prometheus))
+        );
+        assert_eq!(
+            decode_op(br#"{"op":"metrics","view":"text"}"#),
+            Ok(Op::Metrics(MetricsView::Text))
+        );
+        assert!(
+            decode_op(br#"{"op":"metrics","view":"warp"}"#).is_err(),
+            "unknown views are structured errors"
+        );
         let q =
             decode_op(br#"{"op":"query","tenant":"t","dataset":"d","kind":"xpath","query":"//a"}"#)
                 .unwrap();

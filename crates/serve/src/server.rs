@@ -20,7 +20,7 @@ use std::time::Duration;
 use gql_guard::CancelToken;
 
 use crate::json::Value;
-use crate::proto::{decode_op, encode_response, read_frame, write_frame, Op};
+use crate::proto::{decode_op, encode_response, read_frame, write_frame, MetricsView, Op};
 use crate::service::{ErrorCode, Response, ServeHandle};
 
 /// A running TCP server. Dropping it (or calling [`Server::shutdown`])
@@ -120,9 +120,24 @@ fn serve_connection(mut stream: TcpStream, handle: ServeHandle) {
                 ("ok".into(), Value::Bool(true)),
                 ("pong".into(), Value::Bool(true)),
             ]),
-            Op::Metrics => Value::Obj(vec![
+            Op::Metrics(MetricsView::Counters) => Value::Obj(vec![
                 ("ok".into(), Value::Bool(true)),
                 ("metrics".into(), handle.metrics().to_value()),
+            ]),
+            Op::Metrics(MetricsView::Report) => Value::Obj(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("report".into(), handle.metrics_report().to_value()),
+            ]),
+            Op::Metrics(MetricsView::Prometheus) => Value::Obj(vec![
+                ("ok".into(), Value::Bool(true)),
+                (
+                    "prometheus".into(),
+                    Value::str(handle.metrics_report().to_prometheus_text()),
+                ),
+            ]),
+            Op::Metrics(MetricsView::Text) => Value::Obj(vec![
+                ("ok".into(), Value::Bool(true)),
+                ("stat".into(), Value::str(handle.metrics_report().to_text())),
             ]),
             Op::Query(req) => {
                 let resp = run_watching_disconnect(&handle, &req, &stream);

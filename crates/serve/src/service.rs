@@ -27,6 +27,7 @@ use gql_trace::Trace;
 
 use crate::catalog::{Catalog, Dataset};
 use crate::json::Value;
+use crate::telemetry::{MetricsReport, RequestMeta, Telemetry, TelemetryConfig};
 use crate::tenant::{Permit, TenantMetrics, TenantRegistry};
 
 /// One query submission.
@@ -202,8 +203,10 @@ impl ServiceMetrics {
             .map(|(name, m)| {
                 Value::Obj(vec![
                     ("name".into(), Value::str(name.clone())),
+                    ("submitted".into(), Value::count(m.submitted)),
                     ("admitted".into(), Value::count(m.admitted)),
                     ("rejected".into(), Value::count(m.rejected)),
+                    ("refused".into(), Value::count(m.refused)),
                     ("peak_in_flight".into(), Value::count(m.peak_in_flight)),
                     ("peak_pool_draw".into(), Value::count(m.peak_pool_draw)),
                 ])
@@ -268,6 +271,9 @@ struct Job {
     cancel: CancelToken,
     want_profile: bool,
     reply: mpsc::Sender<Response>,
+    /// Telemetry context minted at admission (`None` when telemetry is
+    /// disabled — the job then carries zero extra weight).
+    meta: Option<RequestMeta>,
     /// Held for the duration of execution; dropping releases the tenant's
     /// slot and pool reservation (even on worker panic — the permit drops
     /// with the job).
@@ -282,6 +288,7 @@ struct Inner {
     /// work per tenant.
     queue: Mutex<Option<mpsc::Sender<Job>>>,
     counters: Counters,
+    telemetry: Arc<Telemetry>,
 }
 
 /// The long-lived service: a catalog, a tenant registry and a worker pool.
@@ -295,6 +302,7 @@ pub struct ServiceBuilder {
     catalog: Catalog,
     tenants: TenantRegistry,
     workers: usize,
+    telemetry: TelemetryConfig,
 }
 
 impl ServiceBuilder {
@@ -303,6 +311,7 @@ impl ServiceBuilder {
             catalog: Catalog::new(),
             tenants: TenantRegistry::new(),
             workers: 4,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -321,14 +330,22 @@ impl ServiceBuilder {
         self
     }
 
+    /// Configure the telemetry plane (enabled with defaults if not set).
+    pub fn telemetry(mut self, config: TelemetryConfig) -> ServiceBuilder {
+        self.telemetry = config;
+        self
+    }
+
     pub fn build(self) -> Service {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
+        let tenant_names: Vec<String> = self.tenants.iter().map(|t| t.name().to_string()).collect();
         let inner = Arc::new(Inner {
             catalog: Arc::new(self.catalog),
             tenants: Arc::new(self.tenants),
             queue: Mutex::new(Some(tx)),
             counters: Counters::default(),
+            telemetry: Arc::new(Telemetry::build(&self.telemetry, &tenant_names)),
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -342,6 +359,7 @@ impl ServiceBuilder {
                             Ok(job) => job,
                             Err(_) => return, // all senders gone: shutdown
                         };
+                        inner.telemetry.on_dequeue(job.meta.as_ref());
                         let response = execute(&inner, &job);
                         // Release the admission permit *before* replying:
                         // once a client holds its response, its slot is
@@ -463,13 +481,41 @@ impl ServeHandle {
         req: &Request,
         cancel: CancelToken,
     ) -> Result<Pending, Response> {
+        self.submit_with_surface(req, cancel, "query")
+    }
+
+    fn submit_with_surface(
+        &self,
+        req: &Request,
+        cancel: CancelToken,
+        surface: &'static str,
+    ) -> Result<Pending, Response> {
         let c = &self.inner.counters;
+        let tele = &self.inner.telemetry;
         c.submitted.fetch_add(1, Ordering::SeqCst);
-        let (tenant, dataset, query) = self.resolve(req).inspect_err(|_| {
+        let Some(tenant) = self.inner.tenants.get(&req.tenant).cloned() else {
+            // Unknown tenant: nothing to attribute the refusal to beyond
+            // the service-wide counters and windows.
             c.refused.fetch_add(1, Ordering::SeqCst);
-        })?;
+            tele.on_submitted(None);
+            return Err(Response::err(
+                ErrorCode::UnknownTenant,
+                format!("unknown tenant: {}", req.tenant),
+            ));
+        };
+        tenant.note_submitted();
+        tele.on_submitted(Some(tenant.name()));
+        let (dataset, query) = match self.resolve_payload(req) {
+            Ok(resolved) => resolved,
+            Err(resp) => {
+                c.refused.fetch_add(1, Ordering::SeqCst);
+                tenant.note_refused();
+                return Err(resp);
+            }
+        };
         let Some(permit) = tenant.try_admit() else {
             c.rejected.fetch_add(1, Ordering::SeqCst);
+            tele.on_rejected(tenant.name());
             return Err(Response::err(
                 ErrorCode::Overloaded,
                 format!(
@@ -480,6 +526,7 @@ impl ServeHandle {
             ));
         };
         c.admitted.fetch_add(1, Ordering::SeqCst);
+        let meta = tele.on_admitted(tenant.name(), surface, &req.query);
         let (reply, rx) = mpsc::channel();
         let job = Job {
             query,
@@ -488,6 +535,7 @@ impl ServeHandle {
             cancel: cancel.clone(),
             want_profile: req.profile,
             reply,
+            meta,
             _permit: permit,
         };
         let sender = self
@@ -534,7 +582,12 @@ impl ServeHandle {
         for wave in [leaders, followers] {
             let pending: Vec<(usize, Result<Pending, Response>)> = wave
                 .into_iter()
-                .map(|i| (i, self.submit_cancellable(&reqs[i], CancelToken::new())))
+                .map(|i| {
+                    (
+                        i,
+                        self.submit_with_surface(&reqs[i], CancelToken::new(), "batch"),
+                    )
+                })
                 .collect();
             for (i, p) in pending {
                 out[i] = Some(match p {
@@ -546,24 +599,10 @@ impl ServeHandle {
         out.into_iter().map(Option::unwrap).collect()
     }
 
-    /// Resolve names and parse the query; an `Err` is the immediate
-    /// structured rejection.
-    #[allow(clippy::type_complexity)]
-    fn resolve(
-        &self,
-        req: &Request,
-    ) -> Result<(Arc<crate::tenant::Tenant>, Arc<Dataset>, QueryKind), Response> {
-        let tenant = self
-            .inner
-            .tenants
-            .get(&req.tenant)
-            .cloned()
-            .ok_or_else(|| {
-                Response::err(
-                    ErrorCode::UnknownTenant,
-                    format!("unknown tenant: {}", req.tenant),
-                )
-            })?;
+    /// Resolve the dataset and parse the query (the tenant is resolved
+    /// first, separately, so refusals here attribute to it); an `Err` is
+    /// the immediate structured rejection.
+    fn resolve_payload(&self, req: &Request) -> Result<(Arc<Dataset>, QueryKind), Response> {
         let dataset = self.inner.catalog.get(&req.dataset).ok_or_else(|| {
             Response::err(
                 ErrorCode::UnknownDataset,
@@ -578,7 +617,7 @@ impl ServeHandle {
         }
         let query = parse_query(&req.kind, &req.query)
             .map_err(|msg| Response::err(ErrorCode::BadRequest, msg))?;
-        Ok((tenant, dataset, query))
+        Ok((dataset, query))
     }
 
     /// Current metrics snapshot.
@@ -612,6 +651,18 @@ impl ServeHandle {
                 .collect(),
         }
     }
+
+    /// The service's telemetry plane (histograms, windows, events, slow
+    /// log). Shared by every handle of one service.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.inner.telemetry
+    }
+
+    /// The full telemetry report: counters plus latency histograms, rate
+    /// windows, recent request events and the slow-query log.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.inner.telemetry.report(self.metrics())
+    }
 }
 
 /// Parse a `kind` + source into an engine query. Uses the unchecked
@@ -631,14 +682,41 @@ pub fn parse_query(kind: &str, query: &str) -> Result<QueryKind, String> {
 }
 
 /// Run one admitted job and fold its cache notes into the service
-/// counters.
+/// counters. This is the telemetry reply site: exactly one histogram
+/// record per admitted job, plus slow-query capture.
 fn execute(inner: &Inner, job: &Job) -> Response {
     let c = &inner.counters;
+    let tele = &inner.telemetry;
+    tele.on_start(job.meta.as_ref());
     let engine: &Engine = job.dataset.engine();
     let guard = Guard::with_cancel(job.budget.clone(), job.cancel.clone());
     let trace = Trace::profiling();
     let result = engine.run_governed(&job.query, job.dataset.doc(), &trace, &guard);
     let profile = trace.finish();
+    // Slow-log material, pulled from the profile while it is still whole.
+    // The compact plan note is written before evaluation starts, so it is
+    // present even when the run tripped a budget mid-eval.
+    let (plan_note, phases) = if job.meta.is_some() {
+        let plan_note = profile
+            .as_ref()
+            .and_then(|p| p.find("plan"))
+            .and_then(|n| n.note("plan"))
+            .unwrap_or("")
+            .to_string();
+        let phases: Vec<(String, u64)> = profile
+            .as_ref()
+            .and_then(|p| p.roots.first())
+            .map(|root| {
+                root.children
+                    .iter()
+                    .map(|child| (child.name.clone(), (child.nanos / 1_000) as u64))
+                    .collect()
+            })
+            .unwrap_or_default();
+        (plan_note, phases)
+    } else {
+        (String::new(), Vec::new())
+    };
     let (plan_cache, index_cache) = profile
         .as_ref()
         .map(|p| {
@@ -669,44 +747,68 @@ fn execute(inner: &Inner, job: &Job) -> Response {
         "miss" | "cold" => c.index_cold.fetch_add(1, Ordering::SeqCst),
         _ => 0,
     };
-    match result {
+    let (response, outcome_class, eval_us, trip) = match result {
         Ok(outcome) => {
             c.completed.fetch_add(1, Ordering::SeqCst);
             let profile = profile.expect("profiling trace yields a profile");
-            Response::Ok(Box::new(QueryOk {
+            let eval_us = outcome.eval_time.as_micros() as u64;
+            let resp = Response::Ok(Box::new(QueryOk {
                 xml: outcome.output.to_xml_string(),
                 result_count: outcome.result_count as u64,
-                eval_us: outcome.eval_time.as_micros() as u64,
+                eval_us,
                 plan: outcome.plan,
                 plan_cache,
                 index_cache,
                 profile: job.want_profile.then(|| profile.to_json()),
                 shape: job.want_profile.then(|| profile.shape()),
-            }))
+            }));
+            (resp, "ok", eval_us, None)
         }
         Err(CoreError::Budget(g)) => {
-            let code = if g.kind == LimitKind::Cancelled {
+            let (code, class) = if g.kind == LimitKind::Cancelled {
                 c.cancelled.fetch_add(1, Ordering::SeqCst);
-                ErrorCode::Cancelled
+                (ErrorCode::Cancelled, "cancelled")
             } else {
                 c.budget_tripped.fetch_add(1, Ordering::SeqCst);
-                ErrorCode::Budget
+                (ErrorCode::Budget, "budget")
             };
-            Response::Err(QueryErr {
+            let report = g.report.shape();
+            let resp = Response::Err(QueryErr {
                 code,
                 message: g.to_string(),
-                report: Some(g.report.shape()),
-            })
+                report: Some(report.clone()),
+            });
+            (resp, class, 0, Some(report))
         }
         Err(e @ CoreError::Rejected { .. }) => {
             c.failed.fetch_add(1, Ordering::SeqCst);
-            Response::err(ErrorCode::Rejected, e.to_string())
+            (
+                Response::err(ErrorCode::Rejected, e.to_string()),
+                "rejected",
+                0,
+                None,
+            )
         }
         Err(e) => {
             c.failed.fetch_add(1, Ordering::SeqCst);
-            Response::err(ErrorCode::Engine, e.to_string())
+            (
+                Response::err(ErrorCode::Engine, e.to_string()),
+                "engine",
+                0,
+                None,
+            )
         }
-    }
+    };
+    tele.on_reply(
+        job.meta.as_ref(),
+        job.dataset.name(),
+        outcome_class,
+        eval_us,
+        &plan_note,
+        &phases,
+        trip.as_deref(),
+    );
+    response
 }
 
 #[cfg(test)]

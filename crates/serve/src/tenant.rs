@@ -52,11 +52,19 @@ impl Envelope {
     }
 }
 
-/// Cumulative per-tenant counters.
+/// Cumulative per-tenant counters. The per-tenant conservation law is
+/// `admitted + rejected + refused == submitted` — `submitted` counts from
+/// tenant resolution on, so requests naming an unknown tenant attribute
+/// only to the service-wide counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TenantMetrics {
+    /// Requests that resolved to this tenant.
+    pub submitted: u64,
     pub admitted: u64,
     pub rejected: u64,
+    /// Structured refusals after tenant resolution (unknown dataset, bad
+    /// request, failed fingerprint).
+    pub refused: u64,
     /// High-water mark of concurrently admitted queries.
     pub peak_in_flight: u64,
     /// High-water mark of reserved pool match units.
@@ -70,8 +78,10 @@ pub struct Tenant {
     envelope: Envelope,
     in_flight: AtomicU64,
     pool_drawn: AtomicU64,
+    submitted: AtomicU64,
     admitted: AtomicU64,
     rejected: AtomicU64,
+    refused: AtomicU64,
     peak_in_flight: AtomicU64,
     peak_pool_draw: AtomicU64,
 }
@@ -83,8 +93,10 @@ impl Tenant {
             envelope,
             in_flight: AtomicU64::new(0),
             pool_drawn: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
             peak_pool_draw: AtomicU64::new(0),
         }
@@ -104,11 +116,24 @@ impl Tenant {
 
     pub fn metrics(&self) -> TenantMetrics {
         TenantMetrics {
+            submitted: self.submitted.load(Ordering::SeqCst),
             admitted: self.admitted.load(Ordering::SeqCst),
             rejected: self.rejected.load(Ordering::SeqCst),
+            refused: self.refused.load(Ordering::SeqCst),
             peak_in_flight: self.peak_in_flight.load(Ordering::SeqCst),
             peak_pool_draw: self.peak_pool_draw.load(Ordering::SeqCst),
         }
+    }
+
+    /// Count a request that resolved to this tenant (the service calls
+    /// this once per submission, before admission).
+    pub(crate) fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Count a post-resolution structured refusal (never admitted).
+    pub(crate) fn note_refused(&self) {
+        self.refused.fetch_add(1, Ordering::SeqCst);
     }
 
     /// The pool draw one admission claims: the per-query match cap, or the

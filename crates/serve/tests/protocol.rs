@@ -253,6 +253,57 @@ fn pipelined_frames_on_one_connection_all_get_answers() {
 }
 
 #[test]
+fn pipelined_query_then_metrics_sees_the_query() {
+    let (service, server) = test_server();
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    // A query and a metrics scrape written back-to-back before reading:
+    // frames answer in order, so by the time the metrics frame is served
+    // the query's full lifecycle has landed in the telemetry plane.
+    let mut burst = Vec::new();
+    write_frame(
+        &mut burst,
+        br#"{"op":"query","tenant":"t","dataset":"d","kind":"xpath","query":"//a"}"#,
+    )
+    .unwrap();
+    write_frame(&mut burst, br#"{"op":"metrics"}"#).unwrap();
+    write_frame(&mut burst, br#"{"op":"metrics","view":"report"}"#).unwrap();
+    stream.write_all(&burst).expect("burst");
+    stream.flush().unwrap();
+    let mut replies = Vec::new();
+    for _ in 0..3 {
+        let frame = read_frame(&mut stream).expect("read").expect("reply");
+        replies.push(Value::parse(std::str::from_utf8(&frame).unwrap()).unwrap());
+    }
+    assert_eq!(replies[0].get("ok").and_then(Value::as_bool), Some(true));
+    let counters = replies[1].get("metrics").expect("counters view");
+    assert_eq!(
+        counters.get("completed").and_then(Value::as_u64),
+        Some(1),
+        "pipelined metrics must reflect the already-answered query: {}",
+        replies[1].render()
+    );
+    let report = replies[2].get("report").expect("report view");
+    assert_eq!(
+        report
+            .get("latency_all")
+            .and_then(|l| l.get("count"))
+            .and_then(Value::as_u64),
+        Some(1),
+        "the latency histogram recorded the reply: {}",
+        replies[2].render()
+    );
+    let events = report
+        .get("events")
+        .and_then(|e| e.get("appended"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    // One admitted request is a full admit/dequeue/start/reply lifecycle.
+    assert!(events >= 4, "expected ≥4 events, got {events}");
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
 fn batch_over_the_wire_reports_per_item_outcomes() {
     let (service, server) = test_server();
     let mut client = Client::connect(server.addr()).expect("connect");

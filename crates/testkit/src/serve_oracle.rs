@@ -241,6 +241,68 @@ pub fn check_cases_concurrently(
         }
     }
 
+    // Phase 4: telemetry conservation. The storm ran with the telemetry
+    // plane fully enabled (the builder default) and every submit above is
+    // synchronous, so the service is quiescent here and the accounting
+    // identities must hold *exactly* — telemetry that miscounts under
+    // concurrency is worse than none.
+    let metrics = handle.metrics();
+    if metrics.admitted + metrics.rejected + metrics.refused != metrics.submitted {
+        failures.push(format!(
+            "telemetry: service conservation broken: admitted {} + rejected {} + refused {} != submitted {}",
+            metrics.admitted, metrics.rejected, metrics.refused, metrics.submitted
+        ));
+    }
+    if metrics.submitted as usize != requests.load(Ordering::SeqCst) {
+        failures.push(format!(
+            "telemetry: submitted counter {} disagrees with the {} requests the oracle issued",
+            metrics.submitted,
+            requests.load(Ordering::SeqCst)
+        ));
+    }
+    let outcomes = metrics.completed + metrics.cancelled + metrics.budget_tripped + metrics.failed;
+    if outcomes != metrics.admitted {
+        failures.push(format!(
+            "telemetry: every admitted request must reach exactly one outcome: \
+             admitted {} vs outcomes {outcomes}",
+            metrics.admitted
+        ));
+    }
+    for (name, t) in &metrics.tenants {
+        if t.admitted + t.rejected + t.refused != t.submitted {
+            failures.push(format!(
+                "telemetry: tenant {name} conservation broken: \
+                 admitted {} + rejected {} + refused {} != submitted {}",
+                t.admitted, t.rejected, t.refused, t.submitted
+            ));
+        }
+    }
+    let telemetry = handle.telemetry();
+    let latency = telemetry.latency_all();
+    if latency.count != metrics.admitted {
+        failures.push(format!(
+            "telemetry: latency histogram saw {} replies for {} admitted requests",
+            latency.count, metrics.admitted
+        ));
+    }
+    let events = telemetry.event_stats();
+    if events.retained + events.dropped != events.appended {
+        failures.push(format!(
+            "telemetry: event ring accounting broken: retained {} + dropped {} != appended {}",
+            events.retained, events.dropped, events.appended
+        ));
+    }
+    // Every admitted request is admit/dequeue/start/reply, plus one trip
+    // event when the reply carries a trip report (cancelled or budget).
+    let expected_events = 4 * metrics.admitted + metrics.cancelled + metrics.budget_tripped;
+    if events.appended != expected_events {
+        failures.push(format!(
+            "telemetry: event log saw {} events, lifecycle accounting predicts {expected_events} \
+             (admitted {}, cancelled {}, budget {})",
+            events.appended, metrics.admitted, metrics.cancelled, metrics.budget_tripped
+        ));
+    }
+
     service.shutdown();
     if failures.is_empty() {
         Ok(ServeOracleReport {

@@ -1,0 +1,119 @@
+//! Tier-1 acceptance for the telemetry plane: a budget-tripping WG-Log
+//! invention query against a service whose slow-query threshold is zero
+//! must land in the slow log with its plan text, phase timings and trip
+//! report — the capture an operator needs to see *why* a query was slow,
+//! taken at the moment it happened, without re-running anything.
+
+use gql_guard::Budget;
+use gql_serve::{
+    Catalog, Envelope, ErrorCode, Request, Response, Service, TelemetryConfig, TenantRegistry,
+};
+
+/// The pinned pathological case: node invention doubles the frontier
+/// every round, so the fixpoint explodes until the round cap trips.
+const INVENTION: &str = "rule { query { $x: n } construct { \
+     $y: n per $x  $z: n per $x  $x -l-> $y  $x -r-> $z } } goal n";
+
+fn slow_service() -> Service {
+    let mut catalog = Catalog::new();
+    catalog
+        .register_xml("db", "<db><n><m/></n></db>")
+        .expect("dataset parses");
+    let mut tenants = TenantRegistry::new();
+    tenants.register(
+        "t",
+        Envelope::slots(8).with_per_query(
+            Budget::unlimited()
+                .with_max_rounds(12)
+                .with_max_nodes(20_000),
+        ),
+    );
+    Service::builder()
+        .workers(2)
+        .catalog(catalog)
+        .tenants(tenants)
+        // Threshold zero: every reply qualifies, so the capture below is
+        // deterministic rather than timing-dependent.
+        .telemetry(TelemetryConfig::default().with_slow_threshold_us(0))
+        .build()
+}
+
+#[test]
+fn budget_tripped_query_is_captured_in_the_slow_log() {
+    let service = slow_service();
+    let handle = service.handle();
+    let resp = handle.submit(&Request::new("t", "db", "wglog", INVENTION));
+    let err = match &resp {
+        Response::Err(e) => e,
+        other => panic!("invention query must trip its budget, got {other:?}"),
+    };
+    assert_eq!(err.code, ErrorCode::Budget);
+    assert!(
+        err.report
+            .as_deref()
+            .is_some_and(|r| r.starts_with("phase=")),
+        "budget reply lost its trip report: {:?}",
+        err.report
+    );
+
+    let entries = handle.telemetry().slow_entries_for("db");
+    assert_eq!(entries.len(), 1, "exactly one capture for one query");
+    let entry = &entries[0];
+    assert_eq!(entry.tenant, "t");
+    assert_eq!(entry.dataset, "db");
+    assert_eq!(entry.outcome, "budget");
+    assert_eq!(entry.query, INVENTION);
+    // The capture carries the trip report and the compact plan text even
+    // though the run died mid-flight — the plan is noted before
+    // evaluation starts.
+    assert!(
+        entry
+            .trip
+            .as_deref()
+            .is_some_and(|t| t.starts_with("phase=")),
+        "slow entry lost the trip report: {:?}",
+        entry.trip
+    );
+    assert!(
+        !entry.plan.is_empty(),
+        "slow entry must carry the plan text"
+    );
+    assert!(
+        !entry.phases.is_empty(),
+        "slow entry must carry phase timings"
+    );
+
+    // The capture surfaces through the wire-facing report too.
+    let report = handle.metrics_report().to_value().render();
+    assert!(
+        report.contains("\"captured\":1"),
+        "report JSON lost the capture: {report}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn completed_queries_respect_the_slow_threshold() {
+    // A sibling service whose threshold is effectively infinite: the same
+    // traffic must capture nothing — the slow log is a filter, not a log
+    // of everything.
+    let mut catalog = Catalog::new();
+    catalog
+        .register_xml("db", "<db><n><m/></n></db>")
+        .expect("dataset parses");
+    let mut tenants = TenantRegistry::new();
+    tenants.register("t", Envelope::slots(8));
+    let service = Service::builder()
+        .workers(2)
+        .catalog(catalog)
+        .tenants(tenants)
+        .telemetry(TelemetryConfig::default().with_slow_threshold_us(u64::MAX))
+        .build();
+    let handle = service.handle();
+    let resp = handle.submit(&Request::new("t", "db", "xpath", "//n"));
+    assert!(matches!(resp, Response::Ok(_)), "got {resp:?}");
+    assert!(handle.telemetry().slow_entries_for("db").is_empty());
+    // But the rest of the plane still saw the request.
+    assert_eq!(handle.telemetry().latency_all().count, 1);
+    service.shutdown();
+}

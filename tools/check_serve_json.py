@@ -3,10 +3,11 @@
 
 The smoke run drives a real server over a real socket — ping, a 3-query
 batch across two datasets and all three languages, a deliberately-unknown
-dataset, and a metrics request — and prints each response as one JSON
-line. CI pipes that output through this script so a protocol schema drift
-(a renamed field, a dropped error code, a metrics regression) breaks the
-build rather than downstream clients.
+dataset, and every metrics view (counters, the full telemetry report, the
+Prometheus exposition, plus a deliberately-unknown view) — and prints
+each response as one JSON line. CI pipes that output through this script
+so a protocol schema drift (a renamed field, a dropped error code, a
+metrics regression) breaks the build rather than downstream clients.
 
 Expected stream (order-independent except ping-first):
 
@@ -14,6 +15,9 @@ Expected stream (order-independent except ping-first):
     {"ok":true,"batch":[RESPONSE, RESPONSE, RESPONSE]}
     {"ok":false,"code":"unknown-dataset","message":...}
     {"ok":true,"metrics":{...}}
+    {"ok":true,"report":{...}}
+    {"ok":true,"prometheus":"# TYPE ..."}
+    {"ok":false,"code":"bad-request","message":...}
 
     RESPONSE(ok)  = {"ok":true,"xml":str,"result_count":int,"eval_us":int,
                      "plan":str,"plan_cache":str,"index_cache":str,...}
@@ -130,6 +134,37 @@ def main(argv):
         )
     if m["completed"] < batch_ok:
         fail(f"metrics.completed {m['completed']} below the {batch_ok} batch queries")
+
+    reports = [r for r in responses if r.get("ok") is True and "report" in r]
+    if len(reports) != 1:
+        fail(f"expected exactly one telemetry-report response, got {len(reports)}")
+    rep = reports[0]["report"]
+    for key in ("enabled", "counters", "latency", "latency_all", "windows", "events", "slow"):
+        if key not in rep:
+            fail(f"report is missing the {key!r} section")
+    if rep["enabled"] is not True:
+        fail("smoke runs with telemetry enabled; report says otherwise")
+    if rep["counters"] != m:
+        fail("report.counters disagree with the counters view of the same service")
+    lat = rep["latency_all"]
+    if lat.get("count", 0) < batch_ok:
+        fail(f"latency_all.count {lat.get('count')} below the {batch_ok} batch queries")
+    if not (lat.get("p50_us", 0) <= lat.get("p95_us", 0) <= lat.get("p99_us", 0)):
+        fail(f"latency percentiles out of order: {json.dumps(lat)}")
+    events = rep["events"]
+    if events.get("retained", -1) + events.get("dropped", -1) != events.get("appended", 0):
+        fail(f"event-ring accounting broken: {json.dumps(events)}")
+
+    proms = [r for r in responses if r.get("ok") is True and "prometheus" in r]
+    if len(proms) != 1:
+        fail(f"expected exactly one prometheus response, got {len(proms)}")
+    text = proms[0]["prometheus"]
+    for family in ("gql_requests_total", "gql_service_time_us", "gql_events_appended_total"):
+        if family not in text:
+            fail(f"prometheus exposition is missing {family}")
+
+    if not any(r.get("code") == "bad-request" for r in errors):
+        fail("no structured bad-request error for the unknown metrics view")
 
     print(f"ok: {len(responses)} responses, batch of {batch_ok} served")
     return 0
