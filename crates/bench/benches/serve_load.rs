@@ -7,9 +7,15 @@
 //! get *slower* with more clients) and checks the `serve_load/w8`
 //! percentile rows exist and are ordered via
 //! `tools/check_bench_json.py --percentiles`.
+//!
+//! The reload-under-load scenario replays the same workload at 8
+//! submitters while a reloader thread hot-swaps the `greengrocer` epoch
+//! for the whole timed window; CI holds
+//! `serve_load/reload_p99_vs_steady ≤ 2` — an epoch swap may cost a
+//! short write-lock stall, never a latency cliff.
 
 use gql_bench::microbench::Criterion;
-use gql_bench::serve_load::{build_workload, default_corpus_dir, run_load};
+use gql_bench::serve_load::{build_workload, default_corpus_dir, run_load, run_load_reloading};
 use gql_bench::{criterion_group, criterion_main};
 
 /// Requests per scenario: enough for stable percentiles and to amortize
@@ -28,6 +34,7 @@ fn bench_serve_load(c: &mut Criterion) {
     let group = c.benchmark_group("serve_load");
     let requests = requests_per_run();
     let mut throughput = std::collections::BTreeMap::new();
+    let mut steady_p99 = 0u64;
     for workers in [1usize, 8, 64] {
         let (catalog, items) = build_workload(&default_corpus_dir()).expect("workload builds");
         let report = run_load(catalog, &items, workers, requests);
@@ -44,11 +51,29 @@ fn bench_serve_load(c: &mut Criterion) {
             group.record_metric("w8/p99", report.p99_ns as f64, "ns");
             group.record_metric("plan_hit_rate", report.plan_hit_rate, "ratio");
             group.record_metric("index_hit_rate", report.index_hit_rate, "ratio");
+            steady_p99 = report.p99_ns;
         }
     }
     // The CI sanity bar: more submitters must never make the service
     // slower than a single sequential client.
     group.record_metric("scale_64v1", throughput[&64] / throughput[&1], "ratio");
+
+    // Reload-under-load: same workload and submitter count as the w8
+    // steady row, with the greengrocer epoch hot-swapped throughout.
+    let (catalog, items) = build_workload(&default_corpus_dir()).expect("workload builds");
+    let report = run_load_reloading(catalog, &items, 8, requests, "greengrocer");
+    assert_eq!(report.ok + report.errors, report.requests);
+    assert!(
+        report.reloads >= 1,
+        "reloader never fired during the window"
+    );
+    group.record_metric("reload/p99", report.p99_ns as f64, "ns");
+    group.record_metric("reload/swaps", report.reloads as f64, "count");
+    group.record_metric(
+        "reload_p99_vs_steady",
+        report.p99_ns as f64 / (steady_p99 as f64).max(1.0),
+        "ratio",
+    );
     group.finish();
 }
 

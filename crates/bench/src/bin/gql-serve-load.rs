@@ -3,22 +3,93 @@
 //!
 //! ```text
 //! gql-serve-load [--workers 1,8,64] [--requests 1600] [--corpus DIR]
+//! gql-serve-load --addr HOST:PORT [--requests N] [--tenant NAME]
 //! ```
+//!
+//! Without `--addr` the driver runs in-process (deterministic latency,
+//! no socket noise). With `--addr` it storms a **running** server's demo
+//! datasets through the resilient client instead — and fails fast with a
+//! clear message and a nonzero exit if the server is unreachable, rather
+//! than hammering a dead address with retries.
 
+use std::net::{TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use gql_bench::serve_load::{build_workload, default_corpus_dir, run_load};
+use gql_serve::{Request, ResilientClient, Response, RetryPolicy};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: gql-serve-load [--workers 1,8,64] [--requests N] [--corpus DIR]");
+    eprintln!(
+        "usage: gql-serve-load [--workers 1,8,64] [--requests N] [--corpus DIR]\n       \
+         gql-serve-load --addr HOST:PORT [--requests N] [--tenant NAME]"
+    );
     ExitCode::from(2)
+}
+
+/// Remote mode: canned demo-dataset queries through the retrying client
+/// against a live server. The connection is probed once, eagerly — an
+/// unreachable server is an immediate, explicit failure.
+fn run_remote(addr_str: &str, tenant: &str, requests: u64) -> ExitCode {
+    let Some(addr) = addr_str
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+    else {
+        eprintln!("gql-serve-load: cannot resolve {addr_str}");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = TcpStream::connect_timeout(&addr, Duration::from_secs(2)) {
+        eprintln!("gql-serve-load: cannot connect to {addr_str}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let canned: &[(&str, &str, &str)] = &[
+        ("bibliography", "xpath", "//book/title"),
+        ("bibliography", "xpath", "//book[year]"),
+        ("cityguide", "xpath", "//restaurant/name"),
+        ("greengrocer", "xpath", "//price"),
+        ("webgraph", "xpath", "//page"),
+    ];
+    let mut client = ResilientClient::new(
+        addr,
+        RetryPolicy::default().deadline(Duration::from_secs(10)),
+    );
+    let (mut ok, mut app_errors, mut gave_up) = (0u64, 0u64, 0u64);
+    let start = Instant::now();
+    for i in 0..requests {
+        let (dataset, kind, query) = canned[i as usize % canned.len()];
+        match client.query(&Request::new(tenant, dataset, kind, query)) {
+            Ok(Response::Ok(_)) => ok += 1,
+            Ok(Response::Err(_)) => app_errors += 1,
+            Err(e) => {
+                gave_up += 1;
+                eprintln!("gql-serve-load: request {i}: {e}");
+            }
+        }
+    }
+    let wall = start.elapsed();
+    println!(
+        "{{\"addr\":\"{addr_str}\",\"requests\":{requests},\"ok\":{ok},\"errors\":{app_errors},\
+         \"gave_up\":{gave_up},\"retries\":{},\"wall_ms\":{},\"throughput_rps\":{:.1}}}",
+        client.retries(),
+        wall.as_millis(),
+        requests as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    if gave_up == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
     let mut workers: Vec<usize> = vec![1, 8, 64];
     let mut requests: u64 = 1600;
     let mut corpus: PathBuf = default_corpus_dir();
+    let mut addr: Option<String> = None;
+    let mut tenant = "public".to_string();
+    let mut requests_set = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,15 +104,32 @@ fn main() -> ExitCode {
                 }
             }
             "--requests" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => requests = n,
+                Some(n) => {
+                    requests = n;
+                    requests_set = true;
+                }
                 None => return usage(),
             },
             "--corpus" => match args.next() {
                 Some(dir) => corpus = PathBuf::from(dir),
                 None => return usage(),
             },
+            "--addr" => match args.next() {
+                Some(a) => addr = Some(a),
+                None => return usage(),
+            },
+            "--tenant" => match args.next() {
+                Some(t) => tenant = t,
+                None => return usage(),
+            },
             _ => return usage(),
         }
+    }
+    if let Some(addr) = addr {
+        // Remote runs default to a modest request count: the point is a
+        // live-fire probe, not saturating a production box by accident.
+        let requests = if requests_set { requests } else { 100 };
+        return run_remote(&addr, &tenant, requests);
     }
     for w in workers {
         let (catalog, items) = match build_workload(&corpus) {

@@ -161,6 +161,9 @@ pub struct LoadReport {
     /// (0 when the plane is disabled) — the multiplier the overhead bench
     /// uses to derive its disabled-cost bound.
     pub telemetry_probes: u64,
+    /// Hot catalog reloads completed during the timed window (0 unless the
+    /// run came from [`run_load_reloading`]).
+    pub reloads: u64,
 }
 
 /// Replay `items` round-robin for `total_requests` across `workers`
@@ -199,6 +202,56 @@ pub fn run_load_with(
     total_requests: u64,
     telemetry: TelemetryConfig,
 ) -> LoadReport {
+    run_load_inner(catalog, items, workers, total_requests, telemetry, None)
+}
+
+/// [`run_load`] with a reloader thread hot-swapping `reload_dataset`
+/// throughout the timed window — the epoch-swap latency scenario. The
+/// dataset must be one of the four paper datasets (they regenerate
+/// deterministically, so every swapped epoch serves identical content and
+/// the measured cost is purely the swap, not a workload change). The
+/// returned p99 therefore bounds what a client sees *during* reloads; CI
+/// holds it within 2x the steady-state p99.
+pub fn run_load_reloading(
+    catalog: Catalog,
+    items: &[WorkItem],
+    workers: usize,
+    total_requests: u64,
+    reload_dataset: &str,
+) -> LoadReport {
+    assert!(
+        regenerate(reload_dataset).is_some(),
+        "reload scenario only regenerates the paper datasets, not {reload_dataset:?}"
+    );
+    run_load_inner(
+        catalog,
+        items,
+        workers,
+        total_requests,
+        TelemetryConfig::default(),
+        Some(reload_dataset),
+    )
+}
+
+/// Rebuild one paper dataset's document from its deterministic generator.
+fn regenerate(name: &str) -> Option<gql_ssdm::Document> {
+    Some(match name {
+        "bibliography" => generator::bibliography(Default::default()),
+        "cityguide" => generator::cityguide(Default::default()),
+        "greengrocer" => generator::greengrocer(Default::default()),
+        "webgraph" => generator::webgraph(Default::default()),
+        _ => return None,
+    })
+}
+
+fn run_load_inner(
+    catalog: Catalog,
+    items: &[WorkItem],
+    workers: usize,
+    total_requests: u64,
+    telemetry: TelemetryConfig,
+    reload_dataset: Option<&str>,
+) -> LoadReport {
     assert!(!items.is_empty(), "empty workload");
     let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
     let pool = workers.min(cores * 4).max(1);
@@ -230,7 +283,29 @@ pub fn run_load_with(
     let errors = AtomicU64::new(0);
     let latencies = Histo::new();
     let mut wall = Duration::ZERO;
+    let storm_done = std::sync::atomic::AtomicBool::new(false);
+    let reloads = AtomicU64::new(0);
     std::thread::scope(|s| {
+        // The epoch-swap scenario: one reloader thread hot-swaps the
+        // chosen dataset for the whole timed window while submitters
+        // storm it, so the measured percentiles include requests that
+        // straddle swaps and drain old epochs.
+        if let Some(name) = reload_dataset {
+            let handle = handle.clone();
+            let (storm_done, reloads) = (&storm_done, &reloads);
+            s.spawn(move || {
+                while !storm_done.load(Ordering::Acquire) {
+                    let doc = regenerate(name).expect("regenerable dataset");
+                    handle
+                        .catalog()
+                        .reload(name, doc)
+                        .expect("reload of a registered dataset");
+                    reloads.fetch_add(1, Ordering::Relaxed);
+                    handle.catalog().reap_retired();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
         let submitters: Vec<_> = (0..workers)
             .map(|_| {
                 let handle = handle.clone();
@@ -264,7 +339,18 @@ pub fn run_load_with(
             t.join().expect("submitter thread");
         }
         wall = start.elapsed();
+        storm_done.store(true, Ordering::Release);
     });
+    // Drain: with the storm over every pinned epoch must release, so the
+    // retired list reaps to empty (bounded wait — a leak would hang CI).
+    if reload_dataset.is_some() {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.catalog().draining() > 0 {
+            handle.catalog().reap_retired();
+            assert!(Instant::now() < deadline, "retired epochs failed to drain");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
     let metrics = handle.metrics();
     let probes = handle.telemetry().probes();
     service.shutdown();
@@ -297,6 +383,7 @@ pub fn run_load_with(
             metrics.index_cold - warmup_metrics.index_cold,
         ),
         telemetry_probes: probes - warmup_probes,
+        reloads: reloads.into_inner(),
     }
 }
 
@@ -330,6 +417,15 @@ mod tests {
         assert!(report.plan_hit_rate > 0.0);
         // Telemetry defaults on: the service fired probes for this load.
         assert!(report.telemetry_probes > 0);
+    }
+
+    #[test]
+    fn reload_scenario_swaps_epochs_and_drains() {
+        let (catalog, items) = build_workload(&default_corpus_dir()).expect("workload builds");
+        let report = run_load_reloading(catalog, &items, 4, items.len() as u64, "greengrocer");
+        assert_eq!(report.ok + report.errors, report.requests);
+        assert!(report.reloads >= 1, "reloader never fired");
+        // run_load_inner's bounded drain already asserted no epoch leaked.
     }
 
     #[test]

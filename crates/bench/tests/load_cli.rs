@@ -1,0 +1,69 @@
+//! CLI failure-mode contract for `gql-serve-load --addr`: an unreachable
+//! server is an immediate, explicit failure (single connect probe, clear
+//! message, nonzero exit) — the retrying client must never get a chance
+//! to grind through its backoff schedule against a dead address.
+
+#![cfg(not(miri))]
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// Port 1 is reserved (tcpmux) and nothing in CI listens on it: connects
+/// are refused immediately, which is exactly the failure mode under test.
+const DEAD_ADDR: &str = "127.0.0.1:1";
+
+#[test]
+fn remote_load_against_unreachable_server_fails_fast_with_a_clear_message() {
+    let start = Instant::now();
+    let out = Command::new(env!("CARGO_BIN_EXE_gql-serve-load"))
+        .args(["--addr", DEAD_ADDR, "--requests", "5"])
+        .output()
+        .expect("spawn gql-serve-load");
+    let elapsed = start.elapsed();
+    assert!(
+        !out.status.success(),
+        "load driver exited 0 against a dead address"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot connect") && stderr.contains(DEAD_ADDR),
+        "diagnostic should name the failure and the address, got: {stderr}"
+    );
+    // The probe connect is refused in milliseconds and there is no retry
+    // loop in front of it; allow generous CI slack.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "load driver took {elapsed:?} to report a refused connect"
+    );
+    // Nothing should have been printed as a (misleading) summary line.
+    assert!(
+        out.stdout.is_empty(),
+        "no summary should print on probe failure, got: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn unresolvable_host_fails_with_a_resolve_diagnostic() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gql-serve-load"))
+        .args(["--addr", "no-such-host.invalid:7878"])
+        .output()
+        .expect("spawn gql-serve-load");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot resolve") || stderr.contains("cannot connect"),
+        "got: {stderr}"
+    );
+}
+
+#[test]
+fn bad_flag_prints_usage_and_exits_nonzero() {
+    let out = Command::new(env!("CARGO_BIN_EXE_gql-serve-load"))
+        .arg("--no-such-flag")
+        .output()
+        .expect("spawn gql-serve-load");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "got: {stderr}");
+}

@@ -552,6 +552,21 @@ pub mod fault {
         /// A cached plan entry is corrupted in place; validation must
         /// catch it and replan from scratch.
         pub corrupt_plan_cache: bool,
+        /// Service/wire faults, as *token budgets*: each seam hit consumes
+        /// one token ([`take_torn_reply`] etc.), so a storm sees exactly N
+        /// injected faults and a retrying client deterministically
+        /// recovers once the budget is spent.
+        ///
+        /// Tear the next N reply frames: the server writes a partial
+        /// length-prefixed frame and drops the connection mid-body.
+        pub torn_replies: u64,
+        /// Drop the next N replies entirely: the job executes, then the
+        /// connection closes before any reply frame is written (exercises
+        /// at-most-once delivery through the idempotency map).
+        pub drop_replies: u64,
+        /// Panic the next N pool jobs after their start event; the worker
+        /// supervisor must answer structurally and keep the queue alive.
+        pub panic_jobs: u64,
     }
 
     impl FaultPlan {
@@ -587,6 +602,30 @@ pub mod fault {
         pub fn corrupt_plan_cache() -> FaultPlan {
             FaultPlan {
                 corrupt_plan_cache: true,
+                ..FaultPlan::default()
+            }
+        }
+
+        /// Tear the next `n` wire reply frames mid-write.
+        pub fn torn_replies(n: u64) -> FaultPlan {
+            FaultPlan {
+                torn_replies: n,
+                ..FaultPlan::default()
+            }
+        }
+
+        /// Drop the next `n` wire replies after execution.
+        pub fn drop_replies(n: u64) -> FaultPlan {
+            FaultPlan {
+                drop_replies: n,
+                ..FaultPlan::default()
+            }
+        }
+
+        /// Panic the next `n` service pool jobs.
+        pub fn panic_jobs(n: u64) -> FaultPlan {
+            FaultPlan {
+                panic_jobs: n,
                 ..FaultPlan::default()
             }
         }
@@ -684,11 +723,63 @@ pub mod fault {
             }
         }
     }
+
+    /// Consume one token from the installed plan's `field`, returning
+    /// true exactly `initial budget` times across all threads.
+    fn take_token(field: impl Fn(&mut FaultPlan) -> &mut u64) -> bool {
+        if !active() {
+            return false;
+        }
+        let mut plan = match plan_slot().lock() {
+            Ok(p) => p,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let tokens = field(&mut plan);
+        if *tokens > 0 {
+            *tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Seam: should this wire reply frame be torn mid-write? Consumes one
+    /// `torn_replies` token.
+    pub fn take_torn_reply() -> bool {
+        take_token(|p| &mut p.torn_replies)
+    }
+
+    /// Seam: should this wire reply be dropped (connection closed without
+    /// writing)? Consumes one `drop_replies` token.
+    pub fn take_drop_reply() -> bool {
+        take_token(|p| &mut p.drop_replies)
+    }
+
+    /// Seam: should this pool job panic? Consumes one `panic_jobs` token.
+    pub fn take_panic_job() -> bool {
+        take_token(|p| &mut p.panic_jobs)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_tokens_decrement_across_takes_and_clear_with_the_plan() {
+        fault::with_plan(fault::FaultPlan::torn_replies(2), || {
+            assert!(fault::take_torn_reply());
+            assert!(fault::take_torn_reply());
+            assert!(!fault::take_torn_reply(), "token budget spent");
+            assert!(!fault::take_drop_reply(), "other seams unaffected");
+            assert!(!fault::take_panic_job());
+        });
+        fault::with_plan(fault::FaultPlan::panic_jobs(1), || {
+            assert!(fault::take_panic_job());
+            assert!(!fault::take_panic_job());
+        });
+        assert!(!fault::take_torn_reply(), "no plan installed, no faults");
+    }
 
     #[test]
     fn unlimited_guard_never_trips() {

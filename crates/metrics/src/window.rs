@@ -70,6 +70,13 @@ impl Windows {
 
     /// Count one event on `lane` at the clock's current second.
     pub fn record(&self, lane: usize) {
+        self.record_n(lane, 1);
+    }
+
+    /// Count `n` events on `lane` at the clock's current second in one
+    /// increment. Used by weighted budgets (e.g. match-unit quotas)
+    /// where a single admission charges many units at once.
+    pub fn record_n(&self, lane: usize, n: u64) {
         let epoch = self.clock.now_micros() / 1_000_000;
         let slot = &self.slots[(epoch as usize) % WINDOW_SLOTS];
         if slot.epoch.load(Ordering::Acquire) != epoch {
@@ -82,7 +89,7 @@ impl Windows {
                 }
             }
         }
-        slot.lanes[lane].fetch_add(1, Ordering::Relaxed);
+        slot.lanes[lane].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Sum every lane over the trailing `window_secs` seconds (stamps in
@@ -208,6 +215,19 @@ mod tests {
             w.sums(WINDOW_SLOTS as u64),
             "oversized windows clamp to the ring"
         );
+    }
+
+    #[test]
+    fn record_n_charges_many_units_into_one_second() {
+        let (clock, w) = windows(2);
+        w.record_n(0, 40);
+        w.record(0);
+        w.record_n(1, 0); // zero-unit charge is a no-op on the sums
+        assert_eq!(w.sums(1), [41, 0]);
+        clock.advance_secs(1);
+        w.record_n(0, 9);
+        assert_eq!(w.sums(1), [9, 0], "weighted counts rotate like unit ones");
+        assert_eq!(w.sums(10), [50, 0]);
     }
 
     #[test]

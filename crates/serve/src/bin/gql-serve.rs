@@ -55,13 +55,16 @@ fn demo_catalog() -> Catalog {
 
 /// A permissive public tenant: plenty of slots, per-query caps high
 /// enough for every demo query but low enough that a pathological one
-/// cannot wedge a worker forever.
+/// cannot wedge a worker forever. Plus a `limited` tenant whose zero
+/// requests-per-second quota makes `rate_limited` reachable on demand —
+/// both for the smoke and for poking a live server by hand.
 fn demo_tenants() -> TenantRegistry {
     let mut tenants = TenantRegistry::new();
     tenants.register(
         "public",
         Envelope::slots(64).with_per_query(Budget::unlimited().with_timeout_ms(30_000)),
     );
+    tenants.register("limited", Envelope::slots(8).with_requests_per_sec(0));
     tenants
 }
 
@@ -213,6 +216,50 @@ fn cmd_smoke() -> Result<(), String> {
         r#"{"op":"query","tenant":"public","dataset":"nope","kind":"xpath","query":"//a"}"#,
     )?;
     if unknown.get("code").and_then(Value::as_str) != Some("unknown-dataset") {
+        failures += 1;
+    }
+    // Hot reload: swap greengrocer for a tiny replacement at epoch 2,
+    // then prove the very next query serves the new epoch's content.
+    let reload = send(
+        "reload",
+        r#"{"op":"reload","dataset":"greengrocer","xml":"<shop><item><price>1</price></item></shop>"}"#,
+    )?;
+    if reload
+        .get("reload")
+        .and_then(|r| r.get("epoch"))
+        .and_then(Value::as_u64)
+        != Some(2)
+    {
+        eprintln!(
+            "smoke: reload did not advance to epoch 2: {}",
+            reload.render()
+        );
+        failures += 1;
+    }
+    let reloaded = send(
+        "query-reloaded",
+        r#"{"op":"query","tenant":"public","dataset":"greengrocer","kind":"xpath","query":"//price"}"#,
+    )?;
+    if reloaded.get("epoch").and_then(Value::as_u64) != Some(2)
+        || reloaded.get("result_count").and_then(Value::as_u64) != Some(1)
+    {
+        eprintln!(
+            "smoke: post-reload query not on epoch 2: {}",
+            reloaded.render()
+        );
+        failures += 1;
+    }
+    // The zero-quota tenant: deterministically rate_limited with a
+    // bounded retry hint.
+    let limited = send(
+        "rate-limited",
+        r#"{"op":"query","tenant":"limited","dataset":"bibliography","kind":"xpath","query":"//book/title"}"#,
+    )?;
+    let hint = limited.get("retry_after_ms").and_then(Value::as_u64);
+    if limited.get("code").and_then(Value::as_str) != Some("rate_limited")
+        || !matches!(hint, Some(1..=1000))
+    {
+        eprintln!("smoke: rate-limited reply malformed: {}", limited.render());
         failures += 1;
     }
     let metrics = send("metrics", r#"{"op":"metrics"}"#)?;

@@ -1,5 +1,5 @@
 //! The document catalog: named datasets loaded and indexed once, shared
-//! read-only across every connection.
+//! read-only across every connection — now with hot reload.
 //!
 //! Each [`Dataset`] owns its document behind an `Arc` (documents are
 //! immutable and `Sync` — interior caches are `OnceLock`-based) and a
@@ -13,24 +13,63 @@
 //! snapshot ([`Dataset::verify`]) — a dataset whose document no longer
 //! matches what was indexed (impossible through safe code, but cheap to
 //! prove per request) is refused rather than served stale.
+//!
+//! # Epochs and hot reload
+//!
+//! Every dataset carries an **epoch**: a per-name version number starting
+//! at 1 and incremented by [`Catalog::reload`]. A reload builds the new
+//! dataset (parse, index, preload) entirely off to the side, then swaps
+//! the `Arc` into the map atomically under a short write lock — readers
+//! either see the old epoch or the new one, never a mix. In-flight
+//! requests keep serving from the `Arc<Dataset>` they resolved at
+//! admission; they were *pinned* to that epoch via [`Dataset::pin`],
+//! which bumps a per-epoch `admitted` counter whose matching `released`
+//! increment fires when the [`EpochPin`] drops. A replaced dataset moves
+//! to a retired list and is reaped ([`Catalog::reap_retired`]) only when
+//! `admitted == released` — the graceful drain: the old epoch's index
+//! stays alive exactly as long as its last in-flight permit.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use gql_core::Engine;
 use gql_ssdm::{shallow_fingerprint, Document};
 
-/// One named, preloaded dataset.
+/// Per-epoch permit accounting: how many requests admitted against this
+/// epoch, how many have released. The epoch is drained when they match.
+#[derive(Debug, Default)]
+struct EpochPermits {
+    admitted: AtomicU64,
+    released: AtomicU64,
+}
+
+/// RAII pin on one dataset epoch: created at admission, released on
+/// drop. While any pin is live the epoch's dataset is never reaped.
+#[derive(Debug)]
+pub struct EpochPin {
+    permits: Arc<EpochPermits>,
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        self.permits.released.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// One named, preloaded dataset at one catalog epoch.
 #[derive(Debug)]
 pub struct Dataset {
     name: String,
     doc: Arc<Document>,
     engine: Arc<Engine>,
     fingerprint: u64,
+    epoch: u64,
+    permits: Arc<EpochPermits>,
 }
 
 impl Dataset {
-    fn new(name: &str, doc: Document) -> Dataset {
+    fn new(name: &str, doc: Document, epoch: u64) -> Dataset {
         let doc = Arc::new(doc);
         let mut engine = Engine::new();
         // Preload against the Arc'd allocation so the address the resident
@@ -41,6 +80,8 @@ impl Dataset {
             fingerprint: shallow_fingerprint(&doc),
             doc,
             engine: Arc::new(engine),
+            epoch,
+            permits: Arc::new(EpochPermits::default()),
         }
     }
 
@@ -61,19 +102,68 @@ impl Dataset {
         self.fingerprint
     }
 
+    /// The catalog epoch this dataset was registered at (1-based,
+    /// bumped by every [`Catalog::reload`] of the same name).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Re-validate the content fingerprint taken at registration.
     pub fn verify(&self) -> bool {
         shallow_fingerprint(&self.doc) == self.fingerprint
     }
+
+    /// Pin an in-flight request to this epoch. The pin must be held for
+    /// the request's whole execution: the drain in
+    /// [`Catalog::reap_retired`] waits for every pin to release.
+    pub fn pin(&self) -> EpochPin {
+        self.permits.admitted.fetch_add(1, Ordering::AcqRel);
+        EpochPin {
+            permits: Arc::clone(&self.permits),
+        }
+    }
+
+    /// Permits admitted against this epoch so far.
+    pub fn permits_admitted(&self) -> u64 {
+        self.permits.admitted.load(Ordering::Acquire)
+    }
+
+    /// Permits released back so far (`<= permits_admitted`).
+    pub fn permits_released(&self) -> u64 {
+        self.permits.released.load(Ordering::Acquire)
+    }
+
+    /// True once every admitted permit has released.
+    pub fn drained(&self) -> bool {
+        // Read released first: a racing pin can only make this check
+        // conservatively false, never falsely true.
+        let released = self.permits_released();
+        released == self.permits_admitted()
+    }
 }
 
-/// Immutable-after-build map of dataset name → [`Dataset`].
+/// Drain-state snapshot of one live or retired dataset epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochStats {
+    pub name: String,
+    pub epoch: u64,
+    pub admitted: u64,
+    pub released: u64,
+    /// True for replaced epochs still waiting on their last permit.
+    pub retired: bool,
+}
+
+/// Map of dataset name → [`Dataset`], hot-reloadable.
 ///
-/// Built once at service start, then shared via `Arc<Catalog>`; the
-/// service never mutates it, so lookups are lock-free.
+/// Lookups take a short read lock on the name map and clone out the
+/// `Arc<Dataset>`; everything per-request after that is lock-free.
+/// [`reload`](Catalog::reload) builds the replacement off-line and
+/// swaps it in atomically, parking the old epoch on a retired list
+/// until it drains.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    datasets: BTreeMap<String, Arc<Dataset>>,
+    datasets: RwLock<BTreeMap<String, Arc<Dataset>>>,
+    retired: Mutex<Vec<Arc<Dataset>>>,
 }
 
 impl Catalog {
@@ -82,10 +172,15 @@ impl Catalog {
     }
 
     /// Register a document under `name`, building its index/summary and
-    /// plan cache eagerly. Re-registering a name replaces the dataset.
+    /// plan cache eagerly. Re-registering a name replaces the dataset
+    /// (epoch 1 again — use [`reload`](Catalog::reload) for versioned
+    /// replacement with drain).
     pub fn register(&mut self, name: &str, doc: Document) -> Arc<Dataset> {
-        let ds = Arc::new(Dataset::new(name, doc));
-        self.datasets.insert(name.to_string(), Arc::clone(&ds));
+        let ds = Arc::new(Dataset::new(name, doc, 1));
+        self.datasets
+            .write()
+            .expect("catalog lock")
+            .insert(name.to_string(), Arc::clone(&ds));
         ds
     }
 
@@ -95,26 +190,131 @@ impl Catalog {
         Ok(self.register(name, doc))
     }
 
+    /// Test-only: register `doc` under `name` with a deliberately wrong
+    /// fingerprint. No safe code path can produce this state — which is
+    /// exactly why the per-request [`Dataset::verify`] refusal needs a
+    /// hook to be reachable in tests at all.
+    #[doc(hidden)]
+    pub fn register_corrupted_for_tests(&mut self, name: &str, doc: Document) -> Arc<Dataset> {
+        let mut ds = Dataset::new(name, doc, 1);
+        ds.fingerprint ^= 0xdead_beef;
+        let ds = Arc::new(ds);
+        self.datasets
+            .write()
+            .expect("catalog lock")
+            .insert(name.to_string(), Arc::clone(&ds));
+        ds
+    }
+
+    /// Hot-swap `name` to a freshly indexed copy of `doc` at the next
+    /// epoch. The whole build (parse upstream, index, preload) happens
+    /// before the write lock is taken, so readers block only for the
+    /// map swap itself. Fails if `name` was never registered: reload
+    /// versions an existing dataset, it does not create one.
+    ///
+    /// The replaced epoch is parked on the retired list and dropped by
+    /// [`reap_retired`](Catalog::reap_retired) once its last in-flight
+    /// pin releases; requests already admitted keep their `Arc` and
+    /// finish against the epoch they started on.
+    pub fn reload(&self, name: &str, doc: Document) -> Result<Arc<Dataset>, String> {
+        let next_epoch = {
+            let map = self.datasets.read().expect("catalog lock");
+            match map.get(name) {
+                Some(old) => old.epoch() + 1,
+                None => {
+                    return Err(format!(
+                        "unknown dataset `{name}`: reload needs an existing registration"
+                    ))
+                }
+            }
+        };
+        let ds = Arc::new(Dataset::new(name, doc, next_epoch));
+        let old = {
+            let mut map = self.datasets.write().expect("catalog lock");
+            map.insert(name.to_string(), Arc::clone(&ds))
+        };
+        if let Some(old) = old {
+            self.retired.lock().expect("retired lock").push(old);
+        }
+        // Opportunistic drain: reloads are rare, so piggyback the sweep.
+        self.reap_retired();
+        Ok(ds)
+    }
+
+    /// Parse and hot-swap XML source for an existing `name`.
+    pub fn reload_xml(&self, name: &str, xml: &str) -> Result<Arc<Dataset>, String> {
+        let doc = gql_ssdm::xml::parse(xml).map_err(|e| format!("dataset `{name}`: {e}"))?;
+        self.reload(name, doc)
+    }
+
+    /// Drop every retired epoch whose permits have fully released.
+    /// Returns the number of retired epochs still draining.
+    pub fn reap_retired(&self) -> usize {
+        let mut retired = self.retired.lock().expect("retired lock");
+        retired.retain(|d| !d.drained());
+        retired.len()
+    }
+
+    /// Retired epochs still waiting on in-flight permits.
+    pub fn draining(&self) -> usize {
+        self.reap_retired()
+    }
+
     pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
-        self.datasets.get(name).cloned()
+        self.datasets
+            .read()
+            .expect("catalog lock")
+            .get(name)
+            .cloned()
     }
 
     pub fn len(&self) -> usize {
-        self.datasets.len()
+        self.datasets.read().expect("catalog lock").len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.datasets.is_empty()
+        self.len() == 0
     }
 
     /// Dataset names in deterministic (sorted) order.
-    pub fn names(&self) -> Vec<&str> {
-        self.datasets.keys().map(String::as_str).collect()
+    pub fn names(&self) -> Vec<String> {
+        self.datasets
+            .read()
+            .expect("catalog lock")
+            .keys()
+            .cloned()
+            .collect()
     }
 
-    /// Iterate datasets in name order.
-    pub fn iter(&self) -> impl Iterator<Item = &Arc<Dataset>> {
-        self.datasets.values()
+    /// The live datasets in name order, cloned out so no lock is held.
+    pub fn snapshot(&self) -> Vec<Arc<Dataset>> {
+        self.datasets
+            .read()
+            .expect("catalog lock")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Drain-state of every live and still-retired epoch: live first in
+    /// name order, then retired in replacement order.
+    pub fn epoch_stats(&self) -> Vec<EpochStats> {
+        let stats = |d: &Arc<Dataset>, retired: bool| EpochStats {
+            name: d.name().to_string(),
+            epoch: d.epoch(),
+            admitted: d.permits_admitted(),
+            released: d.permits_released(),
+            retired,
+        };
+        let mut out: Vec<EpochStats> = self.snapshot().iter().map(|d| stats(d, false)).collect();
+        out.extend(
+            self.retired
+                .lock()
+                .expect("retired lock")
+                .iter()
+                .map(|d| stats(d, true)),
+        );
+        out
     }
 }
 
@@ -130,6 +330,7 @@ mod tests {
             .register_xml("bib", "<bib><book><title>t</title></book></bib>")
             .expect("parses");
         assert!(ds.verify());
+        assert_eq!(ds.epoch(), 1);
         assert_eq!(cat.names(), ["bib"]);
         // A profiled run against the dataset's own doc must hit the
         // preloaded resident index.
@@ -151,5 +352,67 @@ mod tests {
         assert!(cat.get("nope").is_none());
         assert!(cat.register_xml("bad", "<unclosed").is_err());
         assert!(cat.is_empty());
+        assert!(
+            cat.reload_xml("nope", "<r/>").is_err(),
+            "reload must not create datasets"
+        );
+    }
+
+    #[test]
+    fn reload_advances_the_epoch_and_drains_the_old_one() {
+        let mut cat = Catalog::new();
+        let v1 = cat.register_xml("d", "<r><a/></r>").expect("parses");
+        assert_eq!(v1.epoch(), 1);
+
+        // Pin v1 as an in-flight request would, then reload under it.
+        let pin = v1.pin();
+        let v2 = cat.reload_xml("d", "<r><a/><a/></r>").expect("reloads");
+        assert_eq!(v2.epoch(), 2);
+        assert_ne!(v1.fingerprint(), v2.fingerprint());
+        assert_eq!(
+            cat.get("d").expect("live").epoch(),
+            2,
+            "lookups see the new epoch immediately"
+        );
+
+        // The old epoch is retired but not reaped while pinned...
+        assert_eq!(cat.draining(), 1);
+        assert!(!v1.drained());
+        let stats = cat.epoch_stats();
+        assert_eq!(stats.len(), 2);
+        assert!(stats
+            .iter()
+            .any(|s| s.retired && s.epoch == 1 && s.admitted == 1 && s.released == 0));
+
+        // ...and reaped exactly when the last permit releases.
+        drop(pin);
+        assert!(v1.drained());
+        assert_eq!(cat.draining(), 0);
+        assert_eq!(v1.permits_admitted(), v1.permits_released());
+
+        // Bad replacement XML leaves the live epoch untouched.
+        assert!(cat.reload_xml("d", "<broken").is_err());
+        assert_eq!(cat.get("d").expect("live").epoch(), 2);
+    }
+
+    #[test]
+    fn both_epochs_serve_their_own_bytes_during_drain() {
+        let mut cat = Catalog::new();
+        cat.register_xml("d", "<r><x>old</x></r>").expect("parses");
+        let v1 = cat.get("d").expect("live");
+        let _pin = v1.pin();
+        let v2 = cat
+            .reload_xml("d", "<r><x>new</x><x>new</x></r>")
+            .expect("reloads");
+
+        let run = |ds: &Arc<Dataset>| {
+            ds.engine()
+                .run(&QueryKind::XPath("//x".into()), ds.doc())
+                .expect("runs")
+                .result_count
+        };
+        assert_eq!(run(&v1), 1, "pinned epoch keeps serving its own doc");
+        assert_eq!(run(&v2), 2, "new epoch serves the reloaded doc");
+        assert!(v1.verify() && v2.verify());
     }
 }

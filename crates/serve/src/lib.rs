@@ -19,14 +19,28 @@
 //!   trace layer;
 //! * [`proto`] + [`server`] — a length-prefixed JSON protocol over TCP.
 //!   Client disconnect mid-query trips the request's `CancelToken`; the
-//!   partial-progress trip report is returned, not dropped.
+//!   partial-progress trip report is returned, not dropped. Read/write
+//!   idle timeouts reap stalled (slow-loris) connections;
+//! * [`client`] — a resilient blocking client: per-request deadlines,
+//!   capped exponential backoff with deterministic seeded jitter, and
+//!   idempotent retries deduplicated server-side at the worker boundary.
+//!
+//! Resilience is layered on top: the [`catalog`] versions every dataset
+//! by **epoch** with atomic hot reload and graceful drain (in-flight
+//! queries finish on the epoch they were admitted to; a reply never mixes
+//! epochs), and [`tenant`] adds time-window rate quotas that reject with
+//! a structured `rate_limited` + `retry_after_ms` envelope.
 //!
 //! The testkit's concurrency differential oracle replays the whole
 //! regression corpus through this service at concurrency 8 and holds the
 //! results byte-identical to a fresh single-threaded `Engine` — serving
-//! concurrently must never change an answer.
+//! concurrently must never change an answer. The chaos oracle re-runs the
+//! corpus through the resilient client while the guard's fault plan tears
+//! frames, drops replies, panics workers and hot-reloads the catalog
+//! mid-storm, holding the same bar.
 
 pub mod catalog;
+pub mod client;
 pub mod json;
 pub mod proto;
 pub mod server;
@@ -34,12 +48,13 @@ pub mod service;
 pub mod telemetry;
 pub mod tenant;
 
-pub use catalog::{Catalog, Dataset};
+pub use catalog::{Catalog, Dataset, EpochPin, EpochStats};
+pub use client::{ClientError, ResilientClient, RetryPolicy};
 pub use proto::MetricsView;
-pub use server::{Client, Server};
+pub use server::{Client, Server, ServerConfig};
 pub use service::{
     ErrorCode, Pending, QueryErr, QueryOk, Request, Response, ServeHandle, Service, ServiceBuilder,
     ServiceMetrics,
 };
 pub use telemetry::{MetricsReport, Telemetry, TelemetryConfig};
-pub use tenant::{Envelope, Permit, Tenant, TenantMetrics, TenantRegistry};
+pub use tenant::{AdmitDenied, Envelope, Permit, Tenant, TenantMetrics, TenantRegistry};

@@ -15,6 +15,7 @@
 //! {"op":"metrics","view":"report"}
 //! {"op":"metrics","view":"prometheus"}
 //! {"op":"metrics","view":"text"}
+//! {"op":"reload","dataset":"bib","xml":"<bib>…</bib>"}
 //! ```
 //!
 //! The `metrics` op takes an optional `view`: `counters` (the default,
@@ -24,11 +25,21 @@
 //! `text` (the human stat printout `gql-serve stat` shows). An unknown
 //! view is a `bad-request`.
 //!
-//! Every response is one frame: `{"ok":true,…}` or
-//! `{"ok":false,"code":"…","message":"…"[,"report":"…"]}`. Budget and
-//! cancellation errors carry the partial-progress trip report in
-//! `report` — the service returns how far the run got, it never silently
-//! drops the work.
+//! The `reload` op hot-swaps an existing dataset to freshly parsed XML
+//! at the next catalog epoch (see `Catalog::reload`); its success reply
+//! is `{"ok":true,"reload":{"dataset":…,"epoch":N,"draining":M}}`.
+//!
+//! Query ops may carry a `request_id` — an idempotency key: a retried
+//! request with the same id is answered from the original execution
+//! instead of running again.
+//!
+//! Every response is one frame: `{"ok":true,…}` (query successes carry
+//! the dataset `epoch` they executed against) or
+//! `{"ok":false,"code":"…","message":"…"[,"report":"…"][,"retry_after_ms":N]}`.
+//! Budget and cancellation errors carry the partial-progress trip report
+//! in `report` — the service returns how far the run got, it never
+//! silently drops the work. `rate_limited` rejections carry
+//! `retry_after_ms`, the time to the quota window's rollover.
 
 use std::io::{Read, Write};
 
@@ -100,6 +111,11 @@ pub enum Op {
     Query(Request),
     Batch(Vec<Request>),
     Metrics(MetricsView),
+    /// Hot-swap an existing dataset to this XML source (admin surface).
+    Reload {
+        dataset: String,
+        xml: String,
+    },
 }
 
 /// Decode a request frame. Errors are `bad-request` messages.
@@ -126,6 +142,18 @@ pub fn decode_op(payload: &[u8]) -> Result<Op, String> {
                 }),
         },
         "query" => decode_request(&v, None).map(Op::Query),
+        "reload" => {
+            let field = |name: &str| -> Result<String, String> {
+                v.get(name)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("missing `{name}` field"))
+            };
+            Ok(Op::Reload {
+                dataset: field("dataset")?,
+                xml: field("xml")?,
+            })
+        }
         "batch" => {
             let tenant = v.get("tenant").and_then(Value::as_str);
             let items = v
@@ -159,7 +187,30 @@ fn decode_request(v: &Value, default_tenant: Option<&str>) -> Result<Request, St
         kind: field("kind")?,
         query: field("query")?,
         profile: v.get("profile").and_then(Value::as_bool).unwrap_or(false),
+        request_id: v
+            .get("request_id")
+            .and_then(Value::as_str)
+            .map(str::to_string),
     })
+}
+
+/// Encode a request as a `{"op":"query",…}` frame value (the client
+/// half of [`decode_op`]).
+pub fn encode_request(req: &Request) -> Value {
+    let mut pairs = vec![
+        ("op".into(), Value::str("query")),
+        ("tenant".into(), Value::str(req.tenant.clone())),
+        ("dataset".into(), Value::str(req.dataset.clone())),
+        ("kind".into(), Value::str(req.kind.clone())),
+        ("query".into(), Value::str(req.query.clone())),
+    ];
+    if req.profile {
+        pairs.push(("profile".into(), Value::Bool(true)));
+    }
+    if let Some(id) = &req.request_id {
+        pairs.push(("request_id".into(), Value::str(id.clone())));
+    }
+    Value::Obj(pairs)
 }
 
 /// Encode one service response.
@@ -179,6 +230,7 @@ fn encode_ok(ok: &QueryOk) -> Value {
         ("plan".into(), Value::str(ok.plan.clone())),
         ("plan_cache".into(), Value::str(ok.plan_cache.clone())),
         ("index_cache".into(), Value::str(ok.index_cache.clone())),
+        ("epoch".into(), Value::count(ok.epoch)),
     ];
     if let Some(p) = &ok.profile {
         // The profile is itself JSON; embed it structurally, not as a
@@ -202,6 +254,9 @@ fn encode_err(err: &QueryErr) -> Value {
     ];
     if let Some(r) = &err.report {
         pairs.push(("report".into(), Value::str(r.clone())));
+    }
+    if let Some(ms) = err.retry_after_ms {
+        pairs.push(("retry_after_ms".into(), Value::count(ms)));
     }
     Value::Obj(pairs)
 }
@@ -233,6 +288,7 @@ pub fn decode_response(v: &Value) -> Result<Response, String> {
                 .and_then(Value::as_str)
                 .unwrap_or_default()
                 .to_string(),
+            epoch: v.get("epoch").and_then(Value::as_u64).unwrap_or(0),
             profile: v.get("profile").map(Value::render),
             shape: v.get("shape").and_then(Value::as_str).map(str::to_string),
         }))),
@@ -248,6 +304,7 @@ pub fn decode_response(v: &Value) -> Result<Response, String> {
                 .unwrap_or_default()
                 .to_string(),
             report: v.get("report").and_then(Value::as_str).map(str::to_string),
+            retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64),
         })),
         None => Err("response without boolean `ok`".into()),
     }
@@ -302,6 +359,25 @@ mod tests {
             decode_op(br#"{"op":"query","tenant":"t","dataset":"d","kind":"xpath","query":"//a"}"#)
                 .unwrap();
         assert_eq!(q, Op::Query(Request::new("t", "d", "xpath", "//a")));
+        let q = decode_op(
+            br#"{"op":"query","tenant":"t","dataset":"d","kind":"xpath","query":"//a","request_id":"r-7"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            Op::Query(Request::new("t", "d", "xpath", "//a").with_request_id("r-7"))
+        );
+        assert_eq!(
+            decode_op(br#"{"op":"reload","dataset":"d","xml":"<r/>"}"#),
+            Ok(Op::Reload {
+                dataset: "d".into(),
+                xml: "<r/>".into()
+            })
+        );
+        assert!(
+            decode_op(br#"{"op":"reload","dataset":"d"}"#).is_err(),
+            "reload without xml is a structured error"
+        );
         // Batch items inherit the batch-level tenant unless they override.
         let b = decode_op(
             br#"{"op":"batch","tenant":"t","items":[{"dataset":"d","kind":"xpath","query":"//a"},{"tenant":"u","dataset":"d","kind":"xpath","query":"//b"}]}"#,
@@ -337,6 +413,7 @@ mod tests {
             plan: "Scan".into(),
             plan_cache: "hit".into(),
             index_cache: "hit".into(),
+            epoch: 4,
             profile: None,
             shape: Some("run".into()),
         }));
@@ -345,7 +422,30 @@ mod tests {
             code: ErrorCode::Budget,
             message: "budget exceeded (matches): …".into(),
             report: Some("phase=eval rounds=0 matches=10 nodes=0".into()),
+            retry_after_ms: None,
         });
         assert_eq!(decode_response(&encode_response(&err)), Ok(err));
+        let limited = Response::Err(QueryErr {
+            code: ErrorCode::RateLimited,
+            message: "tenant `t` rate quota exhausted; retry in 250ms".into(),
+            report: None,
+            retry_after_ms: Some(250),
+        });
+        let encoded = encode_response(&limited);
+        assert_eq!(
+            encoded.get("code").and_then(Value::as_str),
+            Some("rate_limited")
+        );
+        assert_eq!(
+            encoded.get("retry_after_ms").and_then(Value::as_u64),
+            Some(250)
+        );
+        assert_eq!(decode_response(&encoded), Ok(limited));
+        // Requests roundtrip through their encoder too.
+        let req = Request::new("t", "d", "xpath", "//a").with_request_id("id-1");
+        assert_eq!(
+            decode_op(encode_request(&req).render().as_bytes()),
+            Ok(Op::Query(req))
+        );
     }
 }

@@ -15,20 +15,22 @@
 //! report* comes back in the response — cancelled work is reported, not
 //! dropped.
 
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use gql_core::{CoreError, Engine, QueryKind};
-use gql_guard::{Budget, CancelToken, Guard, LimitKind};
+use gql_guard::{fault, Budget, CancelToken, Guard, LimitKind};
 use gql_plan::CacheStats;
 use gql_trace::Trace;
 
-use crate::catalog::{Catalog, Dataset};
+use crate::catalog::{Catalog, Dataset, EpochPin};
 use crate::json::Value;
 use crate::telemetry::{MetricsReport, RequestMeta, Telemetry, TelemetryConfig};
-use crate::tenant::{Permit, TenantMetrics, TenantRegistry};
+use crate::tenant::{AdmitDenied, Permit, TenantMetrics, TenantRegistry};
 
 /// One query submission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +45,11 @@ pub struct Request {
     /// Attach the execution profile (JSON + deterministic shape) to the
     /// response.
     pub profile: bool,
+    /// Idempotency key. A retried request carrying the same id is
+    /// deduplicated at the worker boundary: the query executes at most
+    /// once, and retries receive the original's response (joining it if
+    /// still in flight). Keys are scoped per tenant.
+    pub request_id: Option<String>,
 }
 
 impl Request {
@@ -53,11 +60,18 @@ impl Request {
             kind: kind.to_string(),
             query: query.to_string(),
             profile: false,
+            request_id: None,
         }
     }
 
     pub fn with_profile(mut self) -> Request {
         self.profile = true;
+        self
+    }
+
+    /// Attach an idempotency key (see [`Request::request_id`]).
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Request {
+        self.request_id = Some(id.into());
         self
     }
 }
@@ -67,6 +81,9 @@ impl Request {
 pub enum ErrorCode {
     /// Admission control refused the request (envelope exhausted).
     Overloaded,
+    /// A time-window quota rejected the request; the error envelope
+    /// carries `retry_after_ms`.
+    RateLimited,
     UnknownTenant,
     UnknownDataset,
     /// Malformed request: unknown kind, unparseable query, bad frame.
@@ -85,6 +102,7 @@ impl ErrorCode {
     pub fn name(self) -> &'static str {
         match self {
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::RateLimited => "rate_limited",
             ErrorCode::UnknownTenant => "unknown-tenant",
             ErrorCode::UnknownDataset => "unknown-dataset",
             ErrorCode::BadRequest => "bad-request",
@@ -98,6 +116,7 @@ impl ErrorCode {
     pub fn from_name(name: &str) -> Option<ErrorCode> {
         [
             ErrorCode::Overloaded,
+            ErrorCode::RateLimited,
             ErrorCode::UnknownTenant,
             ErrorCode::UnknownDataset,
             ErrorCode::BadRequest,
@@ -123,6 +142,9 @@ pub struct QueryOk {
     pub plan_cache: String,
     /// Index/instance-cache outcome: `hit` | `miss` | `cold`.
     pub index_cache: String,
+    /// The catalog epoch of the dataset this query executed against —
+    /// exactly one per reply; a reply never mixes epochs.
+    pub epoch: u64,
     /// Execution profile JSON, when requested.
     pub profile: Option<String>,
     /// Deterministic profile shape (duration-free), when requested.
@@ -136,6 +158,9 @@ pub struct QueryErr {
     pub message: String,
     /// Partial-progress trip report shape, for budget/cancellation errors.
     pub report: Option<String>,
+    /// For `rate_limited` errors: milliseconds until the quota window
+    /// rolls over (the earliest useful retry).
+    pub retry_after_ms: Option<u64>,
 }
 
 /// The service's answer to one request.
@@ -151,6 +176,7 @@ impl Response {
             code,
             message: message.into(),
             report: None,
+            retry_after_ms: None,
         })
     }
 
@@ -171,13 +197,19 @@ impl Response {
 pub struct ServiceMetrics {
     pub submitted: u64,
     pub admitted: u64,
-    /// Admission-control rejections (`overloaded`): the tenant's envelope
-    /// had no room.
+    /// Admission-control rejections (`overloaded` or `rate_limited`): the
+    /// tenant's envelope or quota had no room.
     pub rejected: u64,
+    /// Time-window quota rejections (already counted in `rejected`).
+    pub rate_limited: u64,
     /// Structured refusals before admission (unknown tenant/dataset, bad
     /// request, failed fingerprint). The conservation law is
-    /// `admitted + rejected + refused == submitted`.
+    /// `admitted + rejected + refused + deduped == submitted`.
     pub refused: u64,
+    /// Idempotent retries answered from the dedup map without executing
+    /// (the fourth conservation class: neither admitted nor rejected nor
+    /// refused, but every one of them submitted).
+    pub deduped: u64,
     pub completed: u64,
     pub cancelled: u64,
     pub budget_tripped: u64,
@@ -206,6 +238,7 @@ impl ServiceMetrics {
                     ("submitted".into(), Value::count(m.submitted)),
                     ("admitted".into(), Value::count(m.admitted)),
                     ("rejected".into(), Value::count(m.rejected)),
+                    ("rate_limited".into(), Value::count(m.rate_limited)),
                     ("refused".into(), Value::count(m.refused)),
                     ("peak_in_flight".into(), Value::count(m.peak_in_flight)),
                     ("peak_pool_draw".into(), Value::count(m.peak_pool_draw)),
@@ -230,7 +263,9 @@ impl ServiceMetrics {
             ("submitted".into(), Value::count(self.submitted)),
             ("admitted".into(), Value::count(self.admitted)),
             ("rejected".into(), Value::count(self.rejected)),
+            ("rate_limited".into(), Value::count(self.rate_limited)),
             ("refused".into(), Value::count(self.refused)),
+            ("deduped".into(), Value::count(self.deduped)),
             ("completed".into(), Value::count(self.completed)),
             ("cancelled".into(), Value::count(self.cancelled)),
             ("budget_tripped".into(), Value::count(self.budget_tripped)),
@@ -251,7 +286,9 @@ struct Counters {
     submitted: AtomicU64,
     admitted: AtomicU64,
     rejected: AtomicU64,
+    rate_limited: AtomicU64,
     refused: AtomicU64,
+    deduped: AtomicU64,
     completed: AtomicU64,
     cancelled: AtomicU64,
     budget_tripped: AtomicU64,
@@ -274,10 +311,55 @@ struct Job {
     /// Telemetry context minted at admission (`None` when telemetry is
     /// disabled — the job then carries zero extra weight).
     meta: Option<RequestMeta>,
+    /// Dedup-map key claimed at admission (tenant-scoped request id);
+    /// the worker publishes the response under it after execution.
+    dedup_key: Option<String>,
     /// Held for the duration of execution; dropping releases the tenant's
     /// slot and pool reservation (even on worker panic — the permit drops
     /// with the job).
     _permit: Permit,
+    /// Pins the dataset's catalog epoch for the duration of execution;
+    /// the old epoch's drain completes only when every pin releases.
+    _epoch: EpochPin,
+}
+
+/// State of one idempotency key in the dedup map.
+enum DedupEntry {
+    /// Claimed at admission; retries arriving meanwhile park a waiter
+    /// channel here and receive the original's response on publish.
+    InFlight(Vec<mpsc::Sender<Response>>),
+    /// Published at the worker boundary; retries get a clone.
+    Done(Response),
+}
+
+/// Bounded idempotency map: request id → in-flight waiters or the final
+/// response. Only settled (`Done`) entries are evicted, oldest first, so
+/// an in-flight claim can never be lost to capacity pressure.
+struct Dedup {
+    capacity: usize,
+    /// Publication order of settled keys, for FIFO eviction.
+    settled: VecDeque<String>,
+    entries: HashMap<String, DedupEntry>,
+}
+
+impl Dedup {
+    fn new(capacity: usize) -> Dedup {
+        Dedup {
+            capacity: capacity.max(1),
+            settled: VecDeque::new(),
+            entries: HashMap::new(),
+        }
+    }
+}
+
+/// Outcome of claiming an idempotency key at submission.
+enum DedupClaim {
+    /// The key is ours: execute, then publish under it.
+    Fresh,
+    /// Already settled: answer with the original response, no execution.
+    Hit(Response),
+    /// Original still in flight: wait on its publication.
+    Wait(mpsc::Receiver<Response>),
 }
 
 struct Inner {
@@ -289,6 +371,64 @@ struct Inner {
     queue: Mutex<Option<mpsc::Sender<Job>>>,
     counters: Counters,
     telemetry: Arc<Telemetry>,
+    dedup: Mutex<Dedup>,
+    /// Consult the gql-guard fault seams (chaos testing). Off by default:
+    /// the process-global fault plan must not leak into services that did
+    /// not opt in.
+    chaos: bool,
+}
+
+impl Inner {
+    /// Claim `key` for a new submission, or join/replay the original.
+    fn dedup_claim(&self, key: &str) -> DedupClaim {
+        let mut d = self.dedup.lock().unwrap_or_else(|e| e.into_inner());
+        match d.entries.get_mut(key) {
+            Some(DedupEntry::Done(resp)) => DedupClaim::Hit(resp.clone()),
+            Some(DedupEntry::InFlight(waiters)) => {
+                let (tx, rx) = mpsc::channel();
+                waiters.push(tx);
+                DedupClaim::Wait(rx)
+            }
+            None => {
+                d.entries
+                    .insert(key.to_string(), DedupEntry::InFlight(Vec::new()));
+                DedupClaim::Fresh
+            }
+        }
+    }
+
+    /// Publish the final response under `key` at the worker boundary:
+    /// waiters are answered, later retries replay the stored copy, and
+    /// the oldest settled entries are evicted past capacity.
+    fn dedup_publish(&self, key: &str, resp: &Response) {
+        let mut d = self.dedup.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(DedupEntry::InFlight(waiters)) = d
+            .entries
+            .insert(key.to_string(), DedupEntry::Done(resp.clone()))
+        {
+            for w in waiters {
+                let _ = w.send(resp.clone());
+            }
+        }
+        d.settled.push_back(key.to_string());
+        while d.settled.len() > d.capacity {
+            if let Some(old) = d.settled.pop_front() {
+                d.entries.remove(&old);
+            }
+        }
+    }
+
+    /// Abandon a claim whose submission was refused or rejected before
+    /// reaching a worker: the entry is removed (a retry is a fresh
+    /// attempt — nothing executed) and any waiters get the refusal.
+    fn dedup_abandon(&self, key: &str, resp: &Response) {
+        let mut d = self.dedup.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(DedupEntry::InFlight(waiters)) = d.entries.remove(key) {
+            for w in waiters {
+                let _ = w.send(resp.clone());
+            }
+        }
+    }
 }
 
 /// The long-lived service: a catalog, a tenant registry and a worker pool.
@@ -303,6 +443,8 @@ pub struct ServiceBuilder {
     tenants: TenantRegistry,
     workers: usize,
     telemetry: TelemetryConfig,
+    dedup_capacity: usize,
+    chaos: bool,
 }
 
 impl ServiceBuilder {
@@ -312,7 +454,24 @@ impl ServiceBuilder {
             tenants: TenantRegistry::new(),
             workers: 4,
             telemetry: TelemetryConfig::default(),
+            dedup_capacity: 1024,
+            chaos: false,
         }
+    }
+
+    /// How many settled idempotency keys the dedup map retains (FIFO
+    /// eviction; in-flight claims are never evicted).
+    pub fn dedup_capacity(mut self, n: usize) -> ServiceBuilder {
+        self.dedup_capacity = n.max(1);
+        self
+    }
+
+    /// Opt this service into the gql-guard chaos seams (`panic_jobs`
+    /// etc.). The fault plan is process-global; only opted-in services
+    /// consume its tokens, so chaos tests never poison bystanders.
+    pub fn chaos(mut self, on: bool) -> ServiceBuilder {
+        self.chaos = on;
+        self
     }
 
     pub fn workers(mut self, n: usize) -> ServiceBuilder {
@@ -346,6 +505,8 @@ impl ServiceBuilder {
             queue: Mutex::new(Some(tx)),
             counters: Counters::default(),
             telemetry: Arc::new(Telemetry::build(&self.telemetry, &tenant_names)),
+            dedup: Mutex::new(Dedup::new(self.dedup_capacity)),
+            chaos: self.chaos,
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -360,17 +521,51 @@ impl ServiceBuilder {
                             Err(_) => return, // all senders gone: shutdown
                         };
                         inner.telemetry.on_dequeue(job.meta.as_ref());
-                        let response = execute(&inner, &job);
+                        // Supervise the run: a panicking job (engine bug,
+                        // or an injected `panic_jobs` fault) must not take
+                        // the worker down — the thread catches, answers
+                        // structurally and keeps draining the queue. The
+                        // permit and epoch pin are on the job, so even the
+                        // panic path releases them below.
+                        let response = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            execute(&inner, &job)
+                        })) {
+                            Ok(response) => response,
+                            Err(_) => {
+                                inner.counters.failed.fetch_add(1, Ordering::SeqCst);
+                                inner.telemetry.on_reply(
+                                    job.meta.as_ref(),
+                                    job.dataset.name(),
+                                    "engine",
+                                    0,
+                                    "",
+                                    &[],
+                                    None,
+                                );
+                                Response::err(
+                                    ErrorCode::Engine,
+                                    "worker panicked mid-run (supervised; pool intact)",
+                                )
+                            }
+                        };
+                        // Publish to the dedup map at the worker boundary:
+                        // from here on, a retry of this request id replays
+                        // this response instead of executing again.
+                        if let Some(key) = &job.dedup_key {
+                            inner.dedup_publish(key, &response);
+                        }
                         // Release the admission permit *before* replying:
                         // once a client holds its response, its slot is
                         // observably free (a sequential resubmit can never
-                        // race its own previous permit).
+                        // race its own previous permit). The epoch pin
+                        // releases with it, completing the drain account.
                         let Job {
                             reply,
                             _permit: permit,
+                            _epoch: epoch_pin,
                             ..
                         } = job;
-                        drop(permit);
+                        drop((permit, epoch_pin));
                         let _ = reply.send(response);
                     })
                     .expect("spawn worker")
@@ -493,15 +688,45 @@ impl ServeHandle {
         let c = &self.inner.counters;
         let tele = &self.inner.telemetry;
         c.submitted.fetch_add(1, Ordering::SeqCst);
+        // Idempotency first: a retried request id is answered from (or
+        // parked on) the original execution before any tenant accounting,
+        // so the per-tenant conservation law is untouched by replays.
+        let dedup_key = req
+            .request_id
+            .as_deref()
+            .map(|id| format!("{}\u{1f}{id}", req.tenant));
+        if let Some(key) = &dedup_key {
+            match self.inner.dedup_claim(key) {
+                DedupClaim::Fresh => {}
+                DedupClaim::Hit(resp) => {
+                    c.deduped.fetch_add(1, Ordering::SeqCst);
+                    tele.on_submitted(None);
+                    return Err(resp);
+                }
+                DedupClaim::Wait(rx) => {
+                    c.deduped.fetch_add(1, Ordering::SeqCst);
+                    tele.on_submitted(None);
+                    return Ok(Pending { rx, cancel });
+                }
+            }
+        }
+        // Any refusal/rejection below must abandon the fresh claim so a
+        // later retry is a clean new attempt (nothing executed).
+        let fail = |resp: Response| -> Response {
+            if let Some(key) = &dedup_key {
+                self.inner.dedup_abandon(key, &resp);
+            }
+            resp
+        };
         let Some(tenant) = self.inner.tenants.get(&req.tenant).cloned() else {
             // Unknown tenant: nothing to attribute the refusal to beyond
             // the service-wide counters and windows.
             c.refused.fetch_add(1, Ordering::SeqCst);
             tele.on_submitted(None);
-            return Err(Response::err(
+            return Err(fail(Response::err(
                 ErrorCode::UnknownTenant,
                 format!("unknown tenant: {}", req.tenant),
-            ));
+            )));
         };
         tenant.note_submitted();
         tele.on_submitted(Some(tenant.name()));
@@ -510,21 +735,43 @@ impl ServeHandle {
             Err(resp) => {
                 c.refused.fetch_add(1, Ordering::SeqCst);
                 tenant.note_refused();
-                return Err(resp);
+                return Err(fail(resp));
             }
         };
-        let Some(permit) = tenant.try_admit() else {
-            c.rejected.fetch_add(1, Ordering::SeqCst);
-            tele.on_rejected(tenant.name());
-            return Err(Response::err(
-                ErrorCode::Overloaded,
-                format!(
-                    "tenant `{}` envelope exhausted ({} in flight)",
-                    req.tenant,
-                    tenant.in_flight()
-                ),
-            ));
+        let permit = match tenant.try_admit() {
+            Ok(permit) => permit,
+            Err(denied) => {
+                c.rejected.fetch_add(1, Ordering::SeqCst);
+                tele.on_rejected(tenant.name());
+                let resp = match denied {
+                    AdmitDenied::Overloaded => Response::err(
+                        ErrorCode::Overloaded,
+                        format!(
+                            "tenant `{}` envelope exhausted ({} in flight)",
+                            req.tenant,
+                            tenant.in_flight()
+                        ),
+                    ),
+                    AdmitDenied::RateLimited { retry_after_ms } => {
+                        c.rate_limited.fetch_add(1, Ordering::SeqCst);
+                        Response::Err(QueryErr {
+                            code: ErrorCode::RateLimited,
+                            message: format!(
+                                "tenant `{}` rate quota exhausted; retry in {retry_after_ms}ms",
+                                req.tenant
+                            ),
+                            report: None,
+                            retry_after_ms: Some(retry_after_ms),
+                        })
+                    }
+                };
+                return Err(fail(resp));
+            }
         };
+        // Pin the dataset's epoch for the whole execution: the pin's
+        // release (with the permit, at the worker boundary) is what lets
+        // a reload's drain retire this epoch.
+        let epoch_pin = dataset.pin();
         c.admitted.fetch_add(1, Ordering::SeqCst);
         let meta = tele.on_admitted(tenant.name(), surface, &req.query);
         let (reply, rx) = mpsc::channel();
@@ -536,7 +783,9 @@ impl ServeHandle {
             want_profile: req.profile,
             reply,
             meta,
+            dedup_key: dedup_key.clone(),
             _permit: permit,
+            _epoch: epoch_pin,
         };
         let sender = self
             .inner
@@ -550,13 +799,13 @@ impl ServeHandle {
                 // only fail if the pool is gone, which shutdown prevents
                 // while senders exist.
                 tx.send(job)
-                    .map_err(|_| Response::err(ErrorCode::Engine, "service pool is gone"))?;
+                    .map_err(|_| fail(Response::err(ErrorCode::Engine, "service pool is gone")))?;
                 Ok(Pending { rx, cancel })
             }
-            None => Err(Response::err(
+            None => Err(fail(Response::err(
                 ErrorCode::Overloaded,
                 "service is shutting down",
-            )),
+            ))),
         }
     }
 
@@ -627,7 +876,9 @@ impl ServeHandle {
             submitted: c.submitted.load(Ordering::SeqCst),
             admitted: c.admitted.load(Ordering::SeqCst),
             rejected: c.rejected.load(Ordering::SeqCst),
+            rate_limited: c.rate_limited.load(Ordering::SeqCst),
             refused: c.refused.load(Ordering::SeqCst),
+            deduped: c.deduped.load(Ordering::SeqCst),
             completed: c.completed.load(Ordering::SeqCst),
             cancelled: c.cancelled.load(Ordering::SeqCst),
             budget_tripped: c.budget_tripped.load(Ordering::SeqCst),
@@ -646,10 +897,33 @@ impl ServeHandle {
             datasets: self
                 .inner
                 .catalog
+                .snapshot()
                 .iter()
                 .map(|d| (d.name().to_string(), d.engine().plan_cache_stats()))
                 .collect(),
         }
+    }
+
+    /// The live catalog (hot-reloadable; see [`Catalog::reload`]).
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.inner.catalog
+    }
+
+    /// Hot-swap a dataset to freshly parsed XML at the next epoch — the
+    /// in-process face of the `{"op":"reload"}` wire op. In-flight
+    /// requests finish on the epoch they admitted under; the old epoch
+    /// drains and is reaped when its last permit releases.
+    pub fn reload_xml(&self, name: &str, xml: &str) -> Result<Arc<Dataset>, Response> {
+        if self.inner.catalog.get(name).is_none() {
+            return Err(Response::err(
+                ErrorCode::UnknownDataset,
+                format!("unknown dataset: {name}"),
+            ));
+        }
+        self.inner
+            .catalog
+            .reload_xml(name, xml)
+            .map_err(|e| Response::err(ErrorCode::BadRequest, e))
     }
 
     /// The service's telemetry plane (histograms, windows, events, slow
@@ -688,6 +962,12 @@ fn execute(inner: &Inner, job: &Job) -> Response {
     let c = &inner.counters;
     let tele = &inner.telemetry;
     tele.on_start(job.meta.as_ref());
+    // Chaos seam: an injected pool fault poisons this job here — after
+    // the start event, so the supervised catch in the worker loop keeps
+    // every telemetry conservation law intact.
+    if inner.chaos && fault::take_panic_job() {
+        panic!("injected fault: panic_jobs");
+    }
     let engine: &Engine = job.dataset.engine();
     let guard = Guard::with_cancel(job.budget.clone(), job.cancel.clone());
     let trace = Trace::profiling();
@@ -759,6 +1039,7 @@ fn execute(inner: &Inner, job: &Job) -> Response {
                 plan: outcome.plan,
                 plan_cache,
                 index_cache,
+                epoch: job.dataset.epoch(),
                 profile: job.want_profile.then(|| profile.to_json()),
                 shape: job.want_profile.then(|| profile.shape()),
             }));
@@ -777,6 +1058,7 @@ fn execute(inner: &Inner, job: &Job) -> Response {
                 code,
                 message: g.to_string(),
                 report: Some(report.clone()),
+                retry_after_ms: None,
             });
             (resp, class, 0, Some(report))
         }
@@ -935,6 +1217,137 @@ mod tests {
             .submit(&Request::new("public", "bib", "xpath", "//title"))
             .is_ok());
         assert_eq!(h.metrics().cancelled, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn idempotent_retries_execute_at_most_once() {
+        let service = demo_service();
+        let h = service.handle();
+        let req = Request::new("public", "bib", "xpath", "//title").with_request_id("r-1");
+        let first = h.submit(&req);
+        assert!(first.is_ok(), "original executes: {first:?}");
+        let retry = h.submit(&req);
+        assert_eq!(retry, first, "retry replays the original response");
+        // A different id (and a different tenant scope) is a fresh run.
+        let other =
+            h.submit(&Request::new("public", "bib", "xpath", "//title").with_request_id("r-2"));
+        assert!(other.is_ok());
+        let m = h.metrics();
+        assert_eq!((m.submitted, m.admitted, m.deduped), (3, 2, 1));
+        assert_eq!(
+            m.admitted + m.rejected + m.refused + m.deduped,
+            m.submitted,
+            "conservation with the dedup class"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn deduped_rejections_are_not_cached() {
+        let service = demo_service();
+        let h = service.handle();
+        // A refused submission (unknown dataset) abandons its claim: the
+        // retry is a fresh attempt, not a replay.
+        let bad = Request::new("public", "ghost", "xpath", "//a").with_request_id("r-9");
+        assert_eq!(h.submit(&bad).error_code(), Some(ErrorCode::UnknownDataset));
+        assert_eq!(h.submit(&bad).error_code(), Some(ErrorCode::UnknownDataset));
+        let m = h.metrics();
+        assert_eq!(m.deduped, 0, "refusals never enter the dedup map");
+        assert_eq!(m.refused, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn rate_limited_rejections_carry_retry_after() {
+        let mut catalog = Catalog::new();
+        catalog.register_xml("d", "<r><a/></r>").unwrap();
+        let mut tenants = TenantRegistry::new();
+        tenants.register("throttled", Envelope::slots(8).with_requests_per_sec(0));
+        let service = Service::builder()
+            .workers(1)
+            .catalog(catalog)
+            .tenants(tenants)
+            .build();
+        let h = service.handle();
+        let resp = h.submit(&Request::new("throttled", "d", "xpath", "//a"));
+        let Response::Err(e) = &resp else {
+            panic!("zero quota must reject: {resp:?}");
+        };
+        assert_eq!(e.code, ErrorCode::RateLimited);
+        assert_eq!(ErrorCode::RateLimited.name(), "rate_limited");
+        let hint = e.retry_after_ms.expect("rate_limited carries the hint");
+        assert!((1..=1000).contains(&hint));
+        let m = h.metrics();
+        assert_eq!((m.rejected, m.rate_limited), (1, 1));
+        service.shutdown();
+    }
+
+    #[test]
+    fn reload_swaps_epochs_and_drains_under_a_live_handle() {
+        let service = demo_service();
+        let h = service.handle();
+        let req = Request::new("public", "bib", "xpath", "//title");
+        let Response::Ok(before) = h.submit(&req) else {
+            panic!("first run");
+        };
+        assert_eq!((before.epoch, before.result_count), (1, 2));
+
+        let reloaded = h
+            .reload_xml("bib", "<bib><book><title>only</title></book></bib>")
+            .expect("reload succeeds");
+        assert_eq!(reloaded.epoch(), 2);
+        let Response::Ok(after) = h.submit(&req) else {
+            panic!("post-reload run");
+        };
+        assert_eq!((after.epoch, after.result_count), (2, 1));
+        assert_eq!(
+            h.catalog().draining(),
+            0,
+            "idle old epoch reaps immediately"
+        );
+        assert!(h.reload_xml("ghost", "<r/>").is_err(), "unknown dataset");
+        assert!(h.reload_xml("bib", "<broken").is_err(), "bad xml");
+        service.shutdown();
+    }
+
+    #[test]
+    fn injected_job_panic_is_supervised_and_the_pool_survives() {
+        let mut catalog = Catalog::new();
+        catalog
+            .register_xml(
+                "bib",
+                "<bib><book><title>a</title></book><book><title>b</title></book></bib>",
+            )
+            .unwrap();
+        let mut tenants = TenantRegistry::new();
+        tenants.register("public", Envelope::slots(8));
+        let service = Service::builder()
+            .workers(2)
+            .catalog(catalog)
+            .tenants(tenants)
+            .chaos(true)
+            .build();
+        let h = service.handle();
+        let req = Request::new("public", "bib", "xpath", "//title");
+        let poisoned = fault::with_plan(fault::FaultPlan::panic_jobs(1), || h.submit(&req));
+        assert_eq!(
+            poisoned.error_code(),
+            Some(ErrorCode::Engine),
+            "panicked job answers structurally: {poisoned:?}"
+        );
+        // The same (sole-ish) workers keep serving after the panic.
+        for _ in 0..3 {
+            assert!(h.submit(&req).is_ok(), "pool must survive the panic");
+        }
+        let m = h.metrics();
+        assert_eq!(m.failed, 1);
+        assert_eq!(m.completed, 3);
+        assert_eq!(
+            m.completed + m.cancelled + m.budget_tripped + m.failed,
+            m.admitted,
+            "outcome conservation holds through the panic path"
+        );
         service.shutdown();
     }
 

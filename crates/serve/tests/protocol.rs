@@ -11,7 +11,9 @@
 //! * mid-frame disconnects — a client dying mid-send closes its own
 //!   connection without wedging the server;
 //! * interleaved garbage — the server keeps serving fresh connections
-//!   after all of the above.
+//!   after all of the above;
+//! * slow-loris writers — a stalled half-open connection is reaped by
+//!   the server's read timeout instead of pinning a thread forever.
 
 // Miri has no socket support; the admission suite and the crate unit tests
 // carry the gql-serve miri coverage.
@@ -24,20 +26,28 @@ use std::time::Duration;
 
 use gql_serve::json::Value;
 use gql_serve::proto::{read_frame, write_frame, MAX_FRAME};
-use gql_serve::{Catalog, Client, Envelope, ErrorCode, Request, Server, Service, TenantRegistry};
+use gql_serve::{
+    Catalog, Client, Envelope, ErrorCode, Request, Server, ServerConfig, Service, TenantRegistry,
+};
 
-fn test_server() -> (Service, Server) {
+fn test_service() -> Service {
     let mut catalog = Catalog::new();
     catalog
         .register_xml("d", "<r><a/><a/><b><a/></b></r>")
         .expect("dataset parses");
     let mut tenants = TenantRegistry::new();
     tenants.register("t", Envelope::slots(8));
-    let service = Service::builder()
+    // A zero requests-per-second quota: deterministically `rate_limited`.
+    tenants.register("limited", Envelope::slots(8).with_requests_per_sec(0));
+    Service::builder()
         .workers(2)
         .catalog(catalog)
         .tenants(tenants)
-        .build();
+        .build()
+}
+
+fn test_server() -> (Service, Server) {
+    let service = test_service();
     let server = Server::bind("127.0.0.1:0", service.handle()).expect("bind");
     (service, server)
 }
@@ -299,6 +309,114 @@ fn pipelined_query_then_metrics_sees_the_query() {
         .unwrap_or(0);
     // One admitted request is a full admit/dequeue/start/reply lifecycle.
     assert!(events >= 4, "expected ≥4 events, got {events}");
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn slow_loris_connection_is_reaped_cleanly_without_pinning_the_server() {
+    let service = test_service();
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        service.handle(),
+        ServerConfig {
+            read_timeout: Some(Duration::from_millis(100)),
+            write_timeout: Some(Duration::from_millis(100)),
+            chaos: false,
+        },
+    )
+    .expect("bind");
+
+    // The loris: open a frame claiming 128 bytes, trickle 3, then stall.
+    let mut loris = TcpStream::connect(server.addr()).expect("connect");
+    loris.write_all(&128u32.to_be_bytes()).expect("prefix");
+    loris.write_all(b"{\"o").expect("trickle");
+    loris.flush().unwrap();
+
+    // The server must cut the stalled half-open connection loose: the
+    // loris observes EOF/reset well before its own generous timeout.
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let start = std::time::Instant::now();
+    let mut sink = [0u8; 16];
+    match loris.read(&mut sink) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("reaped connection produced {n} bytes"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "slow-loris was not reaped by the read timeout"
+    );
+    // Writing into the reaped connection eventually errors (RST) — and
+    // regardless, the server keeps serving honest clients promptly.
+    ping_works(&server);
+    // An idle-but-honest client that completes frames fast is untouched.
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let pong = client
+        .roundtrip(&Value::parse(r#"{"op":"ping"}"#).unwrap())
+        .expect("honest roundtrip");
+    assert_eq!(pong.get("pong").and_then(Value::as_bool), Some(true));
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn reload_over_the_wire_advances_the_epoch_queries_report() {
+    let (service, server) = test_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let query =
+        Value::parse(r#"{"op":"query","tenant":"t","dataset":"d","kind":"xpath","query":"//a"}"#)
+            .unwrap();
+
+    let before = client.roundtrip(&query).expect("query");
+    assert_eq!(before.get("epoch").and_then(Value::as_u64), Some(1));
+
+    let reload = client
+        .roundtrip(&Value::parse(r#"{"op":"reload","dataset":"d","xml":"<r><a/></r>"}"#).unwrap())
+        .expect("reload");
+    let detail = reload.get("reload").expect("reload detail");
+    assert_eq!(detail.get("dataset").and_then(Value::as_str), Some("d"));
+    assert_eq!(detail.get("epoch").and_then(Value::as_u64), Some(2));
+
+    let after = client.roundtrip(&query).expect("query after reload");
+    assert_eq!(after.get("epoch").and_then(Value::as_u64), Some(2));
+    assert_eq!(
+        after.get("result_count").and_then(Value::as_u64),
+        Some(1),
+        "the reply must serve the reloaded epoch's content: {}",
+        after.render()
+    );
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn rate_limited_reply_carries_a_bounded_retry_hint() {
+    let (service, server) = test_server();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let v = client
+        .roundtrip(
+            &Value::parse(
+                r#"{"op":"query","tenant":"limited","dataset":"d","kind":"xpath","query":"//a"}"#,
+            )
+            .unwrap(),
+        )
+        .expect("roundtrip");
+    assert_eq!(
+        v.get("code").and_then(Value::as_str),
+        Some(ErrorCode::RateLimited.name()),
+        "got {}",
+        v.render()
+    );
+    let hint = v
+        .get("retry_after_ms")
+        .and_then(Value::as_u64)
+        .expect("retry_after_ms present");
+    assert!(
+        (1..=1000).contains(&hint),
+        "retry hint must land inside the next window roll: {hint}"
+    );
     server.shutdown();
     service.shutdown();
 }

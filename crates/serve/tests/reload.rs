@@ -1,0 +1,199 @@
+//! Hot-reload integration tests: a query storm racing a continuous
+//! reloader must never observe a mixed-version catalog.
+//!
+//! The dataset's content is keyed to its epoch — version `e` carries
+//! exactly `e` matching elements — so a reply whose `result_count`
+//! disagrees with its `epoch` field is proof of a torn catalog read.
+//! After the storm the drain must close the books: every epoch (live and
+//! retired) with `admitted == released`, and no retired epoch left
+//! draining. The fingerprint tests drive the per-request validation
+//! refusal through the test-only corruption hook (no safe code path can
+//! corrupt a fingerprint, which is the property the check enforces).
+
+#![cfg(not(miri))]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use gql_serve::{Catalog, Envelope, ErrorCode, Request, Response, Service, TenantRegistry};
+
+/// `<r><a/>…</r>` with `n` `<a/>` children: epoch `n`'s content.
+fn doc_for_epoch(n: u64) -> String {
+    let mut xml = String::from("<r>");
+    for _ in 0..n {
+        xml.push_str("<a/>");
+    }
+    xml.push_str("</r>");
+    xml
+}
+
+fn service_with(dataset_xml: &str, workers: usize, slots: u64) -> Service {
+    let mut catalog = Catalog::new();
+    catalog
+        .register_xml("d", dataset_xml)
+        .expect("dataset parses");
+    let mut tenants = TenantRegistry::new();
+    tenants.register("t", Envelope::slots(slots));
+    Service::builder()
+        .workers(workers)
+        .catalog(catalog)
+        .tenants(tenants)
+        .build()
+}
+
+#[test]
+fn storm_under_continuous_reload_never_sees_a_mixed_epoch() {
+    const EPOCHS: u64 = 12;
+    const STORMERS: usize = 4;
+    let service = service_with(&doc_for_epoch(1), 4, STORMERS as u64 * 2);
+    let handle = service.handle();
+    let stop = AtomicBool::new(false);
+    let checked = AtomicU64::new(0);
+    let torn = std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|s| {
+        // The reloader: advance the dataset one epoch at a time, with the
+        // epoch number encoded in the content.
+        s.spawn(|| {
+            for e in 2..=EPOCHS {
+                handle
+                    .reload_xml("d", &doc_for_epoch(e))
+                    .expect("reload succeeds");
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+        // The storm: every OK reply must be internally consistent —
+        // result_count equal to the epoch it claims to have run on.
+        for _ in 0..STORMERS {
+            s.spawn(|| {
+                while !stop.load(Ordering::SeqCst) {
+                    let req = Request::new("t", "d", "xpath", "//a");
+                    match handle.submit(&req) {
+                        Response::Ok(ok) => {
+                            checked.fetch_add(1, Ordering::SeqCst);
+                            if ok.result_count != ok.epoch || ok.epoch == 0 || ok.epoch > EPOCHS {
+                                torn.lock().unwrap().push(format!(
+                                    "reply mixed epochs: epoch {} served {} result(s)",
+                                    ok.epoch, ok.result_count
+                                ));
+                            }
+                        }
+                        Response::Err(e) if e.code == ErrorCode::Overloaded => {}
+                        Response::Err(e) => torn.lock().unwrap().push(format!(
+                            "storm hit {}: {}",
+                            e.code.name(),
+                            e.message
+                        )),
+                    }
+                }
+            });
+        }
+    });
+
+    let torn = torn.into_inner().unwrap();
+    assert!(torn.is_empty(), "{}", torn.join("\n"));
+    assert!(
+        checked.load(Ordering::SeqCst) > 0,
+        "storm must actually overlap the reloads"
+    );
+
+    // Quiescent: the catalog must drain completely...
+    let catalog = handle.catalog();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while catalog.draining() != 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(catalog.draining(), 0, "retired epochs must drain and reap");
+    // ...with the permit books balanced on every surviving epoch and the
+    // final epoch live.
+    let stats = catalog.epoch_stats();
+    assert_eq!(stats.len(), 1, "only the live epoch survives the drain");
+    assert_eq!(stats[0].epoch, EPOCHS);
+    assert_eq!(
+        stats[0].admitted, stats[0].released,
+        "admitted must equal released once quiescent"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn fingerprint_mismatch_is_refused_not_served_and_reload_repairs_it() {
+    let mut catalog = Catalog::new();
+    let doc = gql_ssdm::xml::parse("<r><a/><a/></r>").expect("parses");
+    catalog.register_corrupted_for_tests("d", doc);
+    let mut tenants = TenantRegistry::new();
+    tenants.register("t", Envelope::slots(4));
+    let service = Service::builder()
+        .workers(2)
+        .catalog(catalog)
+        .tenants(tenants)
+        .build();
+    let handle = service.handle();
+
+    let req = Request::new("t", "d", "xpath", "//a");
+    let resp = handle.submit(&req);
+    match &resp {
+        Response::Err(e) => {
+            assert_eq!(e.code, ErrorCode::Engine, "got {resp:?}");
+            assert!(
+                e.message.contains("fingerprint"),
+                "refusal must say why: {}",
+                e.message
+            );
+        }
+        ok => panic!("corrupted dataset must be refused, got {ok:?}"),
+    }
+    let m = handle.metrics();
+    assert_eq!(m.refused, 1, "fingerprint refusal counts as refused");
+    assert_eq!(m.admitted, 0);
+
+    // A hot reload replaces the corrupted epoch with a verified one; the
+    // very next request serves.
+    let fresh = handle.reload_xml("d", "<r><a/><a/></r>").expect("reloads");
+    assert_eq!(fresh.epoch(), 2);
+    assert!(fresh.verify());
+    match handle.submit(&req) {
+        Response::Ok(ok) => {
+            assert_eq!(ok.result_count, 2);
+            assert_eq!(ok.epoch, 2);
+        }
+        err => panic!("repaired dataset must serve, got {err:?}"),
+    }
+    service.shutdown();
+}
+
+#[test]
+fn pinned_requests_keep_their_own_fingerprint_across_a_content_change() {
+    let service = service_with("<r><x>old</x></r>", 2, 4);
+    let handle = service.handle();
+    let catalog = handle.catalog();
+
+    let v1 = catalog.get("d").expect("registered");
+    let pin = v1.pin();
+    let v2 = handle
+        .reload_xml("d", "<r><x>new</x><x>new</x></r>")
+        .expect("reloads");
+    assert_ne!(
+        v1.fingerprint(),
+        v2.fingerprint(),
+        "content change must change the fingerprint"
+    );
+    assert!(
+        v1.verify() && v2.verify(),
+        "both epochs stay self-consistent"
+    );
+
+    // New submissions resolve the new epoch while the old one drains.
+    match handle.submit(&Request::new("t", "d", "xpath", "//x")) {
+        Response::Ok(ok) => {
+            assert_eq!(ok.epoch, 2);
+            assert_eq!(ok.result_count, 2);
+        }
+        err => panic!("post-reload submit failed: {err:?}"),
+    }
+    assert_eq!(catalog.draining(), 1, "old epoch waits on its pin");
+    drop(pin);
+    assert_eq!(catalog.draining(), 0);
+    service.shutdown();
+}

@@ -7,6 +7,7 @@
 //!                 [--timeout-ms N] [--max-rounds N] [--max-matches N]
 //! gql-fuzz corpus [DIR]
 //! gql-fuzz faults [--seeds N] [--start-seed S] [--timeout-ms T]
+//! gql-fuzz chaos [--corpus DIR] [--seed S] [--budget-secs T]
 //! ```
 //!
 //! `run` executes N seeds through every selected generator's oracle
@@ -20,8 +21,12 @@
 //! whether it completed or tripped cleanly. `corpus` replays a corpus
 //! directory (default `tests/corpus`). `faults` drives the seeded
 //! fault-injection sweep (every `FaultPlan` × generator × seed) under a
-//! wall-clock smoke budget — the CI degradation check. Exit status is
-//! non-zero whenever any disagreement or degradation violation is found.
+//! wall-clock smoke budget — the CI degradation check. `chaos` storms the
+//! corpus through a live TCP server and the retrying client under the
+//! service-layer fault matrix (torn/dropped replies, worker panics,
+//! slow-loris reaping, hot reload mid-storm, rate-limit retry) — the CI
+//! resilience check. Exit status is non-zero whenever any disagreement or
+//! degradation violation is found.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -38,7 +43,8 @@ fn usage() -> ! {
         "usage:\n  gql-fuzz run [--cases N] [--start-seed S] [--generators a,b] \
          [--budget-secs T] [--corpus DIR]\n  gql-fuzz replay --generator G --seed S [--profile] \
          [--timeout-ms N] [--max-rounds N] [--max-matches N]\n  \
-         gql-fuzz corpus [DIR]\n  gql-fuzz faults [--seeds N] [--start-seed S] [--timeout-ms T]"
+         gql-fuzz corpus [DIR]\n  gql-fuzz faults [--seeds N] [--start-seed S] [--timeout-ms T]\n  \
+         gql-fuzz chaos [--corpus DIR] [--seed S] [--budget-secs T]"
     );
     std::process::exit(2);
 }
@@ -319,6 +325,53 @@ fn cmd_faults(args: &[String]) -> ExitCode {
     }
 }
 
+/// The service-layer chaos matrix over a corpus directory: a live TCP
+/// server with fault seams armed, stormed through the resilient client.
+/// Bounded in wall-clock — a hang is a failure, not a timeout.
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    let mut dir = PathBuf::from("tests/corpus");
+    let mut seed = 0u64;
+    let mut budget = Duration::from_secs(120);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--corpus" => {
+                let Some(d) = it.next() else {
+                    eprintln!("--corpus needs a directory argument");
+                    usage();
+                };
+                dir = PathBuf::from(d);
+            }
+            "--seed" => seed = parse_u64(&mut it, "--seed"),
+            "--budget-secs" => {
+                budget = Duration::from_secs(parse_u64_at_least(&mut it, "--budget-secs", 1))
+            }
+            other => {
+                eprintln!("unknown option for `chaos`: {other}");
+                usage();
+            }
+        }
+    }
+    println!(
+        "chaos matrix: corpus {} seed {seed}, wall budget {}s",
+        dir.display(),
+        budget.as_secs()
+    );
+    match gql_testkit::chaos_oracle::check_corpus_dir(&dir, seed, budget) {
+        Ok(report) => {
+            println!(
+                "{} case(s) × {} scenario(s): {} request(s), {} retry(ies), all answers held",
+                report.cases, report.scenarios, report.requests, report.retries
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("FAIL {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn cmd_corpus(args: &[String]) -> ExitCode {
     let dir = args
         .first()
@@ -356,6 +409,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         _ => usage(),
     }
 }

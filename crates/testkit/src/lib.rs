@@ -33,9 +33,15 @@
 //!   with mixed tenants, held byte-identical to a fresh single-threaded
 //!   engine, plus trace-shape determinism and cancellation-hygiene
 //!   checks.
+//! * [`chaos_oracle`] — the service-layer chaos matrix: the corpus
+//!   stormed through a real TCP server and the retrying client while
+//!   replies are torn, workers panic, slow-loris connections stall, and
+//!   the catalog hot-reloads epochs mid-storm — answers held
+//!   byte-identical throughout, permits and telemetry conserved exactly.
 //!
 //! [`Intent`]: generators::Intent
 
+pub mod chaos_oracle;
 pub mod corpus;
 pub mod fault;
 pub mod fuzz;

@@ -247,10 +247,11 @@ pub fn check_cases_concurrently(
     // identities must hold *exactly* — telemetry that miscounts under
     // concurrency is worse than none.
     let metrics = handle.metrics();
-    if metrics.admitted + metrics.rejected + metrics.refused != metrics.submitted {
+    if metrics.admitted + metrics.rejected + metrics.refused + metrics.deduped != metrics.submitted
+    {
         failures.push(format!(
-            "telemetry: service conservation broken: admitted {} + rejected {} + refused {} != submitted {}",
-            metrics.admitted, metrics.rejected, metrics.refused, metrics.submitted
+            "telemetry: service conservation broken: admitted {} + rejected {} + refused {} + deduped {} != submitted {}",
+            metrics.admitted, metrics.rejected, metrics.refused, metrics.deduped, metrics.submitted
         ));
     }
     if metrics.submitted as usize != requests.load(Ordering::SeqCst) {

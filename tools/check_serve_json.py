@@ -3,25 +3,32 @@
 
 The smoke run drives a real server over a real socket — ping, a 3-query
 batch across two datasets and all three languages, a deliberately-unknown
-dataset, and every metrics view (counters, the full telemetry report, the
-Prometheus exposition, plus a deliberately-unknown view) — and prints
-each response as one JSON line. CI pipes that output through this script
-so a protocol schema drift (a renamed field, a dropped error code, a
-metrics regression) breaks the build rather than downstream clients.
+dataset, a hot reload plus a query against the swapped epoch, a
+rate-limited tenant, and every metrics view (counters, the full telemetry
+report, the Prometheus exposition, plus a deliberately-unknown view) —
+and prints each response as one JSON line. CI pipes that output through
+this script so a protocol schema drift (a renamed field, a dropped error
+code, a metrics regression) breaks the build rather than downstream
+clients.
 
 Expected stream (order-independent except ping-first):
 
     {"ok":true,"pong":true}
     {"ok":true,"batch":[RESPONSE, RESPONSE, RESPONSE]}
     {"ok":false,"code":"unknown-dataset","message":...}
+    {"ok":true,"reload":{"dataset":str,"epoch":int,"draining":int}}
+    RESPONSE(ok with "epoch" >= 2)
+    {"ok":false,"code":"rate_limited","message":...,"retry_after_ms":int}
     {"ok":true,"metrics":{...}}
     {"ok":true,"report":{...}}
     {"ok":true,"prometheus":"# TYPE ..."}
     {"ok":false,"code":"bad-request","message":...}
 
     RESPONSE(ok)  = {"ok":true,"xml":str,"result_count":int,"eval_us":int,
-                     "plan":str,"plan_cache":str,"index_cache":str,...}
-    RESPONSE(err) = {"ok":false,"code":str,"message":str[,"report":str]}
+                     "plan":str,"plan_cache":str,"index_cache":str,
+                     "epoch":int,...}
+    RESPONSE(err) = {"ok":false,"code":str,"message":str
+                     [,"report":str][,"retry_after_ms":int]}
 
 Usage:
     check_serve_json.py FILE [--batch-ok N]
@@ -36,10 +43,10 @@ Exit status: 0 on success, 1 with a diagnostic on the first violation.
 import json
 import sys
 
-OK_KEYS = {"ok", "xml", "result_count", "eval_us", "plan", "plan_cache", "index_cache"}
+OK_KEYS = {"ok", "xml", "result_count", "eval_us", "plan", "plan_cache", "index_cache", "epoch"}
 OK_OPTIONAL = {"profile", "shape"}
 ERR_KEYS = {"ok", "code", "message"}
-ERR_OPTIONAL = {"report"}
+ERR_OPTIONAL = {"report", "retry_after_ms"}
 CACHE_STATES = {"hit", "miss", "replan", "cold", "bypass", ""}
 
 
@@ -61,6 +68,8 @@ def check_query_response(resp, path):
         for cache in ("plan_cache", "index_cache"):
             if resp[cache] not in CACHE_STATES:
                 fail(f"{path}: unknown {cache} state {resp[cache]!r}")
+        if not isinstance(resp["epoch"], int) or resp["epoch"] < 1:
+            fail(f"{path}: epoch must be a positive integer (1-based catalog epoch)")
     else:
         missing = ERR_KEYS - set(resp)
         extra = set(resp) - ERR_KEYS - ERR_OPTIONAL
@@ -68,6 +77,11 @@ def check_query_response(resp, path):
             fail(f"{path}: bad error keys (missing {sorted(missing)}, extra {sorted(extra)})")
         if not isinstance(resp["code"], str) or not resp["code"]:
             fail(f"{path}: error code must be a non-empty string")
+        if "retry_after_ms" in resp:
+            if resp["code"] != "rate_limited":
+                fail(f"{path}: retry_after_ms only accompanies rate_limited, not {resp['code']!r}")
+            if not isinstance(resp["retry_after_ms"], int) or not 1 <= resp["retry_after_ms"] <= 1000:
+                fail(f"{path}: retry_after_ms must be an integer in 1..=1000")
 
 
 def main(argv):
@@ -119,19 +133,48 @@ def main(argv):
     for i, r in enumerate(errors):
         check_query_response(r, f"error[{i}]")
 
+    rate_limited = [r for r in errors if r.get("code") == "rate_limited"]
+    if len(rate_limited) != 1:
+        fail(f"expected exactly one rate_limited rejection, got {len(rate_limited)}")
+    if "retry_after_ms" not in rate_limited[0]:
+        fail("rate_limited rejection carries no retry_after_ms hint")
+
+    reloads = [r for r in responses if r.get("ok") is True and "reload" in r]
+    if len(reloads) != 1:
+        fail(f"expected exactly one reload acknowledgement, got {len(reloads)}")
+    rl = reloads[0]["reload"]
+    if not isinstance(rl.get("dataset"), str) or not rl["dataset"]:
+        fail("reload.dataset must be a non-empty string")
+    if not isinstance(rl.get("epoch"), int) or rl["epoch"] < 2:
+        fail(f"reload.epoch must be >= 2 after a swap, got {rl.get('epoch')!r}")
+    if not isinstance(rl.get("draining"), int) or rl["draining"] < 0:
+        fail("reload.draining must be a non-negative integer")
+
+    # Standalone ok query lines (outside the batch): schema-check them and
+    # require the post-reload query to answer from the swapped epoch.
+    singles = [r for r in responses if r.get("ok") is True and "xml" in r]
+    for i, r in enumerate(singles):
+        check_query_response(r, f"query[{i}]")
+    if not any(r["epoch"] >= 2 for r in singles):
+        fail("no query answered from a reloaded epoch (epoch >= 2)")
+
     metrics = [r for r in responses if "metrics" in r]
     if len(metrics) != 1:
         fail(f"expected exactly one metrics response, got {len(metrics)}")
     m = metrics[0]["metrics"]
-    for key in ("submitted", "admitted", "rejected", "refused", "completed"):
+    for key in ("submitted", "admitted", "rejected", "refused", "completed", "rate_limited", "deduped"):
         if not isinstance(m.get(key), int) or m[key] < 0:
             fail(f"metrics.{key} must be a non-negative integer")
-    if m["admitted"] + m["rejected"] + m["refused"] != m["submitted"]:
+    if m["admitted"] + m["rejected"] + m["refused"] + m["deduped"] != m["submitted"]:
         fail(
             "metrics conservation violated: "
             f"admitted {m['admitted']} + rejected {m['rejected']} + refused {m['refused']}"
-            f" != submitted {m['submitted']}"
+            f" + deduped {m['deduped']} != submitted {m['submitted']}"
         )
+    if m["rate_limited"] > m["rejected"]:
+        fail(f"rate_limited {m['rate_limited']} exceeds rejected {m['rejected']}")
+    if m["rate_limited"] < 1:
+        fail("the limited tenant's quota rejection never reached the counters")
     if m["completed"] < batch_ok:
         fail(f"metrics.completed {m['completed']} below the {batch_ok} batch queries")
 
